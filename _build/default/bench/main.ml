@@ -1,0 +1,781 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) on the simulated machine.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe fig5 fig7       run selected experiments
+     bench/main.exe --fast ...      smaller sweeps (quick iteration)
+
+   Experiments (see DESIGN.md §3 for the index):
+     fig5  single-thread data & metadata performance
+     fig6  fio throughput scaling (1 and 8 NUMA nodes)
+     fig7  FxMark metadata scalability
+     tab3  sharing cost between untrusted processes
+     fig8  sharing-cost breakdown (map/unmap/verify/rebuild)
+     fig9  Filebench macrobenchmarks
+     tab5  LevelDB db_bench
+     fig10 customized LibFSes (KVFS / FPFS)
+     sec65 integrity attacks & corruption campaign
+     meta  descriptive tables (Table 2, Table 4)
+     micro Bechamel wall-clock microbenchmarks of core data structures
+
+   All performance numbers are virtual-time (deterministic); see
+   EXPERIMENTS.md for the shape-by-shape comparison with the paper. *)
+
+module Sched = Trio_sim.Sched
+module Numa = Trio_nvm.Numa
+module Pmem = Trio_nvm.Pmem
+module Rig = Trio_workloads.Rig
+module Runner = Trio_workloads.Runner
+module Fio = Trio_workloads.Fio
+module Fxmark = Trio_workloads.Fxmark
+module Filebench = Trio_workloads.Filebench
+module Dbbench = Trio_workloads.Dbbench
+module Libfs = Arckfs.Libfs
+module Controller = Trio_core.Controller
+module Stats = Trio_sim.Stats
+module Fs = Trio_core.Fs_intf
+
+let fast = ref false
+
+let section title =
+  Printf.printf "\n==== %s %s\n%!" title (String.make (max 1 (66 - String.length title)) '=')
+
+let sub title = Printf.printf "\n-- %s\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine configurations *)
+
+let paper_nodes = 8
+let paper_cpus = 28
+
+let one_node_rig f =
+  Rig.run ~nodes:1 ~cpus_per_node:paper_cpus ~pages_per_node:(1 lsl 20) ~store_data:false f
+
+let eight_node_rig f =
+  Rig.run ~nodes:paper_nodes ~cpus_per_node:paper_cpus ~pages_per_node:(1 lsl 19)
+    ~store_data:false f
+
+let threads_1node () = if !fast then [ 1; 4; 28 ] else [ 1; 2; 4; 8; 16; 28 ]
+let threads_8node () = if !fast then [ 1; 28; 224 ] else [ 1; 2; 4; 8; 16; 28; 56; 112; 224 ]
+
+(* ------------------------------------------------------------------ *)
+(* Printing helpers *)
+
+let print_header name cols =
+  Printf.printf "%-14s" name;
+  List.iter (fun c -> Printf.printf "%10s" c) cols;
+  print_newline ()
+
+let print_row name cells =
+  Printf.printf "%-14s" name;
+  List.iter (fun v -> Printf.printf "%10.2f" v) cells;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: single-thread performance *)
+
+let fig5 () =
+  section "Figure 5: single-thread performance";
+  let data_fses = [ "nova"; "splitfs"; "strata"; "odinfs"; "arckfs-nd"; "arckfs" ] in
+  sub "(a,b) data operations, GiB/s (one thread)";
+  print_header "fs" [ "4K-read"; "4K-write"; "2M-read"; "2M-write" ];
+  List.iter
+    (fun name ->
+      let one config =
+        eight_node_rig (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig name in
+            let r = Fio.run rig fs config ~max_ops:3000 ~max_ns:30.0e6 () in
+            r.Runner.gib_per_s)
+      in
+      let mk kind block =
+        { Fio.threads = 1; block_size = block; file_size = 16 * 1024 * 1024; kind }
+      in
+      print_row name
+        [
+          one (mk Fio.Read 4096);
+          one (mk Fio.Write 4096);
+          one (mk Fio.Read (2 * 1024 * 1024));
+          one (mk Fio.Write (2 * 1024 * 1024));
+        ])
+    data_fses;
+  sub "(c,d) metadata operations, ops/us (one thread)";
+  let meta_fses = [ "nova"; "strata"; "splitfs"; "odinfs"; "arckfs" ] in
+  print_header "fs" [ "open"; "create"; "delete" ];
+  List.iter
+    (fun name ->
+      let run_bench bench =
+        eight_node_rig (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig name in
+            let r = Fxmark.run rig fs bench ~threads:1 ~max_ops:3000 ~max_ns:20.0e6 () in
+            r.Runner.ops_per_us)
+      in
+      print_row name
+        [
+          run_bench (Fxmark.find "MRPL");
+          run_bench (Fxmark.find "MWCL");
+          run_bench (Fxmark.find "MWUL");
+        ])
+    meta_fses
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: fio throughput scaling *)
+
+let fig6 () =
+  section "Figure 6: data operation throughput (fio), GiB/s";
+  let run_sweep ~rig_of ~fses ~threads ~block ~kind label =
+    sub label;
+    print_header "fs" (List.map string_of_int threads);
+    List.iter
+      (fun name ->
+        let cells =
+          List.map
+            (fun n ->
+              rig_of (fun rig ->
+                  let fs = Rig.mount_fs ~store_data:false rig name in
+                  let file_size = max (4 * 1024 * 1024) (4 * block) in
+                  let config = { Fio.threads = n; block_size = block; file_size; kind } in
+                  let max_ops = if block > 65536 then 4000 else 12000 in
+                  let r = Fio.run rig fs config ~max_ops ~max_ns:10.0e6 () in
+                  r.Runner.gib_per_s))
+            threads
+        in
+        print_row name cells)
+      fses
+  in
+  let one_fses = [ "ext4"; "pmfs"; "nova"; "winefs"; "splitfs"; "arckfs-nd" ] in
+  let eight_fses = [ "ext4"; "ext4-raid0"; "nova"; "winefs"; "odinfs"; "splitfs"; "arckfs" ] in
+  let big = 2 * 1024 * 1024 in
+  run_sweep ~rig_of:one_node_rig ~fses:one_fses ~threads:(threads_1node ()) ~block:4096
+    ~kind:Fio.Read "(a) 4KB read, 1 NUMA node";
+  run_sweep ~rig_of:one_node_rig ~fses:one_fses ~threads:(threads_1node ()) ~block:4096
+    ~kind:Fio.Write "(b) 4KB write, 1 NUMA node";
+  run_sweep ~rig_of:one_node_rig ~fses:one_fses ~threads:(threads_1node ()) ~block:big
+    ~kind:Fio.Read "(c) 2MB read, 1 NUMA node";
+  run_sweep ~rig_of:one_node_rig ~fses:one_fses ~threads:(threads_1node ()) ~block:big
+    ~kind:Fio.Write "(d) 2MB write, 1 NUMA node";
+  run_sweep ~rig_of:eight_node_rig ~fses:eight_fses ~threads:(threads_8node ()) ~block:4096
+    ~kind:Fio.Read "(e) 4KB read, 8 NUMA nodes";
+  run_sweep ~rig_of:eight_node_rig ~fses:eight_fses ~threads:(threads_8node ()) ~block:4096
+    ~kind:Fio.Write "(f) 4KB write, 8 NUMA nodes";
+  run_sweep ~rig_of:eight_node_rig ~fses:eight_fses ~threads:(threads_8node ()) ~block:big
+    ~kind:Fio.Read "(g) 2MB read, 8 NUMA nodes";
+  run_sweep ~rig_of:eight_node_rig ~fses:eight_fses ~threads:(threads_8node ()) ~block:big
+    ~kind:Fio.Write "(h) 2MB write, 8 NUMA nodes"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: FxMark metadata scalability *)
+
+let fig7 () =
+  section "Figure 7: metadata scalability (FxMark), ops/us";
+  let fses = [ "ext4"; "pmfs"; "nova"; "winefs"; "odinfs"; "splitfs"; "arckfs" ] in
+  let threads = if !fast then [ 1; 28; 224 ] else [ 1; 4; 16; 28; 56; 112; 224 ] in
+  List.iter
+    (fun bench_name ->
+      let bench = Fxmark.find bench_name in
+      sub (Printf.sprintf "%s: %s" bench.Fxmark.name bench.Fxmark.description);
+      print_header "fs" (List.map string_of_int threads);
+      List.iter
+        (fun fs_name ->
+          let cells =
+            List.map
+              (fun n ->
+                eight_node_rig (fun rig ->
+                    let fs = Rig.mount_fs ~store_data:false rig fs_name in
+                    let r =
+                      Fxmark.run rig fs bench ~threads:n ~max_ops:12_000 ~max_ns:10.0e6 ()
+                    in
+                    r.Runner.ops_per_us))
+              threads
+          in
+          print_row fs_name cells)
+        fses)
+    [ "DWTL"; "MRPL"; "MRPM"; "MRPH"; "MRDL"; "MRDM"; "MWCL"; "MWCM"; "MWUL"; "MWUM"; "MWRL"; "MWRM" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 + Figure 8: sharing cost *)
+
+(* The paper uses a 1 GiB file with a 100 ms lease; we scale both by 8x
+   (128 MiB file, 12.5 ms lease) so the ratio of mapping cost to lease
+   time — which produces the paper's 7.8x overhead — is preserved, while
+   the small-file row keeps its negligible overhead. *)
+let share_file_small = 2 * 1024 * 1024
+let share_file_large = 128 * 1024 * 1024
+let share_lease_ns = 100.0e6 /. 8.0
+
+let sharing_rig f =
+  Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:(1 lsl 16) ~store_data:false
+    ~lease_ns:share_lease_ns f
+
+let get_ok what = function
+  | Ok v -> v
+  | Error e -> failwith (what ^ ": " ^ Trio_core.Fs_types.errno_to_string e)
+
+(* two writers ping-ponging 4 KiB stores over one file *)
+let write_sharing_body rig ~file_size ~ops_of =
+  let buf = Bytes.make 4096 'x' in
+  let rngs = Array.init 2 (fun i -> Trio_util.Rng.create i) in
+  let r =
+    Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:2 ~max_ops:60_000
+      ~max_ns:500.0e6
+      ~body:(fun ~tid ->
+        let ops, fd = ops_of tid in
+        let off = Trio_util.Rng.int rngs.(tid) (file_size / 4096) * 4096 in
+        match ops.Fs.pwrite fd buf off with Ok n -> n | Error _ -> 0)
+      ()
+  in
+  r.Runner.gib_per_s
+
+let run_write_sharing ~mode ~file_size =
+  sharing_rig (fun rig ->
+      match mode with
+      | `Nova ->
+        let fs = Rig.mount_fs ~store_data:false rig "nova" in
+        let fd = get_ok "create" (fs.Fs.create "/shared" 0o666) in
+        get_ok "truncate" (fs.Fs.truncate "/shared" file_size);
+        write_sharing_body rig ~file_size ~ops_of:(fun _ -> (fs, fd))
+      | `Arckfs trust_group ->
+        let mk proc =
+          let t =
+            Libfs.mount ~ctl:rig.Rig.ctl ~proc
+              ~cred:{ Trio_core.Fs_types.uid = 1000; gid = 1000 } ()
+          in
+          if trust_group then
+            Controller.register_process rig.Rig.ctl ~proc ~cred:{ uid = 1000; gid = 1000 }
+              ~group:77 ();
+          t
+        in
+        let a = mk 301 and b = mk 302 in
+        let aops = Libfs.ops a and bops = Libfs.ops b in
+        ignore (get_ok "create" (aops.Fs.create "/shared" 0o666));
+        get_ok "truncate" (aops.Fs.truncate "/shared" file_size);
+        Libfs.unmap_everything a;
+        let fda = get_ok "open a" (aops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+        let fdb = get_ok "open b" (bops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+        write_sharing_body rig ~file_size ~ops_of:(fun tid ->
+            if tid = 0 then (aops, fda) else (bops, fdb)))
+
+(* Concurrent create+unlink in a shared directory, unmapping after every
+   operation (the paper's stress mode); reports us per metadata op. *)
+let run_create_sharing ~mode ~prepopulate =
+  sharing_rig (fun rig ->
+      let measure body =
+        let r =
+          Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:2 ~max_ops:600
+            ~max_ns:400.0e6 ~body ()
+        in
+        r.Runner.elapsed_ns /. float_of_int r.Runner.ops /. 1e3 /. 2.0
+      in
+      match mode with
+      | `Nova ->
+        let fs = Rig.mount_fs ~store_data:false rig "nova" in
+        get_ok "mkdir" (fs.Fs.mkdir "/shared_dir" 0o777);
+        for i = 0 to prepopulate - 1 do
+          ignore (get_ok "pre" (fs.Fs.create (Printf.sprintf "/shared_dir/base%d" i) 0o644))
+        done;
+        let counters = Array.make 2 0 in
+        measure (fun ~tid ->
+            let n = counters.(tid) in
+            counters.(tid) <- n + 1;
+            let path = Printf.sprintf "/shared_dir/t%d_%d" tid n in
+            (match fs.Fs.create path 0o644 with
+            | Ok fd ->
+              ignore (fs.Fs.close fd);
+              ignore (fs.Fs.unlink path)
+            | Error _ -> ());
+            0)
+      | `Arckfs trust_group ->
+        let mk proc =
+          let t =
+            Libfs.mount ~ctl:rig.Rig.ctl ~proc
+              ~cred:{ Trio_core.Fs_types.uid = 1000; gid = 1000 }
+              ~unmap_after_write:(not trust_group) ()
+          in
+          if trust_group then
+            Controller.register_process rig.Rig.ctl ~proc ~cred:{ uid = 1000; gid = 1000 }
+              ~group:77 ();
+          t
+        in
+        let a = mk 311 and b = mk 312 in
+        let aops = Libfs.ops a and bops = Libfs.ops b in
+        get_ok "mkdir" (aops.Fs.mkdir "/shared_dir" 0o777);
+        for i = 0 to prepopulate - 1 do
+          ignore (get_ok "pre" (aops.Fs.create (Printf.sprintf "/shared_dir/base%d" i) 0o644))
+        done;
+        Libfs.unmap_everything a;
+        let counters = Array.make 2 0 in
+        measure (fun ~tid ->
+            let ops = if tid = 0 then aops else bops in
+            let n = counters.(tid) in
+            counters.(tid) <- n + 1;
+            let path = Printf.sprintf "/shared_dir/t%d_%d" tid n in
+            (match ops.Fs.create path 0o644 with
+            | Ok fd ->
+              ignore (ops.Fs.close fd);
+              ignore (ops.Fs.unlink path)
+            | Error _ -> ());
+            0))
+
+let tab3 () =
+  section "Table 3: sharing cost (two processes on one file/directory)";
+  Printf.printf "(scaled: paper's 1GiB file + 100ms lease -> 128MiB + 12.5ms; see DESIGN.md)\n";
+  print_header "workload" [ "NOVA"; "ArckFS"; "Arck-TG" ];
+  print_row "4KBw-2MB GiB/s"
+    [
+      run_write_sharing ~mode:`Nova ~file_size:share_file_small;
+      run_write_sharing ~mode:(`Arckfs false) ~file_size:share_file_small;
+      run_write_sharing ~mode:(`Arckfs true) ~file_size:share_file_small;
+    ];
+  print_row "4KBw-128MB GiB/s"
+    [
+      run_write_sharing ~mode:`Nova ~file_size:share_file_large;
+      run_write_sharing ~mode:(`Arckfs false) ~file_size:share_file_large;
+      run_write_sharing ~mode:(`Arckfs true) ~file_size:share_file_large;
+    ];
+  print_row "create-10 us"
+    [
+      run_create_sharing ~mode:`Nova ~prepopulate:10;
+      run_create_sharing ~mode:(`Arckfs false) ~prepopulate:10;
+      run_create_sharing ~mode:(`Arckfs true) ~prepopulate:10;
+    ];
+  print_row "create-100 us"
+    [
+      run_create_sharing ~mode:`Nova ~prepopulate:100;
+      run_create_sharing ~mode:(`Arckfs false) ~prepopulate:100;
+      run_create_sharing ~mode:(`Arckfs true) ~prepopulate:100;
+    ]
+
+(* Figure 8: where the sharing time goes. *)
+let fig8 () =
+  section "Figure 8: breakdown of ArckFS' sharing cost";
+  let instrumented ~creates ~file_size =
+    sharing_rig (fun rig ->
+        let mk proc =
+          Libfs.mount ~ctl:rig.Rig.ctl ~proc
+            ~cred:{ Trio_core.Fs_types.uid = 1000; gid = 1000 }
+            ~unmap_after_write:creates ()
+        in
+        let a = mk 321 and b = mk 322 in
+        let aops = Libfs.ops a and bops = Libfs.ops b in
+        if creates then begin
+          get_ok "mkdir" (aops.Fs.mkdir "/shared_dir" 0o777);
+          for i = 0 to 99 do
+            ignore (get_ok "pre" (aops.Fs.create (Printf.sprintf "/shared_dir/b%d" i) 0o644))
+          done;
+          Libfs.unmap_everything a;
+          let counters = Array.make 2 0 in
+          ignore
+            (Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:2 ~max_ops:400
+               ~max_ns:400.0e6
+               ~body:(fun ~tid ->
+                 let ops = if tid = 0 then aops else bops in
+                 let n = counters.(tid) in
+                 counters.(tid) <- n + 1;
+                 let path = Printf.sprintf "/shared_dir/t%d_%d" tid n in
+                 (match ops.Fs.create path 0o644 with
+                 | Ok fd ->
+                   ignore (ops.Fs.close fd);
+                   ignore (ops.Fs.unlink path)
+                 | Error _ -> ());
+                 0)
+               ())
+        end
+        else begin
+          ignore (get_ok "create" (aops.Fs.create "/shared" 0o666));
+          get_ok "truncate" (aops.Fs.truncate "/shared" file_size);
+          Libfs.unmap_everything a;
+          let fda = get_ok "open" (aops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+          let fdb = get_ok "open" (bops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+          ignore
+            (write_sharing_body rig ~file_size ~ops_of:(fun tid ->
+                 if tid = 0 then (aops, fda) else (bops, fdb)))
+        end;
+        let cstats = Controller.stats rig.Rig.ctl in
+        let rebuild =
+          Stats.get (Libfs.stats_of a) "rebuild" +. Stats.get (Libfs.stats_of b) "rebuild"
+        in
+        (Stats.get cstats "map", Stats.get cstats "unmap", Stats.get cstats "verify", rebuild))
+  in
+  let breakdown describe (map, unmap, verify, rebuild) =
+    let total = map +. unmap +. verify +. rebuild in
+    let pct x = if total > 0.0 then 100.0 *. x /. total else 0.0 in
+    Printf.printf "%-22s map %5.1f%%  unmap %5.1f%%  verifier %5.1f%%  aux-state %5.1f%%\n"
+      describe (pct map) (pct unmap) (pct verify) (pct rebuild)
+  in
+  breakdown "4KB-write 16MB" (instrumented ~creates:false ~file_size:share_file_large);
+  breakdown "create-100" (instrumented ~creates:true ~file_size:0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: Filebench *)
+
+let fig9 () =
+  section "Figure 9: Filebench macrobenchmarks, Kops/s";
+  let fses = [ "ext4"; "pmfs"; "nova"; "winefs"; "odinfs"; "splitfs"; "arckfs" ] in
+  let run_personality ~rig_of ~threads name pname =
+    sub name;
+    print_header "fs" (List.map string_of_int threads);
+    let p = Filebench.find pname in
+    List.iter
+      (fun fs_name ->
+        let cells =
+          List.map
+            (fun n ->
+              rig_of (fun rig ->
+                  let fs = Rig.mount_fs ~store_data:false rig fs_name in
+                  let r = Filebench.run rig fs p ~threads:n ~max_ops:8000 ~max_ns:20.0e6 () in
+                  r.Runner.ops_per_us *. 1000.0))
+            threads
+        in
+        print_row fs_name cells)
+      fses
+  in
+  let t1 = if !fast then [ 1; 28 ] else [ 1; 4; 16; 28 ] in
+  let t8 = if !fast then [ 1; 224 ] else [ 1; 16; 56; 112; 224 ] in
+  let t16 = if !fast then [ 1; 16 ] else [ 1; 2; 4; 8; 16 ] in
+  run_personality ~rig_of:one_node_rig ~threads:t1 "(a) Fileserver, 1 NUMA node" "fileserver";
+  run_personality ~rig_of:one_node_rig ~threads:t1 "(b) Webserver, 1 NUMA node" "webserver";
+  run_personality ~rig_of:eight_node_rig ~threads:t8 "(c) Fileserver, 8 NUMA nodes" "fileserver";
+  run_personality ~rig_of:eight_node_rig ~threads:t8 "(d) Webserver, 8 NUMA nodes" "webserver";
+  run_personality ~rig_of:eight_node_rig ~threads:t16 "(e) Webproxy, 8 NUMA nodes" "webproxy";
+  run_personality ~rig_of:eight_node_rig ~threads:t16 "(f) Varmail, 8 NUMA nodes" "varmail"
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: LevelDB *)
+
+let tab5 () =
+  section "Table 5: LevelDB db_bench, ops/ms (one thread)";
+  Printf.printf "(scaled: paper's 1M objects -> 8000; fill100K -> 400 objects)\n";
+  let fses = [ "ext4"; "nova"; "winefs"; "arckfs"; "arckfs-nd" ] in
+  print_header "fs" (List.map Dbbench.workload_name Dbbench.all);
+  List.iter
+    (fun name ->
+      let cells =
+        List.map
+          (fun w ->
+            Rig.run ~nodes:paper_nodes ~cpus_per_node:paper_cpus ~pages_per_node:(1 lsl 17)
+              ~store_data:true (fun rig ->
+                let fs = Rig.mount_fs ~store_data:true rig name in
+                let n =
+                  match w with
+                  | Dbbench.Fill_100k -> if !fast then 100 else 400
+                  | _ -> if !fast then 2000 else 8000
+                in
+                (Dbbench.run ~sched:rig.Rig.sched fs w ~n).Dbbench.ops_per_ms))
+          Dbbench.all
+      in
+      print_row name cells)
+    fses
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: customized file systems *)
+
+let fig10 () =
+  section "Figure 10: customized LibFSes (8 threads), Kops/s";
+  let threads = 8 in
+  let posix_fses = [ "ext4"; "nova"; "winefs"; "odinfs"; "arckfs" ] in
+  sub "Webproxy (KVFS's target workload)";
+  List.iter
+    (fun name ->
+      let v =
+        eight_node_rig (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig name in
+            let p = Filebench.find "webproxy" in
+            let r = Filebench.run rig fs p ~threads ~max_ops:8000 ~max_ns:30.0e6 () in
+            r.Runner.ops_per_us *. 1000.0)
+      in
+      Printf.printf "%-14s%10.2f\n" name v)
+    posix_fses;
+  let kv_result =
+    eight_node_rig (fun rig ->
+        let libfs = Rig.mount_arckfs ~delegated:true rig in
+        match Kvfs.mount libfs ~dir:"/kv" with
+        | Error _ -> 0.0
+        | Ok kv ->
+          let r = Filebench.run_kv_webproxy rig kv ~threads ~max_ops:8000 ~max_ns:30.0e6 () in
+          r.Runner.ops_per_us *. 1000.0)
+  in
+  Printf.printf "%-14s%10.2f\n" "kvfs" kv_result;
+  sub "Varmail with 20-deep directories (FPFS's target workload)";
+  List.iter
+    (fun name ->
+      let v =
+        eight_node_rig (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig name in
+            let p = Filebench.find "varmail-deep" in
+            let r = Filebench.run rig fs p ~threads ~max_ops:8000 ~max_ns:30.0e6 () in
+            r.Runner.ops_per_us *. 1000.0)
+      in
+      Printf.printf "%-14s%10.2f\n" name v)
+    (posix_fses @ [ "fpfs" ])
+
+(* ------------------------------------------------------------------ *)
+(* §6.5: integrity *)
+
+let sec65 () =
+  section "Section 6.5: metadata integrity under attacks";
+  sub "handcrafted malicious-LibFS attacks";
+  List.iter
+    (fun o -> Format.printf "  %a@." Trio_attacks.Attacks.pp_outcome o)
+    (Trio_attacks.Attacks.run_handcrafted ());
+  sub "scripted corruption campaign (buggy LibFS emulation)";
+  let seeds = if !fast then 4 else 17 in
+  let r = Trio_attacks.Attacks.run_campaign ~seeds () in
+  Printf.printf "  scenarios: %d   detected-or-benign: %d   consistent afterwards: %d\n"
+    r.Trio_attacks.Attacks.c_total r.Trio_attacks.Attacks.c_detected
+    r.Trio_attacks.Attacks.c_consistent
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive tables *)
+
+let meta () =
+  section "Table 2: FxMark metadata microbenchmarks";
+  List.iter (fun (n, d) -> Printf.printf "  %-6s %s\n" n d) Fxmark.descriptions;
+  section "Table 4: Filebench configurations (scaled per DESIGN.md)";
+  Printf.printf "  %-14s %8s %12s %10s %10s %6s\n" "name" "files/th" "avg size" "read sz"
+    "write sz" "depth";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-14s %8d %12d %10d %10d %6d\n" p.Filebench.p_name p.Filebench.p_nfiles
+        p.Filebench.p_avg_size p.Filebench.p_io_read p.Filebench.p_io_write
+        p.Filebench.p_dir_depth)
+    Filebench.personalities
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenchmarks *)
+
+let micro () =
+  section "Bechamel microbenchmarks (wall clock, host machine)";
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"radix-insert-1k"
+        (Staged.stage (fun () ->
+             let r = Trio_util.Radix.create () in
+             for i = 0 to 999 do
+               Trio_util.Radix.insert r (i * 37) i
+             done));
+      Test.make ~name:"htbl-insert-1k"
+        (Staged.stage (fun () ->
+             let h = Trio_util.Htbl.create_string () in
+             for i = 0 to 999 do
+               Trio_util.Htbl.replace h (string_of_int i) i
+             done));
+      Test.make ~name:"extent-alloc-free-1k"
+        (Staged.stage (fun () ->
+             let a = Trio_util.Extent_alloc.create ~start:0 ~len:100_000 in
+             for _ = 0 to 999 do
+               let p = Trio_util.Extent_alloc.alloc a 4 in
+               Trio_util.Extent_alloc.free a p 4
+             done));
+      (let buf = Bytes.make 4096 'x' in
+       Test.make ~name:"crc32-4k" (Staged.stage (fun () -> ignore (Trio_util.Crc32.of_bytes buf))));
+      (let inode =
+         {
+           Trio_core.Layout.ino = 7;
+           ftype = Trio_core.Fs_types.Reg;
+           mode = 0o644;
+           uid = 0;
+           gid = 0;
+           size = 4096;
+           index_head = 9;
+           mtime = 0;
+           ctime = 0;
+         }
+       in
+       Test.make ~name:"dentry-encode-decode"
+         (Staged.stage (fun () ->
+              let b = Trio_core.Layout.encode_dentry ~inode ~name:"some-file.txt" in
+              ignore (Trio_core.Layout.decode_dentry b))));
+      Test.make ~name:"sim-10k-events"
+        (Staged.stage (fun () ->
+             let s = Sched.create () in
+             for i = 0 to 9 do
+               Sched.spawn s (fun () ->
+                   for _ = 0 to 999 do
+                     Sched.delay (float_of_int (i + 1))
+                   done)
+             done;
+             ignore (Sched.run s)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/op\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out *)
+
+let ablation () =
+  section "Ablations";
+  (* 1. data striping granularity *)
+  sub "striping granularity: 2MB reads, 28 threads, 8 nodes (GiB/s)";
+  List.iter
+    (fun stripe_pages ->
+      let v =
+        Rig.run ~nodes:paper_nodes ~cpus_per_node:paper_cpus ~pages_per_node:(1 lsl 19)
+          ~store_data:false ~stripe_pages (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+            let config =
+              { Fio.threads = 28; block_size = 2 * 1024 * 1024; file_size = 16 * 1024 * 1024;
+                kind = Fio.Read }
+            in
+            (Fio.run rig fs config ~max_ops:3000 ~max_ns:10.0e6 ()).Runner.gib_per_s)
+      in
+      Printf.printf "  stripe %4d KiB: %8.2f
+%!" (stripe_pages * 4) v)
+    [ 4; 16; 64; 512 ];
+  (* 2. delegation threads per node *)
+  sub "delegation threads per node: 4KB writes, 224 threads (GiB/s)";
+  List.iter
+    (fun tpn ->
+      let v =
+        Rig.run ~nodes:paper_nodes ~cpus_per_node:paper_cpus ~pages_per_node:(1 lsl 19)
+          ~store_data:false ~threads_per_node:tpn (fun rig ->
+            let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+            let config =
+              { Fio.threads = 224; block_size = 4096; file_size = 4 * 1024 * 1024;
+                kind = Fio.Write }
+            in
+            (Fio.run rig fs config ~max_ops:12000 ~max_ns:10.0e6 ()).Runner.gib_per_s)
+      in
+      Printf.printf "  %2d threads/node: %8.2f
+%!" tpn v)
+    [ 2; 6; 12; 24 ];
+  (* 3. lease length vs sharing overhead *)
+  sub "lease length: contended 4KB writes to a shared 128MiB file (GiB/s)";
+  List.iter
+    (fun lease_ms ->
+      let v =
+        Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:(1 lsl 16) ~store_data:false
+          ~lease_ns:(lease_ms *. 1e6) (fun rig ->
+            let mk proc =
+              Libfs.mount ~ctl:rig.Rig.ctl ~proc
+                ~cred:{ Trio_core.Fs_types.uid = 1000; gid = 1000 } ()
+            in
+            let a = mk 341 and b = mk 342 in
+            let aops = Libfs.ops a and bops = Libfs.ops b in
+            ignore (get_ok "create" (aops.Fs.create "/shared" 0o666));
+            get_ok "truncate" (aops.Fs.truncate "/shared" share_file_large);
+            Libfs.unmap_everything a;
+            let fda = get_ok "open" (aops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+            let fdb = get_ok "open" (bops.Fs.open_ "/shared" [ Trio_core.Fs_types.O_RDWR ]) in
+            write_sharing_body rig ~file_size:share_file_large ~ops_of:(fun tid ->
+                if tid = 0 then (aops, fda) else (bops, fdb)))
+      in
+      Printf.printf "  lease %5.1f ms: %8.3f
+%!" lease_ms v)
+    [ 2.0; 6.0; 12.5; 25.0; 50.0 ];
+  (* 4. verifier cost vs directory size *)
+  sub "verifier cost vs directory size (virtual us per verification)";
+  List.iter
+    (fun entries ->
+      let v =
+        Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:(1 lsl 16) ~store_data:false
+          (fun rig ->
+            let libfs = Rig.mount_arckfs ~delegated:false rig in
+            let fs = Libfs.ops libfs in
+            get_ok "mkdir" (fs.Fs.mkdir "/dir" 0o755);
+            for i = 0 to entries - 1 do
+              ignore (get_ok "create" (fs.Fs.create (Printf.sprintf "/dir/f%05d" i) 0o644))
+            done;
+            let before = Stats.get (Controller.stats rig.Rig.ctl) "verify" in
+            Libfs.unmap_everything libfs;
+            (Stats.get (Controller.stats rig.Rig.ctl) "verify" -. before) /. 1e3)
+      in
+      Printf.printf "  %5d entries: %8.1f us
+%!" entries v)
+    [ 10; 100; 1000 ];
+  (* 5. device profile: Trio is not Optane-specific *)
+  sub "CXL-class NVM profile (no write collapse): create scalability, ops/us";
+  List.iter
+    (fun threads ->
+      let v =
+        let sched = Sched.create () in
+        let topo = Numa.create ~nodes:paper_nodes ~cpus_per_node:paper_cpus in
+        let pmem =
+          Pmem.create ~sched ~topo ~profile:Trio_nvm.Perf.cxl_nvm ~pages_per_node:(1 lsl 19)
+            ~store_data:false ()
+        in
+        let mmu = Trio_core.Mmu.create pmem in
+        let result = ref 0.0 in
+        Sched.spawn sched (fun () ->
+            let ctl = Controller.create ~sched ~pmem ~mmu () in
+            let rig =
+              {
+                Rig.sched;
+                topo;
+                pmem;
+                mmu;
+                ctl;
+                delegation = lazy (Arckfs.Delegation.create ~sched ~pmem ());
+                next_proc = 400;
+              }
+            in
+            let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+            let r =
+              Fxmark.run rig fs (Fxmark.find "MWCL") ~threads ~max_ops:12_000 ~max_ns:10.0e6 ()
+            in
+            result := r.Runner.ops_per_us);
+        ignore (Sched.run sched);
+        !result
+      in
+      Printf.printf "  %3d threads: %8.2f
+%!" threads v)
+    [ 1; 28; 224 ]
+
+let experiments =
+  [
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("tab3", tab3);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("tab5", tab5);
+    ("fig10", fig10);
+    ("sec65", sec65);
+    ("ablation", ablation);
+    ("meta", meta);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--fast" then begin
+          fast := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected = if args = [] then List.map fst experiments else args in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let s = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s took %.1fs]\n%!" name (Unix.gettimeofday () -. s)
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst experiments)))
+    selected;
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

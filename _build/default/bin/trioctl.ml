@@ -1,0 +1,187 @@
+(* trioctl: command-line driver for the Trio/ArckFS simulator.
+
+     dune exec bin/trioctl.exe -- info
+     dune exec bin/trioctl.exe -- smoke
+     dune exec bin/trioctl.exe -- fsck
+     dune exec bin/trioctl.exe -- attacks --seeds 8
+     dune exec bin/trioctl.exe -- micro --fs arckfs --op create --threads 28
+
+   Everything runs against the deterministic simulated machine; see
+   bench/main.exe for the full paper-evaluation harness. *)
+
+module Rig = Trio_workloads.Rig
+module Libfs = Arckfs.Libfs
+module Sched = Trio_sim.Sched
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Pmem = Trio_nvm.Pmem
+module Controller = Trio_core.Controller
+module Verifier = Trio_core.Verifier
+module Fs = Trio_core.Fs_intf
+open Cmdliner
+
+let ok what = function
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "%s failed: %s\n" what (Trio_core.Fs_types.errno_to_string e);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let info_cmd =
+  let run () =
+    let p = Perf.optane in
+    Printf.printf "simulated machine (paper configuration):\n";
+    Printf.printf "  sockets: %d, CPUs: %d (%d per socket)\n" 8 224 28;
+    Printf.printf "  NVM profile: %s\n" p.Perf.name;
+    Printf.printf "    read latency  %.0f ns   write latency %.0f ns   flush %.0f ns\n"
+      p.Perf.read_latency p.Perf.write_latency p.Perf.flush_latency;
+    Printf.printf "    remote access: reads x%.1f, writes x%.1f\n" p.Perf.remote_read_factor
+      p.Perf.remote_write_factor;
+    Printf.printf "    per-socket read bandwidth:  %.1f GB/s (1 thr) -> %.1f GB/s (16 thr)\n"
+      (Perf.read_bandwidth p 1) (Perf.read_bandwidth p 16);
+    Printf.printf "    per-socket write bandwidth: %.1f GB/s (4 thr) -> %.1f GB/s (64 thr)\n"
+      (Perf.write_bandwidth p 4) (Perf.write_bandwidth p 64);
+    Printf.printf "  file systems: arckfs arckfs-nd kvfs fpfs | ext4 ext4-raid0 pmfs nova\n";
+    Printf.printf "                winefs odinfs splitfs strata\n";
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe the simulated machine and NVM cost model")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* smoke *)
+
+let smoke_cmd =
+  let run fs_name =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:32768 ~store_data:true (fun rig ->
+        let fs = Rig.mount_fs rig fs_name in
+        ok "mkdir" (fs.Fs.mkdir "/smoke" 0o755);
+        ok "write" (Fs.write_file fs "/smoke/hello" "hello from trioctl\n");
+        let back = ok "read" (Fs.read_file fs "/smoke/hello") in
+        ok "rename" (fs.Fs.rename "/smoke/hello" "/smoke/world");
+        ok "unlink" (fs.Fs.unlink "/smoke/world");
+        Printf.printf "%s: create/write/read/rename/unlink all OK (read back %d bytes)\n"
+          fs_name (String.length back);
+        0)
+  in
+  let fs_arg =
+    Arg.(value & opt string "arckfs" & info [ "fs" ] ~docv:"FS" ~doc:"File system to exercise")
+  in
+  Cmd.v (Cmd.info "smoke" ~doc:"Run a quick end-to-end smoke test on a file system")
+    Term.(const run $ fs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fsck: build a tree, then verify every file through the Trio verifier *)
+
+let fsck_cmd =
+  let run files dirs =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let libfs = Rig.mount_arckfs ~delegated:false rig in
+        let fs = Libfs.ops libfs in
+        for d = 0 to dirs - 1 do
+          ok "mkdir" (fs.Fs.mkdir (Printf.sprintf "/dir%02d" d) 0o755);
+          for f = 0 to files - 1 do
+            ok "write"
+              (Fs.write_file fs
+                 (Printf.sprintf "/dir%02d/file%03d" d f)
+                 (String.make ((f * 731 mod 9000) + 10) 'x'))
+          done
+        done;
+        Libfs.unmap_everything libfs;
+        (* every file was verified at ingestion; now audit the volume *)
+        let ctl = rig.Rig.ctl in
+        let sched = rig.Rig.sched in
+        let t0 = Sched.now sched in
+        let checked = ref 0 and violations = ref 0 in
+        let rec audit ino =
+          match Controller.file_info ctl ino with
+          | None -> ()
+          | Some _ ->
+            let dentry_addr = Option.get (Controller.dentry_addr_of ctl ino) in
+            let report =
+              Verifier.check_file (Controller.view ctl) ~proc:Pmem.kernel_actor ~ino ~dentry_addr
+            in
+            incr checked;
+            violations := !violations + List.length report.Verifier.violations;
+            List.iter
+              (fun (c : Verifier.child) ->
+                if c.Verifier.c_ftype = Trio_core.Fs_types.Dir then audit c.Verifier.c_ino)
+              report.Verifier.children
+        in
+        audit Controller.root_ino;
+        Printf.printf "fsck: verified %d directories+files, %d violations, %.2f virtual ms\n"
+          !checked !violations
+          ((Sched.now sched -. t0) /. 1e6);
+        Printf.printf "corruption events recorded by the controller: %d\n"
+          (List.length (Controller.corruption_events ctl));
+        if !violations = 0 then 0 else 1)
+  in
+  let files = Arg.(value & opt int 50 & info [ "files" ] ~doc:"Files per directory") in
+  let dirs = Arg.(value & opt int 8 & info [ "dirs" ] ~doc:"Number of directories") in
+  Cmd.v
+    (Cmd.info "fsck" ~doc:"Build a namespace and audit every file with the integrity verifier")
+    Term.(const run $ files $ dirs)
+
+(* ------------------------------------------------------------------ *)
+(* attacks *)
+
+let attacks_cmd =
+  let run seeds =
+    print_endline "handcrafted malicious-LibFS attacks:";
+    let outcomes = Trio_attacks.Attacks.run_handcrafted () in
+    List.iter (fun o -> Format.printf "  %a@." Trio_attacks.Attacks.pp_outcome o) outcomes;
+    let r = Trio_attacks.Attacks.run_campaign ~seeds () in
+    Printf.printf "corruption campaign: %d scenarios, %d detected-or-benign, %d consistent\n"
+      r.Trio_attacks.Attacks.c_total r.Trio_attacks.Attacks.c_detected
+      r.Trio_attacks.Attacks.c_consistent;
+    if
+      List.for_all (fun o -> o.Trio_attacks.Attacks.a_detected && o.Trio_attacks.Attacks.a_recovered) outcomes
+      && r.Trio_attacks.Attacks.c_consistent = r.Trio_attacks.Attacks.c_total
+    then 0
+    else 1
+  in
+  let seeds = Arg.(value & opt int 4 & info [ "seeds" ] ~doc:"Seeds per corruption script") in
+  Cmd.v (Cmd.info "attacks" ~doc:"Run the §6.5 integrity attack suite") Term.(const run $ seeds)
+
+(* ------------------------------------------------------------------ *)
+(* micro: one microbenchmark on one fs *)
+
+let micro_cmd =
+  let run fs_name op threads =
+    Rig.run ~nodes:8 ~cpus_per_node:28 ~pages_per_node:(1 lsl 19) ~store_data:false (fun rig ->
+        let fs = Rig.mount_fs ~store_data:false rig fs_name in
+        let bench =
+          match op with
+          | "create" -> Trio_workloads.Fxmark.find "MWCL"
+          | "open" -> Trio_workloads.Fxmark.find "MRPL"
+          | "unlink" -> Trio_workloads.Fxmark.find "MWUL"
+          | "rename" -> Trio_workloads.Fxmark.find "MWRL"
+          | "readdir" -> Trio_workloads.Fxmark.find "MRDL"
+          | "truncate" -> Trio_workloads.Fxmark.find "DWTL"
+          | other -> (
+            try Trio_workloads.Fxmark.find other
+            with Not_found ->
+              Printf.eprintf "unknown op %s\n" other;
+              exit 2)
+        in
+        let r =
+          Trio_workloads.Fxmark.run rig fs bench ~threads ~max_ops:12_000 ~max_ns:10.0e6 ()
+        in
+        Format.printf "%s %s: %a@." fs_name bench.Trio_workloads.Fxmark.name
+          Trio_workloads.Runner.pp_result r;
+        0)
+  in
+  let fs_arg = Arg.(value & opt string "arckfs" & info [ "fs" ] ~doc:"File system") in
+  let op_arg =
+    Arg.(value & opt string "create" & info [ "op" ] ~doc:"create|open|unlink|rename|readdir|truncate or an FxMark name")
+  in
+  let thr_arg = Arg.(value & opt int 28 & info [ "threads" ] ~doc:"Thread count") in
+  Cmd.v (Cmd.info "micro" ~doc:"Run one metadata microbenchmark")
+    Term.(const run $ fs_arg $ op_arg $ thr_arg)
+
+let () =
+  let doc = "Trio/ArckFS userspace NVM file system simulator" in
+  let main = Cmd.group (Cmd.info "trioctl" ~doc) [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; micro_cmd ] in
+  exit (Cmd.eval' main)

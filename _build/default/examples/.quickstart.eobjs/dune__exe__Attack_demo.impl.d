@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Format List Printf Trio_attacks

@@ -1,0 +1,1 @@
+examples/deep_paths.ml: Arckfs Fpfs List Printf String Trio_core Trio_sim Trio_workloads

@@ -1,0 +1,1 @@
+examples/deep_paths.mli:

@@ -1,0 +1,1 @@
+examples/kv_mailstore.ml: Arckfs Bytes Kvfs Printf String Trio_core Trio_sim Trio_workloads

@@ -1,0 +1,1 @@
+examples/kv_mailstore.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arckfs Bytes Char List Printf String Trio_core Trio_nvm Trio_sim Trio_workloads

@@ -1,0 +1,1 @@
+examples/sharing.ml: Arckfs Bytes Printf Trio_core Trio_sim Trio_workloads

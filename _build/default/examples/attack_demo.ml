@@ -1,0 +1,27 @@
+(* Metadata integrity under attack (paper §4.3, §6.5).
+
+     dune exec examples/attack_demo.exe
+
+   A malicious LibFS gains legitimate write access to a shared directory
+   and then corrupts the core state with raw stores.  At the sharing
+   point the integrity verifier detects the corruption, the kernel
+   controller rolls the file back to its checkpoint, and other processes
+   keep seeing a consistent namespace. *)
+
+module Attacks = Trio_attacks.Attacks
+
+let () =
+  print_endline "== eleven handcrafted attacks by a malicious LibFS ==";
+  print_endline "(each runs in a fresh simulated machine)\n";
+  let outcomes = Attacks.run_handcrafted () in
+  List.iter (fun o -> Format.printf "  %a@." Attacks.pp_outcome o) outcomes;
+  let all_detected = List.for_all (fun o -> o.Attacks.a_detected) outcomes in
+  let all_recovered = List.for_all (fun o -> o.Attacks.a_recovered) outcomes in
+  Printf.printf "\nall detected: %b; namespace consistent after every attack: %b\n\n"
+    all_detected all_recovered;
+
+  print_endline "== scripted corruption campaign (buggy LibFS emulation) ==";
+  let r = Attacks.run_campaign ~seeds:6 () in
+  Printf.printf
+    "  %d corruption scenarios: %d detected or benign, %d left a consistent namespace\n"
+    r.Attacks.c_total r.Attacks.c_detected r.Attacks.c_consistent

@@ -1,0 +1,1 @@
+lib/arckfs/alloc_cache.ml: Array List Trio_core Trio_nvm Trio_sim

@@ -1,0 +1,1 @@
+lib/arckfs/delegation.ml: Array Bytes List Trio_nvm Trio_sim

@@ -1,0 +1,1 @@
+lib/arckfs/delegation.mli: Bytes Trio_nvm Trio_sim

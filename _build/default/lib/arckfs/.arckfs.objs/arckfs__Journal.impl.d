@@ -1,0 +1,1 @@
+lib/arckfs/journal.ml: Array Bytes List Trio_core Trio_nvm Trio_sim

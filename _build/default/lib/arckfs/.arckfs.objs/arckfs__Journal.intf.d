@@ -1,0 +1,1 @@
+lib/arckfs/journal.mli: Trio_nvm

@@ -1,0 +1,1 @@
+lib/arckfs/libfs.ml: Alloc_cache Array Bytes Delegation Hashtbl Journal List Option Result String Trio_core Trio_nvm Trio_sim Trio_util

@@ -1,0 +1,1263 @@
+(* The ArckFS LibFS: a complete POSIX-like file system design living in
+   the application's address space (paper §4.2).
+
+   All data and metadata operations act directly on the mapped core
+   state; the kernel controller is only involved for page/inode batch
+   allocation, map/unmap, and permission changes.  The auxiliary state —
+   everything in this module's [dir_state]/[file_state] — is private,
+   rebuilt from the core state on demand, and freely customizable
+   (KVFS and FPFS below replace parts of it).
+
+   Concurrency (paper §4.2):
+   - regular file: readers-writer inode lock + byte-range lock; one
+     thread can extend the file while others write disjoint regions and
+     many read;
+   - directory: striped readers-writer locks over the name hash table,
+     a slot-tail lock for choosing dentry slots, atomic dentry
+     activation;
+   - per-CPU fd allocation, per-node allocation caches, per-CPU undo
+     journal. *)
+
+module Sched = Trio_sim.Sched
+module Sync = Trio_sim.Sync
+module Stats = Trio_sim.Stats
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Layout = Trio_core.Layout
+module Controller = Trio_core.Controller
+module Htbl = Trio_util.Htbl
+module Radix = Trio_util.Radix
+open Trio_core.Fs_types
+
+let page_size = Layout.page_size
+
+type dentry_ref = { mutable e_ino : int; mutable e_addr : int; e_ftype : ftype }
+
+type dir_state = {
+  d_ino : int;
+  mutable d_addr : int; (* address of this directory's own dentry block *)
+  d_names : (string, dentry_ref) Htbl.t;
+  d_stripes : Sync.Rwlock.t array;
+  (* slot management: pages with free dentry slots + the index tail *)
+  mutable d_free_slots : (int * int) list; (* (page, slot) *)
+  mutable d_data_pages : int list; (* in index order *)
+  mutable d_index_pages : int list;
+  mutable d_index_tail : int; (* 0 = directory has no index page yet *)
+  mutable d_index_used : int; (* used entries in the tail index page *)
+  d_tail_lock : Sync.Mutex.t;
+  mutable d_size : int; (* cached live-entry count (the inode size field) *)
+  d_size_lock : Sync.Mutex.t;
+  mutable d_write_mapped : bool;
+}
+
+type file_state = {
+  r_ino : int;
+  mutable r_addr : int;
+  mutable r_size : int;
+  r_index : int Radix.t; (* file page index -> NVM page *)
+  mutable r_index_pages : int list;
+  mutable r_index_tail : int;
+  mutable r_index_used : int;
+  mutable r_npages : int;
+  r_ilock : Sync.Rwlock.t;
+  r_range : Sync.Range_lock.t;
+  mutable r_write_mapped : bool;
+}
+
+(* A descriptor names the file by inode: after a lease revocation drops
+   the cached [file_state], the next operation re-resolves it. *)
+type fd_state = { fd_ino : int; mutable fd_addr : int; fd_flags : open_flag list }
+
+type t = {
+  ctl : Controller.t;
+  pmem : Pmem.t;
+  sched : Sched.t;
+  topo : Numa.t;
+  proc : int;
+  cred : cred;
+  cache : Alloc_cache.t;
+  journal : Journal.t;
+  delegation : Delegation.t option;
+  dirs : (int, dir_state) Hashtbl.t;
+  files : (int, file_state) Hashtbl.t;
+  fds : (int, fd_state) Hashtbl.t;
+  fd_counters : int array; (* per-CPU fd allocation, no lock *)
+  build_lock : Sync.Mutex.t;
+  stats : Stats.t;
+  unmap_after_write : bool; (* stress mode for the sharing benchmarks *)
+  mutable free_backlog : int list; (* pages to return to the kernel, batched *)
+  mutable free_backlog_len : int;
+  mutable root : dir_state option;
+}
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Mount *)
+
+
+let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
+  let pmem = Controller.pmem ctl in
+  let sched = Controller.sched ctl in
+  let topo = Pmem.topo pmem in
+  let t_ref = ref None in
+  let recovery () =
+    match !t_ref with
+    | None -> ()
+    | Some t ->
+      Journal.recover t.journal;
+      (* Recount and repair the size field of every write-mapped
+         directory: create/unlink persist the dentry before the size, so
+         a crash can leave the count stale by one. *)
+      List.iter
+        (fun (_ino, dentry_addr, ftype) ->
+          if ftype = Dir then begin
+            match Layout.read_dentry pmem ~actor:t.proc ~addr:dentry_addr with
+            | Some (Ok (inode, _)) ->
+              let count = ref 0 in
+              ignore
+                (Layout.walk_index_chain pmem ~actor:t.proc ~head:inode.Layout.index_head
+                   ~max_pages:(Pmem.total_pages pmem) (fun ~index_page:_ ~entries ~next:_ ->
+                     Array.iter
+                       (fun pg ->
+                         if pg <> 0 then begin
+                           let b =
+                             Pmem.read pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size
+                           in
+                           for slot = 0 to Layout.dentries_per_page - 1 do
+                             if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr count
+                           done
+                         end)
+                       entries));
+              if !count <> inode.Layout.size then
+                Layout.write_size pmem ~actor:t.proc ~dentry_addr !count
+            | _ -> ()
+          end)
+        (Controller.write_mapped_inos ctl ~proc)
+  in
+  Controller.register_process ctl ~proc ~cred ?fix ~recovery ();
+  let cache = Alloc_cache.create ~ctl ~proc () in
+  (* One journal page per CPU, each on that CPU's local node. *)
+  let cpus = Numa.total_cpus topo in
+  let cpus_per_node = Numa.cpus_per_node topo in
+  let jpages = Array.make cpus 0 in
+  for node = 0 to Numa.nodes topo - 1 do
+    match Controller.alloc_pages ctl ~proc ~node ~count:cpus_per_node ~kind:Pmem.Meta with
+    | Ok pages -> List.iteri (fun i pg -> jpages.((node * cpus_per_node) + i) <- pg) pages
+    | Error _ -> failwith "Libfs.mount: cannot allocate journal pages"
+  done;
+  let journal = Journal.create ~pmem ~actor:proc ~pages:jpages in
+  let t =
+    {
+      ctl;
+      pmem;
+      sched;
+      topo;
+      proc;
+      cred;
+      cache;
+      journal;
+      delegation;
+      dirs = Hashtbl.create 64;
+      files = Hashtbl.create 64;
+      fds = Hashtbl.create 64;
+      fd_counters = Array.make (Numa.total_cpus topo) 0;
+      build_lock = Sync.Mutex.create ();
+      stats = Stats.create ();
+      unmap_after_write;
+      free_backlog = [];
+      free_backlog_len = 0;
+      root = None;
+    }
+  in
+  t_ref := Some t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Auxiliary-state construction (paper §4.2 "building auxiliary state") *)
+
+let new_dir_state ~ino ~addr =
+  {
+    d_ino = ino;
+    d_addr = addr;
+    d_names = Htbl.create_string ();
+    d_stripes = Array.init Htbl.stripes (fun _ -> Sync.Rwlock.create ());
+    d_free_slots = [];
+    d_data_pages = [];
+    d_index_pages = [];
+    d_index_tail = 0;
+    d_index_used = 0;
+    d_tail_lock = Sync.Mutex.create ();
+    d_size = 0;
+    d_size_lock = Sync.Mutex.create ();
+    d_write_mapped = false;
+  }
+
+(* Read the directory's core state and rebuild the private index. *)
+let build_dir_aux t ~ino ~addr =
+  Stats.timed t.stats t.sched "rebuild" (fun () ->
+      let d = new_dir_state ~ino ~addr in
+      (match Layout.read_dentry t.pmem ~actor:t.proc ~addr with
+      | Some (Ok (inode, _)) ->
+        ignore
+          (Layout.walk_index_chain t.pmem ~actor:t.proc ~head:inode.Layout.index_head
+             ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next ->
+               d.d_index_pages <- d.d_index_pages @ [ index_page ];
+               if next = 0 then begin
+                 d.d_index_tail <- index_page;
+                 d.d_index_used <- Array.fold_left (fun acc e -> if e <> 0 then acc + 1 else acc) 0 entries
+               end;
+               Array.iter
+                 (fun pg ->
+                   if pg <> 0 then begin
+                     d.d_data_pages <- d.d_data_pages @ [ pg ];
+                     let b = Pmem.read t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size in
+                     for slot = 0 to Layout.dentries_per_page - 1 do
+                       Sched.cpu_work Perf.Cpu.hash_lookup;
+                       let block = Bytes.sub b (slot * Layout.dentry_size) Layout.dentry_size in
+                       match Layout.decode_dentry block with
+                       | None -> d.d_free_slots <- (pg, slot) :: d.d_free_slots
+                       | Some (Error _) -> d.d_free_slots <- (pg, slot) :: d.d_free_slots
+                       | Some (Ok (child, name)) ->
+                         d.d_size <- d.d_size + 1;
+                         Htbl.replace d.d_names name
+                           {
+                             e_ino = child.Layout.ino;
+                             e_addr = Layout.dentry_slot_addr pg slot;
+                             e_ftype = child.Layout.ftype;
+                           }
+                     done
+                   end)
+                 entries))
+      | _ -> ());
+      d)
+
+let build_file_aux t ~ino ~addr =
+  Stats.timed t.stats t.sched "rebuild" (fun () ->
+      match Layout.read_dentry t.pmem ~actor:t.proc ~addr with
+      | Some (Ok (inode, _)) ->
+        let f =
+          {
+            r_ino = ino;
+            r_addr = addr;
+            r_size = inode.Layout.size;
+            r_index = Radix.create ();
+            r_index_pages = [];
+            r_index_tail = 0;
+            r_index_used = 0;
+            r_npages = 0;
+            r_ilock = Sync.Rwlock.create ();
+            r_range = Sync.Range_lock.create ();
+            r_write_mapped = false;
+          }
+        in
+        let fpi = ref 0 in
+        ignore
+          (Layout.walk_index_chain t.pmem ~actor:t.proc ~head:inode.Layout.index_head
+             ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next ->
+               f.r_index_pages <- f.r_index_pages @ [ index_page ];
+               if next = 0 then begin
+                 f.r_index_tail <- index_page;
+                 f.r_index_used <-
+                   Array.fold_left (fun acc e -> if e <> 0 then acc + 1 else acc) 0 entries
+               end;
+               Array.iter
+                 (fun pg ->
+                   if pg <> 0 then begin
+                     Sched.cpu_work Perf.Cpu.radix_step;
+                     Radix.insert f.r_index !fpi pg;
+                     incr fpi;
+                     f.r_npages <- f.r_npages + 1
+                   end)
+                 entries));
+        Ok f
+      | _ -> Error EIO)
+
+(* ------------------------------------------------------------------ *)
+(* Mapping management *)
+
+(* A file the controller does not know yet is one this LibFS created in a
+   directory that has not been verified since: we already hold all its
+   pages (allocation grants), so no map call is needed. *)
+let known_to_kernel t ino = Option.is_some (Controller.dentry_addr_of t.ctl ino)
+
+let get_root t =
+  match t.root with
+  | Some d -> Ok d
+  | None ->
+    Sync.Mutex.lock t.build_lock;
+    let result =
+      match t.root with
+      | Some d -> Ok d
+      | None -> (
+        match Controller.map_file t.ctl ~proc:t.proc ~ino:Controller.root_ino ~write:false with
+        | Error e -> Error e
+        | Ok () ->
+          let d = build_dir_aux t ~ino:Controller.root_ino ~addr:Controller.root_dentry_addr in
+          t.root <- Some d;
+          Hashtbl.replace t.dirs Controller.root_ino d;
+          Ok d)
+    in
+    Sync.Mutex.unlock t.build_lock;
+    result
+
+let get_dir t ~ino ~addr =
+  match Hashtbl.find_opt t.dirs ino with
+  | Some d -> Ok d
+  | None -> (
+    (* Build outside the lock (it involves NVM reads); the insert is
+       last-wins under the lock.  A racing duplicate build is harmless:
+       both observe the same core state. *)
+    let map_result =
+      if known_to_kernel t ino then Controller.map_file t.ctl ~proc:t.proc ~ino ~write:false
+      else Ok ()
+    in
+    match map_result with
+    | Error e -> Error e
+    | Ok () ->
+      let d = build_dir_aux t ~ino ~addr in
+      if not (known_to_kernel t ino) then d.d_write_mapped <- true;
+      Sync.Mutex.lock t.build_lock;
+      let d =
+        match Hashtbl.find_opt t.dirs ino with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.replace t.dirs ino d;
+          d
+      in
+      Sync.Mutex.unlock t.build_lock;
+      Ok d)
+
+let ensure_dir_writable t (d : dir_state) =
+  if d.d_write_mapped then Ok ()
+  else if not (known_to_kernel t d.d_ino) then begin
+    d.d_write_mapped <- true;
+    Ok ()
+  end
+  else
+    match Controller.map_file t.ctl ~proc:t.proc ~ino:d.d_ino ~write:true with
+    | Ok () ->
+      d.d_write_mapped <- true;
+      Ok ()
+    | Error e -> Error e
+
+let get_file t ~ino ~addr =
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> Ok f
+  | None -> (
+    let map_result =
+      if known_to_kernel t ino then Controller.map_file t.ctl ~proc:t.proc ~ino ~write:false
+      else Ok ()
+    in
+    match map_result with
+    | Error e -> Error e
+    | Ok () -> (
+      match build_file_aux t ~ino ~addr with
+      | Error e -> Error e
+      | Ok f ->
+        if not (known_to_kernel t ino) then f.r_write_mapped <- true;
+        Sync.Mutex.lock t.build_lock;
+        let f =
+          match Hashtbl.find_opt t.files ino with
+          | Some existing -> existing
+          | None ->
+            Hashtbl.replace t.files ino f;
+            f
+        in
+        Sync.Mutex.unlock t.build_lock;
+        Ok f))
+
+let ensure_file_writable t (f : file_state) =
+  if f.r_write_mapped then Ok ()
+  else if not (known_to_kernel t f.r_ino) then begin
+    f.r_write_mapped <- true;
+    Ok ()
+  end
+  else
+    match Controller.map_file t.ctl ~proc:t.proc ~ino:f.r_ino ~write:true with
+    | Ok () ->
+      f.r_write_mapped <- true;
+      Ok ()
+    | Error e -> Error e
+
+(* Drop cached state for a file/dir (after a lease revocation fault or an
+   explicit unmap). *)
+let drop_aux t ino =
+  Hashtbl.remove t.dirs ino;
+  Hashtbl.remove t.files ino;
+  if ino = Controller.root_ino then t.root <- None
+
+let unmap t ino =
+  drop_aux t ino;
+  ignore (Controller.unmap_file t.ctl ~proc:t.proc ~ino)
+
+(* Page frees are batched: a truncate-heavy workload (DWTL) would
+   otherwise pay one kernel call per page. *)
+let free_batch = 64
+
+let flush_free_backlog t =
+  if t.free_backlog <> [] then begin
+    let pages = t.free_backlog in
+    t.free_backlog <- [];
+    t.free_backlog_len <- 0;
+    (* recycle into the local pools (no MMU churn); fall back to a real
+       free if the kernel refuses the transfer *)
+    match Controller.recycle_pages t.ctl ~proc:t.proc ~pages with
+    | Ok () ->
+      List.iter
+        (fun pg ->
+          Alloc_cache.recycle_page t.cache ~page:pg ~kind:(Pmem.kind_of t.pmem pg))
+        pages
+    | Error _ -> ignore (Controller.free_pages t.ctl ~proc:t.proc ~pages)
+  end
+
+let free_pages_lazily t pages =
+  t.free_backlog <- List.rev_append pages t.free_backlog;
+  t.free_backlog_len <- t.free_backlog_len + List.length pages;
+  if t.free_backlog_len >= free_batch then flush_free_backlog t
+
+(* Retry wrapper: a revoked lease surfaces as an MMU fault; rebuild the
+   affected auxiliary state and re-run the operation (paper §3.2: the
+   LibFS re-requests access and rebuilds). *)
+let max_fault_retries = 16
+
+let with_retry t f =
+  let rec go n =
+    try f ()
+    with Pmem.Mmu_fault { page; _ } when n > 0 ->
+      (match Controller.page_owner_of t.ctl page with
+      | Controller.In_file ino -> drop_aux t ino
+      | _ ->
+        (* conservative: forget everything *)
+        Hashtbl.reset t.dirs;
+        Hashtbl.reset t.files;
+        t.root <- None);
+      go (n - 1)
+  in
+  go max_fault_retries
+
+(* ------------------------------------------------------------------ *)
+(* Path resolution *)
+
+let resolve_dir t components =
+  let* root = get_root t in
+  let rec walk (d : dir_state) = function
+    | [] -> Ok d
+    | name :: rest -> (
+      (* per component: aux-table probe + stripe lock + dir-state lookup *)
+      Sched.cpu_work ((2.0 *. Perf.Cpu.hash_lookup) +. Perf.Cpu.lock_acquire);
+      let stripe = Htbl.stripe_of_key d.d_names name in
+      let entry =
+        Sync.Rwlock.with_read d.d_stripes.(stripe) (fun () -> Htbl.find d.d_names name)
+      in
+      match entry with
+      | None -> Error ENOENT
+      | Some { e_ftype = Reg; _ } -> Error ENOTDIR
+      | Some ({ e_ftype = Dir; _ } as r) ->
+        let* child = get_dir t ~ino:r.e_ino ~addr:r.e_addr in
+        walk child rest)
+  in
+  walk root components
+
+(* Split a path into (parent directory state, basename). *)
+let resolve_parent t path =
+  match dirname_basename path with
+  | None -> Error EINVAL
+  | Some (dir_components, name) ->
+    if not (valid_name name) then Error (if String.length name > Layout.name_max then ENAMETOOLONG else EINVAL)
+    else
+      let* d = resolve_dir t dir_components in
+      Ok (d, name)
+
+let lookup (_t : t) (d : dir_state) name =
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  let stripe = Htbl.stripe_of_key d.d_names name in
+  Sync.Rwlock.with_read d.d_stripes.(stripe) (fun () -> Htbl.find d.d_names name)
+
+(* ------------------------------------------------------------------ *)
+(* Directory slot management *)
+
+(* Claim a free dentry slot, possibly growing the directory by one data
+   page (and, if the index tail is full, one index page). *)
+let claim_slot t (d : dir_state) =
+  Sync.Mutex.lock d.d_tail_lock;
+  Sched.cpu_work Perf.Cpu.lock_acquire;
+  let finish slot =
+    Sync.Mutex.unlock d.d_tail_lock;
+    Ok slot
+  in
+  match d.d_free_slots with
+  | (pg, slot) :: rest ->
+    d.d_free_slots <- rest;
+    finish (pg, slot)
+  | [] -> (
+    let node = Numa.node_of_cpu t.topo (Sched.current_cpu ()) in
+    match Alloc_cache.alloc_page t.cache ~node ~kind:Pmem.Meta with
+    | Error e ->
+      Sync.Mutex.unlock d.d_tail_lock;
+      Error e
+    | Ok data_pg -> (
+      (* Link the fresh dentry page into the index chain. *)
+      let link_ok =
+        if d.d_index_tail = 0 || d.d_index_used >= Layout.index_entries then begin
+          match Alloc_cache.alloc_page t.cache ~node ~kind:Pmem.Meta with
+          | Error e -> Error e
+          | Ok idx_pg ->
+            if d.d_index_tail = 0 then
+              Layout.write_index_head t.pmem ~actor:t.proc ~dentry_addr:d.d_addr idx_pg
+            else Layout.write_index_next t.pmem ~actor:t.proc ~page:d.d_index_tail idx_pg;
+            d.d_index_pages <- d.d_index_pages @ [ idx_pg ];
+            d.d_index_tail <- idx_pg;
+            d.d_index_used <- 0;
+            Ok ()
+        end
+        else Ok ()
+      in
+      match link_ok with
+      | Error e ->
+        Alloc_cache.recycle_page t.cache ~page:data_pg ~kind:Pmem.Meta;
+        Sync.Mutex.unlock d.d_tail_lock;
+        Error e
+      | Ok () ->
+        Layout.write_index_entry t.pmem ~actor:t.proc ~page:d.d_index_tail d.d_index_used data_pg;
+        d.d_index_used <- d.d_index_used + 1;
+        d.d_data_pages <- d.d_data_pages @ [ data_pg ];
+        d.d_free_slots <-
+          List.init (Layout.dentries_per_page - 1) (fun i -> (data_pg, i + 1));
+        finish (data_pg, 0)))
+
+let release_slot (d : dir_state) ~page ~slot =
+  Sync.Mutex.lock d.d_tail_lock;
+  d.d_free_slots <- (page, slot) :: d.d_free_slots;
+  Sync.Mutex.unlock d.d_tail_lock
+
+(* Adjust the directory's live-entry count (its inode [size] field) with
+   a read-modify-write under a lock: this is the shared hot field that
+   limits create scalability in one directory (MWCM). *)
+let bump_dir_size t (d : dir_state) delta =
+  Sync.Mutex.lock d.d_size_lock;
+  d.d_size <- d.d_size + delta;
+  Layout.write_size t.pmem ~actor:t.proc ~dentry_addr:d.d_addr d.d_size;
+  Sync.Mutex.unlock d.d_size_lock
+
+(* ------------------------------------------------------------------ *)
+(* Create / mkdir *)
+
+let now_ns t = int_of_float (Sched.now t.sched)
+
+let create_entry t (d : dir_state) name ~ftype ~mode =
+  let* () = ensure_dir_writable t d in
+  let stripe = Htbl.stripe_of_key d.d_names name in
+  Sync.Rwlock.write_lock d.d_stripes.(stripe);
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  let result =
+    if Htbl.mem d.d_names name then Error EEXIST
+    else
+      let ino = Alloc_cache.alloc_ino t.cache in
+      match claim_slot t d with
+      | Error e -> Error e
+      | Ok (pg, slot) ->
+        let addr = Layout.dentry_slot_addr pg slot in
+        let inode =
+          {
+            Layout.ino;
+            ftype;
+            mode = mode land 0o7777;
+            uid = t.cred.uid;
+            gid = t.cred.gid;
+            size = 0;
+            index_head = 0;
+            mtime = now_ns t;
+            ctime = now_ns t;
+          }
+        in
+        Layout.write_dentry_atomic t.pmem ~actor:t.proc ~addr ~inode ~name;
+        let r = { e_ino = ino; e_addr = addr; e_ftype = ftype } in
+        Htbl.replace d.d_names name r;
+        Ok r
+  in
+  Sync.Rwlock.write_unlock d.d_stripes.(stripe);
+  match result with
+  | Ok r ->
+    bump_dir_size t d 1;
+    Ok r
+  | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* File data path *)
+
+(* Gather the NVM runs covering [off, off+len) of the file, merging
+   physically contiguous pages so large I/O is issued in few requests. *)
+let collect_runs (f : file_state) ~off ~len =
+  let runs = ref [] in
+  let pos = ref off and remaining = ref len in
+  while !remaining > 0 do
+    let fpi = !pos / page_size in
+    Sched.cpu_work Perf.Cpu.radix_step;
+    (match Radix.find f.r_index fpi with
+    | None ->
+      (* hole: should not happen within size; treat as error *)
+      invalid_arg "Libfs: hole in file index"
+    | Some pg ->
+      let in_page = !pos mod page_size in
+      let chunk = min !remaining (page_size - in_page) in
+      let addr = (pg * page_size) + in_page in
+      (match !runs with
+      | (raddr, rpos, rlen) :: rest when raddr + rlen = addr ->
+        runs := (raddr, rpos, rlen + chunk) :: rest
+      | _ -> runs := (addr, !pos - off, chunk) :: !runs);
+      pos := !pos + chunk;
+      remaining := !remaining - chunk)
+  done;
+  List.rev !runs
+
+let do_data_io t ~write ~buf runs ~len =
+  Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int len);
+  match t.delegation with
+  | Some dlg when Delegation.should_delegate dlg ~write ~len ->
+    Delegation.run_all dlg ~actor:t.proc ~write ~buf runs
+  | _ ->
+    List.iter
+      (fun (addr, pos, chunk) ->
+        if write then Pmem.write_sub t.pmem ~actor:t.proc ~addr ~src:buf ~pos ~len:chunk
+        else begin
+          let data = Pmem.read t.pmem ~actor:t.proc ~addr ~len:chunk in
+          Bytes.blit data 0 buf pos chunk
+        end)
+      runs
+
+(* Data persistence: ArckFS persists data writes before returning (§4.4);
+   the bandwidth cost was charged by the writes, a single fence drains
+   every run. *)
+let persist_runs t runs =
+  match runs with
+  | [] -> ()
+  | runs -> Pmem.persist_ranges t.pmem (List.map (fun (addr, _, len) -> (addr, len)) runs)
+
+(* Stripe placement is salted by inode so small files spread over all
+   nodes instead of piling onto node 0. *)
+let node_for_data_page t (f : file_state) fpi =
+  match t.delegation with
+  | Some dlg ->
+    (f.r_ino + (fpi / Delegation.stripe_pages dlg)) mod Numa.nodes t.topo
+  | None -> Numa.node_of_cpu t.topo (Sched.current_cpu ())
+
+(* Extend the file to cover pages up to [up_to_fpi]; caller holds the
+   inode write lock.
+
+   Bulk extensions (large appends, truncate-up, fio preallocation) are
+   the common case, so pages are allocated in per-node batches and the
+   index entries of each index page are written as one NVM store. *)
+let extend_file t (f : file_state) ~up_to_fpi =
+  let start = f.r_npages in
+  let count = up_to_fpi - start + 1 in
+  if count <= 0 then Ok ()
+  else begin
+    (* allocate data pages, batching consecutive same-node requests *)
+    let pages = Array.make count 0 in
+    let rec allocate fpi =
+      if fpi > up_to_fpi then Ok ()
+      else begin
+        let node = node_for_data_page t f fpi in
+        let run_len = ref 1 in
+        while
+          fpi + !run_len <= up_to_fpi && node_for_data_page t f (fpi + !run_len) = node
+        do
+          incr run_len
+        done;
+        match Alloc_cache.alloc_pages t.cache ~node ~kind:Pmem.Data ~count:!run_len with
+        | Error e -> Error e
+        | Ok got ->
+          List.iteri (fun i pg -> pages.(fpi - start + i) <- pg) got;
+          allocate (fpi + !run_len)
+      end
+    in
+    match allocate start with
+    | Error e -> Error e
+    | Ok () ->
+      (* link into the index chain, one store per touched index page *)
+      let i = ref 0 in
+      let result = ref (Ok ()) in
+      while !i < count && !result = Ok () do
+        if f.r_index_tail = 0 || f.r_index_used >= Layout.index_entries then begin
+          let mnode = Numa.node_of_cpu t.topo (Sched.current_cpu ()) in
+          match Alloc_cache.alloc_page t.cache ~node:mnode ~kind:Pmem.Meta with
+          | Error e -> result := Error e
+          | Ok idx_pg ->
+            if f.r_index_tail = 0 then
+              Layout.write_index_head t.pmem ~actor:t.proc ~dentry_addr:f.r_addr idx_pg
+            else Layout.write_index_next t.pmem ~actor:t.proc ~page:f.r_index_tail idx_pg;
+            f.r_index_pages <- f.r_index_pages @ [ idx_pg ];
+            f.r_index_tail <- idx_pg;
+            f.r_index_used <- 0
+        end;
+        if !result = Ok () then begin
+          let slot = f.r_index_used in
+          let span = min (count - !i) (Layout.index_entries - slot) in
+          let buf = Bytes.create (span * 8) in
+          for j = 0 to span - 1 do
+            let pg = pages.(!i + j) in
+            Layout.set_u64 buf (j * 8) pg;
+            Radix.insert f.r_index (start + !i + j) pg
+          done;
+          Pmem.write t.pmem ~actor:t.proc ~addr:(Layout.index_entry_addr f.r_index_tail slot)
+            ~src:buf;
+          Pmem.persist t.pmem ~addr:(Layout.index_entry_addr f.r_index_tail slot)
+            ~len:(span * 8);
+          f.r_index_used <- slot + span;
+          f.r_npages <- f.r_npages + span;
+          i := !i + span
+        end
+      done;
+      !result
+  end
+
+(* Growing a file past its old EOF exposes the tail of the old last
+   page, which may hold stale bytes from before a shrink: zero the
+   region [old_size, upto) that falls inside that page (fresh pages are
+   zero by construction). *)
+let zero_after_eof t (f : file_state) ~old_size ~upto =
+  if old_size > 0 && old_size mod page_size <> 0 && upto > old_size then begin
+    let page_end = ((old_size / page_size) + 1) * page_size in
+    let zlen = min upto page_end - old_size in
+    if zlen > 0 then
+      match Radix.find f.r_index (old_size / page_size) with
+      | Some pg ->
+        let addr = (pg * page_size) + (old_size mod page_size) in
+        Pmem.write t.pmem ~actor:t.proc ~addr ~src:(Bytes.make zlen '\000');
+        Pmem.persist t.pmem ~addr ~len:zlen
+      | None -> ()
+  end
+
+let write_at t (f : file_state) ~buf ~off =
+  let len = Bytes.length buf in
+  Sched.cpu_work Perf.Cpu.libfs_op;
+  if len = 0 then Ok 0
+  else begin
+    (* any write requires the write mapping *)
+    let* () = ensure_file_writable t f in
+    let end_ = off + len in
+    if end_ <= f.r_size then
+      (* in-place write: shared inode lock + exclusive range.  The
+         with_* combinators release the locks even when a revoked lease
+         surfaces as an MMU fault mid-transfer. *)
+      Sync.Rwlock.with_read f.r_ilock (fun () ->
+          Sync.Range_lock.with_range f.r_range ~lo:off ~hi:(end_ - 1) Sync.Range_lock.Write
+            (fun () ->
+              let runs = collect_runs f ~off ~len in
+              do_data_io t ~write:true ~buf runs ~len;
+              persist_runs t runs;
+              Ok len))
+    else
+      Sync.Rwlock.with_write f.r_ilock (fun () ->
+          let last_fpi = (end_ - 1) / page_size in
+          match extend_file t f ~up_to_fpi:last_fpi with
+          | Error e -> Error e
+          | Ok () ->
+            zero_after_eof t f ~old_size:f.r_size ~upto:off;
+            let runs = collect_runs f ~off ~len in
+            do_data_io t ~write:true ~buf runs ~len;
+            persist_runs t runs;
+            if end_ > f.r_size then begin
+              f.r_size <- end_;
+              Layout.write_size t.pmem ~actor:t.proc ~dentry_addr:f.r_addr end_
+            end;
+            Ok len)
+  end
+
+let read_at t (f : file_state) ~buf ~off =
+  let want = Bytes.length buf in
+  Sched.cpu_work Perf.Cpu.libfs_op;
+  Sync.Rwlock.with_read f.r_ilock (fun () ->
+      let len = max 0 (min want (f.r_size - off)) in
+      if len = 0 then Ok 0
+      else
+        Sync.Range_lock.with_range f.r_range ~lo:off ~hi:(off + len - 1) Sync.Range_lock.Read
+          (fun () ->
+            let runs = collect_runs f ~off ~len in
+            do_data_io t ~write:false ~buf runs ~len;
+            Ok len))
+
+let truncate_file t (f : file_state) ~size =
+  let* () = ensure_file_writable t f in
+  Sync.Rwlock.with_write f.r_ilock (fun () ->
+    if size > f.r_size then begin
+      (* grow with zero pages *)
+      let last_fpi = if size = 0 then -1 else (size - 1) / page_size in
+      match extend_file t f ~up_to_fpi:last_fpi with
+      | Error e -> Error e
+      | Ok () ->
+        zero_after_eof t f ~old_size:f.r_size ~upto:size;
+        f.r_size <- size;
+        Layout.write_size t.pmem ~actor:t.proc ~dentry_addr:f.r_addr size;
+        Ok ()
+    end
+    else begin
+      let keep_pages = if size = 0 then 0 else ((size - 1) / page_size) + 1 in
+      (* free the tail pages through the kernel *)
+      let to_free = ref [] in
+      for fpi = keep_pages to f.r_npages - 1 do
+        match Radix.find f.r_index fpi with
+        | Some pg ->
+          to_free := pg :: !to_free;
+          Radix.remove f.r_index fpi
+        | None -> ()
+      done;
+      (* zero the index entries (tail-first within each index page) *)
+      let rec zero_entries fpi =
+        if fpi >= keep_pages then begin
+          let ip_idx = fpi / Layout.index_entries in
+          let slot = fpi mod Layout.index_entries in
+          (match List.nth_opt f.r_index_pages ip_idx with
+          | Some ip -> Layout.write_index_entry t.pmem ~actor:t.proc ~page:ip slot 0
+          | None -> ());
+          zero_entries (fpi - 1)
+        end
+      in
+      zero_entries (f.r_npages - 1);
+      f.r_npages <- keep_pages;
+      f.r_index_tail <-
+        (match List.nth_opt f.r_index_pages (max 0 ((keep_pages - 1) / Layout.index_entries)) with
+        | Some ip when keep_pages > 0 -> ip
+        | _ -> (match f.r_index_pages with ip :: _ -> ip | [] -> 0));
+      f.r_index_used <- (if keep_pages = 0 then 0 else ((keep_pages - 1) mod Layout.index_entries) + 1);
+      f.r_size <- size;
+      Layout.write_size t.pmem ~actor:t.proc ~dentry_addr:f.r_addr size;
+      if !to_free <> [] then free_pages_lazily t !to_free;
+      Ok ()
+    end
+)
+
+(* ------------------------------------------------------------------ *)
+(* fd table *)
+
+let alloc_fd t =
+  let cpu = Sched.current_cpu () in
+  Sched.cpu_work Perf.Cpu.fd_alloc;
+  let n = t.fd_counters.(cpu) in
+  t.fd_counters.(cpu) <- n + 1;
+  (cpu * (1 lsl 20)) + n + 1
+
+(* Resolve a descriptor to live auxiliary state, surviving aux-state
+   drops after lease revocations (the dentry may also have moved if the
+   file was renamed: ask the kernel for the current address). *)
+let fd_file t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> Error EBADF
+  | Some s ->
+    (match Controller.dentry_addr_of t.ctl s.fd_ino with
+    | Some addr -> s.fd_addr <- addr
+    | None -> ());
+    get_file t ~ino:s.fd_ino ~addr:s.fd_addr
+
+(* ------------------------------------------------------------------ *)
+(* Public operations *)
+
+let stat_of_inode (inode : Layout.inode) =
+  {
+    st_ino = inode.Layout.ino;
+    st_ftype = inode.Layout.ftype;
+    st_mode = inode.Layout.mode;
+    st_uid = inode.Layout.uid;
+    st_gid = inode.Layout.gid;
+    st_size = inode.Layout.size;
+    st_mtime = float_of_int inode.Layout.mtime;
+    st_ctime = float_of_int inode.Layout.ctime;
+  }
+
+let op_create t path mode =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      let* r = create_entry t d name ~ftype:Reg ~mode in
+      (* the file is known empty: construct its auxiliary state directly
+         rather than re-reading the dentry we just wrote *)
+      let f =
+        {
+          r_ino = r.e_ino;
+          r_addr = r.e_addr;
+          r_size = 0;
+          r_index = Radix.create ();
+          r_index_pages = [];
+          r_index_tail = 0;
+          r_index_used = 0;
+          r_npages = 0;
+          r_ilock = Sync.Rwlock.create ();
+          r_range = Sync.Range_lock.create ();
+          r_write_mapped = true;
+        }
+      in
+      Hashtbl.replace t.files r.e_ino f;
+      let fd = alloc_fd t in
+      Hashtbl.replace t.fds fd { fd_ino = r.e_ino; fd_addr = r.e_addr; fd_flags = [ O_RDWR ] };
+      if t.unmap_after_write then unmap t d.d_ino;
+      Ok fd)
+
+let op_open t path flags =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      match lookup t d name with
+      | None ->
+        if List.mem O_CREAT flags then
+          let* r = create_entry t d name ~ftype:Reg ~mode:0o644 in
+          let* _f = get_file t ~ino:r.e_ino ~addr:r.e_addr in
+          let fd = alloc_fd t in
+          Hashtbl.replace t.fds fd { fd_ino = r.e_ino; fd_addr = r.e_addr; fd_flags = flags };
+          Ok fd
+        else Error ENOENT
+      | Some { e_ftype = Dir; _ } -> Error EISDIR
+      | Some r ->
+        let* f = get_file t ~ino:r.e_ino ~addr:r.e_addr in
+        let* () = if List.mem O_TRUNC flags then truncate_file t f ~size:0 else Ok () in
+        let fd = alloc_fd t in
+        Hashtbl.replace t.fds fd { fd_ino = r.e_ino; fd_addr = r.e_addr; fd_flags = flags };
+        Ok fd)
+
+let op_close t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> Error EBADF
+  | Some { fd_ino; _ } ->
+    Hashtbl.remove t.fds fd;
+    (match Hashtbl.find_opt t.files fd_ino with
+    | Some f when t.unmap_after_write && f.r_write_mapped -> unmap t fd_ino
+    | _ -> ());
+    Ok ()
+
+let op_pread t fd buf off =
+  with_retry t (fun () ->
+      let* f = fd_file t fd in
+      read_at t f ~buf ~off)
+
+let op_pwrite t fd buf off =
+  with_retry t (fun () ->
+      let* f = fd_file t fd in
+      let* n = write_at t f ~buf ~off in
+      if t.unmap_after_write then unmap t f.r_ino;
+      Ok n)
+
+let op_append t fd buf =
+  with_retry t (fun () ->
+      let* f = fd_file t fd in
+      (* serialize appends through the inode write lock via write_at's
+         extending path, using the current size as offset *)
+      let* n = write_at t f ~buf ~off:f.r_size in
+      if t.unmap_after_write then unmap t f.r_ino;
+      Ok n)
+
+let op_truncate t path size =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      match lookup t d name with
+      | None -> Error ENOENT
+      | Some { e_ftype = Dir; _ } -> Error EISDIR
+      | Some r ->
+        let* f = get_file t ~ino:r.e_ino ~addr:r.e_addr in
+        let* () = truncate_file t f ~size in
+        Ok ())
+
+let op_unlink t path =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      let* () = ensure_dir_writable t d in
+      let stripe = Htbl.stripe_of_key d.d_names name in
+      Sync.Rwlock.write_lock d.d_stripes.(stripe);
+      Sched.cpu_work Perf.Cpu.hash_lookup;
+      let result =
+        match Htbl.find d.d_names name with
+        | None -> Error ENOENT
+        | Some { e_ftype = Dir; _ } -> Error EISDIR
+        | Some r ->
+          Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
+          ignore (Htbl.remove d.d_names name);
+          Ok r
+      in
+      Sync.Rwlock.write_unlock d.d_stripes.(stripe);
+      match result with
+      | Error e -> Error e
+      | Ok r ->
+        let page = r.e_addr / page_size in
+        let slot = r.e_addr mod page_size / Layout.dentry_size in
+        release_slot d ~page ~slot;
+        bump_dir_size t d (-1);
+        (* free the file's pages *)
+        (if known_to_kernel t r.e_ino then
+           ignore (Controller.free_file_tree t.ctl ~proc:t.proc ~ino:r.e_ino)
+         else begin
+           (* a file this LibFS created and never shared: free the pages
+              we hold directly *)
+           match Hashtbl.find_opt t.files r.e_ino with
+           | Some f ->
+             let pages = f.r_index_pages @ Radix.fold f.r_index [] (fun acc _ pg -> pg :: acc) in
+             if pages <> [] then ignore (Controller.free_pages t.ctl ~proc:t.proc ~pages)
+           | None -> ()
+         end);
+        Hashtbl.remove t.files r.e_ino;
+        if t.unmap_after_write then unmap t d.d_ino;
+        Ok ())
+
+let op_mkdir t path mode =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      let* _r = create_entry t d name ~ftype:Dir ~mode in
+      if t.unmap_after_write then unmap t d.d_ino;
+      Ok ())
+
+let op_rmdir t path =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      let* () = ensure_dir_writable t d in
+      let stripe = Htbl.stripe_of_key d.d_names name in
+      Sync.Rwlock.write_lock d.d_stripes.(stripe);
+      let result =
+        match Htbl.find d.d_names name with
+        | None -> Error ENOENT
+        | Some { e_ftype = Reg; _ } -> Error ENOTDIR
+        | Some r -> (
+          (* the child must be empty *)
+          match get_dir t ~ino:r.e_ino ~addr:r.e_addr with
+          | Error e -> Error e
+          | Ok child ->
+            if Htbl.length child.d_names > 0 then Error ENOTEMPTY
+            else begin
+              Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
+              ignore (Htbl.remove d.d_names name);
+              Ok (r, child)
+            end)
+      in
+      Sync.Rwlock.write_unlock d.d_stripes.(stripe);
+      match result with
+      | Error e -> Error e
+      | Ok (r, child) ->
+        let page = r.e_addr / page_size in
+        let slot = r.e_addr mod page_size / Layout.dentry_size in
+        release_slot d ~page ~slot;
+        bump_dir_size t d (-1);
+        (if known_to_kernel t r.e_ino then begin
+           ignore (Controller.unmap_file t.ctl ~proc:t.proc ~ino:r.e_ino);
+           ignore (Controller.free_file_tree t.ctl ~proc:t.proc ~ino:r.e_ino)
+         end
+         else begin
+           let pages = child.d_index_pages @ child.d_data_pages in
+           if pages <> [] then ignore (Controller.free_pages t.ctl ~proc:t.proc ~pages)
+         end);
+        drop_aux t r.e_ino;
+        if t.unmap_after_write then unmap t d.d_ino;
+        Ok ())
+
+let op_readdir t path =
+  with_retry t (fun () ->
+      match split_path path with
+      | None -> Error EINVAL
+      | Some components ->
+        let* d = resolve_dir t components in
+        let entries =
+          Htbl.fold d.d_names [] (fun acc name r ->
+              Sched.cpu_work Perf.Cpu.hash_lookup;
+              { d_ino = r.e_ino; d_name = name; d_ftype = r.e_ftype } :: acc)
+        in
+        Ok entries)
+
+let op_stat t path =
+  with_retry t (fun () ->
+      match split_path path with
+      | None -> Error EINVAL
+      | Some [] ->
+        (* stat of the root *)
+        let* _ = get_root t in
+        (match Layout.read_dentry t.pmem ~actor:t.proc ~addr:Controller.root_dentry_addr with
+        | Some (Ok (inode, _)) -> Ok (stat_of_inode inode)
+        | _ -> Error EIO)
+      | Some _ ->
+        let* d, name = resolve_parent t path in
+        (match lookup t d name with
+        | None -> Error ENOENT
+        | Some r -> (
+          match Layout.read_dentry t.pmem ~actor:t.proc ~addr:r.e_addr with
+          | Some (Ok (inode, _)) -> Ok (stat_of_inode inode)
+          | _ -> Error EIO)))
+
+let op_chmod t path mode =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      match lookup t d name with
+      | None -> Error ENOENT
+      | Some r ->
+        if known_to_kernel t r.e_ino then Controller.chmod t.ctl ~proc:t.proc ~ino:r.e_ino ~mode
+        else begin
+          (* not yet ingested: update the cached inode; the shadow will be
+             established from it at the next verification *)
+          (match Layout.read_dentry t.pmem ~actor:t.proc ~addr:r.e_addr with
+          | Some (Ok (inode, _)) ->
+            Layout.write_perms t.pmem ~actor:t.proc ~dentry_addr:r.e_addr ~mode:(mode land 0o7777)
+              ~uid:inode.Layout.uid ~gid:inode.Layout.gid
+          | _ -> ());
+          Ok ()
+        end)
+
+(* Rename: the one multi-location metadata update; uses the undo journal
+   (paper §4.4). *)
+let op_rename t src dst =
+  with_retry t (fun () ->
+      let* sd, sname = resolve_parent t src in
+      let* dd, dname = resolve_parent t dst in
+      let* () = ensure_dir_writable t sd in
+      let* () = ensure_dir_writable t dd in
+      (* Fine-grained locking: write-lock only the two name stripes, in
+         a canonical (dir ino, stripe) order — renames of unrelated
+         names in the same (even shared) directory proceed in parallel;
+         no kernel-style global rename lock. *)
+      Sched.cpu_work Perf.Cpu.hash_lookup;
+      let s_stripe = Htbl.stripe_of_key sd.d_names sname in
+      let d_stripe = Htbl.stripe_of_key dd.d_names dname in
+      let locks =
+        List.sort_uniq compare [ (sd.d_ino, s_stripe); (dd.d_ino, d_stripe) ]
+        |> List.map (fun (ino, stripe) ->
+               let d = if ino = sd.d_ino then sd else dd in
+               d.d_stripes.(stripe))
+      in
+      List.iter Sync.Rwlock.write_lock locks;
+      let finish result =
+        List.iter Sync.Rwlock.write_unlock (List.rev locks);
+        result
+      in
+      match Htbl.find sd.d_names sname with
+      | None -> finish (Error ENOENT)
+      | Some _ when sd.d_ino = dd.d_ino && String.equal sname dname ->
+        finish (Ok ()) (* POSIX: renaming a file onto itself is a no-op *)
+      | Some src_ref -> (
+        match Htbl.find dd.d_names dname with
+        | Some { e_ftype = Dir; _ } -> finish (Error EEXIST)
+        | Some _ when src_ref.e_ftype = Dir -> finish (Error EEXIST)
+        | existing -> (
+          match claim_slot t dd with
+          | Error e -> finish (Error e)
+          | Ok (pg, slot) ->
+            let dst_addr = Layout.dentry_slot_addr pg slot in
+            (* undo-journal the blocks we are about to touch: the whole
+               source dentry (it is cleared), only the ino field of the
+               destination slot (it was free: undo = clear it again),
+               and the size fields when two directories are involved *)
+            let tx = Journal.begin_tx t.journal in
+            Journal.log t.journal tx ~addr:src_ref.e_addr ~len:Layout.dentry_size;
+            Journal.log t.journal tx ~addr:dst_addr ~len:8;
+            (match existing with
+            | Some er -> Journal.log t.journal tx ~addr:er.e_addr ~len:8
+            | None -> ());
+            if sd.d_ino <> dd.d_ino then begin
+              Journal.log t.journal tx ~addr:(sd.d_addr + Layout.off_size) ~len:8;
+              Journal.log t.journal tx ~addr:(dd.d_addr + Layout.off_size) ~len:8
+            end;
+            Journal.seal t.journal tx;
+            (* copy the dentry under the new name *)
+            (match Layout.read_dentry t.pmem ~actor:t.proc ~addr:src_ref.e_addr with
+            | Some (Ok (inode, _)) ->
+              Layout.write_dentry_atomic t.pmem ~actor:t.proc ~addr:dst_addr ~inode ~name:dname;
+              (* replace an existing destination *)
+              (match existing with
+              | Some er ->
+                Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:er.e_addr;
+                ignore (Htbl.remove dd.d_names dname);
+                let epage = er.e_addr / page_size in
+                let eslot = er.e_addr mod page_size / Layout.dentry_size in
+                release_slot dd ~page:epage ~slot:eslot;
+                (if known_to_kernel t er.e_ino then
+                   ignore (Controller.free_file_tree t.ctl ~proc:t.proc ~ino:er.e_ino));
+                Hashtbl.remove t.files er.e_ino
+              | None -> ());
+              Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:src_ref.e_addr;
+              Journal.commit t.journal tx;
+              (* auxiliary state *)
+              ignore (Htbl.remove sd.d_names sname);
+              let spage = src_ref.e_addr / page_size in
+              let sslot = src_ref.e_addr mod page_size / Layout.dentry_size in
+              release_slot sd ~page:spage ~slot:sslot;
+              Htbl.replace dd.d_names dname
+                { e_ino = src_ref.e_ino; e_addr = dst_addr; e_ftype = src_ref.e_ftype };
+              (* entry accounting: the source loses one entry; the
+                 destination gains one unless an existing entry was
+                 replaced.  Within one directory that nets to -1 on a
+                 replace and 0 otherwise. *)
+              let replaced = Option.is_some existing in
+              if sd.d_ino <> dd.d_ino then begin
+                bump_dir_size t sd (-1);
+                if not replaced then bump_dir_size t dd 1
+              end
+              else if replaced then bump_dir_size t sd (-1);
+              (* moved aux state must point at the new dentry *)
+              (match Hashtbl.find_opt t.files src_ref.e_ino with
+              | Some f -> f.r_addr <- dst_addr
+              | None -> ());
+              (match Hashtbl.find_opt t.dirs src_ref.e_ino with
+              | Some d -> d.d_addr <- dst_addr
+              | None -> ());
+              (* unmap destination first so the verifier sees the move
+                 before the source's deleted-child diff (DESIGN.md) *)
+              if t.unmap_after_write then begin
+                unmap t dd.d_ino;
+                if sd.d_ino <> dd.d_ino then unmap t sd.d_ino
+              end;
+              finish (Ok ())
+            | _ -> finish (Error EIO)))))
+
+(* Data and metadata are persisted synchronously (§4.4): fsync only has
+   to validate the descriptor. *)
+let op_fsync t fd =
+  match Hashtbl.find_opt t.fds fd with Some _ -> Ok () | None -> Error EBADF
+
+(* ------------------------------------------------------------------ *)
+(* Teardown / sharing helpers *)
+
+let unmap_everything t =
+  flush_free_backlog t;
+  Hashtbl.reset t.dirs;
+  Hashtbl.reset t.files;
+  Hashtbl.reset t.fds;
+  t.root <- None;
+  Controller.unmap_all t.ctl ~proc:t.proc
+
+let commit_file t path =
+  with_retry t (fun () ->
+      let* d, name = resolve_parent t path in
+      match lookup t d name with
+      | None -> Error ENOENT
+      | Some r -> Controller.commit t.ctl ~proc:t.proc ~ino:r.e_ino)
+
+(* Accessors for customized LibFSes (KVFS, FPFS) built on these
+   internals. *)
+let register_fd t fd (f : file_state) =
+  Hashtbl.replace t.fds fd { fd_ino = f.r_ino; fd_addr = f.r_addr; fd_flags = [ O_RDWR ] }
+
+let stat_dentry t (r : dentry_ref) =
+  match Layout.read_dentry t.pmem ~actor:t.proc ~addr:r.e_addr with
+  | Some (Ok (inode, _)) -> Ok (stat_of_inode inode)
+  | _ -> Error EIO
+
+let pmem_of t = t.pmem
+let proc_of t = t.proc
+let root_dir t = t.root
+let topo_of t = t.topo
+let cache_of t = t.cache
+let sched_of t = t.sched
+let stats_of t = t.stats
+let controller_of t = t.ctl
+
+(* The Fs_intf record for this LibFS. *)
+let ops t =
+  {
+    Trio_core.Fs_intf.fs_name = "arckfs";
+    create = (fun path mode -> op_create t path mode);
+    open_ = (fun path flags -> op_open t path flags);
+    close = (fun fd -> op_close t fd);
+    pread = (fun fd buf off -> op_pread t fd buf off);
+    pwrite = (fun fd buf off -> op_pwrite t fd buf off);
+    append = (fun fd buf -> op_append t fd buf);
+    truncate = (fun path size -> op_truncate t path size);
+    unlink = (fun path -> op_unlink t path);
+    mkdir = (fun path mode -> op_mkdir t path mode);
+    rmdir = (fun path -> op_rmdir t path);
+    readdir = (fun path -> op_readdir t path);
+    stat = (fun path -> op_stat t path);
+    rename = (fun src dst -> op_rename t src dst);
+    chmod = (fun path mode -> op_chmod t path mode);
+    fsync = (fun fd -> op_fsync t fd);
+  }

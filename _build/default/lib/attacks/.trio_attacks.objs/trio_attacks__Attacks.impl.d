@@ -1,0 +1,1 @@
+lib/attacks/attacks.ml: Arckfs Bytes Fmt Hashtbl List Option Printf String Trio_core Trio_nvm Trio_sim Trio_util Trio_workloads

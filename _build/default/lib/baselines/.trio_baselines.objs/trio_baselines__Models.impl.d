@@ -1,0 +1,1 @@
+lib/baselines/models.ml: Vfs

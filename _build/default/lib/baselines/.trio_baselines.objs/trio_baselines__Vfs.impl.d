@@ -1,0 +1,1 @@
+lib/baselines/vfs.ml: Arckfs Array Bytes Hashtbl List Result Trio_core Trio_nvm Trio_sim Trio_util

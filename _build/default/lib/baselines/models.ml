@@ -1,0 +1,160 @@
+(* Concrete cost models for the baseline file systems of the paper's
+   evaluation (§6.1).
+
+   Each record instantiates the Vfs engine with the architectural costs
+   of one system.  The constants are calibrated so that the *relations*
+   the paper reports hold (who wins, by what rough factor, where the
+   knees are); see EXPERIMENTS.md for the shape-by-shape comparison. *)
+
+open Vfs
+
+(* ext4 with DAX: mature journaling kernel FS.  The jbd2 journal is a
+   shared resource; fsync pays a transaction commit. *)
+let ext4 =
+  {
+    m_name = "ext4";
+    m_kernel_data = true;
+    m_kernel_meta = true;
+    m_meta_ipc = 0.0;
+    m_journal = J_global 900.0;
+    m_placement = P_node 0;
+    m_create_cpu = 2600.0;
+    m_unlink_cpu = 2200.0;
+    m_open_cpu = 1100.0;
+    m_stat_cpu = 700.0;
+    m_write_cpu = 900.0;
+    m_read_cpu = 650.0;
+    m_index_cpu_per_page = 120.0; (* extent tree *)
+    m_fsync_cost = 9000.0;
+    m_rename_cpu = 2400.0;
+  }
+
+(* ext4 over dm-stripe across all NVM nodes (§6.1 "ext4(RAID0)"). *)
+let ext4_raid0 = { ext4 with m_name = "ext4-raid0"; m_placement = P_striped }
+
+(* PMFS: Intel's early PM file system; fine-grained journaling but a
+   shared transaction path. *)
+let pmfs =
+  {
+    m_name = "pmfs";
+    m_kernel_data = true;
+    m_kernel_meta = true;
+    m_meta_ipc = 0.0;
+    m_journal = J_global 450.0;
+    m_placement = P_node 0;
+    m_create_cpu = 2000.0;
+    m_unlink_cpu = 1900.0;
+    m_open_cpu = 800.0;
+    m_stat_cpu = 500.0;
+    m_write_cpu = 500.0;
+    m_read_cpu = 420.0;
+    m_index_cpu_per_page = 60.0;
+    m_fsync_cost = 200.0;
+    m_rename_cpu = 1600.0;
+  }
+
+(* NOVA: log-structured per-inode metadata, DRAM radix indexes. *)
+let nova =
+  {
+    m_name = "nova";
+    m_kernel_data = true;
+    m_kernel_meta = true;
+    m_meta_ipc = 0.0;
+    m_journal = J_per_inode 280.0;
+    m_placement = P_node 0;
+    m_create_cpu = 1750.0;
+    m_unlink_cpu = 1600.0;
+    m_open_cpu = 700.0;
+    m_stat_cpu = 450.0;
+    m_write_cpu = 430.0;
+    m_read_cpu = 380.0;
+    m_index_cpu_per_page = 55.0; (* radix tree walk *)
+    m_fsync_cost = 120.0;
+    m_rename_cpu = 1500.0;
+  }
+
+(* WineFS: hugepage-aware allocator, per-CPU journals. *)
+let winefs =
+  {
+    m_name = "winefs";
+    m_kernel_data = true;
+    m_kernel_meta = true;
+    m_meta_ipc = 0.0;
+    m_journal = J_per_cpu 240.0;
+    m_placement = P_node 0;
+    m_create_cpu = 1600.0;
+    m_unlink_cpu = 1450.0;
+    m_open_cpu = 700.0;
+    m_stat_cpu = 450.0;
+    m_write_cpu = 440.0;
+    m_read_cpu = 380.0;
+    m_index_cpu_per_page = 40.0; (* hugepage extents *)
+    m_fsync_cost = 120.0;
+    m_rename_cpu = 1400.0;
+  }
+
+(* OdinFS: NOVA/WineFS-style metadata plus opportunistic delegation for
+   the data path.  Requires the machine-wide delegation engine. *)
+let odinfs ~delegation =
+  {
+    m_name = "odinfs";
+    m_kernel_data = true;
+    m_kernel_meta = true;
+    m_meta_ipc = 0.0;
+    m_journal = J_per_cpu 240.0;
+    m_placement = P_delegated delegation;
+    m_create_cpu = 1650.0;
+    m_unlink_cpu = 1500.0;
+    m_open_cpu = 700.0;
+    m_stat_cpu = 450.0;
+    m_write_cpu = 450.0;
+    m_read_cpu = 390.0;
+    m_index_cpu_per_page = 45.0;
+    m_fsync_cost = 120.0;
+    m_rename_cpu = 1450.0;
+  }
+
+(* SplitFS: data operations run in userspace over mmapped ext4 files (no
+   trap); metadata operations pass through to ext4, plus the relink
+   bookkeeping. *)
+let splitfs =
+  {
+    ext4 with
+    m_name = "splitfs";
+    m_kernel_data = false;
+    m_write_cpu = 420.0;
+    m_read_cpu = 450.0;
+    m_index_cpu_per_page = 70.0;
+    m_create_cpu = 3100.0; (* ext4 create + staging-file bookkeeping *)
+    m_fsync_cost = 2500.0; (* relink *)
+  }
+
+(* Strata: userspace LibFS appends data and metadata to a per-process
+   NVM log; a trusted KernFS digests the log in the background (charged
+   as write amplification) and handles leases over IPC. *)
+let strata =
+  {
+    m_name = "strata";
+    m_kernel_data = false;
+    m_kernel_meta = false;
+    m_meta_ipc = 1800.0; (* lease/metadata RPC to KernFS, amortized *)
+    m_journal = J_log_digest { log_bytes = 256; digest_factor = 1.0 };
+    m_placement = P_node 0;
+    m_create_cpu = 2100.0; (* log append + digestion accounting (44.5% of create) *)
+    m_unlink_cpu = 1800.0;
+    m_open_cpu = 900.0;
+    m_stat_cpu = 600.0;
+    m_write_cpu = 350.0;
+    m_read_cpu = 800.0; (* reads must search the update log first *)
+    m_index_cpu_per_page = 90.0;
+    m_fsync_cost = 400.0;
+    m_rename_cpu = 2000.0;
+  }
+
+let all ~delegation =
+  [ ext4; ext4_raid0; pmfs; nova; winefs; odinfs ~delegation; splitfs; strata ]
+
+(* Build a mounted instance. *)
+let mount ~sched ~pmem ?store_data model =
+  let t = Vfs.create ~sched ~pmem ~model ?store_data () in
+  Vfs.ops t

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Bytes Fs_types Fun Hashtbl Layout List Mmu Option Printf Queue Trio_nvm Trio_sim Trio_util Verifier

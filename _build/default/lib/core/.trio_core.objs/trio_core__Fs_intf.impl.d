@@ -1,0 +1,1 @@
+lib/core/fs_intf.ml: Bytes Fs_types Result

@@ -1,0 +1,1 @@
+lib/core/fs_types.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Array Bytes Char Fs_types Int32 Int64 Printf String Trio_nvm

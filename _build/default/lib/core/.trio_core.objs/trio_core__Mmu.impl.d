@@ -1,0 +1,1 @@
+lib/core/mmu.ml: Hashtbl List Trio_nvm Trio_sim

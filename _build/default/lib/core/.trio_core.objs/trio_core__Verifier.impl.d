@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Array Bytes Fmt Fs_types Hashtbl Layout List Printf Trio_nvm Trio_sim

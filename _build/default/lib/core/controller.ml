@@ -1,0 +1,1054 @@
+(* The in-kernel access controller (paper §3.2, §4.3).
+
+   The controller is the only component that:
+   - allocates/frees NVM pages and inode numbers (in batches, so the
+     LibFS fast path stays in userspace);
+   - programs the MMU (map/unmap of a file's core-state pages);
+   - maintains the global file system information used by check I2
+     (which pages/inodes are in files, which are allocated to which
+     LibFS);
+   - maintains the shadow inode table (ground-truth permissions, I4);
+   - checkpoints a file's metadata before granting write access and
+     rolls back to it when verification fails (§4.3);
+   - enforces leases so a LibFS cannot hold a file forever.
+
+   It never performs metadata updates on behalf of a LibFS: LibFSes
+   write dentries/index pages directly, and new files are discovered
+   and ingested when the enclosing directory is verified. *)
+
+module Pmem = Trio_nvm.Pmem
+module Perf = Trio_nvm.Perf
+module Numa = Trio_nvm.Numa
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+module Extent_alloc = Trio_util.Extent_alloc
+open Fs_types
+
+type page_owner = Verifier.page_owner = Free | Allocated_to of int | In_file of int
+
+type ino_owner = Verifier.ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+
+type checkpoint = {
+  ck_dentry : Bytes.t; (* snapshot of the file's dentry block *)
+  ck_pages : (int * Bytes.t) list; (* metadata pages: index (+ data for dirs) *)
+  ck_children : int list; (* dir only: live child inos *)
+  ck_size : int;
+  ck_index_head : int;
+}
+
+type file_info = {
+  f_ino : int;
+  mutable f_dentry_addr : int;
+  mutable f_parent : int; (* parent directory ino; root points to itself *)
+  mutable f_ftype : ftype;
+  mutable f_index_pages : int list;
+  mutable f_data_pages : int list;
+  mutable f_readers : (int, unit) Hashtbl.t; (* proc -> () *)
+  mutable f_writer : int option;
+  mutable f_lease_expire : float;
+  mutable f_checkpoint : checkpoint option;
+  mutable f_waiters : Sched.waker Queue.t;
+  mutable f_quarantined_for : int option; (* corrupt: only this proc may map *)
+}
+
+type proc_info = {
+  p_id : int;
+  p_cred : cred;
+  p_group : int;
+  mutable p_fix : (int -> bool) option; (* LibFS corruption-fix callback *)
+  mutable p_recovery : (unit -> unit) option; (* LibFS crash-recovery program *)
+  mutable p_pages : (int, unit) Hashtbl.t; (* pages Allocated_to this proc *)
+  mutable p_inos : (int, unit) Hashtbl.t; (* inos Ino_allocated_to this proc *)
+  mutable p_mapped : (int, unit) Hashtbl.t; (* inos this proc has mapped *)
+}
+
+type t = {
+  sched : Sched.t;
+  pmem : Pmem.t;
+  mmu : Mmu.t;
+  topo : Numa.t;
+  lease_ns : float;
+  node_allocs : Extent_alloc.t array;
+  mutable next_ino : int;
+  page_owner : (int, page_owner) Hashtbl.t; (* absent = Free *)
+  ino_owner : (int, ino_owner) Hashtbl.t;
+  shadow : (int, Verifier.shadow) Hashtbl.t;
+  files : (int, file_info) Hashtbl.t;
+  procs : (int, proc_info) Hashtbl.t;
+  stats : Stats.t;
+  mutable corruption_events : (int * int * Verifier.violation list) list;
+      (* (proc, ino, violations) log, most recent first *)
+  mutable quarantine : (int * int) list; (* (proc, quarantine ino) *)
+}
+
+let page_size = Layout.page_size
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let owner_of t page = Option.value (Hashtbl.find_opt t.page_owner page) ~default:Free
+
+let ino_owner_of t ino = Option.value (Hashtbl.find_opt t.ino_owner ino) ~default:Ino_free
+
+let create ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
+  let topo = Pmem.topo pmem in
+  let pages_per_node = Pmem.pages_per_node pmem in
+  let node_allocs =
+    Array.init (Numa.nodes topo) (fun n ->
+        (* Node 0 loses its first pages to the superblock and the root
+           dentry page. *)
+        if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
+        else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
+  in
+  let t =
+    {
+      sched;
+      pmem;
+      mmu;
+      topo;
+      lease_ns;
+      node_allocs;
+      next_ino = Layout.root_ino + 1;
+      page_owner = Hashtbl.create 4096;
+      ino_owner = Hashtbl.create 1024;
+      shadow = Hashtbl.create 1024;
+      files = Hashtbl.create 1024;
+      procs = Hashtbl.create 16;
+      stats = Stats.create ();
+      corruption_events = [];
+      quarantine = [];
+    }
+  in
+  Layout.mkfs pmem ~total_pages:(Pmem.total_pages pmem);
+  Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
+  Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
+  Hashtbl.replace t.ino_owner Layout.root_ino (Ino_in_dir Layout.root_ino);
+  Hashtbl.replace t.shadow Layout.root_ino
+    { Verifier.s_ftype = Dir; s_mode = 0o777; s_uid = 0; s_gid = 0 };
+  let root =
+    {
+      f_ino = Layout.root_ino;
+      f_dentry_addr = Layout.root_dentry_addr;
+      f_parent = Layout.root_ino;
+      f_ftype = Dir;
+      f_index_pages = [];
+      f_data_pages = [];
+      f_readers = Hashtbl.create 8;
+      f_writer = None;
+      f_lease_expire = 0.0;
+      f_checkpoint = None;
+      f_waiters = Queue.create ();
+      f_quarantined_for = None;
+    }
+  in
+  Hashtbl.replace t.files Layout.root_ino root;
+  t
+
+let stats t = t.stats
+let sched t = t.sched
+let pmem t = t.pmem
+let root_ino = Layout.root_ino
+let root_dentry_addr = Layout.root_dentry_addr
+let corruption_events t = t.corruption_events
+let quarantined_files t = t.quarantine
+
+let register_process t ~proc ~cred ?group ?fix ?recovery () =
+  if proc = Pmem.kernel_actor then invalid_arg "Controller.register_process: reserved id";
+  let info =
+    {
+      p_id = proc;
+      p_cred = cred;
+      p_group = Option.value group ~default:proc;
+      p_fix = fix;
+      p_recovery = recovery;
+      p_pages = Hashtbl.create 64;
+      p_inos = Hashtbl.create 64;
+      p_mapped = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace t.procs proc info;
+  (* Every process can read the superblock and the root dentry page. *)
+  Mmu.grant_free t.mmu ~actor:proc ~pages:[ 0; Layout.root_dentry_page ] ~perm:Mmu.P_read
+
+let proc_info t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Controller: unregistered process %d" proc)
+
+let group_of t proc = (proc_info t proc).p_group
+
+let file_info t ino = Hashtbl.find_opt t.files ino
+
+(* ------------------------------------------------------------------ *)
+(* Resource allocation (batched kernel calls) *)
+
+let node_of_cpu t cpu = Numa.node_of_cpu t.topo cpu
+
+let alloc_pages t ~proc ~node ~count ~kind =
+  Sched.cpu_work Perf.Cpu.syscall;
+  let p = proc_info t proc in
+  match Extent_alloc.alloc t.node_allocs.(node) count with
+  | exception Extent_alloc.Out_of_space -> (
+    (* fall back to any node with space *)
+    let rec try_nodes n =
+      if n >= Array.length t.node_allocs then Error ENOSPC
+      else
+        match Extent_alloc.alloc t.node_allocs.(n) count with
+        | exception Extent_alloc.Out_of_space -> try_nodes (n + 1)
+        | start -> Ok start
+    in
+    match try_nodes 0 with
+    | Error e -> Error e
+    | Ok start ->
+      let pages = List.init count (fun i -> start + i) in
+      List.iter
+        (fun pg ->
+          Hashtbl.replace t.page_owner pg (Allocated_to proc);
+          Hashtbl.replace p.p_pages pg ();
+          Pmem.set_kind t.pmem pg kind)
+        pages;
+      Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
+      Ok pages)
+  | start ->
+    let pages = List.init count (fun i -> start + i) in
+    List.iter
+      (fun pg ->
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace p.p_pages pg ();
+        Pmem.set_kind t.pmem pg kind)
+      pages;
+    Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
+    Ok pages
+
+(* Scan a directory data page for live entries; the controller refuses to
+   free non-empty directory pages, which is what lets the verifier's I3
+   deleted-directory check work (see DESIGN.md §4.4). *)
+let dir_page_is_empty t pg =
+  let b = Pmem.read t.pmem ~actor:Pmem.kernel_actor ~addr:(pg * page_size) ~len:page_size in
+  let live = ref false in
+  for slot = 0 to Layout.dentries_per_page - 1 do
+    if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then live := true
+  done;
+  not !live
+
+let free_pages t ~proc ~pages =
+  Sched.cpu_work Perf.Cpu.syscall;
+  let p = proc_info t proc in
+  let check pg =
+    match owner_of t pg with
+    | Allocated_to q when q = proc -> Ok ()
+    | In_file ino -> (
+      match Hashtbl.find_opt t.files ino with
+      | Some f when f.f_writer = Some proc || (Option.is_some f.f_writer && group_of t (Option.get f.f_writer) = group_of t proc) ->
+        (* Freeing a directory data page requires it to be empty. *)
+        if
+          f.f_ftype = Dir
+          && List.mem pg f.f_data_pages
+          && not (dir_page_is_empty t pg)
+        then Error EACCES
+        else Ok ()
+      | _ -> Error EACCES)
+    | Allocated_to _ | Free -> Error EACCES
+  in
+  let rec validate = function
+    | [] -> Ok ()
+    | pg :: rest -> ( match check pg with Ok () -> validate rest | Error e -> Error e)
+  in
+  match validate pages with
+  | Error e -> Error e
+  | Ok () ->
+    List.iter
+      (fun pg ->
+        (match owner_of t pg with
+        | In_file ino -> (
+          match Hashtbl.find_opt t.files ino with
+          | Some f ->
+            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+          | None -> ())
+        | _ -> ());
+        Hashtbl.remove t.page_owner pg;
+        Hashtbl.remove p.p_pages pg;
+        Pmem.discard_page t.pmem pg;
+        let node = pg / Pmem.pages_per_node t.pmem in
+        Extent_alloc.free t.node_allocs.(node) pg 1)
+      pages;
+    Sched.delay (Perf.Cpu.page_table_op *. float_of_int (List.length pages));
+    Mmu.revoke_everyone_on_pages t.mmu ~pages;
+    Ok ()
+
+(* Return pages of a write-mapped file to the calling process'
+   allocation pool *without* touching the MMU: the LibFS keeps its
+   existing access and reuses the pages directly (the fast truncate /
+   rewrite path; the ownership change is what keeps check I2 sound). *)
+let recycle_pages t ~proc ~pages =
+  Sched.cpu_work Perf.Cpu.syscall;
+  let p = proc_info t proc in
+  let my_group = group_of t proc in
+  let check pg =
+    match owner_of t pg with
+    | Allocated_to q when q = proc -> true
+    | In_file ino -> (
+      match Hashtbl.find_opt t.files ino with
+      | Some f -> (
+        match f.f_writer with
+        | Some w -> (w = proc || group_of t w = my_group)
+                    && not (f.f_ftype = Dir && List.mem pg f.f_data_pages)
+        | None -> false)
+      | None -> false)
+    | Allocated_to _ | Free -> false
+  in
+  if not (List.for_all check pages) then Error EACCES
+  else begin
+    List.iter
+      (fun pg ->
+        (match owner_of t pg with
+        | In_file ino -> (
+          match Hashtbl.find_opt t.files ino with
+          | Some f ->
+            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+          | None -> ())
+        | _ -> ());
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace p.p_pages pg ())
+      pages;
+    Ok ()
+  end
+
+let alloc_inos t ~proc ~count =
+  Sched.cpu_work Perf.Cpu.syscall;
+  let p = proc_info t proc in
+  let inos = List.init count (fun i -> t.next_ino + i) in
+  t.next_ino <- t.next_ino + count;
+  List.iter
+    (fun ino ->
+      Hashtbl.replace t.ino_owner ino (Ino_allocated_to proc);
+      Hashtbl.replace p.p_inos ino ())
+    inos;
+  inos
+
+(* ------------------------------------------------------------------ *)
+(* Verifier view *)
+
+let view t =
+  {
+    Verifier.pmem = t.pmem;
+    total_pages = Pmem.total_pages t.pmem;
+    page_owner = (fun pg -> owner_of t pg);
+    ino_owner = (fun ino -> ino_owner_of t ino);
+    shadow = (fun ino -> Hashtbl.find_opt t.shadow ino);
+    checkpoint_children =
+      (fun ino ->
+        match Hashtbl.find_opt t.files ino with
+        | Some { f_checkpoint = Some ck; _ } -> Some ck.ck_children
+        | _ -> None);
+    is_mapped_elsewhere =
+      (fun ~ino ~proc ->
+        match Hashtbl.find_opt t.files ino with
+        | None -> false
+        | Some f ->
+          (match f.f_writer with Some w when w <> proc -> true | _ -> false)
+          || Hashtbl.fold (fun r () acc -> acc || r <> proc) f.f_readers false);
+    write_mapped_by_other =
+      (fun ~ino ~proc ->
+        match Hashtbl.find_opt t.files ino with
+        | Some { f_writer = Some w; _ } -> w <> proc
+        | _ -> false);
+    pages_attributed_to =
+      (fun ino ->
+        match Hashtbl.find_opt t.files ino with
+        | None -> []
+        | Some f -> f.f_index_pages @ f.f_data_pages);
+    dir_write_mapped_by =
+      (fun ~dir ~proc ->
+        match Hashtbl.find_opt t.files dir with
+        | Some { f_writer = Some w; _ } -> w = proc
+        | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Mapping bookkeeping helpers *)
+
+let file_pages f = (f.f_dentry_addr / page_size) :: (f.f_index_pages @ f.f_data_pages)
+
+(* Walk a file's on-NVM page tree with kernel reads.  Used at map time to
+   find what to grant and at ingestion to attribute pages. *)
+let walk_file t ~ino:_ ~dentry_addr =
+  let actor = Pmem.kernel_actor in
+  match Layout.read_dentry t.pmem ~actor ~addr:dentry_addr with
+  | None | Some (Error _) -> None
+  | Some (Ok (inode, _name)) ->
+    let index_pages = ref [] and data_pages = ref [] in
+    let result =
+      Layout.walk_index_chain t.pmem ~actor ~head:inode.Layout.index_head
+        ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next:_ ->
+          index_pages := index_page :: !index_pages;
+          Array.iter (fun e -> if e <> 0 then data_pages := e :: !data_pages) entries)
+    in
+    (match result with Ok () -> () | Error _ -> ());
+    Some (inode, List.rev !index_pages, List.rev !data_pages)
+
+let take_checkpoint t f =
+  let actor = Pmem.kernel_actor in
+  let dentry = Pmem.read t.pmem ~actor ~addr:f.f_dentry_addr ~len:Layout.dentry_size in
+  let meta_pages =
+    match f.f_ftype with
+    | Reg -> f.f_index_pages
+    | Dir -> f.f_index_pages @ f.f_data_pages
+  in
+  let ck_pages =
+    List.map
+      (fun pg -> (pg, Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size))
+      meta_pages
+  in
+  let children =
+    if f.f_ftype = Dir then
+      List.concat_map
+        (fun pg ->
+          let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+          List.filter_map
+            (fun slot ->
+              let ino = Layout.get_u64 b (slot * Layout.dentry_size) in
+              if ino = 0 then None else Some ino)
+            (List.init Layout.dentries_per_page Fun.id))
+        f.f_data_pages
+    else []
+  in
+  let inode =
+    match Layout.decode_dentry dentry with
+    | Some (Ok (inode, _)) -> inode
+    | _ -> (* unreadable dentry: checkpoint what we can *)
+      {
+        Layout.ino = f.f_ino;
+        ftype = f.f_ftype;
+        mode = 0;
+        uid = 0;
+        gid = 0;
+        size = 0;
+        index_head = 0;
+        mtime = 0;
+        ctime = 0;
+      }
+  in
+  f.f_checkpoint <-
+    Some
+      {
+        ck_dentry = dentry;
+        ck_pages;
+        ck_children = children;
+        ck_size = inode.Layout.size;
+        ck_index_head = inode.Layout.index_head;
+      }
+
+(* Restore a file's metadata to its checkpoint: the corruption-recovery
+   policy of §4.3.  Pages referenced now but not at checkpoint time fall
+   back to the offending process' allocation pool. *)
+let rollback_to_checkpoint t f ~offender =
+  match f.f_checkpoint with
+  | None -> ()
+  | Some ck ->
+    let actor = Pmem.kernel_actor in
+    Pmem.write t.pmem ~actor ~addr:f.f_dentry_addr ~src:ck.ck_dentry;
+    Pmem.persist t.pmem ~addr:f.f_dentry_addr ~len:Layout.dentry_size;
+    List.iter
+      (fun (pg, snapshot) ->
+        Pmem.write t.pmem ~actor ~addr:(pg * page_size) ~src:snapshot;
+        Pmem.persist t.pmem ~addr:(pg * page_size) ~len:page_size)
+      ck.ck_pages;
+    (* Pages added since the checkpoint return to the offender. *)
+    let ck_set = List.map fst ck.ck_pages in
+    let offender_info = proc_info t offender in
+    List.iter
+      (fun pg ->
+        if not (List.mem pg ck_set) then begin
+          Hashtbl.replace t.page_owner pg (Allocated_to offender);
+          Hashtbl.replace offender_info.p_pages pg ()
+        end)
+      (f.f_index_pages @ f.f_data_pages);
+    (* Recompute attribution by re-walking the restored metadata. *)
+    (match walk_file t ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr with
+    | Some (_inode, index_pages, data_pages) ->
+      f.f_index_pages <- index_pages;
+      f.f_data_pages <- data_pages;
+      List.iter
+        (fun pg ->
+          Hashtbl.replace t.page_owner pg (In_file f.f_ino);
+          Hashtbl.remove offender_info.p_pages pg)
+        (index_pages @ data_pages)
+    | None -> ())
+
+(* Preserve the offender's corrupted bytes as a private quarantine file so
+   no data is silently lost (§4.3). *)
+let quarantine_copy t f ~offender =
+  let actor = Pmem.kernel_actor in
+  let pages = f.f_index_pages @ f.f_data_pages in
+  let qino = List.hd (alloc_inos t ~proc:offender ~count:1) in
+  (* Copy every current page into fresh pages owned by the offender. *)
+  List.iter
+    (fun pg ->
+      let node = pg / Pmem.pages_per_node t.pmem in
+      match alloc_pages t ~proc:offender ~node ~count:1 ~kind:(Pmem.kind_of t.pmem pg) with
+      | Ok [ dst ] ->
+        let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+        Pmem.write t.pmem ~actor ~addr:(dst * page_size) ~src:b;
+        Pmem.persist t.pmem ~addr:(dst * page_size) ~len:page_size
+      | _ -> ())
+    pages;
+  t.quarantine <- (offender, qino) :: t.quarantine
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion: after a successful verification, reconcile global info *)
+
+let cred_of_proc t proc = (proc_info t proc).p_cred
+
+let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
+  let pinfo = proc_info t proc in
+  (* Page attribution: everything the walk saw becomes In_file; pages that
+     left the file (truncate without free) return to the proc. *)
+  let new_pages = report.Verifier.index_pages @ report.Verifier.data_pages in
+  let old_pages = f.f_index_pages @ f.f_data_pages in
+  List.iter
+    (fun pg ->
+      if not (List.mem pg new_pages) then begin
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace pinfo.p_pages pg ()
+      end)
+    old_pages;
+  List.iter
+    (fun pg ->
+      Hashtbl.replace t.page_owner pg (In_file f.f_ino);
+      Hashtbl.remove pinfo.p_pages pg)
+    new_pages;
+  f.f_index_pages <- report.Verifier.index_pages;
+  f.f_data_pages <- report.Verifier.data_pages;
+  (* Once pages belong to a file the creator no longer holds write-mapped,
+     its allocation-time grants must go: otherwise it would retain access
+     after the handoff, defeating the exclusive-write policy. *)
+  if f.f_writer <> Some proc then
+    Mmu.revoke_free t.mmu ~actor:proc ~pages:new_pages ~perm:Mmu.P_readwrite;
+  (* Children: ingest newly created files, update moved dentries. *)
+  List.iter
+    (fun (c : Verifier.child) ->
+      match ino_owner_of t c.Verifier.c_ino with
+      | Ino_allocated_to p when p = proc ->
+        (* Fresh file: establish the shadow inode with the creator's
+           credentials as ground truth. *)
+        let cred = cred_of_proc t proc in
+        let mode =
+          match Layout.read_dentry t.pmem ~actor:Pmem.kernel_actor ~addr:c.Verifier.c_dentry_addr with
+          | Some (Ok (inode, _)) -> inode.Layout.mode land 0o7777
+          | _ -> 0o644
+        in
+        Hashtbl.replace t.shadow c.Verifier.c_ino
+          { Verifier.s_ftype = c.Verifier.c_ftype; s_mode = mode; s_uid = cred.uid; s_gid = cred.gid };
+        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
+        Hashtbl.remove pinfo.p_inos c.Verifier.c_ino;
+        let child_file =
+          {
+            f_ino = c.Verifier.c_ino;
+            f_dentry_addr = c.Verifier.c_dentry_addr;
+            f_parent = f.f_ino;
+            f_ftype = c.Verifier.c_ftype;
+            f_index_pages = [];
+            f_data_pages = [];
+            f_readers = Hashtbl.create 4;
+            f_writer = None;
+            f_lease_expire = 0.0;
+            f_checkpoint = None;
+            f_waiters = Queue.create ();
+            f_quarantined_for = None;
+          }
+        in
+        Hashtbl.replace t.files c.Verifier.c_ino child_file;
+        (* Recursively verify and ingest the fresh subtree. *)
+        let child_report =
+          Verifier.check_file (view t) ~proc ~ino:c.Verifier.c_ino
+            ~dentry_addr:c.Verifier.c_dentry_addr
+        in
+        if child_report.Verifier.ok then ingest_verified t ~proc ~f:child_file child_report
+        else begin
+          t.corruption_events <-
+            (proc, c.Verifier.c_ino, child_report.Verifier.violations) :: t.corruption_events;
+          (* A fresh file that fails verification is simply not ingested:
+             remove its dentry so the namespace stays consistent. *)
+          Layout.clear_dentry_atomic t.pmem ~actor:Pmem.kernel_actor
+            ~addr:c.Verifier.c_dentry_addr;
+          Hashtbl.remove t.files c.Verifier.c_ino;
+          Hashtbl.remove t.shadow c.Verifier.c_ino;
+          Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_allocated_to proc)
+        end
+      | Ino_in_dir parent when parent = f.f_ino -> (
+        (* Existing child: its dentry may have moved within the dir. *)
+        match Hashtbl.find_opt t.files c.Verifier.c_ino with
+        | Some cf -> cf.f_dentry_addr <- c.Verifier.c_dentry_addr
+        | None -> ())
+      | Ino_in_dir _other -> (
+        (* Cross-directory move (rename): accept, since the verifier
+           only lets this through when the source is write-mapped by
+           the same process. *)
+        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
+        match Hashtbl.find_opt t.files c.Verifier.c_ino with
+        | Some cf ->
+          cf.f_dentry_addr <- c.Verifier.c_dentry_addr;
+          cf.f_parent <- f.f_ino
+        | None -> ())
+      | Ino_allocated_to _ | Ino_free -> ())
+    report.Verifier.children;
+  (* Deleted children: reclaim regular-file pages, drop records. *)
+  List.iter
+    (fun dino ->
+      match ino_owner_of t dino with
+      | Ino_in_dir parent when parent = f.f_ino -> (
+        match Hashtbl.find_opt t.files dino with
+        | Some df ->
+          List.iter
+            (fun pg ->
+              Hashtbl.remove t.page_owner pg;
+              Pmem.discard_page t.pmem pg;
+              let node = pg / Pmem.pages_per_node t.pmem in
+              Extent_alloc.free t.node_allocs.(node) pg 1)
+            (df.f_index_pages @ df.f_data_pages);
+          Hashtbl.remove t.files dino;
+          Hashtbl.remove t.shadow dino;
+          Hashtbl.remove t.ino_owner dino
+        | None ->
+          Hashtbl.remove t.shadow dino;
+          Hashtbl.remove t.ino_owner dino)
+      | _ -> () (* moved elsewhere: nothing to reclaim *))
+    report.Verifier.deleted_children
+
+(* ------------------------------------------------------------------ *)
+(* Verification driver (runs on unmap of a write mapping) *)
+
+let verify_file t ~proc ~(f : file_info) =
+  let report =
+    Stats.timed t.stats t.sched "verify" (fun () ->
+        Verifier.check_file (view t) ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
+  in
+  if report.Verifier.ok then begin
+    (* ingestion recursively verifies freshly created children, so its
+       time also counts as verification *)
+    Stats.timed t.stats t.sched "verify" (fun () -> ingest_verified t ~proc ~f report);
+    true
+  end
+  else begin
+    t.corruption_events <- (proc, f.f_ino, report.Verifier.violations) :: t.corruption_events;
+    (* Give the LibFS a chance to fix its own corruption (with the fix
+       budget modeled by the callback's own virtual time), then re-check. *)
+    let fixed =
+      match (proc_info t proc).p_fix with
+      | Some fix_fn -> (
+        match fix_fn f.f_ino with
+        | true ->
+          let retry =
+            Verifier.check_file (view t) ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr
+          in
+          if retry.Verifier.ok then begin
+            ingest_verified t ~proc ~f retry;
+            true
+          end
+          else false
+        | false -> false
+        | exception _ -> false)
+      | None -> false
+    in
+    if not fixed then begin
+      (* Preserve the offender's bytes, then roll the file back. *)
+      quarantine_copy t f ~offender:proc;
+      rollback_to_checkpoint t f ~offender:proc;
+      f.f_quarantined_for <- None
+    end;
+    fixed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Map / unmap *)
+
+let wake_all f =
+  while not (Queue.is_empty f.f_waiters) do
+    (Queue.pop f.f_waiters) ()
+  done
+
+let revoke_mapping t ~proc ~(f : file_info) ~was_writer =
+  let pages = file_pages f in
+  let perm = if was_writer then Mmu.P_readwrite else Mmu.P_read in
+  Stats.timed t.stats t.sched "unmap" (fun () -> Mmu.revoke t.mmu ~actor:proc ~pages ~perm);
+  Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
+  if was_writer then begin
+    f.f_writer <- None;
+    ignore (verify_file t ~proc ~f)
+  end
+  else Hashtbl.remove f.f_readers proc;
+  wake_all f
+
+let unmap_file t ~proc ~ino =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f ->
+    if f.f_writer = Some proc then begin
+      revoke_mapping t ~proc ~f ~was_writer:true;
+      Ok ()
+    end
+    else if Hashtbl.mem f.f_readers proc then begin
+      revoke_mapping t ~proc ~f ~was_writer:false;
+      Ok ()
+    end
+    else Error EBADF
+
+(* Force-unmap the current holder(s) after lease expiry; charged to the
+   fiber that requests the conflicting access. *)
+let force_unmap_holders t ~(f : file_info) ~for_writer =
+  (match f.f_writer with
+  | Some holder -> revoke_mapping t ~proc:holder ~f ~was_writer:true
+  | None -> ());
+  if for_writer then
+    Hashtbl.iter (fun r () -> revoke_mapping t ~proc:r ~f ~was_writer:false)
+      (Hashtbl.copy f.f_readers)
+
+let conflicts t ~proc ~(f : file_info) ~write =
+  let my_group = group_of t proc in
+  let writer_conflict =
+    match f.f_writer with
+    | None -> false
+    | Some w -> w <> proc && group_of t w <> my_group
+  in
+  if write then
+    writer_conflict
+    || Hashtbl.fold
+         (fun r () acc -> acc || (r <> proc && group_of t r <> my_group))
+         f.f_readers false
+  else writer_conflict
+
+let rec wait_for_access t ~proc ~(f : file_info) ~write =
+  if conflicts t ~proc ~f ~write then begin
+    (* Readers are revoked immediately for a writer: a read mapping
+       needs no verification on teardown, and the reader transparently
+       re-maps on its next access.  Leases only protect writers, whose
+       handoff requires verification. *)
+    let my_group = group_of t proc in
+    let writer_conflict =
+      match f.f_writer with
+      | None -> false
+      | Some w -> w <> proc && group_of t w <> my_group
+    in
+    if write && not writer_conflict then force_unmap_holders t ~f ~for_writer:true
+    else begin
+    let expire = f.f_lease_expire in
+    let now = Sched.now t.sched in
+    if now >= expire then force_unmap_holders t ~f ~for_writer:write
+    else begin
+      (* Sleep until the lease expires or the holder unmaps. *)
+      Sched.park (fun waker ->
+          Queue.push waker f.f_waiters;
+          Sched.schedule t.sched expire waker);
+      if conflicts t ~proc ~f ~write && Sched.now t.sched >= f.f_lease_expire then
+        force_unmap_holders t ~f ~for_writer:write
+    end
+    end;
+    wait_for_access t ~proc ~f ~write
+  end
+
+let map_file t ~proc ~ino ~write =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f -> (
+    (match f.f_quarantined_for with
+    | Some p when p <> proc -> Error EIO
+    | _ -> Ok ())
+    |> function
+    | Error e -> Error e
+    | Ok () -> (
+      (* Permission check against the shadow inode (ground truth). *)
+      let cred = cred_of_proc t proc in
+      match Hashtbl.find_opt t.shadow ino with
+      | None -> Error ENOENT
+      | Some s ->
+        if
+          not
+            (Fs_types.permits ~cred ~uid:s.Verifier.s_uid ~gid:s.Verifier.s_gid
+               ~mode:s.Verifier.s_mode ~want_read:true ~want_write:write)
+        then Error EACCES
+        else begin
+          wait_for_access t ~proc ~f ~write;
+          (* Claim the mapping before the (slow) walk/checkpoint/grant so
+             no other fiber slips in during those delays. *)
+          if write then begin
+            f.f_writer <- Some proc;
+            (* read-to-write upgrade: the earlier read grants must go,
+               or revoking the write mapping later would leave access *)
+            if Hashtbl.mem f.f_readers proc then begin
+              Hashtbl.remove f.f_readers proc;
+              Mmu.revoke_free t.mmu ~actor:proc ~pages:(file_pages f) ~perm:Mmu.P_read
+            end
+          end
+          else Hashtbl.replace f.f_readers proc ();
+          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+          (* Walk the file to find the page set. *)
+          (match walk_file t ~ino ~dentry_addr:f.f_dentry_addr with
+          | Some (_, index_pages, data_pages) ->
+            f.f_index_pages <- index_pages;
+            f.f_data_pages <- data_pages
+          | None -> ());
+          if write then take_checkpoint t f;
+          let pages = file_pages f in
+          Stats.timed t.stats t.sched "map" (fun () ->
+              Mmu.grant t.mmu ~actor:proc ~pages
+                ~perm:(if write then Mmu.P_readwrite else Mmu.P_read));
+          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+          Hashtbl.replace (proc_info t proc).p_mapped ino ();
+          Ok ()
+        end))
+
+(* Commit: re-verify now and, on success, replace the checkpoint so a
+   later rollback cannot lose the committed changes (§4.3). *)
+let commit t ~proc ~ino =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f ->
+    if f.f_writer <> Some proc then Error EBADF
+    else begin
+      let report =
+        Stats.timed t.stats t.sched "verify" (fun () ->
+            Verifier.check_file (view t) ~proc ~ino ~dentry_addr:f.f_dentry_addr)
+      in
+      if report.Verifier.ok then begin
+        ingest_verified t ~proc ~f report;
+        take_checkpoint t f;
+        Ok ()
+      end
+      else Error EIO
+    end
+
+(* Permission changes go through the kernel: the shadow inode is the
+   ground truth (I4). *)
+let chmod t ~proc ~ino ~mode =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  | Some s, Some f ->
+    let cred = cred_of_proc t proc in
+    if cred.uid <> 0 && cred.uid <> s.Verifier.s_uid then Error EACCES
+    else begin
+      let s' = { s with Verifier.s_mode = mode land 0o7777 } in
+      Hashtbl.replace t.shadow ino s';
+      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+        ~mode:s'.Verifier.s_mode ~uid:s'.Verifier.s_uid ~gid:s'.Verifier.s_gid;
+      Ok ()
+    end
+  | _ -> Error ENOENT
+
+let chown t ~proc ~ino ~uid ~gid =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  | Some s, Some f ->
+    let cred = cred_of_proc t proc in
+    if cred.uid <> 0 then Error EACCES
+    else begin
+      let s' = { s with Verifier.s_uid = uid; s_gid = gid } in
+      Hashtbl.replace t.shadow ino s';
+      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+        ~mode:s'.Verifier.s_mode ~uid ~gid;
+      Ok ()
+    end
+  | _ -> Error ENOENT
+
+let shadow_of t ino = Hashtbl.find_opt t.shadow ino
+
+(* Files currently write-mapped by [proc]; a LibFS recovery program uses
+   this to know what it must repair after a crash. *)
+let write_mapped_inos t ~proc =
+  Hashtbl.fold
+    (fun ino (f : file_info) acc ->
+      if f.f_writer = Some proc then (ino, f.f_dentry_addr, f.f_ftype) :: acc else acc)
+    t.files []
+
+let dentry_addr_of t ino =
+  match Hashtbl.find_opt t.files ino with Some f -> Some f.f_dentry_addr | None -> None
+
+let page_owner_of t page = owner_of t page
+
+(* Free every page of a (just-unlinked) file and drop its records.  The
+   caller must hold a write mapping on the file's parent directory —
+   that is the permission unlink itself required. *)
+let free_file_tree t ~proc ~ino =
+  Sched.cpu_work Perf.Cpu.syscall;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f -> (
+    match Hashtbl.find_opt t.files f.f_parent with
+    | Some parent
+      when (match parent.f_writer with
+           | Some w -> w = proc || group_of t w = group_of t proc
+           | None -> false) ->
+      if f.f_ftype = Dir && not (List.for_all (dir_page_is_empty t) f.f_data_pages) then
+        Error ENOTEMPTY
+      else begin
+        let pages = f.f_index_pages @ f.f_data_pages in
+        List.iter
+          (fun pg ->
+            Hashtbl.remove t.page_owner pg;
+            Pmem.discard_page t.pmem pg;
+            let node = pg / Pmem.pages_per_node t.pmem in
+            Extent_alloc.free t.node_allocs.(node) pg 1)
+          pages;
+        Mmu.revoke_everyone_on_pages t.mmu ~pages;
+        Hashtbl.remove t.files ino;
+        Hashtbl.remove t.shadow ino;
+        Hashtbl.remove t.ino_owner ino;
+        Ok ()
+      end
+    | _ -> Error EACCES)
+
+(* Release everything a process has mapped (process teardown). *)
+let unmap_all t ~proc =
+  let p = proc_info t proc in
+  let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_mapped [] in
+  List.iter (fun ino -> ignore (unmap_file t ~proc ~ino)) inos
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+(* Cold start: rebuild the controller's global file system information
+   — page/inode ownership, shadow inodes, file records, free-space
+   allocators — purely from the core state on NVM.  This is the deepest
+   consequence of the paper's state-separation insight: everything the
+   trusted entities keep in DRAM is soft state (§3.2).
+
+   Walks the whole tree from the root (an offline fsck-style pass) and
+   returns [Error] on structural corruption. *)
+let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
+  match Layout.read_superblock pmem ~actor:Pmem.kernel_actor with
+  | Error e -> Error ("cold_start: " ^ e)
+  | Ok (total_pages, page_size', root_ino', root_addr) ->
+    if total_pages <> Pmem.total_pages pmem || page_size' <> page_size then
+      Error "cold_start: superblock geometry mismatch"
+    else if root_ino' <> Layout.root_ino || root_addr <> Layout.root_dentry_addr then
+      Error "cold_start: unexpected root location"
+    else begin
+      let topo = Pmem.topo pmem in
+      let pages_per_node = Pmem.pages_per_node pmem in
+      let node_allocs =
+        Array.init (Numa.nodes topo) (fun n ->
+            if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
+            else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
+      in
+      let t =
+        {
+          sched;
+          pmem;
+          mmu;
+          topo;
+          lease_ns;
+          node_allocs;
+          next_ino = Layout.root_ino + 1;
+          page_owner = Hashtbl.create 4096;
+          ino_owner = Hashtbl.create 1024;
+          shadow = Hashtbl.create 1024;
+          files = Hashtbl.create 1024;
+          procs = Hashtbl.create 16;
+          stats = Stats.create ();
+          corruption_events = [];
+          quarantine = [];
+        }
+      in
+      Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
+      Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
+      let claim_page pg owner =
+        if pg <= Layout.root_dentry_page || pg >= total_pages then
+          failwith (Printf.sprintf "cold_start: page %d out of range" pg)
+        else if Hashtbl.mem t.page_owner pg then
+          failwith (Printf.sprintf "cold_start: page %d doubly referenced" pg)
+        else begin
+          Hashtbl.replace t.page_owner pg owner;
+          let node = pg / pages_per_node in
+          Extent_alloc.alloc_at t.node_allocs.(node) pg 1
+        end
+      in
+      let actor = Pmem.kernel_actor in
+      (* Walk one file: claim its pages, register records, recurse into
+         child directories. *)
+      let rec ingest ~parent ~dentry_addr =
+        match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
+        | None -> ()
+        | Some (Error e) -> failwith ("cold_start: undecodable dentry: " ^ e)
+        | Some (Ok (inode, _name)) ->
+          let ino = inode.Layout.ino in
+          if Hashtbl.mem t.ino_owner ino then
+            failwith (Printf.sprintf "cold_start: inode %d appears twice" ino);
+          Hashtbl.replace t.ino_owner ino (Ino_in_dir parent);
+          Hashtbl.replace t.shadow ino
+            {
+              Verifier.s_ftype = inode.Layout.ftype;
+              s_mode = inode.Layout.mode land 0o7777;
+              s_uid = inode.Layout.uid;
+              s_gid = inode.Layout.gid;
+            };
+          if ino >= t.next_ino then t.next_ino <- ino + 1;
+          let index_pages = ref [] and data_pages = ref [] in
+          (match
+             Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
+               ~max_pages:total_pages (fun ~index_page ~entries ~next:_ ->
+                 claim_page index_page (In_file ino);
+                 index_pages := index_page :: !index_pages;
+                 Array.iter
+                   (fun e ->
+                     if e <> 0 then begin
+                       claim_page e (In_file ino);
+                       data_pages := e :: !data_pages
+                     end)
+                   entries)
+           with
+          | Ok () -> ()
+          | Error e -> failwith ("cold_start: " ^ e));
+          Hashtbl.replace t.files ino
+            {
+              f_ino = ino;
+              f_dentry_addr = dentry_addr;
+              f_parent = parent;
+              f_ftype = inode.Layout.ftype;
+              f_index_pages = List.rev !index_pages;
+              f_data_pages = List.rev !data_pages;
+              f_readers = Hashtbl.create 4;
+              f_writer = None;
+              f_lease_expire = 0.0;
+              f_checkpoint = None;
+              f_waiters = Queue.create ();
+              f_quarantined_for = None;
+            };
+          if inode.Layout.ftype = Dir then
+            List.iter
+              (fun pg ->
+                let b = Pmem.read pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+                for slot = 0 to Layout.dentries_per_page - 1 do
+                  if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then
+                    ingest ~parent:ino ~dentry_addr:(Layout.dentry_slot_addr pg slot)
+                done)
+              (List.rev !data_pages)
+      in
+      match ingest ~parent:Layout.root_ino ~dentry_addr:Layout.root_dentry_addr with
+      | () -> Ok t
+      | exception Failure msg -> Error msg
+    end
+
+(* After a crash: every LibFS-registered recovery program runs first
+   (undo journals etc.), then every file that was write-mapped at crash
+   time is verified (§4.4). *)
+let crash_recover t =
+  Hashtbl.iter
+    (fun _ p -> match p.p_recovery with Some recovery -> recovery () | None -> ())
+    t.procs;
+  Hashtbl.iter
+    (fun _ (f : file_info) ->
+      match f.f_writer with
+      | Some proc ->
+        ignore (verify_file t ~proc ~f);
+        let pages = file_pages f in
+        Mmu.revoke_free t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
+        Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
+        f.f_writer <- None;
+        wake_all f
+      | None -> ())
+    (Hashtbl.copy t.files)

@@ -1,0 +1,272 @@
+(* On-NVM layout of the Trio core state (paper §4.1).
+
+   This layout is the "single core state" shared as common knowledge by
+   every LibFS, the kernel controller and the integrity verifier.  It is
+   deliberately minimal:
+
+   - superblock (page 0): file system geometry;
+   - a file's inode is co-located with its directory entry inside the
+     parent directory's data pages (one 256-byte dentry block), so there
+     are no "." / ".." entries and stat/create/delete need only the
+     parent's pages;
+   - index pages: 511 page pointers + a next-index-page link in the last
+     slot; they index data pages for regular files and dentry pages for
+     directories;
+   - the root directory's dentry block lives at a fixed location
+     (page 1, slot 0) since it has no parent.
+
+   All multi-byte fields are little-endian.  The [ino] field of a dentry
+   block is 8-byte-aligned so creation/deletion can use the 16-byte
+   atomic-update discipline of §4.4: fully write and persist the block
+   with [ino = 0], then atomically store the real inode number. *)
+
+module Pmem = Trio_nvm.Pmem
+
+let page_size = Pmem.page_size
+
+(* Dentry blocks *)
+let dentry_size = 256
+let dentries_per_page = page_size / dentry_size (* 16 *)
+let name_max = 180
+
+(* Field offsets inside a dentry block. *)
+let off_ino = 0
+let off_ftype = 8
+let off_mode = 9
+let off_uid = 11
+let off_gid = 15
+let off_size = 19
+let off_index_head = 27
+let off_mtime = 35
+let off_ctime = 43
+let off_name_len = 64
+let off_name = 66
+
+(* Index pages *)
+let index_entries = (page_size / 8) - 1 (* 511 payload slots *)
+let index_next_off = index_entries * 8 (* last slot links the next index page *)
+
+(* Superblock (page 0) *)
+let sb_magic = 0x545249_4F465331 (* "TRIOFS1" *)
+let sb_off_magic = 0
+let sb_off_total_pages = 8
+let sb_off_page_size = 16
+let sb_off_root_ino = 24
+let sb_off_root_dentry = 32
+
+let root_ino = 1
+let root_dentry_page = 1
+let root_dentry_addr = root_dentry_page * page_size
+
+type inode = {
+  ino : int;
+  ftype : Fs_types.ftype;
+  mode : int;
+  uid : int;
+  gid : int;
+  size : int; (* bytes for regular files; live entry count for dirs *)
+  index_head : int; (* page number of the first index page; 0 = none *)
+  mtime : int;
+  ctime : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bytes-level encoding helpers *)
+
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+(* Decode a dentry block already in DRAM.  Returns [None] for a free slot
+   (ino = 0); [Error] for undecodable garbage (the verifier reports it as
+   an I1 violation, regular readers treat it as corruption). *)
+let decode_dentry (b : Bytes.t) : (inode * string, string) result option =
+  let ino = get_u64 b off_ino in
+  if ino = 0 then None
+  else
+    Some
+      (let ftype_code = get_u8 b off_ftype in
+       match Fs_types.ftype_of_code ftype_code with
+       | None -> Error (Printf.sprintf "invalid file type %d" ftype_code)
+       | Some ftype ->
+         let name_len = get_u16 b off_name_len in
+         if name_len = 0 || name_len > name_max then
+           Error (Printf.sprintf "invalid name length %d" name_len)
+         else begin
+           let name = Bytes.sub_string b off_name name_len in
+           let inode =
+             {
+               ino;
+               ftype;
+               mode = get_u16 b off_mode;
+               uid = get_u32 b off_uid;
+               gid = get_u32 b off_gid;
+               size = get_u64 b off_size;
+               index_head = get_u64 b off_index_head;
+               mtime = get_u64 b off_mtime;
+               ctime = get_u64 b off_ctime;
+             }
+           in
+           Ok (inode, name)
+         end)
+
+let encode_dentry ~(inode : inode) ~name : Bytes.t =
+  if String.length name > name_max then invalid_arg "Layout.encode_dentry: name too long";
+  let b = Bytes.make dentry_size '\000' in
+  set_u64 b off_ino inode.ino;
+  set_u8 b off_ftype (Fs_types.ftype_code inode.ftype);
+  set_u16 b off_mode inode.mode;
+  set_u32 b off_uid inode.uid;
+  set_u32 b off_gid inode.gid;
+  set_u64 b off_size inode.size;
+  set_u64 b off_index_head inode.index_head;
+  set_u64 b off_mtime inode.mtime;
+  set_u64 b off_ctime inode.ctime;
+  set_u16 b off_name_len (String.length name);
+  Bytes.blit_string name 0 b off_name (String.length name);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* NVM accessors.  [actor] is the accessing process: MMU-checked. *)
+
+let read_dentry pm ~actor ~addr =
+  let b = Pmem.read pm ~actor ~addr ~len:dentry_size in
+  decode_dentry b
+
+(* Write a dentry block following the crash-consistent create protocol:
+   persist everything with ino = 0, then persist the 8-byte ino store. *)
+let write_dentry_atomic pm ~actor ~addr ~(inode : inode) ~name =
+  let b = encode_dentry ~inode ~name in
+  let ino = inode.ino in
+  set_u64 b off_ino 0;
+  Pmem.write pm ~actor ~addr ~src:b;
+  Pmem.persist pm ~addr ~len:dentry_size;
+  Pmem.write_u64 pm ~actor ~addr:(addr + off_ino) ino;
+  Pmem.persist pm ~addr:(addr + off_ino) ~len:8
+
+(* Tombstone a dentry (unlink/rmdir): a single atomic, persisted store. *)
+let clear_dentry_atomic pm ~actor ~addr =
+  Pmem.write_u64 pm ~actor ~addr:(addr + off_ino) 0;
+  Pmem.persist pm ~addr:(addr + off_ino) ~len:8
+
+(* Field-wise updates (each is a single atomic store + flush). *)
+let write_size pm ~actor ~dentry_addr size =
+  Pmem.write_u64 pm ~actor ~addr:(dentry_addr + off_size) size;
+  Pmem.persist pm ~addr:(dentry_addr + off_size) ~len:8
+
+let write_index_head pm ~actor ~dentry_addr page =
+  Pmem.write_u64 pm ~actor ~addr:(dentry_addr + off_index_head) page;
+  Pmem.persist pm ~addr:(dentry_addr + off_index_head) ~len:8
+
+let write_mtime pm ~actor ~dentry_addr time =
+  Pmem.write_u64 pm ~actor ~addr:(dentry_addr + off_mtime) time;
+  Pmem.persist pm ~addr:(dentry_addr + off_mtime) ~len:8
+
+let write_perms pm ~actor ~dentry_addr ~mode ~uid ~gid =
+  let b = Bytes.make 10 '\000' in
+  set_u16 b 0 mode;
+  set_u32 b 2 uid;
+  set_u32 b 6 gid;
+  Pmem.write pm ~actor ~addr:(dentry_addr + off_mode) ~src:b;
+  Pmem.persist pm ~addr:(dentry_addr + off_mode) ~len:10
+
+(* ------------------------------------------------------------------ *)
+(* Index pages *)
+
+let index_entry_addr page i =
+  if i < 0 || i >= index_entries then invalid_arg "Layout.index_entry_addr";
+  (page * page_size) + (i * 8)
+
+let read_index_entry pm ~actor ~page i = Pmem.read_u64 pm ~actor ~addr:(index_entry_addr page i)
+
+let write_index_entry pm ~actor ~page i v =
+  Pmem.write_u64 pm ~actor ~addr:(index_entry_addr page i) v;
+  Pmem.persist pm ~addr:(index_entry_addr page i) ~len:8
+
+let read_index_next pm ~actor ~page = Pmem.read_u64 pm ~actor ~addr:((page * page_size) + index_next_off)
+
+let write_index_next pm ~actor ~page v =
+  Pmem.write_u64 pm ~actor ~addr:((page * page_size) + index_next_off) v;
+  Pmem.persist pm ~addr:((page * page_size) + index_next_off) ~len:8
+
+(* Read a whole index page at once (one NVM access) and decode it. *)
+let read_index_page pm ~actor ~page =
+  let b = Pmem.read pm ~actor ~addr:(page * page_size) ~len:page_size in
+  let entries = Array.init index_entries (fun i -> get_u64 b (i * 8)) in
+  let next = get_u64 b index_next_off in
+  (entries, next)
+
+(* Walk the index-page chain of a file, calling [f ~index_page ~entries
+   ~next] per page.  Cycle-safe: stops (returning [Error]) if a chain
+   longer than the device could possibly hold is observed — this is how
+   the verifier survives the "loop within index pages" attack. *)
+let walk_index_chain pm ~actor ~head ~max_pages f =
+  let rec go page seen =
+    if page = 0 then Ok ()
+    else if page <= root_dentry_page || page >= max_pages then
+      Error (Printf.sprintf "index page %d outside the volume" page)
+    else if seen > max_pages then Error "index page chain too long (cycle?)"
+    else begin
+      let entries, next = read_index_page pm ~actor ~page in
+      f ~index_page:page ~entries ~next;
+      go next (seen + 1)
+    end
+  in
+  go head 0
+
+let dentry_slot_addr page slot =
+  if slot < 0 || slot >= dentries_per_page then invalid_arg "Layout.dentry_slot_addr";
+  (page * page_size) + (slot * dentry_size)
+
+(* ------------------------------------------------------------------ *)
+(* Superblock / mkfs *)
+
+let write_superblock pm ~total_pages =
+  let actor = Pmem.kernel_actor in
+  let b = Bytes.make 64 '\000' in
+  set_u64 b sb_off_magic sb_magic;
+  set_u64 b sb_off_total_pages total_pages;
+  set_u32 b sb_off_page_size page_size;
+  set_u64 b sb_off_root_ino root_ino;
+  set_u64 b sb_off_root_dentry root_dentry_addr;
+  Pmem.write pm ~actor ~addr:0 ~src:b;
+  Pmem.persist pm ~addr:0 ~len:64
+
+let read_superblock pm ~actor =
+  let b = Pmem.read pm ~actor ~addr:0 ~len:64 in
+  if get_u64 b sb_off_magic <> sb_magic then Error "bad superblock magic"
+  else
+    Ok
+      ( get_u64 b sb_off_total_pages,
+        get_u32 b sb_off_page_size,
+        get_u64 b sb_off_root_ino,
+        get_u64 b sb_off_root_dentry )
+
+(* Initialize an empty file system: superblock + root directory with no
+   entries.  Called by the controller at format time. *)
+let mkfs pm ~total_pages =
+  let actor = Pmem.kernel_actor in
+  write_superblock pm ~total_pages;
+  let root =
+    {
+      ino = root_ino;
+      ftype = Fs_types.Dir;
+      mode = 0o777;
+      uid = 0;
+      gid = 0;
+      size = 0;
+      index_head = 0;
+      mtime = 0;
+      ctime = 0;
+    }
+  in
+  write_dentry_atomic pm ~actor ~addr:root_dentry_addr ~inode:root ~name:"/"

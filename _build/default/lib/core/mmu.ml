@@ -1,0 +1,129 @@
+(* Simulated MMU: per-process page permissions, enforced on the NVM data
+   path.
+
+   The kernel controller is the only component that programs the MMU
+   (grant/revoke); LibFSes hit it implicitly on every load/store.  This
+   is the hardware mechanism that lets Trio avoid metadata-update
+   mediation: the trusted entity controls *which pages* a LibFS can
+   touch, not *what* it writes there.
+
+   Grants are reference-counted per (process, page, kind): mappings
+   overlap (a dentry page belongs to both the file's mapping and the
+   parent directory's), so a revoke must only undo its own grant. *)
+
+module Pmem = Trio_nvm.Pmem
+module Sched = Trio_sim.Sched
+module Perf = Trio_nvm.Perf
+
+type perm = P_read | P_readwrite
+
+type entry = { mutable readers : int; mutable writers : int }
+
+type t = {
+  pmem : Pmem.t;
+  (* actor -> page -> grant counts *)
+  tables : (int, (int, entry) Hashtbl.t) Hashtbl.t;
+  mutable pte_ops : int;
+}
+
+let create pmem =
+  let t = { pmem; tables = Hashtbl.create 16; pte_ops = 0 } in
+  Pmem.set_perm_check pmem (fun ~actor ~page ~write ->
+      match Hashtbl.find_opt t.tables actor with
+      | None -> false
+      | Some table -> (
+        match Hashtbl.find_opt table page with
+        | Some e -> if write then e.writers > 0 else e.writers > 0 || e.readers > 0
+        | None -> false));
+  t
+
+let table_of t actor =
+  match Hashtbl.find_opt t.tables actor with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 256 in
+    Hashtbl.add t.tables actor table;
+    table
+
+let grant_one table page perm =
+  let e =
+    match Hashtbl.find_opt table page with
+    | Some e -> e
+    | None ->
+      let e = { readers = 0; writers = 0 } in
+      Hashtbl.add table page e;
+      e
+  in
+  match perm with
+  | P_read -> e.readers <- e.readers + 1
+  | P_readwrite -> e.writers <- e.writers + 1
+
+let revoke_one table page perm =
+  match Hashtbl.find_opt table page with
+  | None -> ()
+  | Some e ->
+    (match perm with
+    | P_read -> if e.readers > 0 then e.readers <- e.readers - 1
+    | P_readwrite -> if e.writers > 0 then e.writers <- e.writers - 1);
+    if e.readers = 0 && e.writers = 0 then Hashtbl.remove table page
+
+(* Mapping a freshly allocated *contiguous* extent is one VMA insert
+   plus a linear populate — far cheaper per page than mapping the
+   scattered pages of an existing file. *)
+let grant_extent t ~actor ~pages ~perm =
+  let table = table_of t actor in
+  let n = List.length pages in
+  t.pte_ops <- t.pte_ops + n;
+  Sched.delay (600.0 +. (Perf.Cpu.page_table_bulk *. float_of_int n));
+  List.iter (fun page -> grant_one table page perm) pages
+
+(* Grant permission on a set of (scattered) pages.  Charges the
+   page-table programming cost to the calling fiber — the dominant term
+   of the file-sharing cost for large files (Fig. 8). *)
+let grant t ~actor ~pages ~perm =
+  let table = table_of t actor in
+  let n = List.length pages in
+  t.pte_ops <- t.pte_ops + n;
+  Sched.delay (Perf.Cpu.page_table_op *. float_of_int n);
+  List.iter (fun page -> grant_one table page perm) pages
+
+let revoke t ~actor ~pages ~perm =
+  match Hashtbl.find_opt t.tables actor with
+  | None -> ()
+  | Some table ->
+    let n = List.length pages in
+    t.pte_ops <- t.pte_ops + n;
+    Sched.delay (Perf.Cpu.page_table_op *. float_of_int n);
+    List.iter (fun page -> revoke_one table page perm) pages
+
+(* Zero-cost variants for setup paths (mkfs, registration, reconcile). *)
+let grant_free t ~actor ~pages ~perm =
+  let table = table_of t actor in
+  List.iter (fun page -> grant_one table page perm) pages
+
+let revoke_free t ~actor ~pages ~perm =
+  match Hashtbl.find_opt t.tables actor with
+  | None -> ()
+  | Some table -> List.iter (fun page -> revoke_one table page perm) pages
+
+(* Drop every grant a process holds on a page (quarantine/teardown). *)
+let revoke_all_on_page t ~actor ~page =
+  match Hashtbl.find_opt t.tables actor with
+  | None -> ()
+  | Some table -> Hashtbl.remove table page
+
+(* A page returning to the free pool must not be accessible to anyone. *)
+let revoke_everyone_on_pages t ~pages =
+  Hashtbl.iter
+    (fun _actor table -> List.iter (fun page -> Hashtbl.remove table page) pages)
+    t.tables
+
+let has_perm t ~actor ~page ~write =
+  match Hashtbl.find_opt t.tables actor with
+  | None -> false
+  | Some table -> (
+    match Hashtbl.find_opt table page with
+    | Some e -> if write then e.writers > 0 else e.writers > 0 || e.readers > 0
+    | None -> false)
+
+let pte_ops t = t.pte_ops

@@ -1,0 +1,401 @@
+(* The integrity verifier: a trusted process that checks a single file's
+   core state online, when its write access is transferred (paper §4.3).
+
+   The checks mirror the paper's invariants:
+
+   I1  fields in each inode and directory entry are valid (file type,
+       name charset/length, no duplicate names, mode range, size
+       consistent with the page count);
+   I2  a file's inode number, index pages and data pages are valid:
+       every page belongs to this file or was freshly allocated to the
+       LibFS that had the file write-mapped; nothing is referenced
+       twice; chains do not cycle;
+   I3  the directory hierarchy stays a connected tree: a child directory
+       deleted since the checkpoint must be unmapped, empty, and own no
+       pages;
+   I4  access permissions are enforced: the permission bits cached in
+       the NVM inode must agree with the kernel's shadow inode table
+       (the ground truth); mismatches are repaired from the shadow, not
+       trusted.
+
+   The verifier only reads through [Pmem] with the kernel actor, so its
+   inspection costs are charged to the sharing path — that is the
+   "Verifier" slice of Fig. 8. *)
+
+module Pmem = Trio_nvm.Pmem
+module Perf = Trio_nvm.Perf
+module Sched = Trio_sim.Sched
+
+type shadow = { s_ftype : Fs_types.ftype; s_mode : int; s_uid : int; s_gid : int }
+
+type page_owner = Free | Allocated_to of int | In_file of int
+
+type ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+
+(* The verifier's read-only window onto the kernel controller's global
+   file system information (paper §4.3, check I2). *)
+type view = {
+  pmem : Pmem.t;
+  total_pages : int;
+  page_owner : int -> page_owner;
+  ino_owner : int -> ino_owner;
+  shadow : int -> shadow option;
+  checkpoint_children : int -> int list option;
+      (* child inos of a directory at its last checkpoint *)
+  is_mapped_elsewhere : ino:int -> proc:int -> bool;
+  write_mapped_by_other : ino:int -> proc:int -> bool;
+      (* a child currently write-mapped by another process is being
+         legitimately modified; it will be verified at its own unmap *)
+  pages_attributed_to : int -> int list; (* pages still recorded as In_file ino *)
+  dir_write_mapped_by : dir:int -> proc:int -> bool;
+      (* true when [proc] holds a write mapping on directory [dir]: a
+         child found under a different parent is a legitimate in-flight
+         rename only if its recorded parent is simultaneously
+         write-mapped by the same process. *)
+}
+
+type violation = { check : [ `I1 | `I2 | `I3 | `I4 ]; detail : string }
+
+type child = { c_ino : int; c_ftype : Fs_types.ftype; c_dentry_addr : int; c_name : string }
+
+type report = {
+  ok : bool;
+  violations : violation list;
+  fixed : string list; (* I4 repairs applied *)
+  index_pages : int list;
+  data_pages : int list;
+  children : child list; (* live children (directories only) *)
+  deleted_children : int list; (* inos gone since the checkpoint *)
+  size : int;
+}
+
+let empty_report =
+  {
+    ok = true;
+    violations = [];
+    fixed = [];
+    index_pages = [];
+    data_pages = [];
+    children = [];
+    deleted_children = [];
+    size = 0;
+  }
+
+let check_name ~check name seen violations =
+  if not (Fs_types.valid_name name) then
+    violations := { check; detail = Printf.sprintf "invalid name %S" name } :: !violations
+  else if Hashtbl.mem seen name then
+    violations := { check; detail = Printf.sprintf "duplicate name %S" name } :: !violations
+  else Hashtbl.add seen name ()
+
+(* Validate one page reference for I2 and record it in [refs].  A valid
+   page either already belongs to the file or was allocated to [proc]. *)
+let check_page view ~proc ~ino ~refs ~violations page what =
+  if page <= Layout.root_dentry_page || page >= view.total_pages then
+    violations :=
+      { check = `I2; detail = Printf.sprintf "%s points outside the volume: page %d" what page }
+      :: !violations
+  else if Hashtbl.mem refs page then
+    violations :=
+      { check = `I2; detail = Printf.sprintf "%s doubly referenced: page %d" what page }
+      :: !violations
+  else begin
+    Hashtbl.add refs page ();
+    match view.page_owner page with
+    | In_file owner when owner = ino -> ()
+    | Allocated_to p when p = proc -> ()
+    | In_file owner ->
+      violations :=
+        {
+          check = `I2;
+          detail = Printf.sprintf "%s references page %d owned by inode %d" what page owner;
+        }
+        :: !violations
+    | Allocated_to p ->
+      violations :=
+        {
+          check = `I2;
+          detail = Printf.sprintf "%s references page %d allocated to process %d" what page p;
+        }
+        :: !violations
+    | Free ->
+      violations :=
+        { check = `I2; detail = Printf.sprintf "%s references free page %d" what page }
+        :: !violations
+  end
+
+(* Walk the file's index chain collecting index and data pages; bails out
+   on cycles (chain longer than the volume).  [refs] is shared across a
+   whole verification so pages referenced by two files (or twice within
+   one) are caught. *)
+let collect_pages ?refs view ~actor ~proc ~ino ~head ~violations =
+  let refs = match refs with Some r -> r | None -> Hashtbl.create 64 in
+  let index_pages = ref [] and data_pages = ref [] in
+  let result =
+    Layout.walk_index_chain view.pmem ~actor ~head ~max_pages:view.total_pages
+      (fun ~index_page ~entries ~next:_ ->
+        check_page view ~proc ~ino ~refs ~violations index_page "index page";
+        index_pages := index_page :: !index_pages;
+        Sched.cpu_work (Perf.Cpu.index_entry_check *. float_of_int Layout.index_entries);
+        Array.iter
+          (fun entry ->
+            if entry <> 0 then begin
+              check_page view ~proc ~ino ~refs ~violations entry "data page";
+              (* only in-range pages may be dereferenced later *)
+              if entry > Layout.root_dentry_page && entry < view.total_pages then
+                data_pages := entry :: !data_pages
+            end)
+          entries)
+  in
+  (match result with
+  | Ok () -> ()
+  | Error msg -> violations := { check = `I2; detail = msg } :: !violations);
+  (List.rev !index_pages, List.rev !data_pages)
+
+(* I4 on one inode: permission fields must agree with the shadow inode
+   table; mismatches are repaired in place from the shadow. *)
+let check_perms view ~actor ~fixed ~violations ~(inode : Layout.inode) ~dentry_addr =
+  match view.shadow inode.ino with
+  | None ->
+    violations :=
+      { check = `I2; detail = Printf.sprintf "inode %d unknown to the kernel" inode.ino }
+      :: !violations
+  | Some s ->
+    if s.s_ftype <> inode.ftype then
+      violations :=
+        {
+          check = `I1;
+          detail = Printf.sprintf "inode %d: file type does not match the kernel record" inode.ino;
+        }
+        :: !violations;
+    if s.s_mode <> inode.mode || s.s_uid <> inode.uid || s.s_gid <> inode.gid then begin
+      Layout.write_perms view.pmem ~actor ~dentry_addr ~mode:s.s_mode ~uid:s.s_uid ~gid:s.s_gid;
+      fixed :=
+        Printf.sprintf "inode %d: permissions restored from shadow inode" inode.ino :: !fixed
+    end
+
+let check_size_consistency ~violations ~(inode : Layout.inode) ~npages =
+  let max_size = npages * Layout.page_size in
+  let min_size = if npages = 0 then 0 else ((npages - 1) * Layout.page_size) + 1 in
+  if inode.size < min_size || inode.size > max_size then
+    violations :=
+      {
+        check = `I1;
+        detail =
+          Printf.sprintf "inode %d: size %d inconsistent with %d data pages" inode.ino inode.size
+            npages;
+      }
+      :: !violations
+
+(* Check a regular file rooted at [inode]. *)
+let check_regular ?refs view ~actor ~proc ~(inode : Layout.inode) ~violations =
+  let index_pages, data_pages =
+    collect_pages ?refs view ~actor ~proc ~ino:inode.ino ~head:inode.index_head ~violations
+  in
+  check_size_consistency ~violations ~inode ~npages:(List.length data_pages);
+  (index_pages, data_pages)
+
+(* A directory writer could corrupt the inode fields of every child
+   (they live in the directory's data pages): validate the child's page
+   tree and size field here.  Children held write-mapped by another
+   process are skipped (they are verified at their own unmap); fresh
+   children are fully verified at ingestion. *)
+let check_child_tree view ~refs ~actor ~proc ~(child : Layout.inode) ~violations =
+  if not (view.write_mapped_by_other ~ino:child.ino ~proc) then begin
+    let _, data_pages =
+      collect_pages ~refs view ~actor ~proc ~ino:child.ino ~head:child.index_head ~violations
+    in
+    match child.ftype with
+    | Fs_types.Reg -> check_size_consistency ~violations ~inode:child ~npages:(List.length data_pages)
+    | Fs_types.Dir ->
+      (* recount the child's live entries against its size field; the
+         entry contents themselves were not writable through this
+         directory's mapping, so no recursion is needed *)
+      let live = ref 0 in
+      List.iter
+        (fun pg ->
+          let b = Pmem.read view.pmem ~actor ~addr:(pg * Layout.page_size) ~len:Layout.page_size in
+          for slot = 0 to Layout.dentries_per_page - 1 do
+            if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr live
+          done)
+        data_pages;
+      if !live <> child.size then
+        violations :=
+          {
+            check = `I1;
+            detail =
+              Printf.sprintf "directory %d: size field %d does not match %d live entries"
+                child.ino child.size !live;
+          }
+          :: !violations
+  end
+
+(* Check a directory: every live dentry is validated (I1), children are
+   accounted (I2), the deleted-child rule is enforced (I3). *)
+let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations =
+  let refs = Hashtbl.create 64 in
+  let index_pages, data_pages =
+    collect_pages ~refs view ~actor ~proc ~ino:inode.ino ~head:inode.index_head ~violations
+  in
+  let seen_names = Hashtbl.create 64 in
+  let seen_inos = Hashtbl.create 64 in
+  let children = ref [] in
+  List.iter
+    (fun page ->
+      let page_bytes = Pmem.read view.pmem ~actor ~addr:(page * Layout.page_size) ~len:Layout.page_size in
+      for slot = 0 to Layout.dentries_per_page - 1 do
+        Sched.cpu_work Perf.Cpu.dentry_check;
+        let block = Bytes.sub page_bytes (slot * Layout.dentry_size) Layout.dentry_size in
+        let dentry_addr = Layout.dentry_slot_addr page slot in
+        match Layout.decode_dentry block with
+        | None -> ()
+        | Some (Error msg) ->
+          violations :=
+            { check = `I1; detail = Printf.sprintf "dentry at page %d slot %d: %s" page slot msg }
+            :: !violations
+        | Some (Ok (child, name)) ->
+          check_name ~check:`I1 name seen_names violations;
+          if child.mode land lnot 0o7777 <> 0 then
+            violations :=
+              { check = `I1; detail = Printf.sprintf "inode %d: invalid mode %o" child.ino child.mode }
+              :: !violations;
+          if Hashtbl.mem seen_inos child.ino then
+            violations :=
+              { check = `I2; detail = Printf.sprintf "inode %d appears twice in directory" child.ino }
+              :: !violations
+          else begin
+            Hashtbl.add seen_inos child.ino ();
+            (* A fresh child (inode allocated to the mapping process) has
+               no shadow inode yet: the kernel establishes it, with the
+               creator's credentials, at ingestion.  Known children must
+               agree with their shadow (I4). *)
+            let fresh =
+              match view.ino_owner child.ino with Ino_allocated_to p -> p = proc | _ -> false
+            in
+            if not fresh then begin
+              check_perms view ~actor ~fixed ~violations ~inode:child ~dentry_addr;
+              check_child_tree view ~refs ~actor ~proc ~child ~violations
+            end;
+            (match view.ino_owner child.ino with
+            | Ino_in_dir parent when parent = inode.ino -> ()
+            | Ino_allocated_to p when p = proc -> ()
+            | Ino_in_dir parent when view.dir_write_mapped_by ~dir:parent ~proc -> ()
+              (* in-flight rename out of a directory this process holds *)
+            | Ino_in_dir parent ->
+              violations :=
+                {
+                  check = `I2;
+                  detail =
+                    Printf.sprintf "inode %d belongs to directory %d, found in %d" child.ino parent
+                      inode.ino;
+                }
+                :: !violations
+            | Ino_allocated_to p ->
+              violations :=
+                {
+                  check = `I2;
+                  detail = Printf.sprintf "inode %d was allocated to process %d" child.ino p;
+                }
+                :: !violations
+            | Ino_free ->
+              violations :=
+                { check = `I2; detail = Printf.sprintf "inode %d is not a valid inode" child.ino }
+                :: !violations);
+            children := { c_ino = child.ino; c_ftype = child.ftype; c_dentry_addr = dentry_addr; c_name = name } :: !children
+          end
+      done)
+    data_pages;
+  let children = List.rev !children in
+  if inode.size <> List.length children then
+    violations :=
+      {
+        check = `I1;
+        detail =
+          Printf.sprintf "directory %d: size field %d does not match %d live entries" inode.ino
+            inode.size (List.length children);
+      }
+      :: !violations;
+  (* I3: deleted children must leave no trace. *)
+  let deleted =
+    match view.checkpoint_children inode.ino with
+    | None -> []
+    | Some old_children ->
+      List.filter (fun ino -> not (Hashtbl.mem seen_inos ino)) old_children
+  in
+  let deleted =
+    (* A child whose recorded parent is already another directory was
+       moved (rename), not deleted. *)
+    List.filter
+      (fun ino ->
+        match view.ino_owner ino with
+        | Ino_in_dir p when p <> inode.ino -> false
+        | _ -> true)
+      deleted
+  in
+  List.iter
+    (fun ino ->
+      if view.is_mapped_elsewhere ~ino ~proc then
+        violations :=
+          { check = `I3; detail = Printf.sprintf "deleted inode %d is still mapped" ino }
+          :: !violations;
+      match view.pages_attributed_to ino with
+      | [] -> ()
+      | pages -> (
+        match view.shadow ino with
+        | Some { s_ftype = Fs_types.Dir; _ } ->
+          violations :=
+            {
+              check = `I3;
+              detail =
+                Printf.sprintf "deleted directory %d still owns %d pages (non-empty rmdir?)" ino
+                  (List.length pages);
+            }
+            :: !violations
+        | _ -> () (* regular file pages are reclaimed by the controller *)))
+    deleted;
+  (index_pages, data_pages, children, deleted)
+
+(* Entry point: verify the file whose dentry block sits at [dentry_addr],
+   which process [proc] had write-mapped. *)
+let check_file view ~proc ~ino ~dentry_addr : report =
+  let actor = Pmem.kernel_actor in
+  let violations = ref [] in
+  let fixed = ref [] in
+  match Layout.read_dentry view.pmem ~actor ~addr:dentry_addr with
+  | None ->
+    (* The file itself was deleted while write-mapped; the parent's
+       verification will run the deleted-child checks. *)
+    { empty_report with ok = true }
+  | Some (Error msg) ->
+    { empty_report with ok = false; violations = [ { check = `I1; detail = msg } ] }
+  | Some (Ok (inode, _name)) ->
+    if inode.ino <> ino then
+      violations :=
+        {
+          check = `I2;
+          detail = Printf.sprintf "dentry holds inode %d where %d was mapped" inode.ino ino;
+        }
+        :: !violations;
+    check_perms view ~actor ~fixed ~violations ~inode ~dentry_addr;
+    (* Re-read: I4 repairs may have rewritten the permission fields. *)
+    let index_pages, data_pages, children, deleted =
+      match inode.ftype with
+      | Fs_types.Reg ->
+        let ip, dp = check_regular view ~actor ~proc ~inode ~violations in
+        (ip, dp, [], [])
+      | Fs_types.Dir -> check_directory view ~actor ~proc ~inode ~fixed ~violations
+    in
+    {
+      ok = !violations = [];
+      violations = List.rev !violations;
+      fixed = List.rev !fixed;
+      index_pages;
+      data_pages;
+      children;
+      deleted_children = deleted;
+      size = inode.size;
+    }
+
+let pp_violation ppf v =
+  let tag = match v.check with `I1 -> "I1" | `I2 -> "I2" | `I3 -> "I3" | `I4 -> "I4" in
+  Fmt.pf ppf "[%s] %s" tag v.detail

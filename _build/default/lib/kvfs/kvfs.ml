@@ -1,0 +1,219 @@
+(* KVFS: a LibFS customized for many small files (paper §5).
+
+   This is the customization case study the paper borrows from Aerie:
+   applications such as mail servers operate on huge numbers of small
+   files, for which a generic POSIX LibFS pays for file descriptors,
+   radix-tree index walks and fine-grained locking on every access.
+
+   KVFS replaces these parts of ArckFS' *auxiliary state* — the core
+   state is untouched, which is exactly what Trio's customization
+   contract allows without any privilege:
+
+   - [get]/[set] interfaces keyed by file name; no file descriptors;
+   - a fixed 8-slot page array instead of the radix tree (files are
+     capped at [max_file_size] = 32 KiB);
+   - one simple spinlock per file instead of the inode + range locks
+     (contention on a single small file is assumed rare).
+
+   Because only auxiliary state changed, KVFS files remain ordinary
+   ArckFS files: any other LibFS can open them through the normal POSIX
+   path after a sharing handoff. *)
+
+module Sched = Trio_sim.Sched
+module Sync = Trio_sim.Sync
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Layout = Trio_core.Layout
+module Libfs = Arckfs.Libfs
+module Alloc_cache = Arckfs.Alloc_cache
+module Htbl = Trio_util.Htbl
+open Trio_core.Fs_types
+
+let max_pages = 8
+let max_file_size = max_pages * Layout.page_size (* 32 KiB *)
+
+type entry = {
+  k_ino : int;
+  k_addr : int; (* dentry address *)
+  mutable k_index_page : int; (* single index page; 0 = none yet *)
+  k_pages : int array; (* fixed-size page array: the customized index *)
+  mutable k_npages : int;
+  mutable k_size : int;
+  k_lock : Sync.Spinlock.t; (* the customized, coarse lock *)
+}
+
+type t = {
+  fs : Libfs.t;
+  dir : Libfs.dir_state;
+  dir_path : string;
+  entries : (string, entry) Htbl.t;
+  entries_lock : Sync.Mutex.t;
+}
+
+let ( let* ) = Result.bind
+
+(* Mount KVFS over one directory of an existing ArckFS namespace. *)
+let mount fs ~dir:path =
+  match split_path path with
+  | None -> Error EINVAL
+  | Some components ->
+    let* d =
+      match Libfs.resolve_dir fs components with
+      | Ok d -> Ok d
+      | Error ENOENT ->
+        let* () = (Libfs.ops fs).Trio_core.Fs_intf.mkdir path 0o755 in
+        Libfs.resolve_dir fs components
+      | Error e -> Error e
+    in
+    let* () = Libfs.ensure_dir_writable fs d in
+    Ok
+      {
+        fs;
+        dir = d;
+        dir_path = path;
+        entries = Htbl.create_string ();
+        entries_lock = Sync.Mutex.create ();
+      }
+
+(* Build the fixed-array auxiliary state of one small file. *)
+let build_entry t (r : Libfs.dentry_ref) =
+  match Layout.read_dentry (Libfs.pmem_of t.fs) ~actor:(Libfs.proc_of t.fs) ~addr:r.Libfs.e_addr with
+  | Some (Ok (inode, _)) ->
+    let e =
+      {
+        k_ino = r.Libfs.e_ino;
+        k_addr = r.Libfs.e_addr;
+        k_index_page = inode.Layout.index_head;
+        k_pages = Array.make max_pages 0;
+        k_npages = 0;
+        k_size = inode.Layout.size;
+        k_lock = Sync.Spinlock.create ();
+      }
+    in
+    if inode.Layout.index_head <> 0 then begin
+      let entries, _next =
+        Layout.read_index_page (Libfs.pmem_of t.fs) ~actor:(Libfs.proc_of t.fs)
+          ~page:inode.Layout.index_head
+      in
+      Array.iteri
+        (fun i pg ->
+          if i < max_pages && pg <> 0 then begin
+            e.k_pages.(i) <- pg;
+            e.k_npages <- max e.k_npages (i + 1)
+          end)
+        entries
+    end;
+    Ok e
+  | _ -> Error EIO
+
+let lookup_entry t name =
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  match Htbl.find t.entries name with
+  | Some e -> Ok (Some e)
+  | None -> (
+    match Libfs.lookup t.fs t.dir name with
+    | None -> Ok None
+    | Some { Libfs.e_ftype = Dir; _ } -> Error EISDIR
+    | Some r ->
+      let* e = build_entry t r in
+      Sync.Mutex.lock t.entries_lock;
+      Htbl.replace t.entries name e;
+      Sync.Mutex.unlock t.entries_lock;
+      Ok (Some e))
+
+(* set: create if needed, then write [data] from offset 0 (the KVFS
+   interface always operates on whole values). *)
+let set t name data =
+  let len = Bytes.length data in
+  if len > max_file_size then Error EINVAL
+  else
+    let* existing = lookup_entry t name in
+    let* e =
+      match existing with
+      | Some e -> Ok e
+      | None ->
+        let* r = Libfs.create_entry t.fs t.dir name ~ftype:Reg ~mode:0o644 in
+        let* e = build_entry t r in
+        Sync.Mutex.lock t.entries_lock;
+        Htbl.replace t.entries name e;
+        Sync.Mutex.unlock t.entries_lock;
+        Ok e
+    in
+    let pmem = Libfs.pmem_of t.fs and proc = Libfs.proc_of t.fs in
+    Sync.Spinlock.lock e.k_lock;
+    Sched.cpu_work Perf.Cpu.lock_acquire;
+    let result =
+      let needed = (len + Layout.page_size - 1) / Layout.page_size in
+      (* allocate the index page lazily, then data pages *)
+      let rec ensure_pages () =
+        if e.k_npages >= needed then Ok ()
+        else begin
+          let node = Numa.node_of_cpu (Libfs.topo_of t.fs) (Sched.current_cpu ()) in
+          let* () =
+            if e.k_index_page = 0 then begin
+              let* ip = Alloc_cache.alloc_page (Libfs.cache_of t.fs) ~node ~kind:Pmem.Meta in
+              Layout.write_index_head pmem ~actor:proc ~dentry_addr:e.k_addr ip;
+              e.k_index_page <- ip;
+              Ok ()
+            end
+            else Ok ()
+          in
+          let* pg = Alloc_cache.alloc_page (Libfs.cache_of t.fs) ~node ~kind:Pmem.Data in
+          Layout.write_index_entry pmem ~actor:proc ~page:e.k_index_page e.k_npages pg;
+          e.k_pages.(e.k_npages) <- pg;
+          e.k_npages <- e.k_npages + 1;
+          ensure_pages ()
+        end
+      in
+      let* () = ensure_pages () in
+      (* write the value page by page *)
+      let pos = ref 0 in
+      while !pos < len do
+        let i = !pos / Layout.page_size in
+        let chunk = min (len - !pos) Layout.page_size in
+        Pmem.write_sub pmem ~actor:proc ~addr:(e.k_pages.(i) * Layout.page_size) ~src:data
+          ~pos:!pos ~len:chunk;
+        pos := !pos + chunk
+      done;
+      Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int len);
+      if len > 0 then Pmem.persist pmem ~addr:(e.k_pages.(0) * Layout.page_size) ~len;
+      if e.k_size <> len then begin
+        e.k_size <- len;
+        Layout.write_size pmem ~actor:proc ~dentry_addr:e.k_addr len
+      end;
+      Ok ()
+    in
+    Sync.Spinlock.unlock e.k_lock;
+    result
+
+(* get: read the whole value. *)
+let get t name =
+  let* found = lookup_entry t name in
+  match found with
+  | None -> Error ENOENT
+  | Some e ->
+    let pmem = Libfs.pmem_of t.fs and proc = Libfs.proc_of t.fs in
+    Sync.Spinlock.lock e.k_lock;
+    Sched.cpu_work Perf.Cpu.lock_acquire;
+    let buf = Bytes.create e.k_size in
+    let pos = ref 0 in
+    while !pos < e.k_size do
+      let i = !pos / Layout.page_size in
+      let chunk = min (e.k_size - !pos) Layout.page_size in
+      let data = Pmem.read pmem ~actor:proc ~addr:(e.k_pages.(i) * Layout.page_size) ~len:chunk in
+      Bytes.blit data 0 buf !pos chunk;
+      pos := !pos + chunk
+    done;
+    Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int e.k_size);
+    Sync.Spinlock.unlock e.k_lock;
+    Ok buf
+
+let delete t name =
+  Sync.Mutex.lock t.entries_lock;
+  ignore (Htbl.remove t.entries name);
+  Sync.Mutex.unlock t.entries_lock;
+  (Libfs.ops t.fs).Trio_core.Fs_intf.unlink (t.dir_path ^ "/" ^ name)
+
+let exists t name =
+  match lookup_entry t name with Ok (Some _) -> true | _ -> false

@@ -1,0 +1,34 @@
+(** KVFS: a LibFS customized for many small files (paper §5).
+
+    Replaces parts of ArckFS' *auxiliary state* — which Trio lets an
+    unprivileged application do freely — to optimize small-file access:
+
+    - [get]/[set] keyed by file name: no file descriptors;
+    - a fixed 8-slot page array instead of the radix tree (files are
+      capped at {!max_file_size});
+    - one plain spinlock per file instead of inode + range locks.
+
+    The core state is unchanged: KVFS files are ordinary ArckFS files,
+    fully shareable with any other LibFS. *)
+
+type t
+
+val max_pages : int
+
+val max_file_size : int
+(** 32 KiB: the size cap that makes the fixed-array index sufficient. *)
+
+val mount : Arckfs.Libfs.t -> dir:string -> (t, Trio_core.Fs_types.errno) result
+(** Mount the key-value view over one directory of an existing ArckFS
+    namespace (created if absent); acquires write access to it. *)
+
+val set : t -> string -> Bytes.t -> (unit, Trio_core.Fs_types.errno) result
+(** Create-or-replace the whole value of [key].  [EINVAL] beyond
+    {!max_file_size}. *)
+
+val get : t -> string -> (Bytes.t, Trio_core.Fs_types.errno) result
+(** Read the whole value; [ENOENT] for missing keys. *)
+
+val delete : t -> string -> (unit, Trio_core.Fs_types.errno) result
+
+val exists : t -> string -> bool

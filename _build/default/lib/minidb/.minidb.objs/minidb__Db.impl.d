@@ -1,0 +1,1 @@
+lib/minidb/db.ml: Bytes List Memtable Option Printf Record_format Result Sstable String Trio_core Trio_sim Wal

@@ -1,0 +1,1 @@
+lib/minidb/db.mli: Trio_core

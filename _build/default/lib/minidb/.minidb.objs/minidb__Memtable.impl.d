@@ -1,0 +1,1 @@
+lib/minidb/memtable.ml: Map String

@@ -1,0 +1,1 @@
+lib/minidb/memtable.mli:

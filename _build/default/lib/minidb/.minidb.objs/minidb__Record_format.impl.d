@@ -1,0 +1,1 @@
+lib/minidb/record_format.ml: Bytes Char String Trio_util

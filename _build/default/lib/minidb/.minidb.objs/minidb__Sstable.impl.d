@@ -1,0 +1,1 @@
+lib/minidb/sstable.ml: Array Buffer Bytes List Memtable Option Record_format Result String Trio_core

@@ -1,0 +1,1 @@
+lib/minidb/wal.ml: Bytes Record_format Result Trio_core

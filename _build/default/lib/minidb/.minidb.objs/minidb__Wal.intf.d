@@ -1,0 +1,1 @@
+lib/minidb/wal.mli: Trio_core

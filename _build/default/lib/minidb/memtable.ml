@@ -1,0 +1,41 @@
+(* In-memory write buffer of the LSM tree: a sorted map from key to the
+   newest mutation.  LevelDB uses a skiplist; a balanced map gives the
+   same asymptotics and ordering semantics. *)
+
+module StrMap = Map.Make (String)
+
+type mutation = Put of string | Delete
+
+type t = {
+  mutable entries : mutation StrMap.t;
+  mutable bytes : int; (* approximate payload size, drives flushes *)
+}
+
+let create () = { entries = StrMap.empty; bytes = 0 }
+
+let entry_overhead = 16
+
+let put t key value =
+  t.entries <- StrMap.add key (Put value) t.entries;
+  t.bytes <- t.bytes + String.length key + String.length value + entry_overhead
+
+let delete t key =
+  t.entries <- StrMap.add key Delete t.entries;
+  t.bytes <- t.bytes + String.length key + entry_overhead
+
+(* [find] distinguishes "deleted here" from "not present": the caller
+   must not fall through to older levels on a tombstone. *)
+let find t key = StrMap.find_opt key t.entries
+
+let approximate_bytes t = t.bytes
+let count t = StrMap.cardinal t.entries
+let is_empty t = StrMap.is_empty t.entries
+
+(* Iterate in key order (SSTable construction). *)
+let iter t f = StrMap.iter f t.entries
+
+let to_sorted_list t = StrMap.bindings t.entries
+
+let clear t =
+  t.entries <- StrMap.empty;
+  t.bytes <- 0

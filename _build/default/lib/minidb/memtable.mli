@@ -1,0 +1,27 @@
+(** In-memory write buffer of the LSM tree: a sorted map from key to
+    the newest mutation (LevelDB's skiplist role). *)
+
+type mutation = Put of string | Delete
+
+type t
+
+val create : unit -> t
+val put : t -> string -> string -> unit
+
+val delete : t -> string -> unit
+(** Records a tombstone: readers must not fall through to older levels. *)
+
+val find : t -> string -> mutation option
+(** [Some Delete] means "deleted here"; [None] means "unknown here". *)
+
+val approximate_bytes : t -> int
+(** Payload estimate driving flush decisions. *)
+
+val count : t -> int
+val is_empty : t -> bool
+
+val iter : t -> (string -> mutation -> unit) -> unit
+(** Key order (SSTable construction). *)
+
+val to_sorted_list : t -> (string * mutation) list
+val clear : t -> unit

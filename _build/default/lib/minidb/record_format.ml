@@ -1,0 +1,59 @@
+(* Shared record encoding for the WAL and SSTables.
+
+   Record: [ crc u32 | type u8 | klen u32 | vlen u32 | key | value ]
+   The CRC covers everything after itself, so torn tail records after a
+   crash are detected and discarded. *)
+
+module Crc32 = Trio_util.Crc32
+
+let t_put = 1
+let t_delete = 2
+
+let header_size = 13
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let encode ~kind ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let b = Bytes.create (header_size + klen + vlen) in
+  Bytes.set b 4 (Char.chr kind);
+  set_u32 b 5 klen;
+  set_u32 b 9 vlen;
+  Bytes.blit_string key 0 b header_size klen;
+  Bytes.blit_string value 0 b (header_size + klen) vlen;
+  let crc = Crc32.of_bytes ~pos:4 ~len:(header_size - 4 + klen + vlen) b in
+  set_u32 b 0 (crc land 0xFFFFFFFF);
+  b
+
+(* Decode one record at [pos]; returns [None] on truncation or CRC
+   mismatch (end of valid log). *)
+let decode buf pos =
+  let total = Bytes.length buf in
+  if pos + header_size > total then None
+  else begin
+    let crc = get_u32 buf pos in
+    let kind = Char.code (Bytes.get buf (pos + 4)) in
+    let klen = get_u32 buf (pos + 5) in
+    let vlen = get_u32 buf (pos + 9) in
+    if klen < 0 || vlen < 0 || pos + header_size + klen + vlen > total then None
+    else begin
+      let computed = Crc32.of_bytes ~pos:(pos + 4) ~len:(header_size - 4 + klen + vlen) buf in
+      if computed land 0xFFFFFFFF <> crc then None
+      else if kind <> t_put && kind <> t_delete then None
+      else begin
+        let key = Bytes.sub_string buf (pos + header_size) klen in
+        let value = Bytes.sub_string buf (pos + header_size + klen) vlen in
+        Some (kind, key, value, pos + header_size + klen + vlen)
+      end
+    end
+  end

@@ -1,0 +1,59 @@
+(* Write-ahead log over the generic FS interface.
+
+   Every mutation is appended (and optionally fsynced) before it is
+   applied to the memtable; on open, surviving records are replayed.
+   Torn tails (possible after a crash: data writes are not atomic) are
+   cut off by the per-record CRC. *)
+
+module Fs = Trio_core.Fs_intf
+
+type t = { fs : Fs.t; path : string; mutable fd : Fs.fd }
+
+let ( let* ) = Result.bind
+
+let create fs ~path =
+  let* fd =
+    match fs.Fs.create path 0o644 with
+    | Ok fd -> Ok fd
+    | Error Trio_core.Fs_types.EEXIST ->
+      let* () = fs.Fs.truncate path 0 in
+      fs.Fs.open_ path [ Trio_core.Fs_types.O_RDWR ]
+    | Error e -> Error e
+  in
+  Ok { fs; path; fd }
+
+let append t ~kind ~key ~value ~sync =
+  let record = Record_format.encode ~kind ~key ~value in
+  let* _ = t.fs.Fs.append t.fd record in
+  if sync then t.fs.Fs.fsync t.fd else Ok ()
+
+let put t ~key ~value ~sync = append t ~kind:Record_format.t_put ~key ~value ~sync
+let delete t ~key ~sync = append t ~kind:Record_format.t_delete ~key ~value:"" ~sync
+
+(* Replay a log file into [apply].  Stops at the first invalid record. *)
+let replay fs ~path ~apply =
+  match fs.Fs.stat path with
+  | Error _ -> Ok 0 (* no log: nothing to replay *)
+  | Ok st ->
+    let* fd = fs.Fs.open_ path [ Trio_core.Fs_types.O_RDONLY ] in
+    let buf = Bytes.create st.Trio_core.Fs_types.st_size in
+    let* _ = fs.Fs.pread fd buf 0 in
+    let* () = fs.Fs.close fd in
+    let rec go pos n =
+      match Record_format.decode buf pos with
+      | None -> n
+      | Some (kind, key, value, next) ->
+        apply ~kind ~key ~value;
+        go next (n + 1)
+    in
+    Ok (go 0 0)
+
+(* Truncate after a successful memtable flush. *)
+let reset t =
+  let* () = t.fs.Fs.truncate t.path 0 in
+  let* () = t.fs.Fs.close t.fd in
+  let* fd = t.fs.Fs.open_ t.path [ Trio_core.Fs_types.O_RDWR ] in
+  t.fd <- fd;
+  Ok ()
+
+let close t = t.fs.Fs.close t.fd

@@ -1,0 +1,1 @@
+lib/nvm/pmem.ml: Array Bytes Hashtbl Int32 Int64 List Numa Perf Trio_sim Trio_util

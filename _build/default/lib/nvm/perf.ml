@@ -1,0 +1,100 @@
+(* Optane-like NVM performance model.
+
+   All the scalability behaviour the paper leans on comes from here:
+
+   - per-node aggregate bandwidth saturates at a modest concurrency and,
+     for writes, collapses under excessive concurrent access (the Optane
+     XPBuffer/iMC contention pathology reported by the Optane
+     characterization studies and exploited by OdinFS/ArckFS delegation);
+   - remote (cross-NUMA) access is significantly more expensive,
+     especially for writes;
+   - reads and writes have asymmetric latency and bandwidth.
+
+   Curves are piecewise-linear over measured-style anchor points; units
+   are bytes/ns (= GB/s) for aggregate node bandwidth. *)
+
+type profile = {
+  name : string;
+  read_latency : float; (* ns, first-byte latency of a read *)
+  write_latency : float; (* ns, store + WPQ acceptance *)
+  flush_latency : float; (* ns, clwb+sfence round trip *)
+  remote_read_factor : float; (* latency & bandwidth penalty for remote reads *)
+  remote_write_factor : float;
+  read_bw : (float * float) array; (* concurrency -> aggregate bytes/ns *)
+  write_bw : (float * float) array;
+}
+
+(* Linear interpolation over sorted (x, y) anchors; clamps at the ends. *)
+let interp anchors x =
+  let n = Array.length anchors in
+  if n = 0 then invalid_arg "Perf.interp";
+  let x0, y0 = anchors.(0) in
+  if x <= x0 then y0
+  else begin
+    let xl, yl = anchors.(n - 1) in
+    if x >= xl then yl
+    else begin
+      let rec go i =
+        let x1, y1 = anchors.(i) and x2, y2 = anchors.(i + 1) in
+        if x <= x2 then y1 +. ((y2 -. y1) *. (x -. x1) /. (x2 -. x1)) else go (i + 1)
+      in
+      go 0
+    end
+  end
+
+(* Anchors follow the per-socket shapes in the Optane characterization
+   literature (6-DIMM socket): reads saturate ~38 GB/s and hold; writes
+   peak ~13 GB/s around 4-8 threads and collapse beyond. *)
+let optane =
+  {
+    name = "optane-dcpmm";
+    read_latency = 170.0;
+    write_latency = 90.0;
+    flush_latency = 100.0;
+    remote_read_factor = 1.5;
+    remote_write_factor = 2.0;
+    read_bw =
+      [|
+        (1.0, 8.0); (2.0, 15.0); (4.0, 26.0); (8.0, 35.0); (16.0, 38.5);
+        (32.0, 37.0); (64.0, 33.0); (128.0, 30.0); (224.0, 28.0);
+      |];
+    write_bw =
+      [|
+        (1.0, 4.6); (2.0, 8.2); (4.0, 12.5); (8.0, 13.0); (12.0, 11.0);
+        (16.0, 9.0); (32.0, 5.5); (64.0, 3.5); (128.0, 2.8); (224.0, 2.4);
+      |];
+  }
+
+(* A CXL-flash-style device: higher latency, no write collapse.  Used by
+   the ablation benches to show Trio is not Optane-specific. *)
+let cxl_nvm =
+  {
+    name = "cxl-nvm";
+    read_latency = 400.0;
+    write_latency = 300.0;
+    flush_latency = 150.0;
+    remote_read_factor = 1.2;
+    remote_write_factor = 1.2;
+    read_bw = [| (1.0, 6.0); (8.0, 24.0); (32.0, 28.0); (224.0, 28.0) |];
+    write_bw = [| (1.0, 4.0); (8.0, 16.0); (32.0, 20.0); (224.0, 20.0) |];
+  }
+
+let read_bandwidth p k = interp p.read_bw (float_of_int (max 1 k))
+let write_bandwidth p k = interp p.write_bw (float_of_int (max 1 k))
+
+(* CPU-side cost constants shared by all file systems. *)
+module Cpu = struct
+  let syscall = 600.0 (* ns: kernel entry/exit (trap, spectre mitigations) *)
+  let ipc_roundtrip = 3000.0 (* ns: cross-process RPC to a trusted service *)
+  let memcpy_per_byte = 0.03 (* ns/byte: DRAM-side copy work *)
+  let hash_lookup = 60.0 (* ns: one hash-table probe *)
+  let dcache_step = 220.0 (* ns: one VFS path component (dcache + checks) *)
+  let libfs_op = 260.0 (* ns: LibFS entry work (arg checks, fd lookup, locks) *)
+  let radix_step = 25.0 (* ns: one radix-tree level *)
+  let lock_acquire = 18.0 (* ns: uncontended lock *)
+  let fd_alloc = 120.0 (* ns: file-descriptor table slot *)
+  let page_table_op = 1250.0 (* ns: map or unmap one PTE through the kernel *)
+  let page_table_bulk = 90.0 (* ns/page: populating a fresh contiguous VMA *)
+  let dentry_check = 100.0 (* ns: verifier work per directory entry *)
+  let index_entry_check = 6.0 (* ns: verifier work per index-page slot *)
+end

@@ -1,0 +1,338 @@
+(* Simulated byte-addressable persistent memory.
+
+   The device is a sparse array of 4 KiB pages spread over NUMA nodes.
+   Every access:
+
+   - is permission-checked against the MMU hook (this is the hardware
+     enforcement Trio relies on: a LibFS can only touch mapped pages);
+   - charges virtual time through the owning node's bandwidth model,
+     with remote-access penalties when the accessing fiber's CPU is on
+     a different node.
+
+   Persistence model: stores update the volatile image; the previous
+   content of each touched 64-byte line is saved until the line is
+   flushed ([persist]).  [crash] reverts (or, with an RNG, randomly
+   persists) all unflushed lines — exactly the states a real PM device
+   could expose after power failure, which is what the crash-consistency
+   tests explore.
+
+   Pages are tagged [Meta] or [Data]; when the device is created with
+   [store_data:false], data-page contents are not materialized (reads
+   return zeros) but their access costs are still charged.  This lets the
+   224-thread fio benchmarks run at realistic scale in bounded memory;
+   metadata always operates on real bytes. *)
+
+module Sched = Trio_sim.Sched
+module Rng = Trio_util.Rng
+
+let page_size = 4096
+let line_size = 64
+
+type kind = Meta | Data
+
+type page = {
+  mutable content : Bytes.t option; (* None = all zeros / unmaterialized *)
+  mutable dirty : (int * Bytes.t) list; (* line offset within page -> pre-image *)
+  mutable kind : kind;
+}
+
+exception Mmu_fault of { actor : int; page : int; write : bool }
+
+(* Raised by write-injection (see [fail_after_writes]): models the
+   process dying at an arbitrary store, for crash-consistency testing. *)
+exception Crash_point
+
+(* One NUMA node's bandwidth domain: a single active-accessor count with
+   separate read/write aggregate-bandwidth curves. *)
+type node = {
+  mutable active : int;
+  mutable peak_active : int;
+  mutable bytes_read : float;
+  mutable bytes_written : float;
+}
+
+type t = {
+  sched : Sched.t;
+  topo : Numa.t;
+  profile : Perf.profile;
+  pages_per_node : int;
+  store_data : bool;
+  pages : (int, page) Hashtbl.t;
+  nodes : node array;
+  mutable perm_check : actor:int -> page:int -> write:bool -> bool;
+  mutable persist_count : int;
+  mutable crash_count : int;
+  mutable mmu_checks : int;
+  (* countdown of non-kernel stores until a Crash_point is raised;
+     negative = disabled *)
+  mutable fail_writes_after : int;
+}
+
+let kernel_actor = 0
+
+let create ~sched ~topo ~profile ~pages_per_node ~store_data () =
+  if pages_per_node <= 0 then invalid_arg "Pmem.create";
+  {
+    sched;
+    topo;
+    profile;
+    pages_per_node;
+    store_data;
+    pages = Hashtbl.create 4096;
+    nodes =
+      Array.init (Numa.nodes topo) (fun _ ->
+          { active = 0; peak_active = 0; bytes_read = 0.0; bytes_written = 0.0 });
+    perm_check = (fun ~actor:_ ~page:_ ~write:_ -> true);
+    persist_count = 0;
+    crash_count = 0;
+    mmu_checks = 0;
+    fail_writes_after = -1;
+  }
+
+let sched t = t.sched
+let topo t = t.topo
+let total_pages t = t.pages_per_node * Numa.nodes t.topo
+let node_of_page t pg = pg / t.pages_per_node
+let pages_per_node t = t.pages_per_node
+let set_perm_check t f = t.perm_check <- f
+let persist_count t = t.persist_count
+
+let check_perm t ~actor ~page ~write =
+  t.mmu_checks <- t.mmu_checks + 1;
+  if actor <> kernel_actor && not (t.perm_check ~actor ~page ~write) then
+    raise (Mmu_fault { actor; page; write })
+
+let get_page t pg =
+  match Hashtbl.find_opt t.pages pg with
+  | Some p -> p
+  | None ->
+    let p = { content = None; dirty = []; kind = Meta } in
+    Hashtbl.add t.pages pg p;
+    p
+
+let set_kind t pg kind = (get_page t pg).kind <- kind
+
+let kind_of t pg = match Hashtbl.find_opt t.pages pg with Some p -> p.kind | None -> Meta
+
+(* Drop a freed page's storage (and any pending pre-images). *)
+let discard_page t pg = Hashtbl.remove t.pages pg
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting *)
+
+let node_access t ~node ~write ~bytes =
+  let n = t.nodes.(node) in
+  n.active <- n.active + 1;
+  if n.active > n.peak_active then n.peak_active <- n.active;
+  let k = n.active in
+  let cpu_node = Numa.node_of_cpu t.topo (Sched.current_cpu ()) in
+  let remote = cpu_node <> node in
+  let factor =
+    if not remote then 1.0
+    else if write then t.profile.Perf.remote_write_factor
+    else t.profile.Perf.remote_read_factor
+  in
+  let bw =
+    (if write then Perf.write_bandwidth t.profile k else Perf.read_bandwidth t.profile k)
+    /. factor
+  in
+  let latency =
+    (if write then t.profile.Perf.write_latency else t.profile.Perf.read_latency) *. factor
+  in
+  if write then n.bytes_written <- n.bytes_written +. float_of_int bytes
+  else n.bytes_read <- n.bytes_read +. float_of_int bytes;
+  let share = bw /. float_of_int k in
+  Sched.delay (latency +. (float_of_int bytes /. share));
+  n.active <- n.active - 1
+
+(* Group a byte range into per-node runs so that latency is charged once
+   per node touched, and bandwidth per byte. *)
+let iter_node_runs t addr len f =
+  if len < 0 || addr < 0 then invalid_arg "Pmem: bad range";
+  let node_bytes = t.pages_per_node * page_size in
+  let pos = ref addr in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let node = !pos / node_bytes in
+    let node_end = (node + 1) * node_bytes in
+    let chunk = min !remaining (node_end - !pos) in
+    f ~node ~addr:!pos ~len:chunk;
+    pos := !pos + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Raw (cost-free) byte plumbing *)
+
+let materialize p =
+  match p.content with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    p.content <- Some b;
+    b
+
+let save_preimages p ~off ~len =
+  let first_line = off / line_size and last_line = (off + len - 1) / line_size in
+  for line = first_line to last_line do
+    let lo = line * line_size in
+    if not (List.mem_assoc lo p.dirty) then begin
+      let pre =
+        match p.content with
+        | Some b -> Bytes.sub b lo line_size
+        | None -> Bytes.make line_size '\000'
+      in
+      p.dirty <- (lo, pre) :: p.dirty
+    end
+  done
+
+let blit_to_page t pg ~off ~src ~src_pos ~len =
+  let p = get_page t pg in
+  if p.kind = Data && not t.store_data then ()
+  else begin
+    save_preimages p ~off ~len;
+    let b = materialize p in
+    Bytes.blit src src_pos b off len
+  end
+
+let blit_from_page t pg ~off ~dst ~dst_pos ~len =
+  match Hashtbl.find_opt t.pages pg with
+  | Some { content = Some b; _ } -> Bytes.blit b off dst dst_pos len
+  | _ -> Bytes.fill dst dst_pos len '\000'
+
+let iter_pages addr len f =
+  let pos = ref addr and remaining = ref len in
+  while !remaining > 0 do
+    let pg = !pos / page_size in
+    let off = !pos mod page_size in
+    let chunk = min !remaining (page_size - off) in
+    f ~pg ~off ~chunk ~done_:(len - !remaining);
+    pos := !pos + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public accessors: MMU check + cost + data movement *)
+
+let check_range t ~actor ~addr ~len ~write =
+  iter_pages addr len (fun ~pg ~off:_ ~chunk:_ ~done_:_ ->
+      check_perm t ~actor ~page:pg ~write)
+
+let read t ~actor ~addr ~len =
+  check_range t ~actor ~addr ~len ~write:false;
+  iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:false ~bytes:len);
+  let dst = Bytes.create len in
+  iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
+      blit_from_page t pg ~off ~dst ~dst_pos:done_ ~len:chunk);
+  dst
+
+(* Arm the crash injector: the [n]th subsequent store by a non-kernel
+   actor raises {!Crash_point} instead of executing — the process dies
+   mid-operation at an arbitrary store boundary. *)
+let fail_after_writes t n = t.fail_writes_after <- n
+
+let maybe_crash_point t ~actor =
+  if actor <> kernel_actor && t.fail_writes_after >= 0 then begin
+    if t.fail_writes_after = 0 then begin
+      t.fail_writes_after <- -1;
+      raise Crash_point
+    end;
+    t.fail_writes_after <- t.fail_writes_after - 1
+  end
+
+let write_sub t ~actor ~addr ~src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then invalid_arg "Pmem.write_sub";
+  maybe_crash_point t ~actor;
+  check_range t ~actor ~addr ~len ~write:true;
+  iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:true ~bytes:len);
+  iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
+      blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk)
+
+let write t ~actor ~addr ~src = write_sub t ~actor ~addr ~src ~pos:0 ~len:(Bytes.length src)
+
+(* Account the cost of moving [len] bytes without touching content: the
+   non-materialized fast path used by data-heavy benchmarks. *)
+let touch t ~actor ~addr ~len ~write =
+  check_range t ~actor ~addr ~len ~write;
+  iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write ~bytes:len)
+
+(* clwb + sfence over a range: pre-images in the range are discarded (the
+   lines are now on media).  The data movement itself was already charged
+   at write time (we model non-temporal stores), so the cost here is the
+   fence round trip, independent of the range size. *)
+let persist_range t ~addr ~len =
+  iter_pages addr len (fun ~pg ~off ~chunk ~done_:_ ->
+      match Hashtbl.find_opt t.pages pg with
+      | None -> ()
+      | Some p ->
+        let lo = off / line_size * line_size in
+        let hi = off + chunk - 1 in
+        p.dirty <- List.filter (fun (loff, _) -> loff < lo || loff > hi) p.dirty)
+
+(* One fence covering several ranges (a multi-run data write drains the
+   whole write-combining pipeline with a single sfence). *)
+let persist_ranges t ranges =
+  t.persist_count <- t.persist_count + 1;
+  Sched.delay t.profile.Perf.flush_latency;
+  List.iter (fun (addr, len) -> persist_range t ~addr ~len) ranges
+
+let persist t ~addr ~len =
+  t.persist_count <- t.persist_count + 1;
+  Sched.delay t.profile.Perf.flush_latency;
+  iter_pages addr len (fun ~pg ~off ~chunk ~done_:_ ->
+      match Hashtbl.find_opt t.pages pg with
+      | None -> ()
+      | Some p ->
+        let lo = off / line_size * line_size in
+        let hi = off + chunk - 1 in
+        p.dirty <- List.filter (fun (loff, _) -> loff < lo || loff > hi) p.dirty)
+
+(* Convenience: little-endian integer accessors (metadata fields). *)
+let read_u64 t ~actor ~addr =
+  let b = read t ~actor ~addr ~len:8 in
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let write_u64 t ~actor ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  write t ~actor ~addr ~src:b
+
+let read_u32 t ~actor ~addr =
+  let b = read t ~actor ~addr ~len:4 in
+  Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF
+
+let write_u32 t ~actor ~addr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  write t ~actor ~addr ~src:b
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection *)
+
+(* Revert every unflushed line to its pre-image; with [rng], each line
+   instead survives with probability 1/2 (cachelines evict in arbitrary
+   order on real hardware, so any subset of unflushed lines may be
+   durable). *)
+let crash ?rng t =
+  t.crash_count <- t.crash_count + 1;
+  Hashtbl.iter
+    (fun _pg p ->
+      (match p.content with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun (loff, pre) ->
+            let survives = match rng with Some r -> Rng.bool r | None -> false in
+            if not survives then Bytes.blit pre 0 b loff line_size)
+          p.dirty);
+      p.dirty <- [])
+    t.pages
+
+let dirty_lines t =
+  Hashtbl.fold (fun _ p acc -> acc + List.length p.dirty) t.pages 0
+
+let materialized_pages t = Hashtbl.length t.pages
+
+let node_stats t node =
+  let n = t.nodes.(node) in
+  (n.peak_active, n.bytes_read, n.bytes_written)

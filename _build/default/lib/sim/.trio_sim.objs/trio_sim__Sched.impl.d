@@ -1,0 +1,1 @@
+lib/sim/sched.ml: Array Effect Float Option Printexc

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Fmt Hashtbl List Sched String

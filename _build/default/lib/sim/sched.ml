@@ -1,0 +1,199 @@
+(* Deterministic discrete-event scheduler.
+
+   Simulated threads are OCaml 5 fibers (effect handlers).  A fiber runs
+   until it performs [Delay], [Park] or finishes; the scheduler then pops
+   the next event from a binary heap keyed by (virtual time, sequence
+   number).  The sequence number makes execution deterministic: events at
+   equal timestamps run in creation order.
+
+   Virtual time is in nanoseconds (float). *)
+
+type waker = unit -> unit
+
+type ctx = { cpu : int; tid : int }
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Park : ((unit -> unit) -> unit) -> unit Effect.t
+  | Get_ctx : ctx Effect.t
+
+(* Binary min-heap of (time, seq, action). *)
+module Heap = struct
+  type entry = { time : float; seq : int; action : unit -> unit }
+
+  type t = { mutable a : entry array; mutable len : int }
+
+  let dummy = { time = 0.0; seq = 0; action = ignore }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+  let is_empty h = h.len = 0
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 bigger 0 h.len;
+      h.a <- bigger
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while !i > 0 && lt h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue_ := false
+    done;
+    top
+end
+
+type t = {
+  mutable now : float;
+  heap : Heap.t;
+  mutable seq : int;
+  mutable live_fibers : int;
+  mutable spawned : int;
+  mutable events : int;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stopping : bool;
+}
+
+let create () =
+  {
+    now = 0.0;
+    heap = Heap.create ();
+    seq = 0;
+    live_fibers = 0;
+    spawned = 0;
+    events = 0;
+    failure = None;
+    stopping = false;
+  }
+
+let now t = t.now
+let live_fibers t = t.live_fibers
+let events_processed t = t.events
+
+let schedule t time action =
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time; seq = t.seq; action }
+
+exception Stopped
+
+let spawn ?(cpu = 0) t f =
+  t.live_fibers <- t.live_fibers + 1;
+  t.spawned <- t.spawned + 1;
+  let tid = t.spawned in
+  let ctx = { cpu; tid } in
+  let fiber () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> t.live_fibers <- t.live_fibers - 1);
+        exnc =
+          (fun e ->
+            t.live_fibers <- t.live_fibers - 1;
+            match e with
+            | Stopped -> ()
+            | e ->
+              if t.failure = None then
+                t.failure <- Some (e, Printexc.get_raw_backtrace ()));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Delay ns ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if ns < 0.0 then invalid_arg "Sched: negative delay";
+                  schedule t (t.now +. ns) (fun () ->
+                      if t.stopping then discontinue k Stopped else continue k ()))
+            | Park register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  register (fun () ->
+                      if not !woken then begin
+                        woken := true;
+                        schedule t t.now (fun () ->
+                            if t.stopping then discontinue k Stopped else continue k ())
+                      end))
+            | Get_ctx -> Some (fun (k : (a, unit) continuation) -> continue k ctx)
+            | _ -> None);
+      }
+  in
+  schedule t t.now fiber
+
+(* Run until the event heap drains, a fiber raises, or [until] virtual ns
+   elapse.  Returns the virtual time reached. *)
+let run ?until t =
+  let deadline = Option.value until ~default:Float.infinity in
+  let continue_ = ref true in
+  while !continue_ do
+    if Heap.is_empty t.heap || t.failure <> None then continue_ := false
+    else begin
+      let e = Heap.pop t.heap in
+      if e.Heap.time > deadline then begin
+        t.now <- deadline;
+        (* Push the event back: callers may resume the run later. *)
+        Heap.push t.heap e;
+        continue_ := false
+      end
+      else begin
+        if e.Heap.time > t.now then t.now <- e.Heap.time;
+        t.events <- t.events + 1;
+        e.Heap.action ()
+      end
+    end
+  done;
+  (match t.failure with
+  | Some (e, bt) ->
+    t.failure <- None;
+    Printexc.raise_with_backtrace e bt
+  | None -> ());
+  t.now
+
+(* Abandon parked/delayed fibers: subsequent resumptions discontinue with
+   [Stopped].  Used to tear down infinite service loops (delegation
+   threads) at the end of a benchmark run. *)
+let stop t = t.stopping <- true
+
+(* ------------------------------------------------------------------ *)
+(* Operations usable from inside a fiber. *)
+
+let delay ns = Effect.perform (Delay ns)
+
+let cpu_work ns = delay ns
+
+let yield () = Effect.perform (Delay 0.0)
+
+let park register = Effect.perform (Park register)
+
+let self () = Effect.perform Get_ctx
+
+let current_cpu () = (self ()).cpu
+
+let current_tid () = (self ()).tid

@@ -1,0 +1,58 @@
+(** Deterministic discrete-event scheduler with effect-based fibers.
+
+    Simulated threads ("fibers") run on a virtual clock measured in
+    nanoseconds.  Execution is fully deterministic: a given spawn order
+    always yields the same interleaving. *)
+
+type t
+
+type waker = unit -> unit
+
+type ctx = { cpu : int; tid : int }
+(** Identity of the running fiber: the simulated CPU it is pinned to and a
+    unique thread id. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in nanoseconds. *)
+
+val live_fibers : t -> int
+val events_processed : t -> int
+
+val spawn : ?cpu:int -> t -> (unit -> unit) -> unit
+(** Start a fiber pinned to simulated CPU [cpu] (default 0). *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** Low-level: run a thunk at an absolute virtual time. *)
+
+val run : ?until:float -> t -> float
+(** Process events until the heap drains or virtual time [until] is
+    reached; returns the virtual time reached.  Re-raises the first
+    exception escaping a fiber. *)
+
+val stop : t -> unit
+(** Mark the simulation as stopping: every subsequently-resumed fiber is
+    discontinued.  Used to tear down infinite service loops. *)
+
+exception Stopped
+(** Raised inside fibers on resumption after {!stop}. *)
+
+(** {2 Fiber operations} — valid only inside a fiber. *)
+
+val delay : float -> unit
+(** Advance this fiber's virtual time by [ns]. *)
+
+val cpu_work : float -> unit
+(** Alias of {!delay}: account CPU time spent off-NVM. *)
+
+val yield : unit -> unit
+
+val park : ((unit -> unit) -> unit) -> unit
+(** [park register] suspends the fiber; [register waker] must arrange for
+    [waker] to be called exactly when the fiber should resume.  Calling
+    the waker more than once is harmless. *)
+
+val self : unit -> ctx
+val current_cpu : unit -> int
+val current_tid : unit -> int

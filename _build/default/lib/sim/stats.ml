@@ -1,0 +1,40 @@
+(* Named counters and time accumulators.
+
+   The sharing-cost breakdown of Fig. 8 (map / unmap / verify / rebuild
+   fractions) and various benchmark instrumentation read these. *)
+
+type t = { counters : (string, float ref) Hashtbl.t }
+
+let create () = { counters = Hashtbl.create 32 }
+
+let cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let add t name v =
+  let r = cell t name in
+  r := !r +. v
+
+let incr t name = add t name 1.0
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0.0
+
+let reset t = Hashtbl.reset t.counters
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Time a phase and accumulate its virtual duration under [name]. *)
+let timed t sched name f =
+  let start = Sched.now sched in
+  let v = f () in
+  add t name (Sched.now sched -. start);
+  v
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-32s %.1f@." k v) (to_list t)

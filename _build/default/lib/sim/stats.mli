@@ -1,0 +1,24 @@
+(** Named counters and virtual-time accumulators (benchmark
+    instrumentation; the Fig. 8 sharing-cost breakdown reads these). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> float -> unit
+(** Accumulate [v] under [name]. *)
+
+val incr : t -> string -> unit
+
+val get : t -> string -> float
+(** 0 for unknown names. *)
+
+val reset : t -> unit
+
+val to_list : t -> (string * float) list
+(** All counters, sorted by name. *)
+
+val timed : t -> Sched.t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk and accumulate its virtual duration under [name]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/bitmap.ml: Bytes Char

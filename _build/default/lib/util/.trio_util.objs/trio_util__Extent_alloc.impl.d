@@ -1,0 +1,1 @@
+lib/util/extent_alloc.ml: Int Map Seq

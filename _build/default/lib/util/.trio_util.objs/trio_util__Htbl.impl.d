@@ -1,0 +1,1 @@
+lib/util/htbl.ml: Array Char Int List Option String

@@ -1,0 +1,1 @@
+lib/util/radix.ml: Array Option

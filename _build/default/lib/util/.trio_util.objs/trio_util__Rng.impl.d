@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Bytes Char Float Int64

@@ -1,0 +1,54 @@
+(* Fixed-size bitset backed by a Bytes.t.
+
+   Used by the integrity verifier to detect doubly-referenced pages (check
+   I2) and by tests to model allocation maps. *)
+
+type t = { bits : Bytes.t; size : int }
+
+let create size =
+  if size < 0 then invalid_arg "Bitmap.create";
+  { bits = Bytes.make ((size + 7) / 8) '\000'; size }
+
+let size t = t.size
+
+let check_idx t i =
+  if i < 0 || i >= t.size then invalid_arg "Bitmap: index out of bounds"
+
+let get t i =
+  check_idx t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check_idx t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let clear t i =
+  check_idx t i;
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  Bytes.set t.bits (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xff))
+
+(* Set the bit and report whether it was already set: the one-pass primitive
+   the verifier uses for double-reference detection. *)
+let test_and_set t i =
+  let was = get t i in
+  if not was then set t i;
+  was
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = ref (Char.code (Bytes.get t.bits i)) in
+    while !b <> 0 do
+      b := !b land (!b - 1);
+      incr n
+    done
+  done;
+  !n
+
+let iter_set t f =
+  for i = 0 to t.size - 1 do
+    if get t i then f i
+  done
+
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'

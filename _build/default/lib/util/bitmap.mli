@@ -1,0 +1,23 @@
+(** Fixed-size bitset. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a bitset over indices [0, n), all clear. *)
+
+val size : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val test_and_set : t -> int -> bool
+(** Sets the bit; returns [true] iff it was already set. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** Apply to every set index in increasing order. *)
+
+val reset : t -> unit
+(** Clear all bits. *)

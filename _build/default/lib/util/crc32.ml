@@ -1,0 +1,28 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected).
+
+   Used by the mini-LevelDB SSTable/WAL formats to detect torn records
+   after simulated crashes. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let update crc b =
+  let table = Lazy.force table in
+  table.((crc lxor Char.code b) land 0xff) lxor (crc lsr 8)
+
+let of_bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Bytes.get b i)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let of_string ?(pos = 0) ?len s =
+  of_bytes ~pos ?len (Bytes.unsafe_of_string s)

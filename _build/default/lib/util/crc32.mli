@@ -1,0 +1,5 @@
+(** CRC-32 (IEEE, reflected) for record integrity in the mini-LevelDB
+    on-disk formats. *)
+
+val of_bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+val of_string : ?pos:int -> ?len:int -> string -> int

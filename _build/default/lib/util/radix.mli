@@ -1,0 +1,24 @@
+(** Radix tree over non-negative integer keys (6 bits per level).
+
+    The per-file index structure of ArckFS' LibFS auxiliary state. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val insert : 'a t -> int -> 'a -> unit
+(** Insert or replace. Raises [Invalid_argument] on a negative key. *)
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+val remove : 'a t -> int -> unit
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit bindings in increasing key order. *)
+
+val fold : 'a t -> 'b -> ('b -> int -> 'a -> 'b) -> 'b
+val clear : 'a t -> unit
+
+val max_key : 'a t -> int option
+(** Largest key present. *)

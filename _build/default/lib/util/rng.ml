@@ -1,0 +1,66 @@
+(* Deterministic splitmix64 PRNG.
+
+   Every randomized component in the repository (workload generators, crash
+   injection, corruption scripts) draws from an explicit [Rng.t] so that a
+   given seed always reproduces the same simulation. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative int in [0, 2^62). *)
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Float.of_int (next t) /. Float.of_int (1 lsl 62) *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Sample from a zipf-like distribution over [0, n); used by the Filebench
+   and db_bench workload generators to pick files/keys with skew. *)
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  if theta <= 0.0 then int t n
+  else begin
+    let u = float t 1.0 in
+    let x = Float.pow (Float.of_int n) (1.0 -. theta) in
+    let v = ((x -. 1.0) *. u) +. 1.0 in
+    let r = Float.pow v (1.0 /. (1.0 -. theta)) in
+    let i = int_of_float r - 1 in
+    if i < 0 then 0 else if i >= n then n - 1 else i
+  end
+
+let bytes t len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (Int64.to_int (next_int64 t))

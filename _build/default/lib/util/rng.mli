@@ -1,0 +1,41 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All randomized components take an explicit generator so that simulations
+    are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same future stream. *)
+
+val next : t -> int
+(** Uniform non-negative int in [0, 2{^62}). *)
+
+val next_int64 : t -> int64
+(** Uniform 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-like skewed sample in [0, n); [theta = 0] degrades to uniform. *)
+
+val bytes : t -> int -> Bytes.t
+(** Fresh buffer of random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-thread streams). *)

@@ -1,0 +1,1 @@
+lib/workloads/dbbench.ml: Fmt Minidb Printf String Trio_core Trio_sim Trio_util

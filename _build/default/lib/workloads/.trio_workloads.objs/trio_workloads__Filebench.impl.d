@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Array Bytes Kvfs List Printf Rig Runner String Trio_core Trio_util

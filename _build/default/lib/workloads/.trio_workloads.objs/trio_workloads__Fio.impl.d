@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Array Bytes Printf Rig Runner Trio_core Trio_sim Trio_util

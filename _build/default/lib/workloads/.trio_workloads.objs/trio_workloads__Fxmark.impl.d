@@ -1,0 +1,1 @@
+lib/workloads/fxmark.ml: Array List Printf Rig Runner Trio_core Trio_util

@@ -1,0 +1,1 @@
+lib/workloads/rig.ml: Arckfs Fpfs Lazy Trio_baselines Trio_core Trio_nvm Trio_sim

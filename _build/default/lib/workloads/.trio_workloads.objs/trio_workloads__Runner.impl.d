@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Fmt Trio_nvm Trio_sim

@@ -1,0 +1,76 @@
+(* LevelDB db_bench over the mini-LevelDB (paper §6.6 / Table 5).
+
+   Default paper setup: one thread, 100-byte values, one million
+   objects; object count scaled per DESIGN.md.  Workloads:
+
+     fillseq      sequential-key inserts
+     fillsync     random inserts, fsync'd WAL on every write
+     fillrandom   random-key inserts
+     fill100K     sequential inserts of 100 KiB values
+     readrandom   random point lookups (after fillrandom)
+     deleterandom random deletes (after fillrandom) *)
+
+module Sched = Trio_sim.Sched
+module Rng = Trio_util.Rng
+module Fs = Trio_core.Fs_intf
+
+type workload = Fill_seq | Fill_sync | Fill_random | Fill_100k | Read_random | Delete_random
+
+let workload_name = function
+  | Fill_seq -> "fillseq"
+  | Fill_sync -> "fillsync"
+  | Fill_random -> "fillrandom"
+  | Fill_100k -> "fill100K"
+  | Read_random -> "readrandom"
+  | Delete_random -> "deleterandom"
+
+let all = [ Fill_100k; Fill_seq; Fill_sync; Fill_random; Read_random; Delete_random ]
+
+let fail_on what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "db_bench %s: %s" what (Trio_core.Fs_types.errno_to_string e))
+
+let key_of i = Printf.sprintf "%016d" i
+
+type result = { workload : workload; ops : int; ops_per_ms : float }
+
+let pp_result ppf r =
+  Fmt.pf ppf "%-12s %8.2f ops/ms (%d ops)" (workload_name r.workload) r.ops_per_ms r.ops
+
+(* Run one workload; inside a fiber.  [n] operations, deterministic. *)
+let run ~sched fs workload ~n =
+  let value_size = match workload with Fill_100k -> 100 * 1024 | _ -> 100 in
+  let sync = workload = Fill_sync in
+  let dir = "/db_" ^ workload_name workload in
+  let options = { Minidb.Db.default_options with sync_writes = sync } in
+  let db = fail_on "open" (Minidb.Db.open_db ~options fs ~dir) in
+  let rng = Rng.create 4242 in
+  let value = String.make value_size 'v' in
+  (* read/delete workloads need a populated database *)
+  (match workload with
+  | Read_random | Delete_random ->
+    for i = 0 to n - 1 do
+      fail_on "preload" (Minidb.Db.put db ~key:(key_of i) ~value)
+    done
+  | _ -> ());
+  let t0 = Sched.now sched in
+  (match workload with
+  | Fill_seq | Fill_100k ->
+    for i = 0 to n - 1 do
+      fail_on "put" (Minidb.Db.put db ~key:(key_of i) ~value)
+    done
+  | Fill_sync | Fill_random ->
+    for _ = 0 to n - 1 do
+      fail_on "put" (Minidb.Db.put db ~key:(key_of (Rng.int rng n)) ~value)
+    done
+  | Read_random ->
+    for _ = 0 to n - 1 do
+      ignore (fail_on "get" (Minidb.Db.get db ~key:(key_of (Rng.int rng n))))
+    done
+  | Delete_random ->
+    for _ = 0 to n - 1 do
+      fail_on "delete" (Minidb.Db.delete db ~key:(key_of (Rng.int rng n)))
+    done);
+  let elapsed_ns = Sched.now sched -. t0 in
+  fail_on "close" (Minidb.Db.close db);
+  { workload; ops = n; ops_per_ms = float_of_int n /. (elapsed_ns /. 1e6) }

@@ -1,0 +1,207 @@
+(* Filebench-style macrobenchmarks (paper §6.6 / Fig. 9, Table 4).
+
+   Four personalities over per-thread private filesets (the paper
+   assigns a private fileset per thread to bypass Filebench's global
+   fileset lock), plus the two customization workloads of Fig. 10:
+   a key-value Webproxy for KVFS and a depth-20 Varmail for FPFS.
+
+   File counts and sizes are scaled from Table 4 to fit the container;
+   EXPERIMENTS.md records the scaling. *)
+
+module Fs = Trio_core.Fs_intf
+module Rng = Trio_util.Rng
+open Trio_core.Fs_types
+
+type personality = {
+  p_name : string;
+  p_nfiles : int; (* files per thread *)
+  p_avg_size : int;
+  p_io_read : int; (* read request size *)
+  p_io_write : int; (* write/append request size *)
+  p_dir_depth : int;
+  (* operation mix per loop iteration *)
+  p_mix : [ `Create_write | `Read_whole | `Append | `Delete_create | `Stat | `Fsync_write ] list;
+}
+
+(* Table 4, scaled 10x-100x down in file count / size. *)
+let fileserver =
+  {
+    p_name = "fileserver";
+    p_nfiles = 64;
+    p_avg_size = 128 * 1024;
+    p_io_read = 1024 * 1024;
+    p_io_write = 64 * 1024;
+    p_dir_depth = 2;
+    p_mix = [ `Create_write; `Append; `Read_whole; `Delete_create; `Stat; `Append ];
+  }
+
+let webserver =
+  {
+    p_name = "webserver";
+    p_nfiles = 128;
+    p_avg_size = 64 * 1024;
+    p_io_read = 1024 * 1024;
+    p_io_write = 8 * 1024;
+    p_dir_depth = 2;
+    p_mix =
+      [ `Read_whole; `Read_whole; `Read_whole; `Read_whole; `Read_whole;
+        `Read_whole; `Read_whole; `Read_whole; `Read_whole; `Read_whole; `Append ];
+  }
+
+let webproxy =
+  {
+    p_name = "webproxy";
+    p_nfiles = 256;
+    p_avg_size = 16 * 1024;
+    p_io_read = 16 * 1024;
+    p_io_write = 16 * 1024;
+    p_dir_depth = 1;
+    p_mix = [ `Delete_create; `Read_whole; `Read_whole; `Read_whole; `Read_whole; `Read_whole ];
+  }
+
+let varmail =
+  {
+    p_name = "varmail";
+    p_nfiles = 256;
+    p_avg_size = 16 * 1024;
+    p_io_read = 16 * 1024;
+    p_io_write = 16 * 1024;
+    p_dir_depth = 1;
+    p_mix = [ `Delete_create; `Fsync_write; `Read_whole; `Fsync_write; `Read_whole ];
+  }
+
+(* Fig. 10: Varmail with a directory depth of 20 to stress path
+   resolution (FPFS' target workload). *)
+let varmail_deep = { varmail with p_name = "varmail-deep"; p_dir_depth = 20 }
+
+let personalities = [ fileserver; webserver; webproxy; varmail; varmail_deep ]
+
+let find name = List.find (fun p -> p.p_name = name) personalities
+
+let fail_on what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "filebench %s: %s" what (errno_to_string e))
+
+type thread_state = {
+  files : string array;
+  rng : Rng.t;
+  mutable op_cursor : int;
+  write_buf : Bytes.t;
+  read_buf : Bytes.t;
+}
+
+let dir_of p tid =
+  let segments = List.init p.p_dir_depth (fun i -> Printf.sprintf "d%d" i) in
+  Printf.sprintf "/%s_t%d/%s" p.p_name tid (String.concat "/" segments)
+
+let prepare p fs ~threads =
+  Array.init threads (fun tid ->
+      let dir = dir_of p tid in
+      fail_on "mkdir_p" (Fs.mkdir_p fs dir);
+      let files =
+        Array.init p.p_nfiles (fun i -> Printf.sprintf "%s/f%05d" dir i)
+      in
+      let rng = Rng.create (7 * (tid + 1)) in
+      Array.iter
+        (fun path ->
+          let fd = fail_on "create" (fs.Fs.create path 0o644) in
+          fail_on "truncate" (fs.Fs.truncate path p.p_avg_size);
+          fail_on "close" (fs.Fs.close fd))
+        files;
+      {
+        files;
+        rng;
+        op_cursor = 0;
+        write_buf = Bytes.make p.p_io_write 'v';
+        read_buf = Bytes.make p.p_io_read 'r';
+      })
+
+let one_op p fs st =
+  let op = List.nth p.p_mix (st.op_cursor mod List.length p.p_mix) in
+  st.op_cursor <- st.op_cursor + 1;
+  let pick () = st.files.(Rng.int st.rng (Array.length st.files)) in
+  match op with
+  | `Create_write ->
+    (* whole-file rewrite *)
+    let path = pick () in
+    let fd = fail_on "open" (fs.Fs.open_ path [ O_RDWR; O_TRUNC ]) in
+    let written = ref 0 in
+    while !written < p.p_avg_size do
+      let n = fail_on "append" (fs.Fs.append fd st.write_buf) in
+      written := !written + n
+    done;
+    fail_on "close" (fs.Fs.close fd);
+    !written
+  | `Read_whole ->
+    let path = pick () in
+    let fd = fail_on "open" (fs.Fs.open_ path [ O_RDONLY ]) in
+    let total = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let n = fail_on "pread" (fs.Fs.pread fd st.read_buf !total) in
+      total := !total + n;
+      if n < Bytes.length st.read_buf then continue_ := false
+    done;
+    fail_on "close" (fs.Fs.close fd);
+    !total
+  | `Append ->
+    let path = pick () in
+    let fd = fail_on "open" (fs.Fs.open_ path [ O_RDWR ]) in
+    let n = fail_on "append" (fs.Fs.append fd st.write_buf) in
+    fail_on "close" (fs.Fs.close fd);
+    n
+  | `Delete_create ->
+    let path = pick () in
+    fail_on "unlink" (fs.Fs.unlink path);
+    let fd = fail_on "create" (fs.Fs.create path 0o644) in
+    let n = fail_on "append" (fs.Fs.append fd st.write_buf) in
+    fail_on "close" (fs.Fs.close fd);
+    n
+  | `Stat ->
+    ignore (fail_on "stat" (fs.Fs.stat (pick ())));
+    0
+  | `Fsync_write ->
+    let path = pick () in
+    let fd = fail_on "open" (fs.Fs.open_ path [ O_RDWR ]) in
+    let n = fail_on "append" (fs.Fs.append fd st.write_buf) in
+    fail_on "fsync" (fs.Fs.fsync fd);
+    fail_on "close" (fs.Fs.close fd);
+    n
+
+(* Run a personality; inside a fiber. *)
+let run (rig : Rig.t) fs p ~threads ?(max_ops = 20_000) ?(max_ns = 30.0e6) () =
+  let states = prepare p fs ~threads in
+  let body ~tid = one_op p fs states.(tid) in
+  Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()
+
+(* --------------------------------------------------------------- *)
+(* Fig. 10: key-value Webproxy running on the KVFS get/set interface. *)
+
+let run_kv_webproxy (rig : Rig.t) (kv : Kvfs.t) ~threads ?(max_ops = 20_000)
+    ?(max_ns = 30.0e6) () =
+  let p = webproxy in
+  let states =
+    Array.init threads (fun tid ->
+        let rng = Rng.create (11 * (tid + 1)) in
+        let keys = Array.init p.p_nfiles (fun i -> Printf.sprintf "t%d_obj%05d" tid i) in
+        let value = Bytes.make p.p_avg_size 'v' in
+        Array.iter (fun k -> fail_on "set" (Kvfs.set kv k value)) keys;
+        (rng, keys, value))
+  in
+  let cursors = Array.make threads 0 in
+  let body ~tid =
+    let rng, keys, value = states.(tid) in
+    let c = cursors.(tid) in
+    cursors.(tid) <- c + 1;
+    let key = keys.(Rng.int rng (Array.length keys)) in
+    if c mod 6 = 0 then begin
+      (* replace the object: delete + set in the POSIX version *)
+      fail_on "set" (Kvfs.set kv key value);
+      Bytes.length value
+    end
+    else begin
+      let v = fail_on "get" (Kvfs.get kv key) in
+      Bytes.length v
+    end
+  in
+  Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()

@@ -1,0 +1,56 @@
+(* fio-style data-path microbenchmark (paper §6.2, §6.3 / Figs. 5-6).
+
+   Each thread owns a private file and issues fixed-size reads or
+   writes at sequentially advancing offsets (wrapping), matching the
+   paper's configuration "each thread accesses a 1 GiB private file"
+   — scaled per DESIGN.md to fit the container. *)
+
+module Sched = Trio_sim.Sched
+module Fs = Trio_core.Fs_intf
+open Trio_core.Fs_types
+
+type kind = Read | Write
+
+type config = {
+  threads : int;
+  block_size : int;
+  file_size : int;
+  kind : kind;
+}
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let setup fs ~threads ~file_size =
+  let fds = Array.make threads (-1) in
+  for tid = 0 to threads - 1 do
+    let path = Printf.sprintf "/fio%d" tid in
+    (match fs.Fs.create path 0o644 with
+    | Ok fd -> fds.(tid) <- fd
+    | Error e -> failwith ("fio setup: " ^ errno_to_string e));
+    match fs.Fs.truncate path file_size with
+    | Ok () -> ()
+    | Error e -> failwith ("fio setup truncate: " ^ errno_to_string e)
+  done;
+  fds
+
+(* Run one configuration; must be called inside a fiber.  Offsets are
+   uniformly random block-aligned positions (fio randread/randwrite):
+   sequential-in-lockstep threads would convoy onto one NUMA stripe. *)
+let run (rig : Rig.t) fs config ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
+  let fds = setup fs ~threads:config.threads ~file_size:config.file_size in
+  let rngs = Array.init config.threads (fun tid -> Trio_util.Rng.create (97 * (tid + 1))) in
+  let blocks = max 1 (config.file_size / config.block_size) in
+  let buf = Bytes.make config.block_size 'w' in
+  let body ~tid =
+    let off = Trio_util.Rng.int rngs.(tid) blocks * config.block_size in
+    let result =
+      match config.kind with
+      | Read -> fs.Fs.pread fds.(tid) buf off
+      | Write -> fs.Fs.pwrite fds.(tid) buf off
+    in
+    match result with
+    | Ok n -> n
+    | Error e -> failwith ("fio op: " ^ errno_to_string e)
+  in
+  Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:config.threads ~max_ops ~max_ns
+    ~body ()

@@ -1,0 +1,271 @@
+(* FxMark metadata microbenchmarks (paper §6.4 / Fig. 7, Table 2).
+
+   Naming (from FxMark): operation / sharing level.
+     D=data W=write R=read; T=truncate, P=path, D(2nd)=directory,
+     C=create, U=unlink, R(2nd)=rename;
+     L=low (private), M=medium (shared dir), H=high (same file).
+
+   Implemented benchmarks (Table 2):
+     DWTL   reduce the size of a private file by 4 KiB per op
+     MRPL/M/H   open a (private / random-shared / same) file in
+                five-depth directories
+     MRDL/M     enumerate a (private / shared) directory
+     MWCL/M     create an empty file in a (private / shared) directory
+     MWUL/M     unlink an empty file in a (private / shared) directory
+     MWRL       rename a private file within a private directory
+     MWRM       move a private file to a shared directory *)
+
+module Fs = Trio_core.Fs_intf
+open Trio_core.Fs_types
+
+type bench = {
+  name : string;
+  description : string;
+  (* setup returns the per-op body *)
+  prepare : Rig.t -> Fs.t -> threads:int -> (tid:int -> int);
+}
+
+let fail_on what = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "fxmark %s: %s" what (errno_to_string e))
+
+let descriptions =
+  [
+    ("DWTL", "Reduces the size of a private file by 4K.");
+    ("MRPL", "Open a private file in five-depth dirs.");
+    ("MRPM", "Open a random file in five-depth dirs.");
+    ("MRPH", "Open the same file in five-depth dirs.");
+    ("MRDL", "Enumerate files of a private directory.");
+    ("MRDM", "Enumerate files of a shared directory.");
+    ("MWCL", "Create an empty file in a private dir.");
+    ("MWCM", "Create an empty file in a shared dir.");
+    ("MWUL", "Unlink an empty file in a private dir.");
+    ("MWUM", "Unlink an empty file in a shared dir.");
+    ("MWRL", "Rename a private file in a private dir.");
+    ("MWRM", "Move a private file to a shared dir.");
+  ]
+
+(* five-deep directory path, optionally per thread *)
+let deep_dir fs tag =
+  let path = Printf.sprintf "/d1_%s/d2/d3/d4/d5" tag in
+  fail_on "mkdir_p" (Fs.mkdir_p fs path);
+  path
+
+let dwtl =
+  {
+    name = "DWTL";
+    description = List.assoc "DWTL" descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        let initial = 16 * 1024 * 1024 in
+        let paths =
+          Array.init threads (fun tid ->
+              let path = Printf.sprintf "/dwtl%d" tid in
+              ignore (fail_on "create" (fs.Fs.create path 0o644));
+              fail_on "truncate" (fs.Fs.truncate path initial);
+              path)
+        in
+        let sizes = Array.make threads initial in
+        fun ~tid ->
+          let next = sizes.(tid) - 4096 in
+          let next = if next <= 0 then initial else next in
+          sizes.(tid) <- next;
+          fail_on "truncate" (fs.Fs.truncate paths.(tid) next);
+          0);
+  }
+
+let mrp which =
+  {
+    name = (match which with `L -> "MRPL" | `M -> "MRPM" | `H -> "MRPH");
+    description =
+      List.assoc (match which with `L -> "MRPL" | `M -> "MRPM" | `H -> "MRPH") descriptions;
+    prepare =
+      (fun rig fs ~threads ->
+        let rngs = Array.init threads (fun tid -> Trio_util.Rng.create (1000 + tid)) in
+        match which with
+        | `L ->
+          let paths =
+            Array.init threads (fun tid ->
+                let dir = deep_dir fs (Printf.sprintf "t%d" tid) in
+                let p = dir ^ "/file" in
+                ignore (fail_on "create" (fs.Fs.create p 0o644));
+                p)
+          in
+          fun ~tid ->
+            let fd = fail_on "open" (fs.Fs.open_ paths.(tid) [ O_RDONLY ]) in
+            fail_on "close" (fs.Fs.close fd);
+            0
+        | `M ->
+          let dir = deep_dir fs "shared" in
+          let n = 64 in
+          let paths =
+            Array.init n (fun i ->
+                let p = Printf.sprintf "%s/f%d" dir i in
+                ignore (fail_on "create" (fs.Fs.create p 0o644));
+                p)
+          in
+          ignore rig;
+          fun ~tid ->
+            let p = paths.(Trio_util.Rng.int rngs.(tid) n) in
+            let fd = fail_on "open" (fs.Fs.open_ p [ O_RDONLY ]) in
+            fail_on "close" (fs.Fs.close fd);
+            0
+        | `H ->
+          let dir = deep_dir fs "hot" in
+          let p = dir ^ "/hot_file" in
+          ignore (fail_on "create" (fs.Fs.create p 0o644));
+          fun ~tid ->
+            ignore tid;
+            let fd = fail_on "open" (fs.Fs.open_ p [ O_RDONLY ]) in
+            fail_on "close" (fs.Fs.close fd);
+            0);
+  }
+
+let mrd which =
+  {
+    name = (match which with `L -> "MRDL" | `M -> "MRDM");
+    description = List.assoc (match which with `L -> "MRDL" | `M -> "MRDM") descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        let fill dir =
+          fail_on "mkdir_p" (Fs.mkdir_p fs dir);
+          for i = 0 to 31 do
+            ignore (fail_on "create" (fs.Fs.create (Printf.sprintf "%s/f%d" dir i) 0o644))
+          done;
+          dir
+        in
+        match which with
+        | `L ->
+          let dirs = Array.init threads (fun tid -> fill (Printf.sprintf "/mrdl%d" tid)) in
+          fun ~tid ->
+            ignore (fail_on "readdir" (fs.Fs.readdir dirs.(tid)));
+            0
+        | `M ->
+          let dir = fill "/mrdm_shared" in
+          fun ~tid ->
+            ignore tid;
+            ignore (fail_on "readdir" (fs.Fs.readdir dir));
+            0);
+  }
+
+let mwc which =
+  {
+    name = (match which with `L -> "MWCL" | `M -> "MWCM");
+    description = List.assoc (match which with `L -> "MWCL" | `M -> "MWCM") descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        let counters = Array.make threads 0 in
+        match which with
+        | `L ->
+          let dirs =
+            Array.init threads (fun tid ->
+                let d = Printf.sprintf "/mwcl%d" tid in
+                fail_on "mkdir" (fs.Fs.mkdir d 0o755);
+                d)
+          in
+          fun ~tid ->
+            let n = counters.(tid) in
+            counters.(tid) <- n + 1;
+            ignore (fail_on "create" (fs.Fs.create (Printf.sprintf "%s/f%d" dirs.(tid) n) 0o644));
+            0
+        | `M ->
+          fail_on "mkdir" (fs.Fs.mkdir "/mwcm_shared" 0o755);
+          fun ~tid ->
+            let n = counters.(tid) in
+            counters.(tid) <- n + 1;
+            ignore
+              (fail_on "create"
+                 (fs.Fs.create (Printf.sprintf "/mwcm_shared/t%d_f%d" tid n) 0o644));
+            0);
+  }
+
+let mwu which =
+  {
+    name = (match which with `L -> "MWUL" | `M -> "MWUM");
+    description = List.assoc (match which with `L -> "MWUL" | `M -> "MWUM") descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        (* pre-create pools; each op unlinks one file.  When a pool is
+           exhausted the thread stops (Runner treats Exit as early stop). *)
+        let pool_size = 512 in
+        let counters = Array.make threads 0 in
+        let dir tid =
+          match which with `L -> Printf.sprintf "/mwul%d" tid | `M -> "/mwum_shared"
+        in
+        (match which with
+        | `L ->
+          for tid = 0 to threads - 1 do
+            fail_on "mkdir" (fs.Fs.mkdir (dir tid) 0o755)
+          done
+        | `M -> fail_on "mkdir" (fs.Fs.mkdir (dir 0) 0o755));
+        for tid = 0 to threads - 1 do
+          for i = 0 to pool_size - 1 do
+            ignore
+              (fail_on "create" (fs.Fs.create (Printf.sprintf "%s/t%d_f%d" (dir tid) tid i) 0o644))
+          done
+        done;
+        fun ~tid ->
+          let n = counters.(tid) in
+          if n >= pool_size then raise Exit;
+          counters.(tid) <- n + 1;
+          fail_on "unlink" (fs.Fs.unlink (Printf.sprintf "%s/t%d_f%d" (dir tid) tid n));
+          0);
+  }
+
+let mwrl =
+  {
+    name = "MWRL";
+    description = List.assoc "MWRL" descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        let dirs =
+          Array.init threads (fun tid ->
+              let d = Printf.sprintf "/mwrl%d" tid in
+              fail_on "mkdir" (fs.Fs.mkdir d 0o755);
+              ignore (fail_on "create" (fs.Fs.create (d ^ "/a") 0o644));
+              d)
+        in
+        let flip = Array.make threads false in
+        fun ~tid ->
+          let d = dirs.(tid) in
+          let src, dst = if flip.(tid) then (d ^ "/b", d ^ "/a") else (d ^ "/a", d ^ "/b") in
+          flip.(tid) <- not flip.(tid);
+          fail_on "rename" (fs.Fs.rename src dst);
+          0);
+  }
+
+let mwrm =
+  {
+    name = "MWRM";
+    description = List.assoc "MWRM" descriptions;
+    prepare =
+      (fun _rig fs ~threads ->
+        fail_on "mkdir shared" (fs.Fs.mkdir "/mwrm_shared" 0o755);
+        let dirs =
+          Array.init threads (fun tid ->
+              let d = Printf.sprintf "/mwrm%d" tid in
+              fail_on "mkdir" (fs.Fs.mkdir d 0o755);
+              ignore (fail_on "create" (fs.Fs.create (Printf.sprintf "%s/f" d) 0o644));
+              d)
+        in
+        let in_private = Array.make threads true in
+        fun ~tid ->
+          let priv = Printf.sprintf "%s/f" dirs.(tid) in
+          let shared = Printf.sprintf "/mwrm_shared/t%d_f" tid in
+          let src, dst = if in_private.(tid) then (priv, shared) else (shared, priv) in
+          in_private.(tid) <- not in_private.(tid);
+          fail_on "rename" (fs.Fs.rename src dst);
+          0);
+  }
+
+let all =
+  [
+    dwtl; mrp `L; mrp `M; mrp `H; mrd `L; mrd `M; mwc `L; mwc `M; mwu `L; mwu `M; mwrl; mwrm;
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+
+(* Run one benchmark at one thread count; inside a fiber. *)
+let run (rig : Rig.t) fs bench ~threads ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
+  let body = bench.prepare rig fs ~threads in
+  Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()

@@ -1,0 +1,94 @@
+(* A complete simulated machine plus mounted file systems, by name.
+
+   The benchmark harness builds one rig per data point: an 8-socket
+   "paper machine" (or a single socket), the NVM device, MMU, kernel
+   controller, the shared delegation engine, and any of the evaluated
+   file systems:
+
+     arckfs | arckfs-nd | kvfs | fpfs          (this paper)
+     ext4 | ext4-raid0 | pmfs | nova | winefs | odinfs | splitfs | strata
+
+   Must be constructed inside a simulation fiber. *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Mmu = Trio_core.Mmu
+module Controller = Trio_core.Controller
+module Libfs = Arckfs.Libfs
+module Delegation = Arckfs.Delegation
+
+type t = {
+  sched : Sched.t;
+  topo : Numa.t;
+  pmem : Pmem.t;
+  mmu : Mmu.t;
+  ctl : Controller.t;
+  delegation : Delegation.t Lazy.t;
+  mutable next_proc : int;
+}
+
+let make_machine ?(nodes = 8) ?(cpus_per_node = 28) ?(pages_per_node = 1 lsl 19)
+    ?(store_data = false) ?(lease_ns = 100.0e6) () =
+  let sched = Sched.create () in
+  let topo = Numa.create ~nodes ~cpus_per_node in
+  let pmem = Pmem.create ~sched ~topo ~profile:Perf.optane ~pages_per_node ~store_data () in
+  (sched, topo, pmem, lease_ns)
+
+(* Build the kernel-side components; call inside a fiber. *)
+let init ?(threads_per_node = 12) ?stripe_pages (sched, topo, pmem, lease_ns) =
+  let mmu = Mmu.create pmem in
+  let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns () in
+  {
+    sched;
+    topo;
+    pmem;
+    mmu;
+    ctl;
+    delegation = lazy (Delegation.create ~sched ~pmem ~threads_per_node ?stripe_pages ());
+    next_proc = 100;
+  }
+
+let fresh_proc t =
+  t.next_proc <- t.next_proc + 1;
+  t.next_proc
+
+let mount_arckfs ?(delegated = true) ?(uid = 1000) ?unmap_after_write t =
+  let delegation = if delegated then Some (Lazy.force t.delegation) else None in
+  Libfs.mount ~ctl:t.ctl ~proc:(fresh_proc t) ~cred:{ Trio_core.Fs_types.uid; gid = uid }
+    ?delegation ?unmap_after_write ()
+
+(* Mount a file system by its evaluation name. *)
+let mount_fs ?(store_data = true) t name =
+  match name with
+  | "arckfs" -> Libfs.ops (mount_arckfs ~delegated:true t)
+  | "arckfs-nd" -> Libfs.ops (mount_arckfs ~delegated:false t)
+  | "fpfs" -> Fpfs.ops (Fpfs.mount (mount_arckfs ~delegated:true t))
+  | "ext4" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data ext4)
+  | "ext4-raid0" ->
+    Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data ext4_raid0)
+  | "pmfs" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data pmfs)
+  | "nova" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data nova)
+  | "winefs" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data winefs)
+  | "odinfs" ->
+    Trio_baselines.Models.(
+      mount ~sched:t.sched ~pmem:t.pmem ~store_data (odinfs ~delegation:(Lazy.force t.delegation)))
+  | "splitfs" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data splitfs)
+  | "strata" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data strata)
+  | other -> invalid_arg ("Rig.mount_fs: unknown file system " ^ other)
+
+(* Run [f rig] to completion inside a fresh simulation. *)
+let run ?nodes ?cpus_per_node ?pages_per_node ?store_data ?lease_ns ?threads_per_node
+    ?stripe_pages f =
+  let ((sched, _, _, _) as machine) =
+    make_machine ?nodes ?cpus_per_node ?pages_per_node ?store_data ?lease_ns ()
+  in
+  let result = ref None in
+  Sched.spawn sched (fun () ->
+      let rig = init ?threads_per_node ?stripe_pages machine in
+      result := Some (f rig));
+  ignore (Sched.run sched);
+  match !result with
+  | Some v -> v
+  | None -> failwith "Rig.run: simulation did not complete"

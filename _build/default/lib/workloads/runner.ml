@@ -1,0 +1,89 @@
+(* Benchmark measurement harness.
+
+   Spawns N simulated threads pinned to CPUs the way the paper's
+   harness pins them (socket by socket), runs a per-thread operation
+   closure in a loop, and measures throughput over virtual time.
+
+   A run ends when the total operation budget is consumed or the
+   virtual-time budget expires — whichever is first.  Throughput is
+   ops (or bytes) per virtual second, so results are deterministic. *)
+
+module Sched = Trio_sim.Sched
+module Sync = Trio_sim.Sync
+module Numa = Trio_nvm.Numa
+
+type result = {
+  threads : int;
+  ops : int;
+  bytes : float;
+  elapsed_ns : float;
+  ops_per_us : float;
+  gib_per_s : float;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%3d thr: %8.3f ops/us %8.2f GiB/s (%d ops, %.2f ms)" r.threads r.ops_per_us
+    r.gib_per_s r.ops (r.elapsed_ns /. 1e6)
+
+(* Must be called from inside a fiber.
+
+   Each thread first runs [warmup_ops] unmeasured iterations (filling
+   allocation caches, faulting in mappings) and then waits at a barrier;
+   the clock starts when every thread is warm, like the paper's
+   harness discarding the ramp-up. *)
+let run ~sched ~topo ~threads ?(max_ops = 100_000) ?(max_ns = 50.0e6) ?(warmup_ops = 4) ~body ()
+    =
+  let total_ops = ref 0 in
+  let total_bytes = ref 0.0 in
+  let warm = Sync.Waitgroup.create threads in
+  let gate = Sync.Ivar.create () in
+  let wg = Sync.Waitgroup.create threads in
+  let t0 = ref (Sched.now sched) in
+  let deadline = ref infinity in
+  let end_time = ref 0.0 in
+  for tid = 0 to threads - 1 do
+    let cpu = Numa.cpu_of_thread topo tid in
+    Sched.spawn ~cpu sched (fun () ->
+        (try
+           for _ = 1 to warmup_ops do
+             ignore (body ~tid)
+           done;
+           Sync.Waitgroup.done_ warm;
+           Sync.Ivar.read gate;
+           let continue_ = ref true in
+           while !continue_ do
+             let bytes = body ~tid in
+             total_ops := !total_ops + 1;
+             total_bytes := !total_bytes +. float_of_int bytes;
+             if !total_ops >= max_ops || Sched.now sched >= !deadline then continue_ := false
+           done
+         with Exit ->
+           (* a body may stop its thread early (pool exhausted); make
+              sure the barrier is not deadlocked *)
+           if not (Sync.Ivar.is_full gate) then Sync.Waitgroup.done_ warm);
+        if Sched.now sched > !end_time then end_time := Sched.now sched;
+        Sync.Waitgroup.done_ wg)
+  done;
+  Sync.Waitgroup.wait warm;
+  t0 := Sched.now sched;
+  deadline := !t0 +. max_ns;
+  Sync.Ivar.fill gate ();
+  Sync.Waitgroup.wait wg;
+  let t0 = !t0 in
+  let elapsed = max 1.0 (!end_time -. t0) in
+  {
+    threads;
+    ops = !total_ops;
+    bytes = !total_bytes;
+    elapsed_ns = elapsed;
+    ops_per_us = float_of_int !total_ops /. (elapsed /. 1e3);
+    gib_per_s = !total_bytes /. elapsed *. 1e9 /. (1024.0 *. 1024.0 *. 1024.0);
+  }
+
+(* Latency of a single operation, averaged over [iters] runs. *)
+let time_op ~sched ~iters f =
+  let t0 = Sched.now sched in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Sched.now sched -. t0) /. float_of_int iters

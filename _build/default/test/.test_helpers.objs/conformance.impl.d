@@ -1,0 +1,1 @@
+test/conformance.ml: Alcotest Bytes Char List String Trio_core

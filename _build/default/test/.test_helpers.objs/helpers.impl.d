@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Arckfs Bytes Trio_core Trio_nvm Trio_sim

@@ -1,0 +1,1 @@
+test/test_arckfs.ml: Alcotest Arckfs Bytes Char Helpers List Option Printf Result String Trio_core Trio_nvm Trio_sim

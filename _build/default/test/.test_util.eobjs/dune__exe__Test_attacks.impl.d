@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest List Trio_attacks

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Arckfs Array Bytes Conformance Lazy List Printf Trio_core Trio_sim Trio_workloads

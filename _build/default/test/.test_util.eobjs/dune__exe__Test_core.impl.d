@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Arckfs Array Bytes Helpers List Option String Trio_core Trio_nvm Trio_sim

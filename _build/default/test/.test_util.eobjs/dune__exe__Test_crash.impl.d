@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Arckfs Bytes Char Format Gen Hashtbl List Printf QCheck QCheck_alcotest Result String Trio_core Trio_nvm Trio_sim Trio_util

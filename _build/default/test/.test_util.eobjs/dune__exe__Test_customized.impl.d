@@ -1,0 +1,1 @@
+test/test_customized.ml: Alcotest Arckfs Bytes Conformance Fpfs Kvfs List Printf String Trio_core Trio_sim Trio_workloads

@@ -1,0 +1,1 @@
+test/test_minidb.ml: Alcotest Arckfs Bytes List Minidb Printf String Trio_core Trio_nvm Trio_workloads

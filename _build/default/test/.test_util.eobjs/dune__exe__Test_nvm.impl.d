@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Array Bytes Char Gen List Option Printf QCheck QCheck_alcotest String Trio_nvm Trio_sim Trio_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hashtbl List Option QCheck QCheck_alcotest Trio_sim

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Gen Hashtbl List QCheck QCheck_alcotest Trio_util

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Arckfs Bytes Helpers List Option String Trio_core Trio_nvm Trio_sim

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Trio_core Trio_sim Trio_workloads

@@ -1,0 +1,139 @@
+(* Generic file system conformance suite.
+
+   Runs the same POSIX-semantics checks against any [Fs_intf.t], so
+   ArckFS, FPFS, and all seven baseline models are held to identical
+   behaviour — which is what makes the benchmark comparisons apples to
+   apples. *)
+
+module Fs = Trio_core.Fs_intf
+open Trio_core.Fs_types
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected %s" what (errno_to_string e)
+
+let expect_err what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" what (errno_to_string expected)
+  | Error e ->
+    Alcotest.(check string) what (errno_to_string expected) (errno_to_string e)
+
+(* Each check is (name, fs -> unit); [run_check] builds a fresh fs. *)
+let checks : (string * (Fs.t -> unit)) list =
+  [
+    ( "create, stat, close",
+      fun fs ->
+        let fd = ok "create" (fs.Fs.create "/c1" 0o640) in
+        ok "close" (fs.Fs.close fd);
+        let st = ok "stat" (fs.Fs.stat "/c1") in
+        Alcotest.(check int) "empty" 0 st.st_size;
+        Alcotest.(check bool) "regular" true (st.st_ftype = Reg) );
+    ( "duplicate create fails",
+      fun fs ->
+        ignore (ok "create" (fs.Fs.create "/c2" 0o644));
+        expect_err "dup" EEXIST (fs.Fs.create "/c2" 0o644) );
+    ( "missing file errors",
+      fun fs ->
+        expect_err "open" ENOENT (fs.Fs.open_ "/absent" [ O_RDONLY ]);
+        expect_err "stat" ENOENT (fs.Fs.stat "/absent");
+        expect_err "unlink" ENOENT (fs.Fs.unlink "/absent") );
+    ( "write then read back",
+      fun fs ->
+        ok "write" (Fs.write_file fs "/c4" "conformance payload");
+        Alcotest.(check string) "read" "conformance payload" (ok "read" (Fs.read_file fs "/c4")) );
+    ( "pwrite patches a region",
+      fun fs ->
+        let fd = ok "create" (fs.Fs.create "/c5" 0o644) in
+        ignore (ok "append" (fs.Fs.append fd (Bytes.make 64 'a')));
+        ignore (ok "pwrite" (fs.Fs.pwrite fd (Bytes.make 8 'b') 8));
+        let buf = Bytes.create 64 in
+        ignore (ok "pread" (fs.Fs.pread fd buf 0));
+        Alcotest.(check string) "patched"
+          ("aaaaaaaa" ^ "bbbbbbbb" ^ String.make 48 'a')
+          (Bytes.to_string buf) );
+    ( "read past eof returns partial",
+      fun fs ->
+        let fd = ok "create" (fs.Fs.create "/c6" 0o644) in
+        ignore (ok "append" (fs.Fs.append fd (Bytes.make 10 'x')));
+        let buf = Bytes.create 100 in
+        Alcotest.(check int) "partial" 10 (ok "pread" (fs.Fs.pread fd buf 0));
+        Alcotest.(check int) "eof" 0 (ok "pread" (fs.Fs.pread fd buf 10)) );
+    ( "append grows the file",
+      fun fs ->
+        let fd = ok "create" (fs.Fs.create "/c7" 0o644) in
+        ignore (ok "a1" (fs.Fs.append fd (Bytes.make 100 'p')));
+        ignore (ok "a2" (fs.Fs.append fd (Bytes.make 100 'q')));
+        Alcotest.(check int) "size" 200 (ok "stat" (fs.Fs.stat "/c7")).st_size );
+    ( "truncate shrink and grow",
+      fun fs ->
+        ok "write" (Fs.write_file fs "/c8" (String.make 5000 'z'));
+        ok "shrink" (fs.Fs.truncate "/c8" 10);
+        Alcotest.(check int) "shrunk" 10 (ok "stat" (fs.Fs.stat "/c8")).st_size;
+        ok "grow" (fs.Fs.truncate "/c8" 100);
+        Alcotest.(check int) "grown" 100 (ok "stat" (fs.Fs.stat "/c8")).st_size;
+        let content = ok "read" (Fs.read_file fs "/c8") in
+        Alcotest.(check string) "zero fill" (String.make 90 '\000') (String.sub content 10 90) );
+    ( "mkdir nesting and ENOTDIR",
+      fun fs ->
+        ok "mkdir" (fs.Fs.mkdir "/d" 0o755);
+        ok "mkdir2" (fs.Fs.mkdir "/d/e" 0o755);
+        ignore (ok "create" (fs.Fs.create "/d/e/f" 0o644));
+        expect_err "through file" ENOTDIR (fs.Fs.create "/d/e/f/g" 0o644) );
+    ( "readdir lists entries",
+      fun fs ->
+        ok "mkdir" (fs.Fs.mkdir "/rd" 0o755);
+        ignore (ok "a" (fs.Fs.create "/rd/a" 0o644));
+        ignore (ok "b" (fs.Fs.create "/rd/b" 0o644));
+        ok "sub" (fs.Fs.mkdir "/rd/sub" 0o755);
+        let names =
+          ok "readdir" (fs.Fs.readdir "/rd") |> List.map (fun e -> e.d_name) |> List.sort compare
+        in
+        Alcotest.(check (list string)) "names" [ "a"; "b"; "sub" ] names );
+    ( "unlink removes and frees the name",
+      fun fs ->
+        ignore (ok "create" (fs.Fs.create "/u" 0o644));
+        ok "unlink" (fs.Fs.unlink "/u");
+        expect_err "gone" ENOENT (fs.Fs.stat "/u");
+        ignore (ok "recreate" (fs.Fs.create "/u" 0o644)) );
+    ( "rmdir requires empty",
+      fun fs ->
+        ok "mkdir" (fs.Fs.mkdir "/re" 0o755);
+        ignore (ok "create" (fs.Fs.create "/re/x" 0o644));
+        expect_err "not empty" ENOTEMPTY (fs.Fs.rmdir "/re");
+        ok "unlink" (fs.Fs.unlink "/re/x");
+        ok "rmdir" (fs.Fs.rmdir "/re") );
+    ( "unlink of a directory is refused",
+      fun fs ->
+        ok "mkdir" (fs.Fs.mkdir "/ud" 0o755);
+        expect_err "EISDIR" EISDIR (fs.Fs.unlink "/ud") );
+    ( "rename moves content",
+      fun fs ->
+        ok "mkdir a" (fs.Fs.mkdir "/ra" 0o755);
+        ok "mkdir b" (fs.Fs.mkdir "/rb" 0o755);
+        ok "write" (Fs.write_file fs "/ra/f" "moved-payload");
+        ok "rename" (fs.Fs.rename "/ra/f" "/rb/g");
+        expect_err "src gone" ENOENT (fs.Fs.stat "/ra/f");
+        Alcotest.(check string) "content" "moved-payload" (ok "read" (Fs.read_file fs "/rb/g")) );
+    ( "chmod changes the mode",
+      fun fs ->
+        ignore (ok "create" (fs.Fs.create "/cm" 0o644));
+        ok "chmod" (fs.Fs.chmod "/cm" 0o600);
+        Alcotest.(check int) "mode" 0o600 (ok "stat" (fs.Fs.stat "/cm")).st_mode );
+    ( "fsync succeeds on an open fd",
+      fun fs ->
+        let fd = ok "create" (fs.Fs.create "/fy" 0o644) in
+        ignore (ok "append" (fs.Fs.append fd (Bytes.make 10 's')));
+        ok "fsync" (fs.Fs.fsync fd);
+        expect_err "bad fd" EBADF (fs.Fs.fsync 987654) );
+    ( "multi-page data integrity",
+      fun fs ->
+        let data = String.init 20000 (fun i -> Char.chr (i * 31 mod 256)) in
+        ok "write" (Fs.write_file fs "/mp" data);
+        Alcotest.(check bool) "equal" true (String.equal data (ok "read" (Fs.read_file fs "/mp"))) );
+  ]
+
+(* Build the alcotest cases for a given fs constructor (one fresh file
+   system per check). *)
+let suite ~make_fs =
+  List.map
+    (fun (name, check) -> Alcotest.test_case name `Quick (fun () -> make_fs check))
+    checks

@@ -1,0 +1,56 @@
+(* Shared test harness: stand up a simulated machine and run test bodies
+   inside a fiber (all FS operations account virtual time and must run
+   under the scheduler). *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Mmu = Trio_core.Mmu
+module Controller = Trio_core.Controller
+module Libfs = Arckfs.Libfs
+
+type env = {
+  sched : Sched.t;
+  pmem : Pmem.t;
+  mmu : Mmu.t;
+  ctl : Controller.t;
+}
+
+(* Run [f env] to completion inside a fiber; propagate its result.  The
+   controller (and mkfs) must also be built inside a fiber because it
+   performs NVM accesses. *)
+let run_sim ?(nodes = 2) ?(cpus_per_node = 4) ?(pages_per_node = 16384) ?(store_data = true)
+    ?(lease_ns = 100.0e6) f =
+  let sched = Sched.create () in
+  let topo = Numa.create ~nodes ~cpus_per_node in
+  let pmem = Pmem.create ~sched ~topo ~profile:Perf.optane ~pages_per_node ~store_data () in
+  let mmu = Mmu.create pmem in
+  let result = ref None in
+  Sched.spawn sched (fun () ->
+      let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns () in
+      result := Some (f { sched; pmem; mmu; ctl }));
+  ignore (Sched.run sched);
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation did not run the test body to completion"
+
+(* Mount an ArckFS LibFS for process [proc]. *)
+let mount ?(proc = 1) ?(uid = 1000) ?(gid = 1000) ?group ?delegation ?unmap_after_write env =
+  ignore group;
+  Libfs.mount ~ctl:env.ctl ~proc ~cred:{ Trio_core.Fs_types.uid; gid } ?delegation
+    ?unmap_after_write ()
+
+let check_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error %s" what (Trio_core.Fs_types.errno_to_string e)
+
+let check_err what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" what (Trio_core.Fs_types.errno_to_string expected)
+  | Error e ->
+    Alcotest.(check string)
+      what
+      (Trio_core.Fs_types.errno_to_string expected)
+      (Trio_core.Fs_types.errno_to_string e)
+
+let bytes_of_string = Bytes.of_string

@@ -1,0 +1,37 @@
+(* §6.5: metadata-integrity enforcement under malicious and buggy
+   LibFSes.  Every handcrafted attack must be detected (or repaired) at
+   the sharing point, and the namespace must be consistent afterwards;
+   the scripted corruption campaign must leave the namespace consistent
+   in every scenario. *)
+
+module Attacks = Trio_attacks.Attacks
+
+let test_handcrafted () =
+  let outcomes = Attacks.run_handcrafted () in
+  Alcotest.(check int) "eleven attacks" 11 (List.length outcomes);
+  List.iter
+    (fun o ->
+      if not o.Attacks.a_detected then
+        Alcotest.failf "attack %s was not detected" o.Attacks.a_name;
+      if not o.Attacks.a_recovered then
+        Alcotest.failf "attack %s: namespace not recovered" o.Attacks.a_name)
+    outcomes
+
+let test_campaign () =
+  let seeds = 4 in
+  let r = Attacks.run_campaign ~seeds () in
+  Alcotest.(check int) "all scenarios consistent" r.Attacks.c_total r.Attacks.c_consistent;
+  (* the only legitimate misses are name-field corruptions that happen to
+     produce a valid name — semantically a rename, nothing to detect *)
+  if r.Attacks.c_detected < r.Attacks.c_total - seeds then
+    Alcotest.failf "only %d/%d corruptions detected" r.Attacks.c_detected r.Attacks.c_total
+
+let () =
+  Alcotest.run "attacks"
+    [
+      ( "integrity",
+        [
+          Alcotest.test_case "all handcrafted attacks" `Quick test_handcrafted;
+          Alcotest.test_case "scripted corruption campaign" `Slow test_campaign;
+        ] );
+    ]

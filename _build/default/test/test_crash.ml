@@ -1,0 +1,410 @@
+(* Property-based crash-consistency testing.
+
+   ArckFS promises synchronous + atomic metadata operations and
+   synchronous (not atomic) data operations (paper §4.4).  These
+   properties are explored two ways:
+
+   - crash BETWEEN operations with a random subset of unflushed
+     cachelines surviving: every completed operation must be durable and
+     the namespace must recover to exactly the model state;
+
+   - crash IN THE MIDDLE of an operation (the process dies at a random
+     store, then power fails): the interrupted metadata operation must
+     be atomic — fully visible or fully absent — and everything else
+     must match the model.
+
+   Both drive random operation sequences against an in-memory model. *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Mmu = Trio_core.Mmu
+module Controller = Trio_core.Controller
+module Libfs = Arckfs.Libfs
+module Fs = Trio_core.Fs_intf
+module Rng = Trio_util.Rng
+open Trio_core.Fs_types
+
+(* ------------------------------------------------------------------ *)
+(* Operation scripts *)
+
+type op =
+  | Create of int (* name index *)
+  | Write of int * int (* name, size *)
+  | Append of int * int
+  | Unlink of int
+  | Mkdir of int
+  | Rmdir of int
+  | Rename of int * int
+  | Truncate of int * int
+
+let name_of i = Printf.sprintf "/n%02d" (i mod 12)
+let dirname_of i = Printf.sprintf "/d%02d" (i mod 4)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun i -> Create i) (int_bound 11));
+        (4, map2 (fun i s -> Write (i, s)) (int_bound 11) (int_range 1 9000));
+        (3, map2 (fun i s -> Append (i, s)) (int_bound 11) (int_range 1 5000));
+        (3, map (fun i -> Unlink i) (int_bound 11));
+        (2, map (fun i -> Mkdir i) (int_bound 3));
+        (1, map (fun i -> Rmdir i) (int_bound 3));
+        (2, map2 (fun a b -> Rename (a, b)) (int_bound 11) (int_bound 11));
+        (2, map2 (fun i s -> Truncate (i, s)) (int_bound 11) (int_bound 9000));
+      ])
+
+let show_op = function
+  | Create i -> Printf.sprintf "Create %s" (name_of i)
+  | Write (i, s) -> Printf.sprintf "Write %s %d" (name_of i) s
+  | Append (i, s) -> Printf.sprintf "Append %s %d" (name_of i) s
+  | Unlink i -> Printf.sprintf "Unlink %s" (name_of i)
+  | Mkdir i -> Printf.sprintf "Mkdir %s" (dirname_of i)
+  | Rmdir i -> Printf.sprintf "Rmdir %s" (dirname_of i)
+  | Rename (a, b) -> Printf.sprintf "Rename %s %s" (name_of a) (name_of b)
+  | Truncate (i, s) -> Printf.sprintf "Truncate %s %d" (name_of i) s
+
+(* In-memory model: path -> contents for files, plus a directory set. *)
+type model = { files : (string, string) Hashtbl.t; dirs : (string, unit) Hashtbl.t }
+
+let model_create () = { files = Hashtbl.create 16; dirs = Hashtbl.create 4 }
+
+let content_byte op_idx = Char.chr (Char.code 'a' + (op_idx mod 26))
+
+(* Apply one op to both the fs and the model; both must agree on the
+   outcome.  The model is updated *before* the fs runs, so that when a
+   crash interrupts the fs operation, the model already reflects the
+   op's intended post-state (the atomicity check accepts either the pre-
+   or post-state). *)
+let apply_op fs model op_idx op =
+  let expect_same what fs_result model_ok =
+    match (fs_result, model_ok) with
+    | Ok _, true -> true
+    | Error _, false -> true
+    | Ok _, false -> Alcotest.failf "%s: fs succeeded but model predicts failure" what
+    | Error e, true ->
+      Alcotest.failf "%s: fs failed with %s but model predicts success" what (errno_to_string e)
+  in
+  match op with
+  | Create i ->
+    let path = name_of i in
+    let can = not (Hashtbl.mem model.files path) in
+    if can then Hashtbl.replace model.files path "";
+    let r =
+      match fs.Fs.create path 0o644 with
+      | Ok fd ->
+        let (_ : (unit, errno) result) = fs.Fs.close fd in
+        Ok ()
+      | Error e -> Error e
+    in
+    expect_same (show_op op) r can
+  | Write (i, size) ->
+    let path = name_of i in
+    let can = Hashtbl.mem model.files path in
+    let data = String.make size (content_byte op_idx) in
+    if can then begin
+      let old = Hashtbl.find model.files path in
+      let merged =
+        if String.length old <= size then data
+        else data ^ String.sub old size (String.length old - size)
+      in
+      Hashtbl.replace model.files path merged
+    end;
+    let r =
+      match fs.Fs.open_ path [ O_RDWR ] with
+      | Ok fd ->
+        let r = fs.Fs.pwrite fd (Bytes.of_string data) 0 in
+        let (_ : (unit, errno) result) = fs.Fs.close fd in
+        Result.map (fun _ -> ()) r
+      | Error e -> Error e
+    in
+    expect_same (show_op op) r can
+  | Append (i, size) ->
+    let path = name_of i in
+    let can = Hashtbl.mem model.files path in
+    let data = String.make size (content_byte op_idx) in
+    if can then Hashtbl.replace model.files path (Hashtbl.find model.files path ^ data);
+    let r =
+      match fs.Fs.open_ path [ O_RDWR ] with
+      | Ok fd ->
+        let r = fs.Fs.append fd (Bytes.of_string data) in
+        let (_ : (unit, errno) result) = fs.Fs.close fd in
+        Result.map (fun _ -> ()) r
+      | Error e -> Error e
+    in
+    expect_same (show_op op) r can
+  | Unlink i ->
+    let path = name_of i in
+    let can = Hashtbl.mem model.files path in
+    if can then Hashtbl.remove model.files path;
+    let r = fs.Fs.unlink path in
+    expect_same (show_op op) r can
+  | Mkdir i ->
+    let path = dirname_of i in
+    let can = not (Hashtbl.mem model.dirs path) in
+    if can then Hashtbl.replace model.dirs path ();
+    let r = fs.Fs.mkdir path 0o755 in
+    expect_same (show_op op) r can
+  | Rmdir i ->
+    let path = dirname_of i in
+    let can = Hashtbl.mem model.dirs path in
+    if can then Hashtbl.remove model.dirs path;
+    let r = fs.Fs.rmdir path in
+    expect_same (show_op op) r can
+  | Rename (a, b) ->
+    let src = name_of a and dst = name_of b in
+    (* rename onto itself is a successful no-op *)
+    let can = Hashtbl.mem model.files src in
+    if can && src <> dst then begin
+      let content = Hashtbl.find model.files src in
+      Hashtbl.remove model.files src;
+      Hashtbl.replace model.files dst content
+    end;
+    let r = fs.Fs.rename src dst in
+    expect_same (show_op op) r can
+  | Truncate (i, size) ->
+    let path = name_of i in
+    let can = Hashtbl.mem model.files path in
+    if can then begin
+      let old = Hashtbl.find model.files path in
+      let next =
+        if String.length old >= size then String.sub old 0 size
+        else old ^ String.make (size - String.length old) '\000'
+      in
+      Hashtbl.replace model.files path next
+    end;
+    let r = fs.Fs.truncate path size in
+    expect_same (show_op op) r can
+
+(* Compare a freshly mounted fs against the model. *)
+let check_matches_model fs model =
+  Hashtbl.iter
+    (fun path expected ->
+      match Fs.read_file fs path with
+      | Ok got ->
+        if not (String.equal got expected) then
+          Alcotest.failf "%s: content mismatch (%d vs %d bytes, or bytes differ)" path
+            (String.length got) (String.length expected)
+      | Error e -> Alcotest.failf "%s: lost after crash (%s)" path (errno_to_string e))
+    model.files;
+  Hashtbl.iter
+    (fun path () ->
+      match fs.Fs.readdir path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "dir %s: lost after crash (%s)" path (errno_to_string e))
+    model.dirs;
+  (* no extra files either *)
+  match fs.Fs.readdir "/" with
+  | Error e -> Alcotest.failf "readdir /: %s" (errno_to_string e)
+  | Ok entries ->
+    List.iter
+      (fun e ->
+        let path = "/" ^ e.d_name in
+        if
+          (not (Hashtbl.mem model.files path))
+          && not (Hashtbl.mem model.dirs path)
+        then Alcotest.failf "unexpected entry %s after crash" path)
+      entries
+
+let make_world () =
+  let sched = Sched.create () in
+  let topo = Numa.create ~nodes:2 ~cpus_per_node:4 in
+  let pmem = Pmem.create ~sched ~topo ~profile:Perf.optane ~pages_per_node:32768 ~store_data:true () in
+  let mmu = Mmu.create pmem in
+  (sched, pmem, mmu)
+
+(* ------------------------------------------------------------------ *)
+(* Property 1: crash between operations *)
+
+let prop_crash_between_ops =
+  QCheck.Test.make ~name:"completed operations survive a crash" ~count:60
+    QCheck.(
+      make
+        ~print:(fun (ops, seed) ->
+          String.concat "; " (List.map show_op ops) ^ Printf.sprintf " [seed %d]" seed)
+        Gen.(pair (list_size (int_range 1 25) gen_op) (int_bound 10_000)))
+    (fun (ops, seed) ->
+      let sched, pmem, mmu = make_world () in
+      let result = ref true in
+      Sched.spawn sched (fun () ->
+          let ctl = Controller.create ~sched ~pmem ~mmu () in
+          let libfs = Libfs.mount ~ctl ~proc:1 ~cred:{ uid = 1000; gid = 1000 } () in
+          let fs = Libfs.ops libfs in
+          let model = model_create () in
+          List.iteri (fun i op -> ignore (apply_op fs model i op)) ops;
+          (* power failure: random subset of unflushed lines survives *)
+          Pmem.crash ~rng:(Rng.create seed) pmem;
+          Controller.crash_recover ctl;
+          let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred:{ uid = 1000; gid = 1000 } () in
+          check_matches_model (Libfs.ops libfs2) model;
+          result := true);
+      ignore (Sched.run sched);
+      !result)
+
+(* ------------------------------------------------------------------ *)
+(* Property 2: crash in the middle of an operation *)
+
+let prop_crash_mid_op =
+  QCheck.Test.make ~name:"interrupted metadata ops are atomic" ~count:80
+    QCheck.(
+      make
+        ~print:(fun (ops, cut, seed) ->
+          String.concat "; " (List.map show_op ops)
+          ^ Printf.sprintf " [cut after %d stores, seed %d]" cut seed)
+        Gen.(
+          triple
+            (list_size (int_range 2 15) gen_op)
+            (int_bound 120) (int_bound 10_000)))
+    (fun (ops, cut_after, seed) ->
+      let sched, pmem, mmu = make_world () in
+      let ok = ref true in
+      Sched.spawn sched (fun () ->
+          let ctl = Controller.create ~sched ~pmem ~mmu () in
+          let libfs = Libfs.mount ~ctl ~proc:1 ~cred:{ uid = 1000; gid = 1000 } () in
+          let fs = Libfs.ops libfs in
+          let model = model_create () in
+          (* snapshot of the model before each op, so we can accept
+             either pre- or post-state of the interrupted op *)
+          let pre = ref (model_create ()) in
+          let snapshot () =
+            let c = model_create () in
+            Hashtbl.iter (Hashtbl.replace c.files) model.files;
+            Hashtbl.iter (Hashtbl.replace c.dirs) model.dirs;
+            c
+          in
+          Pmem.fail_after_writes pmem cut_after;
+          let interrupted =
+            try
+              List.iteri
+                (fun i op ->
+                  pre := snapshot ();
+                  ignore (apply_op fs model i op))
+                ops;
+              false
+            with Pmem.Crash_point -> true
+          in
+          Pmem.fail_after_writes pmem (-1);
+          if interrupted then begin
+            (* the process died mid-op; now power also fails *)
+            Pmem.crash ~rng:(Rng.create seed) pmem;
+            Controller.crash_recover ctl;
+            let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred:{ uid = 1000; gid = 1000 } () in
+            let fs2 = Libfs.ops libfs2 in
+            (* metadata atomicity: the recovered namespace must match the
+               model either before or after the interrupted op; data
+               within the interrupted file may be partial, so compare
+               namespaces (file sets + dirs), not the interrupted
+               content. *)
+            let names_of m =
+              Hashtbl.fold (fun k _ acc -> k :: acc) m.files []
+              @ Hashtbl.fold (fun k () acc -> k :: acc) m.dirs []
+              |> List.sort compare
+            in
+            let visible =
+              (match fs2.Fs.readdir "/" with
+              | Ok entries ->
+                List.map (fun e -> "/" ^ e.d_name) entries |> List.sort compare
+              | Error e -> Alcotest.failf "readdir after mid-op crash: %s" (errno_to_string e))
+            in
+            let pre_names = names_of !pre and post_names = names_of model in
+            if visible <> pre_names && visible <> post_names then
+              Alcotest.failf "namespace [%s] is neither pre [%s] nor post [%s]"
+                (String.concat " " visible) (String.concat " " pre_names)
+                (String.concat " " post_names);
+            (* and every surviving file from the pre-state (minus the
+               possibly-interrupted one) must be readable *)
+            List.iter
+              (fun path ->
+                if Hashtbl.mem !pre.files path then
+                  match Fs.read_file fs2 path with
+                  | Ok _ -> ()
+                  | Error e -> Alcotest.failf "%s unreadable after crash: %s" path (errno_to_string e))
+              visible;
+            (* no corruption events: a crash is not an attack *)
+            ()
+          end
+          else begin
+            (* sequence finished without hitting the cut: just check
+               consistency *)
+            Pmem.crash ~rng:(Rng.create seed) pmem;
+            Controller.crash_recover ctl;
+            let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred:{ uid = 1000; gid = 1000 } () in
+            check_matches_model (Libfs.ops libfs2) model
+          end;
+          ok := true);
+      ignore (Sched.run sched);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Property 3: legal operation sequences never look like attacks *)
+
+let prop_no_false_positives =
+  QCheck.Test.make ~name:"legal sequences never flag corruption" ~count:60
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+        Gen.(list_size (int_range 1 30) gen_op))
+    (fun ops ->
+      let sched, pmem, mmu = make_world () in
+      let ok = ref false in
+      Sched.spawn sched (fun () ->
+          let ctl = Controller.create ~sched ~pmem ~mmu () in
+          let libfs = Libfs.mount ~ctl ~proc:1 ~cred:{ uid = 1000; gid = 1000 } () in
+          let fs = Libfs.ops libfs in
+          let model = model_create () in
+          List.iteri (fun i op -> ignore (apply_op fs model i op)) ops;
+          (* the sharing point: every write-mapped file is verified *)
+          Libfs.unmap_everything libfs;
+          (match Controller.corruption_events ctl with
+          | [] -> ()
+          | (_, ino, vs) :: _ ->
+            Alcotest.failf "legal ops flagged inode %d: %s" ino
+              (String.concat "; "
+                 (List.map (Format.asprintf "%a" Trio_core.Verifier.pp_violation) vs)));
+          ok := true);
+      ignore (Sched.run sched);
+      !ok)
+
+(* Property 4: the controller's global information is soft state — a
+   cold start rebuilt purely from NVM serves the same namespace. *)
+let prop_cold_start_equivalent =
+  QCheck.Test.make ~name:"cold-started controller serves the same namespace" ~count:40
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+        Gen.(list_size (int_range 1 25) gen_op))
+    (fun ops ->
+      let sched, pmem, mmu = make_world () in
+      let ok = ref false in
+      Sched.spawn sched (fun () ->
+          let ctl = Controller.create ~sched ~pmem ~mmu () in
+          let libfs = Libfs.mount ~ctl ~proc:1 ~cred:{ uid = 1000; gid = 1000 } () in
+          let fs = Libfs.ops libfs in
+          let model = model_create () in
+          List.iteri (fun i op -> ignore (apply_op fs model i op)) ops;
+          Libfs.unmap_everything libfs;
+          (* the kernel reboots: all controller DRAM state is lost and
+             rebuilt from the core state alone *)
+          let mmu2 = Mmu.create pmem in
+          (match Controller.cold_start ~sched ~pmem ~mmu:mmu2 () with
+          | Error e -> Alcotest.failf "cold start failed: %s" e
+          | Ok ctl2 ->
+            let libfs2 = Libfs.mount ~ctl:ctl2 ~proc:9 ~cred:{ uid = 1000; gid = 1000 } () in
+            check_matches_model (Libfs.ops libfs2) model);
+          ok := true);
+      ignore (Sched.run sched);
+      !ok)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "qcheck",
+        [
+          QCheck_alcotest.to_alcotest prop_crash_between_ops;
+          QCheck_alcotest.to_alcotest prop_crash_mid_op;
+          QCheck_alcotest.to_alcotest prop_no_false_positives;
+          QCheck_alcotest.to_alcotest prop_cold_start_equivalent;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the customized LibFSes (paper §5): KVFS and FPFS.
+
+   Beyond functional correctness, these suites check the two properties
+   Trio promises for customization: (1) the customized auxiliary state
+   is *private* — files stay fully shareable through the generic POSIX
+   LibFS — and (2) the customization actually pays off on its target
+   workload (measured in virtual time). *)
+
+module Rig = Trio_workloads.Rig
+module Sched = Trio_sim.Sched
+module Libfs = Arckfs.Libfs
+module Fs = Trio_core.Fs_intf
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Trio_core.Fs_types.errno_to_string e)
+
+let with_rig f = Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:32768 ~store_data:true f
+
+(* ------------------------------------------------------------------ *)
+(* KVFS *)
+
+let test_kvfs_set_get () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      ok "set" (Kvfs.set kv "alpha" (Bytes.of_string "value-1"));
+      Alcotest.(check string) "get" "value-1" (Bytes.to_string (ok "get" (Kvfs.get kv "alpha")));
+      ok "overwrite" (Kvfs.set kv "alpha" (Bytes.of_string "v2"));
+      Alcotest.(check string) "updated" "v2" (Bytes.to_string (ok "get" (Kvfs.get kv "alpha")));
+      (match Kvfs.get kv "missing" with
+      | Error Trio_core.Fs_types.ENOENT -> ()
+      | _ -> Alcotest.fail "missing key should be ENOENT");
+      Alcotest.(check bool) "exists" true (Kvfs.exists kv "alpha");
+      Alcotest.(check bool) "not exists" false (Kvfs.exists kv "missing"))
+
+let test_kvfs_size_limit () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      (* exactly the 32 KiB cap is fine; beyond is refused *)
+      ok "max" (Kvfs.set kv "big" (Bytes.make Kvfs.max_file_size 'x'));
+      match Kvfs.set kv "too-big" (Bytes.make (Kvfs.max_file_size + 1) 'x') with
+      | Error Trio_core.Fs_types.EINVAL -> ()
+      | _ -> Alcotest.fail "oversized value accepted")
+
+let test_kvfs_many_small_values () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      for i = 0 to 299 do
+        ok "set" (Kvfs.set kv (Printf.sprintf "obj%04d" i) (Bytes.make (100 + i) 'a'))
+      done;
+      for i = 0 to 299 do
+        let v = ok "get" (Kvfs.get kv (Printf.sprintf "obj%04d" i)) in
+        Alcotest.(check int) "length" (100 + i) (Bytes.length v)
+      done)
+
+(* Customization is PRIVATE: the same files are visible through the
+   plain POSIX interface of the same (and another) LibFS. *)
+let test_kvfs_interops_with_posix () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      ok "set" (Kvfs.set kv "shared-obj" (Bytes.of_string "kv-payload"));
+      (* same process, POSIX view *)
+      let posix = Libfs.ops libfs in
+      Alcotest.(check string) "same LibFS" "kv-payload"
+        (ok "read" (Fs.read_file posix "/kv/shared-obj"));
+      (* hand the namespace to a different process with a plain LibFS *)
+      Libfs.unmap_everything libfs;
+      let other = Rig.mount_arckfs ~delegated:false rig in
+      let other_ops = Libfs.ops other in
+      Alcotest.(check string) "other LibFS" "kv-payload"
+        (ok "read" (Fs.read_file other_ops "/kv/shared-obj"));
+      (* and POSIX-created files are readable through get *)
+      ())
+
+let test_kvfs_delete () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      ok "set" (Kvfs.set kv "gone" (Bytes.of_string "x"));
+      ok "delete" (Kvfs.delete kv "gone");
+      match Kvfs.get kv "gone" with
+      | Error Trio_core.Fs_types.ENOENT -> ()
+      | _ -> Alcotest.fail "deleted key still readable")
+
+(* The headline: get/set must beat open/pread/close on small files. *)
+let test_kvfs_faster_than_posix () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let kv = ok "mount" (Kvfs.mount libfs ~dir:"/kv") in
+      let posix = Libfs.ops libfs in
+      let value = Bytes.make 4096 'v' in
+      for i = 0 to 63 do
+        ok "seed" (Kvfs.set kv (Printf.sprintf "o%03d" i) value)
+      done;
+      let kv_cost =
+        Trio_workloads.Runner.time_op ~sched:rig.Rig.sched ~iters:200 (fun () ->
+            ignore (ok "get" (Kvfs.get kv "o007")))
+      in
+      let posix_cost =
+        let buf = Bytes.create 4096 in
+        Trio_workloads.Runner.time_op ~sched:rig.Rig.sched ~iters:200 (fun () ->
+            let fd = ok "open" (posix.Fs.open_ "/kv/o007" [ Trio_core.Fs_types.O_RDONLY ]) in
+            ignore (ok "pread" (posix.Fs.pread fd buf 0));
+            ok "close" (posix.Fs.close fd))
+      in
+      if kv_cost >= posix_cost then
+        Alcotest.failf "KVFS get (%.0fns) should beat POSIX open+read+close (%.0fns)" kv_cost
+          posix_cost)
+
+(* ------------------------------------------------------------------ *)
+(* FPFS *)
+
+let deep_path depth name =
+  "/" ^ String.concat "/" (List.init depth (fun i -> Printf.sprintf "l%d" i)) ^ "/" ^ name
+
+let test_fpfs_conformance =
+  ( "fpfs conformance",
+    Conformance.suite ~make_fs:(fun check ->
+        with_rig (fun rig -> check (Rig.mount_fs rig "fpfs"))) )
+
+let test_fpfs_deep_paths () =
+  with_rig (fun rig ->
+      let fs = Rig.mount_fs rig "fpfs" in
+      let dir = deep_path 20 "" in
+      let dir = String.sub dir 0 (String.length dir - 1) in
+      ok "mkdir_p" (Fs.mkdir_p fs dir);
+      ok "write" (Fs.write_file fs (dir ^ "/leaf") "deep-content");
+      Alcotest.(check string) "read back" "deep-content" (ok "read" (Fs.read_file fs (dir ^ "/leaf"))))
+
+let test_fpfs_faster_on_deep_dirs () =
+  (* stat at depth 20: FPFS (one probe after warmup) must beat ArckFS
+     (twenty component walks). *)
+  let cost name =
+    with_rig (fun rig ->
+        let fs = Rig.mount_fs rig name in
+        let dir =
+          "/" ^ String.concat "/" (List.init 20 (fun i -> Printf.sprintf "l%d" i))
+        in
+        ok "mkdir_p" (Fs.mkdir_p fs dir);
+        ok "write" (Fs.write_file fs (dir ^ "/leaf") "x");
+        (* warm both systems' caches *)
+        ignore (ok "warm" (fs.Fs.stat (dir ^ "/leaf")));
+        Trio_workloads.Runner.time_op ~sched:rig.Rig.sched ~iters:300 (fun () ->
+            ignore (ok "stat" (fs.Fs.stat (dir ^ "/leaf")))))
+  in
+  let arckfs = cost "arckfs" and fpfs = cost "fpfs" in
+  if fpfs >= arckfs then
+    Alcotest.failf "FPFS deep stat (%.0fns) should beat ArckFS (%.0fns)" fpfs arckfs
+
+let test_fpfs_rename_dir_invalidates () =
+  with_rig (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let fpfs = Fpfs.mount libfs in
+      let fs = Fpfs.ops fpfs in
+      ok "mkdir" (fs.Fs.mkdir "/olddir" 0o755);
+      ok "write" (Fs.write_file fs "/olddir/f" "inside");
+      (* warm the path cache *)
+      ignore (ok "stat" (fs.Fs.stat "/olddir/f"));
+      if Fpfs.cached_paths fpfs = 0 then Alcotest.fail "path cache not populated";
+      ok "rename" (fs.Fs.rename "/olddir" "/newdir");
+      (* stale cached paths must not resolve *)
+      (match fs.Fs.stat "/olddir/f" with
+      | Error Trio_core.Fs_types.ENOENT -> ()
+      | Ok _ -> Alcotest.fail "stale path resolved after directory rename"
+      | Error e -> Alcotest.failf "unexpected %s" (Trio_core.Fs_types.errno_to_string e));
+      Alcotest.(check string) "new path works" "inside" (ok "read" (Fs.read_file fs "/newdir/f")))
+
+let () =
+  Alcotest.run "customized"
+    [
+      ( "kvfs",
+        [
+          Alcotest.test_case "set/get" `Quick test_kvfs_set_get;
+          Alcotest.test_case "size limit" `Quick test_kvfs_size_limit;
+          Alcotest.test_case "many small values" `Quick test_kvfs_many_small_values;
+          Alcotest.test_case "interops with POSIX view" `Quick test_kvfs_interops_with_posix;
+          Alcotest.test_case "delete" `Quick test_kvfs_delete;
+          Alcotest.test_case "faster than POSIX on small files" `Quick test_kvfs_faster_than_posix;
+        ] );
+      test_fpfs_conformance;
+      ( "fpfs",
+        [
+          Alcotest.test_case "deep paths" `Quick test_fpfs_deep_paths;
+          Alcotest.test_case "faster on deep dirs" `Quick test_fpfs_faster_on_deep_dirs;
+          Alcotest.test_case "dir rename invalidates cache" `Quick test_fpfs_rename_dir_invalidates;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Tests for the mini-LevelDB running over ArckFS in the simulator. *)
+
+module Rig = Trio_workloads.Rig
+module Db = Minidb.Db
+module Memtable = Minidb.Memtable
+module Sstable = Minidb.Sstable
+module Wal = Minidb.Wal
+module R = Minidb.Record_format
+module Fs = Trio_core.Fs_intf
+module Libfs = Arckfs.Libfs
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Trio_core.Fs_types.errno_to_string e)
+
+let with_fs f =
+  Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+      f rig (Rig.mount_fs rig "arckfs"))
+
+(* ------------------------------------------------------------------ *)
+(* Memtable *)
+
+let test_memtable_basic () =
+  let m = Memtable.create () in
+  Memtable.put m "b" "2";
+  Memtable.put m "a" "1";
+  Memtable.put m "a" "1'";
+  Memtable.delete m "b";
+  Alcotest.(check bool) "a" true (Memtable.find m "a" = Some (Memtable.Put "1'"));
+  Alcotest.(check bool) "b tombstone" true (Memtable.find m "b" = Some Memtable.Delete);
+  Alcotest.(check bool) "c absent" true (Memtable.find m "c" = None);
+  let keys = List.map fst (Memtable.to_sorted_list m) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] keys
+
+(* ------------------------------------------------------------------ *)
+(* Record format *)
+
+let test_record_roundtrip () =
+  let b = R.encode ~kind:R.t_put ~key:"the-key" ~value:"the-value" in
+  match R.decode b 0 with
+  | Some (kind, key, value, next) ->
+    Alcotest.(check int) "kind" R.t_put kind;
+    Alcotest.(check string) "key" "the-key" key;
+    Alcotest.(check string) "value" "the-value" value;
+    Alcotest.(check int) "next" (Bytes.length b) next
+  | None -> Alcotest.fail "decode failed"
+
+let test_record_crc_detects_corruption () =
+  let b = R.encode ~kind:R.t_put ~key:"k" ~value:"v" in
+  Bytes.set b (Bytes.length b - 1) 'X';
+  Alcotest.(check bool) "rejected" true (R.decode b 0 = None)
+
+let test_record_truncation_detected () =
+  let b = R.encode ~kind:R.t_put ~key:"key" ~value:"a-long-value" in
+  let cut = Bytes.sub b 0 (Bytes.length b - 3) in
+  Alcotest.(check bool) "rejected" true (R.decode cut 0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* SSTable *)
+
+let test_sstable_roundtrip () =
+  with_fs (fun _rig fs ->
+      let entries =
+        List.init 500 (fun i -> (Printf.sprintf "key%06d" i, Memtable.Put (Printf.sprintf "val%d" i)))
+      in
+      let table = ok "build" (Sstable.build fs ~path:"/t1.sst" entries) in
+      Alcotest.(check int) "count" 500 (Sstable.entry_count table);
+      (* point lookups through a fresh open *)
+      let reopened = ok "open" (Sstable.open_ fs ~path:"/t1.sst") in
+      List.iter
+        (fun i ->
+          match ok "get" (Sstable.get reopened (Printf.sprintf "key%06d" i)) with
+          | Some (Memtable.Put v) ->
+            Alcotest.(check string) "value" (Printf.sprintf "val%d" i) v
+          | _ -> Alcotest.failf "key%06d missing" i)
+        [ 0; 1; 99; 250; 499 ];
+      Alcotest.(check bool) "absent key" true (ok "get" (Sstable.get reopened "nope") = None);
+      Alcotest.(check bool) "past range" true
+        (ok "get" (Sstable.get reopened "zzzz") = None))
+
+let test_sstable_iter_order () =
+  with_fs (fun _rig fs ->
+      let entries = List.init 100 (fun i -> (Printf.sprintf "k%04d" i, Memtable.Put "v")) in
+      let table = ok "build" (Sstable.build fs ~path:"/t2.sst" entries) in
+      let seen = ref [] in
+      ok "iter" (Sstable.iter_all table (fun k _ -> seen := k :: !seen));
+      Alcotest.(check int) "all" 100 (List.length !seen);
+      Alcotest.(check (list string)) "order" (List.map fst entries) (List.rev !seen))
+
+(* ------------------------------------------------------------------ *)
+(* DB end to end *)
+
+let test_db_put_get () =
+  with_fs (fun _rig fs ->
+      let db = ok "open" (Db.open_db fs ~dir:"/db") in
+      ok "put" (Db.put db ~key:"alpha" ~value:"1");
+      ok "put" (Db.put db ~key:"beta" ~value:"2");
+      Alcotest.(check (option string)) "alpha" (Some "1") (ok "get" (Db.get db ~key:"alpha"));
+      Alcotest.(check (option string)) "beta" (Some "2") (ok "get" (Db.get db ~key:"beta"));
+      Alcotest.(check (option string)) "gamma" None (ok "get" (Db.get db ~key:"gamma"));
+      ok "overwrite" (Db.put db ~key:"alpha" ~value:"1'");
+      Alcotest.(check (option string)) "alpha'" (Some "1'") (ok "get" (Db.get db ~key:"alpha"));
+      ok "close" (Db.close db))
+
+let test_db_delete () =
+  with_fs (fun _rig fs ->
+      let db = ok "open" (Db.open_db fs ~dir:"/db") in
+      ok "put" (Db.put db ~key:"k" ~value:"v");
+      ok "delete" (Db.delete db ~key:"k");
+      Alcotest.(check (option string)) "deleted" None (ok "get" (Db.get db ~key:"k"));
+      ok "close" (Db.close db))
+
+let test_db_flush_and_compaction () =
+  with_fs (fun _rig fs ->
+      let options = { Db.default_options with write_buffer_bytes = 4096; l0_compaction_trigger = 3 } in
+      let db = ok "open" (Db.open_db ~options fs ~dir:"/db") in
+      let n = 600 in
+      for i = 0 to n - 1 do
+        ok "put" (Db.put db ~key:(Printf.sprintf "key%06d" i) ~value:(String.make 50 'v'))
+      done;
+      let flushes, compactions, _, _ = Db.stats db in
+      if flushes = 0 then Alcotest.fail "no memtable flush happened";
+      if compactions = 0 then Alcotest.fail "no compaction happened";
+      (* every key still readable after flushes + compactions *)
+      for i = 0 to n - 1 do
+        match ok "get" (Db.get db ~key:(Printf.sprintf "key%06d" i)) with
+        | Some _ -> ()
+        | None -> Alcotest.failf "key%06d lost" i
+      done;
+      (* deletes survive compaction *)
+      for i = 0 to 99 do
+        ok "delete" (Db.delete db ~key:(Printf.sprintf "key%06d" i))
+      done;
+      for _ = 1 to 200 do
+        ok "fill" (Db.put db ~key:"filler" ~value:(String.make 100 'f'))
+      done;
+      for i = 0 to 99 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "deleted %d" i)
+          None
+          (ok "get" (Db.get db ~key:(Printf.sprintf "key%06d" i)))
+      done;
+      ok "close" (Db.close db))
+
+let test_db_reopen_persistence () =
+  with_fs (fun _rig fs ->
+      let db = ok "open" (Db.open_db fs ~dir:"/db") in
+      for i = 0 to 199 do
+        ok "put" (Db.put db ~key:(Printf.sprintf "k%04d" i) ~value:(Printf.sprintf "v%d" i))
+      done;
+      ok "close" (Db.close db);
+      let db2 = ok "reopen" (Db.open_db fs ~dir:"/db") in
+      for i = 0 to 199 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "k%04d" i)
+          (Some (Printf.sprintf "v%d" i))
+          (ok "get" (Db.get db2 ~key:(Printf.sprintf "k%04d" i)))
+      done;
+      ok "close2" (Db.close db2))
+
+let test_db_wal_recovers_after_crash () =
+  Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let fs = Libfs.ops libfs in
+      let db = ok "open" (Db.open_db fs ~dir:"/db") in
+      (* small writes that stay in the memtable (below flush threshold) *)
+      for i = 0 to 49 do
+        ok "put" (Db.put db ~key:(Printf.sprintf "k%02d" i) ~value:"payload")
+      done;
+      (* crash without closing: memtable is lost, WAL survives *)
+      Trio_nvm.Pmem.crash rig.Rig.pmem;
+      Trio_core.Controller.crash_recover rig.Rig.ctl;
+      let libfs2 = Rig.mount_arckfs ~delegated:false rig in
+      let fs2 = Libfs.ops libfs2 in
+      let db2 = ok "reopen" (Db.open_db fs2 ~dir:"/db") in
+      for i = 0 to 49 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "k%02d" i)
+          (Some "payload")
+          (ok "get" (Db.get db2 ~key:(Printf.sprintf "k%02d" i)))
+      done;
+      ok "close" (Db.close db2))
+
+let test_db_runs_on_every_fs () =
+  List.iter
+    (fun name ->
+      Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+          let fs = Rig.mount_fs rig name in
+          let db = ok "open" (Db.open_db fs ~dir:"/db") in
+          for i = 0 to 99 do
+            ok "put" (Db.put db ~key:(Printf.sprintf "k%03d" i) ~value:"v")
+          done;
+          for i = 0 to 99 do
+            if ok "get" (Db.get db ~key:(Printf.sprintf "k%03d" i)) <> Some "v" then
+              Alcotest.failf "%s: k%03d lost" name i
+          done;
+          ok "close" (Db.close db)))
+    [ "arckfs"; "ext4"; "nova"; "winefs"; "splitfs"; "strata" ]
+
+let () =
+  Alcotest.run "minidb"
+    [
+      ("memtable", [ Alcotest.test_case "basic" `Quick test_memtable_basic ]);
+      ( "records",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "crc detects corruption" `Quick test_record_crc_detects_corruption;
+          Alcotest.test_case "truncation detected" `Quick test_record_truncation_detected;
+        ] );
+      ( "sstable",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sstable_roundtrip;
+          Alcotest.test_case "iter order" `Quick test_sstable_iter_order;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "put/get" `Quick test_db_put_get;
+          Alcotest.test_case "delete" `Quick test_db_delete;
+          Alcotest.test_case "flush & compaction" `Quick test_db_flush_and_compaction;
+          Alcotest.test_case "reopen persistence" `Quick test_db_reopen_persistence;
+          Alcotest.test_case "WAL crash recovery" `Quick test_db_wal_recovers_after_crash;
+          Alcotest.test_case "runs on every fs" `Slow test_db_runs_on_every_fs;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the simulated NVM device: data plumbing, persistence and
+   crash semantics, MMU enforcement, and the performance model. *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Rng = Trio_util.Rng
+
+let make ?(nodes = 2) ?(store_data = true) () =
+  let sched = Sched.create () in
+  let topo = Numa.create ~nodes ~cpus_per_node:4 in
+  let pmem = Pmem.create ~sched ~topo ~profile:Perf.optane ~pages_per_node:1024 ~store_data () in
+  (sched, pmem)
+
+let in_fiber ?nodes ?store_data f =
+  let sched, pmem = make ?nodes ?store_data () in
+  let r = ref None in
+  Sched.spawn sched (fun () -> r := Some (f sched pmem));
+  ignore (Sched.run sched);
+  Option.get !r
+
+let actor = Pmem.kernel_actor
+
+(* ------------------------------------------------------------------ *)
+
+let test_read_write_roundtrip () =
+  in_fiber (fun _ pm ->
+      let data = Bytes.of_string "hello persistent world" in
+      Pmem.write pm ~actor ~addr:8192 ~src:data;
+      let back = Pmem.read pm ~actor ~addr:8192 ~len:(Bytes.length data) in
+      Alcotest.(check string) "roundtrip" (Bytes.to_string data) (Bytes.to_string back))
+
+let test_unwritten_reads_zero () =
+  in_fiber (fun _ pm ->
+      let b = Pmem.read pm ~actor ~addr:4096 ~len:16 in
+      Alcotest.(check string) "zeros" (String.make 16 '\000') (Bytes.to_string b))
+
+let test_cross_page_access () =
+  in_fiber (fun _ pm ->
+      let data = Bytes.init 8192 (fun i -> Char.chr (i mod 256)) in
+      (* start mid-page so the write spans three pages *)
+      Pmem.write pm ~actor ~addr:6000 ~src:data;
+      let back = Pmem.read pm ~actor ~addr:6000 ~len:8192 in
+      Alcotest.(check bool) "cross-page roundtrip" true (Bytes.equal data back))
+
+let test_u64_accessors () =
+  in_fiber (fun _ pm ->
+      Pmem.write_u64 pm ~actor ~addr:4096 0x1122334455667788;
+      Alcotest.(check int) "u64" 0x1122334455667788 (Pmem.read_u64 pm ~actor ~addr:4096))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence & crash *)
+
+let test_crash_reverts_unflushed () =
+  in_fiber (fun _ pm ->
+      Pmem.write_u64 pm ~actor ~addr:4096 1111;
+      Pmem.persist pm ~addr:4096 ~len:8;
+      Pmem.write_u64 pm ~actor ~addr:4096 2222;
+      (* not persisted *)
+      Pmem.crash pm;
+      Alcotest.(check int) "old value survives" 1111 (Pmem.read_u64 pm ~actor ~addr:4096))
+
+let test_crash_keeps_flushed () =
+  in_fiber (fun _ pm ->
+      Pmem.write_u64 pm ~actor ~addr:4096 1111;
+      Pmem.persist pm ~addr:4096 ~len:8;
+      Pmem.crash pm;
+      Alcotest.(check int) "persisted survives" 1111 (Pmem.read_u64 pm ~actor ~addr:4096))
+
+let test_crash_line_granularity () =
+  in_fiber (fun _ pm ->
+      (* two values on different cachelines; persist only one *)
+      Pmem.write_u64 pm ~actor ~addr:4096 1;
+      Pmem.write_u64 pm ~actor ~addr:(4096 + 64) 2;
+      Pmem.persist pm ~addr:4096 ~len:8;
+      Pmem.crash pm;
+      Alcotest.(check int) "flushed line" 1 (Pmem.read_u64 pm ~actor ~addr:4096);
+      Alcotest.(check int) "unflushed line reverted" 0 (Pmem.read_u64 pm ~actor ~addr:(4096 + 64)))
+
+let test_crash_random_subset_is_deterministic () =
+  let run seed =
+    in_fiber (fun _ pm ->
+        for i = 0 to 9 do
+          Pmem.write_u64 pm ~actor ~addr:(4096 + (i * 64)) (i + 1)
+        done;
+        let rng = Rng.create seed in
+        Pmem.crash ~rng pm;
+        List.init 10 (fun i -> Pmem.read_u64 pm ~actor ~addr:(4096 + (i * 64))))
+  in
+  Alcotest.(check (list int)) "same seed, same surviving lines" (run 42) (run 42);
+  (* dirty state is cleared after crash: a second crash changes nothing *)
+  in_fiber (fun _ pm ->
+      Pmem.write_u64 pm ~actor ~addr:4096 7;
+      Pmem.crash pm;
+      let v = Pmem.read_u64 pm ~actor ~addr:4096 in
+      Pmem.crash pm;
+      Alcotest.(check int) "stable after second crash" v (Pmem.read_u64 pm ~actor ~addr:4096))
+
+let test_dirty_lines_accounting () =
+  in_fiber (fun _ pm ->
+      Alcotest.(check int) "clean" 0 (Pmem.dirty_lines pm);
+      Pmem.write_u64 pm ~actor ~addr:4096 1;
+      Alcotest.(check int) "one dirty line" 1 (Pmem.dirty_lines pm);
+      Pmem.persist pm ~addr:4096 ~len:8;
+      Alcotest.(check int) "clean again" 0 (Pmem.dirty_lines pm))
+
+(* ------------------------------------------------------------------ *)
+(* Data-page materialization *)
+
+let test_data_pages_not_materialized () =
+  in_fiber ~store_data:false (fun _ pm ->
+      Pmem.set_kind pm 2 Pmem.Data;
+      let before = Pmem.materialized_pages pm in
+      Pmem.write pm ~actor ~addr:8192 ~src:(Bytes.make 4096 'x');
+      (* cost accounted but no storage *)
+      Alcotest.(check int) "no page materialized" before (Pmem.materialized_pages pm);
+      let b = Pmem.read pm ~actor ~addr:8192 ~len:8 in
+      Alcotest.(check string) "reads zeros" (String.make 8 '\000') (Bytes.to_string b))
+
+let test_meta_pages_always_materialized () =
+  in_fiber ~store_data:false (fun _ pm ->
+      (* default kind is Meta *)
+      Pmem.write_u64 pm ~actor ~addr:12288 99;
+      Alcotest.(check int) "meta stored" 99 (Pmem.read_u64 pm ~actor ~addr:12288))
+
+(* ------------------------------------------------------------------ *)
+(* MMU enforcement *)
+
+let test_mmu_fault_on_unmapped () =
+  in_fiber (fun _ pm ->
+      Pmem.set_perm_check pm (fun ~actor:_ ~page:_ ~write:_ -> false);
+      match Pmem.read pm ~actor:7 ~addr:4096 ~len:8 with
+      | _ -> Alcotest.fail "expected MMU fault"
+      | exception Pmem.Mmu_fault { actor = a; page; write } ->
+        Alcotest.(check int) "actor" 7 a;
+        Alcotest.(check int) "page" 1 page;
+        Alcotest.(check bool) "read fault" false write)
+
+let test_mmu_kernel_bypasses () =
+  in_fiber (fun _ pm ->
+      Pmem.set_perm_check pm (fun ~actor:_ ~page:_ ~write:_ -> false);
+      ignore (Pmem.read pm ~actor:Pmem.kernel_actor ~addr:4096 ~len:8))
+
+let test_mmu_write_vs_read_perm () =
+  in_fiber (fun _ pm ->
+      Pmem.set_perm_check pm (fun ~actor:_ ~page:_ ~write -> not write);
+      ignore (Pmem.read pm ~actor:7 ~addr:4096 ~len:8);
+      match Pmem.write_u64 pm ~actor:7 ~addr:4096 1 with
+      | _ -> Alcotest.fail "expected write fault"
+      | exception Pmem.Mmu_fault { write = true; _ } -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Performance model *)
+
+let test_write_slower_than_read () =
+  let time_op write =
+    in_fiber (fun sched pm ->
+        let t0 = Sched.now sched in
+        if write then Pmem.write pm ~actor ~addr:4096 ~src:(Bytes.make 4096 'x')
+        else ignore (Pmem.read pm ~actor ~addr:4096 ~len:4096);
+        Sched.now sched -. t0)
+  in
+  let r = time_op false and w = time_op true in
+  if w <= r then Alcotest.failf "4K write (%.0fns) should cost more than read (%.0fns)" w r
+
+let test_remote_access_penalty () =
+  (* Access node 1's pages from a CPU on node 0 vs a CPU on node 1. *)
+  let time_from cpu =
+    let sched, pm = make () in
+    let r = ref 0.0 in
+    Sched.spawn ~cpu sched (fun () ->
+        let t0 = Sched.now sched in
+        Pmem.write pm ~actor ~addr:(1024 * 4096) ~src:(Bytes.make 4096 'x');
+        r := Sched.now sched -. t0);
+    ignore (Sched.run sched);
+    !r
+  in
+  let local = time_from 4 (* node 1 *) and remote = time_from 0 (* node 0 *) in
+  if remote <= local then
+    Alcotest.failf "remote write (%.0fns) should cost more than local (%.0fns)" remote local
+
+let test_write_bandwidth_collapse () =
+  (* Optane writes: aggregate bandwidth at 64 threads is far below the
+     4-thread peak; our curve must reproduce the collapse. *)
+  let bw4 = Perf.write_bandwidth Perf.optane 4 in
+  let bw64 = Perf.write_bandwidth Perf.optane 64 in
+  if not (bw64 < bw4 /. 2.0) then
+    Alcotest.failf "write bandwidth should collapse: bw(4)=%.1f bw(64)=%.1f" bw4 bw64
+
+let test_read_bandwidth_saturates () =
+  let bw1 = Perf.read_bandwidth Perf.optane 1 in
+  let bw16 = Perf.read_bandwidth Perf.optane 16 in
+  let bw224 = Perf.read_bandwidth Perf.optane 224 in
+  if not (bw16 > bw1 *. 3.0) then Alcotest.fail "read bandwidth should scale up initially";
+  if not (bw224 > bw16 /. 2.0) then Alcotest.fail "read bandwidth should not collapse"
+
+let test_interp_clamps () =
+  let anchors = [| (1.0, 10.0); (2.0, 20.0) |] in
+  Alcotest.(check (float 0.001)) "below" 10.0 (Perf.interp anchors 0.5);
+  Alcotest.(check (float 0.001)) "above" 20.0 (Perf.interp anchors 5.0);
+  Alcotest.(check (float 0.001)) "between" 15.0 (Perf.interp anchors 1.5)
+
+(* Property: the device's persistence semantics agree with a simple
+   two-image model (volatile + persisted) at cacheline granularity,
+   under random writes, flushes and crashes. *)
+type pmem_op = P_write of int * int | P_persist of int * int | P_crash
+
+let prop_persistence_model =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map2 (fun off len -> P_write (off, len)) (int_bound 1900) (int_range 1 140));
+          (3, map2 (fun off len -> P_persist (off, len)) (int_bound 1900) (int_range 1 140));
+          (1, return P_crash);
+        ])
+  in
+  let show = function
+    | P_write (o, l) -> Printf.sprintf "write(%d,%d)" o l
+    | P_persist (o, l) -> Printf.sprintf "persist(%d,%d)" o l
+    | P_crash -> "crash"
+  in
+  QCheck.Test.make ~name:"persistence agrees with the two-image model" ~count:200
+    QCheck.(
+      make
+        ~print:(fun ops -> String.concat "; " (List.map show ops))
+        Gen.(list_size (int_range 1 40) gen_op))
+    (fun ops ->
+      let region = 2048 in
+      let base = 8192 (* page 2 *) in
+      let result = ref false in
+      let sched, pm = make () in
+      Sched.spawn sched (fun () ->
+          (* model: volatile and persisted images + dirty-line set *)
+          let volatile = Bytes.make region ' ' in
+          let persisted = Bytes.make region ' ' in
+          let line = 64 in
+          let dirty = Array.make (region / line) false in
+          let counter = ref 0 in
+          List.iter
+            (fun op ->
+              match op with
+              | P_write (off, len) ->
+                let len = min len (region - off) in
+                incr counter;
+                let v = Char.chr (!counter mod 256) in
+                Pmem.write pm ~actor ~addr:(base + off) ~src:(Bytes.make len v);
+                Bytes.fill volatile off len v;
+                for l = off / line to (off + len - 1) / line do
+                  dirty.(l) <- true
+                done
+              | P_persist (off, len) ->
+                let len = min len (region - off) in
+                Pmem.persist pm ~addr:(base + off) ~len;
+                (* whole lines touched by the range become clean *)
+                for l = off / line to (off + len - 1) / line do
+                  let lo = l * line in
+                  Bytes.blit volatile lo persisted lo line;
+                  dirty.(l) <- false
+                done
+              | P_crash ->
+                Pmem.crash pm;
+                Bytes.blit persisted 0 volatile 0 region;
+                Array.fill dirty 0 (Array.length dirty) false)
+            ops;
+          let b = Pmem.read pm ~actor ~addr:base ~len:region in
+          if not (Bytes.equal b volatile) then
+            Alcotest.fail "device disagrees with the model";
+          result := true);
+      ignore (Sched.run sched);
+      !result)
+
+let test_numa_topology () =
+  let topo = Numa.paper_machine in
+  Alcotest.(check int) "nodes" 8 (Numa.nodes topo);
+  Alcotest.(check int) "total cpus" 224 (Numa.total_cpus topo);
+  Alcotest.(check int) "cpu 0 -> node 0" 0 (Numa.node_of_cpu topo 0);
+  Alcotest.(check int) "cpu 27 -> node 0" 0 (Numa.node_of_cpu topo 27);
+  Alcotest.(check int) "cpu 28 -> node 1" 1 (Numa.node_of_cpu topo 28);
+  Alcotest.(check int) "cpu 223 -> node 7" 7 (Numa.node_of_cpu topo 223)
+
+let () =
+  Alcotest.run "nvm"
+    [
+      ( "data",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_read_write_roundtrip;
+          Alcotest.test_case "zeros" `Quick test_unwritten_reads_zero;
+          Alcotest.test_case "cross page" `Quick test_cross_page_access;
+          Alcotest.test_case "u64" `Quick test_u64_accessors;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "reverts unflushed" `Quick test_crash_reverts_unflushed;
+          Alcotest.test_case "keeps flushed" `Quick test_crash_keeps_flushed;
+          Alcotest.test_case "line granularity" `Quick test_crash_line_granularity;
+          Alcotest.test_case "random subset deterministic" `Quick
+            test_crash_random_subset_is_deterministic;
+          Alcotest.test_case "dirty accounting" `Quick test_dirty_lines_accounting;
+        ] );
+      ( "materialization",
+        [
+          Alcotest.test_case "data pages cost-only" `Quick test_data_pages_not_materialized;
+          Alcotest.test_case "meta pages stored" `Quick test_meta_pages_always_materialized;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "fault on unmapped" `Quick test_mmu_fault_on_unmapped;
+          Alcotest.test_case "kernel bypasses" `Quick test_mmu_kernel_bypasses;
+          Alcotest.test_case "write vs read perm" `Quick test_mmu_write_vs_read_perm;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "write slower than read" `Quick test_write_slower_than_read;
+          Alcotest.test_case "remote penalty" `Quick test_remote_access_penalty;
+          Alcotest.test_case "write collapse" `Quick test_write_bandwidth_collapse;
+          Alcotest.test_case "read saturates" `Quick test_read_bandwidth_saturates;
+          Alcotest.test_case "interp clamps" `Quick test_interp_clamps;
+          Alcotest.test_case "numa topology" `Quick test_numa_topology;
+        ] );
+      ("model", [ QCheck_alcotest.to_alcotest prop_persistence_model ]);
+    ]

@@ -1,0 +1,192 @@
+(* Smoke + semantics tests for the workload generators and the
+   measurement harness. *)
+
+module Rig = Trio_workloads.Rig
+module Runner = Trio_workloads.Runner
+module Fio = Trio_workloads.Fio
+module Fxmark = Trio_workloads.Fxmark
+module Filebench = Trio_workloads.Filebench
+module Dbbench = Trio_workloads.Dbbench
+module Sched = Trio_sim.Sched
+
+let small_rig f = Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:false f
+
+let test_runner_counts_ops () =
+  small_rig (fun rig ->
+      let r =
+        Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:4 ~max_ops:100
+          ~max_ns:1.0e9 ~warmup_ops:0
+          ~body:(fun ~tid ->
+            ignore tid;
+            Sched.delay 1000.0;
+            7)
+          ()
+      in
+      (* in-flight threads may each complete one op past the cap *)
+      if r.Runner.ops < 100 || r.Runner.ops > 103 then
+        Alcotest.failf "ops: expected ~100, got %d" r.Runner.ops;
+      Alcotest.(check (float 30.0)) "bytes" (float_of_int (7 * r.Runner.ops)) r.Runner.bytes;
+      if r.Runner.ops_per_us <= 0.0 then Alcotest.fail "throughput must be positive")
+
+let test_runner_deterministic () =
+  let once () =
+    small_rig (fun rig ->
+        let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+        let r = Fxmark.run rig fs (Fxmark.find "MWCL") ~threads:4 ~max_ops:500 ~max_ns:1.0e8 () in
+        r.Runner.elapsed_ns)
+  in
+  Alcotest.(check (float 0.0)) "same virtual time" (once ()) (once ())
+
+let test_runner_respects_deadline () =
+  small_rig (fun rig ->
+      let r =
+        Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:2 ~max_ops:1_000_000
+          ~max_ns:50_000.0 ~warmup_ops:0
+          ~body:(fun ~tid ->
+            ignore tid;
+            Sched.delay 1000.0;
+            0)
+          ()
+      in
+      (* 2 threads x 50us / 1us per op = ~100 ops, certainly not 1e6 *)
+      if r.Runner.ops > 200 then Alcotest.failf "deadline ignored: %d ops" r.Runner.ops)
+
+let test_fio_moves_expected_bytes () =
+  small_rig (fun rig ->
+      let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+      let config =
+        { Fio.threads = 2; block_size = 4096; file_size = 1 lsl 20; kind = Fio.Write }
+      in
+      let r = Fio.run rig fs config ~max_ops:200 ~max_ns:1.0e9 () in
+      Alcotest.(check (float 1.0)) "bytes = ops * block"
+        (float_of_int (r.Runner.ops * 4096))
+        r.Runner.bytes)
+
+let test_fxmark_all_benches_run () =
+  List.iter
+    (fun bench ->
+      small_rig (fun rig ->
+          let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+          let r = Fxmark.run rig fs bench ~threads:2 ~max_ops:100 ~max_ns:1.0e8 () in
+          if r.Runner.ops = 0 then
+            Alcotest.failf "%s did zero operations" bench.Fxmark.name))
+    Fxmark.all
+
+let test_fxmark_descriptions_complete () =
+  List.iter
+    (fun b ->
+      if not (List.mem_assoc b.Fxmark.name Fxmark.descriptions) then
+        Alcotest.failf "%s missing from Table 2 descriptions" b.Fxmark.name)
+    Fxmark.all;
+  Alcotest.(check int) "12 benchmarks" 12 (List.length Fxmark.all)
+
+let test_filebench_personalities_run () =
+  List.iter
+    (fun p ->
+      small_rig (fun rig ->
+          let fs = Rig.mount_fs ~store_data:false rig "arckfs" in
+          let r = Filebench.run rig fs p ~threads:2 ~max_ops:60 ~max_ns:1.0e9 () in
+          if r.Runner.ops = 0 then Alcotest.failf "%s did zero operations" p.Filebench.p_name))
+    Filebench.personalities
+
+let test_filebench_runs_on_baseline () =
+  small_rig (fun rig ->
+      let fs = Rig.mount_fs ~store_data:false rig "nova" in
+      let p = Filebench.find "varmail" in
+      let r = Filebench.run rig fs p ~threads:2 ~max_ops:60 ~max_ns:1.0e9 () in
+      if r.Runner.ops = 0 then Alcotest.fail "varmail on nova did zero operations")
+
+let test_dbbench_workloads_run () =
+  List.iter
+    (fun w ->
+      Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+          let fs = Rig.mount_fs ~store_data:true rig "arckfs" in
+          let n = match w with Dbbench.Fill_100k -> 20 | _ -> 200 in
+          let r = Dbbench.run ~sched:rig.Rig.sched fs w ~n in
+          if r.Dbbench.ops_per_ms <= 0.0 then
+            Alcotest.failf "%s reported zero throughput" (Dbbench.workload_name w)))
+    Dbbench.all
+
+let test_mount_every_fs () =
+  List.iter
+    (fun name ->
+      small_rig (fun rig ->
+          let fs = Rig.mount_fs ~store_data:false rig name in
+          Alcotest.(check string) "name matches" name fs.Trio_core.Fs_intf.fs_name))
+    [ "arckfs"; "fpfs"; "ext4"; "ext4-raid0"; "pmfs"; "nova"; "winefs"; "odinfs"; "splitfs"; "strata" ]
+
+(* ------------------------------------------------------------------ *)
+(* Shape assertions: the scalability behaviours the paper's evaluation
+   rests on, checked at reduced scale so they guard against regression. *)
+
+let paper_rig f =
+  Rig.run ~nodes:8 ~cpus_per_node:28 ~pages_per_node:(1 lsl 19) ~store_data:false f
+
+let throughput fs_name bench threads =
+  paper_rig (fun rig ->
+      let fs = Rig.mount_fs ~store_data:false rig fs_name in
+      let r = Fxmark.run rig fs (Fxmark.find bench) ~threads ~max_ops:6000 ~max_ns:8.0e6 () in
+      r.Runner.ops_per_us)
+
+let test_shape_arckfs_creates_scale () =
+  let one = throughput "arckfs" "MWCL" 1 in
+  let many = throughput "arckfs" "MWCL" 112 in
+  if many < one *. 5.0 then
+    Alcotest.failf "ArckFS private creates should scale: 1thr=%.2f 112thr=%.2f" one many
+
+let test_shape_kernel_fs_rename_flat () =
+  let one = throughput "nova" "MWRL" 1 in
+  let many = throughput "nova" "MWRL" 112 in
+  if many > one *. 2.0 then
+    Alcotest.failf "NOVA renames should be flat under the global lock: 1thr=%.2f 112thr=%.2f"
+      one many
+
+let test_shape_arckfs_beats_kernel_open_at_scale () =
+  let arck = throughput "arckfs" "MRPH" 112 in
+  let nova = throughput "nova" "MRPH" 112 in
+  if arck < nova *. 2.0 then
+    Alcotest.failf "ArckFS hot open should dominate at scale: arckfs=%.2f nova=%.2f" arck nova
+
+let test_shape_delegation_preserves_write_bw () =
+  (* 4KB writes at 112 threads: delegation must beat the direct path *)
+  let gib fs_name =
+    paper_rig (fun rig ->
+        let fs = Rig.mount_fs ~store_data:false rig fs_name in
+        let config =
+          { Fio.threads = 112; block_size = 4096; file_size = 4 * 1024 * 1024; kind = Fio.Write }
+        in
+        (Fio.run rig fs config ~max_ops:8000 ~max_ns:8.0e6 ()).Runner.gib_per_s)
+  in
+  let delegated = gib "arckfs" and direct = gib "nova" in
+  if delegated < direct *. 3.0 then
+    Alcotest.failf "delegation should preserve write bandwidth: arckfs=%.2f nova=%.2f" delegated
+      direct
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "counts ops and bytes" `Quick test_runner_counts_ops;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "respects deadline" `Quick test_runner_respects_deadline;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "fio byte accounting" `Quick test_fio_moves_expected_bytes;
+          Alcotest.test_case "all fxmark benches run" `Quick test_fxmark_all_benches_run;
+          Alcotest.test_case "fxmark descriptions" `Quick test_fxmark_descriptions_complete;
+          Alcotest.test_case "filebench personalities run" `Slow test_filebench_personalities_run;
+          Alcotest.test_case "filebench on a baseline" `Quick test_filebench_runs_on_baseline;
+          Alcotest.test_case "db_bench workloads run" `Slow test_dbbench_workloads_run;
+          Alcotest.test_case "every fs mounts" `Quick test_mount_every_fs;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "arckfs creates scale" `Slow test_shape_arckfs_creates_scale;
+          Alcotest.test_case "kernel rename flat" `Slow test_shape_kernel_fs_rename_flat;
+          Alcotest.test_case "arckfs hot-open dominates" `Slow test_shape_arckfs_beats_kernel_open_at_scale;
+          Alcotest.test_case "delegation preserves write bw" `Slow
+            test_shape_delegation_preserves_write_bw;
+        ] );
+    ]
