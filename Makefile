@@ -1,0 +1,26 @@
+# Convenience entry points; the project itself is a plain dune build.
+
+.PHONY: all build test check clean bench
+
+all: build
+
+build:
+	dune build
+
+# Fast suites only (alcotest -q skips the `Slow-tagged shape/property
+# tests); use `make test` for the full tier-1 run.
+quick:
+	dune build && dune runtest -- -q
+
+test:
+	dune runtest
+
+# The pre-commit gate: everything compiles and every test passes.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -35,6 +35,7 @@ module Libfs = Arckfs.Libfs
 module Controller = Trio_core.Controller
 module Stats = Trio_sim.Stats
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 
 let fast = ref false
 
@@ -71,6 +72,18 @@ let print_row name cells =
   Printf.printf "%-14s" name;
   List.iter (fun v -> Printf.printf "%10.2f" v) cells;
   print_newline ()
+
+(* Per-op latency breakdown of an instrumented VFS handle, rendered
+   inside the simulation (the handle does not outlive its rig). *)
+let breakdown_of vfs = Format.asprintf "%a" Vfs.pp_breakdown vfs
+
+(* Print a sweep row and, underneath it, the per-op p50/p99 breakdown
+   captured at the highest thread count of the sweep. *)
+let print_row_with_breakdown name results =
+  print_row name (List.map fst results);
+  match List.rev results with
+  | (_, b) :: _ -> print_string b
+  | [] -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: single-thread performance *)
@@ -132,15 +145,15 @@ let fig6 () =
           List.map
             (fun n ->
               rig_of (fun rig ->
-                  let fs = Rig.mount_fs ~store_data:false rig name in
+                  let vfs = Rig.mount_fs ~store_data:false rig name in
                   let file_size = max (4 * 1024 * 1024) (4 * block) in
                   let config = { Fio.threads = n; block_size = block; file_size; kind } in
                   let max_ops = if block > 65536 then 4000 else 12000 in
-                  let r = Fio.run rig fs config ~max_ops ~max_ns:10.0e6 () in
-                  r.Runner.gib_per_s))
+                  let r = Fio.run rig vfs config ~max_ops ~max_ns:10.0e6 () in
+                  (r.Runner.gib_per_s, breakdown_of vfs)))
             threads
         in
-        print_row name cells)
+        print_row_with_breakdown name cells)
       fses
   in
   let one_fses = [ "ext4"; "pmfs"; "nova"; "winefs"; "splitfs"; "arckfs-nd" ] in
@@ -181,14 +194,14 @@ let fig7 () =
             List.map
               (fun n ->
                 eight_node_rig (fun rig ->
-                    let fs = Rig.mount_fs ~store_data:false rig fs_name in
+                    let vfs = Rig.mount_fs ~store_data:false rig fs_name in
                     let r =
-                      Fxmark.run rig fs bench ~threads:n ~max_ops:12_000 ~max_ns:10.0e6 ()
+                      Fxmark.run rig vfs bench ~threads:n ~max_ops:12_000 ~max_ns:10.0e6 ()
                     in
-                    r.Runner.ops_per_us))
+                    (r.Runner.ops_per_us, breakdown_of vfs)))
               threads
           in
-          print_row fs_name cells)
+          print_row_with_breakdown fs_name cells)
         fses)
     [ "DWTL"; "MRPL"; "MRPM"; "MRPH"; "MRDL"; "MRDM"; "MWCL"; "MWCM"; "MWUL"; "MWUM"; "MWRL"; "MWRM" ]
 
@@ -230,7 +243,7 @@ let run_write_sharing ~mode ~file_size =
   sharing_rig (fun rig ->
       match mode with
       | `Nova ->
-        let fs = Rig.mount_fs ~store_data:false rig "nova" in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig "nova") in
         let fd = get_ok "create" (fs.Fs.create "/shared" 0o666) in
         get_ok "truncate" (fs.Fs.truncate "/shared" file_size);
         write_sharing_body rig ~file_size ~ops_of:(fun _ -> (fs, fd))
@@ -268,7 +281,7 @@ let run_create_sharing ~mode ~prepopulate =
       in
       match mode with
       | `Nova ->
-        let fs = Rig.mount_fs ~store_data:false rig "nova" in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig "nova") in
         get_ok "mkdir" (fs.Fs.mkdir "/shared_dir" 0o777);
         for i = 0 to prepopulate - 1 do
           ignore (get_ok "pre" (fs.Fs.create (Printf.sprintf "/shared_dir/base%d" i) 0o644))

@@ -18,6 +18,7 @@ module Pmem = Trio_nvm.Pmem
 module Controller = Trio_core.Controller
 module Verifier = Trio_core.Verifier
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 open Cmdliner
 
 let ok what = function
@@ -56,7 +57,8 @@ let info_cmd =
 let smoke_cmd =
   let run fs_name =
     Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:32768 ~store_data:true (fun rig ->
-        let fs = Rig.mount_fs rig fs_name in
+        let vfs = Rig.mount_fs rig fs_name in
+        let fs = Vfs.ops vfs in
         ok "mkdir" (fs.Fs.mkdir "/smoke" 0o755);
         ok "write" (Fs.write_file fs "/smoke/hello" "hello from trioctl\n");
         let back = ok "read" (Fs.read_file fs "/smoke/hello") in
@@ -64,6 +66,7 @@ let smoke_cmd =
         ok "unlink" (fs.Fs.unlink "/smoke/world");
         Printf.printf "%s: create/write/read/rename/unlink all OK (read back %d bytes)\n"
           fs_name (String.length back);
+        Format.printf "per-op latency breakdown:@.%a" Vfs.pp_breakdown vfs;
         0)
   in
   let fs_arg =
@@ -146,12 +149,80 @@ let attacks_cmd =
   Cmd.v (Cmd.info "attacks" ~doc:"Run the §6.5 integrity attack suite") Term.(const run $ seeds)
 
 (* ------------------------------------------------------------------ *)
+(* stats / trace: per-op observability of the VFS dispatch layer *)
+
+(* Scripted mixed workload: data and metadata ops, plus a few operations
+   that are expected to fail so the errno counters are exercised. *)
+let observability_workload fs =
+  ok "mkdir" (fs.Fs.mkdir "/obs" 0o755);
+  for i = 0 to 15 do
+    ok "write"
+      (Fs.write_file fs (Printf.sprintf "/obs/f%02d" i) (String.make (512 * (i + 1)) 'a'))
+  done;
+  for i = 0 to 15 do
+    ignore (ok "read" (Fs.read_file fs (Printf.sprintf "/obs/f%02d" i)))
+  done;
+  ignore (ok "readdir" (fs.Fs.readdir "/obs"));
+  ignore (ok "stat" (fs.Fs.stat "/obs/f01"));
+  ok "rename" (fs.Fs.rename "/obs/f00" "/obs/renamed");
+  ok "unlink" (fs.Fs.unlink "/obs/renamed");
+  (* expected failures *)
+  ignore (fs.Fs.open_ "/obs/missing" [ Trio_core.Fs_types.O_RDONLY ]);
+  ignore (fs.Fs.mkdir "/obs" 0o755);
+  ignore (fs.Fs.unlink "/obs/missing")
+
+let stats_cmd =
+  let run fs_name =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let vfs = Rig.mount_fs rig fs_name in
+        observability_workload (Vfs.ops vfs);
+        Printf.printf "%s: %d operations dispatched through the VFS layer\n" fs_name
+          (Vfs.total_ops vfs);
+        Format.printf "per-op counters, errno breakdown and latency percentiles:@.%a"
+          Vfs.pp_breakdown vfs;
+        0)
+  in
+  let fs_arg =
+    Arg.(value & opt string "arckfs" & info [ "fs" ] ~docv:"FS" ~doc:"File system to exercise")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a mixed workload and dump the VFS per-op counters and latency histograms")
+    Term.(const run $ fs_arg)
+
+let trace_cmd =
+  let run fs_name last =
+    if last <= 0 then begin
+      Printf.eprintf "--last must be positive\n";
+      exit 2
+    end;
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let vfs = Rig.mount_fs ~trace_capacity:last rig fs_name in
+        observability_workload (Vfs.ops vfs);
+        Printf.printf "%s: last %d of %d operations (ring capacity %d):\n" fs_name
+          (List.length (Vfs.trace vfs))
+          (Vfs.total_ops vfs) last;
+        Format.printf "%a" Vfs.pp_trace vfs;
+        0)
+  in
+  let fs_arg =
+    Arg.(value & opt string "arckfs" & info [ "fs" ] ~docv:"FS" ~doc:"File system to exercise")
+  in
+  let last_arg =
+    Arg.(value & opt int 32 & info [ "last" ] ~docv:"N" ~doc:"Trace ring capacity (entries kept)")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a mixed workload with a bounded trace ring and dump the most recent operations")
+    Term.(const run $ fs_arg $ last_arg)
+
+(* ------------------------------------------------------------------ *)
 (* micro: one microbenchmark on one fs *)
 
 let micro_cmd =
   let run fs_name op threads =
     Rig.run ~nodes:8 ~cpus_per_node:28 ~pages_per_node:(1 lsl 19) ~store_data:false (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig fs_name in
+        let vfs = Rig.mount_fs ~store_data:false rig fs_name in
         let bench =
           match op with
           | "create" -> Trio_workloads.Fxmark.find "MWCL"
@@ -167,10 +238,11 @@ let micro_cmd =
               exit 2)
         in
         let r =
-          Trio_workloads.Fxmark.run rig fs bench ~threads ~max_ops:12_000 ~max_ns:10.0e6 ()
+          Trio_workloads.Fxmark.run rig vfs bench ~threads ~max_ops:12_000 ~max_ns:10.0e6 ()
         in
         Format.printf "%s %s: %a@." fs_name bench.Trio_workloads.Fxmark.name
           Trio_workloads.Runner.pp_result r;
+        Format.printf "per-op latency breakdown:@.%a" Vfs.pp_breakdown vfs;
         0)
   in
   let fs_arg = Arg.(value & opt string "arckfs" & info [ "fs" ] ~doc:"File system") in
@@ -183,5 +255,8 @@ let micro_cmd =
 
 let () =
   let doc = "Trio/ArckFS userspace NVM file system simulator" in
-  let main = Cmd.group (Cmd.info "trioctl" ~doc) [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; micro_cmd ] in
+  let main =
+    Cmd.group (Cmd.info "trioctl" ~doc)
+      [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; micro_cmd; stats_cmd; trace_cmd ]
+  in
   exit (Cmd.eval' main)

@@ -12,6 +12,7 @@ module Rig = Trio_workloads.Rig
 module Libfs = Arckfs.Libfs
 module Sched = Trio_sim.Sched
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 open Trio_core.Fs_types
 
 let ok what = function
@@ -37,7 +38,7 @@ let () =
       print_endline "== deep-path resolution: ArckFS vs FPFS ==";
       (* plain ArckFS *)
       let arck = Rig.mount_arckfs ~delegated:false rig in
-      let arck_fs = Libfs.ops arck in
+      let arck_fs = Vfs.ops (Vfs.wrap ~sched (Libfs.ops arck)) in
       ok "mkdir_p" (Fs.mkdir_p arck_fs dir);
       for i = 0 to 99 do
         ignore (ok "seed" (arck_fs.Fs.create (Printf.sprintf "%s/obj%03d" dir i) 0o644))
@@ -50,7 +51,7 @@ let () =
 
       (* FPFS over the same namespace, same process *)
       let fpfs = Fpfs.mount arck in
-      let fp = Fpfs.ops fpfs in
+      let fp = Vfs.ops (Vfs.wrap ~sched (Fpfs.ops fpfs)) in
       (* warm the path table *)
       ignore (ok "warm" (fp.Fs.stat (dir ^ "/obj000")));
       let fp_stat =

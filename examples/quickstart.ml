@@ -10,6 +10,7 @@ module Rig = Trio_workloads.Rig
 module Libfs = Arckfs.Libfs
 module Sched = Trio_sim.Sched
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 open Trio_core.Fs_types
 
 let ok what = function
@@ -20,9 +21,11 @@ let () =
   (* A 2-socket machine with a small PM module per socket. *)
   Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:32768 ~store_data:true (fun rig ->
       let sched = rig.Rig.sched in
-      (* Mount an ArckFS LibFS for process 101. *)
+      (* Mount an ArckFS LibFS for process 101, dispatched through the
+         instrumented VFS layer. *)
       let libfs = Rig.mount_arckfs ~delegated:false rig in
-      let fs = Libfs.ops libfs in
+      let vfs = Vfs.wrap ~sched (Libfs.ops libfs) in
+      let fs = Vfs.ops vfs in
 
       print_endline "== Trio/ArckFS quickstart ==";
 
@@ -70,4 +73,8 @@ let () =
       let fs2 = Libfs.ops libfs2 in
       let content = ok "read after crash" (Fs.read_file fs2 "/projects/trio/README") in
       Printf.printf "after crash + recovery, README still reads %d bytes. done.\n"
-        (String.length content))
+        (String.length content);
+
+      (* The VFS layer counted every operation above. *)
+      Printf.printf "\nper-op latency breakdown (pre-crash handle):\n";
+      Format.printf "%a" Vfs.pp_breakdown vfs)

@@ -14,6 +14,7 @@ module Controller = Trio_core.Controller
 module Stats = Trio_sim.Stats
 module Sched = Trio_sim.Sched
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 open Trio_core.Fs_types
 
 let ok what = function
@@ -28,7 +29,7 @@ let () =
 
       (* Alice writes a document through her own LibFS. *)
       let alice = Rig.mount_arckfs ~delegated:false ~uid:1000 rig in
-      let alice_fs = Libfs.ops alice in
+      let alice_fs = Vfs.ops (Vfs.wrap ~sched (Libfs.ops alice)) in
       ok "alice write" (Fs.write_file alice_fs "/doc.txt" "draft v1, by alice\n");
       Printf.printf "alice wrote /doc.txt (her LibFS holds the write mapping)\n";
 
@@ -36,7 +37,7 @@ let () =
          each other's code) opens the file: the controller waits for the
          handoff, runs the verifier, and only then maps it for him. *)
       let bob = Rig.mount_arckfs ~delegated:false ~uid:1000 rig in
-      let bob_fs = Libfs.ops bob in
+      let bob_fs = Vfs.ops (Vfs.wrap ~sched (Libfs.ops bob)) in
       Libfs.unmap_everything alice;
       Printf.printf "alice released her mappings; the verifier checked the core state\n";
       let content = ok "bob read" (Fs.read_file bob_fs "/doc.txt") in

@@ -53,10 +53,9 @@ let worker t chan =
       let req = Sync.Chan.recv chan in
       Sched.cpu_work service_cost;
       (match req.op with
-      | Op_write (src, pos) -> Pmem.write_sub t.pmem ~actor:req.actor ~addr:req.addr ~src ~pos ~len:req.len
+      | Op_write (src, pos) -> Pmem.write_from t.pmem ~actor:req.actor ~addr:req.addr ~src ~pos ~len:req.len
       | Op_read (dst, pos) ->
-        let data = Pmem.read t.pmem ~actor:req.actor ~addr:req.addr ~len:req.len in
-        Bytes.blit data 0 dst pos req.len
+        Pmem.read_into t.pmem ~actor:req.actor ~addr:req.addr ~dst ~pos ~len:req.len
       | Op_touch write -> Pmem.touch t.pmem ~actor:req.actor ~addr:req.addr ~len:req.len ~write);
       Sync.Ivar.fill req.done_ ()
     done

@@ -107,31 +107,83 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
     | None -> ()
     | Some t ->
       Journal.recover t.journal;
+      let actor = t.proc in
+      (* Reconcile a regular file whose size and index chain were torn
+         by the crash: append links the new index entry before bumping
+         the size (truncate the reverse), so an interruption between the
+         two persisted stores leaves a state that fails I1.  For a
+         *fresh* file — created since the last access transfer, so the
+         kernel holds no checkpoint for it — failing verification at
+         ingestion drops the dentry outright, erasing a create that
+         committed long before the crash.  Repair to the nearest
+         consistent state instead: unlink index entries past the
+         recorded size, or clamp the size down to the pages actually
+         linked.  Orphaned data pages stay allocated to this process
+         and are reclaimed with it. *)
+      let repair_reg ~dentry_addr (inode : Layout.inode) =
+        let entries = ref [] in
+        ignore
+          (Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
+             ~max_pages:(Pmem.total_pages pmem) (fun ~index_page ~entries:slots ~next:_ ->
+               Array.iteri
+                 (fun slot pg -> if pg <> 0 then entries := (index_page, slot) :: !entries)
+                 slots));
+        let entries = List.rev !entries in
+        let npages = List.length entries in
+        let needed = (inode.Layout.size + page_size - 1) / page_size in
+        if npages > needed then
+          List.iteri
+            (fun i (index_page, slot) ->
+              if i >= needed then begin
+                let addr = (index_page * page_size) + (slot * 8) in
+                Pmem.write_u64 pmem ~actor ~addr 0;
+                Pmem.persist pmem ~addr ~len:8
+              end)
+            entries
+        else if inode.Layout.size > npages * page_size then
+          Layout.write_size pmem ~actor ~dentry_addr (npages * page_size)
+      in
       (* Recount and repair the size field of every write-mapped
          directory: create/unlink persist the dentry before the size, so
-         a crash can leave the count stale by one. *)
+         a crash can leave the count stale by one.  While walking the
+         dentries, recurse into fresh children (unknown to the kernel)
+         and reconcile their torn state too — the kernel cannot roll
+         them back, only drop them. *)
+      let seen = Hashtbl.create 16 in
+      let rec repair_dir ~dentry_addr (inode : Layout.inode) =
+        if not (Hashtbl.mem seen inode.Layout.ino) then begin
+          Hashtbl.add seen inode.Layout.ino ();
+          let count = ref 0 in
+          ignore
+            (Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
+               ~max_pages:(Pmem.total_pages pmem) (fun ~index_page:_ ~entries ~next:_ ->
+                 Array.iter
+                   (fun pg ->
+                     if pg <> 0 then begin
+                       let b = Pmem.read pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+                       for slot = 0 to Layout.dentries_per_page - 1 do
+                         if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then begin
+                           incr count;
+                           let addr = (pg * page_size) + (slot * Layout.dentry_size) in
+                           match Layout.read_dentry pmem ~actor ~addr with
+                           | Some (Ok (child, _))
+                             when Controller.dentry_addr_of ctl child.Layout.ino = None -> (
+                             match child.Layout.ftype with
+                             | Reg -> repair_reg ~dentry_addr:addr child
+                             | Dir -> repair_dir ~dentry_addr:addr child)
+                           | _ -> ()
+                         end
+                       done
+                     end)
+                   entries));
+          if !count <> inode.Layout.size then Layout.write_size pmem ~actor ~dentry_addr !count
+        end
+      in
       List.iter
         (fun (_ino, dentry_addr, ftype) ->
           if ftype = Dir then begin
-            match Layout.read_dentry pmem ~actor:t.proc ~addr:dentry_addr with
-            | Some (Ok (inode, _)) ->
-              let count = ref 0 in
-              ignore
-                (Layout.walk_index_chain pmem ~actor:t.proc ~head:inode.Layout.index_head
-                   ~max_pages:(Pmem.total_pages pmem) (fun ~index_page:_ ~entries ~next:_ ->
-                     Array.iter
-                       (fun pg ->
-                         if pg <> 0 then begin
-                           let b =
-                             Pmem.read pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size
-                           in
-                           for slot = 0 to Layout.dentries_per_page - 1 do
-                             if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr count
-                           done
-                         end)
-                       entries));
-              if !count <> inode.Layout.size then
-                Layout.write_size pmem ~actor:t.proc ~dentry_addr !count
+            match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
+            | Some (Ok (inode, _)) -> repair_dir ~dentry_addr inode
             | _ -> ()
           end)
         (Controller.write_mapped_inos ctl ~proc)
@@ -620,11 +672,8 @@ let do_data_io t ~write ~buf runs ~len =
   | _ ->
     List.iter
       (fun (addr, pos, chunk) ->
-        if write then Pmem.write_sub t.pmem ~actor:t.proc ~addr ~src:buf ~pos ~len:chunk
-        else begin
-          let data = Pmem.read t.pmem ~actor:t.proc ~addr ~len:chunk in
-          Bytes.blit data 0 buf pos chunk
-        end)
+        if write then Pmem.write_from t.pmem ~actor:t.proc ~addr ~src:buf ~pos ~len:chunk
+        else Pmem.read_into t.pmem ~actor:t.proc ~addr ~dst:buf ~pos ~len:chunk)
       runs
 
 (* Data persistence: ArckFS persists data writes before returning (§4.4);

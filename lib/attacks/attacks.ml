@@ -55,15 +55,19 @@ let fail_on what = function
 
 (* Build a world: a victim file with content in "/", and an attacker
    LibFS that holds write access to "/" (by creating its own file). *)
+(* Every process' ops record is routed through the VFS dispatch layer so
+   attack runs are observable like any other workload. *)
+let vfs_ops rig libfs = Trio_core.Vfs.(ops (wrap ~sched:rig.Rig.sched (Libfs.ops libfs)))
+
 let make_ctx rig =
   let owner = Rig.mount_arckfs ~delegated:false ~uid:1000 rig in
-  let owner_ops = Libfs.ops owner in
+  let owner_ops = vfs_ops rig owner in
   fail_on "victim write" (Fs.write_file owner_ops "/victim" "precious-data");
   fail_on "victim dir" (owner_ops.Fs.mkdir "/victim_dir" 0o755);
   fail_on "victim child" (Fs.write_file owner_ops "/victim_dir/inner" "x");
   Libfs.unmap_everything owner;
   let attacker = Rig.mount_arckfs ~delegated:false ~uid:1000 rig in
-  let attacker_ops = Libfs.ops attacker in
+  let attacker_ops = vfs_ops rig attacker in
   (* gain write access to "/" legitimately *)
   ignore (fail_on "attacker file" (attacker_ops.Fs.create "/attacker_file" 0o644));
   let victim_ino = (fail_on "stat" (attacker_ops.Fs.stat "/victim")).st_ino in
@@ -94,7 +98,7 @@ let evaluate ?(require_victim = true) ctx ~events_before ~i4_repair =
   in
   (* a third process must see a consistent namespace *)
   let reader = Rig.mount_arckfs ~delegated:false ~uid:1000 ctx.rig in
-  let reader_ops = Libfs.ops reader in
+  let reader_ops = vfs_ops ctx.rig reader in
   let victim_ok =
     (not require_victim)
     || ((match reader_ops.Fs.stat "/victim" with Ok st -> st.st_ftype = Reg | Error _ -> false)

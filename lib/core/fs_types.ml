@@ -37,6 +37,27 @@ let errno_to_string = function
 
 let pp_errno ppf e = Fmt.string ppf (errno_to_string e)
 
+(* Dense index for per-errno counter arrays (see {!Vfs}). *)
+let errno_index = function
+  | ENOENT -> 0
+  | EEXIST -> 1
+  | ENOTDIR -> 2
+  | EISDIR -> 3
+  | ENOTEMPTY -> 4
+  | EACCES -> 5
+  | EBADF -> 6
+  | EINVAL -> 7
+  | ENOSPC -> 8
+  | ENAMETOOLONG -> 9
+  | EAGAIN -> 10
+  | EIO -> 11
+
+let all_errnos =
+  [ ENOENT; EEXIST; ENOTDIR; EISDIR; ENOTEMPTY; EACCES; EBADF; EINVAL; ENOSPC;
+    ENAMETOOLONG; EAGAIN; EIO ]
+
+let errno_count = List.length all_errnos
+
 type open_flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
 
 type stat = {

@@ -1,0 +1,298 @@
+(* Layered VFS dispatch: the single point every file system operation
+   flows through.
+
+   [wrap] takes any {!Fs_intf.t} (ArckFS, FPFS, or a baseline model) and
+   returns a handle whose {!ops} record routes each call through one
+   instrumentation hook.  Every operation is tagged with a stable
+   {!op_kind} and, on completion, records into {!Trio_sim.Stats}:
+
+   - a per-op invocation counter and error counter,
+   - a per-errno breakdown,
+   - a virtual-time latency histogram (p50/p99/max via {!Stats.Hist}).
+
+   An optional bounded ring buffer additionally traces the most recent
+   operations (op, path/fd, start time, latency, errno) for dumping from
+   [trioctl trace].
+
+   Instrumentation is measurement only: it performs no [Sched.delay] or
+   [Sched.cpu_work], so wrapping an fs changes neither its virtual-time
+   results nor the determinism of a run.  The hot path allocates no
+   buffers — counter keys are precomputed at [wrap] time and histograms
+   update in place. *)
+
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+open Fs_types
+
+type op_kind =
+  | Op_create
+  | Op_open
+  | Op_close
+  | Op_pread
+  | Op_pwrite
+  | Op_append
+  | Op_truncate
+  | Op_unlink
+  | Op_mkdir
+  | Op_rmdir
+  | Op_readdir
+  | Op_stat
+  | Op_rename
+  | Op_chmod
+  | Op_fsync
+
+let all_ops =
+  [ Op_create; Op_open; Op_close; Op_pread; Op_pwrite; Op_append; Op_truncate; Op_unlink;
+    Op_mkdir; Op_rmdir; Op_readdir; Op_stat; Op_rename; Op_chmod; Op_fsync ]
+
+let op_count = 15
+
+let op_index = function
+  | Op_create -> 0
+  | Op_open -> 1
+  | Op_close -> 2
+  | Op_pread -> 3
+  | Op_pwrite -> 4
+  | Op_append -> 5
+  | Op_truncate -> 6
+  | Op_unlink -> 7
+  | Op_mkdir -> 8
+  | Op_rmdir -> 9
+  | Op_readdir -> 10
+  | Op_stat -> 11
+  | Op_rename -> 12
+  | Op_chmod -> 13
+  | Op_fsync -> 14
+
+let op_name = function
+  | Op_create -> "create"
+  | Op_open -> "open"
+  | Op_close -> "close"
+  | Op_pread -> "pread"
+  | Op_pwrite -> "pwrite"
+  | Op_append -> "append"
+  | Op_truncate -> "truncate"
+  | Op_unlink -> "unlink"
+  | Op_mkdir -> "mkdir"
+  | Op_rmdir -> "rmdir"
+  | Op_readdir -> "readdir"
+  | Op_stat -> "stat"
+  | Op_rename -> "rename"
+  | Op_chmod -> "chmod"
+  | Op_fsync -> "fsync"
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer *)
+
+type trace_entry = {
+  te_op : op_kind;
+  te_path : string; (* "" for fd-based ops *)
+  te_fd : int; (* -1 for path-based ops *)
+  te_start : float; (* virtual ns at dispatch *)
+  te_elapsed : float; (* virtual ns spent in the fs *)
+  te_errno : errno option;
+}
+
+type ring = {
+  entries : trace_entry option array;
+  mutable next : int; (* total pushes; slot = next mod capacity *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-op metrics *)
+
+type metric = {
+  hist : Stats.Hist.t;
+  errnos : int array; (* by Fs_types.errno_index *)
+  mutable errors : int;
+}
+
+type t = {
+  inner : Fs_intf.t;
+  sched : Sched.t;
+  stats : Stats.t;
+  metrics : metric array; (* by op_index *)
+  count_keys : string array; (* "vfs.<op>.count", precomputed: no alloc per op *)
+  error_keys : string array; (* "vfs.<op>.errors" *)
+  ring : ring option;
+  mutable fops : Fs_intf.t; (* the instrumented record; built once in [wrap] *)
+}
+
+let record t kind ~path ~fd ~start err =
+  let dt = Sched.now t.sched -. start in
+  let i = op_index kind in
+  let m = t.metrics.(i) in
+  Stats.Hist.observe m.hist dt;
+  Stats.incr t.stats t.count_keys.(i);
+  (match err with
+  | None -> ()
+  | Some e ->
+    m.errors <- m.errors + 1;
+    m.errnos.(errno_index e) <- m.errnos.(errno_index e) + 1;
+    Stats.incr t.stats t.error_keys.(i));
+  match t.ring with
+  | None -> ()
+  | Some r ->
+    r.entries.(r.next mod Array.length r.entries) <-
+      Some { te_op = kind; te_path = path; te_fd = fd; te_start = start; te_elapsed = dt; te_errno = err };
+    r.next <- r.next + 1
+
+(* The instrumentation hook every operation flows through. *)
+let call t kind ~path ~fd f =
+  let start = Sched.now t.sched in
+  let result = f () in
+  record t kind ~path ~fd ~start (match result with Ok _ -> None | Error e -> Some e);
+  result
+
+let instrument t =
+  let f = t.inner in
+  {
+    Fs_intf.fs_name = f.Fs_intf.fs_name;
+    create = (fun path mode -> call t Op_create ~path ~fd:(-1) (fun () -> f.create path mode));
+    open_ = (fun path flags -> call t Op_open ~path ~fd:(-1) (fun () -> f.open_ path flags));
+    close = (fun fd -> call t Op_close ~path:"" ~fd (fun () -> f.close fd));
+    pread = (fun fd buf off -> call t Op_pread ~path:"" ~fd (fun () -> f.pread fd buf off));
+    pwrite = (fun fd buf off -> call t Op_pwrite ~path:"" ~fd (fun () -> f.pwrite fd buf off));
+    append = (fun fd buf -> call t Op_append ~path:"" ~fd (fun () -> f.append fd buf));
+    truncate = (fun path len -> call t Op_truncate ~path ~fd:(-1) (fun () -> f.truncate path len));
+    unlink = (fun path -> call t Op_unlink ~path ~fd:(-1) (fun () -> f.unlink path));
+    mkdir = (fun path mode -> call t Op_mkdir ~path ~fd:(-1) (fun () -> f.mkdir path mode));
+    rmdir = (fun path -> call t Op_rmdir ~path ~fd:(-1) (fun () -> f.rmdir path));
+    readdir = (fun path -> call t Op_readdir ~path ~fd:(-1) (fun () -> f.readdir path));
+    stat = (fun path -> call t Op_stat ~path ~fd:(-1) (fun () -> f.stat path));
+    rename = (fun src dst -> call t Op_rename ~path:src ~fd:(-1) (fun () -> f.rename src dst));
+    chmod = (fun path mode -> call t Op_chmod ~path ~fd:(-1) (fun () -> f.chmod path mode));
+    fsync = (fun fd -> call t Op_fsync ~path:"" ~fd (fun () -> f.fsync fd));
+  }
+
+let wrap ~sched ?stats ?trace_capacity fs =
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  let ring =
+    match trace_capacity with
+    | None -> None
+    | Some c ->
+      if c <= 0 then invalid_arg "Vfs.wrap: trace_capacity must be positive";
+      Some { entries = Array.make c None; next = 0 }
+  in
+  let t =
+    {
+      inner = fs;
+      sched;
+      stats;
+      metrics =
+        Array.init op_count (fun _ ->
+            { hist = Stats.Hist.create (); errnos = Array.make errno_count 0; errors = 0 });
+      count_keys = Array.of_list (List.map (fun k -> "vfs." ^ op_name k ^ ".count") all_ops);
+      error_keys = Array.of_list (List.map (fun k -> "vfs." ^ op_name k ^ ".errors") all_ops);
+      ring;
+      fops = fs;
+    }
+  in
+  t.fops <- instrument t;
+  t
+
+let ops t = t.fops
+let inner t = t.inner
+let name t = t.inner.Fs_intf.fs_name
+let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type op_stats = {
+  op : op_kind;
+  count : int;
+  errors : int;
+  errnos : (errno * int) list; (* only non-zero entries *)
+  p50 : float;
+  p99 : float;
+  max : float;
+  mean : float;
+}
+
+let op_stats t kind =
+  let m = t.metrics.(op_index kind) in
+  {
+    op = kind;
+    count = Stats.Hist.count m.hist;
+    errors = m.errors;
+    errnos =
+      List.filter_map
+        (fun e ->
+          let n = m.errnos.(errno_index e) in
+          if n = 0 then None else Some (e, n))
+        all_errnos;
+    p50 = Stats.Hist.percentile m.hist 50.0;
+    p99 = Stats.Hist.percentile m.hist 99.0;
+    max = Stats.Hist.max_value m.hist;
+    mean = Stats.Hist.mean m.hist;
+  }
+
+(* Per-op stats for every operation that was invoked at least once. *)
+let snapshot t =
+  List.filter_map
+    (fun k ->
+      let s = op_stats t k in
+      if s.count = 0 then None else Some s)
+    all_ops
+
+let total_ops t =
+  Array.fold_left (fun acc m -> acc + Stats.Hist.count m.hist) 0 t.metrics
+
+let reset t =
+  Stats.reset t.stats;
+  Array.iter
+    (fun m ->
+      Stats.Hist.reset m.hist;
+      Array.fill m.errnos 0 (Array.length m.errnos) 0;
+      m.errors <- 0)
+    t.metrics;
+  match t.ring with
+  | None -> ()
+  | Some r ->
+    Array.fill r.entries 0 (Array.length r.entries) None;
+    r.next <- 0
+
+let pp_op_stats ppf s =
+  Fmt.pf ppf "%-9s n=%-7d p50=%8.0fns  p99=%8.0fns  max=%8.0fns" (op_name s.op) s.count s.p50
+    s.p99 s.max;
+  if s.errors > 0 then begin
+    Fmt.pf ppf "  err=%d (" s.errors;
+    List.iteri
+      (fun i (e, n) -> Fmt.pf ppf "%s%s:%d" (if i > 0 then " " else "") (errno_to_string e) n)
+      s.errnos;
+    Fmt.pf ppf ")"
+  end
+
+let pp_breakdown ppf t =
+  match snapshot t with
+  | [] -> Fmt.pf ppf "  (no operations recorded)@."
+  | per_op -> List.iter (fun s -> Fmt.pf ppf "  %a@." pp_op_stats s) per_op
+
+(* ------------------------------------------------------------------ *)
+(* Trace access *)
+
+(* Entries oldest-first; at most [trace_capacity] of them. *)
+let trace t =
+  match t.ring with
+  | None -> []
+  | Some r ->
+    let cap = Array.length r.entries in
+    let first = if r.next <= cap then 0 else r.next - cap in
+    List.filter_map
+      (fun i -> r.entries.(i mod cap))
+      (List.init (r.next - first) (fun k -> first + k))
+
+let trace_dropped t = match t.ring with None -> 0 | Some r -> max 0 (r.next - Array.length r.entries)
+
+let pp_trace_entry ppf e =
+  let target = if e.te_fd >= 0 then Printf.sprintf "fd=%d" e.te_fd else e.te_path in
+  Fmt.pf ppf "%12.0fns %-9s %-28s %8.0fns %s" e.te_start (op_name e.te_op) target e.te_elapsed
+    (match e.te_errno with None -> "ok" | Some err -> errno_to_string err)
+
+let pp_trace ppf t =
+  match trace t with
+  | [] -> Fmt.pf ppf "  (trace empty)@."
+  | entries ->
+    if trace_dropped t > 0 then Fmt.pf ppf "  ... %d older entries dropped@." (trace_dropped t);
+    List.iter (fun e -> Fmt.pf ppf "  %a@." pp_trace_entry e) entries

@@ -187,27 +187,41 @@ let set t name data =
     Sync.Spinlock.unlock e.k_lock;
     result
 
+(* Read the whole value of [e] into [dst] (which must be large enough);
+   returns the value length. *)
+let read_value t e ~dst =
+  let pmem = Libfs.pmem_of t.fs and proc = Libfs.proc_of t.fs in
+  Sync.Spinlock.lock e.k_lock;
+  Sched.cpu_work Perf.Cpu.lock_acquire;
+  let pos = ref 0 in
+  while !pos < e.k_size do
+    let i = !pos / Layout.page_size in
+    let chunk = min (e.k_size - !pos) Layout.page_size in
+    Pmem.read_into pmem ~actor:proc ~addr:(e.k_pages.(i) * Layout.page_size) ~dst ~pos:!pos
+      ~len:chunk;
+    pos := !pos + chunk
+  done;
+  Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int e.k_size);
+  Sync.Spinlock.unlock e.k_lock;
+  e.k_size
+
 (* get: read the whole value. *)
 let get t name =
   let* found = lookup_entry t name in
   match found with
   | None -> Error ENOENT
   | Some e ->
-    let pmem = Libfs.pmem_of t.fs and proc = Libfs.proc_of t.fs in
-    Sync.Spinlock.lock e.k_lock;
-    Sched.cpu_work Perf.Cpu.lock_acquire;
     let buf = Bytes.create e.k_size in
-    let pos = ref 0 in
-    while !pos < e.k_size do
-      let i = !pos / Layout.page_size in
-      let chunk = min (e.k_size - !pos) Layout.page_size in
-      let data = Pmem.read pmem ~actor:proc ~addr:(e.k_pages.(i) * Layout.page_size) ~len:chunk in
-      Bytes.blit data 0 buf !pos chunk;
-      pos := !pos + chunk
-    done;
-    Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int e.k_size);
-    Sync.Spinlock.unlock e.k_lock;
+    ignore (read_value t e ~dst:buf);
     Ok buf
+
+(* get_into: zero-copy [get] — the value lands in the caller's buffer
+   (no per-call allocation); returns the value length. *)
+let get_into t name dst =
+  let* found = lookup_entry t name in
+  match found with
+  | None -> Error ENOENT
+  | Some e -> if Bytes.length dst < e.k_size then Error EINVAL else Ok (read_value t e ~dst)
 
 let delete t name =
   Sync.Mutex.lock t.entries_lock;

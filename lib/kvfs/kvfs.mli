@@ -29,6 +29,11 @@ val set : t -> string -> Bytes.t -> (unit, Trio_core.Fs_types.errno) result
 val get : t -> string -> (Bytes.t, Trio_core.Fs_types.errno) result
 (** Read the whole value; [ENOENT] for missing keys. *)
 
+val get_into : t -> string -> Bytes.t -> (int, Trio_core.Fs_types.errno) result
+(** Zero-copy [get]: read the whole value into the caller's buffer and
+    return its length.  [ENOENT] for missing keys, [EINVAL] if the
+    buffer is smaller than the stored value. *)
+
 val delete : t -> string -> (unit, Trio_core.Fs_types.errno) result
 
 val exists : t -> string -> bool

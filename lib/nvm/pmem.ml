@@ -27,14 +27,31 @@ module Rng = Trio_util.Rng
 
 let page_size = 4096
 let line_size = 64
+let lines_per_page = page_size / line_size
 
 type kind = Meta | Data
 
+(* Pre-images are tracked in a fixed array indexed by line number, so
+   dirtying, clearing and crash-reverting a line are all O(1) — the old
+   assoc-list representation rescanned the list per touched line.  The
+   array is allocated lazily on first dirtying (clean pages stay small);
+   [no_preimages] is the shared empty placeholder.
+
+   [dirty_order] records line indices most-recently-dirtied first, so a
+   seeded [crash] draws its RNG in the same order the assoc list used to
+   iterate — keeping crash-state exploration reproducible across the
+   representation change.  Entries whose [pre] slot was cleared by a
+   later [persist] are skipped (and may reappear closer to the head if
+   the line is re-dirtied). *)
 type page = {
   mutable content : Bytes.t option; (* None = all zeros / unmaterialized *)
-  mutable dirty : (int * Bytes.t) list; (* line offset within page -> pre-image *)
+  mutable pre : Bytes.t option array; (* line index -> pre-image, 64 slots *)
+  mutable ndirty : int; (* count of Some slots in [pre] *)
+  mutable dirty_order : int list; (* newest-first line indices, may hold stale entries *)
   mutable kind : kind;
 }
+
+let no_preimages : Bytes.t option array = [||]
 
 exception Mmu_fault of { actor : int; page : int; write : bool }
 
@@ -63,6 +80,7 @@ type t = {
   mutable persist_count : int;
   mutable crash_count : int;
   mutable mmu_checks : int;
+  mutable dirty_total : int; (* unflushed lines, device-wide (O(1) [dirty_lines]) *)
   (* countdown of non-kernel stores until a Crash_point is raised;
      negative = disabled *)
   mutable fail_writes_after : int;
@@ -86,6 +104,7 @@ let create ~sched ~topo ~profile ~pages_per_node ~store_data () =
     persist_count = 0;
     crash_count = 0;
     mmu_checks = 0;
+    dirty_total = 0;
     fail_writes_after = -1;
   }
 
@@ -106,7 +125,7 @@ let get_page t pg =
   match Hashtbl.find_opt t.pages pg with
   | Some p -> p
   | None ->
-    let p = { content = None; dirty = []; kind = Meta } in
+    let p = { content = None; pre = no_preimages; ndirty = 0; dirty_order = []; kind = Meta } in
     Hashtbl.add t.pages pg p;
     p
 
@@ -115,7 +134,11 @@ let set_kind t pg kind = (get_page t pg).kind <- kind
 let kind_of t pg = match Hashtbl.find_opt t.pages pg with Some p -> p.kind | None -> Meta
 
 (* Drop a freed page's storage (and any pending pre-images). *)
-let discard_page t pg = Hashtbl.remove t.pages pg
+let discard_page t pg =
+  (match Hashtbl.find_opt t.pages pg with
+  | Some p -> t.dirty_total <- t.dirty_total - p.ndirty
+  | None -> ());
+  Hashtbl.remove t.pages pg
 
 (* ------------------------------------------------------------------ *)
 (* Cost accounting *)
@@ -172,25 +195,30 @@ let materialize p =
     p.content <- Some b;
     b
 
-let save_preimages p ~off ~len =
+let save_preimages t p ~off ~len =
   let first_line = off / line_size and last_line = (off + len - 1) / line_size in
+  if p.pre == no_preimages then p.pre <- Array.make lines_per_page None;
   for line = first_line to last_line do
-    let lo = line * line_size in
-    if not (List.mem_assoc lo p.dirty) then begin
+    match p.pre.(line) with
+    | Some _ -> ()
+    | None ->
+      let lo = line * line_size in
       let pre =
         match p.content with
         | Some b -> Bytes.sub b lo line_size
         | None -> Bytes.make line_size '\000'
       in
-      p.dirty <- (lo, pre) :: p.dirty
-    end
+      p.pre.(line) <- Some pre;
+      p.ndirty <- p.ndirty + 1;
+      p.dirty_order <- line :: p.dirty_order;
+      t.dirty_total <- t.dirty_total + 1
   done
 
 let blit_to_page t pg ~off ~src ~src_pos ~len =
   let p = get_page t pg in
   if p.kind = Data && not t.store_data then ()
   else begin
-    save_preimages p ~off ~len;
+    save_preimages t p ~off ~len;
     let b = materialize p in
     Bytes.blit src src_pos b off len
   end
@@ -218,12 +246,18 @@ let check_range t ~actor ~addr ~len ~write =
   iter_pages addr len (fun ~pg ~off:_ ~chunk:_ ~done_:_ ->
       check_perm t ~actor ~page:pg ~write)
 
-let read t ~actor ~addr ~len =
+(* Zero-copy read: the caller supplies the destination buffer, so the
+   steady-state data path performs no per-call allocation. *)
+let read_into t ~actor ~addr ~dst ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then invalid_arg "Pmem.read_into";
   check_range t ~actor ~addr ~len ~write:false;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:false ~bytes:len);
-  let dst = Bytes.create len in
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
-      blit_from_page t pg ~off ~dst ~dst_pos:done_ ~len:chunk);
+      blit_from_page t pg ~off ~dst ~dst_pos:(pos + done_) ~len:chunk)
+
+let read t ~actor ~addr ~len =
+  let dst = Bytes.create len in
+  read_into t ~actor ~addr ~dst ~pos:0 ~len;
   dst
 
 (* Arm the crash injector: the [n]th subsequent store by a non-kernel
@@ -240,15 +274,18 @@ let maybe_crash_point t ~actor =
     t.fail_writes_after <- t.fail_writes_after - 1
   end
 
-let write_sub t ~actor ~addr ~src ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > Bytes.length src then invalid_arg "Pmem.write_sub";
+(* Zero-copy write from a caller-owned buffer region. *)
+let write_from t ~actor ~addr ~src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then invalid_arg "Pmem.write_from";
   maybe_crash_point t ~actor;
   check_range t ~actor ~addr ~len ~write:true;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:true ~bytes:len);
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
       blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk)
 
-let write t ~actor ~addr ~src = write_sub t ~actor ~addr ~src ~pos:0 ~len:(Bytes.length src)
+let write_sub = write_from
+
+let write t ~actor ~addr ~src = write_from t ~actor ~addr ~src ~pos:0 ~len:(Bytes.length src)
 
 (* Account the cost of moving [len] bytes without touching content: the
    non-materialized fast path used by data-heavy benchmarks. *)
@@ -264,28 +301,31 @@ let persist_range t ~addr ~len =
   iter_pages addr len (fun ~pg ~off ~chunk ~done_:_ ->
       match Hashtbl.find_opt t.pages pg with
       | None -> ()
+      | Some p when p.ndirty = 0 -> ()
       | Some p ->
-        let lo = off / line_size * line_size in
-        let hi = off + chunk - 1 in
-        p.dirty <- List.filter (fun (loff, _) -> loff < lo || loff > hi) p.dirty)
+        let first_line = off / line_size and last_line = (off + chunk - 1) / line_size in
+        for line = first_line to last_line do
+          if p.pre.(line) <> None then begin
+            p.pre.(line) <- None;
+            p.ndirty <- p.ndirty - 1;
+            t.dirty_total <- t.dirty_total - 1
+          end
+        done)
+
+(* The sfence round trip shared by [persist] and [persist_ranges]. *)
+let fence t =
+  t.persist_count <- t.persist_count + 1;
+  Sched.delay t.profile.Perf.flush_latency
 
 (* One fence covering several ranges (a multi-run data write drains the
    whole write-combining pipeline with a single sfence). *)
 let persist_ranges t ranges =
-  t.persist_count <- t.persist_count + 1;
-  Sched.delay t.profile.Perf.flush_latency;
+  fence t;
   List.iter (fun (addr, len) -> persist_range t ~addr ~len) ranges
 
 let persist t ~addr ~len =
-  t.persist_count <- t.persist_count + 1;
-  Sched.delay t.profile.Perf.flush_latency;
-  iter_pages addr len (fun ~pg ~off ~chunk ~done_:_ ->
-      match Hashtbl.find_opt t.pages pg with
-      | None -> ()
-      | Some p ->
-        let lo = off / line_size * line_size in
-        let hi = off + chunk - 1 in
-        p.dirty <- List.filter (fun (loff, _) -> loff < lo || loff > hi) p.dirty)
+  fence t;
+  persist_range t ~addr ~len
 
 (* Convenience: little-endian integer accessors (metadata fields). *)
 let read_u64 t ~actor ~addr =
@@ -317,19 +357,29 @@ let crash ?rng t =
   t.crash_count <- t.crash_count + 1;
   Hashtbl.iter
     (fun _pg p ->
-      (match p.content with
-      | None -> ()
-      | Some b ->
-        List.iter
-          (fun (loff, pre) ->
-            let survives = match rng with Some r -> Rng.bool r | None -> false in
-            if not survives then Bytes.blit pre 0 b loff line_size)
-          p.dirty);
-      p.dirty <- [])
+      if p.ndirty > 0 then begin
+        (match p.content with
+        | None ->
+          (* never materialized: nothing to revert, just drop pre-images
+             (no RNG draws, matching the assoc-list implementation) *)
+          List.iter (fun line -> p.pre.(line) <- None) p.dirty_order
+        | Some b ->
+          List.iter
+            (fun line ->
+              match p.pre.(line) with
+              | None -> () (* persisted since dirtying, or stale duplicate *)
+              | Some pre ->
+                let survives = match rng with Some r -> Rng.bool r | None -> false in
+                if not survives then Bytes.blit pre 0 b (line * line_size) line_size;
+                p.pre.(line) <- None)
+            p.dirty_order);
+        t.dirty_total <- t.dirty_total - p.ndirty;
+        p.ndirty <- 0
+      end;
+      p.dirty_order <- [])
     t.pages
 
-let dirty_lines t =
-  Hashtbl.fold (fun _ p acc -> acc + List.length p.dirty) t.pages 0
+let dirty_lines t = t.dirty_total
 
 let materialized_pages t = Hashtbl.length t.pages
 

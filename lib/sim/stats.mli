@@ -22,3 +22,26 @@ val timed : t -> Sched.t -> string -> (unit -> 'a) -> 'a
 (** Run a thunk and accumulate its virtual duration under [name]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Log-bucket latency histograms over virtual nanoseconds: O(1)
+    deterministic recording, approximate percentiles (quarter-octave
+    buckets, clamped to the exact observed min/max), exact max. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Record one sample (virtual ns). *)
+
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0, 100]; 0 when empty. *)
+
+  val max_value : t -> float
+  val min_value : t -> float
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end

@@ -37,8 +37,10 @@ type result = { workload : workload; ops : int; ops_per_ms : float }
 let pp_result ppf r =
   Fmt.pf ppf "%-12s %8.2f ops/ms (%d ops)" (workload_name r.workload) r.ops_per_ms r.ops
 
-(* Run one workload; inside a fiber.  [n] operations, deterministic. *)
-let run ~sched fs workload ~n =
+(* Run one workload; inside a fiber.  [n] operations, deterministic.
+   [vfs] is the instrumented handle from {!Rig.mount_fs}. *)
+let run ~sched vfs workload ~n =
+  let fs = Trio_core.Vfs.ops vfs in
   let value_size = match workload with Fill_100k -> 100 * 1024 | _ -> 100 in
   let sync = workload = Fill_sync in
   let dir = "/db_" ^ workload_name workload in

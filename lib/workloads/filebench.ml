@@ -168,8 +168,10 @@ let one_op p fs st =
     fail_on "close" (fs.Fs.close fd);
     n
 
-(* Run a personality; inside a fiber. *)
-let run (rig : Rig.t) fs p ~threads ?(max_ops = 20_000) ?(max_ns = 30.0e6) () =
+(* Run a personality; inside a fiber.  [vfs] is the instrumented handle
+   from {!Rig.mount_fs}. *)
+let run (rig : Rig.t) vfs p ~threads ?(max_ops = 20_000) ?(max_ns = 30.0e6) () =
+  let fs = Trio_core.Vfs.ops vfs in
   let states = prepare p fs ~threads in
   let body ~tid = one_op p fs states.(tid) in
   Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()
@@ -185,12 +187,13 @@ let run_kv_webproxy (rig : Rig.t) (kv : Kvfs.t) ~threads ?(max_ops = 20_000)
         let rng = Rng.create (11 * (tid + 1)) in
         let keys = Array.init p.p_nfiles (fun i -> Printf.sprintf "t%d_obj%05d" tid i) in
         let value = Bytes.make p.p_avg_size 'v' in
+        let read_buf = Bytes.create Kvfs.max_file_size in
         Array.iter (fun k -> fail_on "set" (Kvfs.set kv k value)) keys;
-        (rng, keys, value))
+        (rng, keys, value, read_buf))
   in
   let cursors = Array.make threads 0 in
   let body ~tid =
-    let rng, keys, value = states.(tid) in
+    let rng, keys, value, read_buf = states.(tid) in
     let c = cursors.(tid) in
     cursors.(tid) <- c + 1;
     let key = keys.(Rng.int rng (Array.length keys)) in
@@ -199,9 +202,6 @@ let run_kv_webproxy (rig : Rig.t) (kv : Kvfs.t) ~threads ?(max_ops = 20_000)
       fail_on "set" (Kvfs.set kv key value);
       Bytes.length value
     end
-    else begin
-      let v = fail_on "get" (Kvfs.get kv key) in
-      Bytes.length v
-    end
+    else fail_on "get" (Kvfs.get_into kv key read_buf)
   in
   Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()

@@ -35,8 +35,11 @@ let setup fs ~threads ~file_size =
 
 (* Run one configuration; must be called inside a fiber.  Offsets are
    uniformly random block-aligned positions (fio randread/randwrite):
-   sequential-in-lockstep threads would convoy onto one NUMA stripe. *)
-let run (rig : Rig.t) fs config ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
+   sequential-in-lockstep threads would convoy onto one NUMA stripe.
+   [vfs] is the instrumented handle from {!Rig.mount_fs}; per-op latency
+   breakdowns accumulate on it across the run. *)
+let run (rig : Rig.t) vfs config ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
+  let fs = Trio_core.Vfs.ops vfs in
   let fds = setup fs ~threads:config.threads ~file_size:config.file_size in
   let rngs = Array.init config.threads (fun tid -> Trio_util.Rng.create (97 * (tid + 1))) in
   let blocks = max 1 (config.file_size / config.block_size) in

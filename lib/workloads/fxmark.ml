@@ -265,7 +265,8 @@ let all =
 
 let find name = List.find (fun b -> b.name = name) all
 
-(* Run one benchmark at one thread count; inside a fiber. *)
-let run (rig : Rig.t) fs bench ~threads ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
-  let body = bench.prepare rig fs ~threads in
+(* Run one benchmark at one thread count; inside a fiber.  [vfs] is the
+   instrumented handle from {!Rig.mount_fs}. *)
+let run (rig : Rig.t) vfs bench ~threads ?(max_ops = 20_000) ?(max_ns = 20.0e6) () =
+  let body = bench.prepare rig (Trio_core.Vfs.ops vfs) ~threads in
   Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads ~max_ops ~max_ns ~body ()

@@ -18,6 +18,7 @@ module Mmu = Trio_core.Mmu
 module Controller = Trio_core.Controller
 module Libfs = Arckfs.Libfs
 module Delegation = Arckfs.Delegation
+module Vfs = Trio_core.Vfs
 
 type t = {
   sched : Sched.t;
@@ -59,8 +60,8 @@ let mount_arckfs ?(delegated = true) ?(uid = 1000) ?unmap_after_write t =
   Libfs.mount ~ctl:t.ctl ~proc:(fresh_proc t) ~cred:{ Trio_core.Fs_types.uid; gid = uid }
     ?delegation ?unmap_after_write ()
 
-(* Mount a file system by its evaluation name. *)
-let mount_fs ?(store_data = true) t name =
+(* Mount a file system by its evaluation name, without the VFS layer. *)
+let mount_raw ?(store_data = true) t name =
   match name with
   | "arckfs" -> Libfs.ops (mount_arckfs ~delegated:true t)
   | "arckfs-nd" -> Libfs.ops (mount_arckfs ~delegated:false t)
@@ -77,6 +78,14 @@ let mount_fs ?(store_data = true) t name =
   | "splitfs" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data splitfs)
   | "strata" -> Trio_baselines.Models.(mount ~sched:t.sched ~pmem:t.pmem ~store_data strata)
   | other -> invalid_arg ("Rig.mount_fs: unknown file system " ^ other)
+
+(* Mount a file system by its evaluation name.  The returned handle is
+   the instrumented VFS dispatch layer: every operation of every file
+   system flows through {!Trio_core.Vfs}, so callers get per-op counts,
+   errno counters and latency histograms for free (use [Vfs.ops] for the
+   plain {!Trio_core.Fs_intf.t} record). *)
+let mount_fs ?store_data ?trace_capacity t name =
+  Vfs.wrap ~sched:t.sched ?trace_capacity (mount_raw ?store_data t name)
 
 (* Run [f rig] to completion inside a fresh simulation. *)
 let run ?nodes ?cpus_per_node ?pages_per_node ?store_data ?lease_ns ?threads_per_node

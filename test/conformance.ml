@@ -1,11 +1,16 @@
 (* Generic file system conformance suite.
 
-   Runs the same POSIX-semantics checks against any [Fs_intf.t], so
-   ArckFS, FPFS, and all seven baseline models are held to identical
-   behaviour — which is what makes the benchmark comparisons apples to
-   apples. *)
+   Runs the same POSIX-semantics checks against any file system exposed
+   through the {!Trio_core.Vfs} dispatch layer, so ArckFS, FPFS, and all
+   the baseline models are held to identical behaviour — which is what
+   makes the benchmark comparisons apples to apples.  Beyond the
+   per-semantic checks, a scripted sequence covering every operation
+   with at least one success and one failure asserts errno parity across
+   every file system, and a companion check asserts the VFS counters
+   track exactly what was dispatched. *)
 
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 open Trio_core.Fs_types
 
 let ok what = function
@@ -131,9 +136,120 @@ let checks : (string * (Fs.t -> unit)) list =
         Alcotest.(check bool) "equal" true (String.equal data (ok "read" (Fs.read_file fs "/mp"))) );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Errno parity: one scripted sequence covering all fifteen operations,
+   each with at least one success and one failure.  Every file system
+   must produce the exact same op:outcome trace. *)
+
+let scripted_sequence fs =
+  let out = ref [] in
+  let tag name r =
+    out := (name ^ ":" ^ match r with Ok _ -> "ok" | Error e -> errno_to_string e) :: !out
+  in
+  let badfd = 987654 in
+  let buf = Bytes.make 8 'x' in
+  tag "mkdir" (fs.Fs.mkdir "/p" 0o755);
+  tag "mkdir" (fs.Fs.mkdir "/p" 0o755);
+  let fdr = fs.Fs.create "/p/f" 0o644 in
+  tag "create" fdr;
+  tag "create" (fs.Fs.create "/p/f" 0o644);
+  let fd = match fdr with Ok fd -> fd | Error _ -> badfd in
+  let fdr2 = fs.Fs.open_ "/p/f" [ O_RDONLY ] in
+  tag "open" fdr2;
+  tag "open" (fs.Fs.open_ "/nope" [ O_RDONLY ]);
+  (match fdr2 with Ok fd2 -> tag "close" (fs.Fs.close fd2) | Error _ -> ());
+  tag "append" (fs.Fs.append fd buf);
+  tag "append" (fs.Fs.append badfd buf);
+  tag "pwrite" (fs.Fs.pwrite fd buf 0);
+  tag "pwrite" (fs.Fs.pwrite badfd buf 0);
+  tag "pread" (fs.Fs.pread fd buf 0);
+  tag "pread" (fs.Fs.pread badfd buf 0);
+  tag "fsync" (fs.Fs.fsync fd);
+  tag "fsync" (fs.Fs.fsync badfd);
+  tag "close" (fs.Fs.close fd);
+  tag "close" (fs.Fs.close badfd);
+  tag "stat" (fs.Fs.stat "/p/f");
+  tag "stat" (fs.Fs.stat "/nope");
+  tag "truncate" (fs.Fs.truncate "/p/f" 4);
+  tag "truncate" (fs.Fs.truncate "/nope" 4);
+  tag "chmod" (fs.Fs.chmod "/p/f" 0o600);
+  tag "chmod" (fs.Fs.chmod "/nope" 0o600);
+  tag "readdir" (fs.Fs.readdir "/p");
+  tag "readdir" (fs.Fs.readdir "/nope");
+  tag "rename" (fs.Fs.rename "/p/f" "/p/g");
+  tag "rename" (fs.Fs.rename "/nope" "/p/x");
+  tag "unlink" (fs.Fs.unlink "/p");
+  tag "rmdir" (fs.Fs.rmdir "/p");
+  tag "unlink" (fs.Fs.unlink "/p/g");
+  tag "unlink" (fs.Fs.unlink "/p/g");
+  tag "rmdir" (fs.Fs.rmdir "/p");
+  tag "rmdir" (fs.Fs.rmdir "/p");
+  List.rev !out
+
+let expected_sequence =
+  [
+    "mkdir:ok"; "mkdir:EEXIST";
+    "create:ok"; "create:EEXIST";
+    "open:ok"; "open:ENOENT";
+    "close:ok";
+    "append:ok"; "append:EBADF";
+    "pwrite:ok"; "pwrite:EBADF";
+    "pread:ok"; "pread:EBADF";
+    "fsync:ok"; "fsync:EBADF";
+    "close:ok"; "close:EBADF";
+    "stat:ok"; "stat:ENOENT";
+    "truncate:ok"; "truncate:ENOENT";
+    "chmod:ok"; "chmod:ENOENT";
+    "readdir:ok"; "readdir:ENOENT";
+    "rename:ok"; "rename:ENOENT";
+    "unlink:EISDIR"; "rmdir:ENOTEMPTY";
+    "unlink:ok"; "unlink:ENOENT";
+    "rmdir:ok"; "rmdir:ENOENT";
+  ]
+
+let parity_check vfs =
+  Alcotest.(check (list string))
+    "op/errno trace" expected_sequence
+    (scripted_sequence (Vfs.ops vfs))
+
+let is_ok_label l = match String.split_on_char ':' l with [ _; "ok" ] -> true | _ -> false
+
+(* The VFS counters must tally exactly what the script dispatched. *)
+let counters_check vfs =
+  let labels = scripted_sequence (Vfs.ops vfs) in
+  List.iter
+    (fun kind ->
+      let name = Vfs.op_name kind in
+      let mine =
+        List.filter
+          (fun l -> match String.split_on_char ':' l with op :: _ -> op = name | [] -> false)
+          labels
+      in
+      let errs = List.length (List.filter (fun l -> not (is_ok_label l)) mine) in
+      let s = Vfs.op_stats vfs kind in
+      Alcotest.(check int) (name ^ " count") (List.length mine) s.Vfs.count;
+      Alcotest.(check int) (name ^ " errors") errs s.Vfs.errors;
+      Alcotest.(check int)
+        (name ^ " errno sum") errs
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Vfs.errnos);
+      if s.Vfs.count > 0 then begin
+        Alcotest.(check bool) (name ^ " p50<=p99") true (s.Vfs.p50 <= s.Vfs.p99 +. 1e-9);
+        Alcotest.(check bool) (name ^ " p99<=max") true (s.Vfs.p99 <= s.Vfs.max +. 1e-9)
+      end)
+    Vfs.all_ops;
+  Alcotest.(check int) "total ops" (List.length labels) (Vfs.total_ops vfs)
+
+(* Every check now receives the instrumented VFS handle. *)
+let vfs_checks : (string * (Vfs.t -> unit)) list =
+  List.map (fun (name, c) -> (name, fun vfs -> c (Vfs.ops vfs))) checks
+  @ [
+      ("errno parity across all ops", parity_check);
+      ("vfs counters track dispatched ops", counters_check);
+    ]
+
 (* Build the alcotest cases for a given fs constructor (one fresh file
    system per check). *)
 let suite ~make_fs =
   List.map
     (fun (name, check) -> Alcotest.test_case name `Quick (fun () -> make_fs check))
-    checks
+    vfs_checks

@@ -11,10 +11,12 @@ let ( let* ) = Result.bind
 let ok = Helpers.check_ok
 let err = Helpers.check_err
 
+(* Everything flows through the instrumented VFS dispatch layer, like
+   production consumers do. *)
 let with_fs f =
   Helpers.run_sim (fun env ->
       let fs = Helpers.mount ~proc:1 env in
-      f env fs (Libfs.ops fs))
+      f env fs (Trio_core.Vfs.ops (Trio_core.Vfs.wrap ~sched:env.Helpers.sched (Libfs.ops fs))))
 
 (* ------------------------------------------------------------------ *)
 (* Basic namespace operations *)
@@ -381,9 +383,19 @@ let test_crash_size_field_repaired () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The shared conformance suite (including errno parity and VFS counter
+   checks) over a fresh ArckFS per check. *)
+let arckfs_conformance =
+  ( "conformance",
+    Conformance.suite ~make_fs:(fun check ->
+        Helpers.run_sim (fun env ->
+            let fs = Helpers.mount ~proc:1 env in
+            check (Trio_core.Vfs.wrap ~sched:env.Helpers.sched (Libfs.ops fs)))) )
+
 let () =
   Alcotest.run "arckfs"
     [
+      arckfs_conformance;
       ( "namespace",
         [
           Alcotest.test_case "create and stat" `Quick test_create_and_stat;

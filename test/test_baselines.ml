@@ -8,6 +8,7 @@
 module Rig = Trio_workloads.Rig
 module Sched = Trio_sim.Sched
 module Fs = Trio_core.Fs_intf
+module Vfs = Trio_core.Vfs
 
 let baseline_names =
   [ "ext4"; "ext4-raid0"; "pmfs"; "nova"; "winefs"; "odinfs"; "splitfs"; "strata" ]
@@ -24,7 +25,7 @@ let with_fs name check =
 let test_splitfs_beats_ext4_on_data () =
   let cost name =
     Rig.run ~nodes:1 ~cpus_per_node:4 ~store_data:false (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig name in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig name) in
         let fd = Conformance.ok "create" (fs.Fs.create "/f" 0o644) in
         Conformance.ok "truncate" (fs.Fs.truncate "/f" (1 lsl 20));
         let buf = Bytes.create 4096 in
@@ -39,7 +40,7 @@ let test_splitfs_beats_ext4_on_data () =
 let test_nova_creates_faster_than_ext4 () =
   let cost name =
     Rig.run ~nodes:1 ~cpus_per_node:4 (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig name in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig name) in
         let i = ref 0 in
         Trio_workloads.Runner.time_op ~sched:rig.Rig.sched ~iters:100 (fun () ->
             incr i;
@@ -53,7 +54,7 @@ let test_nova_creates_faster_than_ext4 () =
 let test_fsync_costs () =
   let cost name =
     Rig.run ~nodes:1 ~cpus_per_node:4 (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig name in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig name) in
         let fd = Conformance.ok "create" (fs.Fs.create "/f" 0o644) in
         ignore (Conformance.ok "append" (fs.Fs.append fd (Bytes.make 128 'x')));
         Trio_workloads.Runner.time_op ~sched:rig.Rig.sched ~iters:50 (fun () ->
@@ -70,7 +71,7 @@ let test_rename_lock_serializes () =
      one — private-rename scalability is flat for kernel FSes (MWRL) *)
   let throughput threads =
     Rig.run ~nodes:1 ~cpus_per_node:8 (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig "nova" in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig "nova") in
         for tid = 0 to threads - 1 do
           Conformance.ok "mkdir" (fs.Fs.mkdir (Printf.sprintf "/d%d" tid) 0o755);
           ignore (Conformance.ok "create" (fs.Fs.create (Printf.sprintf "/d%d/a" tid) 0o644))
@@ -96,7 +97,7 @@ let test_rename_lock_serializes () =
 (* OdinFS large writes must engage the shared delegation engine. *)
 let test_odinfs_uses_delegation () =
   Rig.run ~nodes:2 ~cpus_per_node:4 (fun rig ->
-      let fs = Rig.mount_fs ~store_data:false rig "odinfs" in
+      let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig "odinfs") in
       let fd = Conformance.ok "create" (fs.Fs.create "/f" 0o644) in
       ignore (Conformance.ok "append" (fs.Fs.append fd (Bytes.make (1 lsl 21) 'x')));
       let dlg = Lazy.force rig.Rig.delegation in
@@ -108,7 +109,7 @@ let test_odinfs_uses_delegation () =
 let test_raid0_stripes () =
   let cost name =
     Rig.run ~nodes:4 ~cpus_per_node:4 ~store_data:false (fun rig ->
-        let fs = Rig.mount_fs ~store_data:false rig name in
+        let fs = Vfs.ops (Rig.mount_fs ~store_data:false rig name) in
         let fd = Conformance.ok "create" (fs.Fs.create "/f" 0o644) in
         Conformance.ok "truncate" (fs.Fs.truncate "/f" (1 lsl 23));
         let buf = Bytes.create (1 lsl 22) in

@@ -124,7 +124,7 @@ let test_fpfs_conformance =
 
 let test_fpfs_deep_paths () =
   with_rig (fun rig ->
-      let fs = Rig.mount_fs rig "fpfs" in
+      let fs = Trio_core.Vfs.ops (Rig.mount_fs rig "fpfs") in
       let dir = deep_path 20 "" in
       let dir = String.sub dir 0 (String.length dir - 1) in
       ok "mkdir_p" (Fs.mkdir_p fs dir);
@@ -136,7 +136,7 @@ let test_fpfs_faster_on_deep_dirs () =
      (twenty component walks). *)
   let cost name =
     with_rig (fun rig ->
-        let fs = Rig.mount_fs rig name in
+        let fs = Trio_core.Vfs.ops (Rig.mount_fs rig name) in
         let dir =
           "/" ^ String.concat "/" (List.init 20 (fun i -> Printf.sprintf "l%d" i))
         in

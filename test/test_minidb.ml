@@ -15,7 +15,7 @@ let ok what = function
 
 let with_fs f =
   Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
-      f rig (Rig.mount_fs rig "arckfs"))
+      f rig (Trio_core.Vfs.ops (Rig.mount_fs rig "arckfs")))
 
 (* ------------------------------------------------------------------ *)
 (* Memtable *)
@@ -185,7 +185,7 @@ let test_db_runs_on_every_fs () =
   List.iter
     (fun name ->
       Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
-          let fs = Rig.mount_fs rig name in
+          let fs = Trio_core.Vfs.ops (Rig.mount_fs rig name) in
           let db = ok "open" (Db.open_db fs ~dir:"/db") in
           for i = 0 to 99 do
             ok "put" (Db.put db ~key:(Printf.sprintf "k%03d" i) ~value:"v")

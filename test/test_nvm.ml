@@ -105,6 +105,54 @@ let test_dirty_lines_accounting () =
       Pmem.persist pm ~addr:4096 ~len:8;
       Alcotest.(check int) "clean again" 0 (Pmem.dirty_lines pm))
 
+let test_redirty_same_line_counts_once () =
+  in_fiber (fun _ pm ->
+      (* hammering one cacheline keeps exactly one pre-image *)
+      for i = 1 to 50 do
+        Pmem.write_u64 pm ~actor ~addr:4096 i
+      done;
+      Alcotest.(check int) "one line" 1 (Pmem.dirty_lines pm);
+      (* the pre-image is from before the FIRST store *)
+      Pmem.crash pm;
+      Alcotest.(check int) "reverts to original" 0 (Pmem.read_u64 pm ~actor ~addr:4096);
+      (* persist then re-dirty: the line is tracked afresh *)
+      Pmem.write_u64 pm ~actor ~addr:4096 7;
+      Pmem.persist pm ~addr:4096 ~len:8;
+      Pmem.write_u64 pm ~actor ~addr:4096 8;
+      Alcotest.(check int) "re-dirtied after persist" 1 (Pmem.dirty_lines pm);
+      Pmem.crash pm;
+      Alcotest.(check int) "reverts to persisted value" 7 (Pmem.read_u64 pm ~actor ~addr:4096))
+
+let test_dirty_accounting_across_pages () =
+  in_fiber (fun _ pm ->
+      (* a 3-page write dirties exactly ceil(len/64) lines, device-wide *)
+      let len = 3 * 4096 in
+      Pmem.write pm ~actor ~addr:8192 ~src:(Bytes.make len 'x');
+      Alcotest.(check int) "lines = len/64" (len / 64) (Pmem.dirty_lines pm);
+      (* persisting a sub-range clears only that range's lines *)
+      Pmem.persist pm ~addr:8192 ~len:4096;
+      Alcotest.(check int) "one page persisted" (2 * 4096 / 64) (Pmem.dirty_lines pm);
+      Pmem.crash pm;
+      Alcotest.(check int) "crash drains the counter" 0 (Pmem.dirty_lines pm))
+
+let test_zero_copy_roundtrip () =
+  in_fiber (fun _ pm ->
+      (* write_from / read_into move sub-ranges of caller buffers *)
+      let src = Bytes.of_string "....payload-here...." in
+      Pmem.write_from pm ~actor ~addr:12288 ~src ~pos:4 ~len:12;
+      let dst = Bytes.make 20 '#' in
+      Pmem.read_into pm ~actor ~addr:12288 ~dst ~pos:4 ~len:12;
+      Alcotest.(check string) "payload lands at pos" "####payload-here####" (Bytes.to_string dst);
+      (* bounds are validated *)
+      (try
+         Pmem.read_into pm ~actor ~addr:0 ~dst ~pos:16 ~len:8;
+         Alcotest.fail "out-of-bounds read_into accepted"
+       with Invalid_argument _ -> ());
+      try
+        Pmem.write_from pm ~actor ~addr:0 ~src ~pos:(-1) ~len:4;
+        Alcotest.fail "negative pos accepted"
+      with Invalid_argument _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Data-page materialization *)
 
@@ -298,6 +346,10 @@ let () =
           Alcotest.test_case "random subset deterministic" `Quick
             test_crash_random_subset_is_deterministic;
           Alcotest.test_case "dirty accounting" `Quick test_dirty_lines_accounting;
+          Alcotest.test_case "re-dirty counts once" `Quick test_redirty_same_line_counts_once;
+          Alcotest.test_case "dirty accounting across pages" `Quick
+            test_dirty_accounting_across_pages;
+          Alcotest.test_case "zero-copy roundtrip" `Quick test_zero_copy_roundtrip;
         ] );
       ( "materialization",
         [

@@ -112,7 +112,7 @@ let test_mount_every_fs () =
     (fun name ->
       small_rig (fun rig ->
           let fs = Rig.mount_fs ~store_data:false rig name in
-          Alcotest.(check string) "name matches" name fs.Trio_core.Fs_intf.fs_name))
+          Alcotest.(check string) "name matches" name (Trio_core.Vfs.name fs)))
     [ "arckfs"; "fpfs"; "ext4"; "ext4-raid0"; "pmfs"; "nova"; "winefs"; "odinfs"; "splitfs"; "strata" ]
 
 (* ------------------------------------------------------------------ *)
