@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep
 
 all: build
 
@@ -15,9 +15,24 @@ quick:
 test:
 	dune runtest
 
-# The pre-commit gate: everything compiles and every test passes.
-check:
+# The pre-commit gate: everything compiles and every test passes
+# (dune runtest includes test_crash, i.e. the bounded crash-state
+# exploration, mutation check and cross-FS differential fuzz).
+check: crashcheck-quick
+
+# Bounded deterministic crash-state exploration from the command line:
+# a fixed seed, small scripts, exhaustive subset enumeration.
+crashcheck-quick:
 	dune build && dune runtest
+	dune exec bin/trioctl.exe -- crashcheck --seed 1 --scripts 2 --ops 6
+
+# Full exploration: more seeds, longer scripts, wider sampling, and the
+# deep tier of test_crash (CRASHCHECK_DEEP=1).
+crashcheck-deep:
+	dune build
+	CRASHCHECK_DEEP=1 dune exec test/test_crash.exe
+	dune exec bin/trioctl.exe -- crashcheck --seed 1 --scripts 8 --ops 12 --samples 10
+	dune exec bin/trioctl.exe -- crashcheck --diff --scripts 4 --ops 10
 
 bench:
 	dune exec bench/main.exe

@@ -217,6 +217,175 @@ let trace_cmd =
     Term.(const run $ fs_arg $ last_arg)
 
 (* ------------------------------------------------------------------ *)
+(* crashcheck: systematic crash-state exploration / differential fuzzing *)
+
+let crashcheck_cmd =
+  let module Explore = Trio_check.Explore in
+  let module Script = Trio_check.Script in
+  let module Differ = Trio_check.Differ in
+  let run script at survive seed scripts ops budget exhaustive_lines samples diff mutate
+      no_shrink =
+    let parsed_script =
+      Option.map
+        (fun s ->
+          match Script.parse s with
+          | Ok ops -> ops
+          | Error e ->
+            Printf.eprintf "bad --script: %s\n" e;
+            exit 2)
+        script
+    in
+    if mutate then Arckfs.Journal.set_crash_test_reorder_commit true;
+    let config =
+      {
+        Explore.default_config with
+        seed;
+        max_states = budget;
+        exhaustive_lines;
+        samples_per_point = samples;
+        shrink = not no_shrink;
+      }
+    in
+    match (at, parsed_script) with
+    | Some _, None ->
+      Printf.eprintf "--at requires --script\n";
+      exit 2
+    | Some crash_index, Some ops -> (
+      (* replay one specific crash state of one script *)
+      let survivors =
+        match Explore.parse_survivors survive with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "bad --survive: %s\n" e;
+          exit 2
+      in
+      Printf.printf "replaying: %s\n" (Script.to_string ops);
+      Printf.printf "crash after %d LibFS stores, surviving lines: %s\n" crash_index
+        (if survivors = [] then "none" else survive);
+      match Explore.check_state ops ~crash_index ~survivors with
+      | Ok () ->
+        Printf.printf "state is consistent: all completed ops durable, in-flight op atomic\n";
+        0
+      | Error d ->
+        Printf.printf "VIOLATION: %s\n" d;
+        1)
+    | None, _ when diff -> (
+      (* differential cross-FS fuzzing *)
+      match parsed_script with
+      | Some ops -> (
+        Printf.printf "diffing %d ops across: %s\n" (List.length ops)
+          (String.concat " " Differ.default_fses);
+        match Differ.diff ~shrink:(not no_shrink) ops with
+        | [] ->
+          Printf.printf "all file systems agree with the model\n";
+          0
+        | ds ->
+          List.iter (fun d -> Format.printf "%a@." Differ.pp_divergence d) ds;
+          1)
+      | None -> (
+        Printf.printf "differential campaign: %d scripts x %d ops across %d file systems\n"
+          scripts ops
+          (List.length Differ.default_fses);
+        match Differ.campaign ~rounds:scripts ~len:ops ~seed () with
+        | None ->
+          Printf.printf "no divergence found\n";
+          0
+        | Some (script, ds) ->
+          Printf.printf "divergence on: %s\n" (Script.to_string script);
+          List.iter (fun d -> Format.printf "%a@." Differ.pp_divergence d) ds;
+          1))
+    | None, _ ->
+      (* crash-state exploration *)
+      let rng = Trio_util.Rng.create seed in
+      let scripts_to_run =
+        match parsed_script with
+        | Some ops -> [ ops ]
+        | None -> List.init scripts (fun _ -> Script.generate rng ~len:ops)
+      in
+      let failed = ref false in
+      List.iteri
+        (fun i ops ->
+          if not !failed then begin
+            Printf.printf "script %d/%d: %s\n%!" (i + 1) (List.length scripts_to_run)
+              (Script.to_string ops);
+            let o = Explore.explore ~config ops in
+            Printf.printf
+              "  %d crash points, %d states checked, enumeration %s\n%!" o.Explore.crash_points
+              o.Explore.states
+              (if o.Explore.exhaustive then "exhaustive" else "sampled");
+            match o.Explore.counterexample with
+            | None -> ()
+            | Some cx ->
+              failed := true;
+              Format.printf "VIOLATION (minimized):@.%a" Explore.pp_counterexample cx
+          end)
+        scripts_to_run;
+      if !failed then 1 else 0
+  in
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"OPS"
+          ~doc:"Explicit op script, e.g. \"create /n00; rename /n00 /n01\" (default: generate)")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"N" ~doc:"Replay one crash state: die after $(docv) LibFS stores")
+  in
+  let survive_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "survive" ] ~docv:"LINES"
+          ~doc:"With --at: unflushed cachelines that survive, as page:line,... (default none)")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Script/sampling seed") in
+  let scripts_arg =
+    Arg.(value & opt int 3 & info [ "scripts" ] ~doc:"Number of generated scripts to explore")
+  in
+  let ops_arg = Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Ops per generated script") in
+  let budget_arg =
+    Arg.(value & opt int 4096 & info [ "budget" ] ~doc:"Max crash states per script")
+  in
+  let exh_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "exhaustive-lines" ] ~docv:"K"
+          ~doc:"Enumerate all surviving subsets when <= $(docv) unflushed lines (2^$(docv) states)")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "samples" ] ~doc:"Sampled surviving subsets per crash point above the threshold")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ] ~doc:"Differential mode: diff scripts across all nine file systems")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Enable the seeded journal-commit reordering bug (engine self-test: exploration must \
+             catch it)")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report counterexamples without minimizing")
+  in
+  Cmd.v
+    (Cmd.info "crashcheck"
+       ~doc:
+         "Systematically explore crash states of op scripts (and differentially fuzz all file \
+          systems)")
+    Term.(
+      const run $ script_arg $ at_arg $ survive_arg $ seed_arg $ scripts_arg $ ops_arg
+      $ budget_arg $ exh_arg $ samples_arg $ diff_arg $ mutate_arg $ no_shrink_arg)
+
+(* ------------------------------------------------------------------ *)
 (* micro: one microbenchmark on one fs *)
 
 let micro_cmd =
@@ -257,6 +426,6 @@ let () =
   let doc = "Trio/ArckFS userspace NVM file system simulator" in
   let main =
     Cmd.group (Cmd.info "trioctl" ~doc)
-      [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; micro_cmd; stats_cmd; trace_cmd ]
+      [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; crashcheck_cmd; micro_cmd; stats_cmd; trace_cmd ]
   in
   exit (Cmd.eval' main)

@@ -1,0 +1,446 @@
+(* Systematic crash-state exploration (the correctness backbone behind
+   the paper's §4.4/§5 claims).
+
+   Instead of sampling one random crash per run, the engine enumerates
+   the crash-state space of an op script deterministically:
+
+   1. RECORD — run the script once on a recording device
+      ({!Trio_nvm.Pmem.set_recording}), yielding the ordered
+      store/persist event log and the number of post-mount LibFS stores
+      N.  Crash index i (0 <= i <= N) names the state "the process died
+      at its (i+1)-th store" (i = N: the script completed, then power
+      failed).
+
+   2. ENUMERATE — one incremental {!Pmem.Replay} pass over the log
+      computes the unflushed-line set at every crash index.  At each
+      index, the subsets of lines that may survive the power failure
+      are enumerated exhaustively when the set is small
+      (2^k <= 2^exhaustive_lines) and sampled from a seeded RNG
+      otherwise.
+
+   3. CHECK — every (crash index, surviving set) state gets a fresh
+      world: re-run the script (deterministic, so the pre-crash device
+      is reconstructed exactly), kill it with the store injector, apply
+      {!Pmem.crash_select} with the chosen survivors, run controller
+      crash recovery + LibFS remount, and compare against the model:
+      completed operations must be fully durable, the interrupted
+      operation atomic (namespace is exactly the pre- or post-state).
+
+   A failing state is reported as a minimal counterexample: the script
+   is greedily shrunk (drop ops, shrink sizes) while the exploration
+   still finds a violation, and printed in a form [trioctl crashcheck]
+   replays. *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Perf = Trio_nvm.Perf
+module Mmu = Trio_core.Mmu
+module Controller = Trio_core.Controller
+module Libfs = Arckfs.Libfs
+module Rng = Trio_util.Rng
+
+type config = {
+  exhaustive_lines : int;
+      (* enumerate all 2^k surviving subsets when the dirty set has <= k lines *)
+  samples_per_point : int; (* sampled subsets above the threshold *)
+  max_states : int; (* overall crash-state budget *)
+  seed : int; (* drives subset sampling only; exploration is otherwise deterministic *)
+  check_replay : bool; (* cross-check replayed images against the live device *)
+  shrink : bool; (* minimize failing scripts before reporting *)
+  shrink_budget : int; (* candidate explorations spent shrinking *)
+}
+
+let default_config =
+  {
+    exhaustive_lines = 6;
+    samples_per_point = 6;
+    max_states = 4096;
+    seed = 1;
+    check_replay = true;
+    shrink = true;
+    shrink_budget = 64;
+  }
+
+type counterexample = {
+  cx_ops : Script.op list;
+  cx_crash_index : int; (* stores completed before the process died; -1 = no crash involved *)
+  cx_survivors : (int * int) list; (* (page, line) lines that survived the power failure *)
+  cx_detail : string;
+}
+
+type outcome = {
+  crash_points : int; (* crash indices explored (N + 1 when complete) *)
+  states : int; (* (index, surviving subset) states checked *)
+  exhaustive : bool; (* every crash point got its full subset enumeration *)
+  counterexample : counterexample option;
+}
+
+let pp_survivors ppf survivors =
+  match survivors with
+  | [] -> Fmt.pf ppf "none"
+  | l ->
+    Fmt.pf ppf "%s" (String.concat "," (List.map (fun (p, ln) -> Printf.sprintf "%d:%d" p ln) l))
+
+let pp_counterexample ppf cx =
+  Fmt.pf ppf "script:   %s@." (Script.to_string cx.cx_ops);
+  if cx.cx_crash_index >= 0 then begin
+    Fmt.pf ppf "crash:    after %d LibFS stores@." cx.cx_crash_index;
+    Fmt.pf ppf "survived: %a@." pp_survivors cx.cx_survivors
+  end
+  else Fmt.pf ppf "crash:    none (diverged without a crash)@.";
+  Fmt.pf ppf "violation: %s@." cx.cx_detail;
+  if cx.cx_crash_index >= 0 then
+    Fmt.pf ppf "replay:   trioctl crashcheck --script %S --at %d --survive %a@."
+      (Script.to_string cx.cx_ops) cx.cx_crash_index pp_survivors cx.cx_survivors
+
+let parse_survivors s =
+  if String.trim s = "" || String.trim s = "none" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | chunk :: rest -> (
+        match String.split_on_char ':' (String.trim chunk) with
+        | [ p; l ] -> (
+          match (int_of_string_opt p, int_of_string_opt l) with
+          | Some p, Some l -> go ((p, l) :: acc) rest
+          | _ -> Error (Printf.sprintf "bad surviving line %S" chunk))
+        | _ -> Error (Printf.sprintf "bad surviving line %S (expected page:line)" chunk))
+    in
+    go [] (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Worlds *)
+
+(* The explorer's fixed geometry: small enough that thousands of fresh
+   worlds are cheap, big enough for any generated script.  Every phase
+   (record, replay fidelity, state checks) must use the same geometry —
+   addresses are part of the reconstructed state. *)
+let make_world () =
+  let sched = Sched.create () in
+  let topo = Numa.create ~nodes:2 ~cpus_per_node:4 in
+  let pmem =
+    Pmem.create ~sched ~topo ~profile:Perf.optane ~pages_per_node:8192 ~store_data:true ()
+  in
+  let mmu = Mmu.create pmem in
+  (sched, pmem, mmu)
+
+let cred = { Trio_core.Fs_types.uid = 1000; gid = 1000 }
+
+(* Run [f] inside a fiber of a fresh world and hand back its result. *)
+let in_world f =
+  let sched, pmem, mmu = make_world () in
+  let out = ref None in
+  Sched.spawn sched (fun () -> out := Some (f ~sched ~pmem ~mmu));
+  ignore (Sched.run sched);
+  match !out with
+  | Some v -> v
+  | None -> failwith "Explore: simulation did not run to completion"
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: record *)
+
+type recording = {
+  rec_events : Pmem.event list;
+  rec_mount_stores : int; (* LibFS stores spent mounting (before the script) *)
+  rec_n_stores : int; (* LibFS stores issued by the script itself *)
+  rec_divergence : string option; (* fs/model disagreement with no crash at all *)
+}
+
+let record ops =
+  in_world (fun ~sched ~pmem ~mmu ->
+      Pmem.set_recording pmem true;
+      let ctl = Controller.create ~sched ~pmem ~mmu () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      let mount_stores = Pmem.recorded_user_stores pmem in
+      let model = Script.model_create () in
+      let divergence =
+        match Script.apply_all fs model ops with Ok () -> None | Error d -> Some d
+      in
+      Pmem.set_recording pmem false;
+      {
+        rec_events = Pmem.recorded_events pmem;
+        rec_mount_stores = mount_stores;
+        rec_n_stores = Pmem.recorded_user_stores pmem - mount_stores;
+        rec_divergence = divergence;
+      })
+
+(* One incremental replay pass: the unflushed-line set at every crash
+   index.  The state at index i is the log prefix strictly before the
+   (mount_stores + i + 1)-th LibFS store — everything the process
+   managed to issue before dying there. *)
+let dirty_sets_of recording =
+  let n = recording.rec_n_stores in
+  let sets = Array.make (n + 1) [] in
+  let img = Pmem.Replay.create () in
+  let ucount = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Pmem.Ev_store { actor; _ } when actor <> Pmem.kernel_actor ->
+        let post = !ucount - recording.rec_mount_stores in
+        if post >= 0 && post <= n then sets.(post) <- Pmem.Replay.dirty img;
+        incr ucount
+      | _ -> ());
+      Pmem.Replay.apply img ev)
+    recording.rec_events;
+  sets.(n) <- Pmem.Replay.dirty img;
+  sets
+
+(* Image at one crash index (fresh replay of the prefix). *)
+let image_at recording ~crash_index =
+  let img = Pmem.Replay.create () in
+  let ucount = ref 0 in
+  (try
+     List.iter
+       (fun ev ->
+         (match ev with
+         | Pmem.Ev_store { actor; _ } when actor <> Pmem.kernel_actor ->
+           if !ucount - recording.rec_mount_stores >= crash_index then raise Exit;
+           incr ucount
+         | _ -> ());
+         Pmem.Replay.apply img ev)
+       recording.rec_events
+   with Exit -> ());
+  img
+
+(* ------------------------------------------------------------------ *)
+(* Phase 3: per-state check *)
+
+exception Diverged of string
+
+(* Re-run the script in a fresh world, dying after [crash_index] LibFS
+   stores, then crash with exactly [survivors] surviving lines, recover,
+   remount, and check the model properties.  [on_precrash] sees the dead
+   world just before the power failure (replay fidelity checks hook in
+   here). *)
+let check_state ?(on_precrash = fun ~pmem:_ -> Ok ()) ops ~crash_index ~survivors =
+  in_world (fun ~sched ~pmem ~mmu ->
+      let ( let* ) = Result.bind in
+      let ctl = Controller.create ~sched ~pmem ~mmu () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      let model = Script.model_create () in
+      let pre = ref (Script.model_snapshot model) in
+      let cur = ref (-1) in
+      Pmem.fail_after_writes pmem crash_index;
+      let interrupted =
+        try
+          List.iteri
+            (fun i op ->
+              cur := i;
+              pre := Script.model_snapshot model;
+              match Script.apply fs model i op with
+              | Ok () -> ()
+              | Error d -> raise (Diverged d))
+            ops;
+          Ok None
+        with
+        | Pmem.Crash_point -> Ok (Some !cur)
+        | Diverged d -> Error d
+      in
+      Pmem.fail_after_writes pmem (-1);
+      let* interrupted = interrupted in
+      (* power failure: the chosen subset of unflushed lines survives *)
+      let survive_set = Hashtbl.create 16 in
+      List.iter (fun k -> Hashtbl.replace survive_set k ()) survivors;
+      let* () = on_precrash ~pmem in
+      Pmem.crash_select pmem ~survives:(fun ~page ~line -> Hashtbl.mem survive_set (page, line));
+      Controller.crash_recover ctl;
+      let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred () in
+      let fs2 = Libfs.ops libfs2 in
+      match interrupted with
+      | None ->
+        (* every operation completed: full durability *)
+        Script.check_model fs2 model
+      | Some j ->
+        (* the op in flight must be atomic, everything else durable *)
+        let op = List.nth ops j in
+        let* visible = Script.visible_names fs2 in
+        let pre_names = Script.names_of_model !pre in
+        let post_names = Script.names_of_model model in
+        let* () =
+          if visible = pre_names || visible = post_names then Ok ()
+          else
+            Error
+              (Printf.sprintf "op %d (%s): namespace [%s] is neither pre [%s] nor post [%s]" j
+                 (Script.show_op op) (String.concat " " visible)
+                 (String.concat " " pre_names) (String.concat " " post_names))
+        in
+        (* files the interrupted op did not touch keep their exact
+           content; data inside its own target may legitimately be
+           partial (data ops are synchronous, not atomic) *)
+        let touched = Script.touched_paths op in
+        let pre_model = !pre in
+        let* () =
+          List.fold_left
+            (fun acc (path, expected) ->
+              let* () = acc in
+              if List.mem path touched then Ok ()
+              else
+                match Trio_core.Fs_intf.read_file fs2 path with
+                | Ok got when String.equal got expected -> Ok ()
+                | Ok got ->
+                  Error
+                    (Printf.sprintf "op %d (%s): untouched %s corrupted (%d vs %d bytes)" j
+                       (Script.show_op op) path (String.length got) (String.length expected))
+                | Error e ->
+                  Error
+                    (Printf.sprintf "op %d (%s): untouched %s lost (%s)" j (Script.show_op op)
+                       path
+                       (Trio_core.Fs_types.errno_to_string e)))
+            (Ok ()) (Script.model_files pre_model)
+        in
+        (* and whatever is visible must at least be readable *)
+        List.fold_left
+          (fun acc path ->
+            let* () = acc in
+            if Hashtbl.mem pre_model.Script.files path then
+              match Trio_core.Fs_intf.read_file fs2 path with
+              | Ok _ -> Ok ()
+              | Error e ->
+                Error
+                  (Printf.sprintf "%s unreadable after crash: %s" path
+                     (Trio_core.Fs_types.errno_to_string e))
+            else Ok ())
+          (Ok ()) visible)
+
+(* Replay fidelity: the device the re-run reconstructed must be
+   bit-identical — content and unflushed-line set — to the image
+   replayed from the recorded event log. *)
+let replay_fidelity recording ops ~crash_index =
+  let img = image_at recording ~crash_index in
+  let check ~pmem =
+    let img_dirty = Pmem.Replay.dirty img in
+    let dev_dirty = Pmem.dirty_line_list pmem in
+    if img_dirty <> dev_dirty then
+      Error
+        (Printf.sprintf "replay divergence at crash index %d: %d replayed dirty lines vs %d on device"
+           crash_index (List.length img_dirty) (List.length dev_dirty))
+    else
+      List.fold_left
+        (fun acc pg ->
+          Result.bind acc (fun () ->
+              if Bytes.equal (Pmem.Replay.page img pg) (Pmem.peek_page pmem pg) then Ok ()
+              else Error (Printf.sprintf "replay divergence at crash index %d: page %d bytes differ" crash_index pg)))
+        (Ok ()) (Pmem.Replay.pages img)
+  in
+  (* survivors = all: the pre-crash comparison is the point; the
+     post-crash world is checked like any complete run *)
+  check_state ~on_precrash:check ops ~crash_index ~survivors:(Pmem.Replay.dirty img)
+
+(* ------------------------------------------------------------------ *)
+(* Subset enumeration *)
+
+let subsets_of cfg ~crash_index dirty =
+  let k = List.length dirty in
+  let arr = Array.of_list dirty in
+  if k <= cfg.exhaustive_lines then
+    (* all 2^k subsets, mask order: [] first, everything-survives last *)
+    (true, List.init (1 lsl k) (fun mask ->
+         List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list arr)))
+  else begin
+    let rng = Rng.create (cfg.seed + (crash_index * 2654435761)) in
+    let sample () = List.filter (fun _ -> Rng.bool rng) dirty in
+    let sampled = List.init (max 0 (cfg.samples_per_point - 2)) (fun _ -> sample ()) in
+    (false, ([] :: dirty :: sampled))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The engine *)
+
+let explore_once cfg ops =
+  let recording = record ops in
+  match recording.rec_divergence with
+  | Some d ->
+    {
+      crash_points = 0;
+      states = 0;
+      exhaustive = false;
+      counterexample =
+        Some { cx_ops = ops; cx_crash_index = -1; cx_survivors = []; cx_detail = d };
+    }
+  | None ->
+    let n = recording.rec_n_stores in
+    let dirty_sets = dirty_sets_of recording in
+    let states = ref 0 in
+    let exhaustive = ref true in
+    let failure = ref None in
+    (* replay-fidelity pass on a bounded, evenly spread index sample *)
+    if cfg.check_replay then begin
+      let sample =
+        if n <= 8 then List.init (n + 1) Fun.id
+        else List.sort_uniq compare (List.init 9 (fun i -> i * n / 8))
+      in
+      List.iter
+        (fun i ->
+          if !failure = None then
+            match replay_fidelity recording ops ~crash_index:i with
+            | Ok () -> ()
+            | Error d ->
+              failure :=
+                Some
+                  {
+                    cx_ops = ops;
+                    cx_crash_index = i;
+                    cx_survivors = dirty_sets.(i);
+                    cx_detail = d;
+                  })
+        sample
+    end;
+    let i = ref 0 in
+    while !failure = None && !i <= n && !states < cfg.max_states do
+      let idx = !i in
+      let was_exhaustive, subsets = subsets_of cfg ~crash_index:idx dirty_sets.(idx) in
+      if not was_exhaustive then exhaustive := false;
+      List.iter
+        (fun survivors ->
+          if !failure = None && !states < cfg.max_states then begin
+            incr states;
+            match check_state ops ~crash_index:idx ~survivors with
+            | Ok () -> ()
+            | Error d ->
+              failure :=
+                Some
+                  { cx_ops = ops; cx_crash_index = idx; cx_survivors = survivors; cx_detail = d }
+          end)
+        subsets;
+      incr i
+    done;
+    if !i <= n && !failure = None then exhaustive := false;
+    {
+      crash_points = !i;
+      states = !states;
+      exhaustive = !exhaustive;
+      counterexample = !failure;
+    }
+
+(* Greedy minimization: keep applying the first shrink candidate that
+   still fails, until none does (or the budget runs out). *)
+let shrink_counterexample cfg cx =
+  let budget = ref cfg.shrink_budget in
+  let cfg' = { cfg with shrink = false; check_replay = false } in
+  let rec go cx =
+    if !budget <= 0 then cx
+    else
+      let next =
+        List.find_map
+          (fun candidate ->
+            if !budget <= 0 || candidate = [] then None
+            else begin
+              decr budget;
+              (explore_once cfg' candidate).counterexample
+            end)
+          (Script.shrink_candidates cx.cx_ops)
+      in
+      match next with Some cx' -> go cx' | None -> cx
+  in
+  go cx
+
+let explore ?(config = default_config) ops =
+  let outcome = explore_once config ops in
+  match outcome.counterexample with
+  | Some cx when config.shrink ->
+    { outcome with counterexample = Some (shrink_counterexample config cx) }
+  | _ -> outcome

@@ -59,6 +59,16 @@ exception Mmu_fault of { actor : int; page : int; write : bool }
    process dying at an arbitrary store, for crash-consistency testing. *)
 exception Crash_point
 
+(* One entry of the ordered persistence event log (see [set_recording]):
+   everything that changes durable state, in program order.  The crash-
+   state exploration engine replays a prefix of this log to reconstruct
+   the exact device image — including which cachelines were unflushed —
+   at any store boundary. *)
+type event =
+  | Ev_store of { actor : int; addr : int; data : Bytes.t } (* post-image *)
+  | Ev_persist of (int * int) list (* ranges drained by one fence *)
+  | Ev_discard of int (* page freed back to the device *)
+
 (* One NUMA node's bandwidth domain: a single active-accessor count with
    separate read/write aggregate-bandwidth curves. *)
 type node = {
@@ -84,6 +94,11 @@ type t = {
   (* countdown of non-kernel stores until a Crash_point is raised;
      negative = disabled *)
   mutable fail_writes_after : int;
+  (* ordered store/persist event log (newest-first; see [set_recording]) *)
+  mutable recording : bool;
+  mutable events_rev : event list;
+  mutable event_count : int;
+  mutable user_store_count : int; (* recorded stores by non-kernel actors *)
 }
 
 let kernel_actor = 0
@@ -106,6 +121,10 @@ let create ~sched ~topo ~profile ~pages_per_node ~store_data () =
     mmu_checks = 0;
     dirty_total = 0;
     fail_writes_after = -1;
+    recording = false;
+    events_rev = [];
+    event_count = 0;
+    user_store_count = 0;
   }
 
 let sched t = t.sched
@@ -115,6 +134,40 @@ let node_of_page t pg = pg / t.pages_per_node
 let pages_per_node t = t.pages_per_node
 let set_perm_check t f = t.perm_check <- f
 let persist_count t = t.persist_count
+
+(* ------------------------------------------------------------------ *)
+(* Event recording
+
+   When recording is on, every store, fence and page discard is appended
+   to an ordered log.  The log plus {!Replay} reconstructs the device
+   image (content + unflushed-line set) at any prefix, which is what
+   lets the crash-state explorer enumerate crash points without
+   snapshotting the device at every store.
+
+   Recording requires [store_data:true]: a device that skips
+   materializing data pages would diverge from its own log. *)
+
+let set_recording t on =
+  if on && not t.store_data then
+    invalid_arg "Pmem.set_recording: requires a store_data:true device";
+  t.recording <- on;
+  if on then begin
+    t.events_rev <- [];
+    t.event_count <- 0;
+    t.user_store_count <- 0
+  end
+
+let recorded_events t = List.rev t.events_rev
+let recorded_event_count t = t.event_count
+let recorded_user_stores t = t.user_store_count
+
+let record_event t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.event_count <- t.event_count + 1;
+  match ev with
+  | Ev_store { actor; _ } when actor <> kernel_actor ->
+    t.user_store_count <- t.user_store_count + 1
+  | _ -> ()
 
 let check_perm t ~actor ~page ~write =
   t.mmu_checks <- t.mmu_checks + 1;
@@ -138,7 +191,8 @@ let discard_page t pg =
   (match Hashtbl.find_opt t.pages pg with
   | Some p -> t.dirty_total <- t.dirty_total - p.ndirty
   | None -> ());
-  Hashtbl.remove t.pages pg
+  Hashtbl.remove t.pages pg;
+  if t.recording then record_event t (Ev_discard pg)
 
 (* ------------------------------------------------------------------ *)
 (* Cost accounting *)
@@ -281,7 +335,8 @@ let write_from t ~actor ~addr ~src ~pos ~len =
   check_range t ~actor ~addr ~len ~write:true;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:true ~bytes:len);
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
-      blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk)
+      blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk);
+  if t.recording then record_event t (Ev_store { actor; addr; data = Bytes.sub src pos len })
 
 let write_sub = write_from
 
@@ -321,11 +376,13 @@ let fence t =
    whole write-combining pipeline with a single sfence). *)
 let persist_ranges t ranges =
   fence t;
-  List.iter (fun (addr, len) -> persist_range t ~addr ~len) ranges
+  List.iter (fun (addr, len) -> persist_range t ~addr ~len) ranges;
+  if t.recording then record_event t (Ev_persist ranges)
 
 let persist t ~addr ~len =
   fence t;
-  persist_range t ~addr ~len
+  persist_range t ~addr ~len;
+  if t.recording then record_event t (Ev_persist [ (addr, len) ])
 
 (* Convenience: little-endian integer accessors (metadata fields). *)
 let read_u64 t ~actor ~addr =
@@ -379,10 +436,141 @@ let crash ?rng t =
       p.dirty_order <- [])
     t.pages
 
+(* Deterministic crash: the caller names exactly which unflushed lines
+   survive.  This is the primitive the crash-state explorer enumerates
+   over — [crash ?rng] above is one random point of the space this
+   spans. *)
+let crash_select t ~survives =
+  t.crash_count <- t.crash_count + 1;
+  Hashtbl.iter
+    (fun pg p ->
+      if p.ndirty > 0 then begin
+        (match p.content with
+        | None -> List.iter (fun line -> p.pre.(line) <- None) p.dirty_order
+        | Some b ->
+          List.iter
+            (fun line ->
+              match p.pre.(line) with
+              | None -> ()
+              | Some pre ->
+                if not (survives ~page:pg ~line) then
+                  Bytes.blit pre 0 b (line * line_size) line_size;
+                p.pre.(line) <- None)
+            p.dirty_order);
+        t.dirty_total <- t.dirty_total - p.ndirty;
+        p.ndirty <- 0
+      end;
+      p.dirty_order <- [])
+    t.pages
+
 let dirty_lines t = t.dirty_total
+
+(* Every unflushed line as a sorted [(page, line)] list. *)
+let dirty_line_list t =
+  Hashtbl.fold
+    (fun pg p acc ->
+      if p.ndirty = 0 then acc
+      else begin
+        let acc = ref acc in
+        for line = 0 to lines_per_page - 1 do
+          if p.pre.(line) <> None then acc := (pg, line) :: !acc
+        done;
+        !acc
+      end)
+    t.pages []
+  |> List.sort compare
+
+(* Cost-free debug read of one page (no MMU check, no time charged):
+   for comparing the device against a replayed image. *)
+let peek_page t pg =
+  match Hashtbl.find_opt t.pages pg with
+  | Some { content = Some b; _ } -> Bytes.copy b
+  | _ -> Bytes.make page_size '\000'
 
 let materialized_pages t = Hashtbl.length t.pages
 
 let node_stats t node =
   let n = t.nodes.(node) in
   (n.peak_active, n.bytes_read, n.bytes_written)
+
+(* ------------------------------------------------------------------ *)
+(* Replay: reconstruct a device image from an event-log prefix.
+
+   An [image] is a pure byte-level model of the device — pages plus the
+   pre-image of every line dirtied since its last fence — maintained by
+   the exact rules the live device follows.  Applying the same log to a
+   fresh image therefore yields a bit-identical picture of content and
+   unflushed state (tested in test_nvm), which is what the crash-state
+   explorer uses to enumerate surviving-line subsets at any store index
+   without re-running the file system. *)
+
+module Replay = struct
+  type image = {
+    ipages : (int, Bytes.t) Hashtbl.t;
+    ipre : (int * int, Bytes.t) Hashtbl.t; (* (page, line) -> pre-image *)
+  }
+
+  let create () = { ipages = Hashtbl.create 256; ipre = Hashtbl.create 64 }
+
+  let page_of img pg =
+    match Hashtbl.find_opt img.ipages pg with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.add img.ipages pg b;
+      b
+
+  let store img ~addr ~data =
+    let len = Bytes.length data in
+    iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
+        let b = page_of img pg in
+        let first_line = off / line_size and last_line = (off + chunk - 1) / line_size in
+        for line = first_line to last_line do
+          if not (Hashtbl.mem img.ipre (pg, line)) then
+            Hashtbl.add img.ipre (pg, line) (Bytes.sub b (line * line_size) line_size)
+        done;
+        Bytes.blit data done_ b off chunk)
+
+  let persist img ~addr ~len =
+    iter_pages addr len (fun ~pg ~off ~chunk ~done_:_ ->
+        let first_line = off / line_size and last_line = (off + chunk - 1) / line_size in
+        for line = first_line to last_line do
+          Hashtbl.remove img.ipre (pg, line)
+        done)
+
+  let discard img pg =
+    Hashtbl.remove img.ipages pg;
+    let stale = Hashtbl.fold (fun (p, l) _ acc -> if p = pg then (p, l) :: acc else acc) img.ipre [] in
+    List.iter (Hashtbl.remove img.ipre) stale
+
+  let apply img = function
+    | Ev_store { addr; data; _ } -> store img ~addr ~data
+    | Ev_persist ranges -> List.iter (fun (addr, len) -> persist img ~addr ~len) ranges
+    | Ev_discard pg -> discard img pg
+
+  let apply_all img events = List.iter (apply img) events
+
+  (* Sorted [(page, line)] list of lines that would be unflushed. *)
+  let dirty img =
+    Hashtbl.fold (fun k _ acc -> k :: acc) img.ipre [] |> List.sort compare
+
+  (* Power failure over the image: surviving lines keep their content,
+     the rest revert to their pre-image — mirrors {!crash_select}. *)
+  let crash img ~survives =
+    let all = dirty img in
+    List.iter
+      (fun (pg, line) ->
+        (if not (survives ~page:pg ~line) then
+           match Hashtbl.find_opt img.ipre (pg, line) with
+           | Some pre -> Bytes.blit pre 0 (page_of img pg) (line * line_size) line_size
+           | None -> ());
+        Hashtbl.remove img.ipre (pg, line))
+      all
+
+  let page img pg =
+    match Hashtbl.find_opt img.ipages pg with
+    | Some b -> Bytes.copy b
+    | None -> Bytes.make page_size '\000'
+
+  let pages img = Hashtbl.fold (fun pg _ acc -> pg :: acc) img.ipages [] |> List.sort compare
+end

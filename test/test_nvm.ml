@@ -328,6 +328,163 @@ let test_numa_topology () =
   Alcotest.(check int) "cpu 28 -> node 1" 1 (Numa.node_of_cpu topo 28);
   Alcotest.(check int) "cpu 223 -> node 7" 7 (Numa.node_of_cpu topo 223)
 
+(* ------------------------------------------------------------------ *)
+(* Crash injector *)
+
+let test_injector_counts_and_rearms () =
+  in_fiber (fun _ pm ->
+      let user = 1 in
+      Pmem.fail_after_writes pm 3;
+      (* kernel stores are never counted against the budget *)
+      Pmem.write_u64 pm ~actor ~addr:4096 1;
+      (* 3 user stores execute... *)
+      for i = 1 to 3 do
+        Pmem.write_u64 pm ~actor:user ~addr:(8192 + (i * 64)) i
+      done;
+      (* ...and the 4th raises, auto-disarming the injector *)
+      (match Pmem.write_u64 pm ~actor:user ~addr:8192 9 with
+      | () -> Alcotest.fail "4th user store should raise Crash_point"
+      | exception Pmem.Crash_point -> ());
+      Pmem.write_u64 pm ~actor:user ~addr:8192 10;
+      Alcotest.(check int) "auto-disarmed" 10 (Pmem.read_u64 pm ~actor ~addr:8192);
+      (* re-arming works, including at budget 0 (next store dies) *)
+      Pmem.fail_after_writes pm 0;
+      (match Pmem.write_u64 pm ~actor:user ~addr:8192 11 with
+      | () -> Alcotest.fail "re-armed injector should raise immediately"
+      | exception Pmem.Crash_point -> ());
+      Pmem.write_u64 pm ~actor:user ~addr:8192 12;
+      Alcotest.(check int) "second auto-disarm" 12 (Pmem.read_u64 pm ~actor ~addr:8192))
+
+(* >64 dirty lines spread over pages, with a partial persist and
+   re-dirtying in between: accounting, the dirty-line list and crash
+   reverts must all stay exact (the per-page dirty_order list keeps
+   stale entries after a persist — they must not resurrect). *)
+let test_many_dirty_lines_across_pages () =
+  in_fiber (fun _ pm ->
+      let n = 130 in
+      for i = 0 to n - 1 do
+        Pmem.write_u64 pm ~actor ~addr:(4096 + (i * 64)) (i + 1)
+      done;
+      Alcotest.(check int) "130 dirty lines" n (Pmem.dirty_lines pm);
+      Alcotest.(check int) "list agrees" n (List.length (Pmem.dirty_line_list pm));
+      (* persist the middle page (lines 64..127), then re-dirty two of
+         its lines: their pre-images are now the persisted values *)
+      Pmem.persist pm ~addr:8192 ~len:4096;
+      Alcotest.(check int) "page 2 drained" (n - 64) (Pmem.dirty_lines pm);
+      Pmem.write_u64 pm ~actor ~addr:8192 999;
+      Pmem.write_u64 pm ~actor ~addr:(8192 + 64) 998;
+      Alcotest.(check int) "re-dirtied" (n - 64 + 2) (Pmem.dirty_lines pm);
+      Pmem.crash pm;
+      Alcotest.(check int) "crash drains everything" 0 (Pmem.dirty_lines pm);
+      Alcotest.(check bool) "list empty" true (Pmem.dirty_line_list pm = []);
+      Alcotest.(check int) "page 1 reverted to zero" 0 (Pmem.read_u64 pm ~actor ~addr:4096);
+      Alcotest.(check int) "page 2 reverted to persisted" 65 (Pmem.read_u64 pm ~actor ~addr:8192);
+      Alcotest.(check int) "page 2 line 1 reverted to persisted" 66
+        (Pmem.read_u64 pm ~actor ~addr:(8192 + 64)))
+
+(* ------------------------------------------------------------------ *)
+(* Event log and replay *)
+
+let test_event_log_order_across_persist_ranges () =
+  in_fiber (fun _ pm ->
+      Pmem.set_recording pm true;
+      Pmem.write_u64 pm ~actor:1 ~addr:4096 1;
+      Pmem.write_u64 pm ~actor ~addr:8192 2;
+      Pmem.persist_ranges pm [ (4096, 8); (8192, 8) ];
+      Pmem.write_u64 pm ~actor:1 ~addr:4160 3;
+      Pmem.persist pm ~addr:4160 ~len:8;
+      (* the log preserves program order, one Ev_persist per fence with
+         all its ranges, and kernel stores are logged but not counted *)
+      (match Pmem.recorded_events pm with
+      | [
+       Pmem.Ev_store { actor = 1; addr = 4096; _ };
+       Pmem.Ev_store { actor = 0; addr = 8192; _ };
+       Pmem.Ev_persist [ (4096, 8); (8192, 8) ];
+       Pmem.Ev_store { actor = 1; addr = 4160; _ };
+       Pmem.Ev_persist [ (4160, 8) ];
+      ] ->
+        ()
+      | evs -> Alcotest.failf "unexpected log shape (%d events)" (List.length evs));
+      Alcotest.(check int) "user stores counted" 2 (Pmem.recorded_user_stores pm);
+      Alcotest.(check int) "event count" 5 (Pmem.recorded_event_count pm))
+
+let test_recording_requires_store_data () =
+  in_fiber ~store_data:false (fun _ pm ->
+      match Pmem.set_recording pm true with
+      | () -> Alcotest.fail "set_recording must reject cost-only devices"
+      | exception Invalid_argument _ -> ())
+
+(* Same log => bit-identical image, and the image matches the live
+   device in both content and unflushed-line set. *)
+let test_replay_determinism () =
+  in_fiber (fun _ pm ->
+      Pmem.set_recording pm true;
+      let rng = Rng.create 9 in
+      for i = 0 to 199 do
+        let addr = 4096 + (Rng.int rng 40 * 64) in
+        Pmem.write_u64 pm ~actor:1 ~addr (i + 1);
+        if Rng.int rng 3 = 0 then Pmem.persist pm ~addr ~len:8;
+        if Rng.int rng 7 = 0 then Pmem.persist_ranges pm [ (4096, 512); (8192, 128) ]
+      done;
+      let evs = Pmem.recorded_events pm in
+      let replay () =
+        let img = Pmem.Replay.create () in
+        Pmem.Replay.apply_all img evs;
+        img
+      in
+      let img1 = replay () and img2 = replay () in
+      Alcotest.(check (list int)) "same pages" (Pmem.Replay.pages img1) (Pmem.Replay.pages img2);
+      List.iter
+        (fun pg ->
+          Alcotest.(check bool) "replayed pages bit-identical" true
+            (Bytes.equal (Pmem.Replay.page img1 pg) (Pmem.Replay.page img2 pg)))
+        (Pmem.Replay.pages img1);
+      Alcotest.(check bool) "dirty set matches device" true
+        (Pmem.Replay.dirty img1 = Pmem.dirty_line_list pm);
+      List.iter
+        (fun pg ->
+          Alcotest.(check bool) "image matches device content" true
+            (Bytes.equal (Pmem.Replay.page img1 pg) (Pmem.peek_page pm pg)))
+        (Pmem.Replay.pages img1))
+
+(* Power failure applied to the image and to the device with the same
+   surviving-line predicate yields the same bytes. *)
+let test_crash_select_matches_replay_crash () =
+  in_fiber (fun _ pm ->
+      Pmem.set_recording pm true;
+      for i = 0 to 29 do
+        Pmem.write_u64 pm ~actor:1 ~addr:(4096 + (i * 64)) (i + 100)
+      done;
+      Pmem.persist pm ~addr:4096 ~len:512;
+      let img = Pmem.Replay.create () in
+      Pmem.Replay.apply_all img (Pmem.recorded_events pm);
+      let survives ~page ~line = (page + line) mod 3 = 0 in
+      Pmem.Replay.crash img ~survives;
+      Pmem.crash_select pm ~survives;
+      Alcotest.(check bool) "device dirty drained" true (Pmem.dirty_line_list pm = []);
+      Alcotest.(check bool) "image dirty drained" true (Pmem.Replay.dirty img = []);
+      List.iter
+        (fun pg ->
+          Alcotest.(check bool) "post-crash bytes identical" true
+            (Bytes.equal (Pmem.Replay.page img pg) (Pmem.peek_page pm pg)))
+        (Pmem.Replay.pages img))
+
+(* Freeing a page mid-log: the discard event keeps image and device in
+   lockstep (content gone, pending pre-images dropped). *)
+let test_replay_discard_parity () =
+  in_fiber (fun _ pm ->
+      Pmem.set_recording pm true;
+      Pmem.write_u64 pm ~actor:1 ~addr:8192 77;
+      Pmem.persist pm ~addr:8192 ~len:8;
+      Pmem.write_u64 pm ~actor:1 ~addr:8256 78;
+      Pmem.discard_page pm 2;
+      let img = Pmem.Replay.create () in
+      Pmem.Replay.apply_all img (Pmem.recorded_events pm);
+      Alcotest.(check bool) "dirty sets agree" true
+        (Pmem.Replay.dirty img = Pmem.dirty_line_list pm);
+      Alcotest.(check bool) "discarded page reads as zeros" true
+        (Bytes.equal (Pmem.Replay.page img 2) (Pmem.peek_page pm 2)))
+
 let () =
   Alcotest.run "nvm"
     [
@@ -350,6 +507,19 @@ let () =
           Alcotest.test_case "dirty accounting across pages" `Quick
             test_dirty_accounting_across_pages;
           Alcotest.test_case "zero-copy roundtrip" `Quick test_zero_copy_roundtrip;
+          Alcotest.test_case "injector counts and re-arms" `Quick
+            test_injector_counts_and_rearms;
+          Alcotest.test_case "many dirty lines across pages" `Quick
+            test_many_dirty_lines_across_pages;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "event log order" `Quick test_event_log_order_across_persist_ranges;
+          Alcotest.test_case "recording needs store_data" `Quick
+            test_recording_requires_store_data;
+          Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+          Alcotest.test_case "crash_select parity" `Quick test_crash_select_matches_replay_crash;
+          Alcotest.test_case "discard parity" `Quick test_replay_discard_parity;
         ] );
       ( "materialization",
         [

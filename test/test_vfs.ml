@@ -10,6 +10,7 @@
 
 module Sched = Trio_sim.Sched
 module Stats = Trio_sim.Stats
+module Pmem = Trio_nvm.Pmem
 module Vfs = Trio_core.Vfs
 module Fs = Trio_core.Fs_intf
 module Libfs = Arckfs.Libfs
@@ -200,6 +201,57 @@ let test_reset_clears_everything () =
       Alcotest.(check int) "records again" 1 (Vfs.total_ops vfs))
 
 (* ------------------------------------------------------------------ *)
+(* Crash exploration interplay: instrumentation records an operation
+   only after the fs returns, so a process dying at a store inside an
+   op (Pmem.Crash_point) must leave no phantom count, errno tally or
+   trace entry — and the tallies must still be exact after recovery and
+   remount. *)
+
+let test_mid_op_crash_no_phantom_counts () =
+  Helpers.run_sim (fun env ->
+      let pmem = env.Helpers.pmem in
+      let vfs =
+        Vfs.wrap ~sched:env.Helpers.sched ~trace_capacity:16 (Libfs.ops (Helpers.mount env))
+      in
+      let fs = Vfs.ops vfs in
+      Helpers.check_ok "mkdir" (fs.Fs.mkdir "/a" 0o755);
+      let fd = Helpers.check_ok "create" (fs.Fs.create "/a/f" 0o644) in
+      Helpers.check_ok "close" (fs.Fs.close fd);
+      let before_total = Vfs.total_ops vfs in
+      let before_create = (Vfs.op_stats vfs Vfs.Op_create).Vfs.count in
+      let before_trace = List.length (Vfs.trace vfs) in
+      (* die at the very next LibFS store: inside the create below *)
+      Pmem.fail_after_writes pmem 0;
+      (match fs.Fs.create "/a/g" 0o644 with
+      | _ -> Alcotest.fail "create should have died at a store"
+      | exception Pmem.Crash_point -> ());
+      Pmem.fail_after_writes pmem (-1);
+      Alcotest.(check int) "no phantom op count" before_total (Vfs.total_ops vfs);
+      Alcotest.(check int) "no phantom create" before_create
+        (Vfs.op_stats vfs Vfs.Op_create).Vfs.count;
+      Alcotest.(check int) "no phantom errno tally" 0
+        (List.length (Vfs.op_stats vfs Vfs.Op_create).Vfs.errnos);
+      let entries = Vfs.trace vfs in
+      Alcotest.(check int) "no phantom trace entry" before_trace (List.length entries);
+      if List.exists (fun e -> e.Vfs.te_path = "/a/g") entries then
+        Alcotest.fail "interrupted op leaked into the trace ring";
+      (* power failure + recovery + remount behind a fresh VFS wrap:
+         counters start clean and stay exact *)
+      Pmem.crash pmem;
+      Trio_core.Controller.crash_recover env.Helpers.ctl;
+      let vfs2 =
+        Vfs.wrap ~sched:env.Helpers.sched ~trace_capacity:16
+          (Libfs.ops (Helpers.mount ~proc:2 env))
+      in
+      let fs2 = Vfs.ops vfs2 in
+      Alcotest.(check int) "fresh counters after remount" 0 (Vfs.total_ops vfs2);
+      let names = Helpers.check_ok "readdir" (fs2.Fs.readdir "/a") in
+      Alcotest.(check (list string)) "completed op durable, interrupted one absent" [ "f" ]
+        (List.map (fun e -> e.d_name) names |> List.sort compare);
+      Alcotest.(check int) "exactly one op recorded" 1 (Vfs.total_ops vfs2);
+      Alcotest.(check int) "one trace entry" 1 (List.length (Vfs.trace vfs2)))
+
+(* ------------------------------------------------------------------ *)
 (* Acceptance: the zero-copy pread path performs no per-call buffer
    allocation in steady state on real ArckFS. *)
 
@@ -245,6 +297,11 @@ let () =
         [
           Alcotest.test_case "ring bounded" `Quick test_trace_ring_bounded;
           Alcotest.test_case "reset clears everything" `Quick test_reset_clears_everything;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "mid-op crash leaves no phantom metrics" `Quick
+            test_mid_op_crash_no_phantom_counts;
         ] );
       ( "zero-copy",
         [
