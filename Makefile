@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck
 
 all: build
 
@@ -18,7 +18,18 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick
+check: crashcheck-quick faultcheck
+
+# Media-fault plane gate: pinned-seed fault/scrub regressions, the
+# crash x fault composed exploration, and an end-to-end workload with
+# nonzero injection that must finish with zero uncaught exceptions.
+faultcheck:
+	dune build
+	dune exec test/test_nvm.exe -- test faults
+	dune exec test/test_core.exe -- test scrub
+	dune exec test/test_crash.exe -- test faults
+	dune exec bin/trioctl.exe -- faults --seed 42 --transient-p 0.01 --stuck-p 0.02
+	dune exec bin/trioctl.exe -- scrub --seed 7 --lines 12 --rounds 2
 
 # Bounded deterministic crash-state exploration from the command line:
 # a fixed seed, small scripts, exhaustive subset enumeration.

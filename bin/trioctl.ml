@@ -149,6 +149,229 @@ let attacks_cmd =
   Cmd.v (Cmd.info "attacks" ~doc:"Run the §6.5 integrity attack suite") Term.(const run $ seeds)
 
 (* ------------------------------------------------------------------ *)
+(* faults / scrub: the media-fault plane (DESIGN.md §4.11) *)
+
+let print_fault_counters pmem =
+  let f = Pmem.fault_stats pmem in
+  Printf.printf "media-fault counters:\n";
+  Printf.printf "  transient read faults: %d\n" f.Pmem.transient_faults;
+  Printf.printf "  stuck stores:          %d\n" f.Pmem.stuck_stores;
+  Printf.printf "  poison read hits:      %d\n" f.Pmem.poison_read_hits;
+  Printf.printf "  poison repaired:       %d\n" f.Pmem.poison_repaired;
+  Printf.printf "  poisoned lines now:    %d\n" f.Pmem.poisoned_now
+
+let print_poison_list pmem =
+  match Pmem.poisoned_lines pmem with
+  | [] -> Printf.printf "poisoned lines: none\n"
+  | lines ->
+    let shown = List.filteri (fun i _ -> i < 16) lines in
+    Printf.printf "poisoned lines (%d total): %s%s\n" (List.length lines)
+      (String.concat ", "
+         (List.map (fun (pg, ln) -> Printf.sprintf "%d:%d" pg ln) shown))
+      (if List.length lines > 16 then ", ..." else "")
+
+let faults_cmd =
+  let run fs_name seed transient_p stuck_p inject clear files file_kb =
+    let inject_ranges =
+      List.map
+        (fun s ->
+          match String.split_on_char ':' s with
+          | [ a; l ] -> (
+            match (int_of_string_opt a, int_of_string_opt l) with
+            | Some a, Some l when l > 0 -> (a, l)
+            | _ ->
+              Printf.eprintf "bad --inject %S (want ADDR:LEN)\n" s;
+              exit 2)
+          | _ ->
+            Printf.eprintf "bad --inject %S (want ADDR:LEN)\n" s;
+            exit 2)
+        inject
+    in
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let pmem = rig.Trio_workloads.Rig.pmem in
+        let ctl = rig.Trio_workloads.Rig.ctl in
+        let vfs = Rig.mount_fs rig fs_name in
+        let fs = Vfs.ops vfs in
+        Pmem.set_fault_injection pmem ~seed ~transient_read_p:transient_p
+          ~stuck_store_p:stuck_p ();
+        Printf.printf "fault injection armed: seed %d, transient-read p=%g, stuck-store p=%g\n"
+          seed transient_p stuck_p;
+        List.iter
+          (fun (addr, len) ->
+            Pmem.inject_poison pmem ~addr ~len;
+            Printf.printf "injected latent poison: addr %d, %d bytes\n" addr len)
+          inject_ranges;
+        (* conformance + fio-style sweep under live injection: the only
+           hard requirement is graceful degradation — every operation
+           returns Ok or a clean errno, nothing throws *)
+        let oks = ref 0 in
+        let errs = Hashtbl.create 8 in
+        let note = function
+          | Ok _ -> incr oks
+          | Error e ->
+            let k = Trio_core.Fs_types.errno_to_string e in
+            Hashtbl.replace errs k (1 + Option.value ~default:0 (Hashtbl.find_opt errs k))
+        in
+        let outcome =
+          try
+            note (Result.map (fun () -> ()) (fs.Fs.mkdir "/fio" 0o755));
+            for i = 0 to files - 1 do
+              let path = Printf.sprintf "/fio/f%03d" i in
+              let body = String.make (file_kb * 1024) (Char.chr (Char.code 'a' + (i mod 26))) in
+              note (Result.map (fun () -> ()) (Fs.write_file fs path body));
+              note (Result.map (fun _ -> ()) (Fs.read_file fs path));
+              note (Result.map (fun _ -> ()) (fs.Fs.stat path));
+              if i mod 4 = 0 then begin
+                let target = Printf.sprintf "/fio/r%03d" i in
+                note (Result.map (fun () -> ()) (fs.Fs.rename path target));
+                note (Result.map (fun () -> ()) (fs.Fs.unlink target))
+              end
+            done;
+            note (Result.map (fun _ -> ()) (fs.Fs.readdir "/fio"));
+            Ok ()
+          with exn -> Error exn
+        in
+        (match outcome with
+        | Ok () -> Printf.printf "workload completed: no uncaught exceptions\n"
+        | Error exn -> Printf.printf "UNCAUGHT EXCEPTION: %s\n" (Printexc.to_string exn));
+        Printf.printf "operations: %d ok" !oks;
+        Hashtbl.iter (fun k v -> Printf.printf ", %d %s" v k) errs;
+        Printf.printf "\n";
+        print_fault_counters pmem;
+        print_poison_list pmem;
+        (match Controller.badblocks ctl with
+        | [] -> Printf.printf "badblock quarantine: empty\n"
+        | bad ->
+          Printf.printf "badblock quarantine: %s\n"
+            (String.concat ", " (List.map string_of_int bad)));
+        Format.printf "per-op counters (media-faults column when nonzero):@.%a" Vfs.pp_breakdown
+          vfs;
+        if clear then begin
+          Pmem.clear_fault_injection pmem;
+          Pmem.clear_poison pmem;
+          Printf.printf "fault injection cleared; poisoned lines now: %d\n"
+            (Pmem.poisoned_count pmem)
+        end;
+        match outcome with Ok () -> 0 | Error _ -> 1)
+  in
+  let fs_arg =
+    Arg.(value & opt string "arckfs" & info [ "fs" ] ~docv:"FS" ~doc:"File system to exercise")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault-injection seed") in
+  let transient_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "transient-p" ] ~docv:"P" ~doc:"Per-access transient read-fault probability")
+  in
+  let stuck_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "stuck-p" ] ~docv:"P" ~doc:"Per-store stuck-at failure probability")
+  in
+  let inject_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject" ] ~docv:"ADDR:LEN"
+          ~doc:"Inject latent poison over a byte range (repeatable)")
+  in
+  let clear_arg =
+    Arg.(
+      value & flag
+      & info [ "clear" ] ~doc:"Clear fault injection and all poison after the workload")
+  in
+  let files_arg =
+    Arg.(value & opt int 24 & info [ "files" ] ~doc:"Files in the fio-style sweep")
+  in
+  let kb_arg = Arg.(value & opt int 16 & info [ "file-kb" ] ~doc:"File size in KiB") in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a conformance + fio-style workload with the media-fault plane armed, then list \
+          fault counters, poisoned lines and the badblock quarantine")
+    Term.(
+      const run $ fs_arg $ seed_arg $ transient_arg $ stuck_arg $ inject_arg $ clear_arg
+      $ files_arg $ kb_arg)
+
+let scrub_cmd =
+  let module Scrub = Trio_core.Scrub in
+  let run seed lines rounds files =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let pmem = rig.Trio_workloads.Rig.pmem in
+        let ctl = rig.Trio_workloads.Rig.ctl in
+        let libfs = Rig.mount_arckfs ~delegated:false rig in
+        let fs = Libfs.ops libfs in
+        ok "mkdir" (fs.Fs.mkdir "/scrub" 0o755);
+        let paths =
+          List.init files (fun i ->
+              let path = Printf.sprintf "/scrub/f%03d" i in
+              ok "write"
+                (Fs.write_file fs path (String.make ((i * 977 mod 12000) + 64) 'd'));
+              path)
+        in
+        (* the sharing point: ingestion verifies and checkpoints the tree *)
+        Libfs.unmap_everything libfs;
+        (* seeded latent poison over in-file pages only: the interesting
+           scrub paths (checkpoint repair, migration, quarantine) *)
+        let rng = Trio_util.Rng.create seed in
+        let in_file =
+          List.filter
+            (fun pg ->
+              match Controller.page_owner_of ctl pg with
+              | Controller.In_file _ -> true
+              | _ -> false)
+            (List.init (Pmem.total_pages pmem) Fun.id)
+          |> Array.of_list
+        in
+        if Array.length in_file = 0 then begin
+          Printf.eprintf "no in-file pages to poison\n";
+          exit 1
+        end;
+        for _ = 1 to lines do
+          let page = in_file.(Trio_util.Rng.int rng (Array.length in_file)) in
+          Pmem.poison_line pmem ~page ~line:(Trio_util.Rng.int rng Pmem.lines_per_page)
+        done;
+        Printf.printf "injected %d poisoned lines across %d in-file pages\n" lines
+          (Array.length in_file);
+        let stats = Scrub.make_stats () in
+        for _ = 1 to rounds do
+          ignore (Scrub.patrol_once ~stats ctl : Scrub.stats)
+        done;
+        Format.printf "patrol scrubber (%d rounds):@.%a@." rounds Scrub.pp_stats stats;
+        (match Controller.badblocks ctl with
+        | [] -> Printf.printf "badblock quarantine: empty\n"
+        | bad ->
+          Printf.printf "badblock quarantine: %s\n"
+            (String.concat ", " (List.map string_of_int bad)));
+        Printf.printf "poisoned lines remaining: %d\n" (Pmem.poisoned_count pmem);
+        (* remount and sweep: repaired files read back, degraded ones
+           answer with clean errnos *)
+        let libfs2 = Rig.mount_arckfs ~delegated:false rig in
+        let fs2 = Libfs.ops libfs2 in
+        let full = ref 0 and errno = ref 0 in
+        List.iter
+          (fun path ->
+            match Fs.read_file fs2 path with
+            | Ok _ -> incr full
+            | Error _ -> incr errno)
+          paths;
+        Printf.printf "post-scrub sweep: %d/%d files readable, %d clean errnos, 0 exceptions\n"
+          !full (List.length paths) !errno;
+        0)
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Poison-placement seed") in
+  let lines_arg =
+    Arg.(value & opt int 12 & info [ "lines" ] ~docv:"N" ~doc:"Latent poisoned lines to inject")
+  in
+  let rounds_arg = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Patrol passes to run") in
+  let files_arg = Arg.(value & opt int 40 & info [ "files" ] ~doc:"Files to build beforehand") in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Poison live pages, run the controller patrol scrubber, and report repairs, migrations \
+          and quarantined pages")
+    Term.(const run $ seed_arg $ lines_arg $ rounds_arg $ files_arg)
+
+(* ------------------------------------------------------------------ *)
 (* stats / trace: per-op observability of the VFS dispatch layer *)
 
 (* Scripted mixed workload: data and metadata ops, plus a few operations
@@ -426,6 +649,17 @@ let () =
   let doc = "Trio/ArckFS userspace NVM file system simulator" in
   let main =
     Cmd.group (Cmd.info "trioctl" ~doc)
-      [ info_cmd; smoke_cmd; fsck_cmd; attacks_cmd; crashcheck_cmd; micro_cmd; stats_cmd; trace_cmd ]
+      [
+        info_cmd;
+        smoke_cmd;
+        fsck_cmd;
+        attacks_cmd;
+        crashcheck_cmd;
+        faults_cmd;
+        scrub_cmd;
+        micro_cmd;
+        stats_cmd;
+        trace_cmd;
+      ]
   in
   exit (Cmd.eval' main)

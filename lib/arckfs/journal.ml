@@ -91,25 +91,41 @@ let commit t slot =
 
 (* Recovery: roll back every uncommitted transaction by applying undo
    records newest-first.  Runs as the LibFS' registered crash-recovery
-   program, before the controller re-verifies write-mapped files. *)
+   program, before the controller re-verifies write-mapped files.
+
+   Journal reads go through the ECC interface ({!Pmem.read_ecc}): a
+   poisoned cacheline inside the log must not crash recovery.  A
+   poisoned header means the live-entry count is untrustworthy — the
+   slot is treated as idle (entries were pre-images; losing them leaves
+   the in-place state, which the verifier then checks).  A poisoned
+   record truncates the replay at the damaged entry: undo records are
+   applied newest-first, and everything logged *before* the damaged
+   record describes state the operation had not yet overwritten. *)
 let recover t =
   Array.iteri
     (fun slot pg ->
       let page_addr = pg * Pmem.page_size in
-      let count = Pmem.read_u64 t.pmem ~actor:t.actor ~addr:page_addr in
+      let count =
+        match Pmem.read_ecc t.pmem ~actor:t.actor ~addr:page_addr ~len:header_size with
+        | Pmem.Ecc.Ok b -> Layout.get_u64 b 0
+        | Pmem.Ecc.Poisoned _ -> 0
+      in
       if count > 0 && count < Pmem.page_size then begin
         (* Collect entries in order. *)
         let entries = ref [] in
         let off = ref header_size in
+        let read_ecc ~addr ~len =
+          match Pmem.read_ecc t.pmem ~actor:t.actor ~addr ~len with
+          | Pmem.Ecc.Ok b -> b
+          | Pmem.Ecc.Poisoned _ -> raise Exit (* truncate at the damaged record *)
+        in
         (try
            for _ = 1 to count do
-             let hdr = Pmem.read t.pmem ~actor:t.actor ~addr:(page_addr + !off) ~len:entry_header in
+             let hdr = read_ecc ~addr:(page_addr + !off) ~len:entry_header in
              let addr = Layout.get_u64 hdr 0 in
              let len = Layout.get_u16 hdr 8 in
              if len = 0 || !off + entry_header + len > Pmem.page_size then raise Exit;
-             let data =
-               Pmem.read t.pmem ~actor:t.actor ~addr:(page_addr + !off + entry_header) ~len
-             in
+             let data = read_ecc ~addr:(page_addr + !off + entry_header) ~len in
              entries := (addr, data) :: !entries;
              off := !off + entry_header + len
            done

@@ -77,7 +77,7 @@ type t = {
   proc : int;
   cred : cred;
   cache : Alloc_cache.t;
-  journal : Journal.t;
+  journal : Journal.t option; (* None: journal pages unavailable; rename degrades to ENOSPC *)
   delegation : Delegation.t option;
   dirs : (int, dir_state) Hashtbl.t;
   files : (int, file_state) Hashtbl.t;
@@ -106,7 +106,7 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
     match !t_ref with
     | None -> ()
     | Some t ->
-      Journal.recover t.journal;
+      Option.iter Journal.recover t.journal;
       let actor = t.proc in
       (* Reconcile a regular file whose size and index chain were torn
          by the crash: append links the new index entry before bumping
@@ -159,8 +159,20 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
                ~max_pages:(Pmem.total_pages pmem) (fun ~index_page:_ ~entries ~next:_ ->
                  Array.iter
                    (fun pg ->
-                     if pg <> 0 then begin
-                       let b = Pmem.read pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+                     (* poisoned dentry pages are skipped wholesale: their
+                        slots can't be trusted, and the scrubber repairs
+                        the page from the controller checkpoint later *)
+                     match
+                       if pg = 0 then None
+                       else
+                         match
+                           Pmem.read_ecc pmem ~actor ~addr:(pg * page_size) ~len:page_size
+                         with
+                         | Pmem.Ecc.Ok b -> Some b
+                         | Pmem.Ecc.Poisoned _ -> None
+                     with
+                     | None -> ()
+                     | Some b ->
                        for slot = 0 to Layout.dentries_per_page - 1 do
                          if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then begin
                            incr count;
@@ -173,8 +185,7 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
                              | Dir -> repair_dir ~dentry_addr:addr child)
                            | _ -> ()
                          end
-                       done
-                     end)
+                       done)
                    entries));
           if !count <> inode.Layout.size then Layout.write_size pmem ~actor ~dentry_addr !count
         end
@@ -194,12 +205,24 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
   let cpus = Numa.total_cpus topo in
   let cpus_per_node = Numa.cpus_per_node topo in
   let jpages = Array.make cpus 0 in
+  let jalloc_ok = ref true in
+  let jallocated = ref [] in
   for node = 0 to Numa.nodes topo - 1 do
     match Controller.alloc_pages ctl ~proc ~node ~count:cpus_per_node ~kind:Pmem.Meta with
-    | Ok pages -> List.iteri (fun i pg -> jpages.((node * cpus_per_node) + i) <- pg) pages
-    | Error _ -> failwith "Libfs.mount: cannot allocate journal pages"
+    | Ok pages ->
+      jallocated := pages @ !jallocated;
+      List.iteri (fun i pg -> jpages.((node * cpus_per_node) + i) <- pg) pages
+    | Error _ -> jalloc_ok := false
   done;
-  let journal = Journal.create ~pmem ~actor:proc ~pages:jpages in
+  (* A full device is not a mount failure: mount without a journal and
+     let the one operation that needs it (rename) fail with ENOSPC. *)
+  let journal =
+    if !jalloc_ok then Some (Journal.create ~pmem ~actor:proc ~pages:jpages)
+    else begin
+      if !jallocated <> [] then ignore (Controller.free_pages ctl ~proc ~pages:!jallocated);
+      None
+    end
+  in
   let t =
     {
       ctl;
@@ -264,7 +287,13 @@ let build_dir_aux t ~ino ~addr =
                  (fun pg ->
                    if pg <> 0 then begin
                      d.d_data_pages <- d.d_data_pages @ [ pg ];
-                     let b = Pmem.read t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size in
+                     (* a poisoned page contributes neither names nor free
+                        slots: its dentries are unreadable but must not be
+                        reused before the scrubber restores the page from
+                        the controller checkpoint *)
+                     match Pmem.read_ecc t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size with
+                     | Pmem.Ecc.Poisoned _ -> ()
+                     | Pmem.Ecc.Ok b ->
                      for slot = 0 to Layout.dentries_per_page - 1 do
                        Sched.cpu_work Perf.Cpu.hash_lookup;
                        let block = Bytes.sub b (slot * Layout.dentry_size) Layout.dentry_size in
@@ -471,13 +500,25 @@ let free_pages_lazily t pages =
 
 (* Retry wrapper: a revoked lease surfaces as an MMU fault; rebuild the
    affected auxiliary state and re-run the operation (paper §3.2: the
-   LibFS re-requests access and rebuilds). *)
+   LibFS re-requests access and rebuilds).
+
+   Media faults are handled here too (DESIGN.md §4.11): a *transient*
+   read fault is retried with exponential backoff — the soft error
+   clears on a later attempt, and the backoff gives a concurrent patrol
+   scrub a chance to run.  A *non-transient* fault means the access
+   overlaps latently poisoned lines: retrying cannot help, so the
+   operation fails cleanly with EIO and the damage is left for the
+   scrubber.  A [Bounds] violation is a caller bug, not a device state:
+   it surfaces as EINVAL.  Exhausted retries degrade to an errno rather
+   than letting the exception escape the LibFS boundary. *)
 let max_fault_retries = 16
+let max_media_retries = 8
+let media_backoff_ns = 200.0
 
 let with_retry t f =
-  let rec go n =
-    try f ()
-    with Pmem.Mmu_fault { page; _ } when n > 0 ->
+  let rec go n m =
+    try f () with
+    | Pmem.Mmu_fault { page; _ } when n > 0 ->
       (match Controller.page_owner_of t.ctl page with
       | Controller.In_file ino -> drop_aux t ino
       | _ ->
@@ -485,9 +526,18 @@ let with_retry t f =
         Hashtbl.reset t.dirs;
         Hashtbl.reset t.files;
         t.root <- None);
-      go (n - 1)
+      go (n - 1) m
+    | Pmem.Mmu_fault _ -> Error EAGAIN
+    | Pmem.Media_fault { transient = true; _ } when m > 0 ->
+      Stats.incr t.stats "libfs.media.retries";
+      Sched.delay (media_backoff_ns *. float_of_int (1 lsl (max_media_retries - m)));
+      go n (m - 1)
+    | Pmem.Media_fault _ ->
+      Stats.incr t.stats "libfs.media.eio";
+      Error EIO
+    | Pmem.Bounds _ -> Error EINVAL
   in
-  go max_fault_retries
+  go max_fault_retries max_media_retries
 
 (* ------------------------------------------------------------------ *)
 (* Path resolution *)
@@ -644,13 +694,15 @@ let create_entry t (d : dir_state) name ~ftype ~mode =
 let collect_runs (f : file_state) ~off ~len =
   let runs = ref [] in
   let pos = ref off and remaining = ref len in
-  while !remaining > 0 do
+  let hole = ref false in
+  while !remaining > 0 && not !hole do
     let fpi = !pos / page_size in
     Sched.cpu_work Perf.Cpu.radix_step;
     (match Radix.find f.r_index fpi with
     | None ->
-      (* hole: should not happen within size; treat as error *)
-      invalid_arg "Libfs: hole in file index"
+      (* hole within size: the index chain is damaged (torn or media
+         loss); surface EIO instead of throwing at the caller *)
+      hole := true
     | Some pg ->
       let in_page = !pos mod page_size in
       let chunk = min !remaining (page_size - in_page) in
@@ -662,7 +714,7 @@ let collect_runs (f : file_state) ~off ~len =
       pos := !pos + chunk;
       remaining := !remaining - chunk)
   done;
-  List.rev !runs
+  if !hole then Error EIO else Ok (List.rev !runs)
 
 let do_data_io t ~write ~buf runs ~len =
   Sched.cpu_work (Perf.Cpu.memcpy_per_byte *. float_of_int len);
@@ -794,7 +846,7 @@ let write_at t (f : file_state) ~buf ~off =
       Sync.Rwlock.with_read f.r_ilock (fun () ->
           Sync.Range_lock.with_range f.r_range ~lo:off ~hi:(end_ - 1) Sync.Range_lock.Write
             (fun () ->
-              let runs = collect_runs f ~off ~len in
+              let* runs = collect_runs f ~off ~len in
               do_data_io t ~write:true ~buf runs ~len;
               persist_runs t runs;
               Ok len))
@@ -805,7 +857,7 @@ let write_at t (f : file_state) ~buf ~off =
           | Error e -> Error e
           | Ok () ->
             zero_after_eof t f ~old_size:f.r_size ~upto:off;
-            let runs = collect_runs f ~off ~len in
+            let* runs = collect_runs f ~off ~len in
             do_data_io t ~write:true ~buf runs ~len;
             persist_runs t runs;
             if end_ > f.r_size then begin
@@ -824,7 +876,7 @@ let read_at t (f : file_state) ~buf ~off =
       else
         Sync.Range_lock.with_range f.r_range ~lo:off ~hi:(off + len - 1) Sync.Range_lock.Read
           (fun () ->
-            let runs = collect_runs f ~off ~len in
+            let* runs = collect_runs f ~off ~len in
             do_data_io t ~write:false ~buf runs ~len;
             Ok len))
 
@@ -1178,6 +1230,9 @@ let op_rename t src dst =
         | Some { e_ftype = Dir; _ } -> finish (Error EEXIST)
         | Some _ when src_ref.e_ftype = Dir -> finish (Error EEXIST)
         | existing -> (
+          match t.journal with
+          | None -> finish (Error ENOSPC) (* no journal pages: cannot rename atomically *)
+          | Some journal -> (
           match claim_slot t dd with
           | Error e -> finish (Error e)
           | Ok (pg, slot) ->
@@ -1186,17 +1241,17 @@ let op_rename t src dst =
                source dentry (it is cleared), only the ino field of the
                destination slot (it was free: undo = clear it again),
                and the size fields when two directories are involved *)
-            let tx = Journal.begin_tx t.journal in
-            Journal.log t.journal tx ~addr:src_ref.e_addr ~len:Layout.dentry_size;
-            Journal.log t.journal tx ~addr:dst_addr ~len:8;
+            let tx = Journal.begin_tx journal in
+            Journal.log journal tx ~addr:src_ref.e_addr ~len:Layout.dentry_size;
+            Journal.log journal tx ~addr:dst_addr ~len:8;
             (match existing with
-            | Some er -> Journal.log t.journal tx ~addr:er.e_addr ~len:8
+            | Some er -> Journal.log journal tx ~addr:er.e_addr ~len:8
             | None -> ());
             if sd.d_ino <> dd.d_ino then begin
-              Journal.log t.journal tx ~addr:(sd.d_addr + Layout.off_size) ~len:8;
-              Journal.log t.journal tx ~addr:(dd.d_addr + Layout.off_size) ~len:8
+              Journal.log journal tx ~addr:(sd.d_addr + Layout.off_size) ~len:8;
+              Journal.log journal tx ~addr:(dd.d_addr + Layout.off_size) ~len:8
             end;
-            Journal.seal t.journal tx;
+            Journal.seal journal tx;
             (* copy the dentry under the new name *)
             (match Layout.read_dentry t.pmem ~actor:t.proc ~addr:src_ref.e_addr with
             | Some (Ok (inode, _)) ->
@@ -1214,7 +1269,7 @@ let op_rename t src dst =
                 Hashtbl.remove t.files er.e_ino
               | None -> ());
               Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:src_ref.e_addr;
-              Journal.commit t.journal tx;
+              Journal.commit journal tx;
               (* auxiliary state *)
               ignore (Htbl.remove sd.d_names sname);
               let spage = src_ref.e_addr / page_size in
@@ -1246,7 +1301,7 @@ let op_rename t src dst =
                 if sd.d_ino <> dd.d_ino then unmap t sd.d_ino
               end;
               finish (Ok ())
-            | _ -> finish (Error EIO)))))
+            | _ -> finish (Error EIO))))))
 
 (* Data and metadata are persisted synchronously (§4.4): fsync only has
    to validate the descriptor. *)

@@ -444,3 +444,192 @@ let explore ?(config = default_config) ops =
   | Some cx when config.shrink ->
     { outcome with counterexample = Some (shrink_counterexample config cx) }
   | _ -> outcome
+
+(* ------------------------------------------------------------------ *)
+(* Crash x media-fault composition (DESIGN.md §4.11)
+
+   The atomicity/durability model above assumes the medium is honest:
+   what was persisted reads back.  With the media-fault plane armed,
+   data genuinely disappears — stuck stores latch wrong, latent poison
+   survives the power failure — so the checked property weakens from
+   "the namespace matches the model" to *graceful degradation*: every
+   operation after recovery returns [Ok] or a clean errno (never an
+   uncaught exception), the controller's patrol scrubber runs to
+   completion, and the namespace stays enumerable afterwards.
+
+   Replay fidelity cannot compose with fault injection (poisoning
+   scrambles content outside the event log), so this path never
+   cross-checks replayed images; everything else is replayable from
+   [fault_seed] alone. *)
+
+module Fs = Trio_core.Fs_intf
+module Scrub = Trio_core.Scrub
+
+type fault_config = {
+  fault_seed : int; (* drives injection draws, survivors and poison placement *)
+  transient_read_p : float; (* per-access soft read-error probability *)
+  stuck_store_p : float; (* per-store latch-failure probability *)
+  fault_crash_points : int; (* crash indices sampled per script *)
+  poison_lines : int; (* latent poison torn into in-flight lines at the crash *)
+  scrub_rounds : int; (* patrol passes between the two degradation sweeps *)
+}
+
+let default_fault_config =
+  {
+    fault_seed = 1;
+    transient_read_p = 0.01;
+    stuck_store_p = 0.02;
+    fault_crash_points = 8;
+    poison_lines = 2;
+    scrub_rounds = 2;
+  }
+
+type fault_report = {
+  fr_crash_points : int;
+  fr_states : int;
+  fr_transient : int; (* soft read errors drawn across all states *)
+  fr_stuck : int; (* stores that latched wrong across all states *)
+  fr_poison_injected : int; (* latent poison lines injected at crashes *)
+  fr_repaired : int; (* scrubber: lines restored from checkpoints *)
+  fr_migrated : int; (* scrubber: pages migrated off damaged media *)
+  fr_quarantined : int; (* scrubber: pages retired to the badblock list *)
+  fr_failure : counterexample option;
+}
+
+let pp_fault_report ppf r =
+  Fmt.pf ppf
+    "crash points %d  states %d  transient %d  stuck %d  poison-injected %d@.scrub: repaired %d  migrated %d  quarantined %d@.%s"
+    r.fr_crash_points r.fr_states r.fr_transient r.fr_stuck r.fr_poison_injected r.fr_repaired
+    r.fr_migrated r.fr_quarantined
+    (match r.fr_failure with
+    | None -> "graceful degradation held in every state"
+    | Some cx -> Fmt.str "FAILED:@.%a" pp_counterexample cx)
+
+(* One crash+fault state: run the script with the injector armed, die
+   after [crash_index] stores, power-fail with a seeded random surviving
+   subset, tear latent poison into lines that were in flight, then
+   recover, remount, scrub, and sweep for graceful degradation.  Model
+   divergence is *expected* here (faults change outcomes); the model
+   only supplies the universe of paths to probe. *)
+let check_faulted_state cfg ?(poison_candidates = []) ops ~crash_index ~state_seed =
+  in_world (fun ~sched ~pmem ~mmu ->
+      let rng = Rng.create state_seed in
+      let ctl = Controller.create ~sched ~pmem ~mmu () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      let model = Script.model_create () in
+      (* arm only after a clean mount: one seeded draw stream per state *)
+      Pmem.set_fault_injection pmem ~seed:state_seed ~transient_read_p:cfg.transient_read_p
+        ~stuck_store_p:cfg.stuck_store_p ();
+      Pmem.fail_after_writes pmem crash_index;
+      let scrub_stats = Scrub.make_stats () in
+      let injected = ref 0 in
+      let result =
+        try
+          (try
+             List.iteri (fun i op -> ignore (Script.apply fs model i op : (unit, string) result)) ops
+           with Pmem.Crash_point -> ());
+          Pmem.fail_after_writes pmem (-1);
+          (* power failure: seeded random survivors among the unflushed
+             lines, plus latent poison torn into some in-flight lines *)
+          let dirty = Pmem.dirty_line_list pmem in
+          let keep = Hashtbl.create 16 in
+          List.iter (fun k -> if Rng.bool rng then Hashtbl.replace keep k ()) dirty;
+          Pmem.crash_select pmem ~survives:(fun ~page ~line -> Hashtbl.mem keep (page, line));
+          (* latent poison: media degrades anywhere in live data, not just
+             in the lines that were mid-flight — targets are drawn from
+             every page the script had stored to by this crash point
+             (line -1 = pick one of the page's lines), plus the in-flight
+             lines themselves *)
+          let arr =
+            Array.of_list
+              (List.rev_append dirty (List.map (fun pg -> (pg, -1)) poison_candidates))
+          in
+          if Array.length arr > 0 then
+            for _ = 1 to cfg.poison_lines do
+              let page, line = arr.(Rng.int rng (Array.length arr)) in
+              let line = if line < 0 then Rng.int rng Pmem.lines_per_page else line in
+              Pmem.poison_line pmem ~page ~line;
+              incr injected
+            done;
+          Controller.crash_recover ctl;
+          let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred () in
+          let fs2 = Libfs.ops libfs2 in
+          let probe () =
+            (match fs2.Fs.readdir "/" with Ok _ | Error _ -> ());
+            Hashtbl.iter
+              (fun path _ ->
+                (match Fs.read_file fs2 path with Ok _ | Error _ -> ());
+                (* writes must degrade to EROFS/EIO, never throw *)
+                match fs2.Fs.open_ path [ Trio_core.Fs_types.O_RDWR ] with
+                | Ok fd ->
+                  (match fs2.Fs.pwrite fd (Bytes.of_string "x") 0 with Ok _ | Error _ -> ());
+                  (match fs2.Fs.close fd with Ok () | Error _ -> ())
+                | Error _ -> ())
+              model.Script.files
+          in
+          probe ();
+          for _ = 1 to cfg.scrub_rounds do
+            ignore (Scrub.patrol_once ~stats:scrub_stats ctl : Scrub.stats)
+          done;
+          probe ();
+          Ok ()
+        with exn ->
+          Error
+            (Printf.sprintf "uncaught exception (crash index %d, seed %d): %s" crash_index
+               state_seed (Printexc.to_string exn))
+      in
+      (result, Pmem.fault_stats pmem, !injected, scrub_stats))
+
+let explore_faults ?(config = default_fault_config) ops =
+  let recording = record ops in
+  let n = recording.rec_n_stores in
+  let indices =
+    if n + 1 <= config.fault_crash_points then List.init (n + 1) Fun.id
+    else
+      List.sort_uniq compare
+        (List.init config.fault_crash_points (fun i ->
+             i * n / max 1 (config.fault_crash_points - 1)))
+  in
+  let report =
+    ref
+      {
+        fr_crash_points = List.length indices;
+        fr_states = 0;
+        fr_transient = 0;
+        fr_stuck = 0;
+        fr_poison_injected = 0;
+        fr_repaired = 0;
+        fr_migrated = 0;
+        fr_quarantined = 0;
+        fr_failure = None;
+      }
+  in
+  List.iter
+    (fun idx ->
+      if (!report).fr_failure = None then begin
+        let state_seed = config.fault_seed + (idx * 2654435761) + 1 in
+        let poison_candidates = Pmem.Replay.pages (image_at recording ~crash_index:idx) in
+        let result, fstats, injected, scrub =
+          check_faulted_state config ~poison_candidates ops ~crash_index:idx ~state_seed
+        in
+        let r = !report in
+        report :=
+          {
+            r with
+            fr_states = r.fr_states + 1;
+            fr_transient = r.fr_transient + fstats.Pmem.transient_faults;
+            fr_stuck = r.fr_stuck + fstats.Pmem.stuck_stores;
+            fr_poison_injected = r.fr_poison_injected + injected;
+            fr_repaired = r.fr_repaired + scrub.Scrub.repaired;
+            fr_migrated = r.fr_migrated + scrub.Scrub.migrated;
+            fr_quarantined = r.fr_quarantined + scrub.Scrub.quarantined;
+            fr_failure =
+              (match result with
+              | Ok () -> None
+              | Error d ->
+                Some { cx_ops = ops; cx_crash_index = idx; cx_survivors = []; cx_detail = d });
+          }
+      end)
+    indices;
+  !report

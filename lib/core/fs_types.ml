@@ -19,7 +19,8 @@ type errno =
   | ENOSPC (* no space left on device *)
   | ENAMETOOLONG
   | EAGAIN (* resource temporarily unavailable (lease contention) *)
-  | EIO (* metadata corruption detected / quarantined file *)
+  | EIO (* metadata corruption detected / quarantined file / bad media *)
+  | EROFS (* file degraded to read-only after unrepairable media damage *)
 
 let errno_to_string = function
   | ENOENT -> "ENOENT"
@@ -34,6 +35,7 @@ let errno_to_string = function
   | ENAMETOOLONG -> "ENAMETOOLONG"
   | EAGAIN -> "EAGAIN"
   | EIO -> "EIO"
+  | EROFS -> "EROFS"
 
 let pp_errno ppf e = Fmt.string ppf (errno_to_string e)
 
@@ -51,10 +53,11 @@ let errno_index = function
   | ENAMETOOLONG -> 9
   | EAGAIN -> 10
   | EIO -> 11
+  | EROFS -> 12
 
 let all_errnos =
   [ ENOENT; EEXIST; ENOTDIR; EISDIR; ENOTEMPTY; EACCES; EBADF; EINVAL; ENOSPC;
-    ENAMETOOLONG; EAGAIN; EIO ]
+    ENAMETOOLONG; EAGAIN; EIO; EROFS ]
 
 let errno_count = List.length all_errnos
 

@@ -138,9 +138,18 @@ let encode_dentry ~(inode : inode) ~name : Bytes.t =
 (* ------------------------------------------------------------------ *)
 (* NVM accessors.  [actor] is the accessing process: MMU-checked. *)
 
+(* Metadata reads go through the ECC-checked path for userspace actors:
+   an uncorrectable (poisoned) block degrades to a decode error instead
+   of a machine-check-style exception — lookups fail with a clean errno
+   and the patrol scrubber repairs or quarantines the page later.  The
+   kernel keeps the raw path: the verifier audits scrambled content
+   directly and must never have it masked. *)
 let read_dentry pm ~actor ~addr =
-  let b = Pmem.read pm ~actor ~addr ~len:dentry_size in
-  decode_dentry b
+  if actor = Pmem.kernel_actor then decode_dentry (Pmem.read pm ~actor ~addr ~len:dentry_size)
+  else
+    match Pmem.read_ecc pm ~actor ~addr ~len:dentry_size with
+    | Pmem.Ecc.Ok b -> decode_dentry b
+    | Pmem.Ecc.Poisoned _ -> Some (Error "dentry block poisoned (uncorrectable media error)")
 
 (* Write a dentry block following the crash-consistent create protocol:
    persist everything with ino = 0, then persist the 8-byte ino store. *)
@@ -198,12 +207,23 @@ let write_index_next pm ~actor ~page v =
   Pmem.write_u64 pm ~actor ~addr:((page * page_size) + index_next_off) v;
   Pmem.persist pm ~addr:((page * page_size) + index_next_off) ~len:8
 
-(* Read a whole index page at once (one NVM access) and decode it. *)
+(* Read a whole index page at once (one NVM access) and decode it.
+   Userspace actors use the ECC path: a poisoned index page reads as
+   empty with no successor — the file appears truncated (reads hit
+   holes, clean EIO) until the scrubber restores the page from the
+   controller checkpoint. *)
 let read_index_page pm ~actor ~page =
-  let b = Pmem.read pm ~actor ~addr:(page * page_size) ~len:page_size in
-  let entries = Array.init index_entries (fun i -> get_u64 b (i * 8)) in
-  let next = get_u64 b index_next_off in
-  (entries, next)
+  let decode b =
+    let entries = Array.init index_entries (fun i -> get_u64 b (i * 8)) in
+    let next = get_u64 b index_next_off in
+    (entries, next)
+  in
+  if actor = Pmem.kernel_actor then
+    decode (Pmem.read pm ~actor ~addr:(page * page_size) ~len:page_size)
+  else
+    match Pmem.read_ecc pm ~actor ~addr:(page * page_size) ~len:page_size with
+    | Pmem.Ecc.Ok b -> decode b
+    | Pmem.Ecc.Poisoned _ -> (Array.make index_entries 0, 0)
 
 (* Walk the index-page chain of a file, calling [f ~index_page ~entries
    ~next] per page.  Cycle-safe: stops (returning [Error]) if a chain

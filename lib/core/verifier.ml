@@ -54,7 +54,10 @@ type view = {
          write-mapped by the same process. *)
 }
 
-type violation = { check : [ `I1 | `I2 | `I3 | `I4 ]; detail : string }
+(* [`Media] is not one of the paper's I1..I4 invariants: it records an
+   unrepairable media fault found by the patrol scrubber (see {!Scrub}),
+   reusing the same corruption-event plumbing. *)
+type violation = { check : [ `I1 | `I2 | `I3 | `I4 | `Media ]; detail : string }
 
 type child = { c_ino : int; c_ftype : Fs_types.ftype; c_dentry_addr : int; c_name : string }
 
@@ -397,5 +400,7 @@ let check_file view ~proc ~ino ~dentry_addr : report =
     }
 
 let pp_violation ppf v =
-  let tag = match v.check with `I1 -> "I1" | `I2 -> "I2" | `I3 -> "I3" | `I4 -> "I4" in
+  let tag =
+    match v.check with `I1 -> "I1" | `I2 -> "I2" | `I3 -> "I3" | `I4 -> "I4" | `Media -> "MEDIA"
+  in
   Fmt.pf ppf "[%s] %s" tag v.detail

@@ -22,6 +22,7 @@
 
 module Sched = Trio_sim.Sched
 module Stats = Trio_sim.Stats
+module Pmem = Trio_nvm.Pmem
 open Fs_types
 
 type op_kind =
@@ -105,6 +106,7 @@ type metric = {
   hist : Stats.Hist.t;
   errnos : int array; (* by Fs_types.errno_index *)
   mutable errors : int;
+  mutable faults : int; (* media-fault outcomes: EIO / EROFS results *)
 }
 
 type t = {
@@ -114,6 +116,7 @@ type t = {
   metrics : metric array; (* by op_index *)
   count_keys : string array; (* "vfs.<op>.count", precomputed: no alloc per op *)
   error_keys : string array; (* "vfs.<op>.errors" *)
+  fault_keys : string array; (* "vfs.<op>.faults" *)
   ring : ring option;
   mutable fops : Fs_intf.t; (* the instrumented record; built once in [wrap] *)
 }
@@ -129,7 +132,16 @@ let record t kind ~path ~fd ~start err =
   | Some e ->
     m.errors <- m.errors + 1;
     m.errnos.(errno_index e) <- m.errnos.(errno_index e) + 1;
-    Stats.incr t.stats t.error_keys.(i));
+    Stats.incr t.stats t.error_keys.(i);
+    (* EIO / EROFS at this boundary mean the media degraded underneath
+       the operation (retries exhausted, quarantined page, read-only
+       degradation) — tracked separately so fault-injection runs can be
+       audited from the stats alone. *)
+    match e with
+    | EIO | EROFS ->
+      m.faults <- m.faults + 1;
+      Stats.incr t.stats t.fault_keys.(i)
+    | _ -> ());
   match t.ring with
   | None -> ()
   | Some r ->
@@ -137,10 +149,21 @@ let record t kind ~path ~fd ~start err =
       Some { te_op = kind; te_path = path; te_fd = fd; te_start = start; te_elapsed = dt; te_errno = err };
     r.next <- r.next + 1
 
-(* The instrumentation hook every operation flows through. *)
+(* The instrumentation hook every operation flows through.
+
+   Last line of defense: no NVM exception may escape the VFS boundary.
+   The LibFS retry wrapper already converts media faults to errnos on
+   its own paths, but a custom LibFS (or a future path that forgets the
+   wrapper) must still degrade to a clean errno here rather than
+   unwinding the application. *)
 let call t kind ~path ~fd f =
   let start = Sched.now t.sched in
-  let result = f () in
+  let result =
+    try f () with
+    | Pmem.Media_fault _ -> Error EIO
+    | Pmem.Bounds _ -> Error EINVAL
+    | Pmem.Mmu_fault _ -> Error EAGAIN
+  in
   record t kind ~path ~fd ~start (match result with Ok _ -> None | Error e -> Some e);
   result
 
@@ -181,9 +204,10 @@ let wrap ~sched ?stats ?trace_capacity fs =
       stats;
       metrics =
         Array.init op_count (fun _ ->
-            { hist = Stats.Hist.create (); errnos = Array.make errno_count 0; errors = 0 });
+            { hist = Stats.Hist.create (); errnos = Array.make errno_count 0; errors = 0; faults = 0 });
       count_keys = Array.of_list (List.map (fun k -> "vfs." ^ op_name k ^ ".count") all_ops);
       error_keys = Array.of_list (List.map (fun k -> "vfs." ^ op_name k ^ ".errors") all_ops);
+      fault_keys = Array.of_list (List.map (fun k -> "vfs." ^ op_name k ^ ".faults") all_ops);
       ring;
       fops = fs;
     }
@@ -203,6 +227,7 @@ type op_stats = {
   op : op_kind;
   count : int;
   errors : int;
+  faults : int; (* of [errors], how many were media-fault outcomes *)
   errnos : (errno * int) list; (* only non-zero entries *)
   p50 : float;
   p99 : float;
@@ -216,6 +241,7 @@ let op_stats t kind =
     op = kind;
     count = Stats.Hist.count m.hist;
     errors = m.errors;
+    faults = m.faults;
     errnos =
       List.filter_map
         (fun e ->
@@ -245,7 +271,8 @@ let reset t =
     (fun m ->
       Stats.Hist.reset m.hist;
       Array.fill m.errnos 0 (Array.length m.errnos) 0;
-      m.errors <- 0)
+      m.errors <- 0;
+      m.faults <- 0)
     t.metrics;
   match t.ring with
   | None -> ()
@@ -262,7 +289,8 @@ let pp_op_stats ppf s =
       (fun i (e, n) -> Fmt.pf ppf "%s%s:%d" (if i > 0 then " " else "") (errno_to_string e) n)
       s.errnos;
     Fmt.pf ppf ")"
-  end
+  end;
+  if s.faults > 0 then Fmt.pf ppf "  media-faults=%d" s.faults
 
 let pp_breakdown ppf t =
   match snapshot t with

@@ -59,6 +59,27 @@ exception Mmu_fault of { actor : int; page : int; write : bool }
    process dying at an arbitrary store, for crash-consistency testing. *)
 exception Crash_point
 
+(* Typed rejection of an access that falls outside the device (or the
+   caller's buffer): callers translate this to EINVAL instead of letting
+   an untyped [Invalid_argument] escape. *)
+exception Bounds of { what : string; addr : int; len : int }
+
+(* A media error surfaced by the ECC machinery on a load.  [transient]
+   faults succeed on retry (the media-fault injector models soft read
+   errors); non-transient faults mean the range overlaps latently
+   poisoned cachelines and will keep failing until the lines are
+   rewritten (scrub repair or an overwrite). *)
+exception Media_fault of { addr : int; len : int; transient : bool }
+
+(* Aggregate media-fault counters, exposed for observability. *)
+type fault_stats = {
+  transient_faults : int; (* reads that failed with a soft error *)
+  stuck_stores : int; (* stores whose cells latched wrong (lines poisoned) *)
+  poison_read_hits : int; (* reads that hit a poisoned line *)
+  poison_repaired : int; (* poisoned lines healed by a rewrite *)
+  poisoned_now : int; (* currently poisoned lines, device-wide *)
+}
+
 (* One entry of the ordered persistence event log (see [set_recording]):
    everything that changes durable state, in program order.  The crash-
    state exploration engine replays a prefix of this log to reconstruct
@@ -99,6 +120,15 @@ type t = {
   mutable events_rev : event list;
   mutable event_count : int;
   mutable user_store_count : int; (* recorded stores by non-kernel actors *)
+  (* --- media-fault plane (see "Media faults" below) --- *)
+  poison : (int * int, unit) Hashtbl.t; (* (page, line) -> poisoned *)
+  mutable fault_rng : Rng.t option; (* None = probabilistic injection off *)
+  mutable transient_read_p : float;
+  mutable stuck_store_p : float;
+  mutable transient_faults : int;
+  mutable stuck_stores : int;
+  mutable poison_read_hits : int;
+  mutable poison_repaired : int;
 }
 
 let kernel_actor = 0
@@ -125,6 +155,14 @@ let create ~sched ~topo ~profile ~pages_per_node ~store_data () =
     events_rev = [];
     event_count = 0;
     user_store_count = 0;
+    poison = Hashtbl.create 16;
+    fault_rng = None;
+    transient_read_p = 0.0;
+    stuck_store_p = 0.0;
+    transient_faults = 0;
+    stuck_stores = 0;
+    poison_read_hits = 0;
+    poison_repaired = 0;
   }
 
 let sched t = t.sched
@@ -294,7 +332,142 @@ let iter_pages addr len f =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Media faults
+
+   An injectable model of the ways real PM media fails:
+
+   - latent poison: a cacheline whose ECC is bad.  Loads overlapping it
+     fail (non-transient {!Media_fault} for user actors; an explicit
+     {!read_ecc} reports the poisoned addresses without raising).
+     Poison is media state: it survives crashes and page discards, and
+     is healed only by rewriting the line (scrub repair, or any store
+     that covers it).
+   - transient read errors: with probability [transient_read_p] a user
+     load raises a transient {!Media_fault}; the access succeeds on
+     retry.
+   - stuck-at stores: with probability [stuck_store_p] a user store's
+     cells latch wrong — the store appears to complete but every line
+     it touched is left poisoned, to be found by the patrol scrubber or
+     the next read.
+
+   All draws come from one seeded {!Rng.t}, so under the deterministic
+   scheduler a given seed reproduces the exact same fault sequence.
+   Kernel-actor accesses never draw faults and read through poison:
+   controller verification and scrub repair must stay reliable (the
+   kernel consults {!read_ecc}/{!poisoned_lines} to *detect* poison). *)
+
+let iter_lines addr len f =
+  if len > 0 then
+    for gl = addr / line_size to (addr + len - 1) / line_size do
+      f ~page:(gl / lines_per_page) ~line:(gl mod lines_per_page)
+    done
+
+let set_fault_injection t ~seed ?(transient_read_p = 0.0) ?(stuck_store_p = 0.0) () =
+  if transient_read_p < 0.0 || transient_read_p > 1.0 || stuck_store_p < 0.0 || stuck_store_p > 1.0
+  then invalid_arg "Pmem.set_fault_injection: probabilities must be in [0,1]";
+  t.fault_rng <- Some (Rng.create seed);
+  t.transient_read_p <- transient_read_p;
+  t.stuck_store_p <- stuck_store_p
+
+let clear_fault_injection t =
+  t.fault_rng <- None;
+  t.transient_read_p <- 0.0;
+  t.stuck_store_p <- 0.0
+
+let fault_injection_on t = t.fault_rng <> None
+let clear_poison t = Hashtbl.reset t.poison
+
+(* Poisoning a line loses its data: the content is overwritten with a
+   recognizable garbage pattern (directly, below pre-image tracking —
+   media damage is not a store).  Repair therefore needs a good copy
+   from somewhere else (a controller checkpoint, the shadow inode, or
+   the caller rewriting the range). *)
+let poison_line t ~page ~line =
+  Hashtbl.replace t.poison (page, line) ();
+  match Hashtbl.find_opt t.pages page with
+  | Some { content = Some b; _ } -> Bytes.fill b (line * line_size) line_size '\222'
+  | _ -> ()
+
+let is_poisoned t ~page ~line = Hashtbl.mem t.poison (page, line)
+let poisoned_count t = Hashtbl.length t.poison
+
+let inject_poison t ~addr ~len =
+  iter_lines addr len (fun ~page ~line -> poison_line t ~page ~line)
+
+let poisoned_lines t = Hashtbl.fold (fun k () acc -> k :: acc) t.poison [] |> List.sort compare
+
+let page_poisoned_lines t pg =
+  Hashtbl.fold (fun (p, l) () acc -> if p = pg then l :: acc else acc) t.poison []
+  |> List.sort compare
+
+let fault_stats t =
+  {
+    transient_faults = t.transient_faults;
+    stuck_stores = t.stuck_stores;
+    poison_read_hits = t.poison_read_hits;
+    poison_repaired = t.poison_repaired;
+    poisoned_now = Hashtbl.length t.poison;
+  }
+
+let reset_fault_stats t =
+  t.transient_faults <- 0;
+  t.stuck_stores <- 0;
+  t.poison_read_hits <- 0;
+  t.poison_repaired <- 0
+
+(* Line-start byte addresses of poisoned lines overlapping [addr,len). *)
+let poisoned_in_range t ~addr ~len =
+  if Hashtbl.length t.poison = 0 then []
+  else begin
+    let acc = ref [] in
+    iter_lines addr len (fun ~page ~line ->
+        if Hashtbl.mem t.poison (page, line) then
+          acc := ((page * page_size) + (line * line_size)) :: !acc);
+    List.rev !acc
+  end
+
+let fault_on_read t ~actor ~addr ~len =
+  if actor <> kernel_actor then begin
+    (match t.fault_rng with
+    | Some r when t.transient_read_p > 0.0 && Rng.float r 1.0 < t.transient_read_p ->
+      t.transient_faults <- t.transient_faults + 1;
+      raise (Media_fault { addr; len; transient = true })
+    | _ -> ());
+    if poisoned_in_range t ~addr ~len <> [] then begin
+      t.poison_read_hits <- t.poison_read_hits + 1;
+      raise (Media_fault { addr; len; transient = false })
+    end
+  end
+
+(* A store that touches a poisoned line rewrites its cells and heals it
+   — unless this very store's cells latch wrong, in which case every
+   touched line ends up poisoned.  Kernel stores never stick, so scrub
+   repair writes are reliable. *)
+let fault_on_write t ~actor ~addr ~len =
+  let stuck =
+    actor <> kernel_actor
+    &&
+    match t.fault_rng with
+    | Some r -> t.stuck_store_p > 0.0 && Rng.float r 1.0 < t.stuck_store_p
+    | None -> false
+  in
+  if stuck then begin
+    t.stuck_stores <- t.stuck_stores + 1;
+    iter_lines addr len (fun ~page ~line -> poison_line t ~page ~line)
+  end
+  else if Hashtbl.length t.poison > 0 then
+    iter_lines addr len (fun ~page ~line ->
+        if Hashtbl.mem t.poison (page, line) then begin
+          Hashtbl.remove t.poison (page, line);
+          t.poison_repaired <- t.poison_repaired + 1
+        end)
+
+(* ------------------------------------------------------------------ *)
 (* Public accessors: MMU check + cost + data movement *)
+
+let check_bounds t ~what ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > total_pages t * page_size then
+    raise (Bounds { what; addr; len })
 
 let check_range t ~actor ~addr ~len ~write =
   iter_pages addr len (fun ~pg ~off:_ ~chunk:_ ~done_:_ ->
@@ -303,8 +476,11 @@ let check_range t ~actor ~addr ~len ~write =
 (* Zero-copy read: the caller supplies the destination buffer, so the
    steady-state data path performs no per-call allocation. *)
 let read_into t ~actor ~addr ~dst ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > Bytes.length dst then invalid_arg "Pmem.read_into";
+  if pos < 0 || len < 0 || pos + len > Bytes.length dst then
+    raise (Bounds { what = "Pmem.read_into: buffer"; addr = pos; len });
+  check_bounds t ~what:"Pmem.read_into" ~addr ~len;
   check_range t ~actor ~addr ~len ~write:false;
+  fault_on_read t ~actor ~addr ~len;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:false ~bytes:len);
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
       blit_from_page t pg ~off ~dst ~dst_pos:(pos + done_) ~len:chunk)
@@ -313,6 +489,29 @@ let read t ~actor ~addr ~len =
   let dst = Bytes.create len in
   read_into t ~actor ~addr ~dst ~pos:0 ~len;
   dst
+
+(* ECC-style read: instead of raising on poison, reports the poisoned
+   line addresses so careful readers (patrol scrub, journal recovery)
+   can decide what to salvage.  Never draws transient faults — this is
+   the deliberate "inspect the media" path, not the hot data path. *)
+module Ecc = struct
+  type read = Ok of Bytes.t | Poisoned of int list
+end
+
+let read_ecc t ~actor ~addr ~len : Ecc.read =
+  check_bounds t ~what:"Pmem.read_ecc" ~addr ~len;
+  check_range t ~actor ~addr ~len ~write:false;
+  match poisoned_in_range t ~addr ~len with
+  | [] ->
+    let dst = Bytes.create len in
+    iter_node_runs t addr len (fun ~node ~addr:_ ~len ->
+        node_access t ~node ~write:false ~bytes:len);
+    iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
+        blit_from_page t pg ~off ~dst ~dst_pos:done_ ~len:chunk);
+    Ecc.Ok dst
+  | bad ->
+    t.poison_read_hits <- t.poison_read_hits + 1;
+    Ecc.Poisoned bad
 
 (* Arm the crash injector: the [n]th subsequent store by a non-kernel
    actor raises {!Crash_point} instead of executing — the process dies
@@ -330,12 +529,15 @@ let maybe_crash_point t ~actor =
 
 (* Zero-copy write from a caller-owned buffer region. *)
 let write_from t ~actor ~addr ~src ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > Bytes.length src then invalid_arg "Pmem.write_from";
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    raise (Bounds { what = "Pmem.write_from: buffer"; addr = pos; len });
+  check_bounds t ~what:"Pmem.write_from" ~addr ~len;
   maybe_crash_point t ~actor;
   check_range t ~actor ~addr ~len ~write:true;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:true ~bytes:len);
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
       blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk);
+  fault_on_write t ~actor ~addr ~len;
   if t.recording then record_event t (Ev_store { actor; addr; data = Bytes.sub src pos len })
 
 let write_sub = write_from
@@ -343,9 +545,13 @@ let write_sub = write_from
 let write t ~actor ~addr ~src = write_from t ~actor ~addr ~src ~pos:0 ~len:(Bytes.length src)
 
 (* Account the cost of moving [len] bytes without touching content: the
-   non-materialized fast path used by data-heavy benchmarks. *)
+   non-materialized fast path used by data-heavy benchmarks.  Media
+   faults apply here too — the poison table is independent of whether
+   page contents are materialized. *)
 let touch t ~actor ~addr ~len ~write =
+  check_bounds t ~what:"Pmem.touch" ~addr ~len;
   check_range t ~actor ~addr ~len ~write;
+  if write then fault_on_write t ~actor ~addr ~len else fault_on_read t ~actor ~addr ~len;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write ~bytes:len)
 
 (* clwb + sfence over a range: pre-images in the range are discarded (the

@@ -30,7 +30,9 @@ let in_range t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.in_range: hi < lo";
   lo + int t (hi - lo + 1)
 
-let float t bound = Float.of_int (next t) /. Float.of_int (1 lsl 62) *. bound
+(* NB: [1 lsl 62] overflows to [min_int] on 64-bit OCaml, so the divisor
+   must be a float literal for the result to land in [0, bound). *)
+let float t bound = Float.of_int (next t) /. 0x1p62 *. bound
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -355,6 +355,120 @@ let test_chmod_only_owner () =
         ((Arckfs.Libfs.ops other).Trio_core.Fs_intf.chmod "/f" 0o777))
 
 (* ------------------------------------------------------------------ *)
+(* Patrol scrubber: media-fault repair, migration, quarantine *)
+
+module Scrub = Trio_core.Scrub
+
+(* First data page of a regular file, through the kernel's eyes. *)
+let first_data_page pm ino ctl =
+  let addr = Option.get (Controller.dentry_addr_of ctl ino) in
+  match Layout.read_dentry pm ~actor ~addr with
+  | Some (Ok (inode, _)) ->
+    let head = inode.Layout.index_head in
+    (head, Pmem.read_u64 pm ~actor ~addr:(head * Layout.page_size))
+  | _ -> Alcotest.fail "dentry unreadable"
+
+let test_scrub_repairs_index_from_checkpoint () =
+  Helpers.run_sim (fun env ->
+      let pm = env.Helpers.pmem and ctl = env.Helpers.ctl in
+      let fs1 = Helpers.mount ~proc:1 ~uid:1000 env in
+      let ops1 = Arckfs.Libfs.ops fs1 in
+      Helpers.check_ok "write" (Trio_core.Fs_intf.write_file ops1 "/a" "hello scrub");
+      Arckfs.Libfs.unmap_everything fs1;
+      (* the sharing point verified the file and checkpointed its
+         metadata; now a cacheline of its index page goes bad *)
+      let ino = (Helpers.check_ok "stat" (ops1.Trio_core.Fs_intf.stat "/a")).st_ino in
+      let index_page, _ = first_data_page pm ino ctl in
+      Pmem.inject_poison pm ~addr:(index_page * Layout.page_size) ~len:8;
+      Alcotest.(check int) "poisoned" 1 (Pmem.poisoned_count pm);
+      let st = Scrub.patrol_once ctl in
+      Alcotest.(check int) "line repaired" 1 st.Scrub.repaired;
+      Alcotest.(check int) "poison gone" 0 (Pmem.poisoned_count pm);
+      Alcotest.(check bool) "no pages quarantined" true (Controller.badblocks ctl = []);
+      Alcotest.(check bool) "file still healthy" true
+        (Controller.degradation_of ctl ino = Some Controller.Healthy);
+      (* the repaired index still leads to the data *)
+      let fs2 = Helpers.mount ~proc:2 ~uid:1001 env in
+      let content =
+        Helpers.check_ok "read" (Trio_core.Fs_intf.read_file (Arckfs.Libfs.ops fs2) "/a")
+      in
+      Alcotest.(check string) "content intact" "hello scrub" content)
+
+let test_scrub_quarantines_data_page_and_degrades () =
+  Helpers.run_sim (fun env ->
+      let pm = env.Helpers.pmem and ctl = env.Helpers.ctl in
+      let fs1 = Helpers.mount ~proc:1 ~uid:1000 env in
+      let ops1 = Arckfs.Libfs.ops fs1 in
+      let payload = String.make 80 'p' in
+      Helpers.check_ok "write" (Trio_core.Fs_intf.write_file ops1 "/big" payload);
+      Arckfs.Libfs.unmap_everything fs1;
+      let ino = (Helpers.check_ok "stat" (ops1.Trio_core.Fs_intf.stat "/big")).st_ino in
+      let _, data_page = first_data_page pm ino ctl in
+      (* data pages have no checkpoint copy: losing a line there is
+         unrepairable.  The scrubber must migrate the page, retire the
+         bad one, and degrade the file to read-only. *)
+      Pmem.inject_poison pm ~addr:(data_page * Layout.page_size) ~len:8;
+      let st = Scrub.patrol_once ctl in
+      Alcotest.(check int) "page migrated" 1 st.Scrub.migrated;
+      Alcotest.(check int) "page quarantined" 1 st.Scrub.quarantined;
+      Alcotest.(check (list int)) "badblock recorded" [ data_page ] (Controller.badblocks ctl);
+      Alcotest.(check bool) "file degraded read-only" true
+        (Controller.degradation_of ctl ino = Some Controller.Degraded_ro);
+      Alcotest.(check bool) "media event recorded" true
+        (Controller.corruption_events ctl <> []);
+      (* reads still work: salvageable bytes survive, the damaged first
+         line reads as zeros *)
+      let fs2 = Helpers.mount ~proc:2 ~uid:1001 env in
+      let ops2 = Arckfs.Libfs.ops fs2 in
+      let content = Helpers.check_ok "read" (Trio_core.Fs_intf.read_file ops2 "/big") in
+      Alcotest.(check int) "size preserved" 80 (String.length content);
+      Alcotest.(check string) "tail survives" (String.make 16 'p') (String.sub content 64 16);
+      Alcotest.(check string) "damaged line zeroed" (String.make 64 '\000') (String.sub content 0 64);
+      (* writes are refused at the mapping boundary *)
+      let fd = Helpers.check_ok "open" (ops2.Trio_core.Fs_intf.open_ "/big" [ O_RDWR ]) in
+      Helpers.check_err "write on degraded file" EROFS
+        (ops2.Trio_core.Fs_intf.pwrite fd (Bytes.of_string "x") 0))
+
+(* Pinned seed: the whole fault → scrub → degrade pipeline is replayable.
+   Two identical runs must agree on every counter and every outcome. *)
+let test_seeded_fault_run_deterministic () =
+  let run () =
+    Helpers.run_sim (fun env ->
+        let pm = env.Helpers.pmem and ctl = env.Helpers.ctl in
+        Pmem.set_fault_injection pm ~seed:20260806 ~transient_read_p:0.02 ~stuck_store_p:0.05 ();
+        let fs1 = Helpers.mount ~proc:1 ~uid:1000 env in
+        let ops1 = Arckfs.Libfs.ops fs1 in
+        let outcomes = ref [] in
+        for i = 0 to 19 do
+          let path = Printf.sprintf "/f%d" i in
+          let r = Trio_core.Fs_intf.write_file ops1 path (String.make (50 + i) 'd') in
+          outcomes := (match r with Ok () -> "ok" | Error e -> errno_to_string e) :: !outcomes
+        done;
+        Arckfs.Libfs.unmap_everything fs1;
+        let st = Scrub.make_stats () in
+        (* several rounds: earlier repairs can unmask later work *)
+        for _ = 1 to 3 do
+          ignore (Scrub.patrol_once ~stats:st ctl)
+        done;
+        let fst_ = Pmem.fault_stats pm in
+        ( List.rev !outcomes,
+          (fst_.Pmem.transient_faults, fst_.Pmem.stuck_stores, fst_.Pmem.poison_read_hits),
+          (st.Scrub.repaired, st.Scrub.scrubbed, st.Scrub.migrated, st.Scrub.quarantined),
+          Pmem.poisoned_count pm,
+          Controller.badblocks ctl ))
+  in
+  let o1, f1, s1, p1, b1 = run () in
+  let o2, f2, s2, p2, b2 = run () in
+  Alcotest.(check (list string)) "op outcomes replay" o1 o2;
+  Alcotest.(check bool) "fault counters replay" true (f1 = f2);
+  Alcotest.(check bool) "scrub counters replay" true (s1 = s2);
+  Alcotest.(check int) "residual poison replays" p1 p2;
+  Alcotest.(check (list int)) "badblocks replay" b1 b2;
+  (* the seeded rates actually exercised the plane *)
+  let _, stuck, _ = f1 in
+  if stuck = 0 then Alcotest.fail "seed drew no stuck stores; pick a better seed"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "core"
@@ -387,6 +501,15 @@ let () =
           Alcotest.test_case "corruption detected and rolled back" `Quick
             test_corruption_detected_and_rolled_back;
           Alcotest.test_case "trust group skips wait" `Quick test_trust_group_shares_without_verify;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "repairs index from checkpoint" `Quick
+            test_scrub_repairs_index_from_checkpoint;
+          Alcotest.test_case "quarantines data page, degrades file" `Quick
+            test_scrub_quarantines_data_page_and_degrades;
+          Alcotest.test_case "seeded fault run deterministic" `Quick
+            test_seeded_fault_run_deterministic;
         ] );
       ( "access control",
         [

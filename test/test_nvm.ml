@@ -143,15 +143,30 @@ let test_zero_copy_roundtrip () =
       let dst = Bytes.make 20 '#' in
       Pmem.read_into pm ~actor ~addr:12288 ~dst ~pos:4 ~len:12;
       Alcotest.(check string) "payload lands at pos" "####payload-here####" (Bytes.to_string dst);
-      (* bounds are validated *)
+      (* bounds are validated with a typed error *)
       (try
          Pmem.read_into pm ~actor ~addr:0 ~dst ~pos:16 ~len:8;
          Alcotest.fail "out-of-bounds read_into accepted"
-       with Invalid_argument _ -> ());
+       with Pmem.Bounds _ -> ());
+      (try
+         Pmem.write_from pm ~actor ~addr:0 ~src ~pos:(-1) ~len:4;
+         Alcotest.fail "negative pos accepted"
+       with Pmem.Bounds _ -> ());
+      (* device-range violations get the same typed error, and the
+         copying read/write paths agree with the zero-copy ones *)
+      let total = Pmem.total_pages pm * 4096 in
+      (try
+         Pmem.read_into pm ~actor ~addr:(total - 4) ~dst ~pos:0 ~len:8;
+         Alcotest.fail "past-end read_into accepted"
+       with Pmem.Bounds _ -> ());
+      (try
+         ignore (Pmem.read pm ~actor ~addr:(total - 4) ~len:8);
+         Alcotest.fail "past-end read accepted"
+       with Pmem.Bounds _ -> ());
       try
-        Pmem.write_from pm ~actor ~addr:0 ~src ~pos:(-1) ~len:4;
-        Alcotest.fail "negative pos accepted"
-      with Invalid_argument _ -> ())
+        Pmem.write pm ~actor ~addr:(-8) ~src;
+        Alcotest.fail "negative addr accepted"
+      with Pmem.Bounds _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Data-page materialization *)
@@ -485,6 +500,99 @@ let test_replay_discard_parity () =
       Alcotest.(check bool) "discarded page reads as zeros" true
         (Bytes.equal (Pmem.Replay.page img 2) (Pmem.peek_page pm 2)))
 
+(* ------------------------------------------------------------------ *)
+(* Media-fault plane *)
+
+let user = 1
+
+let test_poison_detected_and_scrambled () =
+  in_fiber (fun _ pm ->
+      Pmem.write pm ~actor:user ~addr:8192 ~src:(Bytes.make 128 'a');
+      Pmem.persist pm ~addr:8192 ~len:128;
+      Pmem.inject_poison pm ~addr:8192 ~len:64;
+      (* user loads overlapping the line fail, non-transiently *)
+      (match Pmem.read pm ~actor:user ~addr:8192 ~len:128 with
+      | _ -> Alcotest.fail "read through poison succeeded"
+      | exception Pmem.Media_fault { transient; _ } ->
+        Alcotest.(check bool) "non-transient" false transient);
+      (* the data is genuinely gone: the kernel reads through and sees
+         the garbage pattern, not the old payload *)
+      let b = Pmem.read pm ~actor:Pmem.kernel_actor ~addr:8192 ~len:64 in
+      Alcotest.(check string) "content scrambled" (String.make 64 '\222') (Bytes.to_string b);
+      (* ECC read reports the poisoned line addresses without raising *)
+      (match Pmem.read_ecc pm ~actor:user ~addr:8192 ~len:128 with
+      | Pmem.Ecc.Ok _ -> Alcotest.fail "read_ecc missed the poison"
+      | Pmem.Ecc.Poisoned bad -> Alcotest.(check (list int)) "one bad line" [ 8192 ] bad);
+      let st = Pmem.fault_stats pm in
+      Alcotest.(check bool) "hits counted" true (st.Pmem.poison_read_hits >= 2);
+      Alcotest.(check int) "one line poisoned" 1 st.Pmem.poisoned_now)
+
+let test_transient_faults_replay_with_seed () =
+  let pattern () =
+    in_fiber (fun _ pm ->
+        Pmem.set_fault_injection pm ~seed:424242 ~transient_read_p:0.4 ();
+        List.init 40 (fun i ->
+            match Pmem.read pm ~actor:user ~addr:(4096 + (i * 64)) ~len:8 with
+            | _ -> false
+            | exception Pmem.Media_fault { transient = true; _ } -> true
+            | exception Pmem.Media_fault { transient = false; _ } ->
+              Alcotest.fail "clean line reported as poisoned"))
+  in
+  let p1 = pattern () and p2 = pattern () in
+  Alcotest.(check (list bool)) "same seed, same fault sequence" p1 p2;
+  if not (List.mem true p1) then Alcotest.fail "p=0.4 over 40 reads drew no fault";
+  if not (List.mem false p1) then Alcotest.fail "p=0.4 over 40 reads failed every read"
+
+let test_stuck_store_poisons_then_rewrite_heals () =
+  in_fiber (fun _ pm ->
+      Pmem.set_fault_injection pm ~seed:7 ~stuck_store_p:1.0 ();
+      Pmem.write pm ~actor:user ~addr:12288 ~src:(Bytes.make 100 'x');
+      let st = Pmem.fault_stats pm in
+      Alcotest.(check int) "one stuck store" 1 st.Pmem.stuck_stores;
+      Alcotest.(check int) "two lines poisoned" 2 st.Pmem.poisoned_now;
+      (* the lost write is detected by the next read *)
+      (match Pmem.read pm ~actor:user ~addr:12288 ~len:100 with
+      | _ -> Alcotest.fail "lost write not detected"
+      | exception Pmem.Media_fault { transient = false; _ } -> ());
+      (* a later good store over the range heals the poison *)
+      Pmem.clear_fault_injection pm;
+      Pmem.write pm ~actor:user ~addr:12288 ~src:(Bytes.make 100 'y');
+      Pmem.persist pm ~addr:12288 ~len:100;
+      let st = Pmem.fault_stats pm in
+      Alcotest.(check int) "healed" 0 st.Pmem.poisoned_now;
+      Alcotest.(check int) "repairs counted" 2 st.Pmem.poison_repaired;
+      let b = Pmem.read pm ~actor:user ~addr:12288 ~len:100 in
+      Alcotest.(check string) "rewritten data readable" (String.make 100 'y') (Bytes.to_string b))
+
+let test_kernel_actor_immune () =
+  in_fiber (fun _ pm ->
+      Pmem.set_fault_injection pm ~seed:9 ~transient_read_p:1.0 ~stuck_store_p:1.0 ();
+      (* kernel accesses neither draw faults nor latch stores *)
+      Pmem.write pm ~actor:Pmem.kernel_actor ~addr:4096 ~src:(Bytes.make 64 'k');
+      ignore (Pmem.read pm ~actor:Pmem.kernel_actor ~addr:4096 ~len:64);
+      let st = Pmem.fault_stats pm in
+      Alcotest.(check int) "no transients" 0 st.Pmem.transient_faults;
+      Alcotest.(check int) "no stuck stores" 0 st.Pmem.stuck_stores;
+      Alcotest.(check int) "nothing poisoned" 0 st.Pmem.poisoned_now;
+      (* and read_ecc never draws transients even for user actors *)
+      match Pmem.read_ecc pm ~actor:user ~addr:4096 ~len:64 with
+      | Pmem.Ecc.Ok _ -> ()
+      | Pmem.Ecc.Poisoned _ -> Alcotest.fail "read_ecc drew a transient fault")
+
+let test_poison_is_media_state () =
+  in_fiber (fun _ pm ->
+      Pmem.write_u64 pm ~actor:user ~addr:8192 5;
+      Pmem.inject_poison pm ~addr:8192 ~len:8;
+      (* poison survives a power failure... *)
+      Pmem.crash pm;
+      Alcotest.(check bool) "survives crash" true (Pmem.is_poisoned pm ~page:2 ~line:0);
+      (* ...and surviving a page discard (the free list does not scrub) *)
+      Pmem.discard_page pm 2;
+      Alcotest.(check bool) "survives discard" true (Pmem.is_poisoned pm ~page:2 ~line:0);
+      (* until something rewrites the line *)
+      Pmem.write_u64 pm ~actor:user ~addr:8192 6;
+      Alcotest.(check bool) "healed by store" false (Pmem.is_poisoned pm ~page:2 ~line:0))
+
 let () =
   Alcotest.run "nvm"
     [
@@ -525,6 +633,17 @@ let () =
         [
           Alcotest.test_case "data pages cost-only" `Quick test_data_pages_not_materialized;
           Alcotest.test_case "meta pages stored" `Quick test_meta_pages_always_materialized;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "poison detected and scrambled" `Quick
+            test_poison_detected_and_scrambled;
+          Alcotest.test_case "transient faults replay with seed" `Quick
+            test_transient_faults_replay_with_seed;
+          Alcotest.test_case "stuck store poisons, rewrite heals" `Quick
+            test_stuck_store_poisons_then_rewrite_heals;
+          Alcotest.test_case "kernel actor immune" `Quick test_kernel_actor_immune;
+          Alcotest.test_case "poison is media state" `Quick test_poison_is_media_state;
         ] );
       ( "mmu",
         [

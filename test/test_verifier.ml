@@ -46,7 +46,12 @@ let corrupt_and_share w corrupt =
 let expect_check name expected tags =
   if not (List.mem expected tags) then
     Alcotest.failf "%s: expected an %s violation, got %d violations" name
-      (match expected with `I1 -> "I1" | `I2 -> "I2" | `I3 -> "I3" | `I4 -> "I4")
+      (match expected with
+      | `I1 -> "I1"
+      | `I2 -> "I2"
+      | `I3 -> "I3"
+      | `I4 -> "I4"
+      | `Media -> "MEDIA")
       (List.length tags)
 
 (* ------------------------------------------------------------------ *)
