@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck
 
 all: build
 
@@ -18,7 +18,17 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck
+check: crashcheck-quick faultcheck proccheck
+
+# Process-failure plane gate: the seeded kill/hang/watchdog/GC unit and
+# property tests, a pinned-seed exploration of process-death states
+# from the command line, and the skip-GC mutation self-test (the run
+# must exit 0 BECAUSE the leak invariant caught the disabled GC).
+proccheck:
+	dune build
+	dune exec test/test_procfail.exe
+	dune exec bin/trioctl.exe -- procfail --seed 1 --scripts 2 --ops 6
+	dune exec bin/trioctl.exe -- procfail --seed 5 --scripts 1 --ops 5 --kill-points 3 --hang-points 1 --mutate
 
 # Media-fault plane gate: pinned-seed fault/scrub regressions, the
 # crash x fault composed exploration, and an end-to-end workload with

@@ -736,6 +736,7 @@ let ablation () =
                 ctl;
                 delegation = lazy (Arckfs.Delegation.create ~sched ~pmem ());
                 next_proc = 400;
+                mounts = [];
               }
             in
             let fs = Rig.mount_fs ~store_data:false rig "arckfs" in

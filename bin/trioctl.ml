@@ -609,6 +609,96 @@ let crashcheck_cmd =
       $ budget_arg $ exh_arg $ samples_arg $ diff_arg $ mutate_arg $ no_shrink_arg)
 
 (* ------------------------------------------------------------------ *)
+(* procfail: the process-failure plane (DESIGN.md §4.12) *)
+
+let procfail_cmd =
+  let module Explore = Trio_check.Explore in
+  let module Script = Trio_check.Script in
+  let run seed scripts ops kill_points hang_points timeout_us mutate =
+    let base =
+      {
+        Explore.pd_seed = seed;
+        pd_kill_points = kill_points;
+        pd_hang_points = hang_points;
+        pd_timeout_ns = timeout_us *. 1000.0;
+      }
+    in
+    if mutate then begin
+      Controller.set_crash_test_skip_gc true;
+      Printf.printf "skip-GC mutation armed: the leak invariant must catch it\n"
+    end;
+    let rng = Trio_util.Rng.create seed in
+    let scripts_to_run = List.init scripts (fun _ -> Script.generate rng ~len:ops) in
+    let caught = ref false and failed = ref false in
+    List.iteri
+      (fun i script ->
+        if not (!failed || !caught) then begin
+          Printf.printf "script %d/%d: %s\n%!" (i + 1) scripts (Script.to_string script);
+          let config = { base with Explore.pd_seed = seed + i } in
+          let r = Explore.explore_proc_death ~config script in
+          Format.printf "  %a@." Explore.pp_proc_report r;
+          match r.Explore.pr_failure with
+          | None -> ()
+          | Some cx ->
+            if mutate then caught := true
+            else begin
+              failed := true;
+              Format.printf "VIOLATION:@.%a" Explore.pp_counterexample cx
+            end
+        end)
+      scripts_to_run;
+    if mutate then begin
+      Controller.set_crash_test_skip_gc false;
+      if !caught then begin
+        Printf.printf "mutation caught: leaked pages detected by the accounting invariant\n";
+        0
+      end
+      else begin
+        Printf.printf "MUTATION NOT CAUGHT: the leak invariant missed a disabled GC\n";
+        1
+      end
+    end
+    else if !failed then 1
+    else 0
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Script/sampling seed") in
+  let scripts_arg =
+    Arg.(value & opt int 3 & info [ "scripts" ] ~doc:"Number of generated scripts to explore")
+  in
+  let ops_arg = Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Ops per generated script") in
+  let kill_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "kill-points" ] ~docv:"N" ~doc:"Sampled kill injection points per script")
+  in
+  let hang_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "hang-points" ] ~docv:"N" ~doc:"Sampled hang (wedge) injection points per script")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "timeout-us" ] ~docv:"US" ~doc:"Watchdog heartbeat timeout in microseconds")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Disable the orphan GC (engine self-test): exit 0 only if the leak invariant \
+             provably catches it")
+  in
+  Cmd.v
+    (Cmd.info "procfail"
+       ~doc:
+         "Kill or wedge a LibFS at sampled points mid-script, then assert watchdog escalation, \
+          verifier-gated reclamation and zero leaked pages from a second process")
+    Term.(
+      const run $ seed_arg $ scripts_arg $ ops_arg $ kill_arg $ hang_arg $ timeout_arg
+      $ mutate_arg)
+
+(* ------------------------------------------------------------------ *)
 (* micro: one microbenchmark on one fs *)
 
 let micro_cmd =
@@ -657,6 +747,7 @@ let () =
         crashcheck_cmd;
         faults_cmd;
         scrub_cmd;
+        procfail_cmd;
         micro_cmd;
         stats_cmd;
         trace_cmd;

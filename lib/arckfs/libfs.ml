@@ -516,6 +516,10 @@ let max_media_retries = 8
 let media_backoff_ns = 200.0
 
 let with_retry t f =
+  (* Every op boundary doubles as a liveness signal: in the real system
+     the watchdog reads a per-process timestamp the LibFS bumps on entry
+     (no syscall), so a process that stops issuing ops goes stale. *)
+  Controller.touch t.ctl t.proc;
   let rec go n m =
     try f () with
     | Pmem.Mmu_fault { page; _ } when n > 0 ->

@@ -509,7 +509,7 @@ let pp_fault_report ppf r =
    after [crash_index] stores, power-fail with a seeded random surviving
    subset, tear latent poison into lines that were in flight, then
    recover, remount, scrub, and sweep for graceful degradation.  Model
-   divergence is *expected* here (faults change outcomes); the model
+   divergence is expected here (faults change outcomes); the model
    only supplies the universe of paths to probe. *)
 let check_faulted_state cfg ?(poison_candidates = []) ops ~crash_index ~state_seed =
   in_world (fun ~sched ~pmem ~mmu ->
@@ -632,4 +632,236 @@ let explore_faults ?(config = default_fault_config) ops =
           }
       end)
     indices;
+  !report
+
+(* ------------------------------------------------------------------ *)
+(* Process-death exploration (DESIGN.md §4.12)
+
+   Power failure (above) loses unflushed lines but kills *everyone*;
+   process death loses *nothing in NVM* but kills one LibFS, leaving its
+   torn intermediate state live and its allocation cache orphaned.  The
+   checked property is the paper's §4 containment claim: after the
+   watchdog escalates the dead/wedged process — lease expiry,
+   force-revoke, mark-unverified, abnormal teardown — a second process
+   must be able to access every file with clean errnos (the verifier
+   gate repairs from checkpoints or degrades, it never throws), the
+   orphan-page GC must reclaim everything the dead process held, and
+   the page-accounting invariant free + reachable + cached + badblocks
+   = device pages must hold.
+
+   Kill points are Sched delay boundaries inside the victim's killable
+   scope — every simulated NVM store and yield, but never inside a
+   controller syscall (those are shielded, like a kernel that finishes
+   or never starts a syscall for a dying task).  A recording pass counts
+   the points the script crosses; kill and hang states are sampled
+   evenly across that range. *)
+
+type proc_config = {
+  pd_seed : int; (* reserved for sampling; exploration is deterministic *)
+  pd_kill_points : int; (* kill-injection states sampled per script *)
+  pd_hang_points : int; (* wedged-mode states sampled per script *)
+  pd_timeout_ns : float; (* watchdog heartbeat timeout (also the lease) *)
+}
+
+let default_proc_config =
+  { pd_seed = 1; pd_kill_points = 12; pd_hang_points = 3; pd_timeout_ns = 1.0e6 }
+
+type proc_report = {
+  pr_points : int; (* kill points the script crosses end to end *)
+  pr_states : int;
+  pr_killed : int;
+  pr_hung : int;
+  pr_escalated : int; (* watchdog teardowns across all states *)
+  pr_unverified : int; (* files pushed through the verifier gate *)
+  pr_reclaimed : int; (* orphan pages swept by the GC *)
+  pr_leaked : int; (* pages still dead-owned after GC (must be 0) *)
+  pr_invariant_failures : int;
+  pr_failure : counterexample option;
+}
+
+let pp_proc_report ppf r =
+  Fmt.pf ppf
+    "kill points %d  states %d (killed %d, hung %d)  escalated %d  unverified %d@.gc: reclaimed \
+     %d  leaked %d  invariant failures %d@.%s"
+    r.pr_points r.pr_states r.pr_killed r.pr_hung r.pr_escalated r.pr_unverified r.pr_reclaimed
+    r.pr_leaked r.pr_invariant_failures
+    (match r.pr_failure with
+    | None -> "graceful degradation held in every state"
+    | Some cx -> Fmt.str "FAILED:@.%a" pp_counterexample cx)
+
+(* Horizon for one state: long enough for the script to run (or die) and
+   for every lease and the heartbeat timeout to expire afterwards. *)
+let death_horizon_ns = 10.0e6
+
+(* Recording pass: how many kill points does the script cross? *)
+let count_kill_points cfg ops =
+  in_world (fun ~sched ~pmem ~mmu ->
+      let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.pd_timeout_ns () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      let model = Script.model_create () in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () ->
+              List.iteri
+                (fun i op -> ignore (Script.apply fs model i op : (unit, string) result))
+                ops));
+      Sched.arm_count sched;
+      Sched.delay death_horizon_ns;
+      Sched.disarm sched;
+      Sched.kill_points_crossed sched)
+
+(* One process-death state: run the victim in a killable fiber, fire the
+   injector at the sampled point, let the watchdog escalate, GC, then
+   probe everything from a second process. *)
+let check_death_state cfg ops ~mode =
+  in_world (fun ~sched ~pmem ~mmu ->
+      let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.pd_timeout_ns () in
+      let libfs1 = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs1 in
+      let model = Script.model_create () in
+      let finished = ref false in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () ->
+              List.iteri
+                (fun i op -> ignore (Script.apply fs model i op : (unit, string) result))
+                ops);
+          finished := true);
+      (match mode with
+      | `Kill i -> Sched.arm_kill sched ~after:i
+      | `Hang i -> Sched.arm_hang sched ~after:i);
+      Sched.delay death_horizon_ns;
+      Sched.disarm sched;
+      let wd = Controller.make_watchdog_report () in
+      let detail =
+        try
+          (* Escalation: the victim holds its mount resources (journal,
+             allocation cache) whether it died, wedged, or finished and
+             went silent — the watchdog must always reclaim it. *)
+          let escalated = Controller.watchdog_once ~report:wd ctl ~timeout_ns:cfg.pd_timeout_ns in
+          if not (List.mem 1 escalated) then
+            Error
+              (Printf.sprintf "watchdog did not escalate the victim (escalated: [%s])"
+                 (String.concat ";" (List.map string_of_int escalated)))
+          else begin
+            let gc1 = Controller.gc_once ctl in
+            if (not gc1.Controller.gc_invariant_ok) || gc1.Controller.gc_leaked > 0 then
+              Error
+                (Fmt.str "page accounting broken after teardown GC: %a" Controller.pp_gc_report
+                   gc1)
+            else begin
+              (* Second process: every model path and every visible name
+                 must answer with Ok or a clean errno — the verifier
+                 gate and degradation ladder, never an exception. *)
+              let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred () in
+              let fs2 = Libfs.ops libfs2 in
+              (match fs2.Fs.readdir "/" with Ok _ | Error _ -> ());
+              Hashtbl.iter
+                (fun path _ ->
+                  (match Fs.read_file fs2 path with Ok _ | Error _ -> ());
+                  match fs2.Fs.open_ path [ Trio_core.Fs_types.O_RDWR ] with
+                  | Ok fd ->
+                    (match fs2.Fs.pwrite fd (Bytes.of_string "x") 0 with Ok _ | Error _ -> ());
+                    (match fs2.Fs.close fd with Ok () | Error _ -> ())
+                  | Error _ -> ())
+                model.Script.files;
+              (match Script.visible_names fs2 with
+              | Ok names ->
+                List.iter
+                  (fun path -> match Fs.read_file fs2 path with Ok _ | Error _ -> ())
+                  names
+              | Error _ -> ());
+              (* Drain whatever the probe did not happen to map (e.g. a
+                 directory whose path vanished in a rollback), then the
+                 books must balance with nothing left to collect. *)
+              ignore (Controller.drain_unverified ctl : int);
+              let gc2 = Controller.gc_once ctl in
+              if (not gc2.Controller.gc_invariant_ok) || gc2.Controller.gc_leaked > 0 then
+                Error
+                  (Fmt.str "page accounting broken after probe GC: %a" Controller.pp_gc_report
+                     gc2)
+              else begin
+                ignore (Controller.unmap_all ctl ~proc:2);
+                Ok (gc1, gc2)
+              end
+            end
+          end
+        with exn -> Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
+      in
+      (detail, wd, !finished))
+
+let explore_proc_death ?(config = default_proc_config) ops =
+  let points = count_kill_points config ops in
+  let sample count =
+    if points <= 0 || count <= 0 then []
+    else if points <= count then List.init points Fun.id
+    else if count = 1 then [ points / 2 ]
+    else List.sort_uniq compare (List.init count (fun i -> i * (points - 1) / (count - 1)))
+  in
+  let states =
+    List.map (fun i -> `Kill i) (sample config.pd_kill_points)
+    @ List.map (fun i -> `Hang i) (sample config.pd_hang_points)
+  in
+  let report =
+    ref
+      {
+        pr_points = points;
+        pr_states = 0;
+        pr_killed = 0;
+        pr_hung = 0;
+        pr_escalated = 0;
+        pr_unverified = 0;
+        pr_reclaimed = 0;
+        pr_leaked = 0;
+        pr_invariant_failures = 0;
+        pr_failure = None;
+      }
+  in
+  List.iter
+    (fun mode ->
+      if (!report).pr_failure = None then begin
+        let idx = match mode with `Kill i | `Hang i -> i in
+        let detail, wd, _finished =
+          try check_death_state config ops ~mode
+          with exn ->
+            ( Error (Printf.sprintf "uncaught exception escaped the state: %s" (Printexc.to_string exn)),
+              Controller.make_watchdog_report (),
+              false )
+        in
+        let r = !report in
+        let killed, hung = match mode with `Kill _ -> (1, 0) | `Hang _ -> (0, 1) in
+        report :=
+          (match detail with
+          | Ok (gc1, gc2) ->
+            {
+              r with
+              pr_states = r.pr_states + 1;
+              pr_killed = r.pr_killed + killed;
+              pr_hung = r.pr_hung + hung;
+              pr_escalated = r.pr_escalated + List.length wd.Controller.wd_escalated;
+              pr_unverified = r.pr_unverified + wd.Controller.wd_unverified;
+              pr_reclaimed =
+                r.pr_reclaimed + gc1.Controller.gc_reclaimed_pages
+                + gc2.Controller.gc_reclaimed_pages;
+              pr_leaked = r.pr_leaked + gc1.Controller.gc_leaked + gc2.Controller.gc_leaked;
+              pr_invariant_failures = r.pr_invariant_failures;
+            }
+          | Error d ->
+            {
+              r with
+              pr_states = r.pr_states + 1;
+              pr_killed = r.pr_killed + killed;
+              pr_hung = r.pr_hung + hung;
+              pr_invariant_failures =
+                (r.pr_invariant_failures
+                +
+                if
+                  String.length d >= 15
+                  && String.sub d 0 15 = "page accounting"
+                then 1
+                else 0);
+              pr_failure =
+                Some { cx_ops = ops; cx_crash_index = idx; cx_survivors = []; cx_detail = d };
+            })
+      end)
+    states;
   !report

@@ -55,6 +55,9 @@ type file_info = {
   mutable f_waiters : Sched.waker Queue.t;
   mutable f_quarantined_for : int option; (* corrupt: only this proc may map *)
   mutable f_degraded : degradation;
+  mutable f_unverified : int option;
+      (* last writer died/wedged before verification: the next map_file
+         must pass the verifier gate (as this proc) before any grant *)
 }
 
 type proc_info = {
@@ -66,6 +69,8 @@ type proc_info = {
   mutable p_pages : (int, unit) Hashtbl.t; (* pages Allocated_to this proc *)
   mutable p_inos : (int, unit) Hashtbl.t; (* inos Ino_allocated_to this proc *)
   mutable p_mapped : (int, unit) Hashtbl.t; (* inos this proc has mapped *)
+  mutable p_last_heartbeat : float; (* virtual time of the last syscall *)
+  mutable p_dead : bool; (* abnormally torn down by the watchdog *)
 }
 
 type t = {
@@ -151,6 +156,7 @@ let create ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
       f_waiters = Queue.create ();
       f_quarantined_for = None;
       f_degraded = Healthy;
+      f_unverified = None;
     }
   in
   Hashtbl.replace t.files Layout.root_ino root;
@@ -176,6 +182,8 @@ let register_process t ~proc ~cred ?group ?fix ?recovery () =
       p_pages = Hashtbl.create 64;
       p_inos = Hashtbl.create 64;
       p_mapped = Hashtbl.create 16;
+      p_last_heartbeat = Sched.now t.sched;
+      p_dead = false;
     }
   in
   Hashtbl.replace t.procs proc info;
@@ -187,6 +195,14 @@ let proc_info t proc =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Controller: unregistered process %d" proc)
 
+(* Every syscall doubles as a heartbeat: a process that stops making
+   kernel calls is indistinguishable from one that died, which is
+   exactly the signal the watchdog escalates on. *)
+let touch t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | Some p -> p.p_last_heartbeat <- Sched.now t.sched
+  | None -> ()
+
 let group_of t proc = (proc_info t proc).p_group
 
 let file_info t ino = Hashtbl.find_opt t.files ino
@@ -197,7 +213,9 @@ let file_info t ino = Hashtbl.find_opt t.files ino
 let node_of_cpu t cpu = Numa.node_of_cpu t.topo cpu
 
 let alloc_pages t ~proc ~node ~count ~kind =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   let p = proc_info t proc in
   match Extent_alloc.alloc t.node_allocs.(node) count with
   | exception Extent_alloc.Out_of_space -> (
@@ -244,7 +262,9 @@ let dir_page_is_empty t pg =
   not !live
 
 let free_pages t ~proc ~pages =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   let p = proc_info t proc in
   let check pg =
     match owner_of t pg with
@@ -294,7 +314,9 @@ let free_pages t ~proc ~pages =
    existing access and reuses the pages directly (the fast truncate /
    rewrite path; the ownership change is what keeps check I2 sound). *)
 let recycle_pages t ~proc ~pages =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   let p = proc_info t proc in
   let my_group = group_of t proc in
   let check pg =
@@ -329,7 +351,9 @@ let recycle_pages t ~proc ~pages =
   end
 
 let alloc_inos t ~proc ~count =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   let p = proc_info t proc in
   let inos = List.init count (fun i -> t.next_ino + i) in
   t.next_ino <- t.next_ino + count;
@@ -571,6 +595,7 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
             f_waiters = Queue.create ();
             f_quarantined_for = None;
             f_degraded = Healthy;
+      f_unverified = None;
           }
         in
         Hashtbl.replace t.files c.Verifier.c_ino child_file;
@@ -680,6 +705,82 @@ let verify_file t ~proc ~(f : file_info) =
     fixed
   end
 
+(* Release the inode numbers a dead process still holds.  Its cached
+   *pages* are deliberately left attributed (Allocated_to) for the
+   orphan GC: routing all page reclamation through {!gc_once} keeps it
+   observable in the accounting invariant, which is how the skip-GC
+   mutation stays provably catchable.  Effect-free. *)
+let reap_dead t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | Some p when p.p_dead ->
+    let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_inos [] in
+    List.iter
+      (fun ino ->
+        Hashtbl.remove t.ino_owner ino;
+        Hashtbl.remove p.p_inos ino)
+      inos;
+    List.length inos
+  | _ -> 0
+
+(* Verifier gate for files whose last writer died or wedged (§4.4 of the
+   paper: crash consistency of the handoff).  The watchdog only marks
+   such files unverified — it cannot run the dead process' fix callback,
+   and charging verification to the next accessor keeps the failure
+   plane pay-as-you-go.  Repair policy: accept the dead writer's state
+   if it verifies as-is; otherwise roll back to the last verified
+   checkpoint and re-check; if even the rollback does not verify, the
+   file degrades to Failed and the mapping is refused with EIO. *)
+let ensure_verified t ~(f : file_info) =
+  match f.f_unverified with
+  | None -> Ok ()
+  | Some dead ->
+    f.f_unverified <- None;
+    let check () =
+      Stats.timed t.stats t.sched "verify" (fun () ->
+          Verifier.check_file (view t) ~proc:dead ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
+    in
+    let report = check () in
+    let outcome =
+      if report.Verifier.ok then begin
+        ingest_verified t ~proc:dead ~f report;
+        Ok ()
+      end
+      else begin
+        t.corruption_events <- (dead, f.f_ino, report.Verifier.violations) :: t.corruption_events;
+        match f.f_checkpoint with
+        | None ->
+          f.f_degraded <- Failed;
+          Error EIO
+        | Some _ ->
+          rollback_to_checkpoint t f ~offender:dead;
+          let retry = check () in
+          if retry.Verifier.ok then begin
+            ingest_verified t ~proc:dead ~f retry;
+            Ok ()
+          end
+          else begin
+            f.f_degraded <- Failed;
+            Error EIO
+          end
+      end
+    in
+    (* Ingestion/rollback may have returned stray pages to the dead
+       process' pool; release its inode numbers now and leave the pages
+       for the orphan GC to sweep. *)
+    ignore (reap_dead t dead);
+    outcome
+
+(* Force the verifier gate for every file still pending (fsck/admin
+   path).  Afterwards the GC owes nothing to the gate and may reclaim
+   every stray page of the dead processes.  Returns how many files were
+   drained. *)
+let drain_unverified t =
+  let pending =
+    Hashtbl.fold (fun _ f acc -> if f.f_unverified <> None then f :: acc else acc) t.files []
+  in
+  List.iter (fun f -> ignore (ensure_verified t ~f)) pending;
+  List.length pending
+
 (* ------------------------------------------------------------------ *)
 (* Map / unmap *)
 
@@ -701,7 +802,9 @@ let revoke_mapping t ~proc ~(f : file_info) ~was_writer =
   wake_all f
 
 let unmap_file t ~proc ~ino =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match Hashtbl.find_opt t.files ino with
   | None -> Error ENOENT
   | Some f ->
@@ -769,19 +872,26 @@ let rec wait_for_access t ~proc ~(f : file_info) ~write =
   end
 
 let map_file t ~proc ~ino ~write =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match Hashtbl.find_opt t.files ino with
   | None -> Error ENOENT
   | Some f -> (
-    (match f.f_quarantined_for with
-    | Some p when p <> proc -> Error EIO
-    | _ -> (
-      (* Media-degraded files: Failed rejects everything, Degraded_ro
-         rejects write mappings (graceful degradation, not a panic). *)
-      match f.f_degraded with
-      | Failed -> Error EIO
-      | Degraded_ro when write -> Error EROFS
-      | _ -> Ok ()))
+    (* Unverified handoff from a dead/wedged writer: verify (and repair
+       from the checkpoint where possible) before any grant. *)
+    (match ensure_verified t ~f with
+    | Error e -> Error e
+    | Ok () -> (
+      match f.f_quarantined_for with
+      | Some p when p <> proc -> Error EIO
+      | _ -> (
+        (* Media-degraded files: Failed rejects everything, Degraded_ro
+           rejects write mappings (graceful degradation, not a panic). *)
+        match f.f_degraded with
+        | Failed -> Error EIO
+        | Degraded_ro when write -> Error EROFS
+        | _ -> Ok ())))
     |> function
     | Error e -> Error e
     | Ok () -> (
@@ -829,7 +939,9 @@ let map_file t ~proc ~ino ~write =
 (* Commit: re-verify now and, on success, replace the checkpoint so a
    later rollback cannot lose the committed changes (§4.3). *)
 let commit t ~proc ~ino =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match Hashtbl.find_opt t.files ino with
   | None -> Error ENOENT
   | Some f ->
@@ -850,7 +962,9 @@ let commit t ~proc ~ino =
 (* Permission changes go through the kernel: the shadow inode is the
    ground truth (I4). *)
 let chmod t ~proc ~ino ~mode =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
@@ -865,7 +979,9 @@ let chmod t ~proc ~ino ~mode =
   | _ -> Error ENOENT
 
 let chown t ~proc ~ino ~uid ~gid =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
@@ -898,7 +1014,9 @@ let page_owner_of t page = owner_of t page
    caller must hold a write mapping on the file's parent directory —
    that is the permission unlink itself required. *)
 let free_file_tree t ~proc ~ino =
+  Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
   match Hashtbl.find_opt t.files ino with
   | None -> Error ENOENT
   | Some f -> (
@@ -931,6 +1049,264 @@ let unmap_all t ~proc =
   let p = proc_info t proc in
   let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_mapped [] in
   List.iter (fun ino -> ignore (unmap_file t ~proc ~ino)) inos
+
+(* ------------------------------------------------------------------ *)
+(* Process-failure plane: heartbeats, watchdog, abnormal teardown.
+
+   A LibFS that dies or wedges mid-operation never unmaps cleanly: its
+   write-mapped files hold torn intermediate state and its allocation
+   cache holds pages nobody will ever link.  The watchdog notices the
+   silence (no syscalls = no heartbeats), waits out any running write
+   lease, then escalates: force-revoke every mapping, mark each file the
+   process could write as unverified (the map_file gate verifies before
+   the next grant), and tear the address space down.  Orphaned pages are
+   reclaimed by {!gc_once}. *)
+
+let heartbeat t ~proc =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc
+
+let last_heartbeat t ~proc = (proc_info t proc).p_last_heartbeat
+
+let process_dead t ~proc =
+  match Hashtbl.find_opt t.procs proc with Some p -> p.p_dead | None -> false
+
+let processes t =
+  Hashtbl.fold (fun id (p : proc_info) -> List.cons (id, p.p_dead, p.p_last_heartbeat)) t.procs []
+  |> List.sort compare
+
+type watchdog_report = {
+  mutable wd_scanned : int; (* live processes examined *)
+  mutable wd_escalated : int list; (* processes abnormally torn down *)
+  mutable wd_unverified : int; (* files marked for the verifier gate *)
+  mutable wd_revoked : int; (* mappings force-revoked *)
+}
+
+let make_watchdog_report () =
+  { wd_scanned = 0; wd_escalated = []; wd_unverified = 0; wd_revoked = 0 }
+
+let pp_watchdog_report ppf r =
+  Format.fprintf ppf "scanned %d, escalated [%s], %d file(s) unverified, %d mapping(s) revoked"
+    r.wd_scanned
+    (String.concat "; " (List.map string_of_int (List.rev r.wd_escalated)))
+    r.wd_unverified r.wd_revoked
+
+(* The ladder's last rung.  Unlike unmap_file this never verifies
+   inline: the process is gone, so the kernel neither trusts nor runs
+   its callbacks — files are only marked unverified and verification is
+   charged to whoever maps them next.  MMU teardown is wholesale. *)
+let abnormal_teardown ?report t ~proc =
+  let p = proc_info t proc in
+  if not p.p_dead then begin
+    let bump g = match report with Some r -> g r | None -> () in
+    Hashtbl.iter
+      (fun ino () ->
+        match Hashtbl.find_opt t.files ino with
+        | None -> ()
+        | Some f ->
+          bump (fun r -> r.wd_revoked <- r.wd_revoked + 1);
+          if f.f_writer = Some proc then begin
+            f.f_writer <- None;
+            f.f_unverified <- Some proc;
+            bump (fun r -> r.wd_unverified <- r.wd_unverified + 1)
+          end
+          else Hashtbl.remove f.f_readers proc;
+          wake_all f)
+      (Hashtbl.copy p.p_mapped);
+    Hashtbl.reset p.p_mapped;
+    p.p_fix <- None;
+    p.p_recovery <- None;
+    p.p_dead <- true;
+    Mmu.revoke_actor t.mmu ~actor:proc;
+    bump (fun r -> r.wd_escalated <- proc :: r.wd_escalated)
+  end
+
+(* One watchdog scan.  A process is escalated when it has been silent
+   longer than [timeout_ns] while still holding resources — except that
+   a silent writer whose lease is still running gets the benefit of the
+   doubt until the lease expires (rung 1 of the ladder: lease-expiry
+   force-revoke, same policy as {!force_unmap_holders}). *)
+let watchdog_once ?report t ~timeout_ns =
+  let now = Sched.now t.sched in
+  let escalated = ref [] in
+  Hashtbl.iter
+    (fun proc (p : proc_info) ->
+      if not p.p_dead then begin
+        (match report with Some r -> r.wd_scanned <- r.wd_scanned + 1 | None -> ());
+        let stale = now -. p.p_last_heartbeat > timeout_ns in
+        let holds =
+          Hashtbl.length p.p_mapped > 0
+          || Hashtbl.length p.p_pages > 0
+          || Hashtbl.length p.p_inos > 0
+        in
+        let lease_running =
+          Hashtbl.fold
+            (fun ino () acc ->
+              acc
+              ||
+              match Hashtbl.find_opt t.files ino with
+              | Some f -> f.f_writer = Some proc && now < f.f_lease_expire
+              | None -> false)
+            p.p_mapped false
+        in
+        if stale && holds && not lease_running then begin
+          abnormal_teardown ?report t ~proc;
+          escalated := proc :: !escalated
+        end
+      end)
+    (Hashtbl.copy t.procs);
+  List.rev !escalated
+
+(* Periodic watchdog fiber, bounded like {!Scrub.run_patrol} so the
+   event heap always drains. *)
+let run_watchdog ?report t ~timeout_ns ~interval_ns ~rounds =
+  Sched.spawn t.sched (fun () ->
+      for _ = 1 to rounds do
+        Sched.delay interval_ns;
+        ignore (watchdog_once ?report t ~timeout_ns)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Orphan-page GC and the page-accounting invariant.
+
+   Mark: a file is reachable when its parent chain ends at the root and
+   the shadow inode table (ground truth) still knows it.  Sweep: every
+   device page is either free (per the extent allocators), attributed to
+   a reachable file, cached by a live process (allocation caches,
+   journals), or a retired badblock — anything else is an orphan left by
+   a dead process and is reclaimed.  The invariant
+       free + reachable + cached + badblocks = device pages
+   is computed from scratch each run and exposed in the report.
+
+   Ordering against the verifier gate: while a dead process still has
+   files awaiting gate verification, pages it holds may in fact be
+   linked — a freshly created file lives in Allocated_to pages until its
+   first verification attributes them In_file.  The GC therefore defers
+   (counts as cached) a dead process' pages until its unverified set
+   drains — via the next map_file or {!drain_unverified} — and only then
+   treats the leftovers as orphans. *)
+
+(* Deliberate mutation hook for the self-test of the leak invariant: a
+   GC that never reclaims must be *provably* caught by the report. *)
+let crash_test_skip_gc = ref false
+
+let set_crash_test_skip_gc b = crash_test_skip_gc := b
+
+type gc_report = {
+  gc_total : int; (* device pages *)
+  gc_free : int; (* per the extent allocators *)
+  gc_reachable : int; (* In_file pages of root-reachable files *)
+  gc_cached : int; (* Allocated_to a live process *)
+  gc_badblocks : int; (* retired by the scrubber *)
+  gc_reclaimed_pages : int; (* orphans swept this run *)
+  gc_reclaimed_inos : int;
+  gc_leaked : int; (* orphans still present after the sweep *)
+  gc_invariant_ok : bool; (* free + reachable + cached + badblocks = total *)
+}
+
+let pp_gc_report ppf r =
+  Format.fprintf ppf
+    "total %d = free %d + reachable %d + cached %d + badblocks %d%s; reclaimed %d page(s) %d \
+     ino(s), leaked %d [%s]"
+    r.gc_total r.gc_free r.gc_reachable r.gc_cached r.gc_badblocks
+    (if r.gc_invariant_ok then "" else " (MISMATCH)")
+    r.gc_reclaimed_pages r.gc_reclaimed_inos r.gc_leaked
+    (if r.gc_invariant_ok && r.gc_leaked = 0 then "ok" else "LEAK")
+
+let reachable_files t =
+  let memo = Hashtbl.create (Hashtbl.length t.files) in
+  let rec reach ino seen =
+    match Hashtbl.find_opt memo ino with
+    | Some v -> v
+    | None ->
+      let v =
+        if ino = Layout.root_ino then Hashtbl.mem t.shadow ino
+        else if List.mem ino seen then false
+        else
+          Hashtbl.mem t.shadow ino
+          &&
+          match Hashtbl.find_opt t.files ino with
+          | None -> false
+          | Some f -> reach f.f_parent (ino :: seen)
+      in
+      Hashtbl.replace memo ino v;
+      v
+  in
+  Hashtbl.iter (fun ino _ -> ignore (reach ino [])) t.files;
+  memo
+
+(* Effect-free (no virtual-time cost, kernel-only reads of soft state)
+   so tests can also run it after the simulation drains. *)
+let gc_once t =
+  let reach = reachable_files t in
+  let live proc =
+    match Hashtbl.find_opt t.procs proc with Some p -> not p.p_dead | None -> false
+  in
+  (* Dead processes with files still awaiting the verifier gate: their
+     pages are deferred, not orphaned (see the section comment). *)
+  let pending = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ f -> match f.f_unverified with Some p -> Hashtbl.replace pending p () | None -> ())
+    t.files;
+  let total = Pmem.total_pages t.pmem in
+  let reachable = ref 0 and cached = ref 0 in
+  let orphans = ref [] in
+  for pg = 0 to total - 1 do
+    match owner_of t pg with
+    | Free -> ()
+    | In_file ino ->
+      if Option.value (Hashtbl.find_opt reach ino) ~default:false then incr reachable
+      else orphans := pg :: !orphans
+    | Allocated_to p ->
+      if live p || Hashtbl.mem pending p then incr cached else orphans := pg :: !orphans
+  done;
+  let reclaimed_pages = ref 0 and leaked = ref 0 in
+  if !crash_test_skip_gc then leaked := List.length !orphans
+  else begin
+    List.iter
+      (fun pg ->
+        (match owner_of t pg with
+        | Allocated_to p -> (
+          match Hashtbl.find_opt t.procs p with
+          | Some pi -> Hashtbl.remove pi.p_pages pg
+          | None -> ())
+        | _ -> ());
+        Hashtbl.remove t.page_owner pg;
+        Pmem.discard_page t.pmem pg;
+        Extent_alloc.free t.node_allocs.(pg / Pmem.pages_per_node t.pmem) pg 1;
+        incr reclaimed_pages)
+      !orphans;
+    Mmu.revoke_everyone_on_pages t.mmu ~pages:!orphans
+  end;
+  (* Orphan inode numbers: allocated to a process that no longer exists
+     (or is dead) and never linked into a directory. *)
+  let reclaimed_inos = ref 0 in
+  if not !crash_test_skip_gc then
+    Hashtbl.iter
+      (fun ino owner ->
+        match owner with
+        | Ino_allocated_to p when (not (live p)) && not (Hashtbl.mem pending p) ->
+          Hashtbl.remove t.ino_owner ino;
+          (match Hashtbl.find_opt t.procs p with
+          | Some pi -> Hashtbl.remove pi.p_inos ino
+          | None -> ());
+          incr reclaimed_inos
+        | _ -> ())
+      (Hashtbl.copy t.ino_owner);
+  let free = Array.fold_left (fun acc a -> acc + Extent_alloc.free_units a) 0 t.node_allocs in
+  let badblocks = List.length t.badblocks in
+  {
+    gc_total = total;
+    gc_free = free;
+    gc_reachable = !reachable;
+    gc_cached = !cached;
+    gc_badblocks = badblocks;
+    gc_reclaimed_pages = !reclaimed_pages;
+    gc_reclaimed_inos = !reclaimed_inos;
+    gc_leaked = !leaked;
+    gc_invariant_ok = free + !reachable + !cached + badblocks = total;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Scrubber support (the patrol loop itself lives in {!Scrub})
@@ -1226,6 +1602,7 @@ let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
               f_waiters = Queue.create ();
               f_quarantined_for = None;
       f_degraded = Healthy;
+      f_unverified = None;
             };
           if inode.Layout.ftype = Dir then
             List.iter

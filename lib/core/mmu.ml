@@ -112,6 +112,11 @@ let revoke_all_on_page t ~actor ~page =
   | None -> ()
   | Some table -> Hashtbl.remove table page
 
+(* Tear down a process' whole address space (abnormal process death):
+   every grant it holds disappears at once, refcounts and all.  Free —
+   the kernel reclaims a dead process' page tables wholesale. *)
+let revoke_actor t ~actor = Hashtbl.remove t.tables actor
+
 (* A page returning to the free pool must not be accessible to anyone. *)
 let revoke_everyone_on_pages t ~pages =
   Hashtbl.iter

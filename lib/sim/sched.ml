@@ -16,6 +16,8 @@ type _ Effect.t +=
   | Delay : float -> unit Effect.t
   | Park : ((unit -> unit) -> unit) -> unit Effect.t
   | Get_ctx : ctx Effect.t
+  | Adjust_killable : int -> unit Effect.t
+  | Adjust_shield : int -> unit Effect.t
 
 (* Binary min-heap of (time, seq, action). *)
 module Heap = struct
@@ -71,6 +73,8 @@ module Heap = struct
     top
 end
 
+type inj_mode = Inj_kill | Inj_hang
+
 type t = {
   mutable now : float;
   heap : Heap.t;
@@ -80,6 +84,19 @@ type t = {
   mutable events : int;
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable stopping : bool;
+  (* Process-failure injection: fibers inside a [killable] scope cross a
+     "kill point" at every Delay boundary (yield / cpu_work / NVM store
+     latency).  When armed, the injector fires at the configured point:
+     [Inj_kill] discontinues the fiber with {!Killed} (abrupt process
+     death mid-operation), [Inj_hang] drops the continuation so the fiber
+     wedges forever while still holding all its resources. *)
+  mutable inj_armed : bool;
+  mutable inj_mode : inj_mode;
+  mutable inj_remaining : int;
+  mutable inj_crossed : int;
+  mutable hung : int;
+  killable_depth : (int, int) Hashtbl.t;
+  shield_depth : (int, int) Hashtbl.t;
 }
 
 let create () =
@@ -92,6 +109,13 @@ let create () =
     events = 0;
     failure = None;
     stopping = false;
+    inj_armed = false;
+    inj_mode = Inj_kill;
+    inj_remaining = 0;
+    inj_crossed = 0;
+    hung = 0;
+    killable_depth = Hashtbl.create 8;
+    shield_depth = Hashtbl.create 8;
   }
 
 let now t = t.now
@@ -104,6 +128,14 @@ let schedule t time action =
 
 exception Stopped
 
+exception Killed
+
+(* Adjust a per-tid depth counter; absent key means depth 0. *)
+let bump tbl tid d =
+  let cur = Option.value (Hashtbl.find_opt tbl tid) ~default:0 in
+  let v = cur + d in
+  if v <= 0 then Hashtbl.remove tbl tid else Hashtbl.replace tbl tid v
+
 let spawn ?(cpu = 0) t f =
   t.live_fibers <- t.live_fibers + 1;
   t.spawned <- t.spawned + 1;
@@ -111,14 +143,22 @@ let spawn ?(cpu = 0) t f =
   let ctx = { cpu; tid } in
   let fiber () =
     let open Effect.Deep in
+    let forget () =
+      Hashtbl.remove t.killable_depth tid;
+      Hashtbl.remove t.shield_depth tid
+    in
     match_with f ()
       {
-        retc = (fun () -> t.live_fibers <- t.live_fibers - 1);
+        retc =
+          (fun () ->
+            forget ();
+            t.live_fibers <- t.live_fibers - 1);
         exnc =
           (fun e ->
+            forget ();
             t.live_fibers <- t.live_fibers - 1;
             match e with
-            | Stopped -> ()
+            | Stopped | Killed -> ()
             | e ->
               if t.failure = None then
                 t.failure <- Some (e, Printexc.get_raw_backtrace ()));
@@ -129,8 +169,29 @@ let spawn ?(cpu = 0) t f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   if ns < 0.0 then invalid_arg "Sched: negative delay";
-                  schedule t (t.now +. ns) (fun () ->
-                      if t.stopping then discontinue k Stopped else continue k ()))
+                  let at_kill_point =
+                    t.inj_armed
+                    && Hashtbl.mem t.killable_depth tid
+                    && not (Hashtbl.mem t.shield_depth tid)
+                  in
+                  if at_kill_point && t.inj_remaining <= 0 then begin
+                    t.inj_armed <- false;
+                    match t.inj_mode with
+                    | Inj_kill -> discontinue k Killed
+                    | Inj_hang ->
+                      (* Drop the continuation: the fiber never resumes but
+                         is never torn down either — it wedges holding all
+                         its mappings, exactly like a hung process. *)
+                      t.hung <- t.hung + 1
+                  end
+                  else begin
+                    if at_kill_point then begin
+                      t.inj_crossed <- t.inj_crossed + 1;
+                      t.inj_remaining <- t.inj_remaining - 1
+                    end;
+                    schedule t (t.now +. ns) (fun () ->
+                        if t.stopping then discontinue k Stopped else continue k ())
+                  end)
             | Park register ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -142,6 +203,16 @@ let spawn ?(cpu = 0) t f =
                             if t.stopping then discontinue k Stopped else continue k ())
                       end))
             | Get_ctx -> Some (fun (k : (a, unit) continuation) -> continue k ctx)
+            | Adjust_killable d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  bump t.killable_depth tid d;
+                  continue k ())
+            | Adjust_shield d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  bump t.shield_depth tid d;
+                  continue k ())
             | _ -> None);
       }
   in
@@ -197,3 +268,40 @@ let self () = Effect.perform Get_ctx
 let current_cpu () = (self ()).cpu
 
 let current_tid () = (self ()).tid
+
+(* ------------------------------------------------------------------ *)
+(* Process-failure injection. *)
+
+let arm_kill t ~after =
+  if after < 0 then invalid_arg "Sched.arm_kill: negative kill point";
+  t.inj_armed <- true;
+  t.inj_mode <- Inj_kill;
+  t.inj_remaining <- after;
+  t.inj_crossed <- 0
+
+let arm_hang t ~after =
+  if after < 0 then invalid_arg "Sched.arm_hang: negative kill point";
+  t.inj_armed <- true;
+  t.inj_mode <- Inj_hang;
+  t.inj_remaining <- after;
+  t.inj_crossed <- 0
+
+let arm_count t =
+  t.inj_armed <- true;
+  t.inj_mode <- Inj_kill;
+  t.inj_remaining <- max_int;
+  t.inj_crossed <- 0
+
+let disarm t = t.inj_armed <- false
+
+let kill_points_crossed t = t.inj_crossed
+
+let hung_fibers t = t.hung
+
+let killable f =
+  Effect.perform (Adjust_killable 1);
+  Fun.protect ~finally:(fun () -> Effect.perform (Adjust_killable (-1))) f
+
+let shield f =
+  Effect.perform (Adjust_shield 1);
+  Fun.protect ~finally:(fun () -> Effect.perform (Adjust_shield (-1))) f

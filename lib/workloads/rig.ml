@@ -28,6 +28,7 @@ type t = {
   ctl : Controller.t;
   delegation : Delegation.t Lazy.t;
   mutable next_proc : int;
+  mutable mounts : Libfs.t list; (* every LibFS mounted through this rig *)
 }
 
 let make_machine ?(nodes = 8) ?(cpus_per_node = 28) ?(pages_per_node = 1 lsl 19)
@@ -49,6 +50,7 @@ let init ?(threads_per_node = 12) ?stripe_pages (sched, topo, pmem, lease_ns) =
     ctl;
     delegation = lazy (Delegation.create ~sched ~pmem ~threads_per_node ?stripe_pages ());
     next_proc = 100;
+    mounts = [];
   }
 
 let fresh_proc t =
@@ -57,8 +59,21 @@ let fresh_proc t =
 
 let mount_arckfs ?(delegated = true) ?(uid = 1000) ?unmap_after_write t =
   let delegation = if delegated then Some (Lazy.force t.delegation) else None in
-  Libfs.mount ~ctl:t.ctl ~proc:(fresh_proc t) ~cred:{ Trio_core.Fs_types.uid; gid = uid }
-    ?delegation ?unmap_after_write ()
+  let libfs =
+    Libfs.mount ~ctl:t.ctl ~proc:(fresh_proc t) ~cred:{ Trio_core.Fs_types.uid; gid = uid }
+      ?delegation ?unmap_after_write ()
+  in
+  t.mounts <- libfs :: t.mounts;
+  libfs
+
+(* Clean teardown: hand every mapping of every mounted process back to
+   the kernel (each handoff verifies inline).  Without this a rig that
+   finishes its workload still holds write mappings and allocation
+   caches, and a subsequent page-accounting pass would report them as
+   phantom leaks. *)
+let unmount_all t =
+  List.iter Libfs.unmap_everything t.mounts;
+  t.mounts <- []
 
 (* Mount a file system by its evaluation name, without the VFS layer. *)
 let mount_raw ?(store_data = true) t name =
@@ -96,7 +111,8 @@ let run ?nodes ?cpus_per_node ?pages_per_node ?store_data ?lease_ns ?threads_per
   let result = ref None in
   Sched.spawn sched (fun () ->
       let rig = init ?threads_per_node ?stripe_pages machine in
-      result := Some (f rig));
+      result := Some (f rig);
+      unmount_all rig);
   ignore (Sched.run sched);
   match !result with
   | Some v -> v

@@ -247,6 +247,18 @@ let vfs_checks : (string * (Vfs.t -> unit)) list =
       ("vfs counters track dispatched ops", counters_check);
     ]
 
+(* Page-accounting invariant after a scenario: with every LibFS cleanly
+   unmounted, the controller's books must balance and a GC pass must
+   find nothing to reclaim — clean shutdown never looks like a leak.
+   Call after tearing the scenario's mounts down. *)
+let accounting ctl =
+  let module C = Trio_core.Controller in
+  let gc = C.gc_once ctl in
+  if not gc.C.gc_invariant_ok then
+    Alcotest.failf "page accounting broken after scenario: %a" C.pp_gc_report gc;
+  if gc.C.gc_leaked > 0 || gc.C.gc_reclaimed_pages > 0 then
+    Alcotest.failf "phantom orphans after clean shutdown: %a" C.pp_gc_report gc
+
 (* Build the alcotest cases for a given fs constructor (one fresh file
    system per check). *)
 let suite ~make_fs =

@@ -390,7 +390,9 @@ let arckfs_conformance =
     Conformance.suite ~make_fs:(fun check ->
         Helpers.run_sim (fun env ->
             let fs = Helpers.mount ~proc:1 env in
-            check (Trio_core.Vfs.wrap ~sched:env.Helpers.sched (Libfs.ops fs)))) )
+            check (Trio_core.Vfs.wrap ~sched:env.Helpers.sched (Libfs.ops fs));
+            Libfs.unmap_everything fs;
+            Conformance.accounting env.Helpers.ctl)) )
 
 let () =
   Alcotest.run "arckfs"

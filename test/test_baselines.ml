@@ -15,7 +15,10 @@ let baseline_names =
 
 let with_fs name check =
   Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:16384 ~store_data:true (fun rig ->
-      check (Rig.mount_fs rig name))
+      check (Rig.mount_fs rig name);
+      (* every fs, trio-family or baseline, must leave balanced books *)
+      Rig.unmount_all rig;
+      Conformance.accounting rig.Rig.ctl)
 
 (* ------------------------------------------------------------------ *)
 (* Model-behaviour checks *)

@@ -120,7 +120,10 @@ let deep_path depth name =
 let test_fpfs_conformance =
   ( "fpfs conformance",
     Conformance.suite ~make_fs:(fun check ->
-        with_rig (fun rig -> check (Rig.mount_fs rig "fpfs"))) )
+        with_rig (fun rig ->
+            check (Rig.mount_fs rig "fpfs");
+            Rig.unmount_all rig;
+            Conformance.accounting rig.Rig.ctl)) )
 
 let test_fpfs_deep_paths () =
   with_rig (fun rig ->
