@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck fmt
 
 all: build
 
@@ -18,7 +18,21 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck
+check: crashcheck-quick faultcheck proccheck verifycheck
+
+# Verification-plane gate: full vs incremental verification must give
+# byte-identical verdicts over the attack suite, the corruption
+# campaign and a pinned-seed crash exploration — and the sabotaged
+# dirty-tracking mutation must make them diverge (exit 0 BECAUSE the
+# divergence was caught).
+verifycheck:
+	dune build
+	dune exec test/test_verifier.exe
+	dune exec bin/trioctl.exe -- verifycheck
+	dune exec bin/trioctl.exe -- verifycheck --mutate
+
+fmt:
+	dune build @fmt
 
 # Process-failure plane gate: the seeded kill/hang/watchdog/GC unit and
 # property tests, a pinned-seed exploration of process-death states

@@ -394,15 +394,32 @@ let observability_workload fs =
   ignore (fs.Fs.mkdir "/obs" 0o755);
   ignore (fs.Fs.unlink "/obs/missing")
 
+let print_verify_counters ctl =
+  let stats = Controller.stats ctl in
+  let verify =
+    List.filter
+      (fun (name, _) -> String.length name >= 6 && String.sub name 0 6 = "verify")
+      (Trio_sim.Stats.to_list stats)
+  in
+  match verify with
+  | [] -> Printf.printf "verification plane: no activity recorded\n"
+  | kvs ->
+    Printf.printf "verification plane (per-invariant timers, pipeline counters):\n";
+    List.iter (fun (k, v) -> Printf.printf "  %-32s %.1f\n" k v) kvs
+
 let stats_cmd =
   let run fs_name =
     Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
         let vfs = Rig.mount_fs rig fs_name in
         observability_workload (Vfs.ops vfs);
+        (* the sharing point: released write mappings ride the
+           verification pipeline, so the verify counters are live *)
+        Rig.unmount_all rig;
         Printf.printf "%s: %d operations dispatched through the VFS layer\n" fs_name
           (Vfs.total_ops vfs);
         Format.printf "per-op counters, errno breakdown and latency percentiles:@.%a"
           Vfs.pp_breakdown vfs;
+        print_verify_counters rig.Rig.ctl;
         0)
   in
   let fs_arg =
@@ -422,6 +439,7 @@ let trace_cmd =
     Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
         let vfs = Rig.mount_fs ~trace_capacity:last rig fs_name in
         observability_workload (Vfs.ops vfs);
+        Rig.unmount_all rig;
         Printf.printf "%s: last %d of %d operations (ring capacity %d):\n" fs_name
           (List.length (Vfs.trace vfs))
           (Vfs.total_ops vfs) last;
@@ -699,6 +717,56 @@ let procfail_cmd =
       $ mutate_arg)
 
 (* ------------------------------------------------------------------ *)
+(* verifycheck: incremental-vs-full verification differential gate *)
+
+let verifycheck_cmd =
+  let module Vdiff = Trio_check.Vdiff in
+  let run seeds script_seed script_len mutate =
+    if mutate then begin
+      Printf.printf
+        "drop-writes mutation armed: incremental verification must diverge from the full walk\n";
+      let v = Vdiff.mutation_self_test ~seeds ~script_seed ~script_len () in
+      Format.printf "%a@." Vdiff.pp_verdict v;
+      if v.Vdiff.vd_diffs <> [] then begin
+        Printf.printf "mutation caught: sabotaged dirty tracking changed the verdicts\n";
+        0
+      end
+      else begin
+        Printf.printf "MUTATION NOT CAUGHT: the differential gate is blind to a broken tracker\n";
+        1
+      end
+    end
+    else begin
+      let v = Vdiff.differential ~seeds ~script_seed ~script_len () in
+      Format.printf "%a@." Vdiff.pp_verdict v;
+      if v.Vdiff.vd_diffs = [] then 0 else 1
+    end
+  in
+  let seeds_arg =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Seeds per corruption-campaign script")
+  in
+  let script_seed_arg =
+    Arg.(value & opt int 1 & info [ "script-seed" ] ~doc:"Seed for the exploration op script")
+  in
+  let script_len_arg =
+    Arg.(value & opt int 6 & info [ "script-len" ] ~doc:"Ops in the exploration script")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Drop pages from the MMU write-set (gate self-test): exit 0 only if the \
+             differential provably catches the sabotaged dirty tracking")
+  in
+  Cmd.v
+    (Cmd.info "verifycheck"
+       ~doc:
+         "Run the attack suite and a pinned-seed crash exploration under full and incremental \
+          verification and demand byte-identical verdicts")
+    Term.(const run $ seeds_arg $ script_seed_arg $ script_len_arg $ mutate_arg)
+
+(* ------------------------------------------------------------------ *)
 (* micro: one microbenchmark on one fs *)
 
 let micro_cmd =
@@ -745,6 +813,7 @@ let () =
         fsck_cmd;
         attacks_cmd;
         crashcheck_cmd;
+        verifycheck_cmd;
         faults_cmd;
         scrub_cmd;
         procfail_cmd;

@@ -1315,13 +1315,18 @@ let op_fsync t fd =
 (* ------------------------------------------------------------------ *)
 (* Teardown / sharing helpers *)
 
+(* Teardown is a sharing point: the caller expects every verification
+   triggered by its unmaps to have *landed* when this returns, so after
+   dropping the mappings we quiesce the background pipeline.  Per-file
+   unmaps stay asynchronous. *)
 let unmap_everything t =
   flush_free_backlog t;
   Hashtbl.reset t.dirs;
   Hashtbl.reset t.files;
   Hashtbl.reset t.fds;
   t.root <- None;
-  Controller.unmap_all t.ctl ~proc:t.proc
+  Controller.unmap_all t.ctl ~proc:t.proc;
+  Controller.drain_verification t.ctl
 
 let commit_file t path =
   with_retry t (fun () ->

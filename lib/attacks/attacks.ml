@@ -26,16 +26,22 @@ module Libfs = Arckfs.Libfs
 module Fs = Trio_core.Fs_intf
 module Rig = Trio_workloads.Rig
 module Rng = Trio_util.Rng
+module Verifier = Trio_core.Verifier
 open Trio_core.Fs_types
 
 type outcome = {
   a_name : string;
   a_detected : bool; (* verifier flagged (or repaired) the corruption *)
   a_recovered : bool; (* the file system is consistent afterwards *)
+  a_events : string list;
+      (* the formatted verifier verdicts behind [a_detected] — the
+         payload the incremental-vs-full differential gate compares
+         byte for byte *)
 }
 
 let pp_outcome ppf o =
-  Fmt.pf ppf "%-28s detected=%b recovered=%b" o.a_name o.a_detected o.a_recovered
+  Fmt.pf ppf "%-28s detected=%b recovered=%b events=%d" o.a_name o.a_detected o.a_recovered
+    (List.length o.a_events)
 
 (* ------------------------------------------------------------------ *)
 (* Scenario plumbing *)
@@ -87,11 +93,26 @@ let make_ctx rig =
    survives with its content intact; the scripted campaign only demands
    global consistency (a benign corruption of the name field is
    semantically a rename and must not count as damage). *)
+let format_event (actor, ino, viols) =
+  Fmt.str "actor=%d ino=%d [%a]" actor ino
+    (Fmt.list ~sep:(Fmt.any "; ") Verifier.pp_violation)
+    viols
+
 let evaluate ?(require_victim = true) ctx ~events_before ~i4_repair =
   Libfs.unmap_everything ctx.attacker;
   let ctl = ctx.rig.Rig.ctl in
+  let events_now = Controller.corruption_events ctl in
+  (* the log is newest-first: the fresh entries are the head *)
+  let fresh =
+    List.filteri (fun i _ -> i < List.length events_now - events_before) events_now
+  in
+  (* The verification pipeline checks independent files concurrently,
+     so event *arrival order* is a scheduling artifact (and shifts with
+     the per-mode verification cost); the deterministic object is the
+     verdict set.  Canonicalize by sorting. *)
+  let events = List.sort String.compare (List.rev_map format_event fresh) in
   let detected =
-    List.length (Controller.corruption_events ctl) > events_before
+    List.length events_now > events_before
     ||
     (* permission corruptions are repaired in place, not flagged *)
     i4_repair ()
@@ -125,7 +146,7 @@ let evaluate ?(require_victim = true) ctx ~events_before ~i4_repair =
         entries
   in
   Libfs.unmap_everything reader;
-  (detected, victim_ok && namespace_ok)
+  (detected, victim_ok && namespace_ok, events)
 
 (* Each scenario runs in a fresh simulated machine so scenarios cannot
    contaminate each other. *)
@@ -137,10 +158,10 @@ let run_attack ~name ~attack ?(i4_repair = fun _ -> false) () =
       let ctx = make_ctx rig in
       let events_before = List.length (Controller.corruption_events rig.Rig.ctl) in
       attack ctx;
-      let detected, recovered =
+      let detected, recovered, events =
         evaluate ctx ~events_before ~i4_repair:(fun () -> i4_repair ctx)
       in
-      { a_name = name; a_detected = detected; a_recovered = recovered })
+      { a_name = name; a_detected = detected; a_recovered = recovered; a_events = events })
 
 (* ------------------------------------------------------------------ *)
 (* The eleven handcrafted attacks *)
@@ -331,7 +352,7 @@ let run_campaign ?(seeds = 8) () =
               in
               raw_write ctx ~addr:(ctx.victim_addr + off) ~bytes:noise;
               let changed = not (Bytes.equal pre noise) in
-              let detected, consistent =
+              let detected, consistent, _events =
                 evaluate ~require_victim:false ctx ~events_before:before ~i4_repair:(fun () ->
                     (* repaired = the field no longer holds the noise *)
                     let now =

@@ -1,0 +1,122 @@
+(* Incremental-vs-full verification differential gate (DESIGN.md §4.13).
+
+   The incremental verifier serves snapshot bytes for provably-clean
+   pages instead of re-reading them, so its *verdicts* must be
+   byte-identical to a full I1–I4 walk — only the simulated cost may
+   differ.  This module makes that property executable:
+
+   - [differential]: run the §6.5 attack suite (handcrafted + scripted
+     campaign) and a pinned-seed crash-state exploration twice, once
+     under [Full] and once under [Incremental] verification, and
+     compare every rendered verdict byte for byte.
+
+   - [mutation_self_test]: arm {!Mmu.set_crash_test_drop_writes} —
+     a seeded bug that silently drops pages from the MMU write-set, so
+     the incremental verifier wrongly trusts stale snapshots — and
+     demand that the differential gate *catches* it.  A gate that
+     cannot see a broken dirty-tracker proves nothing.
+
+   Both entry points restore the global verification mode and the
+   mutation flag on every exit path. *)
+
+module Controller = Trio_core.Controller
+module Mmu = Trio_core.Mmu
+module Attacks = Trio_attacks.Attacks
+module Rng = Trio_util.Rng
+
+(* Everything one verification mode produces, rendered to stable
+   strings so comparison is trivially byte-exact. *)
+type snapshot = {
+  vs_handcrafted : string list; (* one line per handcrafted attack *)
+  vs_campaign : string; (* campaign counters *)
+  vs_explore : string; (* crash-exploration outcome *)
+}
+
+let render_outcome (o : Attacks.outcome) =
+  Fmt.str "%a :: %s" Attacks.pp_outcome o (String.concat " / " o.Attacks.a_events)
+
+let render_campaign (c : Attacks.campaign_result) =
+  Printf.sprintf "total=%d detected=%d consistent=%d" c.Attacks.c_total c.Attacks.c_detected
+    c.Attacks.c_consistent
+
+let render_explore (o : Explore.outcome) =
+  Fmt.str "points=%d states=%d exhaustive=%b %s" o.Explore.crash_points o.Explore.states
+    o.Explore.exhaustive
+    (match o.Explore.counterexample with
+    | None -> "no-counterexample"
+    | Some cx -> Fmt.str "counterexample: %a" Explore.pp_counterexample cx)
+
+(* The exploration slice is deliberately small: the gate's job is to
+   compare verdicts across modes, not to re-run the deep campaign. *)
+let explore_config =
+  {
+    Explore.default_config with
+    Explore.max_states = 256;
+    check_replay = false;
+    shrink = false;
+  }
+
+let run_suite ~seeds ~script_seed ~script_len mode =
+  let prev = Controller.current_verify_mode () in
+  Controller.set_verify_mode mode;
+  Fun.protect
+    ~finally:(fun () -> Controller.set_verify_mode prev)
+    (fun () ->
+      let handcrafted = List.map render_outcome (Attacks.run_handcrafted ()) in
+      let campaign = render_campaign (Attacks.run_campaign ~seeds ()) in
+      let script = Script.generate (Rng.create script_seed) ~len:script_len in
+      let explore = render_explore (Explore.explore ~config:explore_config script) in
+      { vs_handcrafted = handcrafted; vs_campaign = campaign; vs_explore = explore })
+
+(* Line-by-line comparison; [] = byte-identical. *)
+let compare_snapshots ~(full : snapshot) ~(incremental : snapshot) =
+  let diffs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> diffs := s :: !diffs) fmt in
+  let nf = List.length full.vs_handcrafted and ni = List.length incremental.vs_handcrafted in
+  if nf <> ni then add "handcrafted attack count differs: full=%d incremental=%d" nf ni
+  else
+    List.iteri
+      (fun i (f, g) -> if f <> g then add "attack %d:\n  full:        %s\n  incremental: %s" i f g)
+      (List.combine full.vs_handcrafted incremental.vs_handcrafted);
+  if full.vs_campaign <> incremental.vs_campaign then
+    add "campaign:\n  full:        %s\n  incremental: %s" full.vs_campaign
+      incremental.vs_campaign;
+  if full.vs_explore <> incremental.vs_explore then
+    add "exploration:\n  full:        %s\n  incremental: %s" full.vs_explore
+      incremental.vs_explore;
+  List.rev !diffs
+
+type verdict = {
+  vd_scenarios : int; (* verdicts compared across the two runs *)
+  vd_diffs : string list; (* [] = the modes agree byte for byte *)
+}
+
+let scenario_count s = List.length s.vs_handcrafted + 2 (* campaign + exploration *)
+
+let differential ?(seeds = 2) ?(script_seed = 1) ?(script_len = 6) () =
+  let full = run_suite ~seeds ~script_seed ~script_len Controller.Full in
+  let incremental = run_suite ~seeds ~script_seed ~script_len Controller.Incremental in
+  {
+    vd_scenarios = scenario_count full;
+    vd_diffs = compare_snapshots ~full ~incremental;
+  }
+
+(* Self-test: with the dirty-tracker sabotaged, the incremental run
+   must *diverge* from the full run — otherwise the gate is blind. *)
+let mutation_self_test ?(seeds = 2) ?(script_seed = 1) ?(script_len = 6) () =
+  let full = run_suite ~seeds ~script_seed ~script_len Controller.Full in
+  Mmu.set_crash_test_drop_writes true;
+  let incremental =
+    Fun.protect
+      ~finally:(fun () -> Mmu.set_crash_test_drop_writes false)
+      (fun () -> run_suite ~seeds ~script_seed ~script_len Controller.Incremental)
+  in
+  let diffs = compare_snapshots ~full ~incremental in
+  { vd_scenarios = scenario_count full; vd_diffs = diffs }
+
+let pp_verdict ppf v =
+  match v.vd_diffs with
+  | [] -> Fmt.pf ppf "%d scenarios: verdicts byte-identical across modes" v.vd_scenarios
+  | ds ->
+    Fmt.pf ppf "%d scenarios, %d divergences:@." v.vd_scenarios (List.length ds);
+    List.iter (fun d -> Fmt.pf ppf "  %s@." d) ds

@@ -14,1627 +14,192 @@
 
    It never performs metadata updates on behalf of a LibFS: LibFSes
    write dentries/index pages directly, and new files are discovered
-   and ingested when the enclosing directory is verified. *)
+   and ingested when the enclosing directory is verified.
 
-module Pmem = Trio_nvm.Pmem
-module Perf = Trio_nvm.Perf
+   This module is a facade: the implementation lives in focused
+   submodules, one per concern, each behind its own interface —
+
+   - {!Ctl_state}       shared record types, construction, cold start
+   - {!Ctl_alloc}       page/inode allocation, free, recycle
+   - {!Ctl_checkpoint}  verified-metadata snapshots, rollback, the
+                        incremental-verification delta lookup
+   - {!Ctl_registry}    process registry, watchdog, orphan GC
+   - {!Ctl_media}       scrubber repair primitives
+   - {!Ctl_gate}        map/unmap, the background verification
+                        pipeline, commit, namespace operations
+
+   Everything outside [lib/core] links against this module only. *)
+
 module Numa = Trio_nvm.Numa
-module Sched = Trio_sim.Sched
-module Stats = Trio_sim.Stats
-module Extent_alloc = Trio_util.Extent_alloc
-open Fs_types
 
-type page_owner = Verifier.page_owner = Free | Allocated_to of int | In_file of int
+(* ------------------------------------------------------------------ *)
+(* Types (re-exported so existing pattern matches keep compiling) *)
 
-type ino_owner = Verifier.ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+type page_owner = Ctl_state.page_owner = Free | Allocated_to of int | In_file of int
 
-type checkpoint = {
-  ck_dentry : Bytes.t; (* snapshot of the file's dentry block *)
-  ck_pages : (int * Bytes.t) list; (* metadata pages: index (+ data for dirs) *)
-  ck_children : int list; (* dir only: live child inos *)
+type ino_owner = Ctl_state.ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+
+type checkpoint = Ctl_state.checkpoint = {
+  ck_dentry : Bytes.t;
+  ck_pages : (int * Bytes.t) list;
+  ck_children : int list;
   ck_size : int;
   ck_index_head : int;
+  ck_mark : int;
 }
 
-(* Health of a file after media damage (see {!Scrub}): [Degraded_ro]
-   files reject writes with EROFS but stay readable where the media
-   allows; [Failed] files reject all mapping with EIO. *)
-type degradation = Healthy | Degraded_ro | Failed
+type degradation = Ctl_state.degradation = Healthy | Degraded_ro | Failed
 
-type file_info = {
-  f_ino : int;
-  mutable f_dentry_addr : int;
-  mutable f_parent : int; (* parent directory ino; root points to itself *)
-  mutable f_ftype : ftype;
-  mutable f_index_pages : int list;
-  mutable f_data_pages : int list;
-  mutable f_readers : (int, unit) Hashtbl.t; (* proc -> () *)
-  mutable f_writer : int option;
-  mutable f_lease_expire : float;
-  mutable f_checkpoint : checkpoint option;
-  mutable f_waiters : Sched.waker Queue.t;
-  mutable f_quarantined_for : int option; (* corrupt: only this proc may map *)
-  mutable f_degraded : degradation;
-  mutable f_unverified : int option;
-      (* last writer died/wedged before verification: the next map_file
-         must pass the verifier gate (as this proc) before any grant *)
-}
-
-type proc_info = {
-  p_id : int;
-  p_cred : cred;
-  p_group : int;
-  mutable p_fix : (int -> bool) option; (* LibFS corruption-fix callback *)
-  mutable p_recovery : (unit -> unit) option; (* LibFS crash-recovery program *)
-  mutable p_pages : (int, unit) Hashtbl.t; (* pages Allocated_to this proc *)
-  mutable p_inos : (int, unit) Hashtbl.t; (* inos Ino_allocated_to this proc *)
-  mutable p_mapped : (int, unit) Hashtbl.t; (* inos this proc has mapped *)
-  mutable p_last_heartbeat : float; (* virtual time of the last syscall *)
-  mutable p_dead : bool; (* abnormally torn down by the watchdog *)
-}
-
-type t = {
-  sched : Sched.t;
-  pmem : Pmem.t;
-  mmu : Mmu.t;
-  topo : Numa.t;
-  lease_ns : float;
-  node_allocs : Extent_alloc.t array;
-  mutable next_ino : int;
-  page_owner : (int, page_owner) Hashtbl.t; (* absent = Free *)
-  ino_owner : (int, ino_owner) Hashtbl.t;
-  shadow : (int, Verifier.shadow) Hashtbl.t;
-  files : (int, file_info) Hashtbl.t;
-  procs : (int, proc_info) Hashtbl.t;
-  stats : Stats.t;
-  mutable corruption_events : (int * int * Verifier.violation list) list;
-      (* (proc, ino, violations) log, most recent first *)
-  mutable quarantine : (int * int) list; (* (proc, quarantine ino) *)
-  mutable badblocks : int list;
-      (* pages retired by the scrubber: never returned to the allocator.
-         Soft state — lost on cold_start (a real deployment would log
-         them durably; see DESIGN.md §4.11). *)
-}
-
-let page_size = Layout.page_size
+type file_info = Ctl_state.file_info
+type proc_info = Ctl_state.proc_info
+type t = Ctl_state.t
 
 (* ------------------------------------------------------------------ *)
 (* Construction *)
 
-let owner_of t page = Option.value (Hashtbl.find_opt t.page_owner page) ~default:Free
-
-let ino_owner_of t ino = Option.value (Hashtbl.find_opt t.ino_owner ino) ~default:Ino_free
-
-let create ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
-  let topo = Pmem.topo pmem in
-  let pages_per_node = Pmem.pages_per_node pmem in
-  let node_allocs =
-    Array.init (Numa.nodes topo) (fun n ->
-        (* Node 0 loses its first pages to the superblock and the root
-           dentry page. *)
-        if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
-        else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
-  in
-  let t =
-    {
-      sched;
-      pmem;
-      mmu;
-      topo;
-      lease_ns;
-      node_allocs;
-      next_ino = Layout.root_ino + 1;
-      page_owner = Hashtbl.create 4096;
-      ino_owner = Hashtbl.create 1024;
-      shadow = Hashtbl.create 1024;
-      files = Hashtbl.create 1024;
-      procs = Hashtbl.create 16;
-      stats = Stats.create ();
-      corruption_events = [];
-      quarantine = [];
-      badblocks = [];
-    }
-  in
-  Layout.mkfs pmem ~total_pages:(Pmem.total_pages pmem);
-  Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
-  Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
-  Hashtbl.replace t.ino_owner Layout.root_ino (Ino_in_dir Layout.root_ino);
-  Hashtbl.replace t.shadow Layout.root_ino
-    { Verifier.s_ftype = Dir; s_mode = 0o777; s_uid = 0; s_gid = 0 };
-  let root =
-    {
-      f_ino = Layout.root_ino;
-      f_dentry_addr = Layout.root_dentry_addr;
-      f_parent = Layout.root_ino;
-      f_ftype = Dir;
-      f_index_pages = [];
-      f_data_pages = [];
-      f_readers = Hashtbl.create 8;
-      f_writer = None;
-      f_lease_expire = 0.0;
-      f_checkpoint = None;
-      f_waiters = Queue.create ();
-      f_quarantined_for = None;
-      f_degraded = Healthy;
-      f_unverified = None;
-    }
-  in
-  Hashtbl.replace t.files Layout.root_ino root;
+let create ~sched ~pmem ~mmu ?lease_ns () =
+  let t = Ctl_state.create ~sched ~pmem ~mmu ?lease_ns () in
+  Ctl_gate.start t;
   t
 
-let stats t = t.stats
-let sched t = t.sched
-let pmem t = t.pmem
+let cold_start ~sched ~pmem ~mmu ?lease_ns () =
+  match Ctl_state.cold_start ~sched ~pmem ~mmu ?lease_ns () with
+  | Error _ as e -> e
+  | Ok t ->
+    Ctl_gate.start t;
+    Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let stats (t : t) = t.Ctl_state.stats
+let sched (t : t) = t.Ctl_state.sched
+let pmem (t : t) = t.Ctl_state.pmem
 let root_ino = Layout.root_ino
 let root_dentry_addr = Layout.root_dentry_addr
-let corruption_events t = t.corruption_events
-let quarantined_files t = t.quarantine
 
-let register_process t ~proc ~cred ?group ?fix ?recovery () =
-  if proc = Pmem.kernel_actor then invalid_arg "Controller.register_process: reserved id";
-  let info =
-    {
-      p_id = proc;
-      p_cred = cred;
-      p_group = Option.value group ~default:proc;
-      p_fix = fix;
-      p_recovery = recovery;
-      p_pages = Hashtbl.create 64;
-      p_inos = Hashtbl.create 64;
-      p_mapped = Hashtbl.create 16;
-      p_last_heartbeat = Sched.now t.sched;
-      p_dead = false;
-    }
-  in
-  Hashtbl.replace t.procs proc info;
-  (* Every process can read the superblock and the root dentry page. *)
-  Mmu.grant_free t.mmu ~actor:proc ~pages:[ 0; Layout.root_dentry_page ] ~perm:Mmu.P_read
+(* The corruption log and quarantine list are verification *results*:
+   drain the pipeline before exposing them, so a reader never misses a
+   verdict that was still queued. *)
+let corruption_events (t : t) =
+  Ctl_gate.drain_verification t;
+  t.Ctl_state.corruption_events
 
-let proc_info t proc =
-  match Hashtbl.find_opt t.procs proc with
-  | Some p -> p
-  | None -> invalid_arg (Printf.sprintf "Controller: unregistered process %d" proc)
+let quarantined_files (t : t) =
+  Ctl_gate.drain_verification t;
+  t.Ctl_state.quarantine
 
-(* Every syscall doubles as a heartbeat: a process that stops making
-   kernel calls is indistinguishable from one that died, which is
-   exactly the signal the watchdog escalates on. *)
-let touch t proc =
-  match Hashtbl.find_opt t.procs proc with
-  | Some p -> p.p_last_heartbeat <- Sched.now t.sched
-  | None -> ()
-
-let group_of t proc = (proc_info t proc).p_group
-
-let file_info t ino = Hashtbl.find_opt t.files ino
+let proc_info = Ctl_state.proc_info
+let touch = Ctl_state.touch
+let group_of = Ctl_state.group_of
+let file_info = Ctl_state.file_info
+let shadow_of = Ctl_state.shadow_of
+let view = Ctl_state.view
+let file_pages = Ctl_state.file_pages
+let walk_file = Ctl_state.walk_file
+let dir_page_is_empty = Ctl_state.dir_page_is_empty
+let owner_of = Ctl_state.owner_of
+let ino_owner_of = Ctl_state.ino_owner_of
+let page_owner_of = Ctl_state.owner_of
+let node_of_cpu (t : t) cpu = Numa.node_of_cpu t.Ctl_state.topo cpu
 
 (* ------------------------------------------------------------------ *)
-(* Resource allocation (batched kernel calls) *)
+(* Verification mode and observability *)
 
-let node_of_cpu t cpu = Numa.node_of_cpu t.topo cpu
+type vmode = Ctl_state.vmode = Full | Incremental
 
-let alloc_pages t ~proc ~node ~count ~kind =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  let p = proc_info t proc in
-  match Extent_alloc.alloc t.node_allocs.(node) count with
-  | exception Extent_alloc.Out_of_space -> (
-    (* fall back to any node with space *)
-    let rec try_nodes n =
-      if n >= Array.length t.node_allocs then Error ENOSPC
-      else
-        match Extent_alloc.alloc t.node_allocs.(n) count with
-        | exception Extent_alloc.Out_of_space -> try_nodes (n + 1)
-        | start -> Ok start
-    in
-    match try_nodes 0 with
-    | Error e -> Error e
-    | Ok start ->
-      let pages = List.init count (fun i -> start + i) in
-      List.iter
-        (fun pg ->
-          Hashtbl.replace t.page_owner pg (Allocated_to proc);
-          Hashtbl.replace p.p_pages pg ();
-          Pmem.set_kind t.pmem pg kind)
-        pages;
-      Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
-      Ok pages)
-  | start ->
-    let pages = List.init count (fun i -> start + i) in
-    List.iter
-      (fun pg ->
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
-        Hashtbl.replace p.p_pages pg ();
-        Pmem.set_kind t.pmem pg kind)
-      pages;
-    Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
-    Ok pages
-
-(* Scan a directory data page for live entries; the controller refuses to
-   free non-empty directory pages, which is what lets the verifier's I3
-   deleted-directory check work (see DESIGN.md §4.4). *)
-let dir_page_is_empty t pg =
-  let b = Pmem.read t.pmem ~actor:Pmem.kernel_actor ~addr:(pg * page_size) ~len:page_size in
-  let live = ref false in
-  for slot = 0 to Layout.dentries_per_page - 1 do
-    if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then live := true
-  done;
-  not !live
-
-let free_pages t ~proc ~pages =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  let p = proc_info t proc in
-  let check pg =
-    match owner_of t pg with
-    | Allocated_to q when q = proc -> Ok ()
-    | In_file ino -> (
-      match Hashtbl.find_opt t.files ino with
-      | Some f when f.f_writer = Some proc || (Option.is_some f.f_writer && group_of t (Option.get f.f_writer) = group_of t proc) ->
-        (* Freeing a directory data page requires it to be empty. *)
-        if
-          f.f_ftype = Dir
-          && List.mem pg f.f_data_pages
-          && not (dir_page_is_empty t pg)
-        then Error EACCES
-        else Ok ()
-      | _ -> Error EACCES)
-    | Allocated_to _ | Free -> Error EACCES
-  in
-  let rec validate = function
-    | [] -> Ok ()
-    | pg :: rest -> ( match check pg with Ok () -> validate rest | Error e -> Error e)
-  in
-  match validate pages with
-  | Error e -> Error e
-  | Ok () ->
-    List.iter
-      (fun pg ->
-        (match owner_of t pg with
-        | In_file ino -> (
-          match Hashtbl.find_opt t.files ino with
-          | Some f ->
-            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
-          | None -> ())
-        | _ -> ());
-        Hashtbl.remove t.page_owner pg;
-        Hashtbl.remove p.p_pages pg;
-        Pmem.discard_page t.pmem pg;
-        let node = pg / Pmem.pages_per_node t.pmem in
-        Extent_alloc.free t.node_allocs.(node) pg 1)
-      pages;
-    Sched.delay (Perf.Cpu.page_table_op *. float_of_int (List.length pages));
-    Mmu.revoke_everyone_on_pages t.mmu ~pages;
-    Ok ()
-
-(* Return pages of a write-mapped file to the calling process'
-   allocation pool *without* touching the MMU: the LibFS keeps its
-   existing access and reuses the pages directly (the fast truncate /
-   rewrite path; the ownership change is what keeps check I2 sound). *)
-let recycle_pages t ~proc ~pages =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  let p = proc_info t proc in
-  let my_group = group_of t proc in
-  let check pg =
-    match owner_of t pg with
-    | Allocated_to q when q = proc -> true
-    | In_file ino -> (
-      match Hashtbl.find_opt t.files ino with
-      | Some f -> (
-        match f.f_writer with
-        | Some w -> (w = proc || group_of t w = my_group)
-                    && not (f.f_ftype = Dir && List.mem pg f.f_data_pages)
-        | None -> false)
-      | None -> false)
-    | Allocated_to _ | Free -> false
-  in
-  if not (List.for_all check pages) then Error EACCES
-  else begin
-    List.iter
-      (fun pg ->
-        (match owner_of t pg with
-        | In_file ino -> (
-          match Hashtbl.find_opt t.files ino with
-          | Some f ->
-            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
-          | None -> ())
-        | _ -> ());
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
-        Hashtbl.replace p.p_pages pg ())
-      pages;
-    Ok ()
-  end
-
-let alloc_inos t ~proc ~count =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  let p = proc_info t proc in
-  let inos = List.init count (fun i -> t.next_ino + i) in
-  t.next_ino <- t.next_ino + count;
-  List.iter
-    (fun ino ->
-      Hashtbl.replace t.ino_owner ino (Ino_allocated_to proc);
-      Hashtbl.replace p.p_inos ino ())
-    inos;
-  inos
+let set_verify_mode = Ctl_state.set_verify_mode
+let current_verify_mode = Ctl_state.current_verify_mode
+let set_verify_hook (t : t) hook = t.Ctl_state.verify_hook <- Some hook
+let clear_verify_hook (t : t) = t.Ctl_state.verify_hook <- None
+let verify_queue_depth (t : t) = Queue.length t.Ctl_state.verify_q
 
 (* ------------------------------------------------------------------ *)
-(* Verifier view *)
+(* Resource allocation *)
 
-let view t =
-  {
-    Verifier.pmem = t.pmem;
-    total_pages = Pmem.total_pages t.pmem;
-    page_owner = (fun pg -> owner_of t pg);
-    ino_owner = (fun ino -> ino_owner_of t ino);
-    shadow = (fun ino -> Hashtbl.find_opt t.shadow ino);
-    checkpoint_children =
-      (fun ino ->
-        match Hashtbl.find_opt t.files ino with
-        | Some { f_checkpoint = Some ck; _ } -> Some ck.ck_children
-        | _ -> None);
-    is_mapped_elsewhere =
-      (fun ~ino ~proc ->
-        match Hashtbl.find_opt t.files ino with
-        | None -> false
-        | Some f ->
-          (match f.f_writer with Some w when w <> proc -> true | _ -> false)
-          || Hashtbl.fold (fun r () acc -> acc || r <> proc) f.f_readers false);
-    write_mapped_by_other =
-      (fun ~ino ~proc ->
-        match Hashtbl.find_opt t.files ino with
-        | Some { f_writer = Some w; _ } -> w <> proc
-        | _ -> false);
-    pages_attributed_to =
-      (fun ino ->
-        match Hashtbl.find_opt t.files ino with
-        | None -> []
-        | Some f -> f.f_index_pages @ f.f_data_pages);
-    dir_write_mapped_by =
-      (fun ~dir ~proc ->
-        match Hashtbl.find_opt t.files dir with
-        | Some { f_writer = Some w; _ } -> w = proc
-        | _ -> false);
-  }
+let alloc_pages = Ctl_alloc.alloc_pages
+let free_pages = Ctl_alloc.free_pages
+let recycle_pages = Ctl_alloc.recycle_pages
+let alloc_inos = Ctl_alloc.alloc_inos
+let alloc_page_any_node = Ctl_alloc.alloc_page_any_node
+let free_file_tree = Ctl_alloc.free_file_tree
 
 (* ------------------------------------------------------------------ *)
-(* Mapping bookkeeping helpers *)
+(* Checkpoints *)
 
-let file_pages f = (f.f_dentry_addr / page_size) :: (f.f_index_pages @ f.f_data_pages)
-
-(* Walk a file's on-NVM page tree with kernel reads.  Used at map time to
-   find what to grant and at ingestion to attribute pages. *)
-let walk_file t ~ino:_ ~dentry_addr =
-  let actor = Pmem.kernel_actor in
-  match Layout.read_dentry t.pmem ~actor ~addr:dentry_addr with
-  | None | Some (Error _) -> None
-  | Some (Ok (inode, _name)) ->
-    let index_pages = ref [] and data_pages = ref [] in
-    let result =
-      Layout.walk_index_chain t.pmem ~actor ~head:inode.Layout.index_head
-        ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next:_ ->
-          index_pages := index_page :: !index_pages;
-          Array.iter (fun e -> if e <> 0 then data_pages := e :: !data_pages) entries)
-    in
-    (match result with Ok () -> () | Error _ -> ());
-    Some (inode, List.rev !index_pages, List.rev !data_pages)
-
-let take_checkpoint t f =
-  let actor = Pmem.kernel_actor in
-  let dentry = Pmem.read t.pmem ~actor ~addr:f.f_dentry_addr ~len:Layout.dentry_size in
-  let meta_pages =
-    match f.f_ftype with
-    | Reg -> f.f_index_pages
-    | Dir -> f.f_index_pages @ f.f_data_pages
-  in
-  let ck_pages =
-    List.map
-      (fun pg -> (pg, Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size))
-      meta_pages
-  in
-  let children =
-    if f.f_ftype = Dir then
-      List.concat_map
-        (fun pg ->
-          let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
-          List.filter_map
-            (fun slot ->
-              let ino = Layout.get_u64 b (slot * Layout.dentry_size) in
-              if ino = 0 then None else Some ino)
-            (List.init Layout.dentries_per_page Fun.id))
-        f.f_data_pages
-    else []
-  in
-  let inode =
-    match Layout.decode_dentry dentry with
-    | Some (Ok (inode, _)) -> inode
-    | _ -> (* unreadable dentry: checkpoint what we can *)
-      {
-        Layout.ino = f.f_ino;
-        ftype = f.f_ftype;
-        mode = 0;
-        uid = 0;
-        gid = 0;
-        size = 0;
-        index_head = 0;
-        mtime = 0;
-        ctime = 0;
-      }
-  in
-  f.f_checkpoint <-
-    Some
-      {
-        ck_dentry = dentry;
-        ck_pages;
-        ck_children = children;
-        ck_size = inode.Layout.size;
-        ck_index_head = inode.Layout.index_head;
-      }
-
-(* Restore a file's metadata to its checkpoint: the corruption-recovery
-   policy of §4.3.  Pages referenced now but not at checkpoint time fall
-   back to the offending process' allocation pool. *)
-let rollback_to_checkpoint t f ~offender =
-  match f.f_checkpoint with
-  | None -> ()
-  | Some ck ->
-    let actor = Pmem.kernel_actor in
-    Pmem.write t.pmem ~actor ~addr:f.f_dentry_addr ~src:ck.ck_dentry;
-    Pmem.persist t.pmem ~addr:f.f_dentry_addr ~len:Layout.dentry_size;
-    List.iter
-      (fun (pg, snapshot) ->
-        Pmem.write t.pmem ~actor ~addr:(pg * page_size) ~src:snapshot;
-        Pmem.persist t.pmem ~addr:(pg * page_size) ~len:page_size)
-      ck.ck_pages;
-    (* Pages added since the checkpoint return to the offender. *)
-    let ck_set = List.map fst ck.ck_pages in
-    let offender_info = proc_info t offender in
-    List.iter
-      (fun pg ->
-        if not (List.mem pg ck_set) then begin
-          Hashtbl.replace t.page_owner pg (Allocated_to offender);
-          Hashtbl.replace offender_info.p_pages pg ()
-        end)
-      (f.f_index_pages @ f.f_data_pages);
-    (* Recompute attribution by re-walking the restored metadata. *)
-    (match walk_file t ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr with
-    | Some (_inode, index_pages, data_pages) ->
-      f.f_index_pages <- index_pages;
-      f.f_data_pages <- data_pages;
-      List.iter
-        (fun pg ->
-          Hashtbl.replace t.page_owner pg (In_file f.f_ino);
-          Hashtbl.remove offender_info.p_pages pg)
-        (index_pages @ data_pages)
-    | None -> ())
-
-(* Preserve the offender's corrupted bytes as a private quarantine file so
-   no data is silently lost (§4.3). *)
-let quarantine_copy t f ~offender =
-  let actor = Pmem.kernel_actor in
-  let pages = f.f_index_pages @ f.f_data_pages in
-  let qino = List.hd (alloc_inos t ~proc:offender ~count:1) in
-  (* Copy every current page into fresh pages owned by the offender. *)
-  List.iter
-    (fun pg ->
-      let node = pg / Pmem.pages_per_node t.pmem in
-      match alloc_pages t ~proc:offender ~node ~count:1 ~kind:(Pmem.kind_of t.pmem pg) with
-      | Ok [ dst ] ->
-        let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
-        Pmem.write t.pmem ~actor ~addr:(dst * page_size) ~src:b;
-        Pmem.persist t.pmem ~addr:(dst * page_size) ~len:page_size
-      | _ -> ())
-    pages;
-  t.quarantine <- (offender, qino) :: t.quarantine
+let take_checkpoint = Ctl_checkpoint.take_checkpoint
+let rollback_to_checkpoint = Ctl_checkpoint.rollback_to_checkpoint
+let checkpoint_page_bytes = Ctl_checkpoint.checkpoint_page_bytes
+let page_snapshot = Ctl_checkpoint.page_snapshot
+let encode_checkpoint = Ctl_checkpoint.encode_checkpoint
+let decode_checkpoint = Ctl_checkpoint.decode_checkpoint
 
 (* ------------------------------------------------------------------ *)
-(* Ingestion: after a successful verification, reconcile global info *)
+(* Verification gate and mapping *)
 
-let cred_of_proc t proc = (proc_info t proc).p_cred
-
-let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
-  let pinfo = proc_info t proc in
-  (* Page attribution: everything the walk saw becomes In_file; pages that
-     left the file (truncate without free) return to the proc. *)
-  let new_pages = report.Verifier.index_pages @ report.Verifier.data_pages in
-  let old_pages = f.f_index_pages @ f.f_data_pages in
-  List.iter
-    (fun pg ->
-      if not (List.mem pg new_pages) then begin
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
-        Hashtbl.replace pinfo.p_pages pg ()
-      end)
-    old_pages;
-  List.iter
-    (fun pg ->
-      Hashtbl.replace t.page_owner pg (In_file f.f_ino);
-      Hashtbl.remove pinfo.p_pages pg)
-    new_pages;
-  f.f_index_pages <- report.Verifier.index_pages;
-  f.f_data_pages <- report.Verifier.data_pages;
-  (* Once pages belong to a file the creator no longer holds write-mapped,
-     its allocation-time grants must go: otherwise it would retain access
-     after the handoff, defeating the exclusive-write policy. *)
-  if f.f_writer <> Some proc then
-    Mmu.revoke_free t.mmu ~actor:proc ~pages:new_pages ~perm:Mmu.P_readwrite;
-  (* Children: ingest newly created files, update moved dentries. *)
-  List.iter
-    (fun (c : Verifier.child) ->
-      match ino_owner_of t c.Verifier.c_ino with
-      | Ino_allocated_to p when p = proc ->
-        (* Fresh file: establish the shadow inode with the creator's
-           credentials as ground truth. *)
-        let cred = cred_of_proc t proc in
-        let mode =
-          match Layout.read_dentry t.pmem ~actor:Pmem.kernel_actor ~addr:c.Verifier.c_dentry_addr with
-          | Some (Ok (inode, _)) -> inode.Layout.mode land 0o7777
-          | _ -> 0o644
-        in
-        Hashtbl.replace t.shadow c.Verifier.c_ino
-          { Verifier.s_ftype = c.Verifier.c_ftype; s_mode = mode; s_uid = cred.uid; s_gid = cred.gid };
-        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
-        Hashtbl.remove pinfo.p_inos c.Verifier.c_ino;
-        let child_file =
-          {
-            f_ino = c.Verifier.c_ino;
-            f_dentry_addr = c.Verifier.c_dentry_addr;
-            f_parent = f.f_ino;
-            f_ftype = c.Verifier.c_ftype;
-            f_index_pages = [];
-            f_data_pages = [];
-            f_readers = Hashtbl.create 4;
-            f_writer = None;
-            f_lease_expire = 0.0;
-            f_checkpoint = None;
-            f_waiters = Queue.create ();
-            f_quarantined_for = None;
-            f_degraded = Healthy;
-      f_unverified = None;
-          }
-        in
-        Hashtbl.replace t.files c.Verifier.c_ino child_file;
-        (* Recursively verify and ingest the fresh subtree. *)
-        let child_report =
-          Verifier.check_file (view t) ~proc ~ino:c.Verifier.c_ino
-            ~dentry_addr:c.Verifier.c_dentry_addr
-        in
-        if child_report.Verifier.ok then ingest_verified t ~proc ~f:child_file child_report
-        else begin
-          t.corruption_events <-
-            (proc, c.Verifier.c_ino, child_report.Verifier.violations) :: t.corruption_events;
-          (* A fresh file that fails verification is simply not ingested:
-             remove its dentry so the namespace stays consistent. *)
-          Layout.clear_dentry_atomic t.pmem ~actor:Pmem.kernel_actor
-            ~addr:c.Verifier.c_dentry_addr;
-          Hashtbl.remove t.files c.Verifier.c_ino;
-          Hashtbl.remove t.shadow c.Verifier.c_ino;
-          Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_allocated_to proc)
-        end
-      | Ino_in_dir parent when parent = f.f_ino -> (
-        (* Existing child: its dentry may have moved within the dir. *)
-        match Hashtbl.find_opt t.files c.Verifier.c_ino with
-        | Some cf -> cf.f_dentry_addr <- c.Verifier.c_dentry_addr
-        | None -> ())
-      | Ino_in_dir _other -> (
-        (* Cross-directory move (rename): accept, since the verifier
-           only lets this through when the source is write-mapped by
-           the same process. *)
-        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
-        match Hashtbl.find_opt t.files c.Verifier.c_ino with
-        | Some cf ->
-          cf.f_dentry_addr <- c.Verifier.c_dentry_addr;
-          cf.f_parent <- f.f_ino
-        | None -> ())
-      | Ino_allocated_to _ | Ino_free -> ())
-    report.Verifier.children;
-  (* Deleted children: reclaim regular-file pages, drop records. *)
-  List.iter
-    (fun dino ->
-      match ino_owner_of t dino with
-      | Ino_in_dir parent when parent = f.f_ino -> (
-        match Hashtbl.find_opt t.files dino with
-        | Some df ->
-          List.iter
-            (fun pg ->
-              Hashtbl.remove t.page_owner pg;
-              Pmem.discard_page t.pmem pg;
-              let node = pg / Pmem.pages_per_node t.pmem in
-              Extent_alloc.free t.node_allocs.(node) pg 1)
-            (df.f_index_pages @ df.f_data_pages);
-          Hashtbl.remove t.files dino;
-          Hashtbl.remove t.shadow dino;
-          Hashtbl.remove t.ino_owner dino
-        | None ->
-          Hashtbl.remove t.shadow dino;
-          Hashtbl.remove t.ino_owner dino)
-      | _ -> () (* moved elsewhere: nothing to reclaim *))
-    report.Verifier.deleted_children;
-  (* Refresh the checkpoint so it always holds the latest *verified*
-     state — including for freshly ingested children, via the recursion
-     above.  This is what the patrol scrubber repairs media-damaged
-     metadata lines from (see {!Scrub}). *)
-  take_checkpoint t f
+let verify_file = Ctl_gate.verify_file
+let ensure_verified = Ctl_gate.ensure_verified
+let drain_unverified = Ctl_gate.drain_unverified
+let drain_verification = Ctl_gate.drain_verification
+let map_file = Ctl_gate.map_file
+let unmap_file = Ctl_gate.unmap_file
+let commit = Ctl_gate.commit
+let unmap_all = Ctl_gate.unmap_all
+let chmod = Ctl_gate.chmod
+let chown = Ctl_gate.chown
+let write_mapped_inos = Ctl_gate.write_mapped_inos
+let dentry_addr_of = Ctl_gate.dentry_addr_of
+let crash_recover = Ctl_gate.crash_recover
 
 (* ------------------------------------------------------------------ *)
-(* Verification driver (runs on unmap of a write mapping) *)
+(* Process registry, watchdog, GC *)
 
-let verify_file t ~proc ~(f : file_info) =
-  let report =
-    Stats.timed t.stats t.sched "verify" (fun () ->
-        Verifier.check_file (view t) ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
-  in
-  if report.Verifier.ok then begin
-    (* ingestion recursively verifies freshly created children, so its
-       time also counts as verification *)
-    Stats.timed t.stats t.sched "verify" (fun () -> ingest_verified t ~proc ~f report);
-    true
-  end
-  else begin
-    t.corruption_events <- (proc, f.f_ino, report.Verifier.violations) :: t.corruption_events;
-    (* Give the LibFS a chance to fix its own corruption (with the fix
-       budget modeled by the callback's own virtual time), then re-check. *)
-    let fixed =
-      match (proc_info t proc).p_fix with
-      | Some fix_fn -> (
-        match fix_fn f.f_ino with
-        | true ->
-          let retry =
-            Verifier.check_file (view t) ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr
-          in
-          if retry.Verifier.ok then begin
-            ingest_verified t ~proc ~f retry;
-            true
-          end
-          else false
-        | false -> false
-        | exception _ -> false)
-      | None -> false
-    in
-    if not fixed then begin
-      (* Preserve the offender's bytes, then roll the file back. *)
-      quarantine_copy t f ~offender:proc;
-      rollback_to_checkpoint t f ~offender:proc;
-      f.f_quarantined_for <- None
-    end;
-    fixed
-  end
+let register_process = Ctl_registry.register_process
+let heartbeat = Ctl_registry.heartbeat
+let last_heartbeat = Ctl_registry.last_heartbeat
+let process_dead = Ctl_registry.process_dead
+let processes = Ctl_registry.processes
+let reap_dead = Ctl_registry.reap_dead
 
-(* Release the inode numbers a dead process still holds.  Its cached
-   *pages* are deliberately left attributed (Allocated_to) for the
-   orphan GC: routing all page reclamation through {!gc_once} keeps it
-   observable in the accounting invariant, which is how the skip-GC
-   mutation stays provably catchable.  Effect-free. *)
-let reap_dead t proc =
-  match Hashtbl.find_opt t.procs proc with
-  | Some p when p.p_dead ->
-    let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_inos [] in
-    List.iter
-      (fun ino ->
-        Hashtbl.remove t.ino_owner ino;
-        Hashtbl.remove p.p_inos ino)
-      inos;
-    List.length inos
-  | _ -> 0
-
-(* Verifier gate for files whose last writer died or wedged (§4.4 of the
-   paper: crash consistency of the handoff).  The watchdog only marks
-   such files unverified — it cannot run the dead process' fix callback,
-   and charging verification to the next accessor keeps the failure
-   plane pay-as-you-go.  Repair policy: accept the dead writer's state
-   if it verifies as-is; otherwise roll back to the last verified
-   checkpoint and re-check; if even the rollback does not verify, the
-   file degrades to Failed and the mapping is refused with EIO. *)
-let ensure_verified t ~(f : file_info) =
-  match f.f_unverified with
-  | None -> Ok ()
-  | Some dead ->
-    f.f_unverified <- None;
-    let check () =
-      Stats.timed t.stats t.sched "verify" (fun () ->
-          Verifier.check_file (view t) ~proc:dead ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
-    in
-    let report = check () in
-    let outcome =
-      if report.Verifier.ok then begin
-        ingest_verified t ~proc:dead ~f report;
-        Ok ()
-      end
-      else begin
-        t.corruption_events <- (dead, f.f_ino, report.Verifier.violations) :: t.corruption_events;
-        match f.f_checkpoint with
-        | None ->
-          f.f_degraded <- Failed;
-          Error EIO
-        | Some _ ->
-          rollback_to_checkpoint t f ~offender:dead;
-          let retry = check () in
-          if retry.Verifier.ok then begin
-            ingest_verified t ~proc:dead ~f retry;
-            Ok ()
-          end
-          else begin
-            f.f_degraded <- Failed;
-            Error EIO
-          end
-      end
-    in
-    (* Ingestion/rollback may have returned stray pages to the dead
-       process' pool; release its inode numbers now and leave the pages
-       for the orphan GC to sweep. *)
-    ignore (reap_dead t dead);
-    outcome
-
-(* Force the verifier gate for every file still pending (fsck/admin
-   path).  Afterwards the GC owes nothing to the gate and may reclaim
-   every stray page of the dead processes.  Returns how many files were
-   drained. *)
-let drain_unverified t =
-  let pending =
-    Hashtbl.fold (fun _ f acc -> if f.f_unverified <> None then f :: acc else acc) t.files []
-  in
-  List.iter (fun f -> ignore (ensure_verified t ~f)) pending;
-  List.length pending
-
-(* ------------------------------------------------------------------ *)
-(* Map / unmap *)
-
-let wake_all f =
-  while not (Queue.is_empty f.f_waiters) do
-    (Queue.pop f.f_waiters) ()
-  done
-
-let revoke_mapping t ~proc ~(f : file_info) ~was_writer =
-  let pages = file_pages f in
-  let perm = if was_writer then Mmu.P_readwrite else Mmu.P_read in
-  Stats.timed t.stats t.sched "unmap" (fun () -> Mmu.revoke t.mmu ~actor:proc ~pages ~perm);
-  Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
-  if was_writer then begin
-    f.f_writer <- None;
-    ignore (verify_file t ~proc ~f)
-  end
-  else Hashtbl.remove f.f_readers proc;
-  wake_all f
-
-let unmap_file t ~proc ~ino =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match Hashtbl.find_opt t.files ino with
-  | None -> Error ENOENT
-  | Some f ->
-    if f.f_writer = Some proc then begin
-      revoke_mapping t ~proc ~f ~was_writer:true;
-      Ok ()
-    end
-    else if Hashtbl.mem f.f_readers proc then begin
-      revoke_mapping t ~proc ~f ~was_writer:false;
-      Ok ()
-    end
-    else Error EBADF
-
-(* Force-unmap the current holder(s) after lease expiry; charged to the
-   fiber that requests the conflicting access. *)
-let force_unmap_holders t ~(f : file_info) ~for_writer =
-  (match f.f_writer with
-  | Some holder -> revoke_mapping t ~proc:holder ~f ~was_writer:true
-  | None -> ());
-  if for_writer then
-    Hashtbl.iter (fun r () -> revoke_mapping t ~proc:r ~f ~was_writer:false)
-      (Hashtbl.copy f.f_readers)
-
-let conflicts t ~proc ~(f : file_info) ~write =
-  let my_group = group_of t proc in
-  let writer_conflict =
-    match f.f_writer with
-    | None -> false
-    | Some w -> w <> proc && group_of t w <> my_group
-  in
-  if write then
-    writer_conflict
-    || Hashtbl.fold
-         (fun r () acc -> acc || (r <> proc && group_of t r <> my_group))
-         f.f_readers false
-  else writer_conflict
-
-let rec wait_for_access t ~proc ~(f : file_info) ~write =
-  if conflicts t ~proc ~f ~write then begin
-    (* Readers are revoked immediately for a writer: a read mapping
-       needs no verification on teardown, and the reader transparently
-       re-maps on its next access.  Leases only protect writers, whose
-       handoff requires verification. *)
-    let my_group = group_of t proc in
-    let writer_conflict =
-      match f.f_writer with
-      | None -> false
-      | Some w -> w <> proc && group_of t w <> my_group
-    in
-    if write && not writer_conflict then force_unmap_holders t ~f ~for_writer:true
-    else begin
-    let expire = f.f_lease_expire in
-    let now = Sched.now t.sched in
-    if now >= expire then force_unmap_holders t ~f ~for_writer:write
-    else begin
-      (* Sleep until the lease expires or the holder unmaps. *)
-      Sched.park (fun waker ->
-          Queue.push waker f.f_waiters;
-          Sched.schedule t.sched expire waker);
-      if conflicts t ~proc ~f ~write && Sched.now t.sched >= f.f_lease_expire then
-        force_unmap_holders t ~f ~for_writer:write
-    end
-    end;
-    wait_for_access t ~proc ~f ~write
-  end
-
-let map_file t ~proc ~ino ~write =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match Hashtbl.find_opt t.files ino with
-  | None -> Error ENOENT
-  | Some f -> (
-    (* Unverified handoff from a dead/wedged writer: verify (and repair
-       from the checkpoint where possible) before any grant. *)
-    (match ensure_verified t ~f with
-    | Error e -> Error e
-    | Ok () -> (
-      match f.f_quarantined_for with
-      | Some p when p <> proc -> Error EIO
-      | _ -> (
-        (* Media-degraded files: Failed rejects everything, Degraded_ro
-           rejects write mappings (graceful degradation, not a panic). *)
-        match f.f_degraded with
-        | Failed -> Error EIO
-        | Degraded_ro when write -> Error EROFS
-        | _ -> Ok ())))
-    |> function
-    | Error e -> Error e
-    | Ok () -> (
-      (* Permission check against the shadow inode (ground truth). *)
-      let cred = cred_of_proc t proc in
-      match Hashtbl.find_opt t.shadow ino with
-      | None -> Error ENOENT
-      | Some s ->
-        if
-          not
-            (Fs_types.permits ~cred ~uid:s.Verifier.s_uid ~gid:s.Verifier.s_gid
-               ~mode:s.Verifier.s_mode ~want_read:true ~want_write:write)
-        then Error EACCES
-        else begin
-          wait_for_access t ~proc ~f ~write;
-          (* Claim the mapping before the (slow) walk/checkpoint/grant so
-             no other fiber slips in during those delays. *)
-          if write then begin
-            f.f_writer <- Some proc;
-            (* read-to-write upgrade: the earlier read grants must go,
-               or revoking the write mapping later would leave access *)
-            if Hashtbl.mem f.f_readers proc then begin
-              Hashtbl.remove f.f_readers proc;
-              Mmu.revoke_free t.mmu ~actor:proc ~pages:(file_pages f) ~perm:Mmu.P_read
-            end
-          end
-          else Hashtbl.replace f.f_readers proc ();
-          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
-          (* Walk the file to find the page set. *)
-          (match walk_file t ~ino ~dentry_addr:f.f_dentry_addr with
-          | Some (_, index_pages, data_pages) ->
-            f.f_index_pages <- index_pages;
-            f.f_data_pages <- data_pages
-          | None -> ());
-          if write then take_checkpoint t f;
-          let pages = file_pages f in
-          Stats.timed t.stats t.sched "map" (fun () ->
-              Mmu.grant t.mmu ~actor:proc ~pages
-                ~perm:(if write then Mmu.P_readwrite else Mmu.P_read));
-          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
-          Hashtbl.replace (proc_info t proc).p_mapped ino ();
-          Ok ()
-        end))
-
-(* Commit: re-verify now and, on success, replace the checkpoint so a
-   later rollback cannot lose the committed changes (§4.3). *)
-let commit t ~proc ~ino =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match Hashtbl.find_opt t.files ino with
-  | None -> Error ENOENT
-  | Some f ->
-    if f.f_writer <> Some proc then Error EBADF
-    else begin
-      let report =
-        Stats.timed t.stats t.sched "verify" (fun () ->
-            Verifier.check_file (view t) ~proc ~ino ~dentry_addr:f.f_dentry_addr)
-      in
-      if report.Verifier.ok then begin
-        ingest_verified t ~proc ~f report;
-        take_checkpoint t f;
-        Ok ()
-      end
-      else Error EIO
-    end
-
-(* Permission changes go through the kernel: the shadow inode is the
-   ground truth (I4). *)
-let chmod t ~proc ~ino ~mode =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
-  | Some s, Some f ->
-    let cred = cred_of_proc t proc in
-    if cred.uid <> 0 && cred.uid <> s.Verifier.s_uid then Error EACCES
-    else begin
-      let s' = { s with Verifier.s_mode = mode land 0o7777 } in
-      Hashtbl.replace t.shadow ino s';
-      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
-        ~mode:s'.Verifier.s_mode ~uid:s'.Verifier.s_uid ~gid:s'.Verifier.s_gid;
-      Ok ()
-    end
-  | _ -> Error ENOENT
-
-let chown t ~proc ~ino ~uid ~gid =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
-  | Some s, Some f ->
-    let cred = cred_of_proc t proc in
-    if cred.uid <> 0 then Error EACCES
-    else begin
-      let s' = { s with Verifier.s_uid = uid; s_gid = gid } in
-      Hashtbl.replace t.shadow ino s';
-      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
-        ~mode:s'.Verifier.s_mode ~uid ~gid;
-      Ok ()
-    end
-  | _ -> Error ENOENT
-
-let shadow_of t ino = Hashtbl.find_opt t.shadow ino
-
-(* Files currently write-mapped by [proc]; a LibFS recovery program uses
-   this to know what it must repair after a crash. *)
-let write_mapped_inos t ~proc =
-  Hashtbl.fold
-    (fun ino (f : file_info) acc ->
-      if f.f_writer = Some proc then (ino, f.f_dentry_addr, f.f_ftype) :: acc else acc)
-    t.files []
-
-let dentry_addr_of t ino =
-  match Hashtbl.find_opt t.files ino with Some f -> Some f.f_dentry_addr | None -> None
-
-let page_owner_of t page = owner_of t page
-
-(* Free every page of a (just-unlinked) file and drop its records.  The
-   caller must hold a write mapping on the file's parent directory —
-   that is the permission unlink itself required. *)
-let free_file_tree t ~proc ~ino =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
-  match Hashtbl.find_opt t.files ino with
-  | None -> Error ENOENT
-  | Some f -> (
-    match Hashtbl.find_opt t.files f.f_parent with
-    | Some parent
-      when (match parent.f_writer with
-           | Some w -> w = proc || group_of t w = group_of t proc
-           | None -> false) ->
-      if f.f_ftype = Dir && not (List.for_all (dir_page_is_empty t) f.f_data_pages) then
-        Error ENOTEMPTY
-      else begin
-        let pages = f.f_index_pages @ f.f_data_pages in
-        List.iter
-          (fun pg ->
-            Hashtbl.remove t.page_owner pg;
-            Pmem.discard_page t.pmem pg;
-            let node = pg / Pmem.pages_per_node t.pmem in
-            Extent_alloc.free t.node_allocs.(node) pg 1)
-          pages;
-        Mmu.revoke_everyone_on_pages t.mmu ~pages;
-        Hashtbl.remove t.files ino;
-        Hashtbl.remove t.shadow ino;
-        Hashtbl.remove t.ino_owner ino;
-        Ok ()
-      end
-    | _ -> Error EACCES)
-
-(* Release everything a process has mapped (process teardown). *)
-let unmap_all t ~proc =
-  let p = proc_info t proc in
-  let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_mapped [] in
-  List.iter (fun ino -> ignore (unmap_file t ~proc ~ino)) inos
-
-(* ------------------------------------------------------------------ *)
-(* Process-failure plane: heartbeats, watchdog, abnormal teardown.
-
-   A LibFS that dies or wedges mid-operation never unmaps cleanly: its
-   write-mapped files hold torn intermediate state and its allocation
-   cache holds pages nobody will ever link.  The watchdog notices the
-   silence (no syscalls = no heartbeats), waits out any running write
-   lease, then escalates: force-revoke every mapping, mark each file the
-   process could write as unverified (the map_file gate verifies before
-   the next grant), and tear the address space down.  Orphaned pages are
-   reclaimed by {!gc_once}. *)
-
-let heartbeat t ~proc =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc
-
-let last_heartbeat t ~proc = (proc_info t proc).p_last_heartbeat
-
-let process_dead t ~proc =
-  match Hashtbl.find_opt t.procs proc with Some p -> p.p_dead | None -> false
-
-let processes t =
-  Hashtbl.fold (fun id (p : proc_info) -> List.cons (id, p.p_dead, p.p_last_heartbeat)) t.procs []
-  |> List.sort compare
-
-type watchdog_report = {
-  mutable wd_scanned : int; (* live processes examined *)
-  mutable wd_escalated : int list; (* processes abnormally torn down *)
-  mutable wd_unverified : int; (* files marked for the verifier gate *)
-  mutable wd_revoked : int; (* mappings force-revoked *)
+type watchdog_report = Ctl_registry.watchdog_report = {
+  mutable wd_scanned : int;
+  mutable wd_escalated : int list;
+  mutable wd_unverified : int;
+  mutable wd_revoked : int;
 }
 
-let make_watchdog_report () =
-  { wd_scanned = 0; wd_escalated = []; wd_unverified = 0; wd_revoked = 0 }
+let make_watchdog_report = Ctl_registry.make_watchdog_report
+let pp_watchdog_report = Ctl_registry.pp_watchdog_report
+let abnormal_teardown = Ctl_registry.abnormal_teardown
+let watchdog_once = Ctl_registry.watchdog_once
+let run_watchdog = Ctl_registry.run_watchdog
+let set_crash_test_skip_gc = Ctl_registry.set_crash_test_skip_gc
 
-let pp_watchdog_report ppf r =
-  Format.fprintf ppf "scanned %d, escalated [%s], %d file(s) unverified, %d mapping(s) revoked"
-    r.wd_scanned
-    (String.concat "; " (List.map string_of_int (List.rev r.wd_escalated)))
-    r.wd_unverified r.wd_revoked
-
-(* The ladder's last rung.  Unlike unmap_file this never verifies
-   inline: the process is gone, so the kernel neither trusts nor runs
-   its callbacks — files are only marked unverified and verification is
-   charged to whoever maps them next.  MMU teardown is wholesale. *)
-let abnormal_teardown ?report t ~proc =
-  let p = proc_info t proc in
-  if not p.p_dead then begin
-    let bump g = match report with Some r -> g r | None -> () in
-    Hashtbl.iter
-      (fun ino () ->
-        match Hashtbl.find_opt t.files ino with
-        | None -> ()
-        | Some f ->
-          bump (fun r -> r.wd_revoked <- r.wd_revoked + 1);
-          if f.f_writer = Some proc then begin
-            f.f_writer <- None;
-            f.f_unverified <- Some proc;
-            bump (fun r -> r.wd_unverified <- r.wd_unverified + 1)
-          end
-          else Hashtbl.remove f.f_readers proc;
-          wake_all f)
-      (Hashtbl.copy p.p_mapped);
-    Hashtbl.reset p.p_mapped;
-    p.p_fix <- None;
-    p.p_recovery <- None;
-    p.p_dead <- true;
-    Mmu.revoke_actor t.mmu ~actor:proc;
-    bump (fun r -> r.wd_escalated <- proc :: r.wd_escalated)
-  end
-
-(* One watchdog scan.  A process is escalated when it has been silent
-   longer than [timeout_ns] while still holding resources — except that
-   a silent writer whose lease is still running gets the benefit of the
-   doubt until the lease expires (rung 1 of the ladder: lease-expiry
-   force-revoke, same policy as {!force_unmap_holders}). *)
-let watchdog_once ?report t ~timeout_ns =
-  let now = Sched.now t.sched in
-  let escalated = ref [] in
-  Hashtbl.iter
-    (fun proc (p : proc_info) ->
-      if not p.p_dead then begin
-        (match report with Some r -> r.wd_scanned <- r.wd_scanned + 1 | None -> ());
-        let stale = now -. p.p_last_heartbeat > timeout_ns in
-        let holds =
-          Hashtbl.length p.p_mapped > 0
-          || Hashtbl.length p.p_pages > 0
-          || Hashtbl.length p.p_inos > 0
-        in
-        let lease_running =
-          Hashtbl.fold
-            (fun ino () acc ->
-              acc
-              ||
-              match Hashtbl.find_opt t.files ino with
-              | Some f -> f.f_writer = Some proc && now < f.f_lease_expire
-              | None -> false)
-            p.p_mapped false
-        in
-        if stale && holds && not lease_running then begin
-          abnormal_teardown ?report t ~proc;
-          escalated := proc :: !escalated
-        end
-      end)
-    (Hashtbl.copy t.procs);
-  List.rev !escalated
-
-(* Periodic watchdog fiber, bounded like {!Scrub.run_patrol} so the
-   event heap always drains. *)
-let run_watchdog ?report t ~timeout_ns ~interval_ns ~rounds =
-  Sched.spawn t.sched (fun () ->
-      for _ = 1 to rounds do
-        Sched.delay interval_ns;
-        ignore (watchdog_once ?report t ~timeout_ns)
-      done)
-
-(* ------------------------------------------------------------------ *)
-(* Orphan-page GC and the page-accounting invariant.
-
-   Mark: a file is reachable when its parent chain ends at the root and
-   the shadow inode table (ground truth) still knows it.  Sweep: every
-   device page is either free (per the extent allocators), attributed to
-   a reachable file, cached by a live process (allocation caches,
-   journals), or a retired badblock — anything else is an orphan left by
-   a dead process and is reclaimed.  The invariant
-       free + reachable + cached + badblocks = device pages
-   is computed from scratch each run and exposed in the report.
-
-   Ordering against the verifier gate: while a dead process still has
-   files awaiting gate verification, pages it holds may in fact be
-   linked — a freshly created file lives in Allocated_to pages until its
-   first verification attributes them In_file.  The GC therefore defers
-   (counts as cached) a dead process' pages until its unverified set
-   drains — via the next map_file or {!drain_unverified} — and only then
-   treats the leftovers as orphans. *)
-
-(* Deliberate mutation hook for the self-test of the leak invariant: a
-   GC that never reclaims must be *provably* caught by the report. *)
-let crash_test_skip_gc = ref false
-
-let set_crash_test_skip_gc b = crash_test_skip_gc := b
-
-type gc_report = {
-  gc_total : int; (* device pages *)
-  gc_free : int; (* per the extent allocators *)
-  gc_reachable : int; (* In_file pages of root-reachable files *)
-  gc_cached : int; (* Allocated_to a live process *)
-  gc_badblocks : int; (* retired by the scrubber *)
-  gc_reclaimed_pages : int; (* orphans swept this run *)
+type gc_report = Ctl_registry.gc_report = {
+  gc_total : int;
+  gc_free : int;
+  gc_reachable : int;
+  gc_cached : int;
+  gc_badblocks : int;
+  gc_reclaimed_pages : int;
   gc_reclaimed_inos : int;
-  gc_leaked : int; (* orphans still present after the sweep *)
-  gc_invariant_ok : bool; (* free + reachable + cached + badblocks = total *)
+  gc_leaked : int;
+  gc_invariant_ok : bool;
 }
 
-let pp_gc_report ppf r =
-  Format.fprintf ppf
-    "total %d = free %d + reachable %d + cached %d + badblocks %d%s; reclaimed %d page(s) %d \
-     ino(s), leaked %d [%s]"
-    r.gc_total r.gc_free r.gc_reachable r.gc_cached r.gc_badblocks
-    (if r.gc_invariant_ok then "" else " (MISMATCH)")
-    r.gc_reclaimed_pages r.gc_reclaimed_inos r.gc_leaked
-    (if r.gc_invariant_ok && r.gc_leaked = 0 then "ok" else "LEAK")
-
-let reachable_files t =
-  let memo = Hashtbl.create (Hashtbl.length t.files) in
-  let rec reach ino seen =
-    match Hashtbl.find_opt memo ino with
-    | Some v -> v
-    | None ->
-      let v =
-        if ino = Layout.root_ino then Hashtbl.mem t.shadow ino
-        else if List.mem ino seen then false
-        else
-          Hashtbl.mem t.shadow ino
-          &&
-          match Hashtbl.find_opt t.files ino with
-          | None -> false
-          | Some f -> reach f.f_parent (ino :: seen)
-      in
-      Hashtbl.replace memo ino v;
-      v
-  in
-  Hashtbl.iter (fun ino _ -> ignore (reach ino [])) t.files;
-  memo
-
-(* Effect-free (no virtual-time cost, kernel-only reads of soft state)
-   so tests can also run it after the simulation drains. *)
-let gc_once t =
-  let reach = reachable_files t in
-  let live proc =
-    match Hashtbl.find_opt t.procs proc with Some p -> not p.p_dead | None -> false
-  in
-  (* Dead processes with files still awaiting the verifier gate: their
-     pages are deferred, not orphaned (see the section comment). *)
-  let pending = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ f -> match f.f_unverified with Some p -> Hashtbl.replace pending p () | None -> ())
-    t.files;
-  let total = Pmem.total_pages t.pmem in
-  let reachable = ref 0 and cached = ref 0 in
-  let orphans = ref [] in
-  for pg = 0 to total - 1 do
-    match owner_of t pg with
-    | Free -> ()
-    | In_file ino ->
-      if Option.value (Hashtbl.find_opt reach ino) ~default:false then incr reachable
-      else orphans := pg :: !orphans
-    | Allocated_to p ->
-      if live p || Hashtbl.mem pending p then incr cached else orphans := pg :: !orphans
-  done;
-  let reclaimed_pages = ref 0 and leaked = ref 0 in
-  if !crash_test_skip_gc then leaked := List.length !orphans
-  else begin
-    List.iter
-      (fun pg ->
-        (match owner_of t pg with
-        | Allocated_to p -> (
-          match Hashtbl.find_opt t.procs p with
-          | Some pi -> Hashtbl.remove pi.p_pages pg
-          | None -> ())
-        | _ -> ());
-        Hashtbl.remove t.page_owner pg;
-        Pmem.discard_page t.pmem pg;
-        Extent_alloc.free t.node_allocs.(pg / Pmem.pages_per_node t.pmem) pg 1;
-        incr reclaimed_pages)
-      !orphans;
-    Mmu.revoke_everyone_on_pages t.mmu ~pages:!orphans
-  end;
-  (* Orphan inode numbers: allocated to a process that no longer exists
-     (or is dead) and never linked into a directory. *)
-  let reclaimed_inos = ref 0 in
-  if not !crash_test_skip_gc then
-    Hashtbl.iter
-      (fun ino owner ->
-        match owner with
-        | Ino_allocated_to p when (not (live p)) && not (Hashtbl.mem pending p) ->
-          Hashtbl.remove t.ino_owner ino;
-          (match Hashtbl.find_opt t.procs p with
-          | Some pi -> Hashtbl.remove pi.p_inos ino
-          | None -> ());
-          incr reclaimed_inos
-        | _ -> ())
-      (Hashtbl.copy t.ino_owner);
-  let free = Array.fold_left (fun acc a -> acc + Extent_alloc.free_units a) 0 t.node_allocs in
-  let badblocks = List.length t.badblocks in
-  {
-    gc_total = total;
-    gc_free = free;
-    gc_reachable = !reachable;
-    gc_cached = !cached;
-    gc_badblocks = badblocks;
-    gc_reclaimed_pages = !reclaimed_pages;
-    gc_reclaimed_inos = !reclaimed_inos;
-    gc_leaked = !leaked;
-    gc_invariant_ok = free + !reachable + !cached + badblocks = total;
-  }
+let pp_gc_report = Ctl_registry.pp_gc_report
+let reachable_files = Ctl_registry.reachable_files
+let gc_once = Ctl_registry.gc_once
 
 (* ------------------------------------------------------------------ *)
-(* Scrubber support (the patrol loop itself lives in {!Scrub})
+(* Scrubber support *)
 
-   The controller owns every piece of state the scrubber repairs from —
-   checkpoints of verified metadata, the shadow inode table, the page
-   attribution map — so the primitives live here and {!Scrub} is pure
-   policy. *)
-
-let badblocks t = t.badblocks
-let degradation_of t ino = Option.map (fun f -> f.f_degraded) (Hashtbl.find_opt t.files ino)
-let writer_of t ino = Option.bind (Hashtbl.find_opt t.files ino) (fun f -> f.f_writer)
-
-let record_media_event t ~ino ~detail =
-  t.corruption_events <-
-    (Pmem.kernel_actor, ino, [ { Verifier.check = `Media; detail } ]) :: t.corruption_events
-
-(* Degradation is monotonic: a file never silently recovers to a better
-   level (an operator decision, not a scrubber one). *)
-let degrade_file t ~ino level ~detail =
-  match Hashtbl.find_opt t.files ino with
-  | None -> ()
-  | Some f ->
-    let worse =
-      match (f.f_degraded, level) with
-      | Healthy, (Degraded_ro | Failed) | Degraded_ro, Failed -> true
-      | _ -> false
-    in
-    if worse then begin
-      f.f_degraded <- level;
-      record_media_event t ~ino ~detail
-    end
-
-let checkpoint_page_bytes t ~ino ~page =
-  match Hashtbl.find_opt t.files ino with
-  | Some { f_checkpoint = Some ck; _ } -> List.assoc_opt page ck.ck_pages
-  | _ -> None
-
-(* Permanently retire [pg]: off the owner map, never back into the
-   extent allocators, onto the badblock list.  Content and poison are
-   left in place — the media there is unreliable by definition. *)
-let retire_page_raw t pg =
-  Hashtbl.remove t.page_owner pg;
-  if not (List.mem pg t.badblocks) then t.badblocks <- pg :: t.badblocks;
-  Mmu.revoke_everyone_on_pages t.mmu ~pages:[ pg ]
-
-(* Retire a page that could not be migrated, dropping it from its
-   owner's page lists (the file is expected to be degraded too). *)
-let quarantine_page t ~ino pg =
-  retire_page_raw t pg;
-  match Hashtbl.find_opt t.files ino with
-  | None -> ()
-  | Some f ->
-    f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-    f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
-
-let alloc_page_any_node t ~preferred =
-  let n_nodes = Array.length t.node_allocs in
-  let rec go i =
-    if i >= n_nodes then None
-    else begin
-      let node = (preferred + i) mod n_nodes in
-      match Extent_alloc.alloc t.node_allocs.(node) 1 with
-      | exception Extent_alloc.Out_of_space -> go (i + 1)
-      | start -> Some start
-    end
-  in
-  go 0
-
-(* Migrate the salvageable bytes of media-damaged page [bad] (owned by
-   file [ino]) to a freshly allocated page: patch the single on-NVM
-   reference to it (the dentry's index head, an index entry, or an
-   index page's next link), copy the content with the damaged
-   [zero_lines] zeroed, retire [bad] and re-attribute everything.
-   Returns the replacement page number. *)
-let replace_page t ~ino ~bad ~zero_lines =
-  let actor = Pmem.kernel_actor in
-  match Hashtbl.find_opt t.files ino with
-  | None -> Error ENOENT
-  | Some f -> (
-    match alloc_page_any_node t ~preferred:(bad / Pmem.pages_per_node t.pmem) with
-    | None -> Error ENOSPC
-    | Some fresh ->
-      let patched =
-        match Layout.read_dentry t.pmem ~actor ~addr:f.f_dentry_addr with
-        | Some (Ok (inode, _)) when inode.Layout.index_head = bad ->
-          Layout.write_index_head t.pmem ~actor ~dentry_addr:f.f_dentry_addr fresh;
-          true
-        | Some (Ok (inode, _)) ->
-          (* walk the chain for an entry or next-link equal to [bad];
-             cycle-bounded like Layout.walk_index_chain *)
-          let found = ref false in
-          let max_pages = Pmem.total_pages t.pmem in
-          let rec go page seen =
-            if page <> 0 && page > Layout.root_dentry_page && page < max_pages && seen <= max_pages
-            then begin
-              let entries, next = Layout.read_index_page t.pmem ~actor ~page in
-              Array.iteri
-                (fun i e ->
-                  if (not !found) && e = bad then begin
-                    Layout.write_index_entry t.pmem ~actor ~page i fresh;
-                    found := true
-                  end)
-                entries;
-              if not !found then
-                if next = bad then begin
-                  Layout.write_index_next t.pmem ~actor ~page fresh;
-                  found := true
-                end
-                else go next (seen + 1)
-            end
-          in
-          go inode.Layout.index_head 0;
-          !found
-        | _ -> false
-      in
-      if not patched then begin
-        Extent_alloc.free t.node_allocs.(fresh / Pmem.pages_per_node t.pmem) fresh 1;
-        Error EIO
-      end
-      else begin
-        Pmem.set_kind t.pmem fresh (Pmem.kind_of t.pmem bad);
-        let b = Pmem.read t.pmem ~actor ~addr:(bad * page_size) ~len:page_size in
-        List.iter
-          (fun line -> Bytes.fill b (line * Pmem.line_size) Pmem.line_size '\000')
-          zero_lines;
-        Pmem.write t.pmem ~actor ~addr:(fresh * page_size) ~src:b;
-        Pmem.persist t.pmem ~addr:(fresh * page_size) ~len:page_size;
-        Hashtbl.replace t.page_owner fresh (In_file ino);
-        (* dentries living on a migrated directory page move with it *)
-        Hashtbl.iter
-          (fun _ (cf : file_info) ->
-            if cf.f_dentry_addr / page_size = bad then
-              cf.f_dentry_addr <- (fresh * page_size) + (cf.f_dentry_addr mod page_size))
-          t.files;
-        let remap q = if q = bad then fresh else q in
-        f.f_index_pages <- List.map remap f.f_index_pages;
-        f.f_data_pages <- List.map remap f.f_data_pages;
-        (match f.f_checkpoint with
-        | Some ck ->
-          f.f_checkpoint <-
-            Some { ck with ck_pages = List.map (fun (p, b) -> (remap p, b)) ck.ck_pages }
-        | None -> ());
-        retire_page_raw t bad;
-        Ok fresh
-      end)
-
-(* The root dentry lives at a fixed address (no parent directory to
-   checkpoint it): rebuild it from the controller's soft state — shadow
-   permissions, attributed pages, recounted live entries. *)
-let rebuild_root_dentry t =
-  let actor = Pmem.kernel_actor in
-  match (Hashtbl.find_opt t.files Layout.root_ino, Hashtbl.find_opt t.shadow Layout.root_ino) with
-  | Some f, Some s ->
-    let size =
-      List.fold_left
-        (fun acc pg ->
-          let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
-          let live = ref 0 in
-          for slot = 0 to Layout.dentries_per_page - 1 do
-            if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr live
-          done;
-          acc + !live)
-        0 f.f_data_pages
-    in
-    let index_head = match f.f_index_pages with pg :: _ -> pg | [] -> 0 in
-    let inode =
-      {
-        Layout.ino = Layout.root_ino;
-        ftype = Fs_types.Dir;
-        mode = s.Verifier.s_mode;
-        uid = s.Verifier.s_uid;
-        gid = s.Verifier.s_gid;
-        size;
-        index_head;
-        mtime = 0;
-        ctime = 0;
-      }
-    in
-    let b = Layout.encode_dentry ~inode ~name:"/" in
-    Pmem.write t.pmem ~actor ~addr:Layout.root_dentry_addr ~src:b;
-    Pmem.persist t.pmem ~addr:Layout.root_dentry_addr ~len:Layout.dentry_size
-  | _ -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Crash recovery *)
-
-(* Cold start: rebuild the controller's global file system information
-   — page/inode ownership, shadow inodes, file records, free-space
-   allocators — purely from the core state on NVM.  This is the deepest
-   consequence of the paper's state-separation insight: everything the
-   trusted entities keep in DRAM is soft state (§3.2).
-
-   Walks the whole tree from the root (an offline fsck-style pass) and
-   returns [Error] on structural corruption. *)
-let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
-  match Layout.read_superblock pmem ~actor:Pmem.kernel_actor with
-  | Error e -> Error ("cold_start: " ^ e)
-  | Ok (total_pages, page_size', root_ino', root_addr) ->
-    if total_pages <> Pmem.total_pages pmem || page_size' <> page_size then
-      Error "cold_start: superblock geometry mismatch"
-    else if root_ino' <> Layout.root_ino || root_addr <> Layout.root_dentry_addr then
-      Error "cold_start: unexpected root location"
-    else begin
-      let topo = Pmem.topo pmem in
-      let pages_per_node = Pmem.pages_per_node pmem in
-      let node_allocs =
-        Array.init (Numa.nodes topo) (fun n ->
-            if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
-            else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
-      in
-      let t =
-        {
-          sched;
-          pmem;
-          mmu;
-          topo;
-          lease_ns;
-          node_allocs;
-          next_ino = Layout.root_ino + 1;
-          page_owner = Hashtbl.create 4096;
-          ino_owner = Hashtbl.create 1024;
-          shadow = Hashtbl.create 1024;
-          files = Hashtbl.create 1024;
-          procs = Hashtbl.create 16;
-          stats = Stats.create ();
-          corruption_events = [];
-          quarantine = [];
-          badblocks = [];
-        }
-      in
-      Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
-      Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
-      let claim_page pg owner =
-        if pg <= Layout.root_dentry_page || pg >= total_pages then
-          failwith (Printf.sprintf "cold_start: page %d out of range" pg)
-        else if Hashtbl.mem t.page_owner pg then
-          failwith (Printf.sprintf "cold_start: page %d doubly referenced" pg)
-        else begin
-          Hashtbl.replace t.page_owner pg owner;
-          let node = pg / pages_per_node in
-          Extent_alloc.alloc_at t.node_allocs.(node) pg 1
-        end
-      in
-      let actor = Pmem.kernel_actor in
-      (* Walk one file: claim its pages, register records, recurse into
-         child directories. *)
-      let rec ingest ~parent ~dentry_addr =
-        match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
-        | None -> ()
-        | Some (Error e) -> failwith ("cold_start: undecodable dentry: " ^ e)
-        | Some (Ok (inode, _name)) ->
-          let ino = inode.Layout.ino in
-          if Hashtbl.mem t.ino_owner ino then
-            failwith (Printf.sprintf "cold_start: inode %d appears twice" ino);
-          Hashtbl.replace t.ino_owner ino (Ino_in_dir parent);
-          Hashtbl.replace t.shadow ino
-            {
-              Verifier.s_ftype = inode.Layout.ftype;
-              s_mode = inode.Layout.mode land 0o7777;
-              s_uid = inode.Layout.uid;
-              s_gid = inode.Layout.gid;
-            };
-          if ino >= t.next_ino then t.next_ino <- ino + 1;
-          let index_pages = ref [] and data_pages = ref [] in
-          (match
-             Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
-               ~max_pages:total_pages (fun ~index_page ~entries ~next:_ ->
-                 claim_page index_page (In_file ino);
-                 index_pages := index_page :: !index_pages;
-                 Array.iter
-                   (fun e ->
-                     if e <> 0 then begin
-                       claim_page e (In_file ino);
-                       data_pages := e :: !data_pages
-                     end)
-                   entries)
-           with
-          | Ok () -> ()
-          | Error e -> failwith ("cold_start: " ^ e));
-          Hashtbl.replace t.files ino
-            {
-              f_ino = ino;
-              f_dentry_addr = dentry_addr;
-              f_parent = parent;
-              f_ftype = inode.Layout.ftype;
-              f_index_pages = List.rev !index_pages;
-              f_data_pages = List.rev !data_pages;
-              f_readers = Hashtbl.create 4;
-              f_writer = None;
-              f_lease_expire = 0.0;
-              f_checkpoint = None;
-              f_waiters = Queue.create ();
-              f_quarantined_for = None;
-      f_degraded = Healthy;
-      f_unverified = None;
-            };
-          if inode.Layout.ftype = Dir then
-            List.iter
-              (fun pg ->
-                let b = Pmem.read pmem ~actor ~addr:(pg * page_size) ~len:page_size in
-                for slot = 0 to Layout.dentries_per_page - 1 do
-                  if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then
-                    ingest ~parent:ino ~dentry_addr:(Layout.dentry_slot_addr pg slot)
-                done)
-              (List.rev !data_pages)
-      in
-      match ingest ~parent:Layout.root_ino ~dentry_addr:Layout.root_dentry_addr with
-      | () -> Ok t
-      | exception Failure msg -> Error msg
-    end
-
-(* After a crash: every LibFS-registered recovery program runs first
-   (undo journals etc.), then every file that was write-mapped at crash
-   time is verified (§4.4). *)
-let crash_recover t =
-  Hashtbl.iter
-    (fun _ p -> match p.p_recovery with Some recovery -> recovery () | None -> ())
-    t.procs;
-  Hashtbl.iter
-    (fun _ (f : file_info) ->
-      match f.f_writer with
-      | Some proc ->
-        ignore (verify_file t ~proc ~f);
-        let pages = file_pages f in
-        Mmu.revoke_free t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
-        Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
-        f.f_writer <- None;
-        wake_all f
-      | None -> ())
-    (Hashtbl.copy t.files)
+let badblocks = Ctl_media.badblocks
+let degradation_of = Ctl_media.degradation_of
+let writer_of = Ctl_media.writer_of
+let record_media_event = Ctl_media.record_media_event
+let degrade_file = Ctl_media.degrade_file
+let retire_page_raw = Ctl_media.retire_page_raw
+let quarantine_page = Ctl_media.quarantine_page
+let replace_page = Ctl_media.replace_page
+let rebuild_root_dentry = Ctl_media.rebuild_root_dentry

@@ -1,0 +1,193 @@
+(* Resource allocation: batched page/inode allocation, free, recycle.
+
+   These are the controller's "give the LibFS raw material" syscalls —
+   everything here manipulates the extent allocators, the ownership
+   maps and the MMU, but never the verification plane. *)
+
+module Pmem = Trio_nvm.Pmem
+module Perf = Trio_nvm.Perf
+module Sched = Trio_sim.Sched
+module Extent_alloc = Trio_util.Extent_alloc
+open Fs_types
+open Ctl_state
+
+let alloc_pages t ~proc ~node ~count ~kind =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  let p = proc_info t proc in
+  let claim start =
+    let pages = List.init count (fun i -> start + i) in
+    List.iter
+      (fun pg ->
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace p.p_pages pg ();
+        Pmem.set_kind t.pmem pg kind)
+      pages;
+    Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
+    Ok pages
+  in
+  match Extent_alloc.alloc t.node_allocs.(node) count with
+  | exception Extent_alloc.Out_of_space -> (
+    (* fall back to any node with space *)
+    let rec try_nodes n =
+      if n >= Array.length t.node_allocs then Error ENOSPC
+      else
+        match Extent_alloc.alloc t.node_allocs.(n) count with
+        | exception Extent_alloc.Out_of_space -> try_nodes (n + 1)
+        | start -> Ok start
+    in
+    match try_nodes 0 with Error e -> Error e | Ok start -> claim start)
+  | start -> claim start
+
+let free_pages t ~proc ~pages =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  let p = proc_info t proc in
+  let check pg =
+    match owner_of t pg with
+    | Allocated_to q when q = proc -> Ok ()
+    | In_file ino -> (
+      match Hashtbl.find_opt t.files ino with
+      | Some f
+        when f.f_writer = Some proc
+             || (Option.is_some f.f_writer && group_of t (Option.get f.f_writer) = group_of t proc)
+        ->
+        (* Freeing a directory data page requires it to be empty. *)
+        if f.f_ftype = Dir && List.mem pg f.f_data_pages && not (dir_page_is_empty t pg) then
+          Error EACCES
+        else Ok ()
+      | _ -> Error EACCES)
+    | Allocated_to _ | Free -> Error EACCES
+  in
+  let rec validate = function
+    | [] -> Ok ()
+    | pg :: rest -> ( match check pg with Ok () -> validate rest | Error e -> Error e)
+  in
+  match validate pages with
+  | Error e -> Error e
+  | Ok () ->
+    List.iter
+      (fun pg ->
+        (match owner_of t pg with
+        | In_file ino -> (
+          match Hashtbl.find_opt t.files ino with
+          | Some f ->
+            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+          | None -> ())
+        | _ -> ());
+        Hashtbl.remove t.page_owner pg;
+        Hashtbl.remove p.p_pages pg;
+        Pmem.discard_page t.pmem pg;
+        let node = pg / Pmem.pages_per_node t.pmem in
+        Extent_alloc.free t.node_allocs.(node) pg 1)
+      pages;
+    Sched.delay (Perf.Cpu.page_table_op *. float_of_int (List.length pages));
+    Mmu.revoke_everyone_on_pages t.mmu ~pages;
+    Ok ()
+
+(* Return pages of a write-mapped file to the calling process'
+   allocation pool *without* touching the MMU: the LibFS keeps its
+   existing access and reuses the pages directly (the fast truncate /
+   rewrite path; the ownership change is what keeps check I2 sound). *)
+let recycle_pages t ~proc ~pages =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  let p = proc_info t proc in
+  let my_group = group_of t proc in
+  let check pg =
+    match owner_of t pg with
+    | Allocated_to q when q = proc -> true
+    | In_file ino -> (
+      match Hashtbl.find_opt t.files ino with
+      | Some f -> (
+        match f.f_writer with
+        | Some w ->
+          (w = proc || group_of t w = my_group)
+          && not (f.f_ftype = Dir && List.mem pg f.f_data_pages)
+        | None -> false)
+      | None -> false)
+    | Allocated_to _ | Free -> false
+  in
+  if not (List.for_all check pages) then Error EACCES
+  else begin
+    List.iter
+      (fun pg ->
+        (match owner_of t pg with
+        | In_file ino -> (
+          match Hashtbl.find_opt t.files ino with
+          | Some f ->
+            f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+          | None -> ())
+        | _ -> ());
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace p.p_pages pg ())
+      pages;
+    Ok ()
+  end
+
+let alloc_inos t ~proc ~count =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  let p = proc_info t proc in
+  let inos = List.init count (fun i -> t.next_ino + i) in
+  t.next_ino <- t.next_ino + count;
+  List.iter
+    (fun ino ->
+      Hashtbl.replace t.ino_owner ino (Ino_allocated_to proc);
+      Hashtbl.replace p.p_inos ino ())
+    inos;
+  inos
+
+(* Single-page allocation that may land on any node (scrub migration). *)
+let alloc_page_any_node t ~preferred =
+  let n_nodes = Array.length t.node_allocs in
+  let rec go i =
+    if i >= n_nodes then None
+    else begin
+      let node = (preferred + i) mod n_nodes in
+      match Extent_alloc.alloc t.node_allocs.(node) 1 with
+      | exception Extent_alloc.Out_of_space -> go (i + 1)
+      | start -> Some start
+    end
+  in
+  go 0
+
+(* Free every page of a (just-unlinked) file and drop its records.  The
+   caller must hold a write mapping on the file's parent directory —
+   that is the permission unlink itself required. *)
+let free_file_tree t ~proc ~ino =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f -> (
+    match Hashtbl.find_opt t.files f.f_parent with
+    | Some parent
+      when (match parent.f_writer with
+           | Some w -> w = proc || group_of t w = group_of t proc
+           | None -> false) ->
+      if f.f_ftype = Dir && not (List.for_all (dir_page_is_empty t) f.f_data_pages) then
+        Error ENOTEMPTY
+      else begin
+        let pages = f.f_index_pages @ f.f_data_pages in
+        List.iter
+          (fun pg ->
+            Hashtbl.remove t.page_owner pg;
+            Pmem.discard_page t.pmem pg;
+            let node = pg / Pmem.pages_per_node t.pmem in
+            Extent_alloc.free t.node_allocs.(node) pg 1)
+          pages;
+        Mmu.revoke_everyone_on_pages t.mmu ~pages;
+        Hashtbl.remove t.files ino;
+        Hashtbl.remove t.shadow ino;
+        Hashtbl.remove t.ino_owner ino;
+        Ok ()
+      end
+    | _ -> Error EACCES)

@@ -1,0 +1,16 @@
+(** Resource allocation: batched page/inode allocation, free, recycle.
+    Internal to [lib/core] — external code goes through {!Controller}. *)
+
+val alloc_pages :
+  Ctl_state.t ->
+  proc:int ->
+  node:int ->
+  count:int ->
+  kind:Trio_nvm.Pmem.kind ->
+  (int list, Fs_types.errno) result
+
+val free_pages : Ctl_state.t -> proc:int -> pages:int list -> (unit, Fs_types.errno) result
+val recycle_pages : Ctl_state.t -> proc:int -> pages:int list -> (unit, Fs_types.errno) result
+val alloc_inos : Ctl_state.t -> proc:int -> count:int -> int list
+val alloc_page_any_node : Ctl_state.t -> preferred:int -> int option
+val free_file_tree : Ctl_state.t -> proc:int -> ino:int -> (unit, Fs_types.errno) result

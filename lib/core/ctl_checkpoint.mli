@@ -1,0 +1,21 @@
+(** Checkpoint store: verified-metadata snapshots, rollback, the delta
+    lookup behind incremental verification, and a durable encoding.
+    Internal to [lib/core] — external code goes through {!Controller}. *)
+
+val take_checkpoint : Ctl_state.t -> Ctl_state.file_info -> unit
+(** Snapshot the file's metadata pages.  Pages provably clean since the
+    previous checkpoint reuse its bytes without a device read. *)
+
+val rollback_to_checkpoint : Ctl_state.t -> Ctl_state.file_info -> offender:int -> unit
+val checkpoint_page_bytes : Ctl_state.t -> ino:int -> page:int -> Bytes.t option
+
+val page_snapshot : Ctl_state.t -> int -> Bytes.t option
+(** Bytes of [page] from its owning file's checkpoint, when provably
+    identical to the device content; [None] otherwise. *)
+
+val delta_of : Ctl_state.t -> (int -> Bytes.t option) option
+(** The delta lookup handed to {!Verifier.check_file}; [None] when the
+    global mode is [Full]. *)
+
+val encode_checkpoint : Ctl_state.checkpoint -> Bytes.t
+val decode_checkpoint : Bytes.t -> (Ctl_state.checkpoint, string) result

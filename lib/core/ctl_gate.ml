@@ -1,0 +1,676 @@
+(* The verification gate: everything between a LibFS unmapping a file
+   and the kernel trusting its metadata again.
+
+   Verification is *pipelined* (paper §4.3/§6): a voluntary unmap of a
+   write mapping only enqueues the file on a work queue drained by
+   background verifier fibers, so application work overlaps
+   verification instead of serializing behind it.  The synchronization
+   points are:
+
+   - [map_file] waits (settles) when the requested file or an ancestor
+     directory still has a queued or in-flight verification — an
+     ancestor's verification may re-ingest this file's record;
+   - lease-expiry force-revoke settles inline, charged to the waiter,
+     exactly like the old synchronous handoff;
+   - the read-side accessors that expose verification *results*
+     (corruption events, quarantine list) drain the queue first.
+
+   Each check runs through {!check_file_now}, which picks full or
+   incremental mode ({!Ctl_checkpoint.delta_of}), feeds the
+   per-invariant stats, and fires the observability hook. *)
+
+module Pmem = Trio_nvm.Pmem
+module Perf = Trio_nvm.Perf
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+open Fs_types
+open Ctl_state
+
+(* Preserve the offender's corrupted bytes as a private quarantine file so
+   no data is silently lost (§4.3). *)
+let quarantine_copy t f ~offender =
+  let actor = Pmem.kernel_actor in
+  let pages = f.f_index_pages @ f.f_data_pages in
+  let qino = List.hd (Ctl_alloc.alloc_inos t ~proc:offender ~count:1) in
+  (* Copy every current page into fresh pages owned by the offender. *)
+  List.iter
+    (fun pg ->
+      let node = pg / Pmem.pages_per_node t.pmem in
+      match
+        Ctl_alloc.alloc_pages t ~proc:offender ~node ~count:1 ~kind:(Pmem.kind_of t.pmem pg)
+      with
+      | Ok [ dst ] ->
+        let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+        Pmem.write t.pmem ~actor ~addr:(dst * page_size) ~src:b;
+        Pmem.persist t.pmem ~addr:(dst * page_size) ~len:page_size
+      | _ -> ())
+    pages;
+  t.quarantine <- (offender, qino) :: t.quarantine
+
+(* ------------------------------------------------------------------ *)
+(* One verification, instrumented *)
+
+(* Run the verifier on one file: incremental when the global mode allows
+   (clean pages served from delta checkpoints), full otherwise.  Also
+   the single place the mode counters and the observability hook fire. *)
+let check_file_now t ~proc ~ino ~dentry_addr =
+  let delta = Ctl_checkpoint.delta_of t in
+  let incremental = Option.is_some delta in
+  Stats.incr t.stats (if incremental then "verify.incremental" else "verify.full");
+  let t0 = Sched.now t.sched in
+  let report = Verifier.check_file ?delta ~stats:t.stats (view t) ~proc ~ino ~dentry_addr in
+  (match t.verify_hook with
+  | Some hook -> hook ~ino ~incremental ~dur:(Sched.now t.sched -. t0) ~ok:report.Verifier.ok
+  | None -> ());
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion: after a successful verification, reconcile global info *)
+
+let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
+  let pinfo = proc_info t proc in
+  (* Page attribution: everything the walk saw becomes In_file; pages that
+     left the file (truncate without free) return to the proc. *)
+  let new_pages = report.Verifier.index_pages @ report.Verifier.data_pages in
+  let old_pages = f.f_index_pages @ f.f_data_pages in
+  List.iter
+    (fun pg ->
+      if not (List.mem pg new_pages) then begin
+        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        Hashtbl.replace pinfo.p_pages pg ()
+      end)
+    old_pages;
+  List.iter
+    (fun pg ->
+      Hashtbl.replace t.page_owner pg (In_file f.f_ino);
+      Hashtbl.remove pinfo.p_pages pg)
+    new_pages;
+  f.f_index_pages <- report.Verifier.index_pages;
+  f.f_data_pages <- report.Verifier.data_pages;
+  (* Once pages belong to a file the creator no longer holds write-mapped,
+     its allocation-time grants must go: otherwise it would retain access
+     after the handoff, defeating the exclusive-write policy. *)
+  if f.f_writer <> Some proc then
+    Mmu.revoke_free t.mmu ~actor:proc ~pages:new_pages ~perm:Mmu.P_readwrite;
+  (* Children: ingest newly created files, update moved dentries. *)
+  List.iter
+    (fun (c : Verifier.child) ->
+      match ino_owner_of t c.Verifier.c_ino with
+      | Ino_allocated_to p when p = proc ->
+        (* Fresh file: establish the shadow inode with the creator's
+           credentials as ground truth. *)
+        let cred = cred_of_proc t proc in
+        let mode =
+          match
+            Layout.read_dentry t.pmem ~actor:Pmem.kernel_actor ~addr:c.Verifier.c_dentry_addr
+          with
+          | Some (Ok (inode, _)) -> inode.Layout.mode land 0o7777
+          | _ -> 0o644
+        in
+        Hashtbl.replace t.shadow c.Verifier.c_ino
+          {
+            Verifier.s_ftype = c.Verifier.c_ftype;
+            s_mode = mode;
+            s_uid = cred.uid;
+            s_gid = cred.gid;
+          };
+        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
+        Hashtbl.remove pinfo.p_inos c.Verifier.c_ino;
+        let child_file =
+          new_file ~ino:c.Verifier.c_ino ~dentry_addr:c.Verifier.c_dentry_addr ~parent:f.f_ino
+            ~ftype:c.Verifier.c_ftype ()
+        in
+        Hashtbl.replace t.files c.Verifier.c_ino child_file;
+        (* Recursively verify and ingest the fresh subtree. *)
+        let child_report =
+          check_file_now t ~proc ~ino:c.Verifier.c_ino ~dentry_addr:c.Verifier.c_dentry_addr
+        in
+        if child_report.Verifier.ok then ingest_verified t ~proc ~f:child_file child_report
+        else begin
+          t.corruption_events <-
+            (proc, c.Verifier.c_ino, child_report.Verifier.violations) :: t.corruption_events;
+          (* A fresh file that fails verification is simply not ingested:
+             remove its dentry so the namespace stays consistent. *)
+          Layout.clear_dentry_atomic t.pmem ~actor:Pmem.kernel_actor
+            ~addr:c.Verifier.c_dentry_addr;
+          Hashtbl.remove t.files c.Verifier.c_ino;
+          Hashtbl.remove t.shadow c.Verifier.c_ino;
+          Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_allocated_to proc)
+        end
+      | Ino_in_dir parent when parent = f.f_ino -> (
+        (* Existing child: its dentry may have moved within the dir. *)
+        match Hashtbl.find_opt t.files c.Verifier.c_ino with
+        | Some cf -> cf.f_dentry_addr <- c.Verifier.c_dentry_addr
+        | None -> ())
+      | Ino_in_dir _other -> (
+        (* Cross-directory move (rename): accept, since the verifier
+           only lets this through when the source is write-mapped by
+           the same process. *)
+        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
+        match Hashtbl.find_opt t.files c.Verifier.c_ino with
+        | Some cf ->
+          cf.f_dentry_addr <- c.Verifier.c_dentry_addr;
+          cf.f_parent <- f.f_ino
+        | None -> ())
+      | Ino_allocated_to _ | Ino_free -> ())
+    report.Verifier.children;
+  (* Deleted children: reclaim regular-file pages, drop records. *)
+  List.iter
+    (fun dino ->
+      match ino_owner_of t dino with
+      | Ino_in_dir parent when parent = f.f_ino -> (
+        match Hashtbl.find_opt t.files dino with
+        | Some df ->
+          List.iter
+            (fun pg ->
+              Hashtbl.remove t.page_owner pg;
+              Pmem.discard_page t.pmem pg;
+              let node = pg / Pmem.pages_per_node t.pmem in
+              Trio_util.Extent_alloc.free t.node_allocs.(node) pg 1)
+            (df.f_index_pages @ df.f_data_pages);
+          Hashtbl.remove t.files dino;
+          Hashtbl.remove t.shadow dino;
+          Hashtbl.remove t.ino_owner dino
+        | None ->
+          Hashtbl.remove t.shadow dino;
+          Hashtbl.remove t.ino_owner dino)
+      | _ -> () (* moved elsewhere: nothing to reclaim *))
+    report.Verifier.deleted_children;
+  (* Refresh the checkpoint so it always holds the latest *verified*
+     state — including for freshly ingested children, via the recursion
+     above.  This is what the patrol scrubber repairs media-damaged
+     metadata lines from (see {!Scrub}). *)
+  Ctl_checkpoint.take_checkpoint t f
+
+(* ------------------------------------------------------------------ *)
+(* Verification driver *)
+
+let verify_file t ~proc ~(f : file_info) =
+  let report =
+    Stats.timed t.stats t.sched "verify" (fun () ->
+        check_file_now t ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
+  in
+  if report.Verifier.ok then begin
+    (* ingestion recursively verifies freshly created children, so its
+       time also counts as verification *)
+    Stats.timed t.stats t.sched "verify" (fun () -> ingest_verified t ~proc ~f report);
+    true
+  end
+  else begin
+    t.corruption_events <- (proc, f.f_ino, report.Verifier.violations) :: t.corruption_events;
+    (* Give the LibFS a chance to fix its own corruption (with the fix
+       budget modeled by the callback's own virtual time), then re-check. *)
+    let fixed =
+      match (proc_info t proc).p_fix with
+      | Some fix_fn -> (
+        match fix_fn f.f_ino with
+        | true ->
+          let retry = check_file_now t ~proc ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr in
+          if retry.Verifier.ok then begin
+            ingest_verified t ~proc ~f retry;
+            true
+          end
+          else false
+        | false -> false
+        | exception _ -> false)
+      | None -> false
+    in
+    if not fixed then begin
+      (* Preserve the offender's bytes, then roll the file back. *)
+      quarantine_copy t f ~offender:proc;
+      Ctl_checkpoint.rollback_to_checkpoint t f ~offender:proc;
+      f.f_quarantined_for <- None
+    end;
+    fixed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The background pipeline *)
+
+let verifier_fiber_count = 2
+
+(* Claim and run one queued verification.  Shielded: the verifier is a
+   trusted kernel-side entity, not a killable LibFS fiber. *)
+let run_pending t (f : file_info) =
+  match f.f_pending with
+  | None -> ()
+  | Some proc ->
+    f.f_pending <- None;
+    f.f_verifying <- true;
+    Sched.shield (fun () -> ignore (verify_file t ~proc ~f));
+    f.f_verifying <- false;
+    wake_all f
+
+(* Wait until [f] has no queued or in-flight verification.  A queued one
+   is run inline (charged to the caller — the file is being demanded
+   right now); an in-flight one is waited out on the file's waiter
+   queue.  Callers outside a fiber are safe: there the queue is always
+   empty and nothing is in flight, so neither branch is taken. *)
+let rec settle t (f : file_info) =
+  if f.f_pending <> None then begin
+    run_pending t f;
+    settle t f
+  end
+  else if f.f_verifying then begin
+    Sched.park (fun waker -> Queue.push waker f.f_waiters);
+    settle t f
+  end
+
+(* Settle [f] and its ancestor chain, root first: a pending parent
+   verification may re-ingest (or refuse) this very file. *)
+let settle_chain t (f : file_info) =
+  let rec up f depth acc =
+    let acc = f :: acc in
+    if f.f_ino = f.f_parent || depth > 64 then acc
+    else
+      match Hashtbl.find_opt t.files f.f_parent with
+      | Some p -> up p (depth + 1) acc
+      | None -> acc
+  in
+  List.iter (fun f -> settle t f) (up f 0 [])
+
+(* Drain the whole pipeline: run every queued verification inline and
+   wait out every in-flight one.  Used by the read-side accessors that
+   must observe final verdicts, and by crash recovery. *)
+let drain_verification t =
+  let rec drain_queue () =
+    match Queue.take_opt t.verify_q with
+    | None -> ()
+    | Some ino ->
+      (match Hashtbl.find_opt t.files ino with
+      | Some f when f.f_pending <> None -> run_pending t f
+      | _ -> () (* stale entry: already claimed, re-mapped or deleted *));
+      drain_queue ()
+  in
+  drain_queue ();
+  let in_flight =
+    Hashtbl.fold
+      (fun _ f acc -> if f.f_verifying || f.f_pending <> None then f :: acc else acc)
+      t.files []
+  in
+  List.iter (fun f -> settle t f) in_flight
+
+let enqueue_verify t ~proc ~(f : file_info) =
+  f.f_pending <- Some proc;
+  Queue.push f.f_ino t.verify_q;
+  Stats.incr t.stats "verify.queue.enqueued";
+  let d = float_of_int (Queue.length t.verify_q) in
+  if d > Stats.get t.stats "verify.queue.depth.max" then begin
+    let cur = Stats.get t.stats "verify.queue.depth.max" in
+    Stats.add t.stats "verify.queue.depth.max" (d -. cur)
+  end;
+  match Queue.take_opt t.vq_idle with Some wake -> wake () | None -> ()
+
+(* Body of a background verifier fiber: drain the queue, then park until
+   the next enqueue.  Parked fibers hold no scheduled event, so an idle
+   pipeline never keeps the simulation alive. *)
+let rec service t =
+  match Queue.take_opt t.verify_q with
+  | Some ino ->
+    (match Hashtbl.find_opt t.files ino with
+    | Some f when f.f_pending <> None -> run_pending t f
+    | _ -> ());
+    service t
+  | None ->
+    Sched.park (fun waker -> Queue.push waker t.vq_idle);
+    service t
+
+let start t =
+  for _ = 1 to verifier_fiber_count do
+    Sched.spawn t.sched (fun () -> service t)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Verifier gate for files whose last writer died or wedged (§4.4 of the
+   paper: crash consistency of the handoff).  The watchdog only marks
+   such files unverified — it cannot run the dead process' fix callback,
+   and charging verification to the next accessor keeps the failure
+   plane pay-as-you-go.  Repair policy: accept the dead writer's state
+   if it verifies as-is; otherwise roll back to the last verified
+   checkpoint and re-check; if even the rollback does not verify, the
+   file degrades to Failed and the mapping is refused with EIO. *)
+let ensure_verified t ~(f : file_info) =
+  match f.f_unverified with
+  | None -> Ok ()
+  | Some dead ->
+    f.f_unverified <- None;
+    let check () =
+      Stats.timed t.stats t.sched "verify" (fun () ->
+          check_file_now t ~proc:dead ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
+    in
+    let report = check () in
+    let outcome =
+      if report.Verifier.ok then begin
+        ingest_verified t ~proc:dead ~f report;
+        Ok ()
+      end
+      else begin
+        t.corruption_events <- (dead, f.f_ino, report.Verifier.violations) :: t.corruption_events;
+        match f.f_checkpoint with
+        | None ->
+          f.f_degraded <- Failed;
+          Error EIO
+        | Some _ ->
+          Ctl_checkpoint.rollback_to_checkpoint t f ~offender:dead;
+          let retry = check () in
+          if retry.Verifier.ok then begin
+            ingest_verified t ~proc:dead ~f retry;
+            Ok ()
+          end
+          else begin
+            f.f_degraded <- Failed;
+            Error EIO
+          end
+      end
+    in
+    (* Ingestion/rollback may have returned stray pages to the dead
+       process' pool; release its inode numbers now and leave the pages
+       for the orphan GC to sweep. *)
+    ignore (Ctl_registry.reap_dead t dead);
+    outcome
+
+(* Force the verifier gate for every file still pending (fsck/admin
+   path).  Afterwards the GC owes nothing to the gate and may reclaim
+   every stray page of the dead processes.  Returns how many files were
+   drained. *)
+let drain_unverified t =
+  drain_verification t;
+  let pending =
+    Hashtbl.fold (fun _ f acc -> if f.f_unverified <> None then f :: acc else acc) t.files []
+  in
+  List.iter (fun f -> ignore (ensure_verified t ~f)) pending;
+  List.length pending
+
+(* ------------------------------------------------------------------ *)
+(* Map / unmap *)
+
+let revoke_mapping t ~proc ~(f : file_info) ~was_writer =
+  let pages = file_pages f in
+  let perm = if was_writer then Mmu.P_readwrite else Mmu.P_read in
+  Stats.timed t.stats t.sched "unmap" (fun () -> Mmu.revoke t.mmu ~actor:proc ~pages ~perm);
+  Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
+  if was_writer then begin
+    f.f_writer <- None;
+    (* The pipelining win: the write handoff only queues verification;
+       a background fiber picks it up while the LibFS moves on. *)
+    enqueue_verify t ~proc ~f
+  end
+  else Hashtbl.remove f.f_readers proc;
+  wake_all f
+
+let unmap_file t ~proc ~ino =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f ->
+    if f.f_writer = Some proc then begin
+      revoke_mapping t ~proc ~f ~was_writer:true;
+      Ok ()
+    end
+    else if Hashtbl.mem f.f_readers proc then begin
+      revoke_mapping t ~proc ~f ~was_writer:false;
+      Ok ()
+    end
+    else Error EBADF
+
+(* Force-unmap the current holder(s) after lease expiry; charged to the
+   fiber that requests the conflicting access — including the
+   verification of the revoked writer's state, which is settled inline
+   rather than left to the background fibers (the waiter needs the
+   verdict before it can be granted anything). *)
+let force_unmap_holders t ~(f : file_info) ~for_writer =
+  (match f.f_writer with
+  | Some holder -> revoke_mapping t ~proc:holder ~f ~was_writer:true
+  | None -> ());
+  settle t f;
+  if for_writer then
+    Hashtbl.iter
+      (fun r () -> revoke_mapping t ~proc:r ~f ~was_writer:false)
+      (Hashtbl.copy f.f_readers)
+
+let conflicts t ~proc ~(f : file_info) ~write =
+  let my_group = group_of t proc in
+  let writer_conflict =
+    match f.f_writer with None -> false | Some w -> w <> proc && group_of t w <> my_group
+  in
+  if write then
+    writer_conflict
+    || Hashtbl.fold
+         (fun r () acc -> acc || (r <> proc && group_of t r <> my_group))
+         f.f_readers false
+  else writer_conflict
+
+let rec wait_for_access t ~proc ~(f : file_info) ~write =
+  if conflicts t ~proc ~f ~write then begin
+    (* Readers are revoked immediately for a writer: a read mapping
+       needs no verification on teardown, and the reader transparently
+       re-maps on its next access.  Leases only protect writers, whose
+       handoff requires verification. *)
+    let my_group = group_of t proc in
+    let writer_conflict =
+      match f.f_writer with None -> false | Some w -> w <> proc && group_of t w <> my_group
+    in
+    if write && not writer_conflict then force_unmap_holders t ~f ~for_writer:true
+    else begin
+      let expire = f.f_lease_expire in
+      let now = Sched.now t.sched in
+      if now >= expire then force_unmap_holders t ~f ~for_writer:write
+      else begin
+        (* Sleep until the lease expires or the holder unmaps. *)
+        Sched.park (fun waker ->
+            Queue.push waker f.f_waiters;
+            Sched.schedule t.sched expire waker);
+        if conflicts t ~proc ~f ~write && Sched.now t.sched >= f.f_lease_expire then
+          force_unmap_holders t ~f ~for_writer:write
+      end
+    end;
+    wait_for_access t ~proc ~f ~write
+  end
+
+(* Acquire: wait out conflicting holders, then settle any verification
+   their unmap queued (charged to us — we demanded the file).  Settling
+   parks, so a rival may slip in; re-check until both conditions hold
+   at once. *)
+let rec acquire t ~proc ~(f : file_info) ~write =
+  wait_for_access t ~proc ~f ~write;
+  settle t f;
+  if conflicts t ~proc ~f ~write then acquire t ~proc ~f ~write
+
+(* Cheap health checks that precede even the permission check — a
+   quarantined or media-degraded file reports its own condition no
+   matter who asks. *)
+let media_checks ~proc ~(f : file_info) ~write =
+  match f.f_quarantined_for with
+  | Some p when p <> proc -> Error EIO
+  | _ -> (
+    (* Media-degraded files: Failed rejects everything, Degraded_ro
+       rejects write mappings (graceful degradation, not a panic). *)
+    match f.f_degraded with
+    | Failed -> Error EIO
+    | Degraded_ro when write -> Error EROFS
+    | _ -> Ok ())
+
+(* Look a file up, giving the background pipeline a chance to ingest it
+   first: a freshly created file only becomes known to the kernel when
+   its parent directory's verification lands. *)
+let find_file t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> Some f
+  | None ->
+    if Queue.is_empty t.verify_q then None
+    else begin
+      drain_verification t;
+      Hashtbl.find_opt t.files ino
+    end
+
+let map_file t ~proc ~ino ~write =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match find_file t ino with
+  | None -> Error ENOENT
+  | Some f -> (
+    match media_checks ~proc ~f ~write with
+    | Error e -> Error e
+    | Ok () -> (
+      (* Permission check against the shadow inode (ground truth) runs
+         before any verification or checkpoint work: a mapping that is
+         going to fail with EACCES must trigger neither. *)
+      let cred = cred_of_proc t proc in
+      match Hashtbl.find_opt t.shadow ino with
+      | None -> Error ENOENT
+      | Some s ->
+        if
+          not
+            (Fs_types.permits ~cred ~uid:s.Verifier.s_uid ~gid:s.Verifier.s_gid
+               ~mode:s.Verifier.s_mode ~want_read:true ~want_write:write)
+        then Error EACCES
+        else begin
+          (* Block only while this file — or an ancestor directory whose
+             verification may re-ingest it — is still in the pipeline. *)
+          settle_chain t f;
+          match ensure_verified t ~f with
+          | Error e -> Error e
+          | Ok () ->
+          acquire t ~proc ~f ~write;
+          (* Claim the mapping before the (slow) walk/checkpoint/grant so
+             no other fiber slips in during those delays. *)
+          if write then begin
+            f.f_writer <- Some proc;
+            (* read-to-write upgrade: the earlier read grants must go,
+               or revoking the write mapping later would leave access *)
+            if Hashtbl.mem f.f_readers proc then begin
+              Hashtbl.remove f.f_readers proc;
+              Mmu.revoke_free t.mmu ~actor:proc ~pages:(file_pages f) ~perm:Mmu.P_read
+            end
+          end
+          else Hashtbl.replace f.f_readers proc ();
+          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+          (* Walk the file to find the page set. *)
+          (match walk_file t ~ino ~dentry_addr:f.f_dentry_addr with
+          | Some (_, index_pages, data_pages) ->
+            f.f_index_pages <- index_pages;
+            f.f_data_pages <- data_pages
+          | None -> ());
+          if write then Ctl_checkpoint.take_checkpoint t f;
+          let pages = file_pages f in
+          Stats.timed t.stats t.sched "map" (fun () ->
+              Mmu.grant t.mmu ~actor:proc ~pages
+                ~perm:(if write then Mmu.P_readwrite else Mmu.P_read));
+          f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+          Hashtbl.replace (proc_info t proc).p_mapped ino ();
+          Ok ()
+        end))
+
+(* Commit: re-verify now and, on success, replace the checkpoint so a
+   later rollback cannot lose the committed changes (§4.3).  Stays
+   synchronous — the caller asked for the verdict. *)
+let commit t ~proc ~ino =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error ENOENT
+  | Some f ->
+    if f.f_writer <> Some proc then Error EBADF
+    else begin
+      let report =
+        Stats.timed t.stats t.sched "verify" (fun () ->
+            check_file_now t ~proc ~ino ~dentry_addr:f.f_dentry_addr)
+      in
+      if report.Verifier.ok then begin
+        ingest_verified t ~proc ~f report;
+        Ctl_checkpoint.take_checkpoint t f;
+        Ok ()
+      end
+      else Error EIO
+    end
+
+(* Release everything a process has mapped (process teardown). *)
+let unmap_all t ~proc =
+  let p = proc_info t proc in
+  let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_mapped [] in
+  List.iter (fun ino -> ignore (unmap_file t ~proc ~ino)) inos
+
+(* ------------------------------------------------------------------ *)
+(* Namespace / permission operations *)
+
+(* Permission changes go through the kernel: the shadow inode is the
+   ground truth (I4). *)
+let chmod t ~proc ~ino ~mode =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  | Some s, Some f ->
+    let cred = cred_of_proc t proc in
+    if cred.uid <> 0 && cred.uid <> s.Verifier.s_uid then Error EACCES
+    else begin
+      let s' = { s with Verifier.s_mode = mode land 0o7777 } in
+      Hashtbl.replace t.shadow ino s';
+      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+        ~mode:s'.Verifier.s_mode ~uid:s'.Verifier.s_uid ~gid:s'.Verifier.s_gid;
+      Ok ()
+    end
+  | _ -> Error ENOENT
+
+let chown t ~proc ~ino ~uid ~gid =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  | Some s, Some f ->
+    let cred = cred_of_proc t proc in
+    if cred.uid <> 0 then Error EACCES
+    else begin
+      let s' = { s with Verifier.s_uid = uid; s_gid = gid } in
+      Hashtbl.replace t.shadow ino s';
+      Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+        ~mode:s'.Verifier.s_mode ~uid ~gid;
+      Ok ()
+    end
+  | _ -> Error ENOENT
+
+(* Files currently write-mapped by [proc]; a LibFS recovery program uses
+   this to know what it must repair after a crash. *)
+let write_mapped_inos t ~proc =
+  Hashtbl.fold
+    (fun ino (f : file_info) acc ->
+      if f.f_writer = Some proc then (ino, f.f_dentry_addr, f.f_ftype) :: acc else acc)
+    t.files []
+
+let dentry_addr_of t ino =
+  match Hashtbl.find_opt t.files ino with
+  | Some f -> Some f.f_dentry_addr
+  | None ->
+    (* A file created moments ago may still be riding the pipeline
+       inside its parent's queued verification. *)
+    if Queue.is_empty t.verify_q then None
+    else begin
+      drain_verification t;
+      Option.map (fun (f : file_info) -> f.f_dentry_addr) (Hashtbl.find_opt t.files ino)
+    end
+
+(* After a crash: any verification still in the pipeline runs against
+   the post-crash state first, then every LibFS-registered recovery
+   program runs (undo journals etc.), then every file that was
+   write-mapped at crash time is verified (§4.4). *)
+let crash_recover t =
+  drain_verification t;
+  Hashtbl.iter
+    (fun _ p -> match p.p_recovery with Some recovery -> recovery () | None -> ())
+    t.procs;
+  Hashtbl.iter
+    (fun _ (f : file_info) ->
+      match f.f_writer with
+      | Some proc ->
+        ignore (verify_file t ~proc ~f);
+        let pages = file_pages f in
+        Mmu.revoke_free t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
+        Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
+        f.f_writer <- None;
+        wake_all f
+      | None -> ())
+    (Hashtbl.copy t.files)

@@ -1,0 +1,34 @@
+(** The verification gate: map/unmap, the background verification
+    pipeline, commit, the dead-writer gate, namespace operations.
+    Internal to [lib/core] — external code goes through {!Controller}. *)
+
+val check_file_now : Ctl_state.t -> proc:int -> ino:int -> dentry_addr:int -> Verifier.report
+(** One instrumented verification: full or incremental per the global
+    mode, feeding the per-invariant stats and the observability hook. *)
+
+val verify_file : Ctl_state.t -> proc:int -> f:Ctl_state.file_info -> bool
+val ensure_verified : Ctl_state.t -> f:Ctl_state.file_info -> (unit, Fs_types.errno) result
+val drain_unverified : Ctl_state.t -> int
+
+val settle : Ctl_state.t -> Ctl_state.file_info -> unit
+(** Wait until the file has no queued or in-flight verification. *)
+
+val drain_verification : Ctl_state.t -> unit
+(** Run every queued verification inline; wait out in-flight ones.
+    A no-op outside fibers (the pipeline is always empty there). *)
+
+val start : Ctl_state.t -> unit
+(** Spawn the background verifier fibers. *)
+
+val map_file : Ctl_state.t -> proc:int -> ino:int -> write:bool -> (unit, Fs_types.errno) result
+val unmap_file : Ctl_state.t -> proc:int -> ino:int -> (unit, Fs_types.errno) result
+val commit : Ctl_state.t -> proc:int -> ino:int -> (unit, Fs_types.errno) result
+val unmap_all : Ctl_state.t -> proc:int -> unit
+val chmod : Ctl_state.t -> proc:int -> ino:int -> mode:int -> (unit, Fs_types.errno) result
+
+val chown :
+  Ctl_state.t -> proc:int -> ino:int -> uid:int -> gid:int -> (unit, Fs_types.errno) result
+
+val write_mapped_inos : Ctl_state.t -> proc:int -> (int * int * Fs_types.ftype) list
+val dentry_addr_of : Ctl_state.t -> int -> int option
+val crash_recover : Ctl_state.t -> unit

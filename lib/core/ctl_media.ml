@@ -1,0 +1,168 @@
+(* Scrubber support (the patrol loop itself lives in {!Scrub}).
+
+   The controller owns every piece of state the scrubber repairs from —
+   checkpoints of verified metadata, the shadow inode table, the page
+   attribution map — so the primitives live here and {!Scrub} is pure
+   policy. *)
+
+module Pmem = Trio_nvm.Pmem
+module Extent_alloc = Trio_util.Extent_alloc
+open Ctl_state
+
+let page_size = Layout.page_size
+let badblocks t = t.badblocks
+let degradation_of t ino = Option.map (fun f -> f.f_degraded) (Hashtbl.find_opt t.files ino)
+let writer_of t ino = Option.bind (Hashtbl.find_opt t.files ino) (fun f -> f.f_writer)
+
+let record_media_event t ~ino ~detail =
+  t.corruption_events <-
+    (Pmem.kernel_actor, ino, [ { Verifier.check = `Media; detail } ]) :: t.corruption_events
+
+(* Degradation is monotonic: a file never silently recovers to a better
+   level (an operator decision, not a scrubber one). *)
+let degrade_file t ~ino level ~detail =
+  match Hashtbl.find_opt t.files ino with
+  | None -> ()
+  | Some f ->
+    let worse =
+      match (f.f_degraded, level) with
+      | Healthy, (Degraded_ro | Failed) | Degraded_ro, Failed -> true
+      | _ -> false
+    in
+    if worse then begin
+      f.f_degraded <- level;
+      record_media_event t ~ino ~detail
+    end
+
+(* Permanently retire [pg]: off the owner map, never back into the
+   extent allocators, onto the badblock list.  Content and poison are
+   left in place — the media there is unreliable by definition. *)
+let retire_page_raw t pg =
+  Hashtbl.remove t.page_owner pg;
+  if not (List.mem pg t.badblocks) then t.badblocks <- pg :: t.badblocks;
+  Mmu.revoke_everyone_on_pages t.mmu ~pages:[ pg ]
+
+(* Retire a page that could not be migrated, dropping it from its
+   owner's page lists (the file is expected to be degraded too). *)
+let quarantine_page t ~ino pg =
+  retire_page_raw t pg;
+  match Hashtbl.find_opt t.files ino with
+  | None -> ()
+  | Some f ->
+    f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
+    f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+
+(* Migrate the salvageable bytes of media-damaged page [bad] (owned by
+   file [ino]) to a freshly allocated page: patch the single on-NVM
+   reference to it (the dentry's index head, an index entry, or an
+   index page's next link), copy the content with the damaged
+   [zero_lines] zeroed, retire [bad] and re-attribute everything.
+   Returns the replacement page number. *)
+let replace_page t ~ino ~bad ~zero_lines =
+  let actor = Pmem.kernel_actor in
+  match Hashtbl.find_opt t.files ino with
+  | None -> Error Fs_types.ENOENT
+  | Some f -> (
+    match Ctl_alloc.alloc_page_any_node t ~preferred:(bad / Pmem.pages_per_node t.pmem) with
+    | None -> Error Fs_types.ENOSPC
+    | Some fresh ->
+      let patched =
+        match Layout.read_dentry t.pmem ~actor ~addr:f.f_dentry_addr with
+        | Some (Ok (inode, _)) when inode.Layout.index_head = bad ->
+          Layout.write_index_head t.pmem ~actor ~dentry_addr:f.f_dentry_addr fresh;
+          true
+        | Some (Ok (inode, _)) ->
+          (* walk the chain for an entry or next-link equal to [bad];
+             cycle-bounded like Layout.walk_index_chain *)
+          let found = ref false in
+          let max_pages = Pmem.total_pages t.pmem in
+          let rec go page seen =
+            if page <> 0 && page > Layout.root_dentry_page && page < max_pages && seen <= max_pages
+            then begin
+              let entries, next = Layout.read_index_page t.pmem ~actor ~page in
+              Array.iteri
+                (fun i e ->
+                  if (not !found) && e = bad then begin
+                    Layout.write_index_entry t.pmem ~actor ~page i fresh;
+                    found := true
+                  end)
+                entries;
+              if not !found then
+                if next = bad then begin
+                  Layout.write_index_next t.pmem ~actor ~page fresh;
+                  found := true
+                end
+                else go next (seen + 1)
+            end
+          in
+          go inode.Layout.index_head 0;
+          !found
+        | _ -> false
+      in
+      if not patched then begin
+        Extent_alloc.free t.node_allocs.(fresh / Pmem.pages_per_node t.pmem) fresh 1;
+        Error Fs_types.EIO
+      end
+      else begin
+        Pmem.set_kind t.pmem fresh (Pmem.kind_of t.pmem bad);
+        let b = Pmem.read t.pmem ~actor ~addr:(bad * page_size) ~len:page_size in
+        List.iter
+          (fun line -> Bytes.fill b (line * Pmem.line_size) Pmem.line_size '\000')
+          zero_lines;
+        Pmem.write t.pmem ~actor ~addr:(fresh * page_size) ~src:b;
+        Pmem.persist t.pmem ~addr:(fresh * page_size) ~len:page_size;
+        Hashtbl.replace t.page_owner fresh (In_file ino);
+        (* dentries living on a migrated directory page move with it *)
+        Hashtbl.iter
+          (fun _ (cf : file_info) ->
+            if cf.f_dentry_addr / page_size = bad then
+              cf.f_dentry_addr <- (fresh * page_size) + (cf.f_dentry_addr mod page_size))
+          t.files;
+        let remap q = if q = bad then fresh else q in
+        f.f_index_pages <- List.map remap f.f_index_pages;
+        f.f_data_pages <- List.map remap f.f_data_pages;
+        (match f.f_checkpoint with
+        | Some ck ->
+          f.f_checkpoint <-
+            Some { ck with ck_pages = List.map (fun (p, b) -> (remap p, b)) ck.ck_pages }
+        | None -> ());
+        retire_page_raw t bad;
+        Ok fresh
+      end)
+
+(* The root dentry lives at a fixed address (no parent directory to
+   checkpoint it): rebuild it from the controller's soft state — shadow
+   permissions, attributed pages, recounted live entries. *)
+let rebuild_root_dentry t =
+  let actor = Pmem.kernel_actor in
+  match (Hashtbl.find_opt t.files Layout.root_ino, Hashtbl.find_opt t.shadow Layout.root_ino) with
+  | Some f, Some s ->
+    let size =
+      List.fold_left
+        (fun acc pg ->
+          let b = Pmem.read t.pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+          let live = ref 0 in
+          for slot = 0 to Layout.dentries_per_page - 1 do
+            if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr live
+          done;
+          acc + !live)
+        0 f.f_data_pages
+    in
+    let index_head = match f.f_index_pages with pg :: _ -> pg | [] -> 0 in
+    let inode =
+      {
+        Layout.ino = Layout.root_ino;
+        ftype = Fs_types.Dir;
+        mode = s.Verifier.s_mode;
+        uid = s.Verifier.s_uid;
+        gid = s.Verifier.s_gid;
+        size;
+        index_head;
+        mtime = 0;
+        ctime = 0;
+      }
+    in
+    let b = Layout.encode_dentry ~inode ~name:"/" in
+    Pmem.write t.pmem ~actor ~addr:Layout.root_dentry_addr ~src:b;
+    Pmem.persist t.pmem ~addr:Layout.root_dentry_addr ~len:Layout.dentry_size
+  | _ -> ()

@@ -1,0 +1,60 @@
+(** Process registry and the process-failure plane: heartbeats,
+    watchdog, abnormal teardown, orphan-page GC.  Internal to
+    [lib/core] — external code goes through {!Controller}. *)
+
+val register_process :
+  Ctl_state.t ->
+  proc:int ->
+  cred:Fs_types.cred ->
+  ?group:int ->
+  ?fix:(int -> bool) ->
+  ?recovery:(unit -> unit) ->
+  unit ->
+  unit
+
+val heartbeat : Ctl_state.t -> proc:int -> unit
+val last_heartbeat : Ctl_state.t -> proc:int -> float
+val process_dead : Ctl_state.t -> proc:int -> bool
+val processes : Ctl_state.t -> (int * bool * float) list
+
+val reap_dead : Ctl_state.t -> int -> int
+(** Release a dead process' inode numbers; returns how many. *)
+
+type watchdog_report = {
+  mutable wd_scanned : int;
+  mutable wd_escalated : int list;
+  mutable wd_unverified : int;
+  mutable wd_revoked : int;
+}
+
+val make_watchdog_report : unit -> watchdog_report
+val pp_watchdog_report : Format.formatter -> watchdog_report -> unit
+val abnormal_teardown : ?report:watchdog_report -> Ctl_state.t -> proc:int -> unit
+val watchdog_once : ?report:watchdog_report -> Ctl_state.t -> timeout_ns:float -> int list
+
+val run_watchdog :
+  ?report:watchdog_report ->
+  Ctl_state.t ->
+  timeout_ns:float ->
+  interval_ns:float ->
+  rounds:int ->
+  unit
+
+val crash_test_skip_gc : bool ref
+val set_crash_test_skip_gc : bool -> unit
+
+type gc_report = {
+  gc_total : int;
+  gc_free : int;
+  gc_reachable : int;
+  gc_cached : int;
+  gc_badblocks : int;
+  gc_reclaimed_pages : int;
+  gc_reclaimed_inos : int;
+  gc_leaked : int;
+  gc_invariant_ok : bool;
+}
+
+val pp_gc_report : Format.formatter -> gc_report -> unit
+val reachable_files : Ctl_state.t -> (int, bool) Hashtbl.t
+val gc_once : Ctl_state.t -> gc_report

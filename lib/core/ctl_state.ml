@@ -1,0 +1,363 @@
+(* Shared state of the kernel access controller.
+
+   The controller was decomposed into focused submodules (allocation,
+   checkpointing, process registry, media repair, verification gate);
+   this module owns what every one of them needs: the record types, the
+   constructor, the verifier view, and the cold-start rebuild.  The
+   public API is re-exported by the {!Controller} facade — nothing
+   outside [lib/core] links against [Ctl_*] directly. *)
+
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+module Extent_alloc = Trio_util.Extent_alloc
+open Fs_types
+
+type page_owner = Verifier.page_owner = Free | Allocated_to of int | In_file of int
+
+type ino_owner = Verifier.ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+
+type checkpoint = {
+  ck_dentry : Bytes.t; (* snapshot of the file's dentry block *)
+  ck_pages : (int * Bytes.t) list; (* metadata pages: index (+ data for dirs) *)
+  ck_children : int list; (* dir only: live child inos *)
+  ck_size : int;
+  ck_index_head : int;
+  ck_mark : int;
+      (* MMU write-set mark at snapshot time: a page unchanged since
+         this mark still matches its snapshot bytes bit for bit, which
+         is what lets incremental verification serve it from DRAM *)
+}
+
+(* Health of a file after media damage (see {!Scrub}): [Degraded_ro]
+   files reject writes with EROFS but stay readable where the media
+   allows; [Failed] files reject all mapping with EIO. *)
+type degradation = Healthy | Degraded_ro | Failed
+
+type file_info = {
+  f_ino : int;
+  mutable f_dentry_addr : int;
+  mutable f_parent : int; (* parent directory ino; root points to itself *)
+  mutable f_ftype : ftype;
+  mutable f_index_pages : int list;
+  mutable f_data_pages : int list;
+  mutable f_readers : (int, unit) Hashtbl.t; (* proc -> () *)
+  mutable f_writer : int option;
+  mutable f_lease_expire : float;
+  mutable f_checkpoint : checkpoint option;
+  mutable f_waiters : Sched.waker Queue.t;
+  mutable f_quarantined_for : int option; (* corrupt: only this proc may map *)
+  mutable f_degraded : degradation;
+  mutable f_unverified : int option;
+      (* last writer died/wedged before verification: the next map_file
+         must pass the verifier gate (as this proc) before any grant *)
+  mutable f_pending : int option;
+      (* queued for background verification on behalf of this proc
+         (set by unmap, cleared when a verifier fiber claims the file) *)
+  mutable f_verifying : bool; (* a verifier fiber is checking it right now *)
+}
+
+type proc_info = {
+  p_id : int;
+  p_cred : cred;
+  p_group : int;
+  mutable p_fix : (int -> bool) option; (* LibFS corruption-fix callback *)
+  mutable p_recovery : (unit -> unit) option; (* LibFS crash-recovery program *)
+  mutable p_pages : (int, unit) Hashtbl.t; (* pages Allocated_to this proc *)
+  mutable p_inos : (int, unit) Hashtbl.t; (* inos Ino_allocated_to this proc *)
+  mutable p_mapped : (int, unit) Hashtbl.t; (* inos this proc has mapped *)
+  mutable p_last_heartbeat : float; (* virtual time of the last syscall *)
+  mutable p_dead : bool; (* abnormally torn down by the watchdog *)
+}
+
+type t = {
+  sched : Sched.t;
+  pmem : Pmem.t;
+  mmu : Mmu.t;
+  topo : Numa.t;
+  lease_ns : float;
+  node_allocs : Extent_alloc.t array;
+  mutable next_ino : int;
+  page_owner : (int, page_owner) Hashtbl.t; (* absent = Free *)
+  ino_owner : (int, ino_owner) Hashtbl.t;
+  shadow : (int, Verifier.shadow) Hashtbl.t;
+  files : (int, file_info) Hashtbl.t;
+  procs : (int, proc_info) Hashtbl.t;
+  stats : Stats.t;
+  mutable corruption_events : (int * int * Verifier.violation list) list;
+      (* (proc, ino, violations) log, most recent first *)
+  mutable quarantine : (int * int) list; (* (proc, quarantine ino) *)
+  mutable badblocks : int list;
+      (* pages retired by the scrubber: never returned to the allocator.
+         Soft state — lost on cold_start (a real deployment would log
+         them durably; see DESIGN.md §4.11). *)
+  verify_q : int Queue.t; (* inos awaiting background verification *)
+  vq_idle : Sched.waker Queue.t; (* parked verifier fibers *)
+  mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
+      (* observability tap (Vfs trace ring): fired after each check *)
+}
+
+(* Global verification-mode switch (differential testing flips it):
+   [Incremental] serves provably clean pages from delta checkpoints,
+   [Full] always walks the device. *)
+type vmode = Full | Incremental
+
+let verify_mode = ref Incremental
+let set_verify_mode m = verify_mode := m
+let current_verify_mode () = !verify_mode
+
+let page_size = Layout.page_size
+
+let owner_of t page = Option.value (Hashtbl.find_opt t.page_owner page) ~default:Free
+
+let ino_owner_of t ino = Option.value (Hashtbl.find_opt t.ino_owner ino) ~default:Ino_free
+
+(* The one place file_info records are built: four call sites used to
+   repeat this literal and two of them missed field updates over time. *)
+let new_file ~ino ~dentry_addr ~parent ~ftype ?(index_pages = []) ?(data_pages = []) () =
+  {
+    f_ino = ino;
+    f_dentry_addr = dentry_addr;
+    f_parent = parent;
+    f_ftype = ftype;
+    f_index_pages = index_pages;
+    f_data_pages = data_pages;
+    f_readers = Hashtbl.create 4;
+    f_writer = None;
+    f_lease_expire = 0.0;
+    f_checkpoint = None;
+    f_waiters = Queue.create ();
+    f_quarantined_for = None;
+    f_degraded = Healthy;
+    f_unverified = None;
+    f_pending = None;
+    f_verifying = false;
+  }
+
+let make_node_allocs topo ~pages_per_node =
+  Array.init (Numa.nodes topo) (fun n ->
+      (* Node 0 loses its first pages to the superblock and the root
+         dentry page. *)
+      if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
+      else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
+
+let make ~sched ~pmem ~mmu ~lease_ns =
+  let topo = Pmem.topo pmem in
+  {
+    sched;
+    pmem;
+    mmu;
+    topo;
+    lease_ns;
+    node_allocs = make_node_allocs topo ~pages_per_node:(Pmem.pages_per_node pmem);
+    next_ino = Layout.root_ino + 1;
+    page_owner = Hashtbl.create 4096;
+    ino_owner = Hashtbl.create 1024;
+    shadow = Hashtbl.create 1024;
+    files = Hashtbl.create 1024;
+    procs = Hashtbl.create 16;
+    stats = Stats.create ();
+    corruption_events = [];
+    quarantine = [];
+    badblocks = [];
+    verify_q = Queue.create ();
+    vq_idle = Queue.create ();
+    verify_hook = None;
+  }
+
+let create ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
+  let t = make ~sched ~pmem ~mmu ~lease_ns in
+  Layout.mkfs pmem ~total_pages:(Pmem.total_pages pmem);
+  Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
+  Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
+  Hashtbl.replace t.ino_owner Layout.root_ino (Ino_in_dir Layout.root_ino);
+  Hashtbl.replace t.shadow Layout.root_ino
+    { Verifier.s_ftype = Dir; s_mode = 0o777; s_uid = 0; s_gid = 0 };
+  Hashtbl.replace t.files Layout.root_ino
+    (new_file ~ino:Layout.root_ino ~dentry_addr:Layout.root_dentry_addr ~parent:Layout.root_ino
+       ~ftype:Dir ());
+  t
+
+let proc_info t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Controller: unregistered process %d" proc)
+
+(* Every syscall doubles as a heartbeat: a process that stops making
+   kernel calls is indistinguishable from one that died, which is
+   exactly the signal the watchdog escalates on. *)
+let touch t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | Some p -> p.p_last_heartbeat <- Sched.now t.sched
+  | None -> ()
+
+let group_of t proc = (proc_info t proc).p_group
+let cred_of_proc t proc = (proc_info t proc).p_cred
+let file_info t ino = Hashtbl.find_opt t.files ino
+let shadow_of t ino = Hashtbl.find_opt t.shadow ino
+
+(* ------------------------------------------------------------------ *)
+(* Verifier view *)
+
+let view t =
+  {
+    Verifier.pmem = t.pmem;
+    total_pages = Pmem.total_pages t.pmem;
+    page_owner = (fun pg -> owner_of t pg);
+    ino_owner = (fun ino -> ino_owner_of t ino);
+    shadow = (fun ino -> Hashtbl.find_opt t.shadow ino);
+    checkpoint_children =
+      (fun ino ->
+        match Hashtbl.find_opt t.files ino with
+        | Some { f_checkpoint = Some ck; _ } -> Some ck.ck_children
+        | _ -> None);
+    is_mapped_elsewhere =
+      (fun ~ino ~proc ->
+        match Hashtbl.find_opt t.files ino with
+        | None -> false
+        | Some f ->
+          (match f.f_writer with Some w when w <> proc -> true | _ -> false)
+          || Hashtbl.fold (fun r () acc -> acc || r <> proc) f.f_readers false);
+    write_mapped_by_other =
+      (fun ~ino ~proc ->
+        match Hashtbl.find_opt t.files ino with
+        | Some { f_writer = Some w; _ } -> w <> proc
+        | _ -> false);
+    pages_attributed_to =
+      (fun ino ->
+        match Hashtbl.find_opt t.files ino with
+        | None -> []
+        | Some f -> f.f_index_pages @ f.f_data_pages);
+    dir_write_mapped_by =
+      (fun ~dir ~proc ->
+        match Hashtbl.find_opt t.files dir with
+        | Some { f_writer = Some w; _ } -> w = proc
+        | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let file_pages f = (f.f_dentry_addr / page_size) :: (f.f_index_pages @ f.f_data_pages)
+
+(* Walk a file's on-NVM page tree with kernel reads.  Used at map time to
+   find what to grant and at ingestion to attribute pages. *)
+let walk_file t ~ino:_ ~dentry_addr =
+  let actor = Pmem.kernel_actor in
+  match Layout.read_dentry t.pmem ~actor ~addr:dentry_addr with
+  | None | Some (Error _) -> None
+  | Some (Ok (inode, _name)) ->
+    let index_pages = ref [] and data_pages = ref [] in
+    let result =
+      Layout.walk_index_chain t.pmem ~actor ~head:inode.Layout.index_head
+        ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next:_ ->
+          index_pages := index_page :: !index_pages;
+          Array.iter (fun e -> if e <> 0 then data_pages := e :: !data_pages) entries)
+    in
+    (match result with Ok () -> () | Error _ -> ());
+    Some (inode, List.rev !index_pages, List.rev !data_pages)
+
+(* Scan a directory data page for live entries; the controller refuses to
+   free non-empty directory pages, which is what lets the verifier's I3
+   deleted-directory check work (see DESIGN.md §4.4). *)
+let dir_page_is_empty t pg =
+  let b = Pmem.read t.pmem ~actor:Pmem.kernel_actor ~addr:(pg * page_size) ~len:page_size in
+  let live = ref false in
+  for slot = 0 to Layout.dentries_per_page - 1 do
+    if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then live := true
+  done;
+  not !live
+
+let wake_all f =
+  while not (Queue.is_empty f.f_waiters) do
+    (Queue.pop f.f_waiters) ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cold start: rebuild the controller's global file system information
+   — page/inode ownership, shadow inodes, file records, free-space
+   allocators — purely from the core state on NVM.  This is the deepest
+   consequence of the paper's state-separation insight: everything the
+   trusted entities keep in DRAM is soft state (§3.2).
+
+   Walks the whole tree from the root (an offline fsck-style pass) and
+   returns [Error] on structural corruption. *)
+
+let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
+  match Layout.read_superblock pmem ~actor:Pmem.kernel_actor with
+  | Error e -> Error ("cold_start: " ^ e)
+  | Ok (total_pages, page_size', root_ino', root_addr) ->
+    if total_pages <> Pmem.total_pages pmem || page_size' <> page_size then
+      Error "cold_start: superblock geometry mismatch"
+    else if root_ino' <> Layout.root_ino || root_addr <> Layout.root_dentry_addr then
+      Error "cold_start: unexpected root location"
+    else begin
+      let t = make ~sched ~pmem ~mmu ~lease_ns in
+      let pages_per_node = Pmem.pages_per_node pmem in
+      Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
+      Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
+      let claim_page pg owner =
+        if pg <= Layout.root_dentry_page || pg >= total_pages then
+          failwith (Printf.sprintf "cold_start: page %d out of range" pg)
+        else if Hashtbl.mem t.page_owner pg then
+          failwith (Printf.sprintf "cold_start: page %d doubly referenced" pg)
+        else begin
+          Hashtbl.replace t.page_owner pg owner;
+          let node = pg / pages_per_node in
+          Extent_alloc.alloc_at t.node_allocs.(node) pg 1
+        end
+      in
+      let actor = Pmem.kernel_actor in
+      (* Walk one file: claim its pages, register records, recurse into
+         child directories. *)
+      let rec ingest ~parent ~dentry_addr =
+        match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
+        | None -> ()
+        | Some (Error e) -> failwith ("cold_start: undecodable dentry: " ^ e)
+        | Some (Ok (inode, _name)) ->
+          let ino = inode.Layout.ino in
+          if Hashtbl.mem t.ino_owner ino then
+            failwith (Printf.sprintf "cold_start: inode %d appears twice" ino);
+          Hashtbl.replace t.ino_owner ino (Ino_in_dir parent);
+          Hashtbl.replace t.shadow ino
+            {
+              Verifier.s_ftype = inode.Layout.ftype;
+              s_mode = inode.Layout.mode land 0o7777;
+              s_uid = inode.Layout.uid;
+              s_gid = inode.Layout.gid;
+            };
+          if ino >= t.next_ino then t.next_ino <- ino + 1;
+          let index_pages = ref [] and data_pages = ref [] in
+          (match
+             Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
+               ~max_pages:total_pages (fun ~index_page ~entries ~next:_ ->
+                 claim_page index_page (In_file ino);
+                 index_pages := index_page :: !index_pages;
+                 Array.iter
+                   (fun e ->
+                     if e <> 0 then begin
+                       claim_page e (In_file ino);
+                       data_pages := e :: !data_pages
+                     end)
+                   entries)
+           with
+          | Ok () -> ()
+          | Error e -> failwith ("cold_start: " ^ e));
+          Hashtbl.replace t.files ino
+            (new_file ~ino ~dentry_addr ~parent ~ftype:inode.Layout.ftype
+               ~index_pages:(List.rev !index_pages) ~data_pages:(List.rev !data_pages) ());
+          if inode.Layout.ftype = Dir then
+            List.iter
+              (fun pg ->
+                let b = Pmem.read pmem ~actor ~addr:(pg * page_size) ~len:page_size in
+                for slot = 0 to Layout.dentries_per_page - 1 do
+                  if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then
+                    ingest ~parent:ino ~dentry_addr:(Layout.dentry_slot_addr pg slot)
+                done)
+              (List.rev !data_pages)
+      in
+      match ingest ~parent:Layout.root_ino ~dentry_addr:Layout.root_dentry_addr with
+      | () -> Ok t
+      | exception Failure msg -> Error msg
+    end

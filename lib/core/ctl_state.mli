@@ -1,0 +1,113 @@
+(** Shared state of the kernel access controller: record types,
+    construction, the verifier view, cold start.  Internal to
+    [lib/core] — external code goes through the {!Controller} facade. *)
+
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+module Pmem = Trio_nvm.Pmem
+module Numa = Trio_nvm.Numa
+module Extent_alloc = Trio_util.Extent_alloc
+
+type page_owner = Verifier.page_owner = Free | Allocated_to of int | In_file of int
+
+type ino_owner = Verifier.ino_owner = Ino_free | Ino_allocated_to of int | Ino_in_dir of int
+
+type checkpoint = {
+  ck_dentry : Bytes.t;
+  ck_pages : (int * Bytes.t) list;
+  ck_children : int list;
+  ck_size : int;
+  ck_index_head : int;
+  ck_mark : int;  (** MMU write-set mark at snapshot time *)
+}
+
+type degradation = Healthy | Degraded_ro | Failed
+
+type file_info = {
+  f_ino : int;
+  mutable f_dentry_addr : int;
+  mutable f_parent : int;
+  mutable f_ftype : Fs_types.ftype;
+  mutable f_index_pages : int list;
+  mutable f_data_pages : int list;
+  mutable f_readers : (int, unit) Hashtbl.t;
+  mutable f_writer : int option;
+  mutable f_lease_expire : float;
+  mutable f_checkpoint : checkpoint option;
+  mutable f_waiters : Sched.waker Queue.t;
+  mutable f_quarantined_for : int option;
+  mutable f_degraded : degradation;
+  mutable f_unverified : int option;
+  mutable f_pending : int option;
+  mutable f_verifying : bool;
+}
+
+type proc_info = {
+  p_id : int;
+  p_cred : Fs_types.cred;
+  p_group : int;
+  mutable p_fix : (int -> bool) option;
+  mutable p_recovery : (unit -> unit) option;
+  mutable p_pages : (int, unit) Hashtbl.t;
+  mutable p_inos : (int, unit) Hashtbl.t;
+  mutable p_mapped : (int, unit) Hashtbl.t;
+  mutable p_last_heartbeat : float;
+  mutable p_dead : bool;
+}
+
+type t = {
+  sched : Sched.t;
+  pmem : Pmem.t;
+  mmu : Mmu.t;
+  topo : Numa.t;
+  lease_ns : float;
+  node_allocs : Extent_alloc.t array;
+  mutable next_ino : int;
+  page_owner : (int, page_owner) Hashtbl.t;
+  ino_owner : (int, ino_owner) Hashtbl.t;
+  shadow : (int, Verifier.shadow) Hashtbl.t;
+  files : (int, file_info) Hashtbl.t;
+  procs : (int, proc_info) Hashtbl.t;
+  stats : Stats.t;
+  mutable corruption_events : (int * int * Verifier.violation list) list;
+  mutable quarantine : (int * int) list;
+  mutable badblocks : int list;
+  verify_q : int Queue.t;
+  vq_idle : Sched.waker Queue.t;
+  mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
+}
+
+type vmode = Full | Incremental
+
+val verify_mode : vmode ref
+val set_verify_mode : vmode -> unit
+val current_verify_mode : unit -> vmode
+val page_size : int
+val owner_of : t -> int -> page_owner
+val ino_owner_of : t -> int -> ino_owner
+
+val new_file :
+  ino:int ->
+  dentry_addr:int ->
+  parent:int ->
+  ftype:Fs_types.ftype ->
+  ?index_pages:int list ->
+  ?data_pages:int list ->
+  unit ->
+  file_info
+
+val create : sched:Sched.t -> pmem:Pmem.t -> mmu:Mmu.t -> ?lease_ns:float -> unit -> t
+val proc_info : t -> int -> proc_info
+val touch : t -> int -> unit
+val group_of : t -> int -> int
+val cred_of_proc : t -> int -> Fs_types.cred
+val file_info : t -> int -> file_info option
+val shadow_of : t -> int -> Verifier.shadow option
+val view : t -> Verifier.view
+val file_pages : file_info -> int list
+val walk_file : t -> ino:int -> dentry_addr:int -> (Layout.inode * int list * int list) option
+val dir_page_is_empty : t -> int -> bool
+val wake_all : file_info -> unit
+
+val cold_start :
+  sched:Sched.t -> pmem:Pmem.t -> mmu:Mmu.t -> ?lease_ns:float -> unit -> (t, string) result

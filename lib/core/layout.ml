@@ -229,14 +229,29 @@ let read_index_page pm ~actor ~page =
    ~next] per page.  Cycle-safe: stops (returning [Error]) if a chain
    longer than the device could possibly hold is observed — this is how
    the verifier survives the "loop within index pages" attack. *)
-let walk_index_chain pm ~actor ~head ~max_pages f =
+let decode_index_page b =
+  let entries = Array.init index_entries (fun i -> get_u64 b (i * 8)) in
+  let next = get_u64 b index_next_off in
+  (entries, next)
+
+(* [fetch page] may supply the page's bytes from a DRAM snapshot (the
+   incremental verifier's delta checkpoint); [None] reads the device. *)
+let walk_index_chain ?fetch pm ~actor ~head ~max_pages f =
+  let read page =
+    match fetch with
+    | Some fetch -> (
+      match fetch page with
+      | Some b -> decode_index_page b
+      | None -> read_index_page pm ~actor ~page)
+    | None -> read_index_page pm ~actor ~page
+  in
   let rec go page seen =
     if page = 0 then Ok ()
     else if page <= root_dentry_page || page >= max_pages then
       Error (Printf.sprintf "index page %d outside the volume" page)
     else if seen > max_pages then Error "index page chain too long (cycle?)"
     else begin
-      let entries, next = read_index_page pm ~actor ~page in
+      let entries, next = read page in
       f ~index_page:page ~entries ~next;
       go next (seen + 1)
     end

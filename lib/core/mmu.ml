@@ -24,10 +24,73 @@ type t = {
   (* actor -> page -> grant counts *)
   tables : (int, (int, entry) Hashtbl.t) Hashtbl.t;
   mutable pte_ops : int;
+  (* --- dirty-page write-set (incremental verification, §4.3/§6) ---
+     A single device-wide tracker: [wmark] is a monotonic store counter
+     and [wset] maps each page to the mark of its last content mutation
+     (fed by {!Pmem.set_store_hook}, so poison, crash reverts and page
+     discards count as writes too).  When the table outgrows
+     [wset_capacity] it is reset and [overflow_mark] records the loss:
+     any checkpoint taken before that mark can no longer prove a page
+     clean and must fall back to a full verification walk. *)
+  wset : (int, int) Hashtbl.t;
+  mutable wmark : int;
+  mutable wset_capacity : int;
+  mutable overflow_mark : int;
 }
 
+(* Mutation hook for the differential self-test of the verification
+   plane: while set, content mutations stop being recorded, so
+   incremental verification silently trusts stale snapshots — the
+   vdiff gate must provably catch the resulting verdict divergence. *)
+let crash_test_drop_writes = ref false
+
+let set_crash_test_drop_writes b = crash_test_drop_writes := b
+
+let record_store t pg =
+  if not !crash_test_drop_writes then begin
+    t.wmark <- t.wmark + 1;
+    Hashtbl.replace t.wset pg t.wmark;
+    if Hashtbl.length t.wset > t.wset_capacity then begin
+      Hashtbl.reset t.wset;
+      t.overflow_mark <- t.wmark
+    end
+  end
+
+let write_mark t = t.wmark
+
+(* Has every store since [mark] been kept in the table? *)
+let writes_tracked_since t ~mark = mark >= t.overflow_mark
+
+(* Sound only when [writes_tracked_since ~mark] holds: an absent entry
+   then means the page was not touched since the overflow, and the
+   overflow itself predates [mark]. *)
+let dirty_since t ~mark ~page =
+  match Hashtbl.find_opt t.wset page with
+  | Some m -> m > mark
+  | None -> mark < t.overflow_mark
+
+let set_write_set_capacity t n =
+  if n < 1 then invalid_arg "Mmu.set_write_set_capacity";
+  t.wset_capacity <- n;
+  if Hashtbl.length t.wset > n then begin
+    Hashtbl.reset t.wset;
+    t.overflow_mark <- t.wmark
+  end
+
+let write_set_size t = Hashtbl.length t.wset
+
 let create pmem =
-  let t = { pmem; tables = Hashtbl.create 16; pte_ops = 0 } in
+  let t =
+    {
+      pmem;
+      tables = Hashtbl.create 16;
+      pte_ops = 0;
+      wset = Hashtbl.create 4096;
+      wmark = 0;
+      wset_capacity = 1 lsl 16;
+      overflow_mark = 0;
+    }
+  in
   Pmem.set_perm_check pmem (fun ~actor ~page ~write ->
       match Hashtbl.find_opt t.tables actor with
       | None -> false
@@ -35,6 +98,7 @@ let create pmem =
         match Hashtbl.find_opt table page with
         | Some e -> if write then e.writers > 0 else e.writers > 0 || e.readers > 0
         | None -> false));
+  Pmem.set_store_hook pmem (fun pg -> record_store t pg);
   t
 
 let table_of t actor =

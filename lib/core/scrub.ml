@@ -144,8 +144,12 @@ let scrub_file_page ctl st ~ino ~page ~lines =
           Controller.degrade_file ctl ~ino Controller.Failed ~detail
       end)
 
-(* One full patrol pass.  Returns the number of poisoned lines seen. *)
+(* One full patrol pass.  Returns the number of poisoned lines seen.
+   The scrubber repairs from *verified* checkpoints, so it quiesces the
+   verification pipeline first: a queued verification may still have to
+   ingest a fresh file or refresh the checkpoint it repairs from. *)
 let patrol_once ?(stats = make_stats ()) ctl =
+  Controller.drain_verification ctl;
   let pmem = Controller.pmem ctl in
   let bad = Controller.badblocks ctl in
   stats.rounds <- stats.rounds + 1;

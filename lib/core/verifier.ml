@@ -20,11 +20,23 @@
 
    The verifier only reads through [Pmem] with the kernel actor, so its
    inspection costs are charged to the sharing path — that is the
-   "Verifier" slice of Fig. 8. *)
+   "Verifier" slice of Fig. 8.
+
+   Incremental mode (§4.3/§6): the caller may pass [delta], a lookup
+   that returns a page's bytes from a DRAM delta-checkpoint snapshot
+   when the page is provably clean (no content mutation recorded by the
+   MMU write-set since the snapshot was taken).  Snapshot bytes are
+   bit-identical to the device by construction, and the verifier runs
+   the exact same checks over them — verdicts are byte-identical to a
+   full walk; only the inspection cost drops, because clean pages skip
+   the media read and pay a spot-check CPU charge instead of the full
+   per-entry scan (the byte-format validation of those entries was
+   already vouched for when the checkpoint was taken). *)
 
 module Pmem = Trio_nvm.Pmem
 module Perf = Trio_nvm.Perf
 module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
 
 type shadow = { s_ftype : Fs_types.ftype; s_mode : int; s_uid : int; s_gid : int }
 
@@ -84,6 +96,42 @@ let empty_report =
     size = 0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental-mode plumbing *)
+
+let no_delta : int -> Bytes.t option = fun _ -> None
+
+let count stats name = match stats with Some s -> Stats.incr s name | None -> ()
+
+(* Per-invariant observability: a phase switcher that attributes elapsed
+   virtual time exclusively to the current phase, so the four timers sum
+   to the whole verification with no double counting. *)
+type phaser = { mutable ph : string option; mutable t0 : float; st : Stats.t; sc : Sched.t }
+
+let make_phaser view stats =
+  Option.map (fun st -> { ph = None; t0 = 0.0; st; sc = Pmem.sched view.pmem }) stats
+
+let phase p name =
+  match p with
+  | None -> ()
+  | Some p ->
+    let now = Sched.now p.sc in
+    (match p.ph with Some n -> Stats.add p.st n (now -. p.t0) | None -> ());
+    p.ph <- name;
+    p.t0 <- now
+
+(* Read a whole (meta)data page, serving clean pages from the delta
+   checkpoint.  Returns the bytes and whether they came from a
+   snapshot. *)
+let fetch_page view ~delta ~stats ~actor page =
+  match delta page with
+  | Some b ->
+    count stats "verify.dirty.hits";
+    (b, true)
+  | None ->
+    count stats "verify.dirty.misses";
+    (Pmem.read view.pmem ~actor ~addr:(page * Layout.page_size) ~len:Layout.page_size, false)
+
 let check_name ~check name seen violations =
   if not (Fs_types.valid_name name) then
     violations := { check; detail = Printf.sprintf "invalid name %S" name } :: !violations
@@ -130,16 +178,24 @@ let check_page view ~proc ~ino ~refs ~violations page what =
 (* Walk the file's index chain collecting index and data pages; bails out
    on cycles (chain longer than the volume).  [refs] is shared across a
    whole verification so pages referenced by two files (or twice within
-   one) are caught. *)
-let collect_pages ?refs view ~actor ~proc ~ino ~head ~violations =
+   one) are caught.  Clean index pages come from the delta checkpoint:
+   same bytes, a spot-check CPU charge instead of the full 511-entry
+   scan, and no media read. *)
+let collect_pages ?refs ?(delta = no_delta) ?stats view ~actor ~proc ~ino ~head ~violations =
   let refs = match refs with Some r -> r | None -> Hashtbl.create 64 in
   let index_pages = ref [] and data_pages = ref [] in
   let result =
-    Layout.walk_index_chain view.pmem ~actor ~head ~max_pages:view.total_pages
+    Layout.walk_index_chain ~fetch:delta view.pmem ~actor ~head ~max_pages:view.total_pages
       (fun ~index_page ~entries ~next:_ ->
         check_page view ~proc ~ino ~refs ~violations index_page "index page";
         index_pages := index_page :: !index_pages;
-        Sched.cpu_work (Perf.Cpu.index_entry_check *. float_of_int Layout.index_entries);
+        (match delta index_page with
+        | Some _ ->
+          count stats "verify.dirty.hits";
+          Sched.cpu_work (Perf.Cpu.index_entry_check *. 8.0)
+        | None ->
+          count stats "verify.dirty.misses";
+          Sched.cpu_work (Perf.Cpu.index_entry_check *. float_of_int Layout.index_entries));
         Array.iter
           (fun entry ->
             if entry <> 0 then begin
@@ -190,11 +246,15 @@ let check_size_consistency ~violations ~(inode : Layout.inode) ~npages =
       }
       :: !violations
 
-(* Check a regular file rooted at [inode]. *)
-let check_regular ?refs view ~actor ~proc ~(inode : Layout.inode) ~violations =
+(* Check a regular file rooted at [inode].  [ph] is the (optional)
+   phase switcher of the enclosing check_file. *)
+let check_regular ?refs ?delta ?stats ~ph view ~actor ~proc ~(inode : Layout.inode) ~violations =
+  phase ph (Some "verify.i2");
   let index_pages, data_pages =
-    collect_pages ?refs view ~actor ~proc ~ino:inode.ino ~head:inode.index_head ~violations
+    collect_pages ?refs ?delta ?stats view ~actor ~proc ~ino:inode.ino ~head:inode.index_head
+      ~violations
   in
+  phase ph (Some "verify.i1");
   check_size_consistency ~violations ~inode ~npages:(List.length data_pages);
   (index_pages, data_pages)
 
@@ -203,10 +263,11 @@ let check_regular ?refs view ~actor ~proc ~(inode : Layout.inode) ~violations =
    tree and size field here.  Children held write-mapped by another
    process are skipped (they are verified at their own unmap); fresh
    children are fully verified at ingestion. *)
-let check_child_tree view ~refs ~actor ~proc ~(child : Layout.inode) ~violations =
+let check_child_tree ?delta ?stats view ~refs ~actor ~proc ~(child : Layout.inode) ~violations =
   if not (view.write_mapped_by_other ~ino:child.ino ~proc) then begin
     let _, data_pages =
-      collect_pages ~refs view ~actor ~proc ~ino:child.ino ~head:child.index_head ~violations
+      collect_pages ~refs ?delta ?stats view ~actor ~proc ~ino:child.ino ~head:child.index_head
+        ~violations
     in
     match child.ftype with
     | Fs_types.Reg -> check_size_consistency ~violations ~inode:child ~npages:(List.length data_pages)
@@ -217,7 +278,7 @@ let check_child_tree view ~refs ~actor ~proc ~(child : Layout.inode) ~violations
       let live = ref 0 in
       List.iter
         (fun pg ->
-          let b = Pmem.read view.pmem ~actor ~addr:(pg * Layout.page_size) ~len:Layout.page_size in
+          let b, _ = fetch_page view ~delta:(Option.value delta ~default:no_delta) ~stats ~actor pg in
           for slot = 0 to Layout.dentries_per_page - 1 do
             if Layout.get_u64 b (slot * Layout.dentry_size) <> 0 then incr live
           done)
@@ -235,19 +296,28 @@ let check_child_tree view ~refs ~actor ~proc ~(child : Layout.inode) ~violations
 
 (* Check a directory: every live dentry is validated (I1), children are
    accounted (I2), the deleted-child rule is enforced (I3). *)
-let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations =
+let check_directory ?(delta = no_delta) ?stats ~ph view ~actor ~proc ~(inode : Layout.inode)
+    ~fixed ~violations =
   let refs = Hashtbl.create 64 in
+  phase ph (Some "verify.i2");
   let index_pages, data_pages =
-    collect_pages ~refs view ~actor ~proc ~ino:inode.ino ~head:inode.index_head ~violations
+    collect_pages ~refs ~delta ?stats view ~actor ~proc ~ino:inode.ino ~head:inode.index_head
+      ~violations
   in
+  phase ph (Some "verify.i1");
   let seen_names = Hashtbl.create 64 in
   let seen_inos = Hashtbl.create 64 in
   let children = ref [] in
   List.iter
     (fun page ->
-      let page_bytes = Pmem.read view.pmem ~actor ~addr:(page * Layout.page_size) ~len:Layout.page_size in
+      phase ph (Some "verify.i1");
+      let page_bytes, from_snapshot = fetch_page view ~delta ~stats ~actor page in
+      (* A snapshot-served directory page pays one spot-check charge; a
+         device read is validated slot by slot. *)
+      if from_snapshot then Sched.cpu_work Perf.Cpu.dentry_check;
       for slot = 0 to Layout.dentries_per_page - 1 do
-        Sched.cpu_work Perf.Cpu.dentry_check;
+        phase ph (Some "verify.i1");
+        if not from_snapshot then Sched.cpu_work Perf.Cpu.dentry_check;
         let block = Bytes.sub page_bytes (slot * Layout.dentry_size) Layout.dentry_size in
         let dentry_addr = Layout.dentry_slot_addr page slot in
         match Layout.decode_dentry block with
@@ -276,8 +346,11 @@ let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations
               match view.ino_owner child.ino with Ino_allocated_to p -> p = proc | _ -> false
             in
             if not fresh then begin
+              phase ph (Some "verify.i4");
               check_perms view ~actor ~fixed ~violations ~inode:child ~dentry_addr;
-              check_child_tree view ~refs ~actor ~proc ~child ~violations
+              phase ph (Some "verify.i2");
+              check_child_tree ~delta ?stats view ~refs ~actor ~proc ~child ~violations;
+              phase ph (Some "verify.i1")
             end;
             (match view.ino_owner child.ino with
             | Ino_in_dir parent when parent = inode.ino -> ()
@@ -308,6 +381,7 @@ let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations
           end
       done)
     data_pages;
+  phase ph (Some "verify.i1");
   let children = List.rev !children in
   if inode.size <> List.length children then
     violations :=
@@ -319,6 +393,7 @@ let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations
       }
       :: !violations;
   (* I3: deleted children must leave no trace. *)
+  phase ph (Some "verify.i3");
   let deleted =
     match view.checkpoint_children inode.ino with
     | None -> []
@@ -359,18 +434,39 @@ let check_directory view ~actor ~proc ~(inode : Layout.inode) ~fixed ~violations
   (index_pages, data_pages, children, deleted)
 
 (* Entry point: verify the file whose dentry block sits at [dentry_addr],
-   which process [proc] had write-mapped. *)
-let check_file view ~proc ~ino ~dentry_addr : report =
+   which process [proc] had write-mapped.  [delta] enables incremental
+   mode (see the module comment); [stats] enables the per-invariant
+   timers and dirty-hit counters. *)
+let check_file ?delta ?stats view ~proc ~ino ~dentry_addr : report =
   let actor = Pmem.kernel_actor in
   let violations = ref [] in
   let fixed = ref [] in
-  match Layout.read_dentry view.pmem ~actor ~addr:dentry_addr with
+  let ph = make_phaser view stats in
+  let d = Option.value delta ~default:no_delta in
+  phase ph (Some "verify.i1");
+  let dentry =
+    (* The file's own dentry lives in a parent data page: serve it from
+       the snapshot when that page is clean. *)
+    match d (dentry_addr / Layout.page_size) with
+    | Some page_bytes ->
+      count stats "verify.dirty.hits";
+      Layout.decode_dentry
+        (Bytes.sub page_bytes (dentry_addr mod Layout.page_size) Layout.dentry_size)
+    | None ->
+      count stats "verify.dirty.misses";
+      Layout.read_dentry view.pmem ~actor ~addr:dentry_addr
+  in
+  let finish report =
+    phase ph None;
+    report
+  in
+  match dentry with
   | None ->
     (* The file itself was deleted while write-mapped; the parent's
        verification will run the deleted-child checks. *)
-    { empty_report with ok = true }
+    finish { empty_report with ok = true }
   | Some (Error msg) ->
-    { empty_report with ok = false; violations = [ { check = `I1; detail = msg } ] }
+    finish { empty_report with ok = false; violations = [ { check = `I1; detail = msg } ] }
   | Some (Ok (inode, _name)) ->
     if inode.ino <> ino then
       violations :=
@@ -379,25 +475,27 @@ let check_file view ~proc ~ino ~dentry_addr : report =
           detail = Printf.sprintf "dentry holds inode %d where %d was mapped" inode.ino ino;
         }
         :: !violations;
+    phase ph (Some "verify.i4");
     check_perms view ~actor ~fixed ~violations ~inode ~dentry_addr;
     (* Re-read: I4 repairs may have rewritten the permission fields. *)
     let index_pages, data_pages, children, deleted =
       match inode.ftype with
       | Fs_types.Reg ->
-        let ip, dp = check_regular view ~actor ~proc ~inode ~violations in
+        let ip, dp = check_regular ?delta ?stats ~ph view ~actor ~proc ~inode ~violations in
         (ip, dp, [], [])
-      | Fs_types.Dir -> check_directory view ~actor ~proc ~inode ~fixed ~violations
+      | Fs_types.Dir -> check_directory ~delta:d ?stats ~ph view ~actor ~proc ~inode ~fixed ~violations
     in
-    {
-      ok = !violations = [];
-      violations = List.rev !violations;
-      fixed = List.rev !fixed;
-      index_pages;
-      data_pages;
-      children;
-      deleted_children = deleted;
-      size = inode.size;
-    }
+    finish
+      {
+        ok = !violations = [];
+        violations = List.rev !violations;
+        fixed = List.rev !fixed;
+        index_pages;
+        data_pages;
+        children;
+        deleted_children = deleted;
+        size = inode.size;
+      }
 
 let pp_violation ppf v =
   let tag =

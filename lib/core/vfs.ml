@@ -41,12 +41,17 @@ type op_kind =
   | Op_rename
   | Op_chmod
   | Op_fsync
+  | Op_verify
+      (* not a dispatched operation: one integrity verification performed
+         by the controller's pipeline, surfaced here via
+         {!attach_verify_trace} so verification shows up in the same
+         counters, histograms and trace ring as the ops that caused it *)
 
 let all_ops =
   [ Op_create; Op_open; Op_close; Op_pread; Op_pwrite; Op_append; Op_truncate; Op_unlink;
-    Op_mkdir; Op_rmdir; Op_readdir; Op_stat; Op_rename; Op_chmod; Op_fsync ]
+    Op_mkdir; Op_rmdir; Op_readdir; Op_stat; Op_rename; Op_chmod; Op_fsync; Op_verify ]
 
-let op_count = 15
+let op_count = 16
 
 let op_index = function
   | Op_create -> 0
@@ -64,6 +69,7 @@ let op_index = function
   | Op_rename -> 12
   | Op_chmod -> 13
   | Op_fsync -> 14
+  | Op_verify -> 15
 
 let op_name = function
   | Op_create -> "create"
@@ -81,6 +87,7 @@ let op_name = function
   | Op_rename -> "rename"
   | Op_chmod -> "chmod"
   | Op_fsync -> "fsync"
+  | Op_verify -> "verify"
 
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffer *)
@@ -219,6 +226,41 @@ let ops t = t.fops
 let inner t = t.inner
 let name t = t.inner.Fs_intf.fs_name
 let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Verification-plane observability *)
+
+(* Route the controller's verification hook into this handle: every
+   incremental or full check the pipeline performs lands in the
+   [Op_verify] counters/histogram and (when tracing) the ring, tagged
+   with its mode and inode.  One hook per controller — attaching a
+   second handle supersedes the first. *)
+let attach_verify_trace t ctl =
+  Controller.set_verify_hook ctl (fun ~ino ~incremental ~dur ~ok ->
+      let i = op_index Op_verify in
+      let m = t.metrics.(i) in
+      Stats.Hist.observe m.hist dur;
+      Stats.incr t.stats t.count_keys.(i);
+      if not ok then begin
+        m.errors <- m.errors + 1;
+        m.errnos.(errno_index EIO) <- m.errnos.(errno_index EIO) + 1;
+        Stats.incr t.stats t.error_keys.(i)
+      end;
+      match t.ring with
+      | None -> ()
+      | Some r ->
+        r.entries.(r.next mod Array.length r.entries) <-
+          Some
+            {
+              te_op = Op_verify;
+              te_path =
+                Printf.sprintf "%s ino=%d" (if incremental then "incremental" else "full") ino;
+              te_fd = -1;
+              te_start = Sched.now t.sched -. dur;
+              te_elapsed = dur;
+              te_errno = (if ok then None else Some EIO);
+            };
+        r.next <- r.next + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)

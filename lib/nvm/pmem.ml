@@ -108,6 +108,11 @@ type t = {
   pages : (int, page) Hashtbl.t;
   nodes : node array;
   mutable perm_check : actor:int -> page:int -> write:bool -> bool;
+  mutable store_hook : int -> unit;
+      (* called with the page number of every content mutation — stores
+         (any actor), poison, crash reverts, discards.  The MMU's dirty
+         write-set hangs off this: anything that can change a page's
+         bytes must invalidate incremental-verification snapshots. *)
   mutable persist_count : int;
   mutable crash_count : int;
   mutable mmu_checks : int;
@@ -146,6 +151,7 @@ let create ~sched ~topo ~profile ~pages_per_node ~store_data () =
       Array.init (Numa.nodes topo) (fun _ ->
           { active = 0; peak_active = 0; bytes_read = 0.0; bytes_written = 0.0 });
     perm_check = (fun ~actor:_ ~page:_ ~write:_ -> true);
+    store_hook = ignore;
     persist_count = 0;
     crash_count = 0;
     mmu_checks = 0;
@@ -171,6 +177,7 @@ let total_pages t = t.pages_per_node * Numa.nodes t.topo
 let node_of_page t pg = pg / t.pages_per_node
 let pages_per_node t = t.pages_per_node
 let set_perm_check t f = t.perm_check <- f
+let set_store_hook t f = t.store_hook <- f
 let persist_count t = t.persist_count
 
 (* ------------------------------------------------------------------ *)
@@ -230,6 +237,7 @@ let discard_page t pg =
   | Some p -> t.dirty_total <- t.dirty_total - p.ndirty
   | None -> ());
   Hashtbl.remove t.pages pg;
+  t.store_hook pg;
   if t.recording then record_event t (Ev_discard pg)
 
 (* ------------------------------------------------------------------ *)
@@ -384,6 +392,7 @@ let clear_poison t = Hashtbl.reset t.poison
    the caller rewriting the range). *)
 let poison_line t ~page ~line =
   Hashtbl.replace t.poison (page, line) ();
+  t.store_hook page;
   match Hashtbl.find_opt t.pages page with
   | Some { content = Some b; _ } -> Bytes.fill b (line * line_size) line_size '\222'
   | _ -> ()
@@ -536,7 +545,8 @@ let write_from t ~actor ~addr ~src ~pos ~len =
   check_range t ~actor ~addr ~len ~write:true;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write:true ~bytes:len);
   iter_pages addr len (fun ~pg ~off ~chunk ~done_ ->
-      blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk);
+      blit_to_page t pg ~off ~src ~src_pos:(pos + done_) ~len:chunk;
+      t.store_hook pg);
   fault_on_write t ~actor ~addr ~len;
   if t.recording then record_event t (Ev_store { actor; addr; data = Bytes.sub src pos len })
 
@@ -551,6 +561,7 @@ let write t ~actor ~addr ~src = write_from t ~actor ~addr ~src ~pos:0 ~len:(Byte
 let touch t ~actor ~addr ~len ~write =
   check_bounds t ~what:"Pmem.touch" ~addr ~len;
   check_range t ~actor ~addr ~len ~write;
+  if write then iter_pages addr len (fun ~pg ~off:_ ~chunk:_ ~done_:_ -> t.store_hook pg);
   if write then fault_on_write t ~actor ~addr ~len else fault_on_read t ~actor ~addr ~len;
   iter_node_runs t addr len (fun ~node ~addr:_ ~len -> node_access t ~node ~write ~bytes:len)
 
@@ -619,8 +630,9 @@ let write_u32 t ~actor ~addr v =
 let crash ?rng t =
   t.crash_count <- t.crash_count + 1;
   Hashtbl.iter
-    (fun _pg p ->
+    (fun pg p ->
       if p.ndirty > 0 then begin
+        t.store_hook pg;
         (match p.content with
         | None ->
           (* never materialized: nothing to revert, just drop pre-images
@@ -651,6 +663,7 @@ let crash_select t ~survives =
   Hashtbl.iter
     (fun pg p ->
       if p.ndirty > 0 then begin
+        t.store_hook pg;
         (match p.content with
         | None -> List.iter (fun line -> p.pre.(line) <- None) p.dirty_order
         | Some b ->

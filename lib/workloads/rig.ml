@@ -100,7 +100,11 @@ let mount_raw ?(store_data = true) t name =
    errno counters and latency histograms for free (use [Vfs.ops] for the
    plain {!Trio_core.Fs_intf.t} record). *)
 let mount_fs ?store_data ?trace_capacity t name =
-  Vfs.wrap ~sched:t.sched ?trace_capacity (mount_raw ?store_data t name)
+  let vfs = Vfs.wrap ~sched:t.sched ?trace_capacity (mount_raw ?store_data t name) in
+  (* Verification work done by the controller's pipeline shows up in the
+     same per-op observability as the workload that triggered it. *)
+  Vfs.attach_verify_trace vfs t.ctl;
+  vfs
 
 (* Run [f rig] to completion inside a fresh simulation. *)
 let run ?nodes ?cpus_per_node ?pages_per_node ?store_data ?lease_ns ?threads_per_node

@@ -6,6 +6,8 @@ module Sched = Trio_sim.Sched
 module Pmem = Trio_nvm.Pmem
 module Layout = Trio_core.Layout
 module Controller = Trio_core.Controller
+module Ctl_state = Trio_core.Ctl_state
+module Mmu = Trio_core.Mmu
 module Verifier = Trio_core.Verifier
 module Libfs = Arckfs.Libfs
 module Fs = Trio_core.Fs_intf
@@ -297,6 +299,99 @@ let test_writer_lease_expires_for_writer () =
       let content = ok "read" (Fs.read_file aops "/f") in
       Alcotest.(check string) "both writes present" "xyz" content)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental verification: delta checkpoints and the write-set *)
+
+let checkpoint_of env ino =
+  match Controller.file_info env.Helpers.ctl ino with
+  | Some f -> (
+    match f.Ctl_state.f_checkpoint with
+    | Some ck -> ck
+    | None -> Alcotest.failf "ino %d has no checkpoint" ino)
+  | None -> Alcotest.failf "ino %d has no kernel record" ino
+
+let check_ck_equal name (a : Controller.checkpoint) (b : Controller.checkpoint) =
+  Alcotest.(check bool) (name ^ ": dentry") true (Bytes.equal a.ck_dentry b.ck_dentry);
+  Alcotest.(check (list int))
+    (name ^ ": page ids")
+    (List.map fst a.ck_pages) (List.map fst b.ck_pages);
+  List.iter2
+    (fun (pg, ba) (_, bb) ->
+      if not (Bytes.equal ba bb) then Alcotest.failf "%s: page %d bytes differ" name pg)
+    a.ck_pages b.ck_pages;
+  Alcotest.(check (list int)) (name ^ ": children") a.ck_children b.ck_children;
+  Alcotest.(check int) (name ^ ": size") a.ck_size b.ck_size;
+  Alcotest.(check int) (name ^ ": index head") a.ck_index_head b.ck_index_head;
+  Alcotest.(check int) (name ^ ": mark") a.ck_mark b.ck_mark
+
+let test_checkpoint_roundtrip () =
+  Helpers.run_sim (fun env ->
+      let w = make_world env in
+      (* land the /held verification so the root checkpoint is fresh *)
+      Libfs.unmap_everything w.fs;
+      List.iter
+        (fun (name, ino) ->
+          let ck = checkpoint_of env ino in
+          match Controller.decode_checkpoint (Controller.encode_checkpoint ck) with
+          | Ok ck' -> check_ck_equal name ck ck'
+          | Error msg -> Alcotest.failf "%s: decode failed: %s" name msg)
+        (* the root covers the directory branch: data pages + child inos *)
+        [ ("regular file", w.v_ino); ("root directory", Controller.root_ino) ])
+
+let test_checkpoint_decode_rejects () =
+  Helpers.run_sim (fun env ->
+      let w = make_world env in
+      let b = Controller.encode_checkpoint (checkpoint_of env w.v_ino) in
+      let expect_error what bytes =
+        match Controller.decode_checkpoint bytes with
+        | Ok _ -> Alcotest.failf "%s: corrupted encoding decoded successfully" what
+        | Error _ -> ()
+      in
+      let flipped = Bytes.copy b in
+      let mid = Bytes.length b / 2 in
+      Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0xff));
+      expect_error "bit flip" flipped;
+      expect_error "truncation" (Bytes.sub b 0 (Bytes.length b - 9));
+      expect_error "empty" Bytes.empty)
+
+(* Overflowing the MMU write-set must invalidate every older checkpoint
+   mark: no snapshot may be served (full-walk fallback), and verdicts
+   must stay correct. *)
+let test_write_set_overflow_fallback () =
+  Helpers.run_sim (fun env ->
+      let w = make_world env in
+      let mmu = env.Helpers.mmu in
+      let f = Option.get (Controller.file_info env.Helpers.ctl w.v_ino) in
+      let idx_pg = List.hd f.Ctl_state.f_index_pages in
+      let ck = checkpoint_of env w.v_ino in
+      Alcotest.(check bool) "tracked before overflow" true
+        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark);
+      (match Controller.page_snapshot env.Helpers.ctl idx_pg with
+      | Some _ -> ()
+      | None -> Alcotest.fail "expected a snapshot for a clean index page");
+      (* shrink the write-set so the next two stores overflow it *)
+      Mmu.set_write_set_capacity mmu 1;
+      (match f.Ctl_state.f_data_pages with
+      | a :: b :: _ ->
+        List.iter
+          (fun pg ->
+            Pmem.write env.Helpers.pmem ~actor:kactor ~addr:(pg * Layout.page_size)
+              ~src:(Bytes.make 1 'z'))
+          [ a; b ]
+      | _ -> Alcotest.fail "victim too small");
+      Alcotest.(check bool) "overflow invalidates the mark" false
+        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark);
+      (match Controller.page_snapshot env.Helpers.ctl idx_pg with
+      | None -> ()
+      | Some _ -> Alcotest.fail "snapshot served after write-set overflow");
+      (* the fallback full walk still gets verdicts right *)
+      let tags =
+        corrupt_and_share w (fun () ->
+            Pmem.write_u64 env.Helpers.pmem ~actor:kactor ~addr:(w.v_addr + Layout.off_size)
+              (1 lsl 26))
+      in
+      expect_check "size lie caught on fallback" `I1 tags)
+
 let () =
   Alcotest.run "verifier"
     [
@@ -322,5 +417,12 @@ let () =
           Alcotest.test_case "quarantine on unfixable" `Quick test_quarantine_on_unfixable;
           Alcotest.test_case "commit moves the checkpoint" `Quick test_commit_moves_checkpoint;
           Alcotest.test_case "writer lease expires" `Quick test_writer_lease_expires_for_writer;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "checkpoint round-trips" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "decode rejects corruption" `Quick test_checkpoint_decode_rejects;
+          Alcotest.test_case "write-set overflow falls back" `Quick
+            test_write_set_overflow_fallback;
         ] );
     ]
