@@ -55,10 +55,14 @@ let quarantine_copy t f ~offender =
    the single place the mode counters and the observability hook fire. *)
 let check_file_now t ~proc ~ino ~dentry_addr =
   let delta = Ctl_checkpoint.delta_of t in
-  let incremental = Option.is_some delta in
-  Stats.incr t.stats (if incremental then "verify.incremental" else "verify.full");
+  let hits0 = Stats.get t.stats "verify.dirty.hits" in
   let t0 = Sched.now t.sched in
   let report = Verifier.check_file ?delta ~stats:t.stats (view t) ~proc ~ino ~dentry_addr in
+  (* Label by what the check actually did, not the global mode: write-set
+     overflow or a missing/stale checkpoint forces every page to a device
+     read, and such a walk is full no matter what mode is configured. *)
+  let incremental = Option.is_some delta && Stats.get t.stats "verify.dirty.hits" > hits0 in
+  Stats.incr t.stats (if incremental then "verify.incremental" else "verify.full");
   (match t.verify_hook with
   | Some hook -> hook ~ino ~incremental ~dur:(Sched.now t.sched -. t0) ~ok:report.Verifier.ok
   | None -> ());
@@ -492,6 +496,45 @@ let media_checks ~proc ~(f : file_info) ~write =
     | Degraded_ro when write -> Error EROFS
     | _ -> Ok ())
 
+(* Health + shadow-permission gate for a mapping request.  Runs twice in
+   [map_file]: once on pre-settle state so a request that is going to be
+   refused triggers no verification or checkpoint work at all, and again
+   after settling, because a settled verification may have changed what
+   these checks observe (quarantine set or cleared by rollback, shadow
+   inode of a refused fresh child removed, I4 repairs applied). *)
+let gate_checks t ~proc ~(f : file_info) ~write =
+  match media_checks ~proc ~f ~write with
+  | Error e -> Error e
+  | Ok () -> (
+    let cred = cred_of_proc t proc in
+    match Hashtbl.find_opt t.shadow f.f_ino with
+    | None -> Error ENOENT
+    | Some s ->
+      if
+        Fs_types.permits ~cred ~uid:s.Verifier.s_uid ~gid:s.Verifier.s_gid
+          ~mode:s.Verifier.s_mode ~want_read:true ~want_write:write
+      then Ok ()
+      else Error EACCES)
+
+(* Is [f] still the live record for its ino?  Settling — and any park
+   inside [acquire] — can run the parent directory's pending
+   verification, whose deleted-children handling removes the file from
+   [t.files] and frees its pages back to the allocator.  Continuing with
+   the stale record would grant access to freed (possibly reused) pages,
+   so every settle/park on the map path is followed by this re-check. *)
+let still_current t (f : file_info) =
+  match Hashtbl.find_opt t.files f.f_ino with Some f' -> f' == f | None -> false
+
+(* Could a verification still in the pipeline make [ino] appear in
+   [t.files]?  Only a fresh, not-yet-ingested file qualifies, and such
+   an ino is still [Ino_allocated_to] its creator — ingestion is what
+   moves it to [Ino_in_dir].  Any other owner state means the miss is a
+   genuine ENOENT, and a stream of probes on bad inos must not turn the
+   lookup path into a global pipeline quiesce point. *)
+let may_be_in_pipeline t ino =
+  (not (Queue.is_empty t.verify_q))
+  && match ino_owner_of t ino with Ino_allocated_to _ -> true | Ino_free | Ino_in_dir _ -> false
+
 (* Look a file up, giving the background pipeline a chance to ingest it
    first: a freshly created file only becomes known to the kernel when
    its parent directory's verification lands. *)
@@ -499,7 +542,7 @@ let find_file t ino =
   match Hashtbl.find_opt t.files ino with
   | Some f -> Some f
   | None ->
-    if Queue.is_empty t.verify_q then None
+    if not (may_be_in_pipeline t ino) then None
     else begin
       drain_verification t;
       Hashtbl.find_opt t.files ino
@@ -512,29 +555,32 @@ let map_file t ~proc ~ino ~write =
   match find_file t ino with
   | None -> Error ENOENT
   | Some f -> (
-    match media_checks ~proc ~f ~write with
+    (* Permission/health checks against pre-settle state run before any
+       verification or checkpoint work: a mapping that is going to fail
+       with EACCES must trigger neither. *)
+    match gate_checks t ~proc ~f ~write with
     | Error e -> Error e
-    | Ok () -> (
-      (* Permission check against the shadow inode (ground truth) runs
-         before any verification or checkpoint work: a mapping that is
-         going to fail with EACCES must trigger neither. *)
-      let cred = cred_of_proc t proc in
-      match Hashtbl.find_opt t.shadow ino with
-      | None -> Error ENOENT
-      | Some s ->
-        if
-          not
-            (Fs_types.permits ~cred ~uid:s.Verifier.s_uid ~gid:s.Verifier.s_gid
-               ~mode:s.Verifier.s_mode ~want_read:true ~want_write:write)
-        then Error EACCES
-        else begin
-          (* Block only while this file — or an ancestor directory whose
-             verification may re-ingest it — is still in the pipeline. *)
-          settle_chain t f;
+    | Ok () ->
+      (* Block only while this file — or an ancestor directory whose
+         verification may re-ingest it — is still in the pipeline. *)
+      settle_chain t f;
+      (* The settled verifications may have deleted the file outright
+         (stale record — the old synchronous controller said ENOENT
+         here) or changed what the gate checks observe; redo both
+         against the settled state before trusting the record. *)
+      if not (still_current t f) then Error ENOENT
+      else (
+        match gate_checks t ~proc ~f ~write with
+        | Error e -> Error e
+        | Ok () -> (
           match ensure_verified t ~f with
           | Error e -> Error e
           | Ok () ->
           acquire t ~proc ~f ~write;
+          (* Acquire parks, and fibers that ran meanwhile may have
+             verified this file's parent away — re-check liveness. *)
+          if not (still_current t f) then Error ENOENT
+          else begin
           (* Claim the mapping before the (slow) walk/checkpoint/grant so
              no other fiber slips in during those delays. *)
           if write then begin
@@ -562,7 +608,7 @@ let map_file t ~proc ~ino ~write =
           f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
           Hashtbl.replace (proc_info t proc).p_mapped ino ();
           Ok ()
-        end))
+          end)))
 
 (* Commit: re-verify now and, on success, replace the checkpoint so a
    later rollback cannot lose the committed changes (§4.3).  Stays
@@ -647,7 +693,7 @@ let dentry_addr_of t ino =
   | None ->
     (* A file created moments ago may still be riding the pipeline
        inside its parent's queued verification. *)
-    if Queue.is_empty t.verify_q then None
+    if not (may_be_in_pipeline t ino) then None
     else begin
       drain_verification t;
       Option.map (fun (f : file_info) -> f.f_dentry_addr) (Hashtbl.find_opt t.files ino)
