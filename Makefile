@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck fmt
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck fmt
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck verifycheck
+check: crashcheck-quick faultcheck proccheck verifycheck shardcheck
 
 # Verification-plane gate: full vs incremental verification must give
 # byte-identical verdicts over the attack suite, the corruption
@@ -30,6 +30,14 @@ verifycheck:
 	dune exec test/test_verifier.exe
 	dune exec bin/trioctl.exe -- verifycheck
 	dune exec bin/trioctl.exe -- verifycheck --mutate
+
+# NUMA-sharding gate: shard routing, per-socket pool refill/drain, the
+# balanced accounting invariant across the failure-plane explorers, and
+# the cross-shard rename paths (two-shard ordered locking, writer
+# death mid-rename).
+shardcheck:
+	dune build
+	dune exec test/test_shard.exe
 
 fmt:
 	dune build @fmt

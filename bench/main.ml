@@ -802,6 +802,84 @@ let ablation () =
 %!" threads v)
     [ 1; 28; 224 ]
 
+(* ------------------------------------------------------------------ *)
+(* Shard scaling: controller-syscall throughput vs socket count *)
+
+(* The same machine budget (8 CPUs, 64Ki pages) sliced into 1, 2 or 4
+   sockets: more sockets means more per-socket page pools, registry
+   shards, verifier fibers and NVM bandwidth domains, so the
+   create/delete-heavy FxMark runs should get faster as the
+   controller's planes spread out.  Emits BENCH_shard_scaling.json and
+   exits non-zero if throughput is not monotonically increasing from
+   1 to 4 sockets. *)
+let shardscale () =
+  section "Shard scaling: FxMark throughput vs simulated socket count";
+  let total_cpus = 16 and total_pages = 1 lsl 16 in
+  let threads = 16 in
+  let sockets = [ 1; 2; 4 ] in
+  let run_point bench nodes =
+    (* unmap-after-write puts the controller on the critical path of
+       every operation (each create/unlink hands the directory back),
+       and the full-walk verify mode makes each handoff re-read the
+       whole directory — so throughput is bounded by the verification
+       plane's aggregate device bandwidth and fiber parallelism, the
+       two resources the per-socket shards multiply. *)
+    let prev = Controller.current_verify_mode () in
+    Controller.set_verify_mode Controller.Full;
+    Fun.protect ~finally:(fun () -> Controller.set_verify_mode prev) @@ fun () ->
+    Rig.run ~nodes ~cpus_per_node:(total_cpus / nodes) ~pages_per_node:(total_pages / nodes)
+      ~store_data:false (fun rig ->
+        let fs =
+          Vfs.wrap ~sched:rig.Rig.sched
+            (Libfs.ops (Rig.mount_arckfs ~delegated:true ~unmap_after_write:true rig))
+        in
+        let max_ops = if !fast then 3000 else 12_000 in
+        let r = Fxmark.run rig fs bench ~threads ~max_ops ~max_ns:10.0e6 () in
+        let cstats = Controller.stats rig.Rig.ctl in
+        Printf.printf "  [%d sockets] ops=%d map=%.0fus unmap=%.0fus verify=%.0fus\n%!" nodes
+          r.Runner.ops
+          (Stats.get cstats "map" /. 1e3)
+          (Stats.get cstats "unmap" /. 1e3)
+          (Stats.get cstats "verify" /. 1e3);
+        r.Runner.ops_per_us)
+  in
+  let results =
+    List.map
+      (fun name ->
+        let bench = Fxmark.find name in
+        (name, List.map (fun n -> (n, run_point bench n)) sockets))
+      [ "MWCL"; "MWUL" ]
+  in
+  print_header "bench" (List.map (fun n -> Printf.sprintf "%d-socket" n) sockets);
+  List.iter (fun (name, points) -> print_row name (List.map snd points)) results;
+  let monotone points =
+    let rec ok = function (_, a) :: ((_, b) :: _ as rest) -> a < b && ok rest | _ -> true in
+    ok points
+  in
+  let all_ok = List.for_all (fun (_, points) -> monotone points) results in
+  let oc = open_out "BENCH_shard_scaling.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"shard_scaling\",\n  \"threads\": %d,\n" threads;
+  Printf.fprintf oc "  \"total_cpus\": %d,\n  \"total_pages\": %d,\n" total_cpus total_pages;
+  Printf.fprintf oc "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, points) ->
+      Printf.fprintf oc "    { \"name\": %S, \"points\": [ " name;
+      List.iteri
+        (fun j (n, v) ->
+          Printf.fprintf oc "%s{ \"sockets\": %d, \"ops_per_us\": %.4f }"
+            (if j > 0 then ", " else "")
+            n v)
+        points;
+      Printf.fprintf oc " ] }%s\n" (if i < List.length results - 1 then "," else ""))
+    results;
+  Printf.fprintf oc "  ],\n  \"monotonic\": %b\n}\n" all_ok;
+  close_out oc;
+  Printf.printf "wrote BENCH_shard_scaling.json (monotonic: %b)\n" all_ok;
+  if not all_ok then begin
+    Printf.eprintf "FAILED: throughput not monotonically increasing with socket count\n";
+    exit 1
+  end
+
 let experiments =
   [
     ("fig5", fig5);
@@ -814,6 +892,7 @@ let experiments =
     ("tab5", tab5);
     ("fig10", fig10);
     ("sec65", sec65);
+    ("shardscale", shardscale);
     ("ablation", ablation);
     ("meta", meta);
     ("micro", micro);

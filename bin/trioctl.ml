@@ -420,6 +420,10 @@ let stats_cmd =
         Format.printf "per-op counters, errno breakdown and latency percentiles:@.%a"
           Vfs.pp_breakdown vfs;
         print_verify_counters rig.Rig.ctl;
+        let acq, cross = Controller.lock_stats rig.Rig.ctl in
+        Format.printf "per-socket shards (%d lock acquisitions, %d cross-shard ops):@.%a@."
+          acq cross Controller.pp_shard_stats
+          (Controller.shard_stats rig.Rig.ctl);
         0)
   in
   let fs_arg =

@@ -80,7 +80,7 @@ let create ~sched ~pmem ?(threads_per_node = default_threads_per_node)
   in
   for node = 0 to nodes - 1 do
     for i = 0 to threads_per_node - 1 do
-      let cpu = (node * Numa.cpus_per_node topo) + (i mod Numa.cpus_per_node topo) in
+      let cpu = Numa.cpu_of_node_local topo ~node ~local:(i mod Numa.cpus_per_node topo) in
       Sched.spawn ~cpu sched (fun () -> worker t t.chans.(node))
     done
   done;

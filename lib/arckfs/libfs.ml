@@ -211,7 +211,7 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
     match Controller.alloc_pages ctl ~proc ~node ~count:cpus_per_node ~kind:Pmem.Meta with
     | Ok pages ->
       jallocated := pages @ !jallocated;
-      List.iteri (fun i pg -> jpages.((node * cpus_per_node) + i) <- pg) pages
+      List.iteri (fun i pg -> jpages.(Numa.cpu_of_node_local topo ~node ~local:i) <- pg) pages
     | Error _ -> jalloc_ok := false
   done;
   (* A full device is not a mount failure: mount without a journal and

@@ -112,7 +112,10 @@ let set_verify_mode = Ctl_state.set_verify_mode
 let current_verify_mode = Ctl_state.current_verify_mode
 let set_verify_hook (t : t) hook = t.Ctl_state.verify_hook <- Some hook
 let clear_verify_hook (t : t) = t.Ctl_state.verify_hook <- None
-let verify_queue_depth (t : t) = Queue.length t.Ctl_state.verify_q
+let verify_queue_depth (t : t) =
+  Array.fold_left
+    (fun acc (sh : Ctl_state.shard) -> acc + Queue.length sh.Ctl_state.sh_verify_q)
+    0 t.Ctl_state.shards
 
 (* ------------------------------------------------------------------ *)
 (* Resource allocation *)
@@ -178,6 +181,7 @@ let set_crash_test_skip_gc = Ctl_registry.set_crash_test_skip_gc
 type gc_report = Ctl_registry.gc_report = {
   gc_total : int;
   gc_free : int;
+  gc_pooled : int;
   gc_reachable : int;
   gc_cached : int;
   gc_badblocks : int;
@@ -190,6 +194,60 @@ type gc_report = Ctl_registry.gc_report = {
 let pp_gc_report = Ctl_registry.pp_gc_report
 let reachable_files = Ctl_registry.reachable_files
 let gc_once = Ctl_registry.gc_once
+
+(* ------------------------------------------------------------------ *)
+(* NUMA sharding: topology routing and per-socket observability *)
+
+let shard_count = Ctl_state.shard_count
+let shard_of_ino = Ctl_state.shard_of_ino
+let node_of_page = Ctl_state.node_of_page
+let pooled_pages = Ctl_state.pooled_pages
+let set_pool_limits = Ctl_state.set_pool_limits
+
+type shard_stat = {
+  ss_id : int;
+  ss_pool_free : int;  (** pages staged in the node's pool *)
+  ss_pool_refills : int;
+  ss_pool_drains : int;
+  ss_reserve_free : int;  (** pages left in the node's global reserve *)
+  ss_files : int;  (** file records homed on this shard *)
+  ss_inos : int;  (** ino-owner records homed on this shard *)
+  ss_queue_depth : int;  (** verifications waiting on this shard *)
+  ss_enqueued : int;  (** lifetime handoffs routed to this shard *)
+}
+
+let shard_stats (t : t) =
+  let open Ctl_state in
+  Array.to_list
+    (Array.mapi
+       (fun i (sh : shard) ->
+         {
+           ss_id = i;
+           ss_pool_free = t.pools.(i).pp_len;
+           ss_pool_refills = t.pools.(i).pp_refills;
+           ss_pool_drains = t.pools.(i).pp_drains;
+           ss_reserve_free = Trio_util.Extent_alloc.free_units t.node_allocs.(i);
+           ss_files = Hashtbl.length sh.sh_files;
+           ss_inos = Hashtbl.length sh.sh_ino_owner;
+           ss_queue_depth = Queue.length sh.sh_verify_q;
+           ss_enqueued = sh.sh_enqueued;
+         })
+       t.shards)
+
+(* Lock-plane counters: total shard-lock acquisitions and how many were
+   two-shard (cross-socket) critical sections. *)
+let lock_stats (t : t) =
+  (Ctl_shard.acquisitions t.Ctl_state.locks, Ctl_shard.cross_shard_ops t.Ctl_state.locks)
+
+let pp_shard_stat ppf s =
+  Format.fprintf ppf
+    "shard %d: pool %d free (%d refills, %d drains), reserve %d, %d files, %d inos, verify \
+     queue %d (%d enqueued)"
+    s.ss_id s.ss_pool_free s.ss_pool_refills s.ss_pool_drains s.ss_reserve_free s.ss_files
+    s.ss_inos s.ss_queue_depth s.ss_enqueued
+
+let pp_shard_stats ppf stats =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_shard_stat ppf stats
 
 (* ------------------------------------------------------------------ *)
 (* Scrubber support *)

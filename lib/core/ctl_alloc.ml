@@ -1,8 +1,14 @@
 (* Resource allocation: batched page/inode allocation, free, recycle.
 
    These are the controller's "give the LibFS raw material" syscalls —
-   everything here manipulates the extent allocators, the ownership
-   maps and the MMU, but never the verification plane. *)
+   everything here manipulates the per-node page pools, the ownership
+   maps and the MMU, but never the verification plane.
+
+   Allocation is layered (DESIGN.md §4.14): each NUMA node has a page
+   pool that hands out pages without touching the global reserve; the
+   pool batch-refills from its node's extent allocator when dry and
+   batch-drains back above a high-water mark.  Only when a node's pool
+   *and* reserve are both empty does allocation spill to other nodes. *)
 
 module Pmem = Trio_nvm.Pmem
 module Perf = Trio_nvm.Perf
@@ -11,34 +17,44 @@ module Extent_alloc = Trio_util.Extent_alloc
 open Fs_types
 open Ctl_state
 
+(* Take [count] pages near [node]: its pool first (refilling from the
+   reserve in batches), then the other nodes' pools round-robin. *)
+let take_pages t ~node ~count =
+  match pool_take t ~node ~count with
+  | Some pages -> Some pages
+  | None ->
+    let n_nodes = Array.length t.pools in
+    let rec spill i =
+      if i >= n_nodes then None
+      else
+        match pool_take t ~node:((node + i) mod n_nodes) ~count with
+        | Some pages -> Some pages
+        | None -> spill (i + 1)
+    in
+    spill 1
+
 let alloc_pages t ~proc ~node ~count ~kind =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
   let p = proc_info t proc in
-  let claim start =
-    let pages = List.init count (fun i -> start + i) in
+  match take_pages t ~node ~count with
+  | None -> Error ENOSPC
+  | Some pages ->
     List.iter
       (fun pg ->
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        set_page_owner t pg (Allocated_to proc);
         Hashtbl.replace p.p_pages pg ();
         Pmem.set_kind t.pmem pg kind)
       pages;
     Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
     Ok pages
-  in
-  match Extent_alloc.alloc t.node_allocs.(node) count with
-  | exception Extent_alloc.Out_of_space -> (
-    (* fall back to any node with space *)
-    let rec try_nodes n =
-      if n >= Array.length t.node_allocs then Error ENOSPC
-      else
-        match Extent_alloc.alloc t.node_allocs.(n) count with
-        | exception Extent_alloc.Out_of_space -> try_nodes (n + 1)
-        | start -> Ok start
-    in
-    match try_nodes 0 with Error e -> Error e | Ok start -> claim start)
-  | start -> claim start
+
+(* Free a page back to its node's pool, dropping ownership. *)
+let release_page t pg =
+  clear_page_owner t pg;
+  Pmem.discard_page t.pmem pg;
+  pool_put t pg
 
 let free_pages t ~proc ~pages =
   Sched.shield @@ fun () ->
@@ -49,7 +65,7 @@ let free_pages t ~proc ~pages =
     match owner_of t pg with
     | Allocated_to q when q = proc -> Ok ()
     | In_file ino -> (
-      match Hashtbl.find_opt t.files ino with
+      match file_find t ino with
       | Some f
         when f.f_writer = Some proc
              || (Option.is_some f.f_writer && group_of t (Option.get f.f_writer) = group_of t proc)
@@ -72,17 +88,14 @@ let free_pages t ~proc ~pages =
       (fun pg ->
         (match owner_of t pg with
         | In_file ino -> (
-          match Hashtbl.find_opt t.files ino with
+          match file_find t ino with
           | Some f ->
             f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
             f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
           | None -> ())
         | _ -> ());
-        Hashtbl.remove t.page_owner pg;
         Hashtbl.remove p.p_pages pg;
-        Pmem.discard_page t.pmem pg;
-        let node = pg / Pmem.pages_per_node t.pmem in
-        Extent_alloc.free t.node_allocs.(node) pg 1)
+        release_page t pg)
       pages;
     Sched.delay (Perf.Cpu.page_table_op *. float_of_int (List.length pages));
     Mmu.revoke_everyone_on_pages t.mmu ~pages;
@@ -102,7 +115,7 @@ let recycle_pages t ~proc ~pages =
     match owner_of t pg with
     | Allocated_to q when q = proc -> true
     | In_file ino -> (
-      match Hashtbl.find_opt t.files ino with
+      match file_find t ino with
       | Some f -> (
         match f.f_writer with
         | Some w ->
@@ -118,13 +131,13 @@ let recycle_pages t ~proc ~pages =
       (fun pg ->
         (match owner_of t pg with
         | In_file ino -> (
-          match Hashtbl.find_opt t.files ino with
+          match file_find t ino with
           | Some f ->
             f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
             f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
           | None -> ())
         | _ -> ());
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        set_page_owner t pg (Allocated_to proc);
         Hashtbl.replace p.p_pages pg ())
       pages;
     Ok ()
@@ -139,24 +152,14 @@ let alloc_inos t ~proc ~count =
   t.next_ino <- t.next_ino + count;
   List.iter
     (fun ino ->
-      Hashtbl.replace t.ino_owner ino (Ino_allocated_to proc);
+      with_ino_shard t ino (fun () -> set_ino_owner t ino (Ino_allocated_to proc));
       Hashtbl.replace p.p_inos ino ())
     inos;
   inos
 
 (* Single-page allocation that may land on any node (scrub migration). *)
 let alloc_page_any_node t ~preferred =
-  let n_nodes = Array.length t.node_allocs in
-  let rec go i =
-    if i >= n_nodes then None
-    else begin
-      let node = (preferred + i) mod n_nodes in
-      match Extent_alloc.alloc t.node_allocs.(node) 1 with
-      | exception Extent_alloc.Out_of_space -> go (i + 1)
-      | start -> Some start
-    end
-  in
-  go 0
+  match take_pages t ~node:preferred ~count:1 with Some [ pg ] -> Some pg | _ -> None
 
 (* Free every page of a (just-unlinked) file and drop its records.  The
    caller must hold a write mapping on the file's parent directory —
@@ -165,10 +168,10 @@ let free_file_tree t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> Error ENOENT
   | Some f -> (
-    match Hashtbl.find_opt t.files f.f_parent with
+    match file_find t f.f_parent with
     | Some parent
       when (match parent.f_writer with
            | Some w -> w = proc || group_of t w = group_of t proc
@@ -177,17 +180,13 @@ let free_file_tree t ~proc ~ino =
         Error ENOTEMPTY
       else begin
         let pages = f.f_index_pages @ f.f_data_pages in
-        List.iter
-          (fun pg ->
-            Hashtbl.remove t.page_owner pg;
-            Pmem.discard_page t.pmem pg;
-            let node = pg / Pmem.pages_per_node t.pmem in
-            Extent_alloc.free t.node_allocs.(node) pg 1)
-          pages;
+        List.iter (fun pg -> release_page t pg) pages;
         Mmu.revoke_everyone_on_pages t.mmu ~pages;
-        Hashtbl.remove t.files ino;
-        Hashtbl.remove t.shadow ino;
-        Hashtbl.remove t.ino_owner ino;
+        drop_unverified t f;
+        with_ino_shard t ino (fun () ->
+            remove_file t ino;
+            remove_shadow t ino;
+            clear_ino_owner t ino);
         Ok ()
       end
     | _ -> Error EACCES)

@@ -9,6 +9,9 @@ val alloc_pages :
   kind:Trio_nvm.Pmem.kind ->
   (int list, Fs_types.errno) result
 
+val release_page : Ctl_state.t -> int -> unit
+(** Drop ownership, discard content, return the page to its node's pool. *)
+
 val free_pages : Ctl_state.t -> proc:int -> pages:int list -> (unit, Fs_types.errno) result
 val recycle_pages : Ctl_state.t -> proc:int -> pages:int list -> (unit, Fs_types.errno) result
 val alloc_inos : Ctl_state.t -> proc:int -> count:int -> int list

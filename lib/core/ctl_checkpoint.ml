@@ -20,7 +20,7 @@ let page_size = Layout.page_size
    the device?  Requires the write-set to have tracked every store since
    the mark (no overflow) and the page to be clean since then. *)
 let snapshot_valid t ck pg =
-  Mmu.writes_tracked_since t.mmu ~mark:ck.ck_mark
+  Mmu.writes_tracked_since t.mmu ~mark:ck.ck_mark ~page:pg
   && not (Mmu.dirty_since t.mmu ~mark:ck.ck_mark ~page:pg)
 
 let take_checkpoint t (f : file_info) =
@@ -111,7 +111,7 @@ let rollback_to_checkpoint t f ~offender =
     List.iter
       (fun pg ->
         if not (List.mem pg ck_set) then begin
-          Hashtbl.replace t.page_owner pg (Allocated_to offender);
+          set_page_owner t pg (Allocated_to offender);
           Hashtbl.replace offender_info.p_pages pg ()
         end)
       (f.f_index_pages @ f.f_data_pages);
@@ -122,13 +122,13 @@ let rollback_to_checkpoint t f ~offender =
       f.f_data_pages <- data_pages;
       List.iter
         (fun pg ->
-          Hashtbl.replace t.page_owner pg (In_file f.f_ino);
+          set_page_owner t pg (In_file f.f_ino);
           Hashtbl.remove offender_info.p_pages pg)
         (index_pages @ data_pages)
     | None -> ())
 
 let checkpoint_page_bytes t ~ino ~page =
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | Some { f_checkpoint = Some ck; _ } -> List.assoc_opt page ck.ck_pages
   | _ -> None
 
@@ -142,7 +142,7 @@ let checkpoint_page_bytes t ~ino ~page =
 let page_snapshot t pg =
   match owner_of t pg with
   | In_file ino -> (
-    match Hashtbl.find_opt t.files ino with
+    match file_find t ino with
     | Some { f_checkpoint = Some ck; _ } when snapshot_valid t ck pg ->
       List.assoc_opt pg ck.ck_pages
     | _ -> None)

@@ -35,7 +35,7 @@ let quarantine_copy t f ~offender =
   (* Copy every current page into fresh pages owned by the offender. *)
   List.iter
     (fun pg ->
-      let node = pg / Pmem.pages_per_node t.pmem in
+      let node = node_of_page t pg in
       match
         Ctl_alloc.alloc_pages t ~proc:offender ~node ~count:1 ~kind:(Pmem.kind_of t.pmem pg)
       with
@@ -69,6 +69,47 @@ let check_file_now t ~proc ~ino ~dentry_addr =
   report
 
 (* ------------------------------------------------------------------ *)
+(* Deferred reclamation of deleted children.
+
+   From the source side, an in-flight cross-directory rename is
+   indistinguishable from a delete: the dentry is simply gone.  While
+   the pipeline is hot (any verification queued, running, or parked at
+   the unverified gate), the destination directory's verification may
+   still re-parent the child, so children reported deleted are only
+   *recorded* here, and reclaimed once the pipeline idles.  A child
+   still owned by its old parent at that point really was deleted; one
+   whose ownership moved is skipped. *)
+
+let reclaim_deleted t ~proc ~parent ~dino =
+  match ino_owner_of t dino with
+  | Ino_in_dir p when p = parent -> (
+    match file_find t dino with
+    | Some df when df.f_writer <> None || Hashtbl.length df.f_readers > 0 ->
+      (* re-mapped in the window between verification and this flush:
+         not safe to free under someone's feet — try again at the next
+         pipeline idle *)
+      t.deferred_deletes <- (proc, parent, dino) :: t.deferred_deletes
+    | Some df ->
+      List.iter (fun pg -> Ctl_alloc.release_page t pg) (df.f_index_pages @ df.f_data_pages);
+      drop_unverified t df;
+      with_ino_shard t dino (fun () ->
+          remove_file t dino;
+          remove_shadow t dino;
+          clear_ino_owner t dino)
+    | None ->
+      with_ino_shard t dino (fun () ->
+          remove_shadow t dino;
+          clear_ino_owner t dino))
+  | _ -> () (* moved elsewhere: nothing to reclaim *)
+
+let reclaim_deferred t =
+  if (not (pipeline_hot t)) && t.deferred_deletes <> [] then begin
+    let ds = t.deferred_deletes in
+    t.deferred_deletes <- [];
+    List.iter (fun (proc, parent, dino) -> reclaim_deleted t ~proc ~parent ~dino) ds
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Ingestion: after a successful verification, reconcile global info *)
 
 let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
@@ -80,13 +121,13 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
   List.iter
     (fun pg ->
       if not (List.mem pg new_pages) then begin
-        Hashtbl.replace t.page_owner pg (Allocated_to proc);
+        set_page_owner t pg (Allocated_to proc);
         Hashtbl.replace pinfo.p_pages pg ()
       end)
     old_pages;
   List.iter
     (fun pg ->
-      Hashtbl.replace t.page_owner pg (In_file f.f_ino);
+      set_page_owner t pg (In_file f.f_ino);
       Hashtbl.remove pinfo.p_pages pg)
     new_pages;
   f.f_index_pages <- report.Verifier.index_pages;
@@ -111,20 +152,23 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
           | Some (Ok (inode, _)) -> inode.Layout.mode land 0o7777
           | _ -> 0o644
         in
-        Hashtbl.replace t.shadow c.Verifier.c_ino
-          {
-            Verifier.s_ftype = c.Verifier.c_ftype;
-            s_mode = mode;
-            s_uid = cred.uid;
-            s_gid = cred.gid;
-          };
-        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
-        Hashtbl.remove pinfo.p_inos c.Verifier.c_ino;
         let child_file =
           new_file ~ino:c.Verifier.c_ino ~dentry_addr:c.Verifier.c_dentry_addr ~parent:f.f_ino
             ~ftype:c.Verifier.c_ftype ()
         in
-        Hashtbl.replace t.files c.Verifier.c_ino child_file;
+        (* Registering the child touches only its own shard's tables;
+           the recursive verification below runs outside the lock. *)
+        with_ino_shard t c.Verifier.c_ino (fun () ->
+            set_shadow t c.Verifier.c_ino
+              {
+                Verifier.s_ftype = c.Verifier.c_ftype;
+                s_mode = mode;
+                s_uid = cred.uid;
+                s_gid = cred.gid;
+              };
+            set_ino_owner t c.Verifier.c_ino (Ino_in_dir f.f_ino);
+            Hashtbl.remove pinfo.p_inos c.Verifier.c_ino;
+            set_file t c.Verifier.c_ino child_file);
         (* Recursively verify and ingest the fresh subtree. *)
         let child_report =
           check_file_now t ~proc ~ino:c.Verifier.c_ino ~dentry_addr:c.Verifier.c_dentry_addr
@@ -137,47 +181,39 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
              remove its dentry so the namespace stays consistent. *)
           Layout.clear_dentry_atomic t.pmem ~actor:Pmem.kernel_actor
             ~addr:c.Verifier.c_dentry_addr;
-          Hashtbl.remove t.files c.Verifier.c_ino;
-          Hashtbl.remove t.shadow c.Verifier.c_ino;
-          Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_allocated_to proc)
+          with_ino_shard t c.Verifier.c_ino (fun () ->
+              remove_file t c.Verifier.c_ino;
+              remove_shadow t c.Verifier.c_ino;
+              set_ino_owner t c.Verifier.c_ino (Ino_allocated_to proc))
         end
       | Ino_in_dir parent when parent = f.f_ino -> (
         (* Existing child: its dentry may have moved within the dir. *)
-        match Hashtbl.find_opt t.files c.Verifier.c_ino with
+        match file_find t c.Verifier.c_ino with
         | Some cf -> cf.f_dentry_addr <- c.Verifier.c_dentry_addr
         | None -> ())
-      | Ino_in_dir _other -> (
+      | Ino_in_dir _other ->
         (* Cross-directory move (rename): accept, since the verifier
            only lets this through when the source is write-mapped by
-           the same process. *)
-        Hashtbl.replace t.ino_owner c.Verifier.c_ino (Ino_in_dir f.f_ino);
-        match Hashtbl.find_opt t.files c.Verifier.c_ino with
-        | Some cf ->
-          cf.f_dentry_addr <- c.Verifier.c_dentry_addr;
-          cf.f_parent <- f.f_ino
-        | None -> ())
+           the same process.  The child may live on a different shard
+           than the destination directory — take both shard locks in
+           canonical order for the ownership flip. *)
+        with_ino_pair t f.f_ino c.Verifier.c_ino (fun () ->
+            set_ino_owner t c.Verifier.c_ino (Ino_in_dir f.f_ino);
+            match file_find t c.Verifier.c_ino with
+            | Some cf ->
+              cf.f_dentry_addr <- c.Verifier.c_dentry_addr;
+              cf.f_parent <- f.f_ino
+            | None -> ())
       | Ino_allocated_to _ | Ino_free -> ())
     report.Verifier.children;
-  (* Deleted children: reclaim regular-file pages, drop records. *)
+  (* Deleted children: record for pipeline-idle reclaim (see
+     [reclaim_deferred] — a sibling's pending verification may yet
+     reveal the "delete" to be a cross-directory move). *)
   List.iter
     (fun dino ->
       match ino_owner_of t dino with
-      | Ino_in_dir parent when parent = f.f_ino -> (
-        match Hashtbl.find_opt t.files dino with
-        | Some df ->
-          List.iter
-            (fun pg ->
-              Hashtbl.remove t.page_owner pg;
-              Pmem.discard_page t.pmem pg;
-              let node = pg / Pmem.pages_per_node t.pmem in
-              Trio_util.Extent_alloc.free t.node_allocs.(node) pg 1)
-            (df.f_index_pages @ df.f_data_pages);
-          Hashtbl.remove t.files dino;
-          Hashtbl.remove t.shadow dino;
-          Hashtbl.remove t.ino_owner dino
-        | None ->
-          Hashtbl.remove t.shadow dino;
-          Hashtbl.remove t.ino_owner dino)
+      | Ino_in_dir parent when parent = f.f_ino ->
+        t.deferred_deletes <- (proc, f.f_ino, dino) :: t.deferred_deletes
       | _ -> () (* moved elsewhere: nothing to reclaim *))
     report.Verifier.deleted_children;
   (* Refresh the checkpoint so it always holds the latest *verified*
@@ -243,7 +279,9 @@ let run_pending t (f : file_info) =
     f.f_verifying <- true;
     Sched.shield (fun () -> ignore (verify_file t ~proc ~f));
     f.f_verifying <- false;
-    wake_all f
+    wake_all f;
+    t.pending_verifications <- t.pending_verifications - 1;
+    reclaim_deferred t
 
 (* Wait until [f] has no queued or in-flight verification.  A queued one
    is run inline (charged to the caller — the file is being demanded
@@ -267,7 +305,7 @@ let settle_chain t (f : file_info) =
     let acc = f :: acc in
     if f.f_ino = f.f_parent || depth > 64 then acc
     else
-      match Hashtbl.find_opt t.files f.f_parent with
+      match file_find t f.f_parent with
       | Some p -> up p (depth + 1) acc
       | None -> acc
   in
@@ -277,52 +315,79 @@ let settle_chain t (f : file_info) =
    wait out every in-flight one.  Used by the read-side accessors that
    must observe final verdicts, and by crash recovery. *)
 let drain_verification t =
-  let rec drain_queue () =
-    match Queue.take_opt t.verify_q with
+  let rec drain_queue (sh : shard) =
+    match Queue.take_opt sh.sh_verify_q with
     | None -> ()
     | Some ino ->
-      (match Hashtbl.find_opt t.files ino with
+      (match file_find t ino with
       | Some f when f.f_pending <> None -> run_pending t f
       | _ -> () (* stale entry: already claimed, re-mapped or deleted *));
-      drain_queue ()
+      drain_queue sh
   in
-  drain_queue ();
+  Array.iter drain_queue t.shards;
   let in_flight =
-    Hashtbl.fold
-      (fun _ f acc -> if f.f_verifying || f.f_pending <> None then f :: acc else acc)
-      t.files []
+    fold_files t (fun _ f acc -> if f.f_verifying || f.f_pending <> None then f :: acc else acc) []
   in
-  List.iter (fun f -> settle t f) in_flight
+  List.iter (fun f -> settle t f) in_flight;
+  reclaim_deferred t
+
+(* Handoff enqueues onto the queue of the socket that *holds the file's
+   pages*: verification is read-dominated, so running it on the home
+   socket keeps its device reads local and inside that socket's
+   bandwidth domain.  (Registry tables stay ino-hashed — the two
+   assignments are independent; the table updates below still go
+   through the ino shard's lock.) *)
+let home_shard t (f : file_info) =
+  let pg =
+    match (f.f_data_pages, f.f_index_pages) with
+    | pg :: _, _ | [], pg :: _ -> pg
+    | [], [] -> f.f_dentry_addr / Trio_nvm.Pmem.page_size
+  in
+  t.shards.(node_of_page t pg mod Array.length t.shards)
 
 let enqueue_verify t ~proc ~(f : file_info) =
-  f.f_pending <- Some proc;
-  Queue.push f.f_ino t.verify_q;
+  let sh = home_shard t f in
+  with_ino_shard t f.f_ino (fun () ->
+      f.f_pending <- Some proc;
+      t.pending_verifications <- t.pending_verifications + 1;
+      Queue.push f.f_ino sh.sh_verify_q;
+      sh.sh_enqueued <- sh.sh_enqueued + 1);
   Stats.incr t.stats "verify.queue.enqueued";
-  let d = float_of_int (Queue.length t.verify_q) in
+  let d =
+    float_of_int (Array.fold_left (fun acc s -> acc + Queue.length s.sh_verify_q) 0 t.shards)
+  in
   if d > Stats.get t.stats "verify.queue.depth.max" then begin
     let cur = Stats.get t.stats "verify.queue.depth.max" in
     Stats.add t.stats "verify.queue.depth.max" (d -. cur)
   end;
-  match Queue.take_opt t.vq_idle with Some wake -> wake () | None -> ()
+  match Queue.take_opt sh.sh_vq_idle with Some wake -> wake () | None -> ()
 
-(* Body of a background verifier fiber: drain the queue, then park until
-   the next enqueue.  Parked fibers hold no scheduled event, so an idle
-   pipeline never keeps the simulation alive. *)
-let rec service t =
-  match Queue.take_opt t.verify_q with
+(* Body of a background verifier fiber: drain its shard's queue, then
+   park until the next enqueue on that shard.  Parked fibers hold no
+   scheduled event, so an idle pipeline never keeps the simulation
+   alive. *)
+let rec service t (sh : shard) =
+  match Queue.take_opt sh.sh_verify_q with
   | Some ino ->
-    (match Hashtbl.find_opt t.files ino with
+    (match file_find t ino with
     | Some f when f.f_pending <> None -> run_pending t f
     | _ -> ());
-    service t
+    service t sh
   | None ->
-    Sched.park (fun waker -> Queue.push waker t.vq_idle);
-    service t
+    Sched.park (fun waker -> Queue.push waker sh.sh_vq_idle);
+    service t sh
 
+(* Each shard gets its own verifier fibers, pinned to CPUs of the
+   matching NUMA node so their device reads charge that socket's
+   bandwidth domain. *)
 let start t =
-  for _ = 1 to verifier_fiber_count do
-    Sched.spawn t.sched (fun () -> service t)
-  done
+  Array.iter
+    (fun (sh : shard) ->
+      for i = 0 to verifier_fiber_count - 1 do
+        let cpu = Numa.cpu_of_node_local t.topo ~node:sh.sh_id ~local:i in
+        Sched.spawn ~cpu t.sched (fun () -> service t sh)
+      done)
+    t.shards
 
 (* ------------------------------------------------------------------ *)
 (* Verifier gate for files whose last writer died or wedged (§4.4 of the
@@ -337,7 +402,7 @@ let ensure_verified t ~(f : file_info) =
   match f.f_unverified with
   | None -> Ok ()
   | Some dead ->
-    f.f_unverified <- None;
+    drop_unverified t f;
     let check () =
       Stats.timed t.stats t.sched "verify" (fun () ->
           check_file_now t ~proc:dead ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
@@ -371,6 +436,7 @@ let ensure_verified t ~(f : file_info) =
        process' pool; release its inode numbers now and leave the pages
        for the orphan GC to sweep. *)
     ignore (Ctl_registry.reap_dead t dead);
+    reclaim_deferred t;
     outcome
 
 (* Force the verifier gate for every file still pending (fsck/admin
@@ -380,7 +446,7 @@ let ensure_verified t ~(f : file_info) =
 let drain_unverified t =
   drain_verification t;
   let pending =
-    Hashtbl.fold (fun _ f acc -> if f.f_unverified <> None then f :: acc else acc) t.files []
+    fold_files t (fun _ f acc -> if f.f_unverified <> None then f :: acc else acc) []
   in
   List.iter (fun f -> ignore (ensure_verified t ~f)) pending;
   List.length pending
@@ -406,7 +472,7 @@ let unmap_file t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> Error ENOENT
   | Some f ->
     if f.f_writer = Some proc then begin
@@ -507,7 +573,7 @@ let gate_checks t ~proc ~(f : file_info) ~write =
   | Error e -> Error e
   | Ok () -> (
     let cred = cred_of_proc t proc in
-    match Hashtbl.find_opt t.shadow f.f_ino with
+    match shadow_find t f.f_ino with
     | None -> Error ENOENT
     | Some s ->
       if
@@ -523,29 +589,31 @@ let gate_checks t ~proc ~(f : file_info) ~write =
    the stale record would grant access to freed (possibly reused) pages,
    so every settle/park on the map path is followed by this re-check. *)
 let still_current t (f : file_info) =
-  match Hashtbl.find_opt t.files f.f_ino with Some f' -> f' == f | None -> false
+  match file_find t f.f_ino with Some f' -> f' == f | None -> false
 
 (* Could a verification still in the pipeline make [ino] appear in
    [t.files]?  Only a fresh, not-yet-ingested file qualifies, and such
    an ino is still [Ino_allocated_to] its creator — ingestion is what
    moves it to [Ino_in_dir].  Any other owner state means the miss is a
    genuine ENOENT, and a stream of probes on bad inos must not turn the
-   lookup path into a global pipeline quiesce point. *)
+   lookup path into a global pipeline quiesce point.  Every shard's
+   queue must be consulted: a fresh file is ingested by its *parent
+   directory's* verification, and the parent may hash anywhere. *)
 let may_be_in_pipeline t ino =
-  (not (Queue.is_empty t.verify_q))
+  Array.exists (fun (sh : shard) -> not (Queue.is_empty sh.sh_verify_q)) t.shards
   && match ino_owner_of t ino with Ino_allocated_to _ -> true | Ino_free | Ino_in_dir _ -> false
 
 (* Look a file up, giving the background pipeline a chance to ingest it
    first: a freshly created file only becomes known to the kernel when
    its parent directory's verification lands. *)
 let find_file t ino =
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | Some f -> Some f
   | None ->
     if not (may_be_in_pipeline t ino) then None
     else begin
       drain_verification t;
-      Hashtbl.find_opt t.files ino
+      file_find t ino
     end
 
 let map_file t ~proc ~ino ~write =
@@ -617,7 +685,7 @@ let commit t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> Error ENOENT
   | Some f ->
     if f.f_writer <> Some proc then Error EBADF
@@ -629,6 +697,7 @@ let commit t ~proc ~ino =
       if report.Verifier.ok then begin
         ingest_verified t ~proc ~f report;
         Ctl_checkpoint.take_checkpoint t f;
+        reclaim_deferred t;
         Ok ()
       end
       else Error EIO
@@ -649,13 +718,13 @@ let chmod t ~proc ~ino ~mode =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
-  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  match (shadow_find t ino, file_find t ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
     if cred.uid <> 0 && cred.uid <> s.Verifier.s_uid then Error EACCES
     else begin
       let s' = { s with Verifier.s_mode = mode land 0o7777 } in
-      Hashtbl.replace t.shadow ino s';
+      set_shadow t ino s';
       Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
         ~mode:s'.Verifier.s_mode ~uid:s'.Verifier.s_uid ~gid:s'.Verifier.s_gid;
       Ok ()
@@ -666,13 +735,13 @@ let chown t ~proc ~ino ~uid ~gid =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
-  match (Hashtbl.find_opt t.shadow ino, Hashtbl.find_opt t.files ino) with
+  match (shadow_find t ino, file_find t ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
     if cred.uid <> 0 then Error EACCES
     else begin
       let s' = { s with Verifier.s_uid = uid; s_gid = gid } in
-      Hashtbl.replace t.shadow ino s';
+      set_shadow t ino s';
       Layout.write_perms t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
         ~mode:s'.Verifier.s_mode ~uid ~gid;
       Ok ()
@@ -682,13 +751,13 @@ let chown t ~proc ~ino ~uid ~gid =
 (* Files currently write-mapped by [proc]; a LibFS recovery program uses
    this to know what it must repair after a crash. *)
 let write_mapped_inos t ~proc =
-  Hashtbl.fold
+  fold_files t
     (fun ino (f : file_info) acc ->
       if f.f_writer = Some proc then (ino, f.f_dentry_addr, f.f_ftype) :: acc else acc)
-    t.files []
+    []
 
 let dentry_addr_of t ino =
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | Some f -> Some f.f_dentry_addr
   | None ->
     (* A file created moments ago may still be riding the pipeline
@@ -696,7 +765,7 @@ let dentry_addr_of t ino =
     if not (may_be_in_pipeline t ino) then None
     else begin
       drain_verification t;
-      Option.map (fun (f : file_info) -> f.f_dentry_addr) (Hashtbl.find_opt t.files ino)
+      Option.map (fun (f : file_info) -> f.f_dentry_addr) (file_find t ino)
     end
 
 (* After a crash: any verification still in the pipeline runs against
@@ -708,8 +777,7 @@ let crash_recover t =
   Hashtbl.iter
     (fun _ p -> match p.p_recovery with Some recovery -> recovery () | None -> ())
     t.procs;
-  Hashtbl.iter
-    (fun _ (f : file_info) ->
+  iter_files_snapshot t (fun _ (f : file_info) ->
       match f.f_writer with
       | Some proc ->
         ignore (verify_file t ~proc ~f);
@@ -718,5 +786,5 @@ let crash_recover t =
         Hashtbl.remove (proc_info t proc).p_mapped f.f_ino;
         f.f_writer <- None;
         wake_all f
-      | None -> ())
-    (Hashtbl.copy t.files)
+      | None -> ());
+  reclaim_deferred t

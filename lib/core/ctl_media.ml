@@ -11,8 +11,8 @@ open Ctl_state
 
 let page_size = Layout.page_size
 let badblocks t = t.badblocks
-let degradation_of t ino = Option.map (fun f -> f.f_degraded) (Hashtbl.find_opt t.files ino)
-let writer_of t ino = Option.bind (Hashtbl.find_opt t.files ino) (fun f -> f.f_writer)
+let degradation_of t ino = Option.map (fun f -> f.f_degraded) (file_find t ino)
+let writer_of t ino = Option.bind (file_find t ino) (fun f -> f.f_writer)
 
 let record_media_event t ~ino ~detail =
   t.corruption_events <-
@@ -21,7 +21,7 @@ let record_media_event t ~ino ~detail =
 (* Degradation is monotonic: a file never silently recovers to a better
    level (an operator decision, not a scrubber one). *)
 let degrade_file t ~ino level ~detail =
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> ()
   | Some f ->
     let worse =
@@ -38,7 +38,7 @@ let degrade_file t ~ino level ~detail =
    extent allocators, onto the badblock list.  Content and poison are
    left in place — the media there is unreliable by definition. *)
 let retire_page_raw t pg =
-  Hashtbl.remove t.page_owner pg;
+  clear_page_owner t pg;
   if not (List.mem pg t.badblocks) then t.badblocks <- pg :: t.badblocks;
   Mmu.revoke_everyone_on_pages t.mmu ~pages:[ pg ]
 
@@ -46,7 +46,7 @@ let retire_page_raw t pg =
    owner's page lists (the file is expected to be degraded too). *)
 let quarantine_page t ~ino pg =
   retire_page_raw t pg;
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> ()
   | Some f ->
     f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
@@ -60,7 +60,7 @@ let quarantine_page t ~ino pg =
    Returns the replacement page number. *)
 let replace_page t ~ino ~bad ~zero_lines =
   let actor = Pmem.kernel_actor in
-  match Hashtbl.find_opt t.files ino with
+  match file_find t ino with
   | None -> Error Fs_types.ENOENT
   | Some f -> (
     match Ctl_alloc.alloc_page_any_node t ~preferred:(bad / Pmem.pages_per_node t.pmem) with
@@ -100,7 +100,7 @@ let replace_page t ~ino ~bad ~zero_lines =
         | _ -> false
       in
       if not patched then begin
-        Extent_alloc.free t.node_allocs.(fresh / Pmem.pages_per_node t.pmem) fresh 1;
+        pool_put t fresh;
         Error Fs_types.EIO
       end
       else begin
@@ -111,13 +111,11 @@ let replace_page t ~ino ~bad ~zero_lines =
           zero_lines;
         Pmem.write t.pmem ~actor ~addr:(fresh * page_size) ~src:b;
         Pmem.persist t.pmem ~addr:(fresh * page_size) ~len:page_size;
-        Hashtbl.replace t.page_owner fresh (In_file ino);
+        set_page_owner t fresh (In_file ino);
         (* dentries living on a migrated directory page move with it *)
-        Hashtbl.iter
-          (fun _ (cf : file_info) ->
+        iter_files t (fun _ (cf : file_info) ->
             if cf.f_dentry_addr / page_size = bad then
-              cf.f_dentry_addr <- (fresh * page_size) + (cf.f_dentry_addr mod page_size))
-          t.files;
+              cf.f_dentry_addr <- (fresh * page_size) + (cf.f_dentry_addr mod page_size));
         let remap q = if q = bad then fresh else q in
         f.f_index_pages <- List.map remap f.f_index_pages;
         f.f_data_pages <- List.map remap f.f_data_pages;
@@ -135,7 +133,7 @@ let replace_page t ~ino ~bad ~zero_lines =
    permissions, attributed pages, recounted live entries. *)
 let rebuild_root_dentry t =
   let actor = Pmem.kernel_actor in
-  match (Hashtbl.find_opt t.files Layout.root_ino, Hashtbl.find_opt t.shadow Layout.root_ino) with
+  match (file_find t Layout.root_ino, shadow_find t Layout.root_ino) with
   | Some f, Some s ->
     let size =
       List.fold_left

@@ -54,16 +54,21 @@ let processes t =
    *pages* are deliberately left attributed (Allocated_to) for the
    orphan GC: routing all page reclamation through {!gc_once} keeps it
    observable in the accounting invariant, which is how the skip-GC
-   mutation stays provably catchable.  Effect-free. *)
+   mutation stays provably catchable.  Effect-free.
+
+   The inos spread over every registry shard, so this is the
+   generalized form of the two-shard protocol: all touched shards are
+   held at once, taken in ascending id order (see {!Ctl_shard}). *)
 let reap_dead t proc =
   match Hashtbl.find_opt t.procs proc with
   | Some p when p.p_dead ->
     let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) p.p_inos [] in
-    List.iter
-      (fun ino ->
-        Hashtbl.remove t.ino_owner ino;
-        Hashtbl.remove p.p_inos ino)
-      inos;
+    with_shards_of_inos t inos (fun () ->
+        List.iter
+          (fun ino ->
+            clear_ino_owner t ino;
+            Hashtbl.remove p.p_inos ino)
+          inos);
     List.length inos
   | _ -> 0
 
@@ -93,13 +98,13 @@ let abnormal_teardown ?report t ~proc =
     let bump g = match report with Some r -> g r | None -> () in
     Hashtbl.iter
       (fun ino () ->
-        match Hashtbl.find_opt t.files ino with
+        match file_find t ino with
         | None -> ()
         | Some f ->
           bump (fun r -> r.wd_revoked <- r.wd_revoked + 1);
           if f.f_writer = Some proc then begin
             f.f_writer <- None;
-            f.f_unverified <- Some proc;
+            mark_unverified t f proc;
             bump (fun r -> r.wd_unverified <- r.wd_unverified + 1)
           end
           else Hashtbl.remove f.f_readers proc;
@@ -109,14 +114,13 @@ let abnormal_teardown ?report t ~proc =
        claimed yet cannot run its fix callback any more: demote it to
        the unverified gate (the stale queue entry is skipped when a
        fiber finds f_pending cleared). *)
-    Hashtbl.iter
-      (fun _ f ->
+    iter_files t (fun _ f ->
         if f.f_pending = Some proc then begin
           f.f_pending <- None;
-          f.f_unverified <- Some proc;
+          t.pending_verifications <- t.pending_verifications - 1;
+          mark_unverified t f proc;
           bump (fun r -> r.wd_unverified <- r.wd_unverified + 1)
-        end)
-      t.files;
+        end);
     Hashtbl.reset p.p_mapped;
     p.p_fix <- None;
     p.p_recovery <- None;
@@ -148,7 +152,7 @@ let watchdog_once ?report t ~timeout_ns =
             (fun ino () acc ->
               acc
               ||
-              match Hashtbl.find_opt t.files ino with
+              match file_find t ino with
               | Some f -> f.f_writer = Some proc && now < f.f_lease_expire
               | None -> false)
             p.p_mapped false
@@ -178,9 +182,11 @@ let run_watchdog ?report t ~timeout_ns ~interval_ns ~rounds =
    device page is either free (per the extent allocators), attributed to
    a reachable file, cached by a live process (allocation caches,
    journals), or a retired badblock — anything else is an orphan left by
-   a dead process and is reclaimed.  The invariant
-       free + reachable + cached + badblocks = device pages
-   is computed from scratch each run and exposed in the report.
+   a dead process and is reclaimed.  With the per-node pools in front
+   of the reserve, "free" splits into two terms — reserve-free and
+   pooled — and the invariant, summed over every shard, becomes
+       free + pooled + reachable + cached + badblocks = device pages
+   computed from scratch each run and exposed in the report.
 
    Ordering against the verifier gate: while a dead process still has
    files awaiting gate verification, pages it holds may in fact be
@@ -198,45 +204,48 @@ let set_crash_test_skip_gc b = crash_test_skip_gc := b
 
 type gc_report = {
   gc_total : int; (* device pages *)
-  gc_free : int; (* per the extent allocators *)
+  gc_free : int; (* per the reserve extent allocators *)
+  gc_pooled : int; (* staged in the per-node page pools *)
   gc_reachable : int; (* In_file pages of root-reachable files *)
   gc_cached : int; (* Allocated_to a live process *)
   gc_badblocks : int; (* retired by the scrubber *)
   gc_reclaimed_pages : int; (* orphans swept this run *)
   gc_reclaimed_inos : int;
   gc_leaked : int; (* orphans still present after the sweep *)
-  gc_invariant_ok : bool; (* free + reachable + cached + badblocks = total *)
+  gc_invariant_ok : bool;
+      (* free + pooled + reachable + cached + badblocks = total,
+         summed over every shard *)
 }
 
 let pp_gc_report ppf r =
   Format.fprintf ppf
-    "total %d = free %d + reachable %d + cached %d + badblocks %d%s; reclaimed %d page(s) %d \
-     ino(s), leaked %d [%s]"
-    r.gc_total r.gc_free r.gc_reachable r.gc_cached r.gc_badblocks
+    "total %d = free %d + pooled %d + reachable %d + cached %d + badblocks %d%s; reclaimed %d \
+     page(s) %d ino(s), leaked %d [%s]"
+    r.gc_total r.gc_free r.gc_pooled r.gc_reachable r.gc_cached r.gc_badblocks
     (if r.gc_invariant_ok then "" else " (MISMATCH)")
     r.gc_reclaimed_pages r.gc_reclaimed_inos r.gc_leaked
     (if r.gc_invariant_ok && r.gc_leaked = 0 then "ok" else "LEAK")
 
 let reachable_files t =
-  let memo = Hashtbl.create (Hashtbl.length t.files) in
+  let memo = Hashtbl.create (max 16 (file_table_size t)) in
   let rec reach ino seen =
     match Hashtbl.find_opt memo ino with
     | Some v -> v
     | None ->
       let v =
-        if ino = Layout.root_ino then Hashtbl.mem t.shadow ino
+        if ino = Layout.root_ino then shadow_mem t ino
         else if List.mem ino seen then false
         else
-          Hashtbl.mem t.shadow ino
+          shadow_mem t ino
           &&
-          match Hashtbl.find_opt t.files ino with
+          match file_find t ino with
           | None -> false
           | Some f -> reach f.f_parent (ino :: seen)
       in
       Hashtbl.replace memo ino v;
       v
   in
-  Hashtbl.iter (fun ino _ -> ignore (reach ino [])) t.files;
+  iter_files t (fun ino _ -> ignore (reach ino []));
   memo
 
 (* Effect-free (no virtual-time cost, kernel-only reads of soft state)
@@ -250,11 +259,9 @@ let gc_once t =
      queued background verification — keep their pages deferred, not
      orphaned (see the section comment). *)
   let pending = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ f ->
+  iter_files t (fun _ f ->
       (match f.f_unverified with Some p -> Hashtbl.replace pending p () | None -> ());
-      match f.f_pending with Some p -> Hashtbl.replace pending p () | None -> ())
-    t.files;
+      match f.f_pending with Some p -> Hashtbl.replace pending p () | None -> ());
   let total = Pmem.total_pages t.pmem in
   let reachable = ref 0 and cached = ref 0 in
   let orphans = ref [] in
@@ -278,9 +285,9 @@ let gc_once t =
           | Some pi -> Hashtbl.remove pi.p_pages pg
           | None -> ())
         | _ -> ());
-        Hashtbl.remove t.page_owner pg;
+        clear_page_owner t pg;
         Pmem.discard_page t.pmem pg;
-        Extent_alloc.free t.node_allocs.(pg / Pmem.pages_per_node t.pmem) pg 1;
+        pool_put t pg;
         incr reclaimed_pages)
       !orphans;
     Mmu.revoke_everyone_on_pages t.mmu ~pages:!orphans
@@ -289,27 +296,29 @@ let gc_once t =
      (or is dead) and never linked into a directory. *)
   let reclaimed_inos = ref 0 in
   if not !crash_test_skip_gc then
-    Hashtbl.iter
-      (fun ino owner ->
+    fold_ino_owner t
+      (fun ino owner () ->
         match owner with
         | Ino_allocated_to p when (not (live p)) && not (Hashtbl.mem pending p) ->
-          Hashtbl.remove t.ino_owner ino;
+          with_ino_shard t ino (fun () -> clear_ino_owner t ino);
           (match Hashtbl.find_opt t.procs p with
           | Some pi -> Hashtbl.remove pi.p_inos ino
           | None -> ());
           incr reclaimed_inos
         | _ -> ())
-      (Hashtbl.copy t.ino_owner);
+      ();
   let free = Array.fold_left (fun acc a -> acc + Extent_alloc.free_units a) 0 t.node_allocs in
+  let pooled = pooled_pages t in
   let badblocks = List.length t.badblocks in
   {
     gc_total = total;
     gc_free = free;
+    gc_pooled = pooled;
     gc_reachable = !reachable;
     gc_cached = !cached;
     gc_badblocks = badblocks;
     gc_reclaimed_pages = !reclaimed_pages;
     gc_reclaimed_inos = !reclaimed_inos;
     gc_leaked = !leaked;
-    gc_invariant_ok = free + !reachable + !cached + badblocks = total;
+    gc_invariant_ok = free + pooled + !reachable + !cached + badblocks = total;
   }

@@ -46,6 +46,7 @@ val set_crash_test_skip_gc : bool -> unit
 type gc_report = {
   gc_total : int;
   gc_free : int;
+  gc_pooled : int;
   gc_reachable : int;
   gc_cached : int;
   gc_badblocks : int;

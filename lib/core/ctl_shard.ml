@@ -1,0 +1,72 @@
+(* Shard topology of the controller (DESIGN.md §4.14).
+
+   The controller's hot planes — page pools, the ino/file registry, the
+   verification queues — are split into one shard per NUMA socket.
+   Pages shard by address (the node that owns the backing media); inos
+   shard by a deterministic multiplicative hash, so the owning shard of
+   any ino can be computed by every entity without coordination.
+
+   The lock plane below is the simulated stand-in for the per-shard
+   spinlocks a real multi-core controller would take.  The simulation
+   is cooperative — controller sections are shielded and never yield
+   while a shard is held — so the locks can never block; what still
+   matters, and what this module enforces, is the *acquisition
+   discipline*: shards are always taken in ascending id order, the
+   classic total-order protocol that makes the cross-shard operations
+   (rename across directories, reap of a dead process' inos) deadlock
+   free on real hardware.  Violations raise immediately, so every
+   `make check` campaign doubles as a lock-order model check. *)
+
+(* Fibonacci-style multiplicative hash: cheap, deterministic, and
+   spreads the controller's sequentially allocated ino space evenly
+   across shards (consecutive inos land on different shards, so one
+   hot directory of fresh files does not pin a single shard). *)
+let shard_of_ino ~shards ino =
+  if shards <= 1 then 0 else ino * 0x9E3779B1 land max_int mod shards
+
+type plane = {
+  mutable held : int list; (* shard ids currently held, innermost first *)
+  mutable acquisitions : int;
+  mutable cross_shard : int; (* acquisitions nested inside another shard *)
+  mutable order_violations : int; (* fatal unless [check_order] is off *)
+  mutable check_order : bool;
+}
+
+let create_plane () =
+  { held = []; acquisitions = 0; cross_shard = 0; order_violations = 0; check_order = true }
+
+let acquisitions p = p.acquisitions
+let cross_shard_ops p = p.cross_shard
+
+(* Run [f] with [shard] held.  Reentrant (re-acquiring a held shard is
+   fine); acquiring a shard with a *higher*-id shard already held is an
+   ordering violation. *)
+let with_lock p ~shard f =
+  (match p.held with
+  | h :: _ when shard < h ->
+    p.order_violations <- p.order_violations + 1;
+    if p.check_order then
+      failwith
+        (Printf.sprintf "Ctl_shard: shard %d acquired while holding shard %d (order violation)"
+           shard h)
+  | _ -> ());
+  p.acquisitions <- p.acquisitions + 1;
+  if p.held <> [] then p.cross_shard <- p.cross_shard + 1;
+  p.held <- shard :: p.held;
+  Fun.protect ~finally:(fun () -> p.held <- List.tl p.held) f
+
+(* The two-shard protocol: order by id, lowest first. *)
+let with_pair p ~a ~b f =
+  let lo = min a b and hi = max a b in
+  if lo = hi then with_lock p ~shard:lo f
+  else with_lock p ~shard:lo (fun () -> with_lock p ~shard:hi f)
+
+(* Generalized form for reap_dead and GC sweeps: any shard set, taken
+   in ascending order. *)
+let with_all p ~shards f =
+  let sorted = List.sort_uniq compare shards in
+  let rec nest = function
+    | [] -> f ()
+    | s :: rest -> with_lock p ~shard:s (fun () -> nest rest)
+  in
+  nest sorted

@@ -1,0 +1,26 @@
+(** Shard topology of the controller: the deterministic shard-of-ino
+    function and the ordered shard-lock plane (DESIGN.md §4.14).
+    Internal to [lib/core] — external code goes through {!Controller}. *)
+
+val shard_of_ino : shards:int -> int -> int
+(** Deterministic multiplicative-hash shard of an ino; identity when
+    [shards <= 1].  Every entity (controller submodules, tests, tools)
+    must route inos through this one function. *)
+
+type plane
+
+val create_plane : unit -> plane
+val acquisitions : plane -> int
+val cross_shard_ops : plane -> int
+
+val with_lock : plane -> shard:int -> (unit -> 'a) -> 'a
+(** Hold one shard for the duration of [f].  Reentrant.  Raises on an
+    out-of-order acquisition (a higher-id shard is already held). *)
+
+val with_pair : plane -> a:int -> b:int -> (unit -> 'a) -> 'a
+(** The two-shard protocol (cross-shard rename, lease transfer): both
+    shards held, taken in ascending id order. *)
+
+val with_all : plane -> shards:int list -> (unit -> 'a) -> 'a
+(** Every listed shard held, taken in ascending id order (reap_dead,
+    cross-shard GC sweeps). *)

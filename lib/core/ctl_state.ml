@@ -71,6 +71,35 @@ type proc_info = {
   mutable p_dead : bool; (* abnormally torn down by the watchdog *)
 }
 
+(* One controller shard: one NUMA socket's slice of every hot table
+   (DESIGN.md §4.14).  Pages live on the shard of their backing node;
+   inos on the shard [Ctl_shard.shard_of_ino] maps them to.  Each shard
+   also runs its own verifier fibers against its own queue, so a busy
+   socket's verification backlog never stalls another socket's. *)
+type shard = {
+  sh_id : int;
+  sh_page_owner : (int, page_owner) Hashtbl.t; (* absent = Free *)
+  sh_ino_owner : (int, ino_owner) Hashtbl.t;
+  sh_shadow : (int, Verifier.shadow) Hashtbl.t;
+  sh_files : (int, file_info) Hashtbl.t;
+  sh_verify_q : int Queue.t; (* inos awaiting background verification *)
+  sh_vq_idle : Sched.waker Queue.t; (* parked verifier fibers of this shard *)
+  mutable sh_enqueued : int; (* verifications ever queued here *)
+}
+
+(* Per-node page pool layered over the global reserve ({!Extent_alloc}):
+   allocation takes from the pool and batch-refills from the reserve;
+   frees return to the pool and batch-drain above the high-water mark.
+   The pool holds *unowned* pages — they are free space, just staged
+   close to the socket that will hand them out next. *)
+type page_pool = {
+  pp_node : int;
+  mutable pp_pages : int list;
+  mutable pp_len : int;
+  mutable pp_refills : int; (* batched refills from the reserve *)
+  mutable pp_drains : int; (* batched drains back to the reserve *)
+}
+
 type t = {
   sched : Sched.t;
   pmem : Pmem.t;
@@ -78,11 +107,24 @@ type t = {
   topo : Numa.t;
   lease_ns : float;
   node_allocs : Extent_alloc.t array;
+      (* the global reserve: one extent allocator per node, refilling
+         and draining the per-node pools in batches *)
+  pools : page_pool array; (* one per node, same indexing as node_allocs *)
+  shards : shard array; (* one per NUMA socket *)
+  locks : Ctl_shard.plane;
+  pages_per_node : int;
+  mutable pool_refill_batch : int; (* pages pulled per reserve refill *)
+  mutable pool_high_water : int; (* pool length that triggers a drain *)
   mutable next_ino : int;
-  page_owner : (int, page_owner) Hashtbl.t; (* absent = Free *)
-  ino_owner : (int, ino_owner) Hashtbl.t;
-  shadow : (int, Verifier.shadow) Hashtbl.t;
-  files : (int, file_info) Hashtbl.t;
+  mutable pending_verifications : int;
+      (* handoffs enqueued or in flight in the verification pipeline *)
+  mutable unverified_files : int; (* files parked at the verifier gate *)
+  mutable deferred_deletes : (int * int * int) list;
+      (* (proc, parent ino, child ino): children whose dentries vanished
+         from a verified directory while the pipeline was still hot.  An
+         in-flight cross-directory rename looks exactly like a delete
+         from the source side, so reclamation waits for pipeline idle;
+         see Ctl_gate.reclaim_deferred *)
   procs : (int, proc_info) Hashtbl.t;
   stats : Stats.t;
   mutable corruption_events : (int * int * Verifier.violation list) list;
@@ -92,8 +134,6 @@ type t = {
       (* pages retired by the scrubber: never returned to the allocator.
          Soft state — lost on cold_start (a real deployment would log
          them durably; see DESIGN.md §4.11). *)
-  verify_q : int Queue.t; (* inos awaiting background verification *)
-  vq_idle : Sched.waker Queue.t; (* parked verifier fibers *)
   mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
       (* observability tap (Vfs trace ring): fired after each check *)
 }
@@ -109,9 +149,134 @@ let current_verify_mode () = !verify_mode
 
 let page_size = Layout.page_size
 
-let owner_of t page = Option.value (Hashtbl.find_opt t.page_owner page) ~default:Free
+(* ------------------------------------------------------------------ *)
+(* Shard routing.  Every access to the sharded tables goes through the
+   accessors below; no submodule touches a shard's hashtable directly,
+   which is what keeps the routing (and the lock discipline around it)
+   in one place. *)
 
-let ino_owner_of t ino = Option.value (Hashtbl.find_opt t.ino_owner ino) ~default:Ino_free
+let shard_count t = Array.length t.shards
+let shard_of_ino t ino = Ctl_shard.shard_of_ino ~shards:(shard_count t) ino
+let ino_shard t ino = t.shards.(shard_of_ino t ino)
+let node_of_page t pg = pg / t.pages_per_node mod shard_count t
+let page_shard t pg = t.shards.(node_of_page t pg)
+let with_ino_shard t ino f = Ctl_shard.with_lock t.locks ~shard:(shard_of_ino t ino) f
+
+let with_ino_pair t ino1 ino2 f =
+  Ctl_shard.with_pair t.locks ~a:(shard_of_ino t ino1) ~b:(shard_of_ino t ino2) f
+
+let with_shards_of_inos t inos f =
+  Ctl_shard.with_all t.locks ~shards:(List.map (shard_of_ino t) inos) f
+
+let owner_of t page =
+  Option.value (Hashtbl.find_opt (page_shard t page).sh_page_owner page) ~default:Free
+
+let set_page_owner t page owner = Hashtbl.replace (page_shard t page).sh_page_owner page owner
+let clear_page_owner t page = Hashtbl.remove (page_shard t page).sh_page_owner page
+
+let ino_owner_of t ino =
+  Option.value (Hashtbl.find_opt (ino_shard t ino).sh_ino_owner ino) ~default:Ino_free
+
+let set_ino_owner t ino owner = Hashtbl.replace (ino_shard t ino).sh_ino_owner ino owner
+let clear_ino_owner t ino = Hashtbl.remove (ino_shard t ino).sh_ino_owner ino
+
+(* Snapshot fold over every shard's ino-owner table (GC sweep). *)
+let fold_ino_owner t f acc =
+  Array.fold_left
+    (fun acc sh -> Hashtbl.fold f (Hashtbl.copy sh.sh_ino_owner) acc)
+    acc t.shards
+
+let file_find t ino = Hashtbl.find_opt (ino_shard t ino).sh_files ino
+let set_file t ino f = Hashtbl.replace (ino_shard t ino).sh_files ino f
+let remove_file t ino = Hashtbl.remove (ino_shard t ino).sh_files ino
+let iter_files t f = Array.iter (fun sh -> Hashtbl.iter f sh.sh_files) t.shards
+
+let fold_files t f acc =
+  Array.fold_left (fun acc sh -> Hashtbl.fold f sh.sh_files acc) acc t.shards
+
+(* Snapshot iteration: safe against concurrent removals by the body. *)
+let iter_files_snapshot t f =
+  Array.iter (fun sh -> Hashtbl.iter f (Hashtbl.copy sh.sh_files)) t.shards
+
+let file_table_size t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_files) 0 t.shards
+
+let shadow_find t ino = Hashtbl.find_opt (ino_shard t ino).sh_shadow ino
+let shadow_mem t ino = Hashtbl.mem (ino_shard t ino).sh_shadow ino
+let set_shadow t ino s = Hashtbl.replace (ino_shard t ino).sh_shadow ino s
+let remove_shadow t ino = Hashtbl.remove (ino_shard t ino).sh_shadow ino
+
+(* ------------------------------------------------------------------ *)
+(* Per-node page pools *)
+
+(* Pull up to [want] pages from the node's reserve into its pool,
+   preferring one large extent and degrading geometrically under
+   fragmentation.  Returns how many pages actually arrived. *)
+let pool_refill t ~node ~want =
+  let reserve = t.node_allocs.(node) in
+  let pool = t.pools.(node) in
+  let got = ref 0 in
+  let ask = ref want in
+  while !got < want && !ask > 0 do
+    (match Extent_alloc.alloc reserve !ask with
+    | start ->
+      pool.pp_pages <- List.rev_append (List.init !ask (fun i -> start + i)) pool.pp_pages;
+      pool.pp_len <- pool.pp_len + !ask;
+      got := !got + !ask
+    | exception Extent_alloc.Out_of_space -> ask := !ask / 2);
+    ask := min !ask (want - !got)
+  done;
+  if !got > 0 then pool.pp_refills <- pool.pp_refills + 1;
+  !got
+
+(* Take [count] pages from [node]'s pool, batch-refilling from the
+   reserve when short.  [None] means pool and reserve are both dry —
+   the caller decides about cross-node fallback. *)
+let pool_take t ~node ~count =
+  let pool = t.pools.(node) in
+  if pool.pp_len < count then
+    ignore (pool_refill t ~node ~want:(max (count - pool.pp_len) t.pool_refill_batch));
+  if pool.pp_len < count then None
+  else begin
+    let rec take n acc =
+      if n = 0 then acc
+      else
+        match pool.pp_pages with
+        | pg :: rest ->
+          pool.pp_pages <- rest;
+          take (n - 1) (pg :: acc)
+        | [] -> assert false
+    in
+    let pages = take count [] in
+    pool.pp_len <- pool.pp_len - count;
+    Some pages
+  end
+
+(* Batched drain: a pool past its high-water mark returns half to the
+   reserve, so a free-heavy phase on one socket does not strand the
+   whole device's free space in that socket's pool. *)
+let pool_drain_excess t pool =
+  if pool.pp_len > t.pool_high_water then begin
+    let target = t.pool_high_water / 2 in
+    while pool.pp_len > target do
+      match pool.pp_pages with
+      | pg :: rest ->
+        pool.pp_pages <- rest;
+        pool.pp_len <- pool.pp_len - 1;
+        Extent_alloc.free t.node_allocs.(pool.pp_node) pg 1
+      | [] -> assert false
+    done;
+    pool.pp_drains <- pool.pp_drains + 1
+  end
+
+(* Return a freed page to its node's pool. *)
+let pool_put t pg =
+  let pool = t.pools.(node_of_page t pg) in
+  pool.pp_pages <- pg :: pool.pp_pages;
+  pool.pp_len <- pool.pp_len + 1;
+  pool_drain_excess t pool
+
+let pooled_pages t = Array.fold_left (fun acc p -> acc + p.pp_len) 0 t.pools
 
 (* The one place file_info records are built: four call sites used to
    repeat this literal and two of them missed field updates over time. *)
@@ -142,8 +307,21 @@ let make_node_allocs topo ~pages_per_node =
       if n = 0 then Extent_alloc.create ~start:2 ~len:(pages_per_node - 2)
       else Extent_alloc.create ~start:(n * pages_per_node) ~len:pages_per_node)
 
+let make_shard id =
+  {
+    sh_id = id;
+    sh_page_owner = Hashtbl.create 4096;
+    sh_ino_owner = Hashtbl.create 1024;
+    sh_shadow = Hashtbl.create 1024;
+    sh_files = Hashtbl.create 1024;
+    sh_verify_q = Queue.create ();
+    sh_vq_idle = Queue.create ();
+    sh_enqueued = 0;
+  }
+
 let make ~sched ~pmem ~mmu ~lease_ns =
   let topo = Pmem.topo pmem in
+  let nodes = Numa.nodes topo in
   {
     sched;
     pmem;
@@ -151,30 +329,42 @@ let make ~sched ~pmem ~mmu ~lease_ns =
     topo;
     lease_ns;
     node_allocs = make_node_allocs topo ~pages_per_node:(Pmem.pages_per_node pmem);
+    pools =
+      Array.init nodes (fun n ->
+          { pp_node = n; pp_pages = []; pp_len = 0; pp_refills = 0; pp_drains = 0 });
+    shards = Array.init nodes make_shard;
+    locks = Ctl_shard.create_plane ();
+    pages_per_node = Pmem.pages_per_node pmem;
+    pool_refill_batch = 64;
+    pool_high_water = 256;
     next_ino = Layout.root_ino + 1;
-    page_owner = Hashtbl.create 4096;
-    ino_owner = Hashtbl.create 1024;
-    shadow = Hashtbl.create 1024;
-    files = Hashtbl.create 1024;
+    pending_verifications = 0;
+    unverified_files = 0;
+    deferred_deletes = [];
     procs = Hashtbl.create 16;
     stats = Stats.create ();
     corruption_events = [];
     quarantine = [];
     badblocks = [];
-    verify_q = Queue.create ();
-    vq_idle = Queue.create ();
     verify_hook = None;
   }
+
+(* Test hook: shrink the batch/high-water so pool-pressure scenarios
+   exercise refill and drain without filling a whole device. *)
+let set_pool_limits t ~refill_batch ~high_water =
+  if refill_batch < 1 || high_water < 0 then invalid_arg "set_pool_limits";
+  t.pool_refill_batch <- refill_batch;
+  t.pool_high_water <- high_water;
+  Array.iter (fun p -> pool_drain_excess t p) t.pools
 
 let create ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
   let t = make ~sched ~pmem ~mmu ~lease_ns in
   Layout.mkfs pmem ~total_pages:(Pmem.total_pages pmem);
-  Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
-  Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
-  Hashtbl.replace t.ino_owner Layout.root_ino (Ino_in_dir Layout.root_ino);
-  Hashtbl.replace t.shadow Layout.root_ino
-    { Verifier.s_ftype = Dir; s_mode = 0o777; s_uid = 0; s_gid = 0 };
-  Hashtbl.replace t.files Layout.root_ino
+  set_page_owner t 0 (In_file Layout.root_ino);
+  set_page_owner t Layout.root_dentry_page (In_file Layout.root_ino);
+  set_ino_owner t Layout.root_ino (Ino_in_dir Layout.root_ino);
+  set_shadow t Layout.root_ino { Verifier.s_ftype = Dir; s_mode = 0o777; s_uid = 0; s_gid = 0 };
+  set_file t Layout.root_ino
     (new_file ~ino:Layout.root_ino ~dentry_addr:Layout.root_dentry_addr ~parent:Layout.root_ino
        ~ftype:Dir ());
   t
@@ -194,8 +384,27 @@ let touch t proc =
 
 let group_of t proc = (proc_info t proc).p_group
 let cred_of_proc t proc = (proc_info t proc).p_cred
-let file_info t ino = Hashtbl.find_opt t.files ino
-let shadow_of t ino = Hashtbl.find_opt t.shadow ino
+let file_info = file_find
+let shadow_of = shadow_find
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline temperature.  "Hot" means some verification verdict is still
+   outstanding — queued, running, or parked at the unverified gate — so
+   global conclusions ("this child was deleted, not moved") cannot be
+   drawn yet.  The unverified marker is counted through these two
+   helpers so the temperature check stays O(1). *)
+
+let pipeline_hot t = t.pending_verifications > 0 || t.unverified_files > 0
+
+let mark_unverified t (f : file_info) proc =
+  if f.f_unverified = None then t.unverified_files <- t.unverified_files + 1;
+  f.f_unverified <- Some proc
+
+let drop_unverified t (f : file_info) =
+  if f.f_unverified <> None then begin
+    f.f_unverified <- None;
+    t.unverified_files <- t.unverified_files - 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Verifier view *)
@@ -206,34 +415,39 @@ let view t =
     total_pages = Pmem.total_pages t.pmem;
     page_owner = (fun pg -> owner_of t pg);
     ino_owner = (fun ino -> ino_owner_of t ino);
-    shadow = (fun ino -> Hashtbl.find_opt t.shadow ino);
+    shadow = (fun ino -> shadow_find t ino);
     checkpoint_children =
       (fun ino ->
-        match Hashtbl.find_opt t.files ino with
+        match file_find t ino with
         | Some { f_checkpoint = Some ck; _ } -> Some ck.ck_children
         | _ -> None);
     is_mapped_elsewhere =
       (fun ~ino ~proc ->
-        match Hashtbl.find_opt t.files ino with
+        match file_find t ino with
         | None -> false
         | Some f ->
           (match f.f_writer with Some w when w <> proc -> true | _ -> false)
           || Hashtbl.fold (fun r () acc -> acc || r <> proc) f.f_readers false);
     write_mapped_by_other =
       (fun ~ino ~proc ->
-        match Hashtbl.find_opt t.files ino with
+        match file_find t ino with
         | Some { f_writer = Some w; _ } -> w <> proc
         | _ -> false);
     pages_attributed_to =
       (fun ino ->
-        match Hashtbl.find_opt t.files ino with
+        match file_find t ino with
         | None -> []
         | Some f -> f.f_index_pages @ f.f_data_pages);
-    dir_write_mapped_by =
-      (fun ~dir ~proc ->
-        match Hashtbl.find_opt t.files dir with
-        | Some { f_writer = Some w; _ } -> w = proc
-        | _ -> false);
+    rename_source_ok =
+      (fun ~src ~ino ~proc ->
+        (match file_find t src with
+        | Some { f_writer = Some w; _ } when w = proc -> true
+        | Some { f_pending = Some p; _ } when p = proc -> true
+        | Some { f_verifying = true; _ } -> true
+        | _ -> false)
+        || List.exists
+             (fun (p, parent, child) -> p = proc && parent = src && child = ino)
+             t.deferred_deletes);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -294,18 +508,16 @@ let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
       Error "cold_start: unexpected root location"
     else begin
       let t = make ~sched ~pmem ~mmu ~lease_ns in
-      let pages_per_node = Pmem.pages_per_node pmem in
-      Hashtbl.replace t.page_owner 0 (In_file Layout.root_ino);
-      Hashtbl.replace t.page_owner Layout.root_dentry_page (In_file Layout.root_ino);
+      set_page_owner t 0 (In_file Layout.root_ino);
+      set_page_owner t Layout.root_dentry_page (In_file Layout.root_ino);
       let claim_page pg owner =
         if pg <= Layout.root_dentry_page || pg >= total_pages then
           failwith (Printf.sprintf "cold_start: page %d out of range" pg)
-        else if Hashtbl.mem t.page_owner pg then
+        else if Hashtbl.mem (page_shard t pg).sh_page_owner pg then
           failwith (Printf.sprintf "cold_start: page %d doubly referenced" pg)
         else begin
-          Hashtbl.replace t.page_owner pg owner;
-          let node = pg / pages_per_node in
-          Extent_alloc.alloc_at t.node_allocs.(node) pg 1
+          set_page_owner t pg owner;
+          Extent_alloc.alloc_at t.node_allocs.(node_of_page t pg) pg 1
         end
       in
       let actor = Pmem.kernel_actor in
@@ -317,10 +529,10 @@ let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
         | Some (Error e) -> failwith ("cold_start: undecodable dentry: " ^ e)
         | Some (Ok (inode, _name)) ->
           let ino = inode.Layout.ino in
-          if Hashtbl.mem t.ino_owner ino then
+          if ino_owner_of t ino <> Ino_free then
             failwith (Printf.sprintf "cold_start: inode %d appears twice" ino);
-          Hashtbl.replace t.ino_owner ino (Ino_in_dir parent);
-          Hashtbl.replace t.shadow ino
+          set_ino_owner t ino (Ino_in_dir parent);
+          set_shadow t ino
             {
               Verifier.s_ftype = inode.Layout.ftype;
               s_mode = inode.Layout.mode land 0o7777;
@@ -344,7 +556,7 @@ let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
            with
           | Ok () -> ()
           | Error e -> failwith ("cold_start: " ^ e));
-          Hashtbl.replace t.files ino
+          set_file t ino
             (new_file ~ino ~dentry_addr ~parent ~ftype:inode.Layout.ftype
                ~index_pages:(List.rev !index_pages) ~data_pages:(List.rev !data_pages) ());
           if inode.Layout.ftype = Dir then

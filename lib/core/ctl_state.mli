@@ -1,6 +1,9 @@
 (** Shared state of the kernel access controller: record types,
-    construction, the verifier view, cold start.  Internal to
-    [lib/core] — external code goes through the {!Controller} facade. *)
+    construction, the verifier view, cold start.  The hot tables are
+    sharded per NUMA socket (see {!Ctl_shard} and DESIGN.md §4.14);
+    submodules access them only through the routing accessors below.
+    Internal to [lib/core] — external code goes through the
+    {!Controller} facade. *)
 
 module Sched = Trio_sim.Sched
 module Stats = Trio_sim.Stats
@@ -55,6 +58,25 @@ type proc_info = {
   mutable p_dead : bool;
 }
 
+type shard = {
+  sh_id : int;
+  sh_page_owner : (int, page_owner) Hashtbl.t;
+  sh_ino_owner : (int, ino_owner) Hashtbl.t;
+  sh_shadow : (int, Verifier.shadow) Hashtbl.t;
+  sh_files : (int, file_info) Hashtbl.t;
+  sh_verify_q : int Queue.t;
+  sh_vq_idle : Sched.waker Queue.t;
+  mutable sh_enqueued : int;
+}
+
+type page_pool = {
+  pp_node : int;
+  mutable pp_pages : int list;
+  mutable pp_len : int;
+  mutable pp_refills : int;
+  mutable pp_drains : int;
+}
+
 type t = {
   sched : Sched.t;
   pmem : Pmem.t;
@@ -62,18 +84,22 @@ type t = {
   topo : Numa.t;
   lease_ns : float;
   node_allocs : Extent_alloc.t array;
+  pools : page_pool array;
+  shards : shard array;
+  locks : Ctl_shard.plane;
+  pages_per_node : int;
+  mutable pool_refill_batch : int;
+  mutable pool_high_water : int;
   mutable next_ino : int;
-  page_owner : (int, page_owner) Hashtbl.t;
-  ino_owner : (int, ino_owner) Hashtbl.t;
-  shadow : (int, Verifier.shadow) Hashtbl.t;
-  files : (int, file_info) Hashtbl.t;
+  mutable pending_verifications : int;
+  mutable unverified_files : int;
+  mutable deferred_deletes : (int * int * int) list;
+      (** (proc, parent ino, child ino) awaiting pipeline-idle reclaim *)
   procs : (int, proc_info) Hashtbl.t;
   stats : Stats.t;
   mutable corruption_events : (int * int * Verifier.violation list) list;
   mutable quarantine : (int * int) list;
   mutable badblocks : int list;
-  verify_q : int Queue.t;
-  vq_idle : Sched.waker Queue.t;
   mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
 }
 
@@ -83,8 +109,46 @@ val verify_mode : vmode ref
 val set_verify_mode : vmode -> unit
 val current_verify_mode : unit -> vmode
 val page_size : int
+
+(** {2 Shard routing} *)
+
+val shard_count : t -> int
+val shard_of_ino : t -> int -> int
+val ino_shard : t -> int -> shard
+val node_of_page : t -> int -> int
+val page_shard : t -> int -> shard
+val with_ino_shard : t -> int -> (unit -> 'a) -> 'a
+val with_ino_pair : t -> int -> int -> (unit -> 'a) -> 'a
+val with_shards_of_inos : t -> int list -> (unit -> 'a) -> 'a
+
 val owner_of : t -> int -> page_owner
+val set_page_owner : t -> int -> page_owner -> unit
+val clear_page_owner : t -> int -> unit
 val ino_owner_of : t -> int -> ino_owner
+val set_ino_owner : t -> int -> ino_owner -> unit
+val clear_ino_owner : t -> int -> unit
+val fold_ino_owner : t -> (int -> ino_owner -> 'a -> 'a) -> 'a -> 'a
+val file_find : t -> int -> file_info option
+val set_file : t -> int -> file_info -> unit
+val remove_file : t -> int -> unit
+val iter_files : t -> (int -> file_info -> unit) -> unit
+val fold_files : t -> (int -> file_info -> 'a -> 'a) -> 'a -> 'a
+val iter_files_snapshot : t -> (int -> file_info -> unit) -> unit
+val file_table_size : t -> int
+val shadow_find : t -> int -> Verifier.shadow option
+val shadow_mem : t -> int -> bool
+val set_shadow : t -> int -> Verifier.shadow -> unit
+val remove_shadow : t -> int -> unit
+
+(** {2 Per-node page pools} *)
+
+val pool_refill : t -> node:int -> want:int -> int
+val pool_take : t -> node:int -> count:int -> int list option
+val pool_put : t -> int -> unit
+val pooled_pages : t -> int
+val set_pool_limits : t -> refill_batch:int -> high_water:int -> unit
+
+(** {2 Construction and shared helpers} *)
 
 val new_file :
   ino:int ->
@@ -103,6 +167,15 @@ val group_of : t -> int -> int
 val cred_of_proc : t -> int -> Fs_types.cred
 val file_info : t -> int -> file_info option
 val shadow_of : t -> int -> Verifier.shadow option
+
+(** Pipeline temperature: true while any verification verdict is still
+    outstanding (queued, running, or parked at the unverified gate).
+    The unverified marker must be set/cleared through the two helpers
+    so the O(1) count stays exact. *)
+
+val pipeline_hot : t -> bool
+val mark_unverified : t -> file_info -> int -> unit
+val drop_unverified : t -> file_info -> unit
 val view : t -> Verifier.view
 val file_pages : file_info -> int list
 val walk_file : t -> ino:int -> dentry_addr:int -> (Layout.inode * int list * int list) option

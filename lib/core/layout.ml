@@ -237,13 +237,26 @@ let decode_index_page b =
 (* [fetch page] may supply the page's bytes from a DRAM snapshot (the
    incremental verifier's delta checkpoint); [None] reads the device. *)
 let walk_index_chain ?fetch pm ~actor ~head ~max_pages f =
+  (* Each page is read once per walk and memoized: the walk observes a
+     point-in-time snapshot of every index page it visits.  A cycle
+     (same page revisited until the bound trips) therefore yields the
+     same verdict regardless of how concurrent repairs interleave with
+     the walk — and costs one media read, not [max_pages]. *)
+  let memo = Hashtbl.create 8 in
   let read page =
-    match fetch with
-    | Some fetch -> (
-      match fetch page with
-      | Some b -> decode_index_page b
-      | None -> read_index_page pm ~actor ~page)
-    | None -> read_index_page pm ~actor ~page
+    match Hashtbl.find_opt memo page with
+    | Some decoded -> decoded
+    | None ->
+      let decoded =
+        match fetch with
+        | Some fetch -> (
+          match fetch page with
+          | Some b -> decode_index_page b
+          | None -> read_index_page pm ~actor ~page)
+        | None -> read_index_page pm ~actor ~page
+      in
+      Hashtbl.add memo page decoded;
+      decoded
   in
   let rec go page seen =
     if page = 0 then Ok ()

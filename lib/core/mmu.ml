@@ -19,23 +19,32 @@ type perm = P_read | P_readwrite
 
 type entry = { mutable readers : int; mutable writers : int }
 
+(* One NUMA node's slice of the dirty-page write-set.  An overflow
+   resets only this slice, so checkpoints of files living on other
+   sockets keep their incremental-verification fast path. *)
+type wpart = {
+  wp_set : (int, int) Hashtbl.t; (* page -> mark of its last mutation *)
+  mutable wp_capacity : int;
+  mutable wp_overflow_mark : int;
+}
+
 type t = {
   pmem : Pmem.t;
   (* actor -> page -> grant counts *)
   tables : (int, (int, entry) Hashtbl.t) Hashtbl.t;
   mutable pte_ops : int;
   (* --- dirty-page write-set (incremental verification, §4.3/§6) ---
-     A single device-wide tracker: [wmark] is a monotonic store counter
-     and [wset] maps each page to the mark of its last content mutation
-     (fed by {!Pmem.set_store_hook}, so poison, crash reverts and page
-     discards count as writes too).  When the table outgrows
-     [wset_capacity] it is reset and [overflow_mark] records the loss:
+     [wmark] is a monotonic device-wide store counter; the page->mark
+     table is partitioned per NUMA node ([wp_set] of the node owning
+     the page, fed by {!Pmem.set_store_hook}, so poison, crash reverts
+     and page discards count as writes too).  When a partition outgrows
+     [wp_capacity] it is reset and [wp_overflow_mark] records the loss:
      any checkpoint taken before that mark can no longer prove a page
-     clean and must fall back to a full verification walk. *)
-  wset : (int, int) Hashtbl.t;
+     *of that node* clean and must fall back to a full verification
+     walk — pages of other nodes are untouched. *)
+  parts : wpart array;
+  pages_per_node : int;
   mutable wmark : int;
-  mutable wset_capacity : int;
-  mutable overflow_mark : int;
 }
 
 (* Mutation hook for the differential self-test of the verification
@@ -46,49 +55,58 @@ let crash_test_drop_writes = ref false
 
 let set_crash_test_drop_writes b = crash_test_drop_writes := b
 
+let part_of t pg = t.parts.(pg / t.pages_per_node mod Array.length t.parts)
+
 let record_store t pg =
   if not !crash_test_drop_writes then begin
     t.wmark <- t.wmark + 1;
-    Hashtbl.replace t.wset pg t.wmark;
-    if Hashtbl.length t.wset > t.wset_capacity then begin
-      Hashtbl.reset t.wset;
-      t.overflow_mark <- t.wmark
+    let p = part_of t pg in
+    Hashtbl.replace p.wp_set pg t.wmark;
+    if Hashtbl.length p.wp_set > p.wp_capacity then begin
+      Hashtbl.reset p.wp_set;
+      p.wp_overflow_mark <- t.wmark
     end
   end
 
 let write_mark t = t.wmark
 
-(* Has every store since [mark] been kept in the table? *)
-let writes_tracked_since t ~mark = mark >= t.overflow_mark
+(* Has every store to [page]'s node since [mark] been kept? *)
+let writes_tracked_since t ~mark ~page = mark >= (part_of t page).wp_overflow_mark
 
-(* Sound only when [writes_tracked_since ~mark] holds: an absent entry
-   then means the page was not touched since the overflow, and the
-   overflow itself predates [mark]. *)
+(* Sound only when [writes_tracked_since ~mark ~page] holds: an absent
+   entry then means the page was not touched since the overflow, and
+   the overflow itself predates [mark]. *)
 let dirty_since t ~mark ~page =
-  match Hashtbl.find_opt t.wset page with
+  let p = part_of t page in
+  match Hashtbl.find_opt p.wp_set page with
   | Some m -> m > mark
-  | None -> mark < t.overflow_mark
+  | None -> mark < p.wp_overflow_mark
 
 let set_write_set_capacity t n =
   if n < 1 then invalid_arg "Mmu.set_write_set_capacity";
-  t.wset_capacity <- n;
-  if Hashtbl.length t.wset > n then begin
-    Hashtbl.reset t.wset;
-    t.overflow_mark <- t.wmark
-  end
+  Array.iter
+    (fun p ->
+      p.wp_capacity <- n;
+      if Hashtbl.length p.wp_set > n then begin
+        Hashtbl.reset p.wp_set;
+        p.wp_overflow_mark <- t.wmark
+      end)
+    t.parts
 
-let write_set_size t = Hashtbl.length t.wset
+let write_set_size t = Array.fold_left (fun acc p -> acc + Hashtbl.length p.wp_set) 0 t.parts
 
 let create pmem =
+  let nodes = Trio_nvm.Numa.nodes (Pmem.topo pmem) in
   let t =
     {
       pmem;
       tables = Hashtbl.create 16;
       pte_ops = 0;
-      wset = Hashtbl.create 4096;
+      parts =
+        Array.init nodes (fun _ ->
+            { wp_set = Hashtbl.create 4096; wp_capacity = 1 lsl 16; wp_overflow_mark = 0 });
+      pages_per_node = Pmem.pages_per_node pmem;
       wmark = 0;
-      wset_capacity = 1 lsl 16;
-      overflow_mark = 0;
     }
   in
   Pmem.set_perm_check pmem (fun ~actor ~page ~write ->

@@ -59,7 +59,12 @@ type view = {
       (* a child currently write-mapped by another process is being
          legitimately modified; it will be verified at its own unmap *)
   pages_attributed_to : int -> int list; (* pages still recorded as In_file ino *)
-  dir_write_mapped_by : dir:int -> proc:int -> bool;
+  rename_source_ok : src:int -> ino:int -> proc:int -> bool;
+      (* the child's recorded parent is mid-handoff on behalf of this
+         process — still write-mapped, queued or running in the
+         verification pipeline, or already verified with the child
+         observed missing (deferred delete).  These are the shapes an
+         in-flight cross-directory rename takes on the source side. *)
       (* true when [proc] holds a write mapping on directory [dir]: a
          child found under a different parent is a legitimate in-flight
          rename only if its recorded parent is simultaneously
@@ -355,8 +360,10 @@ let check_directory ?(delta = no_delta) ?stats ~ph view ~actor ~proc ~(inode : L
             (match view.ino_owner child.ino with
             | Ino_in_dir parent when parent = inode.ino -> ()
             | Ino_allocated_to p when p = proc -> ()
-            | Ino_in_dir parent when view.dir_write_mapped_by ~dir:parent ~proc -> ()
-              (* in-flight rename out of a directory this process holds *)
+            | Ino_in_dir parent when view.rename_source_ok ~src:parent ~ino:child.ino ~proc -> ()
+              (* in-flight rename out of a directory this process is
+                 handing off (or already handed off, with the child seen
+                 missing there) *)
             | Ino_in_dir parent ->
               violations :=
                 {

@@ -28,3 +28,10 @@ let node_of_cpu t cpu =
 let cpu_of_thread t i =
   let total = total_cpus t in
   i mod total
+
+(* The [local]-th CPU of [node].  The one place the cpu-numbering
+   convention (CPUs [node*cpus_per_node, ...) belong to [node]) is
+   encoded; per-node striping everywhere else goes through this. *)
+let cpu_of_node_local t ~node ~local =
+  if node < 0 || node >= t.nodes then invalid_arg "Numa.cpu_of_node_local";
+  (node * t.cpus_per_node) + (local mod t.cpus_per_node)

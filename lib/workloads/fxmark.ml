@@ -184,7 +184,7 @@ let mwu which =
     name = (match which with `L -> "MWUL" | `M -> "MWUM");
     description = List.assoc (match which with `L -> "MWUL" | `M -> "MWUM") descriptions;
     prepare =
-      (fun _rig fs ~threads ->
+      (fun rig fs ~threads ->
         (* pre-create pools; each op unlinks one file.  When a pool is
            exhausted the thread stops (Runner treats Exit as early stop). *)
         let pool_size = 512 in
@@ -198,12 +198,21 @@ let mwu which =
             fail_on "mkdir" (fs.Fs.mkdir (dir tid) 0o755)
           done
         | `M -> fail_on "mkdir" (fs.Fs.mkdir (dir 0) 0o755));
+        (* Each pool is created from its unlinking thread's own CPU, like
+           FxMark's per-thread setup phase: the pool pages then live on
+           that thread's local socket instead of all on node 0. *)
+        let wg = Trio_sim.Sync.Waitgroup.create threads in
         for tid = 0 to threads - 1 do
-          for i = 0 to pool_size - 1 do
-            ignore
-              (fail_on "create" (fs.Fs.create (Printf.sprintf "%s/t%d_f%d" (dir tid) tid i) 0o644))
-          done
+          let cpu = Trio_nvm.Numa.cpu_of_thread rig.Rig.topo tid in
+          Trio_sim.Sched.spawn ~cpu rig.Rig.sched (fun () ->
+              for i = 0 to pool_size - 1 do
+                ignore
+                  (fail_on "create"
+                     (fs.Fs.create (Printf.sprintf "%s/t%d_f%d" (dir tid) tid i) 0o644))
+              done;
+              Trio_sim.Sync.Waitgroup.done_ wg)
         done;
+        Trio_sim.Sync.Waitgroup.wait wg;
         fun ~tid ->
           let n = counters.(tid) in
           if n >= pool_size then raise Exit;

@@ -365,7 +365,7 @@ let test_write_set_overflow_fallback () =
       let idx_pg = List.hd f.Ctl_state.f_index_pages in
       let ck = checkpoint_of env w.v_ino in
       Alcotest.(check bool) "tracked before overflow" true
-        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark);
+        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark ~page:idx_pg);
       (match Controller.page_snapshot env.Helpers.ctl idx_pg with
       | Some _ -> ()
       | None -> Alcotest.fail "expected a snapshot for a clean index page");
@@ -380,7 +380,7 @@ let test_write_set_overflow_fallback () =
           [ a; b ]
       | _ -> Alcotest.fail "victim too small");
       Alcotest.(check bool) "overflow invalidates the mark" false
-        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark);
+        (Mmu.writes_tracked_since mmu ~mark:ck.ck_mark ~page:idx_pg);
       (match Controller.page_snapshot env.Helpers.ctl idx_pg with
       | None -> ()
       | Some _ -> Alcotest.fail "snapshot served after write-set overflow");
