@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck fmt
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck fmt
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck verifycheck shardcheck
+check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck
 
 # Verification-plane gate: full vs incremental verification must give
 # byte-identical verdicts over the attack suite, the corruption
@@ -41,6 +41,15 @@ shardcheck:
 
 fmt:
 	dune build @fmt
+
+# Ring-plane gate: the ring protocol suite (wrap-around, backpressure,
+# completion correspondence, batch-drain equivalence, every-Delay-point
+# kill sweep, conformance over the batched plane), plus a pinned-seed
+# process-death exploration with ring-mounted victims.
+ringcheck:
+	dune build
+	dune exec test/test_ring.exe
+	dune exec bin/trioctl.exe -- procfail --seed 1 --scripts 2 --ops 6 --ring 4
 
 # Process-failure plane gate: the seeded kill/hang/watchdog/GC unit and
 # property tests, a pinned-seed exploration of process-death states

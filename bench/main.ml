@@ -880,6 +880,93 @@ let shardscale () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Ring batching: the submission/completion ring vs per-op syscalls *)
+
+(* Create/open/delete-heavy workload with [unmap_after_write], so every
+   operation remaps and hands back its directory: the controller sits on
+   the critical path of each op.  The batched plane moves the unmap
+   (fire-and-forget) and its verification settle off that path and
+   amortizes the kernel crossing over the drained batch; the gate
+   requires batched >= 1.5x synchronous at >= 32 concurrent processes.
+   Emits BENCH_ring_batching.json. *)
+let ringbatch () =
+  section "Ring batching: create/delete-heavy ops/us, sync vs batched syscall plane";
+  let depth = 32 in
+  let proc_counts = if !fast then [ 10; 32 ] else [ 10; 32; 100 ] in
+  let run_point ~ring nprocs =
+    Rig.run ~nodes:2 ~cpus_per_node:8 ~pages_per_node:(1 lsl 16) ~store_data:false (fun rig ->
+        (* One LibFS per process, each working in a private directory so
+           the measurement is ring-vs-sync, not lease ping-pong. *)
+        let fss =
+          Array.init nprocs (fun _ ->
+              Libfs.ops
+                (Rig.mount_arckfs ~delegated:true ~unmap_after_write:true
+                   ?ring:(if ring then Some depth else None) rig))
+        in
+        Array.iteri
+          (fun i fs -> ignore (get_ok "mkdir" (fs.Fs.mkdir (Printf.sprintf "/rb%d" i) 0o755)))
+          fss;
+        let counters = Array.make nprocs 0 in
+        let max_ops = if !fast then 4000 else 12_000 in
+        let r =
+          Runner.run ~sched:rig.Rig.sched ~topo:rig.Rig.topo ~threads:nprocs ~max_ops
+            ~max_ns:20.0e6
+            ~body:(fun ~tid ->
+              let fs = fss.(tid) in
+              let n = counters.(tid) in
+              counters.(tid) <- n + 1;
+              let path = Printf.sprintf "/rb%d/f%d" tid n in
+              (match fs.Fs.create path 0o644 with
+              | Ok fd ->
+                ignore (fs.Fs.close fd);
+                ignore (fs.Fs.unlink path)
+              | Error _ -> ());
+              0)
+            ()
+        in
+        Printf.printf "  [%3d procs, %s] ops=%d %.4f ops/us\n%!" nprocs
+          (if ring then "ring" else "sync")
+          r.Runner.ops r.Runner.ops_per_us;
+        r.Runner.ops_per_us)
+  in
+  let points =
+    List.map
+      (fun n ->
+        let sync = run_point ~ring:false n in
+        let batched = run_point ~ring:true n in
+        (n, sync, batched, batched /. sync))
+      proc_counts
+  in
+  print_header "procs" [ "sync"; "ring"; "speedup" ];
+  List.iter
+    (fun (n, sync, batched, sp) -> print_row (string_of_int n) [ sync; batched; sp ])
+    points;
+  let required = 1.5 in
+  let pass =
+    List.for_all (fun (n, _, _, sp) -> n < 32 || sp >= required) points
+  in
+  let oc = open_out "BENCH_ring_batching.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"ring_batching\",\n  \"ring_depth\": %d,\n" depth;
+  Printf.fprintf oc "  \"workload\": \"create-close-unlink, unmap_after_write\",\n";
+  Printf.fprintf oc "  \"points\": [\n";
+  List.iteri
+    (fun i (n, sync, batched, sp) ->
+      Printf.fprintf oc
+        "    { \"procs\": %d, \"sync_ops_per_us\": %.4f, \"ring_ops_per_us\": %.4f, \
+         \"speedup\": %.3f }%s\n"
+        n sync batched sp
+        (if i < List.length points - 1 then "," else ""))
+    points;
+  Printf.fprintf oc "  ],\n  \"required_speedup\": %.2f,\n  \"pass\": %b\n}\n" required pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_ring_batching.json (pass: %b)\n" pass;
+  if not pass then begin
+    Printf.eprintf "FAILED: batched plane under %.1fx of synchronous at >= 32 processes\n"
+      required;
+    exit 1
+  end
+
 let experiments =
   [
     ("fig5", fig5);
@@ -893,6 +980,7 @@ let experiments =
     ("fig10", fig10);
     ("sec65", sec65);
     ("shardscale", shardscale);
+    ("ringbatch", ringbatch);
     ("ablation", ablation);
     ("meta", meta);
     ("micro", micro);

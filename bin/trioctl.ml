@@ -376,23 +376,23 @@ let scrub_cmd =
 
 (* Scripted mixed workload: data and metadata ops, plus a few operations
    that are expected to fail so the errno counters are exercised. *)
-let observability_workload fs =
-  ok "mkdir" (fs.Fs.mkdir "/obs" 0o755);
+let observability_workload ?(dir = "/obs") fs =
+  ok "mkdir" (fs.Fs.mkdir dir 0o755);
   for i = 0 to 15 do
     ok "write"
-      (Fs.write_file fs (Printf.sprintf "/obs/f%02d" i) (String.make (512 * (i + 1)) 'a'))
+      (Fs.write_file fs (Printf.sprintf "%s/f%02d" dir i) (String.make (512 * (i + 1)) 'a'))
   done;
   for i = 0 to 15 do
-    ignore (ok "read" (Fs.read_file fs (Printf.sprintf "/obs/f%02d" i)))
+    ignore (ok "read" (Fs.read_file fs (Printf.sprintf "%s/f%02d" dir i)))
   done;
-  ignore (ok "readdir" (fs.Fs.readdir "/obs"));
-  ignore (ok "stat" (fs.Fs.stat "/obs/f01"));
-  ok "rename" (fs.Fs.rename "/obs/f00" "/obs/renamed");
-  ok "unlink" (fs.Fs.unlink "/obs/renamed");
+  ignore (ok "readdir" (fs.Fs.readdir dir));
+  ignore (ok "stat" (fs.Fs.stat (dir ^ "/f01")));
+  ok "rename" (fs.Fs.rename (dir ^ "/f00") (dir ^ "/renamed"));
+  ok "unlink" (fs.Fs.unlink (dir ^ "/renamed"));
   (* expected failures *)
-  ignore (fs.Fs.open_ "/obs/missing" [ Trio_core.Fs_types.O_RDONLY ]);
-  ignore (fs.Fs.mkdir "/obs" 0o755);
-  ignore (fs.Fs.unlink "/obs/missing")
+  ignore (fs.Fs.open_ (dir ^ "/missing") [ Trio_core.Fs_types.O_RDONLY ]);
+  ignore (fs.Fs.mkdir dir 0o755);
+  ignore (fs.Fs.unlink (dir ^ "/missing"))
 
 let print_verify_counters ctl =
   let stats = Controller.stats ctl in
@@ -412,6 +412,10 @@ let stats_cmd =
     Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
         let vfs = Rig.mount_fs rig fs_name in
         observability_workload (Vfs.ops vfs);
+        (* A second, ring-mounted LibFS so the batched syscall plane has
+           activity to report alongside the sync-path numbers. *)
+        let ringfs = Rig.mount_arckfs ~ring:16 rig in
+        observability_workload ~dir:"/obs-ring" (Libfs.ops ringfs);
         (* the sharing point: released write mappings ride the
            verification pipeline, so the verify counters are live *)
         Rig.unmount_all rig;
@@ -424,6 +428,9 @@ let stats_cmd =
         Format.printf "per-socket shards (%d lock acquisitions, %d cross-shard ops):@.%a@."
           acq cross Controller.pp_shard_stats
           (Controller.shard_stats rig.Rig.ctl);
+        Format.printf "ring plane (depth, batch histogram, park/wake counts per shard):@.%a@."
+          Controller.pp_ring_stats
+          (Controller.ring_stats rig.Rig.ctl);
         0)
   in
   let fs_arg =
@@ -636,15 +643,18 @@ let crashcheck_cmd =
 let procfail_cmd =
   let module Explore = Trio_check.Explore in
   let module Script = Trio_check.Script in
-  let run seed scripts ops kill_points hang_points timeout_us mutate =
+  let run seed scripts ops kill_points hang_points timeout_us ring mutate =
     let base =
       {
         Explore.pd_seed = seed;
         pd_kill_points = kill_points;
         pd_hang_points = hang_points;
         pd_timeout_ns = timeout_us *. 1000.0;
+        pd_ring = (if ring > 0 then Some ring else None);
       }
     in
+    if ring > 0 then
+      Printf.printf "ring mode: victims mount with a depth-%d submission ring\n" ring;
     if mutate then begin
       Controller.set_crash_test_skip_gc true;
       Printf.printf "skip-GC mutation armed: the leak invariant must catch it\n"
@@ -703,6 +713,14 @@ let procfail_cmd =
       value & opt float 1000.0
       & info [ "timeout-us" ] ~docv:"US" ~doc:"Watchdog heartbeat timeout in microseconds")
   in
+  let ring_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "ring" ] ~docv:"DEPTH"
+          ~doc:
+            "Mount victims with a submission/completion ring of $(docv) entries (0 = \
+             synchronous path): the watchdog must also tear the ring down")
+  in
   let mutate_arg =
     Arg.(
       value & flag
@@ -718,7 +736,7 @@ let procfail_cmd =
           verifier-gated reclamation and zero leaked pages from a second process")
     Term.(
       const run $ seed_arg $ scripts_arg $ ops_arg $ kill_arg $ hang_arg $ timeout_arg
-      $ mutate_arg)
+      $ ring_arg $ mutate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verifycheck: incremental-vs-full verification differential gate *)

@@ -86,6 +86,9 @@ type t = {
   build_lock : Sync.Mutex.t;
   stats : Stats.t;
   unmap_after_write : bool; (* stress mode for the sharing benchmarks *)
+  ring : Controller.ring option;
+      (* batched syscall plane: map/unmap ride the submission ring
+         instead of one shielded crossing each (DESIGN.md §4.15) *)
   mutable free_backlog : int list; (* pages to return to the kernel, batched *)
   mutable free_backlog_len : int;
   mutable root : dir_state option;
@@ -97,7 +100,7 @@ let ( let* ) = Result.bind
 (* Mount *)
 
 
-let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
+let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?ring ?fix () =
   let pmem = Controller.pmem ctl in
   let sched = Controller.sched ctl in
   let topo = Pmem.topo pmem in
@@ -200,6 +203,13 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
         (Controller.write_mapped_inos ctl ~proc)
   in
   Controller.register_process ctl ~proc ~cred ?fix ~recovery ();
+  (* The ring must exist before the first map: its drain fiber is what
+     will execute every batched call this mount makes. *)
+  let ring =
+    match ring with
+    | Some depth when depth > 0 -> Some (Controller.ring_setup ctl ~proc ~depth)
+    | _ -> None
+  in
   let cache = Alloc_cache.create ~ctl ~proc () in
   (* One journal page per CPU, each on that CPU's local node. *)
   let cpus = Numa.total_cpus topo in
@@ -241,6 +251,7 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?fix () =
       build_lock = Sync.Mutex.create ();
       stats = Stats.create ();
       unmap_after_write;
+      ring;
       free_backlog = [];
       free_backlog_len = 0;
       root = None;
@@ -363,6 +374,16 @@ let build_file_aux t ~ino ~addr =
    pages (allocation grants), so no map call is needed. *)
 let known_to_kernel t ino = Option.is_some (Controller.dentry_addr_of t.ctl ino)
 
+(* Every map goes through this dispatcher: the batched path submits to
+   the ring and parks on the CQ; the synchronous path is one shielded
+   kernel crossing.  Either way the result is the controller's verdict
+   for the same op, which is what the batch-drain equivalence tests pin
+   down. *)
+let map_ctl t ~ino ~write =
+  match t.ring with
+  | Some r -> Controller.ring_map r ~ino ~write
+  | None -> Controller.map_file t.ctl ~proc:t.proc ~ino ~write
+
 let get_root t =
   match t.root with
   | Some d -> Ok d
@@ -372,7 +393,7 @@ let get_root t =
       match t.root with
       | Some d -> Ok d
       | None -> (
-        match Controller.map_file t.ctl ~proc:t.proc ~ino:Controller.root_ino ~write:false with
+        match map_ctl t ~ino:Controller.root_ino ~write:false with
         | Error e -> Error e
         | Ok () ->
           let d = build_dir_aux t ~ino:Controller.root_ino ~addr:Controller.root_dentry_addr in
@@ -391,8 +412,7 @@ let get_dir t ~ino ~addr =
        last-wins under the lock.  A racing duplicate build is harmless:
        both observe the same core state. *)
     let map_result =
-      if known_to_kernel t ino then Controller.map_file t.ctl ~proc:t.proc ~ino ~write:false
-      else Ok ()
+      if known_to_kernel t ino then map_ctl t ~ino ~write:false else Ok ()
     in
     match map_result with
     | Error e -> Error e
@@ -417,7 +437,7 @@ let ensure_dir_writable t (d : dir_state) =
     Ok ()
   end
   else
-    match Controller.map_file t.ctl ~proc:t.proc ~ino:d.d_ino ~write:true with
+    match map_ctl t ~ino:d.d_ino ~write:true with
     | Ok () ->
       d.d_write_mapped <- true;
       Ok ()
@@ -428,8 +448,7 @@ let get_file t ~ino ~addr =
   | Some f -> Ok f
   | None -> (
     let map_result =
-      if known_to_kernel t ino then Controller.map_file t.ctl ~proc:t.proc ~ino ~write:false
-      else Ok ()
+      if known_to_kernel t ino then map_ctl t ~ino ~write:false else Ok ()
     in
     match map_result with
     | Error e -> Error e
@@ -456,7 +475,7 @@ let ensure_file_writable t (f : file_state) =
     Ok ()
   end
   else
-    match Controller.map_file t.ctl ~proc:t.proc ~ino:f.r_ino ~write:true with
+    match map_ctl t ~ino:f.r_ino ~write:true with
     | Ok () ->
       f.r_write_mapped <- true;
       Ok ()
@@ -471,7 +490,13 @@ let drop_aux t ino =
 
 let unmap t ino =
   drop_aux t ino;
-  ignore (Controller.unmap_file t.ctl ~proc:t.proc ~ino)
+  match t.ring with
+  | Some r ->
+    (* Fire-and-forget: the entry feeds the verification pipeline when
+       the drain fiber executes it; this fiber never waits.  Per-ring
+       FIFO keeps a later re-map of the same file ordered behind it. *)
+    Controller.ring_unmap r ~ino
+  | None -> ignore (Controller.unmap_file t.ctl ~proc:t.proc ~ino)
 
 (* Page frees are batched: a truncate-heavy workload (DWTL) would
    otherwise pay one kernel call per page. *)
@@ -1321,6 +1346,9 @@ let op_fsync t fd =
    unmaps stay asynchronous. *)
 let unmap_everything t =
   flush_free_backlog t;
+  (* Quiesce the ring first: fire-and-forget unmaps still in flight
+     must land before unmap_all decides what this process still holds. *)
+  (match t.ring with Some r -> Controller.ring_drain r | None -> ());
   Hashtbl.reset t.dirs;
   Hashtbl.reset t.files;
   Hashtbl.reset t.fds;

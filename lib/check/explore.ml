@@ -661,10 +661,14 @@ type proc_config = {
   pd_kill_points : int; (* kill-injection states sampled per script *)
   pd_hang_points : int; (* wedged-mode states sampled per script *)
   pd_timeout_ns : float; (* watchdog heartbeat timeout (also the lease) *)
+  pd_ring : int option;
+      (* mount the victim with a submission ring of this depth: kill
+         points then include the ring submit path, and escalation must
+         also tear the ring down and reap its in-flight entries *)
 }
 
 let default_proc_config =
-  { pd_seed = 1; pd_kill_points = 12; pd_hang_points = 3; pd_timeout_ns = 1.0e6 }
+  { pd_seed = 1; pd_kill_points = 12; pd_hang_points = 3; pd_timeout_ns = 1.0e6; pd_ring = None }
 
 type proc_report = {
   pr_points : int; (* kill points the script crosses end to end *)
@@ -697,7 +701,7 @@ let death_horizon_ns = 10.0e6
 let count_kill_points cfg ops =
   in_world (fun ~sched ~pmem ~mmu ->
       let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.pd_timeout_ns () in
-      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred ?ring:cfg.pd_ring () in
       let fs = Libfs.ops libfs in
       let model = Script.model_create () in
       Sched.spawn sched (fun () ->
@@ -716,7 +720,7 @@ let count_kill_points cfg ops =
 let check_death_state cfg ops ~mode =
   in_world (fun ~sched ~pmem ~mmu ->
       let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.pd_timeout_ns () in
-      let libfs1 = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let libfs1 = Libfs.mount ~ctl ~proc:1 ~cred ?ring:cfg.pd_ring () in
       let fs = Libfs.ops libfs1 in
       let model = Script.model_create () in
       let finished = ref false in

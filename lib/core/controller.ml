@@ -155,6 +155,44 @@ let dentry_addr_of = Ctl_gate.dentry_addr_of
 let crash_recover = Ctl_gate.crash_recover
 
 (* ------------------------------------------------------------------ *)
+(* The submission/completion ring plane (DESIGN.md §4.15) *)
+
+module Ring = Ctl_ring
+(* Exposed whole: the protocol tests drive submit/take_batch/post/await
+   directly, below the drain plane. *)
+
+type ring = Ctl_ring.t
+
+let ring_batch_limit = Ctl_gate.ring_batch_limit
+let ring_setup = Ctl_gate.ring_setup
+let ring_of = Ctl_gate.ring_of
+let set_ring_paused = Ctl_gate.set_ring_paused
+let map_file_body = Ctl_gate.map_file_body
+let unmap_file_body = Ctl_gate.unmap_file_body
+let set_ring_hook (t : t) hook = t.Ctl_state.ring_hook <- Some hook
+let clear_ring_hook (t : t) = t.Ctl_state.ring_hook <- None
+
+(* Producer-side ops over an established ring.  [ring_map] is the
+   batched map_file: submit, then park on the CQ.  [ring_unmap] is
+   fire-and-forget — the entry feeds the verification pipeline when the
+   drain fiber executes it, and the producer never looks back.
+   [ring_lease] submits a no-op whose batch heartbeat is the point. *)
+
+let ring_map r ~ino ~write =
+  match Ctl_ring.submit r (Ctl_ring.Op_map { ino; write }) with
+  | Error e -> Error e
+  | Ok seq -> Ctl_ring.await r ~seq
+
+let ring_unmap r ~ino = ignore (Ctl_ring.submit ~forget:true r (Ctl_ring.Op_unmap { ino }))
+
+let ring_lease r =
+  match Ctl_ring.submit r Ctl_ring.Op_lease with
+  | Error e -> Error e
+  | Ok seq -> Ctl_ring.await r ~seq
+
+let ring_drain = Ctl_ring.drain
+
+(* ------------------------------------------------------------------ *)
 (* Process registry, watchdog, GC *)
 
 let register_process = Ctl_registry.register_process
@@ -248,6 +286,71 @@ let pp_shard_stat ppf s =
 
 let pp_shard_stats ppf stats =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_shard_stat ppf stats
+
+(* Per-shard view of the ring plane: drain-side counters live on the
+   shard, producer-side park/wake counters are summed over the rings the
+   shard services.  This is the `trioctl stats` gate-queue-pressure
+   view: before the ring plane there was no way to see queueing into the
+   gate from outside ctl_gate. *)
+type ring_stat = {
+  rg_shard : int;
+  rg_rings : int;  (** rings serviced by this shard (closed ones included) *)
+  rg_depth : int;  (** submissions not yet taken by a drain fiber *)
+  rg_outstanding : int;  (** submissions not yet reaped by producers *)
+  rg_batches : int;  (** batches drained here, lifetime *)
+  rg_ops : int;  (** ring ops executed here, lifetime *)
+  rg_fused : int;  (** unmap+remap pairs annihilated in-batch *)
+  rg_hist : int array;  (** drained-batch sizes: 1,2,<=4,...,<=64,>64 *)
+  rg_sq_parks : int;  (** producer parks on a full SQ *)
+  rg_cq_parks : int;  (** producer parks awaiting a completion *)
+  rg_wakes : int;  (** doorbell wakes into this shard's drain fibers *)
+}
+
+let ring_stats (t : t) =
+  let open Ctl_state in
+  let shards = shard_count t in
+  Array.to_list
+    (Array.mapi
+       (fun i (sh : shard) ->
+         let rings = ref 0 and depth = ref 0 and out = ref 0 in
+         let sqp = ref 0 and cqp = ref 0 in
+         Hashtbl.iter
+           (fun proc r ->
+             if proc mod shards = i then begin
+               incr rings;
+               depth := !depth + Ctl_ring.depth r;
+               out := !out + Ctl_ring.outstanding r;
+               sqp := !sqp + Ctl_ring.sq_parks r;
+               cqp := !cqp + Ctl_ring.cq_parks r
+             end)
+           t.rings;
+         {
+           rg_shard = i;
+           rg_rings = !rings;
+           rg_depth = !depth;
+           rg_outstanding = !out;
+           rg_batches = sh.sh_ring_batches;
+           rg_ops = sh.sh_ring_ops;
+           rg_fused = sh.sh_ring_fused;
+           rg_hist = Array.copy sh.sh_ring_hist;
+           rg_sq_parks = !sqp;
+           rg_cq_parks = !cqp;
+           rg_wakes = sh.sh_ring_wakes;
+         })
+       t.Ctl_state.shards)
+
+let pp_ring_stat ppf s =
+  let hist =
+    String.concat "/" (List.map string_of_int (Array.to_list s.rg_hist))
+  in
+  Format.fprintf ppf
+    "shard %d: %d ring(s), depth %d, outstanding %d, %d batch(es) / %d op(s) drained (%d \
+     fused), sizes [%s], %d sq-park(s), %d cq-park(s), %d wake(s)"
+    s.rg_shard s.rg_rings s.rg_depth s.rg_outstanding s.rg_batches s.rg_ops s.rg_fused hist
+    s.rg_sq_parks s.rg_cq_parks s.rg_wakes
+
+let pp_ring_stats ppf stats =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_ring_stat ppf stats
 
 (* ------------------------------------------------------------------ *)
 (* Scrubber support *)

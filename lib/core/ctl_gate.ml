@@ -468,10 +468,9 @@ let revoke_mapping t ~proc ~(f : file_info) ~was_writer =
   else Hashtbl.remove f.f_readers proc;
   wake_all f
 
-let unmap_file t ~proc ~ino =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
+(* The op body, shared by the synchronous syscall below and the ring
+   drain plane (which pays the kernel-crossing cost once per batch). *)
+let unmap_file_body t ~proc ~ino =
   match file_find t ino with
   | None -> Error ENOENT
   | Some f ->
@@ -484,6 +483,12 @@ let unmap_file t ~proc ~ino =
       Ok ()
     end
     else Error EBADF
+
+let unmap_file t ~proc ~ino =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  unmap_file_body t ~proc ~ino
 
 (* Force-unmap the current holder(s) after lease expiry; charged to the
    fiber that requests the conflicting access — including the
@@ -616,10 +621,7 @@ let find_file t ino =
       file_find t ino
     end
 
-let map_file t ~proc ~ino ~write =
-  Sched.shield @@ fun () ->
-  Sched.cpu_work Perf.Cpu.syscall;
-  touch t proc;
+let map_file_body t ~proc ~ino ~write =
   match find_file t ino with
   | None -> Error ENOENT
   | Some f -> (
@@ -628,6 +630,18 @@ let map_file t ~proc ~ino ~write =
        with EACCES must trigger neither. *)
     match gate_checks t ~proc ~f ~write with
     | Error e -> Error e
+    | Ok ()
+      when (write && f.f_writer = Some proc)
+           || ((not write) && (f.f_writer = Some proc || Hashtbl.mem f.f_readers proc)) ->
+      (* Idempotent re-map: the process already holds a sufficient
+         mapping, so there is nothing to hand off, verify, walk or
+         grant — renew the lease and return.  The synchronous path
+         rarely hits this (a LibFS tracks its mappings and does not
+         re-map); it is load-bearing for the ring drain plane, where a
+         fused unmap+remap leaves the original mapping standing and
+         every later re-map is exactly this renewal. *)
+      f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+      Ok ()
     | Ok () ->
       (* Block only while this file — or an ancestor directory whose
          verification may re-ingest it — is still in the pipeline. *)
@@ -677,6 +691,12 @@ let map_file t ~proc ~ino ~write =
           Hashtbl.replace (proc_info t proc).p_mapped ino ();
           Ok ()
           end)))
+
+let map_file t ~proc ~ino ~write =
+  Sched.shield @@ fun () ->
+  Sched.cpu_work Perf.Cpu.syscall;
+  touch t proc;
+  map_file_body t ~proc ~ino ~write
 
 (* Commit: re-verify now and, on success, replace the checkpoint so a
    later rollback cannot lose the committed changes (§4.3).  Stays
@@ -788,3 +808,212 @@ let crash_recover t =
         wake_all f
       | None -> ());
   reclaim_deferred t
+
+(* ------------------------------------------------------------------ *)
+(* The ring drain plane (DESIGN.md §4.15).
+
+   Each registered ring gets one drain fiber, pinned to a CPU of the
+   shard ([proc mod shards]) that services it — but the fibers of a
+   shard pull from a *shared* work queue of rings-with-pending-entries,
+   so any fiber can drain any of its shard's rings and a ring whose
+   fiber is stuck behind a lease wait does not stall its neighbors.
+   FIFO per ring is preserved by the [busy] guard: only one fiber runs
+   a given ring's batch at a time, so a producer's unmap-then-remap of
+   the same directory executes in program order.
+
+   The batch is the unit of cost: one kernel crossing and one heartbeat
+   cover up to [ring_batch_limit] operations, which is the protocol's
+   entire point. *)
+
+let ring_batch_limit = 64
+
+(* Log-bucket index for the drained-batch histogram:
+   1, 2, <=4, <=8, <=16, <=32, <=64, >64. *)
+let hist_bucket n =
+  if n <= 1 then 0
+  else if n = 2 then 1
+  else if n <= 4 then 2
+  else if n <= 8 then 3
+  else if n <= 16 then 4
+  else if n <= 32 then 5
+  else if n <= 64 then 6
+  else 7
+
+let run_ring_op t ~proc = function
+  | Ctl_ring.Op_map { ino; write } -> map_file_body t ~proc ~ino ~write
+  | Ctl_ring.Op_unmap { ino } -> unmap_file_body t ~proc ~ino
+  | Ctl_ring.Op_lease -> Ok () (* the batch's touch below is the point *)
+
+(* Batch fusion: an unmap chased by a re-map of the same file by the
+   same process, both visible in one batch, annihilate — the mapping
+   was never torn down, so there is no handoff, hence no revoke, no
+   verification, no walk, no re-grant.  Sound because the pair
+   executes atomically with respect to the file: nobody observed the
+   unmapped state, so the result is indistinguishable from the process
+   simply not unmapping (which it is always free to do).  A read
+   re-map fuses against a standing write mapping — the writer keeps
+   its (strictly stronger) grant and the controller's bookkeeping is
+   unchanged.  Fuse only while the holder is unchallenged and the
+   re-map could not have failed — a parked waiter, a pending
+   verification, degraded media or a failed permission gate all force
+   the real unmap/map pair, i.e. a genuine handoff with its full
+   verification.  This is the batched plane's structural advantage:
+   the synchronous path must execute an unmap before it can know that
+   a re-map follows. *)
+let try_fuse_remap t ~proc ~ino ~write =
+  match file_find t ino with
+  | Some f
+    when Queue.is_empty f.f_waiters
+         && f.f_unverified = None
+         && f.f_degraded = Healthy
+         && f.f_quarantined_for = None
+         && (match f.f_writer with
+            | Some w -> w = proc (* a write grant satisfies either mode *)
+            | None -> (not write) && Hashtbl.mem f.f_readers proc)
+         && gate_checks t ~proc ~f ~write = Ok () ->
+    f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
+    true
+  | _ -> false
+
+(* Pair up fusable entries: for each [Op_unmap ino], the next entry
+   touching [ino] — if it is an [Op_map], defer the unmap to the map's
+   position and let [try_fuse_remap] decide there.  Same-ino program
+   order is preserved; a deferred fire-and-forget unmap may slip past
+   later entries for *other* inos, which io_uring-style unlinked
+   entries do not promise anyway. *)
+let plan_fusion batch =
+  let arr = Array.of_list batch in
+  let n = Array.length arr in
+  let partner = Array.make n (-1) in
+  let deferred = Array.make n false in
+  for i = 0 to n - 1 do
+    match arr.(i) with
+    | _, Ctl_ring.Op_unmap { ino } when not deferred.(i) ->
+      let rec scan j =
+        if j < n then
+          match arr.(j) with
+          | _, Ctl_ring.Op_map { ino = ino'; _ } when ino' = ino ->
+            if partner.(j) = -1 then begin
+              partner.(j) <- i;
+              deferred.(i) <- true
+            end
+          | _, Ctl_ring.Op_unmap { ino = ino' } when ino' = ino -> ()
+          | _ -> scan (j + 1)
+      in
+      scan (i + 1)
+    | _ -> ()
+  done;
+  (arr, partner, deferred)
+
+let drain_one_ring t (sh : shard) ring =
+  let proc = Ctl_ring.proc ring in
+  match Ctl_ring.take_batch ring ~max:ring_batch_limit with
+  | [] -> ()
+  | batch ->
+    let n = List.length batch in
+    sh.sh_ring_batches <- sh.sh_ring_batches + 1;
+    sh.sh_ring_ops <- sh.sh_ring_ops + n;
+    sh.sh_ring_hist.(hist_bucket n) <- sh.sh_ring_hist.(hist_bucket n) + 1;
+    (match t.ring_hook with
+    | Some hook -> hook ~shard:sh.sh_id ~batch:n ~depth:(Ctl_ring.depth ring)
+    | None -> ());
+    let arr, partner, deferred = plan_fusion batch in
+    Sched.shield (fun () ->
+        Sched.cpu_work Perf.Cpu.syscall;
+        touch t proc;
+        Array.iteri
+          (fun idx (seq, op) ->
+            (* Re-check liveness per op: the watchdog may tear the
+               producer down while an earlier op of this very batch is
+               settling a verification. *)
+            let dead () = Ctl_ring.is_closed ring || (proc_info t proc).p_dead in
+            if deferred.(idx) then () (* settled at its partner map *)
+            else if partner.(idx) >= 0 then begin
+              let useq, uop = arr.(partner.(idx)) in
+              if dead () then begin
+                Ctl_ring.post ring ~seq:useq (Error EIO);
+                Ctl_ring.post ring ~seq (Error EIO)
+              end
+              else if
+                match op with
+                | Ctl_ring.Op_map { ino; write } -> try_fuse_remap t ~proc ~ino ~write
+                | _ -> false
+              then begin
+                sh.sh_ring_fused <- sh.sh_ring_fused + 1;
+                Ctl_ring.post ring ~seq:useq (Ok ());
+                Ctl_ring.post ring ~seq (Ok ())
+              end
+              else begin
+                (* Real handoff: run the deferred unmap, then the map. *)
+                Ctl_ring.post ring ~seq:useq (run_ring_op t ~proc uop);
+                let result = if dead () then Error EIO else run_ring_op t ~proc op in
+                Ctl_ring.post ring ~seq result
+              end
+            end
+            else begin
+              let result = if dead () then Error EIO else run_ring_op t ~proc op in
+              Ctl_ring.post ring ~seq result
+            end)
+          arr)
+
+let rec ring_service t (sh : shard) =
+  if t.ring_paused then begin
+    Sched.park (fun waker -> Queue.push waker sh.sh_rq_idle);
+    ring_service t sh
+  end
+  else
+    match Queue.take_opt sh.sh_ring_q with
+    | Some proc ->
+      (match ring_find t proc with
+      | Some ring when not (Ctl_ring.is_busy ring) ->
+        Ctl_ring.set_queued ring false;
+        Ctl_ring.set_busy ring true;
+        drain_one_ring t sh ring;
+        Ctl_ring.set_busy ring false;
+        (* Entries that arrived mid-batch saw [queued = false] only if
+           their doorbell fired before we cleared it — re-check. *)
+        if Ctl_ring.depth ring > 0 && not (Ctl_ring.is_queued ring) then begin
+          Ctl_ring.set_queued ring true;
+          Queue.push proc sh.sh_ring_q
+        end
+      | Some ring ->
+        (* Another fiber is mid-batch on this ring; it re-checks depth
+           when it finishes, so dropping the queue entry loses nothing. *)
+        Ctl_ring.set_queued ring false
+      | None -> ());
+      ring_service t sh
+    | None ->
+      Sched.park (fun waker -> Queue.push waker sh.sh_rq_idle);
+      ring_service t sh
+
+let ring_setup t ~proc ~depth =
+  if Hashtbl.mem t.rings proc then invalid_arg "Controller.ring_setup: ring exists";
+  let sh = ring_shard t proc in
+  let ring = Ctl_ring.create ~proc ~capacity:depth in
+  Ctl_ring.set_notify ring (fun () ->
+      if not (Ctl_ring.is_queued ring) then begin
+        Ctl_ring.set_queued ring true;
+        Queue.push proc sh.sh_ring_q;
+        sh.sh_ring_wakes <- sh.sh_ring_wakes + 1;
+        match Queue.take_opt sh.sh_rq_idle with Some wake -> wake () | None -> ()
+      end);
+  Hashtbl.replace t.rings proc ring;
+  let local = sh.sh_ring_fibers in
+  sh.sh_ring_fibers <- local + 1;
+  let cpu = Trio_nvm.Numa.cpu_of_node_local t.topo ~node:sh.sh_id ~local in
+  Sched.spawn ~cpu t.sched (fun () -> ring_service t sh);
+  ring
+
+let ring_of t proc = ring_find t proc
+
+(* Test hook: a paused drain plane parks instead of consuming — the
+   staging ground for the dead-consumer/full-ring failure scenario. *)
+let set_ring_paused t b =
+  t.ring_paused <- b;
+  if not b then
+    Array.iter
+      (fun (sh : shard) ->
+        while not (Queue.is_empty sh.sh_rq_idle) do
+          (Queue.pop sh.sh_rq_idle) ()
+        done)
+      t.shards

@@ -96,6 +96,13 @@ let abnormal_teardown ?report t ~proc =
   let p = proc_info t proc in
   if not p.p_dead then begin
     let bump g = match report with Some r -> g r | None -> () in
+    (* Close the ring first: unconsumed submissions and unreaped
+       completions drop, parked producer fibers wake with EIO, and any
+       batch a drain fiber already took completes as no-ops.  The ring
+       holds no pages — the mappings its executed ops created are
+       revoked right below, the rest never existed — so the accounting
+       invariant owes it nothing. *)
+    (match ring_find t proc with Some r -> Ctl_ring.close r | None -> ());
     Hashtbl.iter
       (fun ino () ->
         match file_find t ino with
@@ -146,6 +153,12 @@ let watchdog_once ?report t ~timeout_ns =
           Hashtbl.length p.p_mapped > 0
           || Hashtbl.length p.p_pages > 0
           || Hashtbl.length p.p_inos > 0
+          (* Ring entries nobody will ever drain (dead consumer, or a
+             producer that died mid-protocol) also pin kernel-side
+             work: escalation is what closes the ring and reaps them. *)
+          || (match ring_find t proc with
+             | Some r -> Ctl_ring.outstanding r > 0
+             | None -> false)
         in
         let lease_running =
           Hashtbl.fold

@@ -1,0 +1,81 @@
+(** Per-process submission/completion ring between a LibFS and the
+    controller (DESIGN.md §4.15): io_uring-shaped slot arrays indexed by
+    sequence number modulo capacity, one bound ([outstanding <=
+    capacity]) covering both queues.  This module only moves entries —
+    the drain plane that executes them lives in {!Ctl_gate}.  Internal
+    to [lib/core]; external code goes through the {!Controller}
+    facade. *)
+
+module Sched = Trio_sim.Sched
+
+type op = Op_map of { ino : int; write : bool } | Op_unmap of { ino : int } | Op_lease
+
+type completion = (unit, Fs_types.errno) result
+
+type t
+
+val create : proc:int -> capacity:int -> t
+
+val set_notify : t -> (unit -> unit) -> unit
+(** Install the doorbell fired after each successful submit. *)
+
+(** {2 Producer side (LibFS)} *)
+
+val submit : ?forget:bool -> t -> op -> (int, Fs_types.errno) result
+(** Enqueue one request; parks while the ring is full.  Returns the
+    sequence number to {!await} on, or [Error EIO] once closed.
+    [~forget:true] marks the entry fire-and-forget: its completion
+    auto-reaps and must not be awaited, and its doorbell is lazy — the
+    entry lingers in the SQ until an awaited submit, a half-full SQ,
+    {!drain} or backpressure announces it, which is what lets the drain
+    plane see an unmap and its chasing re-map in one batch.  The
+    [cpu_work] at the head of this function is the submit path's only
+    kill point — a producer killed there has enqueued nothing. *)
+
+val await : t -> seq:int -> completion
+(** Park until [seq]'s completion is posted, then reap it.  [Error EIO]
+    if the ring closes first. *)
+
+val drain : t -> unit
+(** Park until every submitted entry has been reaped (or the ring is
+    closed): the producer's quiesce barrier before unmount. *)
+
+(** {2 Consumer side (controller drain plane)} *)
+
+val take_batch : t -> max:int -> (int * op) list
+val post : t -> seq:int -> completion -> unit
+
+val close : t -> unit
+(** Tear down: drop unconsumed submissions and unreaped completions,
+    wake every parked producer (they observe [Error EIO]).  In-flight
+    entries release their slots when the drain fiber posts them. *)
+
+(** {2 Accessors and counters} *)
+
+val proc : t -> int
+val capacity : t -> int
+
+val depth : t -> int
+(** Submissions not yet taken by the consumer. *)
+
+val outstanding : t -> int
+(** Submissions not yet reaped — the quantity bounded by [capacity]. *)
+
+val submitted : t -> int
+val completed : t -> int
+val dropped : t -> int
+val is_closed : t -> bool
+
+val is_queued : t -> bool
+(** On its shard's drain queue right now (dedup flag, owned by
+    {!Ctl_gate}). *)
+
+val set_queued : t -> bool -> unit
+
+val is_busy : t -> bool
+(** A drain fiber is mid-batch (FIFO guard, owned by {!Ctl_gate}). *)
+
+val set_busy : t -> bool -> unit
+val sq_parks : t -> int
+val cq_parks : t -> int
+val wakes : t -> int

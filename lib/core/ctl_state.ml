@@ -85,6 +85,16 @@ type shard = {
   sh_verify_q : int Queue.t; (* inos awaiting background verification *)
   sh_vq_idle : Sched.waker Queue.t; (* parked verifier fibers of this shard *)
   mutable sh_enqueued : int; (* verifications ever queued here *)
+  sh_ring_q : int Queue.t; (* procs whose ring has pending entries *)
+  sh_rq_idle : Sched.waker Queue.t; (* parked ring-drain fibers *)
+  mutable sh_ring_fibers : int; (* drain fibers spawned on this shard *)
+  mutable sh_ring_batches : int; (* batches drained here *)
+  mutable sh_ring_ops : int; (* ring ops executed here *)
+  mutable sh_ring_fused : int; (* unmap+remap pairs annihilated in-batch *)
+  sh_ring_hist : int array;
+      (* drained-batch size histogram, log buckets:
+         1, 2, <=4, <=8, <=16, <=32, <=64, >64 *)
+  mutable sh_ring_wakes : int; (* doorbell wakes into this shard *)
 }
 
 (* Per-node page pool layered over the global reserve ({!Extent_alloc}):
@@ -136,6 +146,14 @@ type t = {
          them durably; see DESIGN.md §4.11). *)
   mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
       (* observability tap (Vfs trace ring): fired after each check *)
+  rings : (int, Ctl_ring.t) Hashtbl.t;
+      (* proc -> its submission/completion ring; closed rings stay in
+         the table so late posts and stats still resolve *)
+  mutable ring_paused : bool;
+      (* test hook: a paused drain plane parks instead of consuming,
+         which is how the dead-consumer/full-ring scenario is staged *)
+  mutable ring_hook : (shard:int -> batch:int -> depth:int -> unit) option;
+      (* observability tap (Vfs counters): fired per drained batch *)
 }
 
 (* Global verification-mode switch (differential testing flips it):
@@ -161,6 +179,13 @@ let ino_shard t ino = t.shards.(shard_of_ino t ino)
 let node_of_page t pg = pg / t.pages_per_node mod shard_count t
 let page_shard t pg = t.shards.(node_of_page t pg)
 let with_ino_shard t ino f = Ctl_shard.with_lock t.locks ~shard:(shard_of_ino t ino) f
+
+(* Ring drain routing: a process' ring is serviced by one socket's drain
+   plane for its whole lifetime, so batch/park/wake counters attribute
+   stably.  Process ids have no page locality, so a plain mod spreads
+   them. *)
+let ring_shard t proc = t.shards.(proc mod shard_count t)
+let ring_find t proc = Hashtbl.find_opt t.rings proc
 
 let with_ino_pair t ino1 ino2 f =
   Ctl_shard.with_pair t.locks ~a:(shard_of_ino t ino1) ~b:(shard_of_ino t ino2) f
@@ -317,6 +342,14 @@ let make_shard id =
     sh_verify_q = Queue.create ();
     sh_vq_idle = Queue.create ();
     sh_enqueued = 0;
+    sh_ring_q = Queue.create ();
+    sh_rq_idle = Queue.create ();
+    sh_ring_fibers = 0;
+    sh_ring_batches = 0;
+    sh_ring_ops = 0;
+    sh_ring_fused = 0;
+    sh_ring_hist = Array.make 8 0;
+    sh_ring_wakes = 0;
   }
 
 let make ~sched ~pmem ~mmu ~lease_ns =
@@ -347,6 +380,9 @@ let make ~sched ~pmem ~mmu ~lease_ns =
     quarantine = [];
     badblocks = [];
     verify_hook = None;
+    rings = Hashtbl.create 16;
+    ring_paused = false;
+    ring_hook = None;
   }
 
 (* Test hook: shrink the batch/high-water so pool-pressure scenarios

@@ -67,6 +67,14 @@ type shard = {
   sh_verify_q : int Queue.t;
   sh_vq_idle : Sched.waker Queue.t;
   mutable sh_enqueued : int;
+  sh_ring_q : int Queue.t;  (** procs whose ring has pending entries *)
+  sh_rq_idle : Sched.waker Queue.t;  (** parked ring-drain fibers *)
+  mutable sh_ring_fibers : int;
+  mutable sh_ring_batches : int;
+  mutable sh_ring_ops : int;
+  mutable sh_ring_fused : int;  (** unmap+remap pairs annihilated in-batch *)
+  sh_ring_hist : int array;  (** drained-batch sizes, 8 log buckets *)
+  mutable sh_ring_wakes : int;
 }
 
 type page_pool = {
@@ -101,6 +109,10 @@ type t = {
   mutable quarantine : (int * int) list;
   mutable badblocks : int list;
   mutable verify_hook : (ino:int -> incremental:bool -> dur:float -> ok:bool -> unit) option;
+  rings : (int, Ctl_ring.t) Hashtbl.t;
+  mutable ring_paused : bool;
+      (** test hook: a paused drain plane parks instead of consuming *)
+  mutable ring_hook : (shard:int -> batch:int -> depth:int -> unit) option;
 }
 
 type vmode = Full | Incremental
@@ -118,6 +130,11 @@ val ino_shard : t -> int -> shard
 val node_of_page : t -> int -> int
 val page_shard : t -> int -> shard
 val with_ino_shard : t -> int -> (unit -> 'a) -> 'a
+
+val ring_shard : t -> int -> shard
+(** The shard whose drain plane services this process' ring. *)
+
+val ring_find : t -> int -> Ctl_ring.t option
 val with_ino_pair : t -> int -> int -> (unit -> 'a) -> 'a
 val with_shards_of_inos : t -> int list -> (unit -> 'a) -> 'a
 

@@ -262,6 +262,24 @@ let attach_verify_trace t ctl =
             };
         r.next <- r.next + 1)
 
+(* Mirror the controller's ring drain plane into the stats table: how
+   many batches each drain pass took, how many ops they amortized, and
+   the deepest batch/ring observed.  One hook per controller. *)
+let attach_ring_trace t ctl =
+  Controller.set_ring_hook ctl (fun ~shard:_ ~batch ~depth ->
+      Stats.incr t.stats "ring.batches";
+      Stats.add t.stats "ring.ops" (float_of_int batch);
+      let b = float_of_int batch in
+      if b > Stats.get t.stats "ring.batch.max" then begin
+        let cur = Stats.get t.stats "ring.batch.max" in
+        Stats.add t.stats "ring.batch.max" (b -. cur)
+      end;
+      let d = float_of_int depth in
+      if d > Stats.get t.stats "ring.depth.max" then begin
+        let cur = Stats.get t.stats "ring.depth.max" in
+        Stats.add t.stats "ring.depth.max" (d -. cur)
+      end)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
 

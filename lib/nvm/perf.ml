@@ -97,4 +97,6 @@ module Cpu = struct
   let page_table_bulk = 90.0 (* ns/page: populating a fresh contiguous VMA *)
   let dentry_check = 100.0 (* ns: verifier work per directory entry *)
   let index_entry_check = 6.0 (* ns: verifier work per index-page slot *)
+  let ring_submit = 45.0 (* ns: enqueue one SQE into a shared-memory ring *)
+  let ring_reap = 25.0 (* ns: consume one CQE from a shared-memory ring *)
 end

@@ -57,11 +57,11 @@ let fresh_proc t =
   t.next_proc <- t.next_proc + 1;
   t.next_proc
 
-let mount_arckfs ?(delegated = true) ?(uid = 1000) ?unmap_after_write t =
+let mount_arckfs ?(delegated = true) ?(uid = 1000) ?unmap_after_write ?ring t =
   let delegation = if delegated then Some (Lazy.force t.delegation) else None in
   let libfs =
     Libfs.mount ~ctl:t.ctl ~proc:(fresh_proc t) ~cred:{ Trio_core.Fs_types.uid; gid = uid }
-      ?delegation ?unmap_after_write ()
+      ?delegation ?unmap_after_write ?ring ()
   in
   t.mounts <- libfs :: t.mounts;
   libfs
@@ -104,6 +104,8 @@ let mount_fs ?store_data ?trace_capacity t name =
   (* Verification work done by the controller's pipeline shows up in the
      same per-op observability as the workload that triggered it. *)
   Vfs.attach_verify_trace vfs t.ctl;
+  (* Likewise the ring drain plane's batch counters. *)
+  Vfs.attach_ring_trace vfs t.ctl;
   vfs
 
 (* Run [f rig] to completion inside a fresh simulation. *)

@@ -36,10 +36,11 @@ let run_sim ?(nodes = 2) ?(cpus_per_node = 4) ?(pages_per_node = 16384) ?(store_
   | None -> Alcotest.fail "simulation did not run the test body to completion"
 
 (* Mount an ArckFS LibFS for process [proc]. *)
-let mount ?(proc = 1) ?(uid = 1000) ?(gid = 1000) ?group ?delegation ?unmap_after_write env =
+let mount ?(proc = 1) ?(uid = 1000) ?(gid = 1000) ?group ?delegation ?unmap_after_write ?ring env
+    =
   ignore group;
   Libfs.mount ~ctl:env.ctl ~proc ~cred:{ Trio_core.Fs_types.uid; gid } ?delegation
-    ?unmap_after_write ()
+    ?unmap_after_write ?ring ()
 
 let check_ok what = function
   | Ok v -> v

@@ -327,6 +327,73 @@ let test_reader_survives_writer_death () =
   List.iter run_one [ 0; 1; 2; 3; 5; 8; 13; 21 ]
 
 (* ------------------------------------------------------------------ *)
+(* The ring syscall plane under process failure (DESIGN.md §4.15) *)
+
+let test_ring_dead_consumer_full_ring () =
+  (* The drain plane wedges; the producer fills the SQ and parks on it.
+     The watchdog counts the outstanding entries as held kernel-side
+     work, tears the ring down (waking the parked producer with EIO),
+     and the page accounting stays balanced throughout. *)
+  Helpers.run_sim ~lease_ns:timeout_ns (fun env ->
+      let sched = env.Helpers.sched in
+      let ctl = env.Helpers.ctl in
+      Controller.set_ring_paused ctl true;
+      ignore (Helpers.mount ~proc:1 ~ring:4 env);
+      let ring = Option.get (Controller.ring_of ctl 1) in
+      let accepted = ref 0 and rejected = ref 0 in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () ->
+              for _ = 1 to 6 do
+                match Controller.Ring.submit ~forget:true ring Controller.Ring.Op_lease with
+                | Ok _ -> incr accepted
+                | Error EIO -> incr rejected
+                | Error e -> Alcotest.failf "unexpected submit errno %s" (errno_to_string e)
+              done));
+      Sched.delay 10.0e6;
+      Alcotest.(check int) "SQ filled to capacity" 4 (Controller.Ring.outstanding ring);
+      Alcotest.(check bool) "producer parked on the full ring" true
+        (Controller.Ring.sq_parks ring > 0);
+      Alcotest.(check (list int)) "silent holder escalated" [ 1 ]
+        (Controller.watchdog_once ctl ~timeout_ns);
+      Alcotest.(check bool) "teardown closed the ring" true (Controller.Ring.is_closed ring);
+      Alcotest.(check int) "in-flight entries reaped" 0 (Controller.Ring.outstanding ring);
+      Sched.delay 1.0e3;
+      Alcotest.(check int) "accepted up to capacity" 4 !accepted;
+      Alcotest.(check int) "parked producer woken with EIO" 2 !rejected;
+      Controller.set_ring_paused ctl false;
+      Sched.delay 1.0e3;
+      ignore (Controller.drain_unverified ctl);
+      let gc = Controller.gc_once ctl in
+      Alcotest.(check bool) "invariant" true gc.Controller.gc_invariant_ok;
+      Alcotest.(check int) "no leaks" 0 gc.Controller.gc_leaked)
+
+let test_ring_killed_mid_enqueue () =
+  (* The submit path's only kill point sits before the slot write: a
+     producer SIGKILLed there has enqueued nothing, so the ring shows
+     zero submissions and teardown finds balanced books. *)
+  Helpers.run_sim ~lease_ns:timeout_ns (fun env ->
+      let sched = env.Helpers.sched in
+      let ctl = env.Helpers.ctl in
+      Controller.set_ring_paused ctl true;
+      ignore (Helpers.mount ~proc:1 ~ring:4 env);
+      let ring = Option.get (Controller.ring_of ctl 1) in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () ->
+              ignore (Controller.Ring.submit ~forget:true ring Controller.Ring.Op_lease);
+              Alcotest.fail "survived the kill armed at the submit boundary"));
+      Sched.arm_kill sched ~after:0;
+      Sched.delay 10.0e6;
+      Sched.disarm sched;
+      Alcotest.(check int) "nothing enqueued" 0 (Controller.Ring.submitted ring);
+      Alcotest.(check int) "nothing outstanding" 0 (Controller.Ring.outstanding ring);
+      Controller.set_ring_paused ctl false;
+      Sched.delay 1.0e3;
+      ignore (Controller.drain_unverified ctl);
+      let gc = Controller.gc_once ctl in
+      Alcotest.(check bool) "invariant" true gc.Controller.gc_invariant_ok;
+      Alcotest.(check int) "no leaks" 0 gc.Controller.gc_leaked)
+
+(* ------------------------------------------------------------------ *)
 (* The explorer over the script corpus (pinned seeds) *)
 
 let explore_seed seed =
@@ -346,6 +413,28 @@ let explore_seed seed =
 
 let test_explore_seed_1 () = explore_seed 1
 let test_explore_seed_7 () = explore_seed 7
+
+let test_explore_ring_seed () =
+  (* Same exploration with the victim mounted over a depth-4 ring: the
+     kill/hang points now include the ring submit boundary and the CQ
+     park, and the accounting invariant must hold at each of them. *)
+  let rng = Rng.create 11 in
+  let ops = Script.generate rng ~len:5 in
+  let config =
+    {
+      Explore.default_proc_config with
+      pd_seed = 11;
+      pd_kill_points = 5;
+      pd_hang_points = 2;
+      pd_ring = Some 4;
+    }
+  in
+  let report = Explore.explore_proc_death ~config ops in
+  (match report.Explore.pr_failure with
+  | None -> ()
+  | Some cx -> Alcotest.failf "ring explore:@.%a" Explore.pp_counterexample cx);
+  Alcotest.(check int) "no leaks" 0 report.Explore.pr_leaked;
+  Alcotest.(check bool) "states explored" true (report.Explore.pr_states > 0)
 
 let test_explore_catches_skip_gc () =
   (* End to end: with the mutation armed the explorer must fail on the
@@ -409,10 +498,16 @@ let () =
           Alcotest.test_case "reader survives writer death" `Quick
             test_reader_survives_writer_death;
         ] );
+      ( "ring",
+        [
+          Alcotest.test_case "dead consumer, full ring" `Quick test_ring_dead_consumer_full_ring;
+          Alcotest.test_case "producer killed mid-enqueue" `Quick test_ring_killed_mid_enqueue;
+        ] );
       ( "explore",
         [
           Alcotest.test_case "seed 1" `Quick test_explore_seed_1;
           Alcotest.test_case "seed 7" `Quick test_explore_seed_7;
+          Alcotest.test_case "ring-mounted victims" `Quick test_explore_ring_seed;
           Alcotest.test_case "skip-GC mutation caught end to end" `Quick
             test_explore_catches_skip_gc;
         ] );
