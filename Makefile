@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck fmt
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck snapcheck fmt
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck
+check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck snapcheck
 
 # Verification-plane gate: full vs incremental verification must give
 # byte-identical verdicts over the attack suite, the corruption
@@ -85,6 +85,20 @@ crashcheck-deep:
 	CRASHCHECK_DEEP=1 dune exec test/test_crash.exe
 	dune exec bin/trioctl.exe -- crashcheck --seed 1 --scripts 8 --ops 12 --samples 10
 	dune exec bin/trioctl.exe -- crashcheck --diff --scripts 4 --ops 10
+
+# Snapshot-plane gate: the snapshot unit/regression suite (root slots,
+# pinning accounting, ECC-gated rollback, recovery ladder), the
+# crash-during-commit exploration (every sampled kill point must leave
+# a certifiable root), the torn-commit mutation self-test (exit 0
+# BECAUSE the zero-valid-root window was observed), the take/list/
+# rollback/clone demo, and the recovery-speed differential gate.
+snapcheck:
+	dune build
+	dune exec test/test_snapshot.exe
+	dune exec bin/trioctl.exe -- snap
+	dune exec bin/trioctl.exe -- snap --explore 2 --ops 5 --kill-points 10
+	dune exec bin/trioctl.exe -- snap --mutate --ops 4 --kill-points 12
+	dune exec bench/main.exe -- --fast snaprecover
 
 bench:
 	dune exec bench/main.exe

@@ -967,6 +967,94 @@ let ringbatch () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot recovery: mount-the-newest-intact-root vs the fsck walk *)
+
+(* Crash recovery cost (virtual time): validating and mounting the
+   newest snapshot root is O(snapshot payload), while the fallback is a
+   full fsck walk plus a Full-mode certification sweep over every file.
+   Emits BENCH_snapshot_recovery.json; the gate requires the root mount
+   to be >= 5x faster. *)
+let snaprecover () =
+  section "Snapshot recovery: mount-last-valid-root vs full fsck walk + audit";
+  let files = if !fast then 60 else 200 in
+  let dirs = 8 in
+  Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+      let sched = rig.Rig.sched and pmem = rig.Rig.pmem and ctl = rig.Rig.ctl in
+      let libfs = Rig.mount_arckfs ~delegated:false rig in
+      let fs = Libfs.ops libfs in
+      for d = 0 to dirs - 1 do
+        (match (fs.Fs.mkdir (Printf.sprintf "/d%d" d) 0o755 : (unit, _) result) with
+        | Ok () -> ()
+        | Error _ -> failwith "mkdir");
+        for i = 0 to (files / dirs) - 1 do
+          match
+            Fs.write_file fs
+              (Printf.sprintf "/d%d/f%03d" d i)
+              (String.make ((i * 613 mod 7000) + 64) 'r')
+          with
+          | Ok () -> ()
+          | Error _ -> failwith "write"
+        done
+      done;
+      Libfs.unmap_everything libfs;
+      let epoch =
+        match Controller.snapshot_take ctl with
+        | Ok e -> e
+        | Error _ -> failwith "snapshot_take"
+      in
+      (* the crash: DRAM dies, a fresh controller recovers from NVM *)
+      let time f =
+        let t0 = Sched.now sched in
+        let v = f () in
+        (v, Sched.now sched -. t0)
+      in
+      let (n_root, root_ns) =
+        time (fun () ->
+            let mmu = Trio_core.Mmu.create pmem in
+            match Controller.recover ~sched ~pmem ~mmu () with
+            | Ok (ctl', Controller.Mounted_root e) when e = epoch ->
+              Trio_core.Ctl_state.fold_files ctl' (fun _ _ n -> n + 1) 0
+            | Ok (_, Controller.Mounted_root e) ->
+              failwith (Printf.sprintf "mounted epoch %d, expected %d" e epoch)
+            | Ok (_, Controller.Fsck_fallback) -> failwith "unexpected fsck fallback"
+            | Error m -> failwith m)
+      in
+      let (n_fsck, fsck_ns) =
+        time (fun () ->
+            let mmu = Trio_core.Mmu.create pmem in
+            match Controller.cold_start ~sched ~pmem ~mmu () with
+            | Error m -> failwith m
+            | Ok ctl' ->
+              let checked, bad = Controller.audit_all ctl' in
+              if bad > 0 then failwith (Printf.sprintf "%d files fail certification" bad);
+              checked)
+      in
+      if n_root <> n_fsck then
+        Printf.printf "  note: root mount sees %d files, fsck walk %d\n" n_root n_fsck;
+      let speedup = fsck_ns /. root_ns in
+      print_header "path" [ "virtual us"; "files" ];
+      print_row "mount-root" [ root_ns /. 1e3; float_of_int n_root ];
+      print_row "fsck+audit" [ fsck_ns /. 1e3; float_of_int n_fsck ];
+      Printf.printf "  recovery-to-root speedup: %.1fx\n" speedup;
+      let required = 5.0 in
+      let pass = speedup >= required in
+      let oc = open_out "BENCH_snapshot_recovery.json" in
+      Printf.fprintf oc "{\n  \"bench\": \"snapshot_recovery\",\n";
+      Printf.fprintf oc "  \"files\": %d,\n  \"snapshot_epoch\": %d,\n" files epoch;
+      Printf.fprintf oc "  \"mount_root_us\": %.3f,\n  \"fsck_audit_us\": %.3f,\n"
+        (root_ns /. 1e3) (fsck_ns /. 1e3);
+      Printf.fprintf oc "  \"speedup\": %.3f,\n  \"required_speedup\": %.2f,\n  \"pass\": %b\n}\n"
+        speedup required pass;
+      close_out oc;
+      Printf.printf "wrote BENCH_snapshot_recovery.json (pass: %b)\n" pass;
+      if not pass then begin
+        Printf.eprintf "FAILED: root mount under %.1fx of the fsck walk\n" required;
+        exit 1
+      end;
+      0)
+  |> ignore
+
 let experiments =
   [
     ("fig5", fig5);
@@ -981,6 +1069,7 @@ let experiments =
     ("sec65", sec65);
     ("shardscale", shardscale);
     ("ringbatch", ringbatch);
+    ("snaprecover", snaprecover);
     ("ablation", ablation);
     ("meta", meta);
     ("micro", micro);

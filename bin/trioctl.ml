@@ -789,6 +789,215 @@ let verifycheck_cmd =
     Term.(const run $ seeds_arg $ script_seed_arg $ script_len_arg $ mutate_arg)
 
 (* ------------------------------------------------------------------ *)
+(* snap: whole-FS CoW snapshots — take/list/rollback/clone demo, the
+   crash-during-commit exploration, and the torn-commit self-test *)
+
+let snap_cmd =
+  let module Explore = Trio_check.Explore in
+  let module Script = Trio_check.Script in
+  let module Layout = Trio_core.Layout in
+  (* Reconstruct "/d/f" paths from the root's (ino, parent) graph. *)
+  let paths_of_entries entries =
+    let by_ino = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Controller.snap_entry) ->
+        match Controller.snapshot_entry_checkpoint e with
+        | Error _ -> ()
+        | Ok ck -> (
+          match Layout.decode_dentry ck.Controller.ck_dentry with
+          | Some (Ok (inode, name)) -> Hashtbl.replace by_ino e.Controller.e_ino (e, ck, inode, name)
+          | _ -> ()))
+      entries;
+    let rec path_of ino =
+      if ino = Controller.root_ino then ""
+      else
+        match Hashtbl.find_opt by_ino ino with
+        | None -> "?"
+        | Some (e, _, _, name) -> path_of e.Controller.e_parent ^ "/" ^ name
+    in
+    Hashtbl.fold (fun ino (_, ck, inode, _) acc -> (path_of ino, ck, inode) :: acc) by_ino []
+    |> List.sort compare
+  in
+  let demo files =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:65536 ~store_data:true (fun rig ->
+        let ctl = rig.Trio_workloads.Rig.ctl in
+        let pmem = rig.Trio_workloads.Rig.pmem in
+        let libfs = Rig.mount_arckfs ~delegated:false rig in
+        let fs = Libfs.ops libfs in
+        ok "mkdir" (fs.Fs.mkdir "/snap" 0o755);
+        List.iter
+          (fun i ->
+            ok "write"
+              (Fs.write_file fs
+                 (Printf.sprintf "/snap/f%02d" i)
+                 (String.make ((i * 533 mod 6000) + 32) 'v')))
+          (List.init files Fun.id);
+        Libfs.unmap_everything libfs;
+        (* take *)
+        let epoch = ok "snap take" (Controller.snapshot_take ctl) in
+        let slot =
+          match
+            List.filter
+              (fun s -> Controller.snapshot_root_status pmem ~slot:s = Some epoch)
+              [ 0; 1 ]
+          with
+          | [ s ] -> s
+          | _ ->
+            Printf.eprintf "published root not found in exactly one slot\n";
+            exit 1
+        in
+        Printf.printf "snap take: epoch %d committed to slot %d (%d payload pages pinned)\n"
+          epoch slot
+          (Controller.snap_pinned_count ctl);
+        (* list *)
+        let listed =
+          match Controller.snapshot_entries ctl with
+          | Error m ->
+            Printf.eprintf "snap list failed: %s\n" m;
+            exit 1
+          | Ok (e, entries) ->
+            Printf.printf "snap list: epoch %d, %d entries\n" e (List.length entries);
+            let paths = paths_of_entries entries in
+            List.iter
+              (fun (path, (ck : Controller.checkpoint), (inode : Layout.inode)) ->
+                Printf.printf "  %-24s ino %-4d %-4s size %-6d ck pages %d\n"
+                  (if path = "" then "/" else path)
+                  inode.Layout.ino
+                  (match inode.Layout.ftype with Trio_core.Fs_types.Dir -> "dir" | _ -> "reg")
+                  ck.Controller.ck_size (List.length ck.Controller.ck_pages))
+              paths;
+            paths
+        in
+        (* mutate after the snapshot: an append the rollback must undo *)
+        let victim = "/snap/f00" in
+        let before = String.length (ok "read" (Fs.read_file fs victim)) in
+        let fd = ok "reopen" (fs.Fs.open_ victim [ Trio_core.Fs_types.O_RDWR ]) in
+        ignore (ok "append" (fs.Fs.append fd (Bytes.make 257 't')));
+        Libfs.unmap_everything libfs;
+        let mutated = String.length (ok "read" (Fs.read_file fs victim)) in
+        (* rollback *)
+        let ino = (ok "stat" (fs.Fs.stat victim)).Trio_core.Fs_types.st_ino in
+        (match Controller.snapshot_rollback_file ctl ~proc:libfs.Libfs.proc ~ino with
+        | Ok () -> ()
+        | Error m ->
+          Printf.eprintf "snap rollback refused: %s\n" m;
+          exit 1);
+        let fs2 = Libfs.ops (Rig.mount_arckfs ~delegated:false rig) in
+        let after = String.length (ok "read" (Fs.read_file fs2 victim)) in
+        Printf.printf
+          "snap rollback: %s  %d bytes -> %d after append -> %d back at epoch %d (verifier \
+           re-certified)\n"
+          victim before mutated after epoch;
+        if after <> before then begin
+          Printf.eprintf "rollback did not restore the snapshot size\n";
+          exit 1
+        end;
+        (* clone: materialize the listed tree under /clone *)
+        ok "mkdir clone" (fs2.Fs.mkdir "/clone" 0o755);
+        let cloned = ref 0 in
+        List.iter
+          (fun (path, (_ : Controller.checkpoint), (inode : Layout.inode)) ->
+            if path <> "" then
+              match inode.Layout.ftype with
+              | Trio_core.Fs_types.Dir -> ok "clone mkdir" (fs2.Fs.mkdir ("/clone" ^ path) 0o755)
+              | _ ->
+                let data = ok "clone read" (Fs.read_file fs2 path) in
+                ok "clone write" (Fs.write_file fs2 ("/clone" ^ path) data);
+                incr cloned)
+          listed;
+        Printf.printf "snap clone: %d file(s) copied into /clone\n" !cloned;
+        let gc = Controller.gc_once ctl in
+        if (not gc.Controller.gc_invariant_ok) || gc.Controller.gc_leaked > 0 then begin
+          Format.printf "page accounting broken: %a@." Controller.pp_gc_report gc;
+          exit 1
+        end;
+        Printf.printf "accounting: %d page(s) snap-pinned, invariant holds, 0 leaked\n"
+          gc.Controller.gc_snap_pinned;
+        0)
+  in
+  let explore seed scripts ops kill_points =
+    let rng = Trio_util.Rng.create seed in
+    let failed = ref false in
+    List.iteri
+      (fun i script ->
+        if not !failed then begin
+          Printf.printf "script %d/%d: %s\n%!" (i + 1) scripts (Script.to_string script);
+          let config = { Explore.default_snap_config with sc_kill_points = kill_points } in
+          let r = Explore.explore_snapshot_commit ~config script in
+          Format.printf "  %a@." Explore.pp_snap_report r;
+          match r.Explore.sn_failure with
+          | None -> ()
+          | Some cx ->
+            failed := true;
+            Format.printf "VIOLATION:@.%a" Explore.pp_counterexample cx
+        end)
+      (List.init scripts (fun _ -> Script.generate rng ~len:ops));
+    if !failed then 1 else 0
+  in
+  let self_test seed ops kill_points =
+    Printf.printf
+      "torn-commit mutation armed: root record published before its payload, into the live \
+       slot\n";
+    let rng = Trio_util.Rng.create seed in
+    let script = Script.generate rng ~len:ops in
+    Printf.printf "script: %s\n%!" (Script.to_string script);
+    let config = { Explore.sc_kill_points = kill_points; sc_torn = true } in
+    let r = Explore.explore_snapshot_commit ~config script in
+    Format.printf "%a@." Explore.pp_snap_report r;
+    match r.Explore.sn_failure with
+    | Some cx ->
+      Format.printf "torn-mode exploration broke elsewhere:@.%a" Explore.pp_counterexample cx;
+      1
+    | None ->
+      if r.Explore.sn_zero_roots > 0 then begin
+        Printf.printf "mutation caught: %d crash state(s) with zero valid roots observed\n"
+          r.Explore.sn_zero_roots;
+        0
+      end
+      else begin
+        Printf.printf "MUTATION NOT CAUGHT: no zero-valid-root window observed\n";
+        1
+      end
+  in
+  let run seed files scripts ops kill_points mutate =
+    if mutate then self_test seed ops kill_points
+    else if scripts > 0 then explore seed scripts ops kill_points
+    else demo files
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Script/sampling seed") in
+  let files_arg =
+    Arg.(value & opt int 12 & info [ "files" ] ~doc:"Files to build for the take/list/rollback/clone demo")
+  in
+  let scripts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "explore" ] ~docv:"N"
+          ~doc:
+            "Instead of the demo, explore $(docv) generated scripts, killing publication at \
+             every sampled point and demanding a certifiable root in every crash state")
+  in
+  let ops_arg = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Ops per generated script") in
+  let kill_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "kill-points" ] ~docv:"N" ~doc:"Sampled kill injection points per script")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Sabotage the commit ordering (engine self-test): exit 0 only if the exploration \
+             provably observes a zero-valid-root crash state")
+  in
+  Cmd.v
+    (Cmd.info "snap"
+       ~doc:
+         "Whole-FS CoW snapshots: take, list, verifier-gated rollback and clone, plus the \
+          crash-during-commit exploration campaign")
+    Term.(const run $ seed_arg $ files_arg $ scripts_arg $ ops_arg $ kill_arg $ mutate_arg)
+
+(* ------------------------------------------------------------------ *)
 (* micro: one microbenchmark on one fs *)
 
 let micro_cmd =
@@ -839,6 +1048,7 @@ let () =
         faults_cmd;
         scrub_cmd;
         procfail_cmd;
+        snap_cmd;
         micro_cmd;
         stats_cmd;
         trace_cmd;

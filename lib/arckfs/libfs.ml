@@ -194,8 +194,12 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?ring ?fix (
         end
       in
       List.iter
-        (fun (_ino, dentry_addr, ftype) ->
-          if ftype = Dir then begin
+        (fun (ino, dentry_addr, ftype) ->
+          (* Files the controller already rolled back to the durable
+             snapshot root hold a *certified* state; replaying journal
+             repairs over them would resurrect exactly the bytes the
+             verifier rejected. *)
+          if ftype = Dir && not (Controller.was_snapshot_restored ctl ino) then begin
             match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
             | Some (Ok (inode, _)) -> repair_dir ~dentry_addr inode
             | _ -> ()

@@ -869,3 +869,185 @@ let explore_proc_death ?(config = default_proc_config) ops =
       end)
     states;
   !report
+
+(* ------------------------------------------------------------------ *)
+(* Crash during snapshot commit (DESIGN.md §4.16)
+
+   Property: root publication is transactional.  A kill injected at any
+   Delay boundary of [Controller.snapshot_take] must leave the device
+   with at least one fully valid root — the superseded root before the
+   commit store persists, the new one after — never zero.  And crash
+   recovery from every such state must come up in a configuration the
+   differential machinery certifies: recovery mounts a root (or walks
+   the tree when told to expect damage), every file record passes a
+   Full-mode verification sweep, and the page accounting balances with
+   the [snap_pinned] term included.
+
+   The [sc_torn] variant publishes with the deliberately sabotaged
+   ordering ({!Controller.set_snap_torn_commit}: root record first,
+   payload second, into the live slot) and the exploration must CATCH
+   it — find at least one kill point with zero valid roots.  That is
+   the self-test that this campaign can see the bug class at all. *)
+
+type snap_config = {
+  sc_kill_points : int; (* kill-injection states sampled per script *)
+  sc_torn : bool; (* run against the sabotaged commit ordering *)
+}
+
+let default_snap_config = { sc_kill_points = 24; sc_torn = false }
+
+type snap_report = {
+  sn_points : int; (* kill points publication crosses end to end *)
+  sn_states : int;
+  sn_root_old : int; (* states that recovered on the superseded root *)
+  sn_root_new : int; (* states that recovered on the new root *)
+  sn_fsck : int; (* states that fell back to the fsck walk *)
+  sn_zero_roots : int; (* states with NO valid root (torn mode's catch) *)
+  sn_failure : counterexample option;
+}
+
+let pp_snap_report ppf r =
+  Fmt.pf ppf
+    "kill points %d  states %d  recovered: old root %d, new root %d, fsck %d  zero-root states \
+     %d@.%s"
+    r.sn_points r.sn_states r.sn_root_old r.sn_root_new r.sn_fsck r.sn_zero_roots
+    (match r.sn_failure with
+    | None -> "every crash state kept a valid, certifiable root"
+    | Some cx -> Fmt.str "FAILED:@.%a" pp_counterexample cx)
+
+(* One state: populate the FS with the script, then kill publication at
+   the sampled point ([`Count] instead records how many points there
+   are).  Returns what recovery found. *)
+let check_snap_state cfg ops ~mode =
+  in_world (fun ~sched ~pmem ~mmu ->
+      Controller.set_snap_torn_commit cfg.sc_torn;
+      Fun.protect ~finally:(fun () -> Controller.set_snap_torn_commit false) @@ fun () ->
+      let ctl = Controller.create ~sched ~pmem ~mmu () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      let model = Script.model_create () in
+      List.iteri (fun i op -> ignore (Script.apply fs model i op : (unit, string) result)) ops;
+      Controller.unmap_all ctl ~proc:1;
+      (* One complete snapshot over the script's files, then the one
+         under attack: the superseded root is substantial, not the
+         trivial epoch-1 root over an empty tree. *)
+      ignore (Controller.snapshot_take ctl : (int, Trio_core.Fs_types.errno) result);
+      let pre_epoch = Controller.snapshot_epoch ctl in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () ->
+              ignore (Controller.snapshot_take ctl : (int, Trio_core.Fs_types.errno) result)));
+      (match mode with
+      | `Count -> Sched.arm_count sched
+      | `Kill i -> Sched.arm_kill sched ~after:i);
+      Sched.delay death_horizon_ns;
+      Sched.disarm sched;
+      match mode with
+      | `Count -> `Points (Sched.kill_points_crossed sched)
+      | `Kill _ -> (
+        let valid =
+          List.filter_map (fun slot -> Controller.snapshot_root_status pmem ~slot) [ 0; 1 ]
+        in
+        if valid = [] then `Zero_roots
+        else begin
+          (* The crash proper: DRAM dies with the old controller; a new
+             one recovers from NVM alone. *)
+          let mmu' = Mmu.create pmem in
+          match Controller.recover ~sched ~pmem ~mmu:mmu' () with
+          | Error e -> `Failure (Printf.sprintf "recovery refused both ladders: %s" e)
+          | Ok (ctl', how) -> (
+            let checked, bad = Controller.audit_all ctl' in
+            let gc = Controller.gc_once ctl' in
+            if bad > 0 then
+              `Failure
+                (Printf.sprintf "recovered state not certified: %d of %d file(s) fail Full \
+                                 verification" bad checked)
+            else if (not gc.Controller.gc_invariant_ok) || gc.Controller.gc_leaked > 0 then
+              `Failure (Fmt.str "page accounting broken after recovery: %a" Controller.pp_gc_report gc)
+            else
+              match how with
+              | Controller.Fsck_fallback -> `Fsck
+              | Controller.Mounted_root e ->
+                if e > pre_epoch then `New_root
+                else if e = pre_epoch then `Old_root
+                else `Failure (Printf.sprintf "recovery mounted epoch %d older than the last \
+                                               committed root %d" e pre_epoch))
+        end))
+
+let explore_snapshot_commit ?(config = default_snap_config) ops =
+  let points =
+    match check_snap_state config ops ~mode:`Count with `Points n -> n | _ -> 0
+  in
+  let sample count =
+    if points <= 0 || count <= 0 then []
+    else if points <= count then List.init points Fun.id
+    else if count = 1 then [ points / 2 ]
+    else List.sort_uniq compare (List.init count (fun i -> i * (points - 1) / (count - 1)))
+  in
+  let report =
+    ref
+      {
+        sn_points = points;
+        sn_states = 0;
+        sn_root_old = 0;
+        sn_root_new = 0;
+        sn_fsck = 0;
+        sn_zero_roots = 0;
+        sn_failure = None;
+      }
+  in
+  List.iter
+    (fun i ->
+      if (!report).sn_failure = None then begin
+        let outcome =
+          try check_snap_state config ops ~mode:(`Kill i)
+          with exn ->
+            `Failure (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
+        in
+        let r = { !report with sn_states = (!report).sn_states + 1 } in
+        report :=
+          (match outcome with
+          | `Old_root -> { r with sn_root_old = r.sn_root_old + 1 }
+          | `New_root -> { r with sn_root_new = r.sn_root_new + 1 }
+          | `Fsck ->
+            (* A torn commit legitimately lands here (the sabotage
+               destroyed the live root before the kill window); with the
+               correct ordering a root always exists, so falling back to
+               the walk means validation rejected roots it should not
+               have. *)
+            if config.sc_torn then { r with sn_fsck = r.sn_fsck + 1 }
+            else
+              {
+                r with
+                sn_failure =
+                  Some
+                    {
+                      cx_ops = ops;
+                      cx_crash_index = i;
+                      cx_survivors = [];
+                      cx_detail = "valid roots existed but recovery fell back to the fsck walk";
+                    };
+              }
+          | `Zero_roots ->
+            if config.sc_torn then { r with sn_zero_roots = r.sn_zero_roots + 1 }
+            else
+              {
+                r with
+                sn_failure =
+                  Some
+                    {
+                      cx_ops = ops;
+                      cx_crash_index = i;
+                      cx_survivors = [];
+                      cx_detail = "zero valid roots after kill during publication";
+                    };
+              }
+          | `Points _ -> r
+          | `Failure d ->
+            {
+              r with
+              sn_failure =
+                Some { cx_ops = ops; cx_crash_index = i; cx_survivors = []; cx_detail = d };
+            })
+      end)
+    (sample config.sc_kill_points);
+  !report

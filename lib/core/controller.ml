@@ -24,6 +24,8 @@
    - {!Ctl_checkpoint}  verified-metadata snapshots, rollback, the
                         incremental-verification delta lookup
    - {!Ctl_registry}    process registry, watchdog, orphan GC
+   - {!Ctl_snapshot}    whole-FS CoW snapshots: root publication,
+                        rollback, mount-newest-root crash recovery
    - {!Ctl_media}       scrubber repair primitives
    - {!Ctl_gate}        map/unmap, the background verification
                         pipeline, commit, namespace operations
@@ -60,12 +62,17 @@ type t = Ctl_state.t
 let create ~sched ~pmem ~mmu ?lease_ns () =
   let t = Ctl_state.create ~sched ~pmem ~mmu ?lease_ns () in
   Ctl_gate.start t;
+  (* Epoch-1 root over the empty FS: the ≥1-valid-root property holds
+     from the very first store.  Tiny devices may lack the page — then
+     the first explicit snapshot publishes it. *)
+  ignore (Ctl_snapshot.publish t);
   t
 
 let cold_start ~sched ~pmem ~mmu ?lease_ns () =
   match Ctl_state.cold_start ~sched ~pmem ~mmu ?lease_ns () with
   | Error _ as e -> e
   | Ok t ->
+    Ctl_snapshot.adopt_root t;
     Ctl_gate.start t;
     Ok t
 
@@ -136,6 +143,78 @@ let checkpoint_page_bytes = Ctl_checkpoint.checkpoint_page_bytes
 let page_snapshot = Ctl_checkpoint.page_snapshot
 let encode_checkpoint = Ctl_checkpoint.encode_checkpoint
 let decode_checkpoint = Ctl_checkpoint.decode_checkpoint
+
+(* ------------------------------------------------------------------ *)
+(* Whole-FS snapshots (DESIGN.md Â§4.16) *)
+
+type snap_entry = Ctl_snapshot.entry = {
+  e_ino : int;
+  e_dentry_addr : int;
+  e_parent : int;
+  e_blob : Bytes.t;
+}
+
+(* Publish with a quiesced pipeline, so the root covers every verdict
+   already in flight. *)
+let snapshot_take t =
+  Ctl_gate.drain_verification t;
+  Ctl_snapshot.publish t
+
+let snapshot_entries = Ctl_snapshot.entries
+let snapshot_entry_checkpoint = Ctl_snapshot.entry_checkpoint
+let snapshot_page_bytes = Ctl_snapshot.snapshot_page_bytes
+let snapshot_restore_file = Ctl_snapshot.restore_file
+let snapshot_epoch = Ctl_state.snapshot_epoch
+let snap_pinned_count = Ctl_state.snap_pinned_count
+let snap_pinned_mem = Ctl_state.snap_pinned_mem
+let was_snapshot_restored = Ctl_state.was_snapshot_restored
+let snapshot_root_status = Ctl_snapshot.root_status
+let set_snap_torn_commit = Ctl_snapshot.set_torn_commit
+
+(* Administrative rollback of one file to the durable root (trioctl
+   snap rollback): restore, then force a fresh verification verdict. *)
+let snapshot_rollback_file t ~proc ~ino =
+  match Ctl_state.file_find t ino with
+  | None -> Error "no such file"
+  | Some f -> (
+    match Ctl_snapshot.restore_file t f ~offender:proc with
+    | Error _ as e -> e
+    | Ok () ->
+      if Ctl_gate.verify_file t ~proc ~f then Ok ()
+      else Error "rolled-back state failed verification")
+
+type recovery_mode = Mounted_root of int | Fsck_fallback
+
+(* Crash recovery ladder: newest intact snapshot root first (O(root)
+   validation + in-DRAM rebuild), full fsck walk as the fallback when
+   both slots are damaged. *)
+let recover ~sched ~pmem ~mmu ?lease_ns () =
+  match Ctl_snapshot.mount_root ~sched ~pmem ~mmu ?lease_ns () with
+  | Ok (t, epoch) ->
+    Ctl_gate.start t;
+    Ok (t, Mounted_root epoch)
+  | Error _ -> (
+    match cold_start ~sched ~pmem ~mmu ?lease_ns () with
+    | Ok t -> Ok (t, Fsck_fallback)
+    | Error _ as e -> (match e with Error m -> Error m | Ok _ -> assert false))
+
+(* Full-mode verification sweep over every file record — the
+   certification pass of the fsck fallback, and the honest baseline
+   the snaprecover bench compares root mounts against.  Returns
+   (files checked, files failing). *)
+let audit_all (t : t) =
+  let saved = Ctl_state.current_verify_mode () in
+  Ctl_state.set_verify_mode Ctl_state.Full;
+  let n = ref 0 and bad = ref 0 in
+  Ctl_state.iter_files_snapshot t (fun ino (f : Ctl_state.file_info) ->
+      incr n;
+      let report =
+        Ctl_gate.check_file_now t ~proc:Trio_nvm.Pmem.kernel_actor ~ino
+          ~dentry_addr:f.Ctl_state.f_dentry_addr
+      in
+      if not report.Verifier.ok then incr bad);
+  Ctl_state.set_verify_mode saved;
+  (!n, !bad)
 
 (* ------------------------------------------------------------------ *)
 (* Verification gate and mapping *)
@@ -220,6 +299,7 @@ type gc_report = Ctl_registry.gc_report = {
   gc_total : int;
   gc_free : int;
   gc_pooled : int;
+  gc_snap_pinned : int;
   gc_reachable : int;
   gc_cached : int;
   gc_badblocks : int;

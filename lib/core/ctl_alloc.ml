@@ -50,11 +50,74 @@ let alloc_pages t ~proc ~node ~count ~kind =
     Mmu.grant_extent t.mmu ~actor:proc ~pages ~perm:Mmu.P_readwrite;
     Ok pages
 
-(* Free a page back to its node's pool, dropping ownership. *)
+(* Free a page back to its node's pool, dropping ownership.  A page
+   pinned by the snapshot plane never reaches here through a sound
+   path (pinned pages are owned by no file and no process), but the
+   guard makes reuse structurally impossible: the current durable root
+   must stay readable until the next root supersedes it. *)
 let release_page t pg =
-  clear_page_owner t pg;
-  Pmem.discard_page t.pmem pg;
-  pool_put t pg
+  if not (snap_pinned_mem t pg) then begin
+    clear_page_owner t pg;
+    Pmem.discard_page t.pmem pg;
+    pool_put t pg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot payload pages (DESIGN.md §4.16).
+
+   Taken from the pools like any allocation, but owned by the snapshot
+   plane: the page-owner entry stays [Free] (the GC sweep skips them by
+   construction) and the page is tracked in [t.snap_pinned], which is
+   its own term of the accounting invariant:
+
+       free + pooled + snap_pinned + reachable + cached + badblocks
+         = device pages *)
+
+let alloc_snapshot_pages t ~count =
+  match
+    (match pool_take t ~node:0 ~count with
+    | Some pages -> Some pages
+    | None ->
+      let n_nodes = Array.length t.pools in
+      let rec spill i =
+        if i >= n_nodes then None
+        else
+          match pool_take t ~node:i ~count with
+          | Some pages -> Some pages
+          | None -> spill (i + 1)
+      in
+      spill 1)
+  with
+  | None -> None
+  | Some pages ->
+    List.iter (fun pg -> Hashtbl.replace t.snap_pinned pg ()) pages;
+    Some pages
+
+(* Unpin the payload chain of a superseded root and return its pages to
+   the pools. *)
+let release_snapshot_pages t pages =
+  List.iter
+    (fun pg ->
+      if snap_pinned_mem t pg then begin
+        Hashtbl.remove t.snap_pinned pg;
+        Pmem.discard_page t.pmem pg;
+        pool_put t pg
+      end)
+    pages
+
+(* Claim a specific (currently free) page for the snapshot plane while
+   rebuilding state from NVM — the mount-time dual of
+   [alloc_snapshot_pages].  False when the page is already spoken for,
+   which fails the root candidate. *)
+let pin_snapshot_page t pg =
+  if pg <= Layout.root_dentry_page || pg >= Pmem.total_pages t.pmem then false
+  else if owner_of t pg <> Free || snap_pinned_mem t pg then false
+  else
+    match Extent_alloc.alloc_at t.node_allocs.(node_of_page t pg) pg 1 with
+    | () ->
+      Hashtbl.replace t.snap_pinned pg ();
+      true
+    | exception Extent_alloc.Out_of_space -> false
 
 let free_pages t ~proc ~pages =
   Sched.shield @@ fun () ->

@@ -90,13 +90,14 @@ let take_checkpoint t (f : file_info) =
         ck_mark = mark;
       }
 
-(* Restore a file's metadata to its checkpoint: the corruption-recovery
-   policy of §4.3.  Pages referenced now but not at checkpoint time fall
-   back to the offending process' allocation pool. *)
-let rollback_to_checkpoint t f ~offender =
-  match f.f_checkpoint with
-  | None -> ()
-  | Some ck ->
+(* Restore a file's metadata to the given checkpoint: the
+   corruption-recovery policy of §4.3.  Pages referenced now but not at
+   checkpoint time fall back to the offending process' allocation pool.
+   [ck] may be the file's live checkpoint or one decoded from a durable
+   snapshot root (see {!Ctl_snapshot}); durable sources are CRC-gated
+   before they reach here, so the bytes written are never torn. *)
+let restore_checkpoint t f ck ~offender =
+  begin
     let actor = Pmem.kernel_actor in
     Pmem.write t.pmem ~actor ~addr:f.f_dentry_addr ~src:ck.ck_dentry;
     Pmem.persist t.pmem ~addr:f.f_dentry_addr ~len:Layout.dentry_size;
@@ -126,6 +127,12 @@ let rollback_to_checkpoint t f ~offender =
           Hashtbl.remove offender_info.p_pages pg)
         (index_pages @ data_pages)
     | None -> ())
+  end
+
+let rollback_to_checkpoint t f ~offender =
+  match f.f_checkpoint with
+  | None -> ()
+  | Some ck -> restore_checkpoint t f ck ~offender
 
 let checkpoint_page_bytes t ~ino ~page =
   match file_find t ino with

@@ -7,6 +7,13 @@ val take_checkpoint : Ctl_state.t -> Ctl_state.file_info -> unit
     previous checkpoint reuse its bytes without a device read. *)
 
 val rollback_to_checkpoint : Ctl_state.t -> Ctl_state.file_info -> offender:int -> unit
+
+val restore_checkpoint :
+  Ctl_state.t -> Ctl_state.file_info -> Ctl_state.checkpoint -> offender:int -> unit
+(** Like [rollback_to_checkpoint] but with an explicit source — used by
+    {!Ctl_snapshot} to restore a checkpoint decoded from a durable root
+    (which is CRC-gated before it reaches here). *)
+
 val checkpoint_page_bytes : Ctl_state.t -> ino:int -> page:int -> Bytes.t option
 
 val page_snapshot : Ctl_state.t -> int -> Bytes.t option

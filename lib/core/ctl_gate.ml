@@ -396,8 +396,12 @@ let start t =
    and charging verification to the next accessor keeps the failure
    plane pay-as-you-go.  Repair policy: accept the dead writer's state
    if it verifies as-is; otherwise roll back to the last verified
-   checkpoint and re-check; if even the rollback does not verify, the
-   file degrades to Failed and the mapping is refused with EIO. *)
+   checkpoint and re-check; if that fails too (or there is no DRAM
+   checkpoint at all), descend one more rung and restore the file from
+   the durable snapshot root; only when even the snapshot state cannot
+   be certified does the file degrade to Failed and the mapping get
+   refused with EIO.  Rung order matters: the DRAM checkpoint is newer
+   than the snapshot, so it is always tried first. *)
 let ensure_verified t ~(f : file_info) =
   match f.f_unverified with
   | None -> Ok ()
@@ -406,6 +410,17 @@ let ensure_verified t ~(f : file_info) =
     let check () =
       Stats.timed t.stats t.sched "verify" (fun () ->
           check_file_now t ~proc:dead ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr)
+    in
+    (* Deepest rung: the durable snapshot root.  Restoration itself can
+       fail (file absent from the root, payload poisoned — never written
+       back blindly), and a restored state must still earn its verdict. *)
+    let try_snapshot () =
+      match Ctl_snapshot.restore_file t f ~offender:dead with
+      | Error _ -> false
+      | Ok () ->
+        let r = check () in
+        if r.Verifier.ok then ingest_verified t ~proc:dead ~f r;
+        r.Verifier.ok
     in
     let report = check () in
     let outcome =
@@ -417,8 +432,11 @@ let ensure_verified t ~(f : file_info) =
         t.corruption_events <- (dead, f.f_ino, report.Verifier.violations) :: t.corruption_events;
         match f.f_checkpoint with
         | None ->
-          f.f_degraded <- Failed;
-          Error EIO
+          if try_snapshot () then Ok ()
+          else begin
+            f.f_degraded <- Failed;
+            Error EIO
+          end
         | Some _ ->
           Ctl_checkpoint.rollback_to_checkpoint t f ~offender:dead;
           let retry = check () in
@@ -426,6 +444,7 @@ let ensure_verified t ~(f : file_info) =
             ingest_verified t ~proc:dead ~f retry;
             Ok ()
           end
+          else if try_snapshot () then Ok ()
           else begin
             f.f_degraded <- Failed;
             Error EIO

@@ -219,6 +219,7 @@ type gc_report = {
   gc_total : int; (* device pages *)
   gc_free : int; (* per the reserve extent allocators *)
   gc_pooled : int; (* staged in the per-node page pools *)
+  gc_snap_pinned : int; (* payload chain of the durable snapshot root *)
   gc_reachable : int; (* In_file pages of root-reachable files *)
   gc_cached : int; (* Allocated_to a live process *)
   gc_badblocks : int; (* retired by the scrubber *)
@@ -226,15 +227,15 @@ type gc_report = {
   gc_reclaimed_inos : int;
   gc_leaked : int; (* orphans still present after the sweep *)
   gc_invariant_ok : bool;
-      (* free + pooled + reachable + cached + badblocks = total,
-         summed over every shard *)
+      (* free + pooled + snap_pinned + reachable + cached + badblocks
+         = total, summed over every shard *)
 }
 
 let pp_gc_report ppf r =
   Format.fprintf ppf
-    "total %d = free %d + pooled %d + reachable %d + cached %d + badblocks %d%s; reclaimed %d \
-     page(s) %d ino(s), leaked %d [%s]"
-    r.gc_total r.gc_free r.gc_pooled r.gc_reachable r.gc_cached r.gc_badblocks
+    "total %d = free %d + pooled %d + snap_pinned %d + reachable %d + cached %d + badblocks \
+     %d%s; reclaimed %d page(s) %d ino(s), leaked %d [%s]"
+    r.gc_total r.gc_free r.gc_pooled r.gc_snap_pinned r.gc_reachable r.gc_cached r.gc_badblocks
     (if r.gc_invariant_ok then "" else " (MISMATCH)")
     r.gc_reclaimed_pages r.gc_reclaimed_inos r.gc_leaked
     (if r.gc_invariant_ok && r.gc_leaked = 0 then "ok" else "LEAK")
@@ -322,16 +323,18 @@ let gc_once t =
       ();
   let free = Array.fold_left (fun acc a -> acc + Extent_alloc.free_units a) 0 t.node_allocs in
   let pooled = pooled_pages t in
+  let snap_pinned = snap_pinned_count t in
   let badblocks = List.length t.badblocks in
   {
     gc_total = total;
     gc_free = free;
     gc_pooled = pooled;
+    gc_snap_pinned = snap_pinned;
     gc_reachable = !reachable;
     gc_cached = !cached;
     gc_badblocks = badblocks;
     gc_reclaimed_pages = !reclaimed_pages;
     gc_reclaimed_inos = !reclaimed_inos;
     gc_leaked = !leaked;
-    gc_invariant_ok = free + pooled + !reachable + !cached + badblocks = total;
+    gc_invariant_ok = free + pooled + snap_pinned + !reachable + !cached + badblocks = total;
   }

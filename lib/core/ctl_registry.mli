@@ -47,6 +47,7 @@ type gc_report = {
   gc_total : int;
   gc_free : int;
   gc_pooled : int;
+  gc_snap_pinned : int;
   gc_reachable : int;
   gc_cached : int;
   gc_badblocks : int;

@@ -154,6 +154,19 @@ type t = {
          which is how the dead-consumer/full-ring scenario is staged *)
   mutable ring_hook : (shard:int -> batch:int -> depth:int -> unit) option;
       (* observability tap (Vfs counters): fired per drained batch *)
+  snap_pinned : (int, unit) Hashtbl.t;
+      (* payload-chain pages of the current durable snapshot root:
+         taken from the pools but owned by the snapshot plane (owner
+         stays Free, invisible to the GC sweep), pinned against reuse
+         until the next root supersedes them.  The accounting invariant
+         carries them as the snap_pinned term (DESIGN.md §4.16). *)
+  mutable snap_epoch : int; (* newest published/adopted root; 0 = none *)
+  mutable snap_slot : int; (* slot holding it (meaningful when epoch > 0) *)
+  mutable snap_pages : int list; (* payload chain of the current root *)
+  snap_restored : (int, unit) Hashtbl.t;
+      (* inos rolled back to the durable root since mount: a LibFS
+         recovery program must not replay journal records over them —
+         that would resurrect the very state the verifier rejected *)
 }
 
 (* Global verification-mode switch (differential testing flips it):
@@ -303,6 +316,13 @@ let pool_put t pg =
 
 let pooled_pages t = Array.fold_left (fun acc p -> acc + p.pp_len) 0 t.pools
 
+(* Snapshot-plane bookkeeping (see {!Ctl_snapshot}). *)
+let snap_pinned_mem t pg = Hashtbl.mem t.snap_pinned pg
+let snap_pinned_count t = Hashtbl.length t.snap_pinned
+let snapshot_epoch t = t.snap_epoch
+let mark_snapshot_restored t ino = Hashtbl.replace t.snap_restored ino ()
+let was_snapshot_restored t ino = Hashtbl.mem t.snap_restored ino
+
 (* The one place file_info records are built: four call sites used to
    repeat this literal and two of them missed field updates over time. *)
 let new_file ~ino ~dentry_addr ~parent ~ftype ?(index_pages = []) ?(data_pages = []) () =
@@ -383,6 +403,11 @@ let make ~sched ~pmem ~mmu ~lease_ns =
     rings = Hashtbl.create 16;
     ring_paused = false;
     ring_hook = None;
+    snap_pinned = Hashtbl.create 16;
+    snap_epoch = 0;
+    snap_slot = 0;
+    snap_pages = [];
+    snap_restored = Hashtbl.create 16;
   }
 
 (* Test hook: shrink the batch/high-water so pool-pressure scenarios

@@ -113,6 +113,14 @@ type t = {
   mutable ring_paused : bool;
       (** test hook: a paused drain plane parks instead of consuming *)
   mutable ring_hook : (shard:int -> batch:int -> depth:int -> unit) option;
+  snap_pinned : (int, unit) Hashtbl.t;
+      (** payload pages of the current durable snapshot root, pinned
+          against reuse (DESIGN.md §4.16) *)
+  mutable snap_epoch : int;
+  mutable snap_slot : int;
+  mutable snap_pages : int list;
+  snap_restored : (int, unit) Hashtbl.t;
+      (** inos rolled back to the durable root since mount *)
 }
 
 type vmode = Full | Incremental
@@ -165,6 +173,14 @@ val pool_put : t -> int -> unit
 val pooled_pages : t -> int
 val set_pool_limits : t -> refill_batch:int -> high_water:int -> unit
 
+(** {2 Snapshot-plane bookkeeping (see {!Ctl_snapshot})} *)
+
+val snap_pinned_mem : t -> int -> bool
+val snap_pinned_count : t -> int
+val snapshot_epoch : t -> int
+val mark_snapshot_restored : t -> int -> unit
+val was_snapshot_restored : t -> int -> bool
+
 (** {2 Construction and shared helpers} *)
 
 val new_file :
@@ -176,6 +192,10 @@ val new_file :
   ?data_pages:int list ->
   unit ->
   file_info
+
+val make : sched:Sched.t -> pmem:Pmem.t -> mmu:Mmu.t -> lease_ns:float -> t
+(** Bare state with no on-NVM side effects — the shared base of
+    [create], [cold_start] and {!Ctl_snapshot.mount_root}. *)
 
 val create : sched:Sched.t -> pmem:Pmem.t -> mmu:Mmu.t -> ?lease_ns:float -> unit -> t
 val proc_info : t -> int -> proc_info

@@ -21,6 +21,7 @@
    with [ino = 0], then atomically store the real inode number. *)
 
 module Pmem = Trio_nvm.Pmem
+module Crc32 = Trio_util.Crc32
 
 let page_size = Pmem.page_size
 
@@ -298,6 +299,87 @@ let read_superblock pm ~actor =
         get_u32 b sb_off_page_size,
         get_u64 b sb_off_root_ino,
         get_u64 b sb_off_root_dentry )
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot root slots (DESIGN.md §4.16).
+
+   Two 64-byte slots in page 0 — one cacheline each, so a slot update
+   is a single-line store with respect to the crash model.  A whole-FS
+   snapshot commits by writing its root record into the slot NOT
+   holding the current root (alternating pair): until that store
+   persists, the previous root stays untouched and fully valid, so a
+   crash at any point of publication leaves at least one intact root.
+
+   A slot is self-validating (trailing CRC over its own fields) and
+   names a payload chain of pages whose stream CRC it also carries;
+   torn or damaged roots fail one of the two checks and recovery falls
+   back to the other slot, then to the fsck walk. *)
+
+let snap_magic = 0x54524F53_4E503136 (* "TROSNP16" *)
+let snap_slots = 2
+let snap_slot_size = 64
+
+let snap_slot_addr slot =
+  if slot < 0 || slot >= snap_slots then invalid_arg "Layout.snap_slot_addr";
+  256 + (slot * snap_slot_size)
+
+type snap_root = {
+  sr_epoch : int; (* monotone publication counter, 1-based *)
+  sr_head : int; (* first payload page; 0 = empty payload *)
+  sr_npages : int;
+  sr_payload_len : int; (* stream bytes, excluding per-page next links *)
+  sr_payload_crc : int; (* CRC32 of the payload stream *)
+}
+
+let sr_off_magic = 0
+let sr_off_epoch = 8
+let sr_off_head = 16
+let sr_off_npages = 24
+let sr_off_len = 32
+let sr_off_crc = 40
+let sr_off_slot_crc = 48
+
+let encode_snap_root (r : snap_root) =
+  let b = Bytes.make snap_slot_size '\000' in
+  set_u64 b sr_off_magic snap_magic;
+  set_u64 b sr_off_epoch r.sr_epoch;
+  set_u64 b sr_off_head r.sr_head;
+  set_u64 b sr_off_npages r.sr_npages;
+  set_u64 b sr_off_len r.sr_payload_len;
+  set_u64 b sr_off_crc r.sr_payload_crc;
+  set_u64 b sr_off_slot_crc (Crc32.of_bytes ~pos:0 ~len:sr_off_slot_crc b);
+  b
+
+(* [None] for an empty, torn or garbage slot — a slot never decodes to
+   an error, because an invalid slot is a normal state of the commit
+   protocol (the fallback root is what matters). *)
+let decode_snap_root (b : Bytes.t) : snap_root option =
+  if Bytes.length b <> snap_slot_size then None
+  else if get_u64 b sr_off_magic <> snap_magic then None
+  else if get_u64 b sr_off_slot_crc <> Crc32.of_bytes ~pos:0 ~len:sr_off_slot_crc b then None
+  else
+    Some
+      {
+        sr_epoch = get_u64 b sr_off_epoch;
+        sr_head = get_u64 b sr_off_head;
+        sr_npages = get_u64 b sr_off_npages;
+        sr_payload_len = get_u64 b sr_off_len;
+        sr_payload_crc = get_u64 b sr_off_crc;
+      }
+
+let write_snap_root pm ~slot (r : snap_root) =
+  let addr = snap_slot_addr slot in
+  Pmem.write pm ~actor:Pmem.kernel_actor ~addr ~src:(encode_snap_root r);
+  Pmem.persist pm ~addr ~len:snap_slot_size
+
+(* Read through ECC even as the kernel: a poisoned slot must read as
+   invalid, not mask the damage. *)
+let read_snap_root pm ~slot =
+  match
+    Pmem.read_ecc pm ~actor:Pmem.kernel_actor ~addr:(snap_slot_addr slot) ~len:snap_slot_size
+  with
+  | Pmem.Ecc.Ok b -> decode_snap_root b
+  | Pmem.Ecc.Poisoned _ -> None
 
 (* Initialize an empty file system: superblock + root directory with no
    entries.  Called by the controller at format time. *)

@@ -119,7 +119,14 @@ let scrub_file_page ctl st ~ino ~page ~lines =
   match Controller.writer_of ctl ino with
   | Some _ -> st.deferred <- st.deferred + 1
   | None -> (
-    match Controller.checkpoint_page_bytes ctl ~ino ~page with
+    match
+      (* Repair-source ladder: DRAM checkpoint first (newest verified
+         bytes), then the durable snapshot root (survives controller
+         restarts; every byte ECC + CRC gated on the way out). *)
+      match Controller.checkpoint_page_bytes ctl ~ino ~page with
+      | Some s -> Some s
+      | None -> Controller.snapshot_page_bytes ctl ~ino ~page
+    with
     | Some snapshot ->
       repair_from_checkpoint pmem ~page ~lines ~snapshot;
       st.repaired <- st.repaired + List.length lines
@@ -167,7 +174,11 @@ let patrol_once ?(stats = make_stats ()) ctl =
   in
   List.iter
     (fun (page, lines) ->
-      if not (List.mem page bad) then begin
+      (* Snapshot payload pages look [Free] but hold the only copy of
+         the durable root: zero-filling them would destroy it.  Poison
+         there is left for root validation to reject (the chain read
+         goes through ECC) — there is no older copy to repair from. *)
+      if not (List.mem page bad) && not (Controller.snap_pinned_mem ctl page) then begin
         stats.scanned <- stats.scanned + 1;
         stats.lines_detected <- stats.lines_detected + List.length lines;
         match Controller.page_owner_of ctl page with
