@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck snapcheck fmt
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck fmt
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck snapcheck
+check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck
 
 # Verification-plane gate: full vs incremental verification must give
 # byte-identical verdicts over the attack suite, the corruption
@@ -99,6 +99,19 @@ snapcheck:
 	dune exec bin/trioctl.exe -- snap --explore 2 --ops 5 --kill-points 10
 	dune exec bin/trioctl.exe -- snap --mutate --ops 4 --kill-points 12
 	dune exec bench/main.exe -- --fast snaprecover
+
+# Multi-tenant QoS gate: the token-bucket/backpressure/retry-deadline
+# suite (including the YCSB byzantine/SIGKILL composition and the
+# kills-inside-throttle-parks exploration), the trioctl qos dump, the
+# charge-bypass mutation self-test (exit 0 BECAUSE the campaign noticed
+# the victim was never throttled), and the noisy-neighbour isolation
+# bench (honest p99 within 2x of the all-honest baseline).
+qoscheck:
+	dune build
+	dune exec test/test_qos.exe
+	dune exec bin/trioctl.exe -- qos --kill-points 6 --ops 6
+	dune exec bin/trioctl.exe -- qos --mutate --kill-points 6 --ops 6
+	dune exec bench/main.exe -- --fast qos
 
 bench:
 	dune exec bench/main.exe

@@ -36,6 +36,8 @@ module Controller = Trio_core.Controller
 module Stats = Trio_sim.Stats
 module Fs = Trio_core.Fs_intf
 module Vfs = Trio_core.Vfs
+module Ycsb = Trio_workloads.Ycsb
+module Attacks = Trio_attacks.Attacks
 
 let fast = ref false
 
@@ -1055,6 +1057,125 @@ let snaprecover () =
       0)
   |> ignore
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant QoS: noisy-neighbour isolation *)
+
+(* Two honest YCSB tenants (A and C) run twice on identical rigs: once
+   alone, once sharing the machine with a byzantine noisy neighbour
+   (tight create/corrupt/unmap loop on a starvation share) and a
+   kill-prone bulk tenant that is SIGKILLed mid-run.  The QoS plane
+   throttles the attackers, the watchdog reclaims the corpse, and the
+   gate requires every honest tenant's p99 under attack to stay within
+   2x of its all-honest baseline — with zero honest errors and a
+   balanced page ledger after reclamation.  Emits
+   BENCH_tenant_isolation.json. *)
+let qos () =
+  section "Multi-tenant QoS: honest tail latency under byzantine/SIGKILL neighbours";
+  let records = if !fast then 32 else 64 in
+  let ops = if !fast then 40 else 120 in
+  let honest_specs =
+    [ Ycsb.spec ~share:1.0 ~ops "honest-a" Ycsb.A;
+      Ycsb.spec ~share:1.0 ~ops "honest-c" Ycsb.C ]
+  in
+  let run ~attack =
+    Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:(1 lsl 14) ~store_data:true
+      (fun rig ->
+        let specs =
+          honest_specs
+          @
+          if attack then
+            [ Ycsb.spec ~share:0.1 ~ops:(ops * 4) ~kill_after:(ops * 3) "killer" Ycsb.A ]
+          else []
+        in
+        let chaos, neighbor =
+          if attack then begin
+            let nb = Attacks.noisy_neighbor ~qos_share:0.02 rig in
+            ([ Attacks.neighbor_fiber nb ], Some nb)
+          end
+          else ([], None)
+        in
+        let results = Ycsb.run rig ~records ~value_size:32 ~chaos specs in
+        List.iter (fun r -> Format.printf "  %a@." Ycsb.pp_tenant_result r) results;
+        (match neighbor with
+        | Some nb ->
+          Printf.printf "  neighbour: %d byzantine cycles (%d rejected)\n%!"
+            nb.Attacks.nb_cycles nb.Attacks.nb_rejected
+        | None -> ());
+        let gc_ok =
+          if attack then begin
+            (* Reclaim the killed tenant and audit the page ledger. *)
+            let ctl = rig.Rig.ctl in
+            Sched.delay 2.0e6;
+            let escalated = Controller.watchdog_once ctl ~timeout_ns:1.0e6 in
+            ignore (Controller.drain_unverified ctl : int);
+            let gc = Controller.gc_once ctl in
+            Printf.printf
+              "  reclaim: watchdog escalated %d, gc reclaimed %d page(s), ledger %s\n%!"
+              (List.length escalated) gc.Controller.gc_reclaimed_pages
+              (if gc.Controller.gc_invariant_ok then "balanced" else "IMBALANCED");
+            gc.Controller.gc_invariant_ok && gc.Controller.gc_leaked = 0
+          end
+          else true
+        in
+        (results, gc_ok))
+  in
+  sub "baseline: honest tenants only";
+  let baseline, _ = run ~attack:false in
+  sub "under attack: + byzantine neighbour (share 0.02) + kill-prone tenant (share 0.1)";
+  let attacked, gc_ok = run ~attack:true in
+  let honest_of results name =
+    List.find (fun r -> r.Ycsb.y_name = name) results
+  in
+  let rows =
+    List.map
+      (fun s ->
+        let b = honest_of baseline s.Ycsb.s_name
+        and a = honest_of attacked s.Ycsb.s_name in
+        (s.Ycsb.s_name, b, a, a.Ycsb.y_p99 /. Float.max 1.0 b.Ycsb.y_p99))
+      honest_specs
+  in
+  print_header "tenant" [ "base p50"; "base p99"; "atk p50"; "atk p99"; "ratio" ];
+  List.iter
+    (fun (name, b, a, ratio) ->
+      print_row name [ b.Ycsb.y_p50; b.Ycsb.y_p99; a.Ycsb.y_p50; a.Ycsb.y_p99; ratio ])
+    rows;
+  let required = 2.0 in
+  let honest_clean =
+    List.for_all
+      (fun (_, b, a, _) ->
+        b.Ycsb.y_errors = 0 && a.Ycsb.y_errors = 0 && (not a.Ycsb.y_killed)
+        && a.Ycsb.y_ops_done = b.Ycsb.y_ops_done)
+      rows
+  in
+  let killer = honest_of attacked "killer" in
+  let pass =
+    List.for_all (fun (_, _, _, ratio) -> ratio <= required) rows
+    && honest_clean && killer.Ycsb.y_killed && gc_ok
+  in
+  let oc = open_out "BENCH_tenant_isolation.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"tenant_isolation\",\n";
+  Printf.fprintf oc "  \"records\": %d,\n  \"ops_per_tenant\": %d,\n" records ops;
+  Printf.fprintf oc "  \"tenants\": [\n";
+  List.iteri
+    (fun i (name, b, a, ratio) ->
+      Printf.fprintf oc
+        "    { \"tenant\": %S, \"baseline_p99_ns\": %.0f, \"attacked_p99_ns\": %.0f, \
+         \"ratio\": %.3f }%s\n"
+        name b.Ycsb.y_p99 a.Ycsb.y_p99 ratio
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "  ],\n  \"killer_killed\": %b,\n  \"gc_balanced\": %b,\n"
+    killer.Ycsb.y_killed gc_ok;
+  Printf.fprintf oc "  \"required_ratio\": %.2f,\n  \"pass\": %b\n}\n" required pass;
+  close_out oc;
+  Printf.printf "wrote BENCH_tenant_isolation.json (pass: %b)\n" pass;
+  if not pass then begin
+    Printf.eprintf
+      "FAILED: honest p99 above %.1fx baseline (or reclamation failed) under attack\n"
+      required;
+    exit 1
+  end
+
 let experiments =
   [
     ("fig5", fig5);
@@ -1070,6 +1191,7 @@ let experiments =
     ("shardscale", shardscale);
     ("ringbatch", ringbatch);
     ("snaprecover", snaprecover);
+    ("qos", qos);
     ("ablation", ablation);
     ("meta", meta);
     ("micro", micro);

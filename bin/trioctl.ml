@@ -1034,6 +1034,122 @@ let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Run one metadata microbenchmark")
     Term.(const run $ fs_arg $ op_arg $ thr_arg)
 
+(* ------------------------------------------------------------------ *)
+(* qos: the multi-tenant QoS plane (DESIGN.md §4.17) *)
+
+let qos_cmd =
+  let module Explore = Trio_check.Explore in
+  let module Ycsb = Trio_workloads.Ycsb in
+  let module Attacks = Trio_attacks.Attacks in
+  let run kill_points ops ring timeout_us mutate =
+    let config =
+      {
+        Explore.default_qos_config with
+        Explore.qd_kill_points = kill_points;
+        qd_ops = ops;
+        qd_ring = ring;
+        qd_timeout_ns = timeout_us *. 1000.0;
+      }
+    in
+    if mutate then begin
+      Controller.set_qos_bypass true;
+      Printf.printf "bypass mutation armed: every tenant is charged zero tokens\n%!";
+      Fun.protect
+        ~finally:(fun () -> Controller.set_qos_bypass false)
+        (fun () ->
+          let r = Explore.explore_qos ~config () in
+          match r.Explore.qr_failure with
+          | Some cx
+            when String.length cx.Explore.cx_detail >= 30
+                 && String.sub cx.Explore.cx_detail 0 30 = "the victim was never throttled" ->
+            Printf.printf "mutation caught: %s\n" cx.Explore.cx_detail;
+            0
+          | Some cx ->
+            Format.printf "unexpected failure:@.%a@." Explore.pp_counterexample cx;
+            1
+          | None ->
+            Printf.printf "MUTATION NOT CAUGHT: campaign passed with QoS charging disabled\n";
+            1)
+    end
+    else begin
+      (* A live multi-tenant mix first so the counters mean something:
+         two honest YCSB tenants, a byzantine noisy neighbour on a
+         starvation share, and a bulk tenant SIGKILLed mid-run. *)
+      Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:(1 lsl 14) ~store_data:true
+        (fun rig ->
+          let nb = Attacks.noisy_neighbor ~qos_share:0.02 rig in
+          let specs =
+            [
+              Ycsb.spec ~share:1.0 ~ops:40 "honest-a" Ycsb.A;
+              Ycsb.spec ~share:1.0 ~ops:40 "honest-c" Ycsb.C;
+              Ycsb.spec ~share:0.1 ~ops:160 ~kill_after:120 "killer" Ycsb.A;
+            ]
+          in
+          let results =
+            Ycsb.run rig ~records:32 ~value_size:32 ~ring_depth:8
+              ~chaos:[ Attacks.neighbor_fiber nb ] specs
+          in
+          List.iter (fun r -> Format.printf "%a@." Ycsb.pp_tenant_result r) results;
+          Printf.printf "byzantine neighbour: %d cycle(s), %d corruption(s) rejected\n"
+            nb.Attacks.nb_cycles nb.Attacks.nb_rejected;
+          Format.printf "@.per-tenant shares, charges and throttling:@.%a"
+            Controller.pp_qos_stats
+            (Controller.qos_stats rig.Rig.ctl);
+          Format.printf
+            "@.ring plane (SQ-full, park/wake and producer park time per shard):@.%a@."
+            Controller.pp_ring_stats
+            (Controller.ring_stats rig.Rig.ctl);
+          (* Reclaim the SIGKILLed tenant before the rig unmounts. *)
+          Sched.delay 2.0e6;
+          let escalated = Controller.watchdog_once rig.Rig.ctl ~timeout_ns:1.0e6 in
+          ignore (Controller.drain_unverified rig.Rig.ctl : int);
+          let gc = Controller.gc_once rig.Rig.ctl in
+          Printf.printf
+            "reclaim: watchdog escalated %d process(es), gc reclaimed %d page(s), ledger %s\n"
+            (List.length escalated) gc.Controller.gc_reclaimed_pages
+            (if gc.Controller.gc_invariant_ok then "balanced" else "IMBALANCED");
+          0)
+      |> ignore;
+      Printf.printf "\nkill exploration: SIGKILLs inside throttled/parked states\n%!";
+      let r = Explore.explore_qos ~config () in
+      Format.printf "%a@." Explore.pp_qos_report r;
+      match r.Explore.qr_failure with None -> 0 | Some _ -> 1
+    end
+  in
+  let kill_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "kill-points" ] ~docv:"N" ~doc:"Sampled kill injection points")
+  in
+  let ops_arg =
+    Arg.(value & opt int 10 & info [ "ops" ] ~doc:"Write+share cycles the throttled victim runs")
+  in
+  let ring_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "ring" ] ~docv:"DEPTH"
+          ~doc:"Victim ring depth; throttle parks at the ring mouth are kill points")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "timeout-us" ] ~docv:"US" ~doc:"Watchdog heartbeat timeout in microseconds")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Disable QoS charging (engine self-test): exit 0 only if the campaign provably \
+             notices that the victim is never throttled")
+  in
+  Cmd.v
+    (Cmd.info "qos"
+       ~doc:
+         "Run a multi-tenant byzantine/SIGKILL mix, dump per-tenant QoS charges and throttle \
+          counters, then SIGKILL a throttled victim at sampled points and assert reclamation")
+    Term.(const run $ kill_arg $ ops_arg $ ring_arg $ timeout_arg $ mutate_arg)
+
 let () =
   let doc = "Trio/ArckFS userspace NVM file system simulator" in
   let main =
@@ -1052,6 +1168,7 @@ let () =
         micro_cmd;
         stats_cmd;
         trace_cmd;
+        qos_cmd;
       ]
   in
   exit (Cmd.eval' main)

@@ -28,6 +28,7 @@ module Layout = Trio_core.Layout
 module Controller = Trio_core.Controller
 module Htbl = Trio_util.Htbl
 module Radix = Trio_util.Radix
+module Rng = Trio_util.Rng
 open Trio_core.Fs_types
 
 let page_size = Layout.page_size
@@ -91,6 +92,8 @@ type t = {
          instead of one shielded crossing each (DESIGN.md §4.15) *)
   mutable free_backlog : int list; (* pages to return to the kernel, batched *)
   mutable free_backlog_len : int;
+  retry_deadline_ns : float; (* total [with_retry] budget before ETIMEDOUT *)
+  retry_rng : Rng.t; (* jitter for the media-retry backoff *)
   mutable root : dir_state option;
 }
 
@@ -100,7 +103,8 @@ let ( let* ) = Result.bind
 (* Mount *)
 
 
-let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?ring ?fix () =
+let mount ~ctl ~proc ~cred ?group ?qos_share ?(retry_deadline_ns = 5.0e6) ?delegation
+    ?(unmap_after_write = false) ?ring ?fix () =
   let pmem = Controller.pmem ctl in
   let sched = Controller.sched ctl in
   let topo = Pmem.topo pmem in
@@ -206,7 +210,7 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?ring ?fix (
           end)
         (Controller.write_mapped_inos ctl ~proc)
   in
-  Controller.register_process ctl ~proc ~cred ?fix ~recovery ();
+  Controller.register_process ctl ~proc ~cred ?group ?qos_share ?fix ~recovery ();
   (* The ring must exist before the first map: its drain fiber is what
      will execute every batched call this mount makes. *)
   let ring =
@@ -258,6 +262,8 @@ let mount ~ctl ~proc ~cred ?delegation ?(unmap_after_write = false) ?ring ?fix (
       ring;
       free_backlog = [];
       free_backlog_len = 0;
+      retry_deadline_ns;
+      retry_rng = Rng.create (0x51ab5 + proc);
       root = None;
     }
   in
@@ -539,7 +545,18 @@ let free_pages_lazily t pages =
    operation fails cleanly with EIO and the damage is left for the
    scrubber.  A [Bounds] violation is a caller bug, not a device state:
    it surfaces as EINVAL.  Exhausted retries degrade to an errno rather
-   than letting the exception escape the LibFS boundary. *)
+   than letting the exception escape the LibFS boundary.
+
+   On top of the per-cause retry counts there is a *total* deadline
+   budget ([retry_deadline_ns], a mount parameter): under QoS throttling
+   every retried syscall crossing can park, so a retry loop that is
+   individually bounded can still stretch without limit in wall-clock
+   terms.  Once the budget is spent the operation fails terminally with
+   ETIMEDOUT — distinct from EAGAIN (retryable, lease churn) so callers
+   can tell "try again" from "your tenant is over share; back off".
+   Media backoff is exponential with ±25% deterministic jitter, so
+   colliding retry loops across tenants decorrelate instead of
+   convoying. *)
 let max_fault_retries = 16
 let max_media_retries = 8
 let media_backoff_ns = 200.0
@@ -549,8 +566,15 @@ let with_retry t f =
      the watchdog reads a per-process timestamp the LibFS bumps on entry
      (no syscall), so a process that stops issuing ops goes stale. *)
   Controller.touch t.ctl t.proc;
+  let deadline = Sched.now t.sched +. t.retry_deadline_ns in
+  let expired () = Sched.now t.sched >= deadline in
+  let timed_out () =
+    Stats.incr t.stats "libfs.retry.etimedout";
+    Error ETIMEDOUT
+  in
   let rec go n m =
     try f () with
+    | Pmem.Mmu_fault _ when expired () -> timed_out ()
     | Pmem.Mmu_fault { page; _ } when n > 0 ->
       (match Controller.page_owner_of t.ctl page with
       | Controller.In_file ino -> drop_aux t ino
@@ -561,10 +585,14 @@ let with_retry t f =
         t.root <- None);
       go (n - 1) m
     | Pmem.Mmu_fault _ -> Error EAGAIN
-    | Pmem.Media_fault { transient = true; _ } when m > 0 ->
+    | Pmem.Media_fault { transient = true; _ } when m > 0 && not (expired ()) ->
       Stats.incr t.stats "libfs.media.retries";
-      Sched.delay (media_backoff_ns *. float_of_int (1 lsl (max_media_retries - m)));
-      go n (m - 1)
+      let base = media_backoff_ns *. float_of_int (1 lsl (max_media_retries - m)) in
+      (* jitter in [0.75, 1.25) * base, clipped to the remaining budget *)
+      let jittered = base *. (0.75 +. Rng.float t.retry_rng 0.5) in
+      Sched.delay (Float.min jittered (Float.max 0.0 (deadline -. Sched.now t.sched)));
+      if expired () then timed_out () else go n (m - 1)
+    | Pmem.Media_fault { transient = true; _ } when m > 0 -> timed_out ()
     | Pmem.Media_fault _ ->
       Stats.incr t.stats "libfs.media.eio";
       Error EIO

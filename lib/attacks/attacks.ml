@@ -368,3 +368,69 @@ let run_campaign ?(seeds = 8) () =
       done)
     field_scripts;
   { c_total = !total; c_detected = !detected; c_consistent = !consistent }
+
+(* ------------------------------------------------------------------ *)
+(* QoS noisy neighbour (DESIGN.md §4.17)
+
+   A byzantine tenant engineered to burn *controller* resources rather
+   than damage one victim: every step creates a file, scribbles garbage
+   over the fresh dentry with raw stores, and releases all mappings —
+   the sharing point forces a verification pass (which rejects the
+   garbage) per cycle, and the next cycle's create re-maps and
+   re-allocates.  Each cycle therefore charges the tenant for syscalls,
+   page draws and verifier work.  Under QoS enforcement the tenant's
+   token bucket caps the cycle rate; unthrottled, the cycles flood the
+   verify queue and starve honest tenants' sharing points. *)
+
+type neighbor = {
+  nb_rig : Rig.t;
+  nb_libfs : Libfs.t;
+  nb_ops : Fs.t;
+  nb_rng : Rng.t;
+  mutable nb_cycles : int;
+  mutable nb_rejected : int; (* steps that errored (throttled / ENOSPC) *)
+}
+
+let noisy_neighbor ?qos_share rig =
+  let libfs = Rig.mount_arckfs ~delegated:false ~uid:1999 ?qos_share rig in
+  {
+    nb_rig = rig;
+    nb_libfs = libfs;
+    nb_ops = vfs_ops rig libfs;
+    nb_rng = Rng.create (0xbad + Libfs.proc_of libfs);
+    nb_cycles = 0;
+    nb_rejected = 0;
+  }
+
+let neighbor_step nb =
+  let n = nb.nb_cycles in
+  nb.nb_cycles <- n + 1;
+  let name = Printf.sprintf "noise_%d_%d" (Libfs.proc_of nb.nb_libfs) n in
+  (match nb.nb_ops.Fs.create ("/" ^ name) 0o644 with
+  | Error _ -> nb.nb_rejected <- nb.nb_rejected + 1
+  | Ok fd ->
+    ignore (nb.nb_ops.Fs.close fd);
+    (* [root_dir] goes [None] if the watchdog escalated this tenant and
+       revoked its mappings while it sat in a throttle park — the
+       attacker must shrug, not crash the simulation. *)
+    (match
+       Option.bind (Libfs.root_dir nb.nb_libfs) (fun root ->
+           Libfs.lookup nb.nb_libfs root name)
+     with
+    | Some r ->
+      let noise = Rng.bytes nb.nb_rng Layout.dentry_size in
+      (* keep the slot live so the verifier must actually judge it *)
+      Layout.set_u64 noise Layout.off_ino r.Libfs.e_ino;
+      Pmem.write nb.nb_rig.Rig.pmem ~actor:(Libfs.proc_of nb.nb_libfs) ~addr:r.Libfs.e_addr
+        ~src:noise;
+      Pmem.persist nb.nb_rig.Rig.pmem ~addr:r.Libfs.e_addr ~len:(Bytes.length noise)
+    | None -> ()));
+  (* the sharing point: every mapping handed back verifies *)
+  Libfs.unmap_everything nb.nb_libfs
+
+(* Loop [neighbor_step] until [stop ()] — the shape {!Trio_workloads.Ycsb.run}
+   expects for its [chaos] fibers. *)
+let neighbor_fiber nb ~stop =
+  while not (stop ()) do
+    neighbor_step nb
+  done

@@ -1051,3 +1051,225 @@ let explore_snapshot_commit ?(config = default_snap_config) ops =
       end)
     (sample config.sc_kill_points);
   !report
+
+(* ------------------------------------------------------------------ *)
+(* SIGKILL inside QoS throttle states (DESIGN.md §4.17)
+
+   Property: admission control composes with process death.  A tenant
+   with a tiny share is driven until the token bucket runs dry — so its
+   fibers park at the ring mouth and pay admission delays on charged
+   syscalls — then killed at sampled kill points, which include points
+   immediately around those throttled parks.  In every sampled state:
+
+   - the watchdog must escalate the dead tenant (a throttled park must
+     not read as liveness);
+   - the page-accounting invariant must balance after the teardown GC
+     *and* after an honest probe (tokens owed are forgotten with the
+     tenant, pages are not);
+   - a fresh honest tenant must stay serviceable.
+
+   The scenario self-checks: if no sampled state ever saw the victim
+   throttled, the campaign reports failure — it would not be testing
+   the interaction it claims to. *)
+
+type qos_config = {
+  qd_kill_points : int; (* kill-injection states sampled *)
+  qd_timeout_ns : float; (* watchdog heartbeat timeout (also the lease) *)
+  qd_ring : int; (* victim ring depth (ring-mouth parks are kill points) *)
+  qd_share : float; (* victim share, dwarfed by [qd_rest_share] *)
+  qd_rest_share : float; (* a competing enforced share (no process behind it) *)
+  qd_ops : int; (* write+share cycles the victim attempts *)
+}
+
+let default_qos_config =
+  {
+    qd_kill_points = 12;
+    qd_timeout_ns = 1.0e6;
+    qd_ring = 4;
+    qd_share = 0.02;
+    qd_rest_share = 10.0;
+    qd_ops = 10;
+  }
+
+type qos_report = {
+  qr_points : int; (* kill points the victim crosses end to end *)
+  qr_states : int;
+  qr_throttles : int; (* victim throttle events summed across states *)
+  qr_escalated : int;
+  qr_reclaimed : int;
+  qr_leaked : int; (* pages still dead-owned after GC (must be 0) *)
+  qr_invariant_failures : int;
+  qr_failure : counterexample option;
+}
+
+let pp_qos_report ppf r =
+  Fmt.pf ppf
+    "kill points %d  states %d  victim throttles %d  escalated %d@.gc: reclaimed %d  leaked %d  \
+     invariant failures %d@.%s"
+    r.qr_points r.qr_states r.qr_throttles r.qr_escalated r.qr_reclaimed r.qr_leaked
+    r.qr_invariant_failures
+    (match r.qr_failure with
+    | None -> "isolation + reclamation held in every throttled-kill state"
+    | Some cx -> Fmt.str "FAILED:@.%a" pp_counterexample cx)
+
+let qos_victim fs libfs n =
+  let payload = String.make 256 'q' in
+  for i = 0 to n - 1 do
+    ignore (Fs.write_file fs (Printf.sprintf "/q%d" i) payload : (unit, _) result);
+    (* the sharing point: unmaps ride the ring, verification is charged *)
+    Libfs.unmap_everything libfs
+  done
+
+let check_qos_state cfg ~mode =
+  in_world (fun ~sched ~pmem ~mmu ->
+      let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.qd_timeout_ns () in
+      (* a competing enforced share shrinks the victim's fraction;
+         no process needs to sit behind it *)
+      Controller.set_qos_share ctl ~group:99 cfg.qd_rest_share;
+      let libfs1 =
+        Libfs.mount ~ctl ~proc:1 ~cred ~qos_share:cfg.qd_share ~ring:cfg.qd_ring ()
+      in
+      let fs = Libfs.ops libfs1 in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () -> qos_victim fs libfs1 cfg.qd_ops));
+      (match mode with
+      | `Count -> Sched.arm_count sched
+      | `Kill i -> Sched.arm_kill sched ~after:i);
+      Sched.delay death_horizon_ns;
+      Sched.disarm sched;
+      (* A throttled victim spends most of the horizon parked, so the
+         sampled kill can land just before the horizon's edge — give the
+         heartbeat timeout room to expire before judging the watchdog. *)
+      (match mode with `Kill _ -> Sched.delay (2.0 *. cfg.qd_timeout_ns) | `Count -> ());
+      match mode with
+      | `Count -> `Points (Sched.kill_points_crossed sched)
+      | `Kill _ -> (
+        let throttles =
+          List.fold_left
+            (fun acc s ->
+              if s.Controller.ts_group = 1 then acc + s.Controller.ts_throttles else acc)
+            0 (Controller.qos_stats ctl)
+        in
+        let wd = Controller.make_watchdog_report () in
+        try
+          let escalated =
+            Controller.watchdog_once ~report:wd ctl ~timeout_ns:cfg.qd_timeout_ns
+          in
+          if not (List.mem 1 escalated) then
+            `Failure
+              ( throttles,
+                Printf.sprintf "watchdog did not escalate the victim (escalated: [%s])"
+                  (String.concat ";" (List.map string_of_int escalated)) )
+          else begin
+            let gc1 = Controller.gc_once ctl in
+            if (not gc1.Controller.gc_invariant_ok) || gc1.Controller.gc_leaked > 0 then
+              `Failure
+                ( throttles,
+                  Fmt.str "page accounting broken after teardown GC: %a" Controller.pp_gc_report
+                    gc1 )
+            else begin
+              (* honest-tenant serviceability: a fresh unthrottled
+                 process must get real work through *)
+              let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred () in
+              let fs2 = Libfs.ops libfs2 in
+              match Fs.write_file fs2 "/honest" "alive" with
+              | Error e ->
+                `Failure
+                  ( throttles,
+                    Printf.sprintf "honest tenant not serviceable after the kill: %s"
+                      (Trio_core.Fs_types.errno_to_string e) )
+              | Ok () -> (
+                (match fs2.Fs.readdir "/" with Ok _ | Error _ -> ());
+                ignore (Controller.drain_unverified ctl : int);
+                let gc2 = Controller.gc_once ctl in
+                if (not gc2.Controller.gc_invariant_ok) || gc2.Controller.gc_leaked > 0 then
+                  `Failure
+                    ( throttles,
+                      Fmt.str "page accounting broken after probe GC: %a"
+                        Controller.pp_gc_report gc2 )
+                else begin
+                  ignore (Controller.unmap_all ctl ~proc:2);
+                  `Ok (throttles, wd, gc1, gc2)
+                end)
+            end
+          end
+        with exn ->
+          `Failure (throttles, Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))))
+
+let explore_qos ?(config = default_qos_config) () =
+  let points =
+    match check_qos_state config ~mode:`Count with `Points n -> n | _ -> 0
+  in
+  let sample count =
+    if points <= 0 || count <= 0 then []
+    else if points <= count then List.init points Fun.id
+    else if count = 1 then [ points / 2 ]
+    else List.sort_uniq compare (List.init count (fun i -> i * (points - 1) / (count - 1)))
+  in
+  let report =
+    ref
+      {
+        qr_points = points;
+        qr_states = 0;
+        qr_throttles = 0;
+        qr_escalated = 0;
+        qr_reclaimed = 0;
+        qr_leaked = 0;
+        qr_invariant_failures = 0;
+        qr_failure = None;
+      }
+  in
+  List.iter
+    (fun i ->
+      if (!report).qr_failure = None then begin
+        let outcome =
+          try check_qos_state config ~mode:(`Kill i)
+          with exn ->
+            `Failure (0, Printf.sprintf "uncaught exception escaped the state: %s"
+                           (Printexc.to_string exn))
+        in
+        let r = !report in
+        report :=
+          (match outcome with
+          | `Ok (throttles, wd, gc1, gc2) ->
+            {
+              r with
+              qr_states = r.qr_states + 1;
+              qr_throttles = r.qr_throttles + throttles;
+              qr_escalated = r.qr_escalated + List.length wd.Controller.wd_escalated;
+              qr_reclaimed =
+                r.qr_reclaimed + gc1.Controller.gc_reclaimed_pages
+                + gc2.Controller.gc_reclaimed_pages;
+              qr_leaked = r.qr_leaked + gc1.Controller.gc_leaked + gc2.Controller.gc_leaked;
+            }
+          | `Points _ -> r
+          | `Failure (throttles, d) ->
+            {
+              r with
+              qr_states = r.qr_states + 1;
+              qr_throttles = r.qr_throttles + throttles;
+              qr_invariant_failures =
+                (r.qr_invariant_failures
+                +
+                if String.length d >= 15 && String.sub d 0 15 = "page accounting" then 1 else 0);
+              qr_failure =
+                Some { cx_ops = []; cx_crash_index = i; cx_survivors = []; cx_detail = d };
+            })
+      end)
+    (sample config.qd_kill_points);
+  let r = !report in
+  if r.qr_failure = None && r.qr_states > 0 && r.qr_throttles = 0 then
+    {
+      r with
+      qr_failure =
+        Some
+          {
+            cx_ops = [];
+            cx_crash_index = -1;
+            cx_survivors = [];
+            cx_detail =
+              "the victim was never throttled in any sampled state: the campaign is not \
+               exercising the QoS/kill interaction";
+          };
+    }
+  else r

@@ -382,8 +382,11 @@ type ring_stat = {
   rg_fused : int;  (** unmap+remap pairs annihilated in-batch *)
   rg_hist : int array;  (** drained-batch sizes: 1,2,<=4,...,<=64,>64 *)
   rg_sq_parks : int;  (** producer parks on a full SQ *)
+  rg_sq_park_ns : float;  (** producer time parked on a full SQ, virtual ns *)
   rg_cq_parks : int;  (** producer parks awaiting a completion *)
   rg_wakes : int;  (** doorbell wakes into this shard's drain fibers *)
+  rg_throttle_parks : int;  (** producer parks at the QoS admission gate *)
+  rg_throttle_ns : float;  (** producer time parked there, virtual ns *)
 }
 
 let ring_stats (t : t) =
@@ -394,6 +397,7 @@ let ring_stats (t : t) =
        (fun i (sh : shard) ->
          let rings = ref 0 and depth = ref 0 and out = ref 0 in
          let sqp = ref 0 and cqp = ref 0 in
+         let sqp_ns = ref 0.0 and thp = ref 0 and th_ns = ref 0.0 in
          Hashtbl.iter
            (fun proc r ->
              if proc mod shards = i then begin
@@ -401,7 +405,10 @@ let ring_stats (t : t) =
                depth := !depth + Ctl_ring.depth r;
                out := !out + Ctl_ring.outstanding r;
                sqp := !sqp + Ctl_ring.sq_parks r;
-               cqp := !cqp + Ctl_ring.cq_parks r
+               cqp := !cqp + Ctl_ring.cq_parks r;
+               sqp_ns := !sqp_ns +. Ctl_ring.sq_park_ns r;
+               thp := !thp + Ctl_ring.throttle_parks r;
+               th_ns := !th_ns +. Ctl_ring.throttle_ns r
              end)
            t.rings;
          {
@@ -414,8 +421,11 @@ let ring_stats (t : t) =
            rg_fused = sh.sh_ring_fused;
            rg_hist = Array.copy sh.sh_ring_hist;
            rg_sq_parks = !sqp;
+           rg_sq_park_ns = !sqp_ns;
            rg_cq_parks = !cqp;
            rg_wakes = sh.sh_ring_wakes;
+           rg_throttle_parks = !thp;
+           rg_throttle_ns = !th_ns;
          })
        t.Ctl_state.shards)
 
@@ -425,12 +435,51 @@ let pp_ring_stat ppf s =
   in
   Format.fprintf ppf
     "shard %d: %d ring(s), depth %d, outstanding %d, %d batch(es) / %d op(s) drained (%d \
-     fused), sizes [%s], %d sq-park(s), %d cq-park(s), %d wake(s)"
+     fused), sizes [%s], %d sq-park(s) %.1fus parked, %d cq-park(s), %d wake(s), %d \
+     throttle-park(s) %.1fus throttled"
     s.rg_shard s.rg_rings s.rg_depth s.rg_outstanding s.rg_batches s.rg_ops s.rg_fused hist
-    s.rg_sq_parks s.rg_cq_parks s.rg_wakes
+    s.rg_sq_parks (s.rg_sq_park_ns /. 1e3) s.rg_cq_parks s.rg_wakes s.rg_throttle_parks
+    (s.rg_throttle_ns /. 1e3)
 
 let pp_ring_stats ppf stats =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_ring_stat ppf stats
+
+(* ------------------------------------------------------------------ *)
+(* QoS plane: per-tenant token buckets (DESIGN.md §4.17) *)
+
+type qos_kind = Ctl_qos.kind = Syscall | Ring_slot | Verify | Page_draw
+
+type qos_tenant_stats = Ctl_qos.tenant_stats = {
+  ts_group : int;
+  ts_share : float option;  (** [None]: charged but unenforced *)
+  ts_balance : float;
+  ts_syscalls : int;
+  ts_ring_slots : int;
+  ts_verifies : int;
+  ts_page_draws : int;
+  ts_throttles : int;
+  ts_throttle_ns : float;
+}
+
+(* Configure a tenant's share after registration (register_process
+   [?qos_share] is the usual path). *)
+let set_qos_share (t : t) ~group share =
+  Ctl_qos.set_share (Ctl_state.qos t) ~group ~now:(Trio_sim.Sched.now t.Ctl_state.sched) share
+
+let qos_share_of (t : t) ~group = Ctl_qos.share_of (Ctl_state.qos t) ~group
+let qos_enforced (t : t) = Ctl_qos.enforced (Ctl_state.qos t)
+
+let qos_balance (t : t) ~group =
+  Ctl_qos.balance (Ctl_state.qos t) ~group ~now:(Trio_sim.Sched.now t.Ctl_state.sched)
+
+let qos_stats (t : t) =
+  Ctl_qos.stats (Ctl_state.qos t) ~now:(Trio_sim.Sched.now t.Ctl_state.sched)
+
+let pp_qos_stats = Ctl_qos.pp_stats
+let qos_cost_of = Ctl_qos.cost_of
+
+(* Mutation hook (isolation-gate self-test): charges debit zero. *)
+let set_qos_bypass b = Ctl_qos.bypass := b
 
 (* ------------------------------------------------------------------ *)
 (* Scrubber support *)

@@ -37,10 +37,21 @@ let alloc_pages t ~proc ~node ~count ~kind =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  (* Pool draw is charged to the drawing tenant — including the batched
+     reserve refill its allocation may force below (the refill batch is
+     work this tenant triggered, not ambient kernel cost). *)
+  let pooled_before = pooled_pages t in
+  qos_charge t proc Ctl_qos.Syscall;
+  qos_charge t proc ~n:count Ctl_qos.Page_draw;
+  qos_admit t proc;
   let p = proc_info t proc in
   match take_pages t ~node ~count with
   | None -> Error ENOSPC
   | Some pages ->
+    (* The reserve pages the batched refill staged beyond this draw:
+       pooled went from [pooled_before] to [now + taken - refilled]. *)
+    let refilled = pooled_pages t - pooled_before + List.length pages in
+    if refilled > 0 then qos_charge t proc ~n:refilled Ctl_qos.Page_draw;
     List.iter
       (fun pg ->
         set_page_owner t pg (Allocated_to proc);
@@ -123,6 +134,8 @@ let free_pages t ~proc ~pages =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  (* Release path: charged, never delayed (see Ctl_state.qos_admit). *)
+  qos_charge t proc Ctl_qos.Syscall;
   let p = proc_info t proc in
   let check pg =
     match owner_of t pg with
@@ -172,6 +185,7 @@ let recycle_pages t ~proc ~pages =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  qos_charge t proc Ctl_qos.Syscall;
   let p = proc_info t proc in
   let my_group = group_of t proc in
   let check pg =
@@ -210,6 +224,7 @@ let alloc_inos t ~proc ~count =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  charge_syscall t proc;
   let p = proc_info t proc in
   let inos = List.init count (fun i -> t.next_ino + i) in
   t.next_ino <- t.next_ino + count;
@@ -231,6 +246,7 @@ let free_file_tree t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  qos_charge t proc Ctl_qos.Syscall;
   match file_find t ino with
   | None -> Error ENOENT
   | Some f -> (

@@ -346,6 +346,10 @@ let home_shard t (f : file_info) =
   t.shards.(node_of_page t pg mod Array.length t.shards)
 
 let enqueue_verify t ~proc ~(f : file_info) =
+  (* Verification is the most precious shared resource: whoever loads
+     the pipeline pays for it, whether the enqueue came from its unmap,
+     its ring batch, or a revocation it forced. *)
+  qos_charge t proc Ctl_qos.Verify;
   let sh = home_shard t f in
   with_ino_shard t f.f_ino (fun () ->
       f.f_pending <- Some proc;
@@ -507,6 +511,9 @@ let unmap_file t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  (* Release path: charged but never delayed — stalling a throttled
+     tenant's unmap would block honest waiters on the lease it holds. *)
+  qos_charge t proc Ctl_qos.Syscall;
   unmap_file_body t ~proc ~ino
 
 (* Force-unmap the current holder(s) after lease expiry; charged to the
@@ -715,6 +722,7 @@ let map_file t ~proc ~ino ~write =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  charge_syscall t proc;
   map_file_body t ~proc ~ino ~write
 
 (* Commit: re-verify now and, on success, replace the checkpoint so a
@@ -724,6 +732,7 @@ let commit t ~proc ~ino =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  charge_syscall t proc;
   match file_find t ino with
   | None -> Error ENOENT
   | Some f ->
@@ -757,6 +766,7 @@ let chmod t ~proc ~ino ~mode =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  charge_syscall t proc;
   match (shadow_find t ino, file_find t ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
@@ -774,6 +784,7 @@ let chown t ~proc ~ino ~uid ~gid =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
   touch t proc;
+  charge_syscall t proc;
   match (shadow_find t ino, file_find t ino) with
   | Some s, Some f ->
     let cred = cred_of_proc t proc in
@@ -940,6 +951,11 @@ let drain_one_ring t (sh : shard) ring =
     Sched.shield (fun () ->
         Sched.cpu_work Perf.Cpu.syscall;
         touch t proc;
+        (* Ring slots are charged at batch granularity when drained —
+           never delayed here: a drain fiber serves every tenant on this
+           shard, so it must not stall on one tenant's debt.  The debt
+           instead gates the debtor's next submit at the ring mouth. *)
+        qos_charge t proc ~n Ctl_qos.Ring_slot;
         Array.iteri
           (fun idx (seq, op) ->
             (* Re-check liveness per op: the watchdog may tear the
@@ -975,13 +991,48 @@ let drain_one_ring t (sh : shard) ring =
             end)
           arr)
 
+(* Weighted round-robin across tenants: with QoS active, serve the
+   queued proc whose trust group has the highest token balance (the most
+   under-served tenant) instead of strict FIFO, so one tenant's 64-op
+   batches cannot starve others out of the drain plane.  Safe to
+   reorder: each proc appears at most once in the queue (is_queued
+   dedup) and its own ring still drains in submission order.  Without
+   any enforced tenant this is exact FIFO, preserving the ring plane's
+   existing behavior. *)
+let pick_ring_proc t (sh : shard) =
+  if (not (Ctl_qos.enforced (qos t))) || Queue.length sh.sh_ring_q < 2 then
+    Queue.take_opt sh.sh_ring_q
+  else begin
+    let now = Sched.now t.sched in
+    let procs = List.of_seq (Queue.to_seq sh.sh_ring_q) in
+    let balance p =
+      match Hashtbl.find_opt t.procs p with
+      | Some pi -> Ctl_qos.balance (qos t) ~group:pi.p_group ~now
+      | None -> neg_infinity
+    in
+    let best =
+      List.fold_left
+        (fun acc p ->
+          match acc with
+          | Some (_, b) when b >= balance p -> acc
+          | _ -> Some (p, balance p))
+        None procs
+    in
+    match best with
+    | None -> None
+    | Some (p, _) ->
+      Queue.clear sh.sh_ring_q;
+      List.iter (fun q -> if q <> p then Queue.push q sh.sh_ring_q) procs;
+      Some p
+  end
+
 let rec ring_service t (sh : shard) =
   if t.ring_paused then begin
     Sched.park (fun waker -> Queue.push waker sh.sh_rq_idle);
     ring_service t sh
   end
   else
-    match Queue.take_opt sh.sh_ring_q with
+    match pick_ring_proc t sh with
     | Some proc ->
       (match ring_find t proc with
       | Some ring when not (Ctl_ring.is_busy ring) ->
@@ -1016,6 +1067,16 @@ let ring_setup t ~proc ~depth =
         sh.sh_ring_wakes <- sh.sh_ring_wakes + 1;
         match Queue.take_opt sh.sh_rq_idle with Some wake -> wake () | None -> ()
       end);
+  Ctl_ring.set_clock ring (fun () -> Sched.now t.sched);
+  Ctl_ring.set_qos ring
+    ~gate:(fun () -> qos_admission t proc)
+    ~sleep_until:(fun deadline ->
+      Sched.park (fun waker -> Sched.schedule t.sched deadline waker))
+    ~note:(fun ns ->
+      match Hashtbl.find_opt t.procs proc with
+      | Some pi ->
+        Ctl_qos.note_throttled (qos t) ~group:pi.p_group ~now:(Sched.now t.sched) ~ns
+      | None -> ());
   Hashtbl.replace t.rings proc ring;
   let local = sh.sh_ring_fibers in
   sh.sh_ring_fibers <- local + 1;

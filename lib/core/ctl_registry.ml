@@ -16,7 +16,7 @@ module Sched = Trio_sim.Sched
 module Extent_alloc = Trio_util.Extent_alloc
 open Ctl_state
 
-let register_process t ~proc ~cred ?group ?fix ?recovery () =
+let register_process t ~proc ~cred ?group ?qos_share ?fix ?recovery () =
   if proc = Pmem.kernel_actor then invalid_arg "Controller.register_process: reserved id";
   let info =
     {
@@ -33,12 +33,20 @@ let register_process t ~proc ~cred ?group ?fix ?recovery () =
     }
   in
   Hashtbl.replace t.procs proc info;
+  (* Configuring a share turns QoS enforcement on for this process'
+     whole trust group; without it the group is charged (observability)
+     but never throttled. *)
+  (match qos_share with
+  | Some share ->
+    Ctl_qos.set_share (Ctl_state.qos t) ~group:info.p_group ~now:(Sched.now t.sched) share
+  | None -> ());
   (* Every process can read the superblock and the root dentry page. *)
   Mmu.grant_free t.mmu ~actor:proc ~pages:[ 0; Layout.root_dentry_page ] ~perm:Mmu.P_read
 
 let heartbeat t ~proc =
   Sched.shield @@ fun () ->
   Sched.cpu_work Perf.Cpu.syscall;
+  charge_syscall t proc;
   touch t proc
 
 let last_heartbeat t ~proc = (proc_info t proc).p_last_heartbeat

@@ -7,10 +7,15 @@ val register_process :
   proc:int ->
   cred:Fs_types.cred ->
   ?group:int ->
+  ?qos_share:float ->
   ?fix:(int -> bool) ->
   ?recovery:(unit -> unit) ->
   unit ->
   unit
+(** [?qos_share] configures the process' trust group's QoS weight and
+    turns admission enforcement on for that group (DESIGN.md §4.17);
+    omitted, the group is charged for observability but never
+    throttled. *)
 
 val heartbeat : Ctl_state.t -> proc:int -> unit
 val last_heartbeat : Ctl_state.t -> proc:int -> float

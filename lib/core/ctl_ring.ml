@@ -64,6 +64,19 @@ type t = {
   mutable r_cq_parks : int;
   mutable r_wakes : int;
   mutable r_dropped : int;
+  mutable r_now : unit -> float;
+      (* virtual clock (installed by ring_setup): times producer parks *)
+  mutable r_sq_park_ns : float; (* total producer time parked on a full SQ *)
+  mutable r_gate : unit -> float option;
+      (* QoS admission (installed by ring_setup): [Some deadline] while
+         this proc's tenant is overdrawn; default admits everything *)
+  mutable r_sleep_until : float -> unit;
+      (* park the producer until an absolute virtual time *)
+  mutable r_note_throttle : float -> unit; (* report parked ns to the QoS plane *)
+  mutable r_throttle_parks : int;
+  mutable r_throttle_ns : float;
+  mutable r_last_throttle_deadline : float;
+      (* deadline carried by the last EAGAIN a nowait submit returned *)
 }
 
 let create ~proc ~capacity =
@@ -89,9 +102,23 @@ let create ~proc ~capacity =
     r_cq_parks = 0;
     r_wakes = 0;
     r_dropped = 0;
+    r_now = (fun () -> 0.0);
+    r_sq_park_ns = 0.0;
+    r_gate = (fun () -> None);
+    r_sleep_until = (fun _ -> ());
+    r_note_throttle = (fun _ -> ());
+    r_throttle_parks = 0;
+    r_throttle_ns = 0.0;
+    r_last_throttle_deadline = 0.0;
   }
 
 let set_notify t f = t.r_notify <- f
+let set_clock t f = t.r_now <- f
+
+let set_qos t ~gate ~sleep_until ~note =
+  t.r_gate <- gate;
+  t.r_sleep_until <- sleep_until;
+  t.r_note_throttle <- note
 let proc t = t.r_proc
 let capacity t = t.r_cap
 let depth t = t.r_sq_tail - t.r_sq_head
@@ -107,6 +134,10 @@ let set_busy t b = t.r_busy <- b
 let sq_parks t = t.r_sq_parks
 let cq_parks t = t.r_cq_parks
 let wakes t = t.r_wakes
+let sq_park_ns t = t.r_sq_park_ns
+let throttle_parks t = t.r_throttle_parks
+let throttle_ns t = t.r_throttle_ns
+let last_throttle_deadline t = t.r_last_throttle_deadline
 
 let wake_queue q t =
   while not (Queue.is_empty q) do
@@ -139,27 +170,59 @@ let slot_released t =
    below) rings it.  The lingering is what lets an unmap and the
    re-map that chases it land in one batch, where the drain plane can
    fuse the pair away (see {!Ctl_gate}). *)
-let submit ?(forget = false) t op =
+(* QoS backpressure at the ring mouth: while the tenant is overdrawn,
+   either park until the admission deadline (the producer is outside any
+   shield here, so kills can land inside the throttled state — the
+   scenario [Explore.explore_qos] sweeps) or, under [~nowait], surface
+   EAGAIN immediately with the deadline recorded for the caller. *)
+let rec throttle_wait t ~nowait =
+  if t.r_closed then Ok ()
+  else
+    match t.r_gate () with
+    | None -> Ok ()
+    | Some deadline ->
+      if nowait then begin
+        t.r_last_throttle_deadline <- deadline;
+        Error EAGAIN
+      end
+      else begin
+        t.r_throttle_parks <- t.r_throttle_parks + 1;
+        (* Announce lazy entries before sleeping, like the full-SQ park:
+           the drain plane should not idle while we wait out a debt. *)
+        if depth t > 0 then t.r_notify ();
+        let t0 = t.r_now () in
+        t.r_sleep_until deadline;
+        let d = t.r_now () -. t0 in
+        t.r_throttle_ns <- t.r_throttle_ns +. d;
+        t.r_note_throttle d;
+        throttle_wait t ~nowait
+      end
+
+let submit ?(forget = false) ?(nowait = false) t op =
   Sched.cpu_work Perf.Cpu.ring_submit;
   if t.r_closed then Error EIO
-  else begin
-    while outstanding t >= t.r_cap && not t.r_closed do
-      t.r_sq_parks <- t.r_sq_parks + 1;
-      (* The SQ may be full of un-announced lazy entries: ring before
-         parking or nobody will ever free a slot. *)
-      t.r_notify ();
-      Sched.park (fun waker -> Queue.push waker t.r_full_waiters)
-    done;
-    if t.r_closed then Error EIO
-    else begin
-      let seq = t.r_sq_tail in
-      t.r_sq.(seq mod t.r_cap) <- Some (seq, op);
-      t.r_sq_tail <- seq + 1;
-      if forget then Hashtbl.replace t.r_forget seq ();
-      if (not forget) || 2 * depth t >= t.r_cap then t.r_notify ();
-      Ok seq
-    end
-  end
+  else
+    match throttle_wait t ~nowait with
+    | Error e -> Error e
+    | Ok () ->
+      while outstanding t >= t.r_cap && not t.r_closed do
+        t.r_sq_parks <- t.r_sq_parks + 1;
+        (* The SQ may be full of un-announced lazy entries: ring before
+           parking or nobody will ever free a slot. *)
+        t.r_notify ();
+        let t0 = t.r_now () in
+        Sched.park (fun waker -> Queue.push waker t.r_full_waiters);
+        t.r_sq_park_ns <- t.r_sq_park_ns +. (t.r_now () -. t0)
+      done;
+      if t.r_closed then Error EIO
+      else begin
+        let seq = t.r_sq_tail in
+        t.r_sq.(seq mod t.r_cap) <- Some (seq, op);
+        t.r_sq_tail <- seq + 1;
+        if forget then Hashtbl.replace t.r_forget seq ();
+        if (not forget) || 2 * depth t >= t.r_cap then t.r_notify ();
+        Ok seq
+      end
 
 (* Consumer side: take up to [max] entries off the SQ head. *)
 let take_batch t ~max =

@@ -19,9 +19,25 @@ val create : proc:int -> capacity:int -> t
 val set_notify : t -> (unit -> unit) -> unit
 (** Install the doorbell fired after each successful submit. *)
 
+val set_clock : t -> (unit -> float) -> unit
+(** Install the virtual clock used to time producer parks (ring_setup
+    does this; the default clock reads 0, so park time is simply not
+    measured on unwired rings). *)
+
+val set_qos :
+  t ->
+  gate:(unit -> float option) ->
+  sleep_until:(float -> unit) ->
+  note:(float -> unit) ->
+  unit
+(** Install the QoS hooks (ring_setup): [gate] returns [Some deadline]
+    while this proc's tenant is overdrawn, [sleep_until] parks the
+    producer until an absolute virtual time, [note] reports parked ns
+    back to the QoS accounting. *)
+
 (** {2 Producer side (LibFS)} *)
 
-val submit : ?forget:bool -> t -> op -> (int, Fs_types.errno) result
+val submit : ?forget:bool -> ?nowait:bool -> t -> op -> (int, Fs_types.errno) result
 (** Enqueue one request; parks while the ring is full.  Returns the
     sequence number to {!await} on, or [Error EIO] once closed.
     [~forget:true] marks the entry fire-and-forget: its completion
@@ -30,7 +46,12 @@ val submit : ?forget:bool -> t -> op -> (int, Fs_types.errno) result
     {!drain} or backpressure announces it, which is what lets the drain
     plane see an unmap and its chasing re-map in one batch.  The
     [cpu_work] at the head of this function is the submit path's only
-    kill point — a producer killed there has enqueued nothing. *)
+    kill point — a producer killed there has enqueued nothing.
+
+    QoS backpressure: while the tenant is overdrawn the producer parks
+    at the ring mouth until the admission deadline; with [~nowait:true]
+    it gets [Error EAGAIN] immediately instead, with the deadline
+    readable from {!last_throttle_deadline}. *)
 
 val await : t -> seq:int -> completion
 (** Park until [seq]'s completion is posted, then reap it.  [Error EIO]
@@ -79,3 +100,13 @@ val set_busy : t -> bool -> unit
 val sq_parks : t -> int
 val cq_parks : t -> int
 val wakes : t -> int
+
+val sq_park_ns : t -> float
+(** Total producer time spent parked on a full SQ (virtual ns). *)
+
+val throttle_parks : t -> int
+val throttle_ns : t -> float
+
+val last_throttle_deadline : t -> float
+(** Admission deadline carried by the last EAGAIN a [~nowait] submit
+    returned: the earliest virtual time a retry can be admitted. *)

@@ -108,6 +108,10 @@ type page_pool = {
   mutable pp_len : int;
   mutable pp_refills : int; (* batched refills from the reserve *)
   mutable pp_drains : int; (* batched drains back to the reserve *)
+  mutable pp_jitter : int;
+      (* LCG state desynchronizing the refill backoff across sockets:
+         without it, shards probing a fragmented reserve halve their
+         asks in lockstep and stampede the same extent sizes *)
 }
 
 type t = {
@@ -167,6 +171,10 @@ type t = {
       (* inos rolled back to the durable root since mount: a LibFS
          recovery program must not replay journal records over them —
          that would resurrect the very state the verifier rejected *)
+  qos : Ctl_qos.t;
+      (* per-trust-group token buckets: admission control over
+         syscalls, ring slots, verification and page draw
+         (DESIGN.md §4.17) *)
 }
 
 (* Global verification-mode switch (differential testing flips it):
@@ -261,7 +269,14 @@ let pool_refill t ~node ~want =
       pool.pp_pages <- List.rev_append (List.init !ask (fun i -> start + i)) pool.pp_pages;
       pool.pp_len <- pool.pp_len + !ask;
       got := !got + !ask
-    | exception Extent_alloc.Out_of_space -> ask := !ask / 2);
+    | exception Extent_alloc.Out_of_space ->
+      (* Jittered geometric backoff: nudge the halved ask by -1/0/+1
+         from the pool's LCG so shards probing the same fragmented
+         reserve don't converge on identical extent sizes in lockstep.
+         Strictly decreasing (<= ask - 1), so termination holds. *)
+      pool.pp_jitter <- ((pool.pp_jitter * 1103515245) + 12345) land 0x3FFFFFFF;
+      let j = ((pool.pp_jitter lsr 16) mod 3) - 1 in
+      ask := max 0 (min (!ask - 1) ((!ask / 2) + j)));
     ask := min !ask (want - !got)
   done;
   if !got > 0 then pool.pp_refills <- pool.pp_refills + 1;
@@ -384,7 +399,8 @@ let make ~sched ~pmem ~mmu ~lease_ns =
     node_allocs = make_node_allocs topo ~pages_per_node:(Pmem.pages_per_node pmem);
     pools =
       Array.init nodes (fun n ->
-          { pp_node = n; pp_pages = []; pp_len = 0; pp_refills = 0; pp_drains = 0 });
+          { pp_node = n; pp_pages = []; pp_len = 0; pp_refills = 0; pp_drains = 0;
+            pp_jitter = ((n + 1) * 0x9E3779B9) land 0x3FFFFFFF });
     shards = Array.init nodes make_shard;
     locks = Ctl_shard.create_plane ();
     pages_per_node = Pmem.pages_per_node pmem;
@@ -408,6 +424,7 @@ let make ~sched ~pmem ~mmu ~lease_ns =
     snap_slot = 0;
     snap_pages = [];
     snap_restored = Hashtbl.create 16;
+    qos = Ctl_qos.create ();
   }
 
 (* Test hook: shrink the batch/high-water so pool-pressure scenarios
@@ -447,6 +464,59 @@ let group_of t proc = (proc_info t proc).p_group
 let cred_of_proc t proc = (proc_info t proc).p_cred
 let file_info = file_find
 let shadow_of = shadow_find
+
+(* ------------------------------------------------------------------ *)
+(* QoS plane (DESIGN.md §4.17).  Charges attribute to the process'
+   trust group; unregistered processes (early mount, kernel fibers)
+   charge nothing. *)
+
+let qos t = t.qos
+
+(* Longest single throttle delay/park: bounds the stall any one charge
+   can cause, so a deeply overdrawn tenant pays in instalments rather
+   than wedging a fiber (and a kill landing in the gap is observable
+   sooner in the explorers). *)
+let qos_max_penalty_ns = 2.0e6
+
+let qos_charge t proc ?n kind =
+  match Hashtbl.find_opt t.procs proc with
+  | None -> ()
+  | Some p -> Ctl_qos.charge t.qos ~group:p.p_group ~now:(Sched.now t.sched) ?n kind
+
+(* Admission verdict for [proc]'s group: [Some deadline] when it is
+   overdrawn (capped at [qos_max_penalty_ns] ahead). *)
+let qos_admission t proc =
+  match Hashtbl.find_opt t.procs proc with
+  | None -> None
+  | Some p ->
+    let now = Sched.now t.sched in
+    (match Ctl_qos.admission t.qos ~group:p.p_group ~now with
+    | None -> None
+    | Some deadline -> Some (Float.min deadline (now +. qos_max_penalty_ns)))
+
+(* Synchronous-plane enforcement: delay (inside the caller's shield)
+   until the tenant's balance recovers.  Only acquisition paths call
+   this — release paths (unmap, free) are never delayed, since stalling
+   a throttled tenant's releases would block honest waiters on whatever
+   it still holds. *)
+let qos_admit t proc =
+  match qos_admission t proc with
+  | None -> ()
+  | Some deadline ->
+    let now = Sched.now t.sched in
+    let d = deadline -. now in
+    if d > 0.0 then begin
+      (match Hashtbl.find_opt t.procs proc with
+      | Some p -> Ctl_qos.note_throttled t.qos ~group:p.p_group ~now ~ns:d
+      | None -> ());
+      Sched.delay d
+    end
+
+(* The standard acquisition-syscall preamble charge: one syscall unit,
+   then admission. *)
+let charge_syscall t proc =
+  qos_charge t proc Ctl_qos.Syscall;
+  qos_admit t proc
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline temperature.  "Hot" means some verification verdict is still

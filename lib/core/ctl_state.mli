@@ -83,6 +83,8 @@ type page_pool = {
   mutable pp_len : int;
   mutable pp_refills : int;
   mutable pp_drains : int;
+  mutable pp_jitter : int;
+      (** LCG state desynchronizing refill backoff across sockets *)
 }
 
 type t = {
@@ -121,6 +123,8 @@ type t = {
   mutable snap_pages : int list;
   snap_restored : (int, unit) Hashtbl.t;
       (** inos rolled back to the durable root since mount *)
+  qos : Ctl_qos.t;
+      (** per-trust-group token buckets (DESIGN.md §4.17) *)
 }
 
 type vmode = Full | Incremental
@@ -202,6 +206,30 @@ val proc_info : t -> int -> proc_info
 val touch : t -> int -> unit
 val group_of : t -> int -> int
 val cred_of_proc : t -> int -> Fs_types.cred
+
+(** {2 QoS plane (DESIGN.md §4.17)} *)
+
+val qos : t -> Ctl_qos.t
+
+val qos_max_penalty_ns : float
+(** Cap on any single throttle delay/park, so deep deficits are paid in
+    instalments instead of wedging a fiber. *)
+
+val qos_charge : t -> int -> ?n:int -> Ctl_qos.kind -> unit
+(** Charge [proc]'s trust group; no-op for unregistered processes. *)
+
+val qos_admission : t -> int -> float option
+(** [Some deadline] while [proc]'s group is overdrawn (deadline capped
+    [qos_max_penalty_ns] ahead of now). *)
+
+val qos_admit : t -> int -> unit
+(** Synchronous-plane enforcement: delay until the balance recovers.
+    Acquisition paths only — never called on release paths. *)
+
+val charge_syscall : t -> int -> unit
+(** [qos_charge Syscall] + [qos_admit]: the acquisition-syscall
+    preamble. *)
+
 val file_info : t -> int -> file_info option
 val shadow_of : t -> int -> Verifier.shadow option
 

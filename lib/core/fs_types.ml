@@ -21,6 +21,7 @@ type errno =
   | EAGAIN (* resource temporarily unavailable (lease contention) *)
   | EIO (* metadata corruption detected / quarantined file / bad media *)
   | EROFS (* file degraded to read-only after unrepairable media damage *)
+  | ETIMEDOUT (* retry/backoff deadline budget exhausted (QoS throttling) *)
 
 let errno_to_string = function
   | ENOENT -> "ENOENT"
@@ -36,6 +37,7 @@ let errno_to_string = function
   | EAGAIN -> "EAGAIN"
   | EIO -> "EIO"
   | EROFS -> "EROFS"
+  | ETIMEDOUT -> "ETIMEDOUT"
 
 let pp_errno ppf e = Fmt.string ppf (errno_to_string e)
 
@@ -54,10 +56,11 @@ let errno_index = function
   | EAGAIN -> 10
   | EIO -> 11
   | EROFS -> 12
+  | ETIMEDOUT -> 13
 
 let all_errnos =
   [ ENOENT; EEXIST; ENOTDIR; EISDIR; ENOTEMPTY; EACCES; EBADF; EINVAL; ENOSPC;
-    ENAMETOOLONG; EAGAIN; EIO; EROFS ]
+    ENAMETOOLONG; EAGAIN; EIO; EROFS; ETIMEDOUT ]
 
 let errno_count = List.length all_errnos
 

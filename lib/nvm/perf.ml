@@ -82,6 +82,17 @@ let cxl_nvm =
 let read_bandwidth p k = interp p.read_bw (float_of_int (max 1 k))
 let write_bandwidth p k = interp p.write_bw (float_of_int (max 1 k))
 
+(* Weighted fair bandwidth share for one tenant: the fraction of the
+   device's peak write bandwidth a tenant with [share] weight may claim
+   out of [total] configured weight.  The QoS plane converts this into
+   a token refill rate, so per-tenant shares configured in the
+   controller translate into per-tenant slices of the same bandwidth
+   curves the rest of the simulator charges against. *)
+let fair_share p ~share ~total =
+  let peak = Array.fold_left (fun acc (_, bw) -> Float.max acc bw) 0.0 p.write_bw in
+  let total = Float.max total 1e-9 in
+  peak *. (Float.max share 0.0 /. total)
+
 (* CPU-side cost constants shared by all file systems. *)
 module Cpu = struct
   let syscall = 600.0 (* ns: kernel entry/exit (trap, spectre mitigations) *)

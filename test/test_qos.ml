@@ -1,0 +1,297 @@
+(* Multi-tenant QoS plane (DESIGN.md §4.17): token-bucket admission
+   control, backpressure through the ring and syscall planes, the
+   retry-deadline budget, and noisy-neighbour isolation under
+   concurrent byzantine + SIGKILL tenants. *)
+
+module Sched = Trio_sim.Sched
+module Pmem = Trio_nvm.Pmem
+module Controller = Trio_core.Controller
+module Ctl_qos = Trio_core.Ctl_qos
+module Fs = Trio_core.Fs_intf
+module Libfs = Arckfs.Libfs
+module Rig = Trio_workloads.Rig
+module Ycsb = Trio_workloads.Ycsb
+module Attacks = Trio_attacks.Attacks
+module Explore = Trio_check.Explore
+open Trio_core.Fs_types
+
+let cred = { Trio_core.Fs_types.uid = 1000; gid = 1000 }
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket (pure unit tests; no simulation needed) *)
+
+let test_bucket_charge_and_refill () =
+  let q = Ctl_qos.create () in
+  Ctl_qos.set_share q ~group:1 ~now:0.0 1.0;
+  let b0 = Ctl_qos.balance q ~group:1 ~now:0.0 in
+  Alcotest.(check bool) "bucket starts at burst" true (b0 > 0.0);
+  Ctl_qos.charge q ~group:1 ~now:0.0 Ctl_qos.Syscall;
+  let b1 = Ctl_qos.balance q ~group:1 ~now:0.0 in
+  Alcotest.(check (float 1e-6))
+    "a syscall debits its cost"
+    (Ctl_qos.cost_of Ctl_qos.Syscall)
+    (b0 -. b1);
+  (* a long quiet period refills to burst, never beyond *)
+  let b2 = Ctl_qos.balance q ~group:1 ~now:1.0e12 in
+  Alcotest.(check (float 1e-6)) "refill caps at burst" b0 b2
+
+let test_bucket_admission_deadline () =
+  let q = Ctl_qos.create () in
+  Ctl_qos.set_share q ~group:1 ~now:0.0 0.5;
+  Ctl_qos.set_share q ~group:2 ~now:0.0 0.5;
+  (* drain group 1 well past zero *)
+  for _ = 1 to 100 do
+    Ctl_qos.charge q ~group:1 ~now:0.0 Ctl_qos.Verify
+  done;
+  Alcotest.(check bool) "balance went negative" true (Ctl_qos.balance q ~group:1 ~now:0.0 < 0.0);
+  (match Ctl_qos.admission q ~group:1 ~now:0.0 with
+  | None -> Alcotest.fail "overdrawn tenant was admitted"
+  | Some deadline ->
+    Alcotest.(check bool) "deadline is in the future" true (deadline > 0.0);
+    (* by the deadline the deficit has refilled away *)
+    Alcotest.(check bool)
+      "admitted at the deadline" true
+      (Ctl_qos.admission q ~group:1 ~now:deadline = None));
+  (* the sibling tenant is unaffected *)
+  Alcotest.(check bool) "sibling admitted" true (Ctl_qos.admission q ~group:2 ~now:0.0 = None)
+
+let test_bucket_unconfigured_always_admitted () =
+  let q = Ctl_qos.create () in
+  for _ = 1 to 1000 do
+    Ctl_qos.charge q ~group:5 ~now:0.0 Ctl_qos.Verify
+  done;
+  Alcotest.(check bool)
+    "unconfigured tenant never throttles" true
+    (Ctl_qos.admission q ~group:5 ~now:0.0 = None);
+  let stats = Ctl_qos.stats q ~now:0.0 in
+  let s = List.find (fun s -> s.Ctl_qos.ts_group = 5) stats in
+  Alcotest.(check int) "but its usage is accounted" 1000 s.Ctl_qos.ts_verifies;
+  Alcotest.(check bool) "and unshared" true (s.Ctl_qos.ts_share = None)
+
+let test_bucket_bypass_mutation_visible () =
+  let q = Ctl_qos.create () in
+  Ctl_qos.set_share q ~group:1 ~now:0.0 1.0;
+  let b0 = Ctl_qos.balance q ~group:1 ~now:0.0 in
+  Ctl_qos.bypass := true;
+  Fun.protect ~finally:(fun () -> Ctl_qos.bypass := false) @@ fun () ->
+  for _ = 1 to 50 do
+    Ctl_qos.charge q ~group:1 ~now:0.0 Ctl_qos.Verify
+  done;
+  Alcotest.(check (float 1e-6)) "bypass debits nothing" b0 (Ctl_qos.balance q ~group:1 ~now:0.0);
+  Alcotest.(check bool) "bypass still admits" true (Ctl_qos.admission q ~group:1 ~now:0.0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure through the planes *)
+
+(* Register a throttled tenant next to a big competing share and drive
+   its bucket negative through release-path charges (charged, never
+   delayed — so the drain is immediate and deterministic). *)
+let drain_tenant_bucket ctl ~proc =
+  for _ = 1 to 40 do
+    ignore (Controller.free_pages ctl ~proc ~pages:[] : (unit, errno) result)
+  done;
+  Alcotest.(check bool)
+    "bucket is overdrawn" true
+    (Controller.qos_balance ctl ~group:proc < 0.0)
+
+let test_ring_nowait_eagain () =
+  Helpers.run_sim (fun env ->
+      Controller.set_qos_share env.Helpers.ctl ~group:99 50.0;
+      Controller.register_process env.Helpers.ctl ~proc:7 ~cred ~qos_share:0.02 ();
+      let ring = Controller.ring_setup env.Helpers.ctl ~proc:7 ~depth:4 in
+      drain_tenant_bucket env.Helpers.ctl ~proc:7;
+      (match Controller.Ring.submit ~nowait:true ring Controller.Ring.Op_lease with
+      | Error EAGAIN ->
+        let d = Controller.Ring.last_throttle_deadline ring in
+        Alcotest.(check bool)
+          "EAGAIN carries a future admission deadline" true
+          (d > Sched.now env.Helpers.sched)
+      | Ok _ -> Alcotest.fail "overdrawn nowait submit was admitted"
+      | Error e -> Alcotest.failf "expected EAGAIN, got %s" (errno_to_string e));
+      Alcotest.(check int) "nothing was enqueued" 0 (Controller.Ring.depth ring))
+
+let test_ring_submit_parks_until_admitted () =
+  Helpers.run_sim (fun env ->
+      Controller.set_qos_share env.Helpers.ctl ~group:99 50.0;
+      Controller.register_process env.Helpers.ctl ~proc:7 ~cred ~qos_share:0.02 ();
+      let ring = Controller.ring_setup env.Helpers.ctl ~proc:7 ~depth:4 in
+      drain_tenant_bucket env.Helpers.ctl ~proc:7;
+      let t0 = Sched.now env.Helpers.sched in
+      (match Controller.Ring.submit ring Controller.Ring.Op_lease with
+      | Ok seq -> (
+        match Controller.Ring.await ring ~seq with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "lease completion: %s" (errno_to_string e))
+      | Error e -> Alcotest.failf "blocking submit: %s" (errno_to_string e));
+      Alcotest.(check bool)
+        "the producer parked at the ring mouth" true
+        (Controller.Ring.throttle_parks ring >= 1);
+      Alcotest.(check bool)
+        "parked time was accounted" true
+        (Controller.Ring.throttle_ns ring > 0.0);
+      Alcotest.(check bool) "virtual time advanced" true (Sched.now env.Helpers.sched > t0))
+
+let test_throttle_counters_in_stats () =
+  Helpers.run_sim (fun env ->
+      Controller.set_qos_share env.Helpers.ctl ~group:99 50.0;
+      Controller.register_process env.Helpers.ctl ~proc:7 ~cred ~qos_share:0.02 ();
+      drain_tenant_bucket env.Helpers.ctl ~proc:7;
+      (* an acquisition syscall pays the admission delay *)
+      (match Controller.alloc_pages env.Helpers.ctl ~proc:7 ~node:0 ~count:1 ~kind:Pmem.Meta with
+      | Ok _ | Error _ -> ());
+      let s =
+        List.find (fun s -> s.Controller.ts_group = 7) (Controller.qos_stats env.Helpers.ctl)
+      in
+      Alcotest.(check bool) "throttle events counted" true (s.Controller.ts_throttles >= 1);
+      Alcotest.(check bool) "throttled ns accumulated" true (s.Controller.ts_throttle_ns > 0.0);
+      Alcotest.(check bool) "page draw accounted" true (s.Controller.ts_page_draws >= 1))
+
+(* Unenforced rigs must behave exactly as before: no parks, no delays. *)
+let test_no_enforcement_no_throttle () =
+  Helpers.run_sim (fun env ->
+      Controller.register_process env.Helpers.ctl ~proc:7 ~cred ();
+      let ring = Controller.ring_setup env.Helpers.ctl ~proc:7 ~depth:4 in
+      for _ = 1 to 100 do
+        ignore (Controller.free_pages env.Helpers.ctl ~proc:7 ~pages:[] : (unit, errno) result)
+      done;
+      (match Controller.Ring.submit ~nowait:true ring Controller.Ring.Op_lease with
+      | Ok seq -> (
+        match Controller.Ring.await ring ~seq with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "lease completion: %s" (errno_to_string e))
+      | Error e -> Alcotest.failf "unenforced submit refused: %s" (errno_to_string e));
+      Alcotest.(check int) "no throttle parks" 0 (Controller.Ring.throttle_parks ring))
+
+(* ------------------------------------------------------------------ *)
+(* LibFS retry-deadline budget *)
+
+let test_with_retry_etimedout () =
+  Helpers.run_sim (fun env ->
+      let libfs =
+        Libfs.mount ~ctl:env.Helpers.ctl ~proc:1 ~cred ~retry_deadline_ns:500.0 ()
+      in
+      let ops = Libfs.ops libfs in
+      Helpers.check_ok "create" (Fs.write_file ops "/victim" "precious");
+      (* every subsequent load soft-faults: the retry loop must give up
+         on the deadline budget, not spin through all 8 media retries *)
+      Pmem.set_fault_injection env.Helpers.pmem ~seed:7 ~transient_read_p:1.0 ();
+      (match Fs.read_file ops "/victim" with
+      | Error ETIMEDOUT -> ()
+      | Ok _ -> Alcotest.fail "read succeeded under a 100% transient-fault rate"
+      | Error e -> Alcotest.failf "expected ETIMEDOUT, got %s" (errno_to_string e));
+      (* the terminal errno is counted distinctly *)
+      Pmem.set_fault_injection env.Helpers.pmem ~seed:7 ())
+
+let test_with_retry_clean_path_unchanged () =
+  Helpers.run_sim (fun env ->
+      let libfs = Libfs.mount ~ctl:env.Helpers.ctl ~proc:1 ~cred () in
+      let ops = Libfs.ops libfs in
+      Helpers.check_ok "create" (Fs.write_file ops "/a" "aaaa");
+      Alcotest.(check string)
+        "read back" "aaaa"
+        (Helpers.check_ok "read" (Fs.read_file ops "/a")))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant YCSB: byzantine + SIGKILL tenants vs honest tenants *)
+
+let test_ycsb_isolation_under_chaos () =
+  Rig.run ~nodes:2 ~cpus_per_node:4 ~pages_per_node:16384 ~store_data:true (fun rig ->
+      let neighbor = Attacks.noisy_neighbor ~qos_share:0.02 rig in
+      let specs =
+        [
+          Ycsb.spec ~share:1.0 ~ops:60 "honest-a" Ycsb.A;
+          Ycsb.spec ~share:1.0 ~ops:60 "honest-c" Ycsb.C;
+          Ycsb.spec ~share:0.1 ~ops:400 ~kill_after:300 "killer" Ycsb.A;
+        ]
+      in
+      let results =
+        Ycsb.run rig ~records:48 ~value_size:32 ~chaos:[ Attacks.neighbor_fiber neighbor ] specs
+      in
+      let find n = List.find (fun r -> r.Ycsb.y_name = n) results in
+      let honest_a = find "honest-a" and honest_c = find "honest-c" in
+      let killer = find "killer" in
+      (* honest tenants finished their full budgets, unkilled *)
+      Alcotest.(check int) "honest-a completed" 60 honest_a.Ycsb.y_ops_done;
+      Alcotest.(check int) "honest-c completed" 60 honest_c.Ycsb.y_ops_done;
+      Alcotest.(check bool) "honest-a alive" false honest_a.Ycsb.y_killed;
+      (* the kill-prone tenant actually died mid-run *)
+      Alcotest.(check bool) "killer was killed" true killer.Ycsb.y_killed;
+      Alcotest.(check bool) "byzantine cycles ran" true (neighbor.Attacks.nb_cycles > 0);
+      (* watchdog escalates the dead tenant even under byzantine load *)
+      Sched.delay 2.0e6;
+      let wd = Controller.make_watchdog_report () in
+      let escalated = Controller.watchdog_once ~report:wd rig.Rig.ctl ~timeout_ns:1.0e6 in
+      Alcotest.(check bool)
+        "watchdog escalated the killed tenant" true
+        (List.mem killer.Ycsb.y_group escalated);
+      (* page accounting balances once the carnage is reclaimed *)
+      ignore (Controller.drain_unverified rig.Rig.ctl : int);
+      let gc = Controller.gc_once rig.Rig.ctl in
+      Alcotest.(check bool) "page accounting invariant" true gc.Controller.gc_invariant_ok;
+      Alcotest.(check int) "no leaked pages" 0 gc.Controller.gc_leaked;
+      (* honest tenants remain serviceable after the reclamation *)
+      let probe = Rig.mount_arckfs ~delegated:false rig in
+      Helpers.check_ok "post-chaos write" (Fs.write_file (Libfs.ops probe) "/after" "ok"))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration: kills inside throttled/parked states *)
+
+let explore_config =
+  { Explore.default_qos_config with qd_kill_points = 6; qd_ops = 6 }
+
+let test_explore_qos () =
+  let r = Explore.explore_qos ~config:explore_config () in
+  (match r.Explore.qr_failure with
+  | None -> ()
+  | Some cx -> Alcotest.failf "explore_qos failed:@.%a" Explore.pp_counterexample cx);
+  Alcotest.(check bool) "sampled states" true (r.Explore.qr_states > 0);
+  Alcotest.(check bool) "victim was throttled" true (r.Explore.qr_throttles > 0);
+  Alcotest.(check bool) "every state escalated" true (r.Explore.qr_escalated >= r.Explore.qr_states);
+  Alcotest.(check int) "no leaks at any kill point" 0 r.Explore.qr_leaked
+
+(* Mutation self-test: with the bypass hook on, the tenant is charged
+   zero — the campaign must notice that its victim never throttles. *)
+let test_explore_qos_catches_bypass_mutation () =
+  Controller.set_qos_bypass true;
+  Fun.protect ~finally:(fun () -> Controller.set_qos_bypass false) @@ fun () ->
+  let r = Explore.explore_qos ~config:explore_config () in
+  match r.Explore.qr_failure with
+  | Some cx
+    when String.length cx.Explore.cx_detail >= 30
+         && String.sub cx.Explore.cx_detail 0 30 = "the victim was never throttled" ->
+    ()
+  | Some cx -> Alcotest.failf "mutation caught by the wrong check: %s" cx.Explore.cx_detail
+  | None -> Alcotest.fail "throttle-bypass mutation was not caught"
+
+let () =
+  Alcotest.run "qos"
+    [
+      ( "token bucket",
+        [
+          Alcotest.test_case "charge and refill" `Quick test_bucket_charge_and_refill;
+          Alcotest.test_case "admission deadline" `Quick test_bucket_admission_deadline;
+          Alcotest.test_case "unconfigured tenants" `Quick test_bucket_unconfigured_always_admitted;
+          Alcotest.test_case "bypass hook" `Quick test_bucket_bypass_mutation_visible;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "ring nowait EAGAIN" `Quick test_ring_nowait_eagain;
+          Alcotest.test_case "ring park until admitted" `Quick test_ring_submit_parks_until_admitted;
+          Alcotest.test_case "throttle counters" `Quick test_throttle_counters_in_stats;
+          Alcotest.test_case "unenforced is untouched" `Quick test_no_enforcement_no_throttle;
+        ] );
+      ( "retry deadline",
+        [
+          Alcotest.test_case "ETIMEDOUT on budget expiry" `Quick test_with_retry_etimedout;
+          Alcotest.test_case "clean path unchanged" `Quick test_with_retry_clean_path_unchanged;
+        ] );
+      ( "multi-tenant",
+        [
+          Alcotest.test_case "YCSB isolation under chaos" `Slow test_ycsb_isolation_under_chaos;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "kills in throttled states" `Slow test_explore_qos;
+          Alcotest.test_case "bypass mutation caught" `Slow test_explore_qos_catches_bypass_mutation;
+        ] );
+    ]
