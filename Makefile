@@ -1,6 +1,6 @@
 # Convenience entry points; the project itself is a plain dune build.
 
-.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck fmt
+.PHONY: all build test check clean bench crashcheck-quick crashcheck-deep faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck dircheck fmt
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # The pre-commit gate: everything compiles and every test passes
 # (dune runtest includes test_crash, i.e. the bounded crash-state
 # exploration, mutation check and cross-FS differential fuzz).
-check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck
+check: crashcheck-quick faultcheck proccheck verifycheck shardcheck ringcheck snapcheck qoscheck dircheck
 
 # Verification-plane gate: full vs incremental verification must give
 # byte-identical verdicts over the attack suite, the corruption
@@ -112,6 +112,20 @@ qoscheck:
 	dune exec bin/trioctl.exe -- qos --kill-points 6 --ops 6
 	dune exec bin/trioctl.exe -- qos --mutate --kill-points 6 --ops 6
 	dune exec bench/main.exe -- --fast qos
+
+# Directory-index gate: the B-link tree suite (scale, collisions,
+# split boundaries, rename across indexed directories, the readdir
+# ordering contract, kills inside index updates), the trioctl dircheck
+# exploration, the skip-index-update mutation self-test (exit 0
+# BECAUSE verifier invariant I5 caught the unmaintained tree), and the
+# dirscale bench gate (index >= 10x the linear scan, sub-linear
+# growth, readdir via range scan).
+dircheck:
+	dune build
+	dune exec test/test_dirindex.exe
+	dune exec bin/trioctl.exe -- dircheck
+	dune exec bin/trioctl.exe -- dircheck --mutate
+	dune exec bench/main.exe -- --fast dirscale
 
 bench:
 	dune exec bench/main.exe

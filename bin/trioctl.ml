@@ -1150,6 +1150,80 @@ let qos_cmd =
           counters, then SIGKILL a throttled victim at sampled points and assert reclamation")
     Term.(const run $ kill_arg $ ops_arg $ ring_arg $ timeout_arg $ mutate_arg)
 
+(* ------------------------------------------------------------------ *)
+(* dircheck: the ordered directory-index plane (DESIGN.md §4.18) *)
+
+let dircheck_cmd =
+  let module Explore = Trio_check.Explore in
+  let run kill_points entries capacity timeout_us mutate =
+    if mutate then begin
+      Printf.printf
+        "skip-index-update mutation armed: dentries keep landing, the B-link tree is never \
+         maintained\n%!";
+      if Explore.dir_index_mutation_caught ~capacity () then begin
+        Printf.printf
+          "mutation caught: I5 flagged the index/dentry divergence at the sharing point\n";
+        0
+      end
+      else begin
+        Printf.printf "MUTATION NOT CAUGHT: I5 missed an unmaintained directory index\n";
+        1
+      end
+    end
+    else begin
+      let config =
+        {
+          Explore.dx_kill_points = kill_points;
+          dx_entries = entries;
+          dx_capacity = capacity;
+          dx_timeout_ns = timeout_us *. 1000.0;
+        }
+      in
+      let r = Explore.explore_dir_index ~config () in
+      Format.printf "%a@." Explore.pp_dir_report r;
+      match r.Explore.dx_failure with
+      | None -> 0
+      | Some cx ->
+        Format.printf "VIOLATION:@.%a" Explore.pp_counterexample cx;
+        1
+    end
+  in
+  let kill_arg =
+    Arg.(
+      value & opt int 18
+      & info [ "kill-points" ] ~docv:"N" ~doc:"Sampled kill injection points inside index updates")
+  in
+  let entries_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "entries" ] ~doc:"Creates the victim attempts (with periodic unlink/rename)")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "capacity" ] ~docv:"K"
+          ~doc:"Forced B-link node capacity, so a handful of creates already splits (min 2)")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "timeout-us" ] ~docv:"US" ~doc:"Watchdog heartbeat timeout in microseconds")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Silently drop index maintenance in the LibFS (engine self-test): exit 0 only if \
+             verifier invariant I5 provably catches the divergence")
+  in
+  Cmd.v
+    (Cmd.info "dircheck"
+       ~doc:
+         "SIGKILL a LibFS inside B-link directory-index updates at sampled points and demand \
+          every crash state certifies as consistent or cleanly unindexed")
+    Term.(const run $ kill_arg $ entries_arg $ capacity_arg $ timeout_arg $ mutate_arg)
+
 let () =
   let doc = "Trio/ArckFS userspace NVM file system simulator" in
   let main =
@@ -1169,6 +1243,7 @@ let () =
         stats_cmd;
         trace_cmd;
         qos_cmd;
+        dircheck_cmd;
       ]
   in
   exit (Cmd.eval' main)

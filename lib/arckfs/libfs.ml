@@ -25,6 +25,7 @@ module Pmem = Trio_nvm.Pmem
 module Numa = Trio_nvm.Numa
 module Perf = Trio_nvm.Perf
 module Layout = Trio_core.Layout
+module Dirindex = Trio_core.Dirindex
 module Controller = Trio_core.Controller
 module Htbl = Trio_util.Htbl
 module Radix = Trio_util.Radix
@@ -50,7 +51,23 @@ type dir_state = {
   mutable d_size : int; (* cached live-entry count (the inode size field) *)
   d_size_lock : Sync.Mutex.t;
   mutable d_write_mapped : bool;
+  (* B-link name index over this directory (DESIGN.md §4.18).  The
+     dentry pages stay the source of truth; the index is a rebuildable
+     accelerator, so [d_dindex_root = 0] (unindexed) is always a legal
+     state to fall back to. *)
+  mutable d_dindex_root : int;
+  d_dindex_lock : Sync.Mutex.t; (* serializes tree mutations; readers are lock-free *)
+  (* Aux construction is lazy: a fresh [dir_state] knows only the page
+     chain and the inode size.  [d_aux_built] marks the one full
+     per-slot scan that fills [d_names] and [d_free_slots] — done on
+     demand, never on the lookup path of an indexed directory. *)
+  mutable d_aux_built : bool;
 }
+
+(* Test hook (dircheck --mutate): drop index maintenance on create /
+   unlink / rename so the verifier's I5 check can prove it notices. *)
+let skip_index_updates = ref false
+let set_skip_index_updates v = skip_index_updates := v
 
 type file_state = {
   r_ino : int;
@@ -115,6 +132,56 @@ let mount ~ctl ~proc ~cred ?group ?qos_share ?(retry_deadline_ns = 5.0e6) ?deleg
     | Some t ->
       Option.iter Journal.recover t.journal;
       let actor = t.proc in
+      (* Reconcile a directory's B-link index with its dentries: a kill
+         between the dentry persist and the index update leaves the
+         tree missing (or carrying) one key, which verification would
+         flag as an I5 violation and roll the whole directory back.
+         The dentries are the truth: audit the tree, compare entry
+         sets, and rebuild from the leaves on any disagreement (root 0
+         when space is short — unindexed is legal; the abandoned nodes
+         are re-attributed by the kernel at the next verification). *)
+      let reconcile_dindex ~dentry_addr =
+        let live = ref [] in
+        (match Layout.read_dentry pmem ~actor ~addr:dentry_addr with
+        | Some (Ok (inode, _)) ->
+          ignore
+            (Layout.walk_index_chain pmem ~actor ~head:inode.Layout.index_head
+               ~max_pages:(Pmem.total_pages pmem) (fun ~index_page:_ ~entries ~next:_ ->
+                 Array.iter
+                   (fun pg ->
+                     if pg <> 0 then
+                       for slot = 0 to Layout.dentries_per_page - 1 do
+                         let addr = Layout.dentry_slot_addr pg slot in
+                         match Layout.read_dentry pmem ~actor ~addr with
+                         | Some (Ok (_, name)) ->
+                           live := (Trio_core.Dirindex.hash_name name, addr) :: !live
+                         | _ -> ()
+                       done)
+                   entries))
+        | _ -> ());
+        let root = Layout.read_dindex_root pmem ~actor ~dentry_addr in
+        let consistent =
+          root = 0
+          ||
+          let a = Trio_core.Dirindex.audit pmem ~actor ~root in
+          a.Trio_core.Dirindex.au_violations = []
+          && List.sort_uniq compare a.Trio_core.Dirindex.au_entries
+             = List.sort_uniq compare !live
+        in
+        if not consistent then begin
+          Layout.write_dindex_root pmem ~actor ~dentry_addr 0;
+          let alloc () =
+            let node = Numa.node_of_cpu t.topo (Sched.current_cpu ()) in
+            match Alloc_cache.alloc_page t.cache ~node ~kind:Pmem.Meta with
+            | Ok pg -> Some pg
+            | Error _ -> None
+          in
+          let free pg = Alloc_cache.recycle_page t.cache ~page:pg ~kind:Pmem.Meta in
+          match Trio_core.Dirindex.build pmem ~actor ~alloc ~free ~entries:!live with
+          | Ok (nr, _) when nr <> 0 -> Layout.write_dindex_root pmem ~actor ~dentry_addr nr
+          | Ok _ | Error `Nospace -> ()
+        end
+      in
       (* Reconcile a regular file whose size and index chain were torn
          by the crash: append links the new index entry before bumping
          the size (truncate the reverse), so an interruption between the
@@ -194,7 +261,8 @@ let mount ~ctl ~proc ~cred ?group ?qos_share ?(retry_deadline_ns = 5.0e6) ?deleg
                          end
                        done)
                    entries));
-          if !count <> inode.Layout.size then Layout.write_size pmem ~actor ~dentry_addr !count
+          if !count <> inode.Layout.size then Layout.write_size pmem ~actor ~dentry_addr !count;
+          reconcile_dindex ~dentry_addr
         end
       in
       List.iter
@@ -288,14 +356,24 @@ let new_dir_state ~ino ~addr =
     d_size = 0;
     d_size_lock = Sync.Mutex.create ();
     d_write_mapped = false;
+    d_dindex_root = 0;
+    d_dindex_lock = Sync.Mutex.create ();
+    d_aux_built = false;
   }
 
-(* Read the directory's core state and rebuild the private index. *)
+(* Read the directory's core state and build the *skeleton* of the
+   private aux state: the index-chain pages, the inode's live-entry
+   count and the B-link root.  Cost is one dentry read plus one read
+   per chain page — independent of the entry count.  The per-slot scan
+   that fills [d_names]/[d_free_slots] is deferred to [materialize]
+   and never runs on the lookup path of an indexed directory. *)
 let build_dir_aux t ~ino ~addr =
   Stats.timed t.stats t.sched "rebuild" (fun () ->
       let d = new_dir_state ~ino ~addr in
       (match Layout.read_dentry t.pmem ~actor:t.proc ~addr with
       | Some (Ok (inode, _)) ->
+        d.d_size <- inode.Layout.size;
+        d.d_dindex_root <- Layout.read_dindex_root t.pmem ~actor:t.proc ~dentry_addr:addr;
         ignore
           (Layout.walk_index_chain t.pmem ~actor:t.proc ~head:inode.Layout.index_head
              ~max_pages:(Pmem.total_pages t.pmem) (fun ~index_page ~entries ~next ->
@@ -305,35 +383,62 @@ let build_dir_aux t ~ino ~addr =
                  d.d_index_used <- Array.fold_left (fun acc e -> if e <> 0 then acc + 1 else acc) 0 entries
                end;
                Array.iter
-                 (fun pg ->
-                   if pg <> 0 then begin
-                     d.d_data_pages <- d.d_data_pages @ [ pg ];
-                     (* a poisoned page contributes neither names nor free
-                        slots: its dentries are unreadable but must not be
-                        reused before the scrubber restores the page from
-                        the controller checkpoint *)
-                     match Pmem.read_ecc t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size with
-                     | Pmem.Ecc.Poisoned _ -> ()
-                     | Pmem.Ecc.Ok b ->
-                     for slot = 0 to Layout.dentries_per_page - 1 do
-                       Sched.cpu_work Perf.Cpu.hash_lookup;
-                       let block = Bytes.sub b (slot * Layout.dentry_size) Layout.dentry_size in
-                       match Layout.decode_dentry block with
-                       | None -> d.d_free_slots <- (pg, slot) :: d.d_free_slots
-                       | Some (Error _) -> d.d_free_slots <- (pg, slot) :: d.d_free_slots
-                       | Some (Ok (child, name)) ->
-                         d.d_size <- d.d_size + 1;
-                         Htbl.replace d.d_names name
-                           {
-                             e_ino = child.Layout.ino;
-                             e_addr = Layout.dentry_slot_addr pg slot;
-                             e_ftype = child.Layout.ftype;
-                           }
-                     done
-                   end)
+                 (fun pg -> if pg <> 0 then d.d_data_pages <- d.d_data_pages @ [ pg ])
                  entries))
       | _ -> ());
+      (* An empty directory's aux is trivially complete. *)
+      if d.d_data_pages = [] then d.d_aux_built <- true;
       d)
+
+(* The deferred full scan: fill [d_names] and [d_free_slots] from the
+   dentry pages.  Takes every stripe write lock (racing name ops would
+   otherwise interleave with the fill) — callers must hold none. *)
+let materialize t (d : dir_state) =
+  if not d.d_aux_built then begin
+    Array.iter Sync.Rwlock.write_lock d.d_stripes;
+    try
+      if not d.d_aux_built then
+      Stats.timed t.stats t.sched "rebuild" (fun () ->
+          let size = ref 0 in
+          List.iter
+            (fun pg ->
+              (* a poisoned page contributes neither names nor free
+                 slots: its dentries are unreadable but must not be
+                 reused before the scrubber restores the page from the
+                 controller checkpoint *)
+              match
+                Pmem.read_ecc t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size
+              with
+              | Pmem.Ecc.Poisoned _ -> ()
+              | Pmem.Ecc.Ok b ->
+                for slot = 0 to Layout.dentries_per_page - 1 do
+                  Sched.cpu_work Perf.Cpu.hash_lookup;
+                  let block = Bytes.sub b (slot * Layout.dentry_size) Layout.dentry_size in
+                  match Layout.decode_dentry block with
+                  | None | Some (Error _) ->
+                    Sync.Mutex.lock d.d_tail_lock;
+                    d.d_free_slots <- (pg, slot) :: d.d_free_slots;
+                    Sync.Mutex.unlock d.d_tail_lock
+                  | Some (Ok (child, name)) ->
+                    incr size;
+                    if Htbl.find d.d_names name = None then
+                      Htbl.replace d.d_names name
+                        {
+                          e_ino = child.Layout.ino;
+                          e_addr = Layout.dentry_slot_addr pg slot;
+                          e_ftype = child.Layout.ftype;
+                        }
+                done)
+            d.d_data_pages;
+          Sync.Mutex.lock d.d_size_lock;
+          d.d_size <- !size;
+          Sync.Mutex.unlock d.d_size_lock;
+          d.d_aux_built <- true);
+      Array.iter Sync.Rwlock.write_unlock d.d_stripes
+    with e ->
+      Array.iter Sync.Rwlock.write_unlock d.d_stripes;
+      raise e
+  end
 
 let build_file_aux t ~ino ~addr =
   Stats.timed t.stats t.sched "rebuild" (fun () ->
@@ -601,7 +706,93 @@ let with_retry t f =
   go max_fault_retries max_media_retries
 
 (* ------------------------------------------------------------------ *)
-(* Path resolution *)
+(* Name resolution: aux-table probe, then B-link index descent, then
+   linear page scan (DESIGN.md §4.18).
+
+   The descents/splits/range-scan counters live on the *controller's*
+   stats (one aggregation point for `trioctl stats`), not the per-mount
+   LibFS stats. *)
+
+let kstats t = Controller.stats t.ctl
+
+(* Read a candidate dentry and keep it only if it carries [name]
+   (distinct names can share a hash; the index returns all of them). *)
+let load_ref t name addr =
+  match Layout.read_dentry t.pmem ~actor:t.proc ~addr with
+  | Some (Ok (inode, n)) when String.equal n name ->
+    Some { e_ino = inode.Layout.ino; e_addr = addr; e_ftype = inode.Layout.ftype }
+  | _ -> None
+
+(* Descend the B-link tree for [name].  Lock-free: right-links keep
+   concurrent readers safe against in-flight splits.  [Error] means the
+   tree is damaged (torn or poisoned node) — callers fall back to
+   scanning the dentry pages, which stay the source of truth. *)
+let index_find t (d : dir_state) name =
+  Dirindex.lookup ~stats:(kstats t) t.pmem ~actor:t.proc ~root:d.d_dindex_root
+    ~hash:(Dirindex.hash_name name)
+  |> Result.map (fun addrs -> List.find_map (load_ref t name) addrs)
+
+(* Read-only linear fallback when the directory is unindexed or the
+   tree is damaged: scan the dentry pages without touching the aux
+   tables. *)
+let scan_find t (d : dir_state) name =
+  List.find_map
+    (fun pg ->
+      match Pmem.read_ecc t.pmem ~actor:t.proc ~addr:(pg * page_size) ~len:page_size with
+      | Pmem.Ecc.Poisoned _ -> None
+      | Pmem.Ecc.Ok b ->
+        let rec go slot =
+          if slot >= Layout.dentries_per_page then None
+          else begin
+            Sched.cpu_work Perf.Cpu.hash_lookup;
+            let block = Bytes.sub b (slot * Layout.dentry_size) Layout.dentry_size in
+            match Layout.decode_dentry block with
+            | Some (Ok (child, n)) when String.equal n name ->
+              Some
+                {
+                  e_ino = child.Layout.ino;
+                  e_addr = Layout.dentry_slot_addr pg slot;
+                  e_ftype = child.Layout.ftype;
+                }
+            | _ -> go (slot + 1)
+          end
+        in
+        go 0)
+    d.d_data_pages
+
+(* Uncached resolution past the aux table; the table itself was already
+   probed by the caller. *)
+let find_slow t (d : dir_state) name =
+  if d.d_aux_built then None
+  else if d.d_dindex_root <> 0 then
+    match index_find t d name with Ok r -> r | Error _ -> scan_find t d name
+  else if d.d_size = 0 then None
+  else scan_find t d name
+
+(* Full resolution, safe to call while holding [name]'s stripe lock in
+   either mode (the probe is a plain table read; tree reads are
+   lock-free; nothing is cached). *)
+let find_ref t (d : dir_state) name =
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  match Htbl.find d.d_names name with Some r -> Some r | None -> find_slow t d name
+
+(* Resolution for callers holding no stripe lock: hits found past the
+   table are cached under the stripe write lock for next time. *)
+let lookup t (d : dir_state) name =
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  let stripe = Htbl.stripe_of_key d.d_names name in
+  match Sync.Rwlock.with_read d.d_stripes.(stripe) (fun () -> Htbl.find d.d_names name) with
+  | Some r -> Some r
+  | None -> (
+    match find_slow t d name with
+    | None -> None
+    | Some r ->
+      Sync.Rwlock.with_write d.d_stripes.(stripe) (fun () ->
+          match Htbl.find d.d_names name with
+          | Some r -> Some r
+          | None ->
+            Htbl.replace d.d_names name r;
+            Some r))
 
 let resolve_dir t components =
   let* root = get_root t in
@@ -609,12 +800,8 @@ let resolve_dir t components =
     | [] -> Ok d
     | name :: rest -> (
       (* per component: aux-table probe + stripe lock + dir-state lookup *)
-      Sched.cpu_work ((2.0 *. Perf.Cpu.hash_lookup) +. Perf.Cpu.lock_acquire);
-      let stripe = Htbl.stripe_of_key d.d_names name in
-      let entry =
-        Sync.Rwlock.with_read d.d_stripes.(stripe) (fun () -> Htbl.find d.d_names name)
-      in
-      match entry with
+      Sched.cpu_work (Perf.Cpu.hash_lookup +. Perf.Cpu.lock_acquire);
+      match lookup t d name with
       | None -> Error ENOENT
       | Some { e_ftype = Reg; _ } -> Error ENOTDIR
       | Some ({ e_ftype = Dir; _ } as r) ->
@@ -633,10 +820,89 @@ let resolve_parent t path =
       let* d = resolve_dir t dir_components in
       Ok (d, name)
 
-let lookup (_t : t) (d : dir_state) name =
-  Sched.cpu_work Perf.Cpu.hash_lookup;
-  let stripe = Htbl.stripe_of_key d.d_names name in
-  Sync.Rwlock.with_read d.d_stripes.(stripe) (fun () -> Htbl.find d.d_names name)
+(* ------------------------------------------------------------------ *)
+(* Directory-index maintenance *)
+
+(* Drop a damaged / unmaintainable index: persist root = 0 (unindexed
+   is legal; verifier check I5 skips it) and leave the old nodes for
+   the kernel to re-attribute at the next verification. *)
+let drop_index t (d : dir_state) =
+  if d.d_dindex_root <> 0 then begin
+    Layout.write_dindex_root t.pmem ~actor:t.proc ~dentry_addr:d.d_addr 0;
+    d.d_dindex_root <- 0
+  end
+
+let dindex_alloc t () =
+  let node = Numa.node_of_cpu t.topo (Sched.current_cpu ()) in
+  match Alloc_cache.alloc_page t.cache ~node ~kind:Pmem.Meta with
+  | Ok pg -> Some pg
+  | Error _ -> None
+
+let dindex_free t pg = Alloc_cache.recycle_page t.cache ~page:pg ~kind:Pmem.Meta
+
+(* Insert (name -> dentry address) into the directory's index — called
+   *after* the dentry itself is persisted (truth first, accelerator
+   second; a crash between the two is reconciled at recovery).  A first
+   insert builds the root leaf and swings the dentry's root word.
+   Failure is never fatal: out of space or damaged, the directory just
+   drops to unindexed. *)
+let index_insert t (d : dir_state) name addr =
+  if not !skip_index_updates then
+    Sync.Mutex.with_lock d.d_dindex_lock (fun () ->
+        match
+          Dirindex.insert ~stats:(kstats t) t.pmem ~actor:t.proc ~alloc:(dindex_alloc t)
+            ~free:(dindex_free t) ~root:d.d_dindex_root
+            ~hash:(Dirindex.hash_name name) ~addr
+        with
+        | Ok (root, _fresh) ->
+          if root <> d.d_dindex_root then begin
+            Layout.write_dindex_root t.pmem ~actor:t.proc ~dentry_addr:d.d_addr root;
+            d.d_dindex_root <- root
+          end
+        | Error (`Nospace | `Damaged _) -> drop_index t d
+        | exception Pmem.Media_fault _ ->
+          (* a media fault mid-maintenance leaves the tree suspect; the
+             dentry is already durable, so unindexed is the safe state *)
+          drop_index t d)
+
+(* Remove (name -> address) after the dentry tombstone is persisted. *)
+let index_delete t (d : dir_state) name addr =
+  if (not !skip_index_updates) && d.d_dindex_root <> 0 then
+    Sync.Mutex.with_lock d.d_dindex_lock (fun () ->
+        match
+          Dirindex.delete t.pmem ~actor:t.proc ~root:d.d_dindex_root
+            ~hash:(Dirindex.hash_name name) ~addr
+        with
+        | Ok () -> ()
+        | Error _ | exception Pmem.Media_fault _ -> drop_index t d)
+
+(* Re-index an unindexed-nonempty directory from its materialized aux
+   table (scrub gave up under pressure, a snapshot restore dropped the
+   tree, or a crash left it detached). *)
+let rebuild_index t (d : dir_state) =
+  if d.d_dindex_root = 0 && d.d_aux_built && d.d_size > 0 then
+    Sync.Mutex.with_lock d.d_dindex_lock (fun () ->
+        if d.d_dindex_root = 0 then
+          let entries =
+            Htbl.fold d.d_names [] (fun acc name r -> (Dirindex.hash_name name, r.e_addr) :: acc)
+          in
+          match
+            Dirindex.build ~stats:(kstats t) t.pmem ~actor:t.proc ~alloc:(dindex_alloc t)
+              ~free:(dindex_free t) ~entries
+          with
+          | Ok (root, _) when root <> 0 ->
+            Layout.write_dindex_root t.pmem ~actor:t.proc ~dentry_addr:d.d_addr root;
+            d.d_dindex_root <- root
+          | Ok _ | Error `Nospace | exception Pmem.Media_fault _ -> ())
+
+(* Mutating name ops need certainty about existence; an
+   unindexed-nonempty directory only offers it through the full scan.
+   Opportunistically re-index while we are at it. *)
+let ensure_resolvable t (d : dir_state) =
+  if (not d.d_aux_built) && d.d_dindex_root = 0 && d.d_size > 0 then begin
+    materialize t d;
+    rebuild_index t d
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Directory slot management *)
@@ -711,38 +977,42 @@ let now_ns t = int_of_float (Sched.now t.sched)
 
 let create_entry t (d : dir_state) name ~ftype ~mode =
   let* () = ensure_dir_writable t d in
+  ensure_resolvable t d;
   let stripe = Htbl.stripe_of_key d.d_names name in
-  Sync.Rwlock.write_lock d.d_stripes.(stripe);
-  Sched.cpu_work Perf.Cpu.hash_lookup;
+  (* with_write, not bare lock/unlock: the existence probe descends the
+     index, and a transient media fault unwinding through a held stripe
+     lock would deadlock the retry *)
   let result =
-    if Htbl.mem d.d_names name then Error EEXIST
-    else
-      let ino = Alloc_cache.alloc_ino t.cache in
-      match claim_slot t d with
-      | Error e -> Error e
-      | Ok (pg, slot) ->
-        let addr = Layout.dentry_slot_addr pg slot in
-        let inode =
-          {
-            Layout.ino;
-            ftype;
-            mode = mode land 0o7777;
-            uid = t.cred.uid;
-            gid = t.cred.gid;
-            size = 0;
-            index_head = 0;
-            mtime = now_ns t;
-            ctime = now_ns t;
-          }
-        in
-        Layout.write_dentry_atomic t.pmem ~actor:t.proc ~addr ~inode ~name;
-        let r = { e_ino = ino; e_addr = addr; e_ftype = ftype } in
-        Htbl.replace d.d_names name r;
-        Ok r
+    Sync.Rwlock.with_write d.d_stripes.(stripe) (fun () ->
+        Sched.cpu_work Perf.Cpu.hash_lookup;
+        if find_ref t d name <> None then Error EEXIST
+        else
+          let ino = Alloc_cache.alloc_ino t.cache in
+          match claim_slot t d with
+          | Error e -> Error e
+          | Ok (pg, slot) ->
+            let addr = Layout.dentry_slot_addr pg slot in
+            let inode =
+              {
+                Layout.ino;
+                ftype;
+                mode = mode land 0o7777;
+                uid = t.cred.uid;
+                gid = t.cred.gid;
+                size = 0;
+                index_head = 0;
+                mtime = now_ns t;
+                ctime = now_ns t;
+              }
+            in
+            Layout.write_dentry_atomic t.pmem ~actor:t.proc ~addr ~inode ~name;
+            let r = { e_ino = ino; e_addr = addr; e_ftype = ftype } in
+            Htbl.replace d.d_names name r;
+            Ok r)
   in
-  Sync.Rwlock.write_unlock d.d_stripes.(stripe);
   match result with
   | Ok r ->
+    index_insert t d name r.e_addr;
     bump_dir_size t d 1;
     Ok r
   | Error e -> Error e
@@ -1121,22 +1391,23 @@ let op_unlink t path =
   with_retry t (fun () ->
       let* d, name = resolve_parent t path in
       let* () = ensure_dir_writable t d in
+      ensure_resolvable t d;
       let stripe = Htbl.stripe_of_key d.d_names name in
-      Sync.Rwlock.write_lock d.d_stripes.(stripe);
-      Sched.cpu_work Perf.Cpu.hash_lookup;
       let result =
-        match Htbl.find d.d_names name with
-        | None -> Error ENOENT
-        | Some { e_ftype = Dir; _ } -> Error EISDIR
-        | Some r ->
-          Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
-          ignore (Htbl.remove d.d_names name);
-          Ok r
+        Sync.Rwlock.with_write d.d_stripes.(stripe) (fun () ->
+            Sched.cpu_work Perf.Cpu.hash_lookup;
+            match find_ref t d name with
+            | None -> Error ENOENT
+            | Some { e_ftype = Dir; _ } -> Error EISDIR
+            | Some r ->
+              Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
+              ignore (Htbl.remove d.d_names name);
+              Ok r)
       in
-      Sync.Rwlock.write_unlock d.d_stripes.(stripe);
       match result with
       | Error e -> Error e
       | Ok r ->
+        index_delete t d name r.e_addr;
         let page = r.e_addr / page_size in
         let slot = r.e_addr mod page_size / Layout.dentry_size in
         release_slot d ~page ~slot;
@@ -1168,28 +1439,31 @@ let op_rmdir t path =
   with_retry t (fun () ->
       let* d, name = resolve_parent t path in
       let* () = ensure_dir_writable t d in
+      ensure_resolvable t d;
       let stripe = Htbl.stripe_of_key d.d_names name in
-      Sync.Rwlock.write_lock d.d_stripes.(stripe);
       let result =
-        match Htbl.find d.d_names name with
-        | None -> Error ENOENT
-        | Some { e_ftype = Reg; _ } -> Error ENOTDIR
-        | Some r -> (
-          (* the child must be empty *)
-          match get_dir t ~ino:r.e_ino ~addr:r.e_addr with
-          | Error e -> Error e
-          | Ok child ->
-            if Htbl.length child.d_names > 0 then Error ENOTEMPTY
-            else begin
-              Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
-              ignore (Htbl.remove d.d_names name);
-              Ok (r, child)
-            end)
+        Sync.Rwlock.with_write d.d_stripes.(stripe) (fun () ->
+            match find_ref t d name with
+            | None -> Error ENOENT
+            | Some { e_ftype = Reg; _ } -> Error ENOTDIR
+            | Some r -> (
+              (* the child must be empty: the live-entry count comes from
+                 the child's inode, so no per-slot scan is needed even when
+                 its aux state was built lazily *)
+              match get_dir t ~ino:r.e_ino ~addr:r.e_addr with
+              | Error e -> Error e
+              | Ok child ->
+                if child.d_size > 0 then Error ENOTEMPTY
+                else begin
+                  Layout.clear_dentry_atomic t.pmem ~actor:t.proc ~addr:r.e_addr;
+                  ignore (Htbl.remove d.d_names name);
+                  Ok (r, child)
+                end))
       in
-      Sync.Rwlock.write_unlock d.d_stripes.(stripe);
       match result with
       | Error e -> Error e
       | Ok (r, child) ->
+        index_delete t d name r.e_addr;
         let page = r.e_addr / page_size in
         let slot = r.e_addr mod page_size / Layout.dentry_size in
         release_slot d ~page ~slot;
@@ -1199,25 +1473,57 @@ let op_rmdir t path =
            ignore (Controller.free_file_tree t.ctl ~proc:t.proc ~ino:r.e_ino)
          end
          else begin
-           let pages = child.d_index_pages @ child.d_data_pages in
+           (* a directory this LibFS created and never shared: free its
+              chain, dentry and index-node pages directly *)
+           let dindex_pages =
+             if child.d_dindex_root = 0 then []
+             else Dirindex.pages t.pmem ~actor:t.proc ~root:child.d_dindex_root
+           in
+           let pages = child.d_index_pages @ child.d_data_pages @ dindex_pages in
            if pages <> [] then ignore (Controller.free_pages t.ctl ~proc:t.proc ~pages)
          end);
         drop_aux t r.e_ino;
         if t.unmap_after_write then unmap t d.d_ino;
         Ok ())
 
+(* Readdir ordering contract (README): entries come back in ascending
+   (name-hash, slot-address) key order — the index's native range-scan
+   order, stable across mounts and processes.  The unindexed fallback
+   sorts to the same order so the contract holds either way. *)
+let readdir_order a b =
+  compare
+    (Dirindex.hash_name a.d_name, a.d_name)
+    (Dirindex.hash_name b.d_name, b.d_name)
+
 let op_readdir t path =
   with_retry t (fun () ->
       match split_path path with
       | None -> Error EINVAL
-      | Some components ->
+      | Some components -> (
         let* d = resolve_dir t components in
-        let entries =
-          Htbl.fold d.d_names [] (fun acc name r ->
-              Sched.cpu_work Perf.Cpu.hash_lookup;
-              { d_ino = r.e_ino; d_name = name; d_ftype = r.e_ftype } :: acc)
+        let from_table () =
+          materialize t d;
+          let entries =
+            Htbl.fold d.d_names [] (fun acc name r ->
+                Sched.cpu_work Perf.Cpu.hash_lookup;
+                { d_ino = r.e_ino; d_name = name; d_ftype = r.e_ftype } :: acc)
+          in
+          Ok (List.sort readdir_order entries)
         in
-        Ok entries)
+        if d.d_dindex_root = 0 then from_table ()
+        else
+          (* served by an index range scan, already in key order *)
+          match
+            Dirindex.fold ~stats:(kstats t) t.pmem ~actor:t.proc ~root:d.d_dindex_root
+              ~init:[] ~f:(fun acc ~hash:_ ~addr ->
+                match Layout.read_dentry t.pmem ~actor:t.proc ~addr with
+                | Some (Ok (inode, name)) ->
+                  { d_ino = inode.Layout.ino; d_name = name; d_ftype = inode.Layout.ftype }
+                  :: acc
+                | _ -> acc)
+          with
+          | Ok entries -> Ok (List.rev entries)
+          | Error _ -> from_table () (* damaged tree: the pages are the truth *)))
 
 let op_stat t path =
   with_retry t (fun () ->
@@ -1264,6 +1570,8 @@ let op_rename t src dst =
       let* dd, dname = resolve_parent t dst in
       let* () = ensure_dir_writable t sd in
       let* () = ensure_dir_writable t dd in
+      ensure_resolvable t sd;
+      ensure_resolvable t dd;
       (* Fine-grained locking: write-lock only the two name stripes, in
          a canonical (dir ino, stripe) order — renames of unrelated
          names in the same (even shared) directory proceed in parallel;
@@ -1282,12 +1590,19 @@ let op_rename t src dst =
         List.iter Sync.Rwlock.write_unlock (List.rev locks);
         result
       in
-      match Htbl.find sd.d_names sname with
+      (* resolution under the held stripes can raise (transient media
+         fault in the index descent): release before letting the retry
+         wrapper see it, or the re-run parks on its own locks *)
+      let unwind e =
+        List.iter Sync.Rwlock.write_unlock (List.rev locks);
+        raise e
+      in
+      try match find_ref t sd sname with
       | None -> finish (Error ENOENT)
       | Some _ when sd.d_ino = dd.d_ino && String.equal sname dname ->
         finish (Ok ()) (* POSIX: renaming a file onto itself is a no-op *)
       | Some src_ref -> (
-        match Htbl.find dd.d_names dname with
+        match find_ref t dd dname with
         | Some { e_ftype = Dir; _ } -> finish (Error EEXIST)
         | Some _ when src_ref.e_ftype = Dir -> finish (Error EEXIST)
         | existing -> (
@@ -1316,7 +1631,14 @@ let op_rename t src dst =
             (* copy the dentry under the new name *)
             (match Layout.read_dentry t.pmem ~actor:t.proc ~addr:src_ref.e_addr with
             | Some (Ok (inode, _)) ->
-              Layout.write_dentry_atomic t.pmem ~actor:t.proc ~addr:dst_addr ~inode ~name:dname;
+              (* a renamed directory's B-link root must travel with its
+                 dentry — re-encoding from the inode alone would detach
+                 the whole index *)
+              let droot =
+                Layout.read_dindex_root t.pmem ~actor:t.proc ~dentry_addr:src_ref.e_addr
+              in
+              Layout.write_dentry_atomic t.pmem ~actor:t.proc ~dindex_root:droot ~addr:dst_addr
+                ~inode ~name:dname;
               (* replace an existing destination *)
               (match existing with
               | Some er ->
@@ -1355,6 +1677,17 @@ let op_rename t src dst =
               (match Hashtbl.find_opt t.dirs src_ref.e_ino with
               | Some d -> d.d_addr <- dst_addr
               | None -> ());
+              (* index fixups, dentry truth already committed: the
+                 source key leaves its tree, a replaced destination key
+                 leaves too, and the new slot enters the destination's
+                 tree.  A crash anywhere in between is reconciled by
+                 mount recovery (the journal already sealed the dentry
+                 moves). *)
+              index_delete t sd sname src_ref.e_addr;
+              (match existing with
+              | Some er -> index_delete t dd dname er.e_addr
+              | None -> ());
+              index_insert t dd dname dst_addr;
               (* unmap destination first so the verifier sees the move
                  before the source's deleted-child diff (DESIGN.md) *)
               if t.unmap_after_write then begin
@@ -1362,7 +1695,8 @@ let op_rename t src dst =
                 if sd.d_ino <> dd.d_ino then unmap t sd.d_ino
               end;
               finish (Ok ())
-            | _ -> finish (Error EIO))))))
+            | _ -> finish (Error EIO)))))
+      with e -> unwind e)
 
 (* Data and metadata are persisted synchronously (§4.4): fsync only has
    to validate the descriptor. *)

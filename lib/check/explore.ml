@@ -1273,3 +1273,253 @@ let explore_qos ?(config = default_qos_config) () =
           };
     }
   else r
+
+(* ------------------------------------------------------------------ *)
+(* SIGKILL inside directory-index mutations (DESIGN.md §4.18)
+
+   The B-link tree over a directory's name hashes is an accelerator with
+   its own multi-store mutations — leaf inserts, node splits, root
+   swings — layered over the dentry truth.  The crash discipline says a
+   process may die between any two of those stores and the system must
+   come back *certifiable*: after watchdog escalation and GC, every file
+   passes a Full verification sweep (I5 included) — the tree either
+   survived intact, was rolled back with its directory's checkpoint, or
+   the directory legally dropped to unindexed (root = 0, which I5
+   skips).  Never a dangling root, never a tree that disagrees with the
+   dentries.
+
+   Node capacity is shrunk ({!Trio_core.Dirindex.set_test_capacity}) so
+   a handful of creates forces leaf and root splits: the sampled kill
+   points land inside the interesting multi-store windows, not just on
+   the op boundaries between them.
+
+   {!dir_index_mutation_caught} is the campaign's self-test: it arms the
+   LibFS skip-index-updates switch (maintenance silently dropped —
+   exactly what a buggy or malicious LibFS would do), keeps creating,
+   and the verifier's I5 must CATCH the divergence at the sharing
+   point.  That is the proof this machinery can see the bug class at
+   all. *)
+
+module Dirindex = Trio_core.Dirindex
+module Layout = Trio_core.Layout
+module Stats = Trio_sim.Stats
+
+type dir_config = {
+  dx_kill_points : int; (* kill-injection states sampled *)
+  dx_entries : int; (* creates the victim attempts *)
+  dx_capacity : int; (* forced B-link node capacity (clamped to >= 2) *)
+  dx_timeout_ns : float; (* watchdog heartbeat timeout (also the lease) *)
+}
+
+let default_dir_config =
+  { dx_kill_points = 18; dx_entries = 16; dx_capacity = 4; dx_timeout_ns = 1.0e6 }
+
+type dir_report = {
+  dx_points : int; (* kill points the victim crosses end to end *)
+  dx_states : int;
+  dx_indexed : int; (* states certified with a live tree on the root dir *)
+  dx_unindexed : int; (* states certified unindexed (legal: root = 0) *)
+  dx_splits : int; (* node splits summed across states (capacity-forcing proof) *)
+  dx_failure : counterexample option;
+}
+
+let pp_dir_report ppf r =
+  Fmt.pf ppf
+    "kill points %d  states %d  certified: indexed %d, unindexed %d  splits %d@.%s"
+    r.dx_points r.dx_states r.dx_indexed r.dx_unindexed r.dx_splits
+    (match r.dx_failure with
+    | None -> "every kill state recovered to a certified directory index"
+    | Some cx -> Fmt.str "FAILED:@.%a" pp_counterexample cx)
+
+(* The victim: a create/unlink/rename mix over the root directory with
+   sharing points, so kills land inside inserts, deletes, splits and
+   verification alike. *)
+let dir_victim fs libfs n =
+  let payload = String.make 64 'd' in
+  for i = 0 to n - 1 do
+    ignore (Fs.write_file fs (Printf.sprintf "/dx%02d" i) payload : (unit, _) result);
+    if i mod 5 = 4 then
+      ignore (fs.Fs.unlink (Printf.sprintf "/dx%02d" (i - 2)) : (unit, _) result);
+    if i mod 7 = 6 then
+      ignore
+        (fs.Fs.rename (Printf.sprintf "/dx%02d" (i - 1)) (Printf.sprintf "/dr%02d" i)
+          : (unit, _) result);
+    if i mod 4 = 3 then Libfs.unmap_everything libfs
+  done
+
+let check_dir_state cfg ~mode =
+  in_world (fun ~sched ~pmem ~mmu ->
+      Dirindex.set_test_capacity (Some cfg.dx_capacity);
+      Fun.protect ~finally:(fun () -> Dirindex.set_test_capacity None) @@ fun () ->
+      let ctl = Controller.create ~sched ~pmem ~mmu ~lease_ns:cfg.dx_timeout_ns () in
+      let libfs1 = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs1 in
+      Sched.spawn sched (fun () ->
+          Sched.killable (fun () -> dir_victim fs libfs1 cfg.dx_entries));
+      (match mode with
+      | `Count -> Sched.arm_count sched
+      | `Kill i -> Sched.arm_kill sched ~after:i);
+      Sched.delay death_horizon_ns;
+      Sched.disarm sched;
+      match mode with
+      | `Count -> `Points (Sched.kill_points_crossed sched)
+      | `Kill _ -> (
+        try
+          let wd = Controller.make_watchdog_report () in
+          let escalated =
+            Controller.watchdog_once ~report:wd ctl ~timeout_ns:cfg.dx_timeout_ns
+          in
+          if not (List.mem 1 escalated) then
+            `Failure
+              (Printf.sprintf "watchdog did not escalate the victim (escalated: [%s])"
+                 (String.concat ";" (List.map string_of_int escalated)))
+          else begin
+            let gc1 = Controller.gc_once ctl in
+            if (not gc1.Controller.gc_invariant_ok) || gc1.Controller.gc_leaked > 0 then
+              `Failure
+                (Fmt.str "page accounting broken after teardown GC: %a" Controller.pp_gc_report
+                   gc1)
+            else begin
+              (* a second process resolves through whatever tree (or
+                 fallback scan) survived; clean errnos only *)
+              let libfs2 = Libfs.mount ~ctl ~proc:2 ~cred () in
+              let fs2 = Libfs.ops libfs2 in
+              match Script.visible_names fs2 with
+              | Error d -> `Failure (Printf.sprintf "namespace not enumerable after the kill: %s" d)
+              | Ok names ->
+                List.iter
+                  (fun path -> match Fs.read_file fs2 path with Ok _ | Error _ -> ())
+                  names;
+                ignore (Controller.drain_unverified ctl : int);
+                let gc2 = Controller.gc_once ctl in
+                if (not gc2.Controller.gc_invariant_ok) || gc2.Controller.gc_leaked > 0 then
+                  `Failure
+                    (Fmt.str "page accounting broken after probe GC: %a"
+                       Controller.pp_gc_report gc2)
+                else begin
+                  (* certification: the surviving state passes a Full
+                     sweep — I5 holds for every directory *)
+                  let checked, bad = Controller.audit_all ctl in
+                  if bad > 0 then
+                    `Failure
+                      (Fmt.str "%d of %d file(s) fail Full verification after the kill:%a" bad
+                         checked
+                         (Fmt.list ~sep:Fmt.nop (fun ppf (ino, vs) ->
+                              Fmt.pf ppf "@.  ino %d: %a" ino
+                                (Fmt.list ~sep:Fmt.comma Trio_core.Verifier.pp_violation)
+                                vs))
+                         (Controller.audit_failures ctl))
+                  else begin
+                    ignore (Controller.unmap_all ctl ~proc:2);
+                    let root =
+                      Layout.read_dindex_root pmem ~actor:Pmem.kernel_actor
+                        ~dentry_addr:Layout.root_dentry_addr
+                    in
+                    let splits =
+                      int_of_float (Stats.get (Controller.stats ctl) "verify.dindex.splits")
+                    in
+                    `Certified (root <> 0, splits)
+                  end
+                end
+            end
+          end
+        with exn -> `Failure (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))))
+
+let explore_dir_index ?(config = default_dir_config) () =
+  let points =
+    match check_dir_state config ~mode:`Count with `Points n -> n | _ -> 0
+  in
+  let sample count =
+    if points <= 0 || count <= 0 then []
+    else if points <= count then List.init points Fun.id
+    else if count = 1 then [ points / 2 ]
+    else List.sort_uniq compare (List.init count (fun i -> i * (points - 1) / (count - 1)))
+  in
+  let report =
+    ref
+      {
+        dx_points = points;
+        dx_states = 0;
+        dx_indexed = 0;
+        dx_unindexed = 0;
+        dx_splits = 0;
+        dx_failure = None;
+      }
+  in
+  List.iter
+    (fun i ->
+      if (!report).dx_failure = None then begin
+        let outcome =
+          try check_dir_state config ~mode:(`Kill i)
+          with exn ->
+            `Failure
+              (Printf.sprintf "uncaught exception escaped the state: %s" (Printexc.to_string exn))
+        in
+        let r = { !report with dx_states = (!report).dx_states + 1 } in
+        report :=
+          (match outcome with
+          | `Certified (indexed, splits) ->
+            {
+              r with
+              dx_indexed = (r.dx_indexed + if indexed then 1 else 0);
+              dx_unindexed = (r.dx_unindexed + if indexed then 0 else 1);
+              dx_splits = r.dx_splits + splits;
+            }
+          | `Points _ -> r
+          | `Failure d ->
+            {
+              r with
+              dx_failure =
+                Some { cx_ops = []; cx_crash_index = i; cx_survivors = []; cx_detail = d };
+            })
+      end)
+    (sample config.dx_kill_points);
+  let r = !report in
+  if r.dx_failure = None && r.dx_states > 0 && r.dx_splits = 0 then
+    {
+      r with
+      dx_failure =
+        Some
+          {
+            cx_ops = [];
+            cx_crash_index = -1;
+            cx_survivors = [];
+            cx_detail =
+              "no sampled state ever split an index node: the campaign is not exercising \
+               the multi-store tree mutations it claims to";
+          };
+    }
+  else r
+
+(* Mutation self-test: with index maintenance silently dropped, the
+   verifier's I5 must flag the divergence at the sharing point.  Returns
+   [true] when it was caught. *)
+let dir_index_mutation_caught ?(capacity = 4) () =
+  in_world (fun ~sched ~pmem ~mmu ->
+      ignore (pmem : Pmem.t);
+      Dirindex.set_test_capacity (Some capacity);
+      Fun.protect
+        ~finally:(fun () ->
+          Dirindex.set_test_capacity None;
+          Libfs.set_skip_index_updates false)
+      @@ fun () ->
+      let ctl = Controller.create ~sched ~pmem ~mmu () in
+      let libfs = Libfs.mount ~ctl ~proc:1 ~cred () in
+      let fs = Libfs.ops libfs in
+      (* honest prefix: the root directory gains a live, verified tree *)
+      for i = 0 to 5 do
+        ignore (Fs.write_file fs (Printf.sprintf "/m%d" i) "honest" : (unit, _) result)
+      done;
+      Libfs.unmap_everything libfs;
+      if Controller.corruption_events ctl <> [] then
+        failwith "dir_index_mutation_caught: honest prefix was flagged";
+      (* sabotage: dentries keep landing, the tree stops being maintained *)
+      Libfs.set_skip_index_updates true;
+      for i = 6 to 11 do
+        ignore (Fs.write_file fs (Printf.sprintf "/m%d" i) "stale" : (unit, _) result)
+      done;
+      Libfs.unmap_everything libfs;
+      List.exists
+        (fun (_, _, vs) ->
+          List.exists (fun v -> v.Trio_core.Verifier.check = `I5) vs)
+        (Controller.corruption_events ctl))

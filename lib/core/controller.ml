@@ -216,6 +216,22 @@ let audit_all (t : t) =
   Ctl_state.set_verify_mode saved;
   (!n, !bad)
 
+(* Like {!audit_all}, but names the failures: each failing file's ino
+   with its violation list, so counterexamples can say which invariant
+   broke instead of just counting. *)
+let audit_failures (t : t) =
+  let saved = Ctl_state.current_verify_mode () in
+  Ctl_state.set_verify_mode Ctl_state.Full;
+  let bad = ref [] in
+  Ctl_state.iter_files_snapshot t (fun ino (f : Ctl_state.file_info) ->
+      let report =
+        Ctl_gate.check_file_now t ~proc:Trio_nvm.Pmem.kernel_actor ~ino
+          ~dentry_addr:f.Ctl_state.f_dentry_addr
+      in
+      if not report.Verifier.ok then bad := (ino, report.Verifier.violations) :: !bad);
+  Ctl_state.set_verify_mode saved;
+  List.rev !bad
+
 (* ------------------------------------------------------------------ *)
 (* Verification gate and mapping *)
 
@@ -493,3 +509,5 @@ let retire_page_raw = Ctl_media.retire_page_raw
 let quarantine_page = Ctl_media.quarantine_page
 let replace_page = Ctl_media.replace_page
 let rebuild_root_dentry = Ctl_media.rebuild_root_dentry
+let rebuild_dindex = Ctl_media.rebuild_dindex
+let dindex_member = Ctl_media.dindex_member

@@ -167,7 +167,8 @@ let free_pages t ~proc ~pages =
           match file_find t ino with
           | Some f ->
             f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages;
+            f.f_dindex_pages <- List.filter (fun q -> q <> pg) f.f_dindex_pages
           | None -> ())
         | _ -> ());
         Hashtbl.remove p.p_pages pg;
@@ -211,7 +212,8 @@ let recycle_pages t ~proc ~pages =
           match file_find t ino with
           | Some f ->
             f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+            f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages;
+            f.f_dindex_pages <- List.filter (fun q -> q <> pg) f.f_dindex_pages
           | None -> ())
         | _ -> ());
         set_page_owner t pg (Allocated_to proc);
@@ -258,7 +260,7 @@ let free_file_tree t ~proc ~ino =
       if f.f_ftype = Dir && not (List.for_all (dir_page_is_empty t) f.f_data_pages) then
         Error ENOTEMPTY
       else begin
-        let pages = f.f_index_pages @ f.f_data_pages in
+        let pages = f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages in
         List.iter (fun pg -> release_page t pg) pages;
         Mmu.revoke_everyone_on_pages t.mmu ~pages;
         drop_unverified t f;

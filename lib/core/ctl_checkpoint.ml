@@ -38,7 +38,7 @@ let take_checkpoint t (f : file_info) =
   let meta_pages =
     match f.f_ftype with
     | Fs_types.Reg -> f.f_index_pages
-    | Fs_types.Dir -> f.f_index_pages @ f.f_data_pages
+    | Fs_types.Dir -> f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages
   in
   let ck_pages =
     List.map
@@ -115,17 +115,18 @@ let restore_checkpoint t f ck ~offender =
           set_page_owner t pg (Allocated_to offender);
           Hashtbl.replace offender_info.p_pages pg ()
         end)
-      (f.f_index_pages @ f.f_data_pages);
+      (f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages);
     (* Recompute attribution by re-walking the restored metadata. *)
     (match walk_file t ~ino:f.f_ino ~dentry_addr:f.f_dentry_addr with
-    | Some (_inode, index_pages, data_pages) ->
+    | Some (_inode, index_pages, data_pages, dindex_pages) ->
       f.f_index_pages <- index_pages;
       f.f_data_pages <- data_pages;
+      f.f_dindex_pages <- dindex_pages;
       List.iter
         (fun pg ->
           set_page_owner t pg (In_file f.f_ino);
           Hashtbl.remove offender_info.p_pages pg)
-        (index_pages @ data_pages)
+        (index_pages @ data_pages @ dindex_pages)
     | None -> ())
   end
 

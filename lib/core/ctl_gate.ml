@@ -30,7 +30,7 @@ open Ctl_state
    no data is silently lost (§4.3). *)
 let quarantine_copy t f ~offender =
   let actor = Pmem.kernel_actor in
-  let pages = f.f_index_pages @ f.f_data_pages in
+  let pages = f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages in
   let qino = List.hd (Ctl_alloc.alloc_inos t ~proc:offender ~count:1) in
   (* Copy every current page into fresh pages owned by the offender. *)
   List.iter
@@ -90,7 +90,8 @@ let reclaim_deleted t ~proc ~parent ~dino =
          pipeline idle *)
       t.deferred_deletes <- (proc, parent, dino) :: t.deferred_deletes
     | Some df ->
-      List.iter (fun pg -> Ctl_alloc.release_page t pg) (df.f_index_pages @ df.f_data_pages);
+      List.iter (fun pg -> Ctl_alloc.release_page t pg)
+        (df.f_index_pages @ df.f_data_pages @ df.f_dindex_pages);
       drop_unverified t df;
       with_ino_shard t dino (fun () ->
           remove_file t dino;
@@ -116,8 +117,10 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
   let pinfo = proc_info t proc in
   (* Page attribution: everything the walk saw becomes In_file; pages that
      left the file (truncate without free) return to the proc. *)
-  let new_pages = report.Verifier.index_pages @ report.Verifier.data_pages in
-  let old_pages = f.f_index_pages @ f.f_data_pages in
+  let new_pages =
+    report.Verifier.index_pages @ report.Verifier.data_pages @ report.Verifier.dindex_pages
+  in
+  let old_pages = f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages in
   List.iter
     (fun pg ->
       if not (List.mem pg new_pages) then begin
@@ -132,6 +135,7 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
     new_pages;
   f.f_index_pages <- report.Verifier.index_pages;
   f.f_data_pages <- report.Verifier.data_pages;
+  f.f_dindex_pages <- report.Verifier.dindex_pages;
   (* Once pages belong to a file the creator no longer holds write-mapped,
      its allocation-time grants must go: otherwise it would retain access
      after the handoff, defeating the exclusive-write policy. *)
@@ -178,9 +182,32 @@ let rec ingest_verified t ~proc ~(f : file_info) (report : Verifier.report) =
           t.corruption_events <-
             (proc, c.Verifier.c_ino, child_report.Verifier.violations) :: t.corruption_events;
           (* A fresh file that fails verification is simply not ingested:
-             remove its dentry so the namespace stays consistent. *)
+             remove its dentry so the namespace stays consistent.  The
+             parent's walk already counted this child, so the namespace
+             repair must reach everything derived from the dentry: the
+             parent's size field drops by one and the child's key leaves
+             the B-link index (a tree that refuses the delete is rebuilt
+             from the surviving dentries).  Otherwise the checkpoint
+             refreshed at the end of this ingestion would enshrine a
+             stale size and a dangling index entry — a state Full
+             verification rejects forever after (I1/I5). *)
           Layout.clear_dentry_atomic t.pmem ~actor:Pmem.kernel_actor
             ~addr:c.Verifier.c_dentry_addr;
+          (match Layout.read_dentry t.pmem ~actor:Pmem.kernel_actor ~addr:f.f_dentry_addr with
+          | Some (Ok (pinode, _)) when pinode.Layout.size > 0 ->
+            Layout.write_size t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+              (pinode.Layout.size - 1)
+          | _ -> ());
+          let dindex_root =
+            Layout.read_dindex_root t.pmem ~actor:Pmem.kernel_actor ~dentry_addr:f.f_dentry_addr
+          in
+          (if dindex_root <> 0 then
+             match
+               Dirindex.delete t.pmem ~actor:Pmem.kernel_actor ~root:dindex_root
+                 ~hash:(Dirindex.hash_name c.Verifier.c_name) ~addr:c.Verifier.c_dentry_addr
+             with
+             | Ok () -> ()
+             | Error _ -> ignore (Ctl_media.rebuild_dindex t ~ino:f.f_ino : (int, _) result));
           with_ino_shard t c.Verifier.c_ino (fun () ->
               remove_file t c.Verifier.c_ino;
               remove_shadow t c.Verifier.c_ino;
@@ -704,9 +731,10 @@ let map_file_body t ~proc ~ino ~write =
           f.f_lease_expire <- Sched.now t.sched +. t.lease_ns;
           (* Walk the file to find the page set. *)
           (match walk_file t ~ino ~dentry_addr:f.f_dentry_addr with
-          | Some (_, index_pages, data_pages) ->
+          | Some (_, index_pages, data_pages, dindex_pages) ->
             f.f_index_pages <- index_pages;
-            f.f_data_pages <- data_pages
+            f.f_data_pages <- data_pages;
+            f.f_dindex_pages <- dindex_pages
           | None -> ());
           if write then Ctl_checkpoint.take_checkpoint t f;
           let pages = file_pages f in

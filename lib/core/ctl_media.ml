@@ -7,6 +7,7 @@
 
 module Pmem = Trio_nvm.Pmem
 module Extent_alloc = Trio_util.Extent_alloc
+module Stats = Trio_sim.Stats
 open Ctl_state
 
 let page_size = Layout.page_size
@@ -50,7 +51,8 @@ let quarantine_page t ~ino pg =
   | None -> ()
   | Some f ->
     f.f_index_pages <- List.filter (fun q -> q <> pg) f.f_index_pages;
-    f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages
+    f.f_data_pages <- List.filter (fun q -> q <> pg) f.f_data_pages;
+    f.f_dindex_pages <- List.filter (fun q -> q <> pg) f.f_dindex_pages
 
 (* Migrate the salvageable bytes of media-damaged page [bad] (owned by
    file [ino]) to a freshly allocated page: patch the single on-NVM
@@ -119,6 +121,7 @@ let replace_page t ~ino ~bad ~zero_lines =
         let remap q = if q = bad then fresh else q in
         f.f_index_pages <- List.map remap f.f_index_pages;
         f.f_data_pages <- List.map remap f.f_data_pages;
+        f.f_dindex_pages <- List.map remap f.f_dindex_pages;
         (match f.f_checkpoint with
         | Some ck ->
           f.f_checkpoint <-
@@ -160,7 +163,85 @@ let rebuild_root_dentry t =
         ctime = 0;
       }
     in
-    let b = Layout.encode_dentry ~inode ~name:"/" in
+    (* Preserve the directory-index root when the old value still points
+       at a page attributed to the root directory's index; anything else
+       (torn byte range, stale value) resets to 0 — an unindexed
+       directory is legal and the index is rebuildable from the leaves. *)
+    let old_root = Layout.read_dindex_root t.pmem ~actor ~dentry_addr:Layout.root_dentry_addr in
+    let dindex_root = if List.mem old_root f.f_dindex_pages then old_root else 0 in
+    let b = Layout.encode_dentry ~dindex_root ~inode ~name:"/" () in
     Pmem.write t.pmem ~actor ~addr:Layout.root_dentry_addr ~src:b;
-    Pmem.persist t.pmem ~addr:Layout.root_dentry_addr ~len:Layout.dentry_size
+    Pmem.persist t.pmem ~addr:Layout.root_dentry_addr ~len:Layout.dentry_size;
+    if dindex_root = 0 && f.f_dindex_pages <> [] then begin
+      let stale = f.f_dindex_pages in
+      f.f_dindex_pages <- [];
+      List.iter (fun pg -> Ctl_alloc.release_page t pg) stale;
+      Mmu.revoke_everyone_on_pages t.mmu ~pages:stale
+    end
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Directory-index rebuild (DESIGN.md §4.18).
+
+   The B-link index over a directory's name hashes is a rebuildable
+   accelerator: the dentry pages are the source of truth.  When patrol
+   scrub finds an uncorrectable index node — or anyone finds the tree
+   structurally damaged — we do not try to patch pointers inside the
+   tree; we drop the whole tree and rebuild it bottom-up from the live
+   dentries.  Crash discipline: the dentry's root word is zeroed
+   (persisted) before any old page is freed and only swung to the new
+   root after the new tree is fully persisted, so a kill at any point
+   leaves either the old tree, an unindexed directory, or the new
+   tree — never a dangling root. *)
+
+let rebuild_dindex t ~ino =
+  let actor = Pmem.kernel_actor in
+  match file_find t ino with
+  | None -> Error Fs_types.ENOENT
+  | Some f when f.f_ftype <> Fs_types.Dir -> Error Fs_types.ENOTDIR
+  | Some f ->
+    (* Detach: unindexed is always a safe intermediate state. *)
+    Layout.write_dindex_root t.pmem ~actor ~dentry_addr:f.f_dentry_addr 0;
+    let stale = f.f_dindex_pages in
+    f.f_dindex_pages <- [];
+    List.iter (fun pg -> Ctl_alloc.release_page t pg) stale;
+    Mmu.revoke_everyone_on_pages t.mmu ~pages:stale;
+    (* Collect live (hash, slot address) pairs from the dentry pages.
+       Poisoned dentry blocks contribute nothing — their entries come
+       back once the data page itself is repaired. *)
+    let entries = ref [] in
+    List.iter
+      (fun pg ->
+        for slot = 0 to Layout.dentries_per_page - 1 do
+          let addr = Layout.dentry_slot_addr pg slot in
+          match Layout.read_dentry t.pmem ~actor ~addr with
+          | Some (Ok (_inode, name)) ->
+            entries := (Dirindex.hash_name name, addr) :: !entries
+          | Some (Error _) | None -> ()
+        done)
+      f.f_data_pages;
+    let alloc () =
+      Ctl_alloc.alloc_page_any_node t
+        ~preferred:(f.f_dentry_addr / page_size / Pmem.pages_per_node t.pmem)
+    in
+    let free pg = pool_put t pg in
+    (match Dirindex.build ~stats:t.stats t.pmem ~actor ~alloc ~free ~entries:!entries with
+    | Error `Nospace ->
+      (* No room for an index: the directory stays unindexed (legal
+         under I5) and every lookup falls back to the linear scan. *)
+      Ok 0
+    | Ok (root, pages) ->
+      List.iter
+        (fun pg ->
+          set_page_owner t pg (In_file ino);
+          Pmem.set_kind t.pmem pg Pmem.Meta)
+        pages;
+      f.f_dindex_pages <- pages;
+      Layout.write_dindex_root t.pmem ~actor ~dentry_addr:f.f_dentry_addr root;
+      Stats.incr t.stats "verify.dindex.rebuilds";
+      Ok root)
+
+(* Is [pg] attributed to [ino]'s directory index?  The scrubber asks
+   this to pick the rebuild rung over page migration. *)
+let dindex_member t ~ino pg =
+  match file_find t ino with Some f -> List.mem pg f.f_dindex_pages | None -> false

@@ -13,3 +13,11 @@ val replace_page :
   Ctl_state.t -> ino:int -> bad:int -> zero_lines:int list -> (int, Fs_types.errno) result
 
 val rebuild_root_dentry : Ctl_state.t -> unit
+
+(* Drop and rebuild a directory's B-link name index from its live
+   dentries (the dentry pages are the source of truth; the index is a
+   rebuildable accelerator).  Returns the new root page, 0 when the
+   directory ends up unindexed (empty, or no pages available). *)
+val rebuild_dindex : Ctl_state.t -> ino:int -> (int, Fs_types.errno) result
+
+val dindex_member : Ctl_state.t -> ino:int -> int -> bool

@@ -181,8 +181,9 @@ let ck_data_pages t ck =
   | Error _ -> ());
   List.rev !data
 
-let sanitize_dir_ck t ~emitted ck =
+let sanitize_dir_ck t ~emitted (f : file_info) ck =
   let dentry_pages = ck_data_pages t ck in
+  let tombstoned = ref false in
   let ck_pages =
     List.map
       (fun (pg, b) ->
@@ -195,7 +196,9 @@ let sanitize_dir_ck t ~emitted ck =
             if ino <> 0 then begin
               match Hashtbl.find_opt emitted ino with
               | Some da when da = Layout.dentry_slot_addr pg slot -> ()
-              | _ -> Bytes.fill b off Layout.dentry_size '\000'
+              | _ ->
+                Bytes.fill b off Layout.dentry_size '\000';
+                tombstoned := true
             end
           done;
           (pg, b)
@@ -203,7 +206,20 @@ let sanitize_dir_ck t ~emitted ck =
       ck.ck_pages
   in
   let ck_children = List.filter (Hashtbl.mem emitted) ck.ck_children in
-  { ck with ck_pages; ck_children }
+  if not !tombstoned then { ck with ck_pages; ck_children }
+  else begin
+    (* Tombstoning made the emitted dentry pages disagree with the
+       directory's B-link index (dangling entries — an I5 violation on
+       restore).  Drop the index from the emitted copy instead:
+       unindexed is legal, and a mount of this root rebuilds the tree
+       lazily from the dentries it actually carries. *)
+    let ck_dentry = Bytes.copy ck.ck_dentry in
+    Layout.set_u64 ck_dentry Layout.off_dindex_root 0;
+    let ck_pages =
+      List.filter (fun (pg, _) -> not (List.mem pg f.f_dindex_pages)) ck_pages
+    in
+    { ck with ck_dentry; ck_pages; ck_children }
+  end
 
 (* Publish a new whole-FS snapshot root.  Incremental by construction:
    files whose checkpoint is current contribute their existing bytes
@@ -245,7 +261,7 @@ let publish t =
   u64 (List.length chosen);
   List.iter
     (fun (ino, f, ck) ->
-      let ck = if f.f_ftype = Fs_types.Dir then sanitize_dir_ck t ~emitted ck else ck in
+      let ck = if f.f_ftype = Fs_types.Dir then sanitize_dir_ck t ~emitted f ck else ck in
       let blob = Ctl_checkpoint.encode_checkpoint ck in
       u64 ino;
       u64 f.f_dentry_addr;
@@ -436,10 +452,22 @@ let build_state ~sched ~pmem ~mmu ~lease_ns (slot, root, stream, chain) =
            with
           | Ok () -> ()
           | Error msg -> failwith msg);
+          (* a directory's B-link index pages ride the checkpoint too:
+             claim them so the restored tree stays attributed (and the
+             verifier's I5 audit can hold it to the dentries) *)
+          let dindex_root = Layout.get_u64 ck.ck_dentry Layout.off_dindex_root in
+          let dindex_pages =
+            if inode.Layout.ftype = Fs_types.Dir && dindex_root <> 0 then
+              Dirindex.pages
+                ~fetch:(fun pg -> List.assoc_opt pg ck.ck_pages)
+                pmem ~actor:Pmem.kernel_actor ~root:dindex_root
+            else []
+          in
+          List.iter (fun pg -> claim pg (In_file ino)) dindex_pages;
           let f =
             new_file ~ino ~dentry_addr:e.e_dentry_addr ~parent:e.e_parent
               ~ftype:inode.Layout.ftype ~index_pages:(List.rev !index_pages)
-              ~data_pages:(List.rev !data_pages) ()
+              ~data_pages:(List.rev !data_pages) ~dindex_pages ()
           in
           f.f_checkpoint <- Some ck;
           set_file t ino f)

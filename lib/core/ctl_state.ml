@@ -42,6 +42,7 @@ type file_info = {
   mutable f_ftype : ftype;
   mutable f_index_pages : int list;
   mutable f_data_pages : int list;
+  mutable f_dindex_pages : int list; (* dir only: B-link index nodes (§4.18) *)
   mutable f_readers : (int, unit) Hashtbl.t; (* proc -> () *)
   mutable f_writer : int option;
   mutable f_lease_expire : float;
@@ -340,7 +341,8 @@ let was_snapshot_restored t ino = Hashtbl.mem t.snap_restored ino
 
 (* The one place file_info records are built: four call sites used to
    repeat this literal and two of them missed field updates over time. *)
-let new_file ~ino ~dentry_addr ~parent ~ftype ?(index_pages = []) ?(data_pages = []) () =
+let new_file ~ino ~dentry_addr ~parent ~ftype ?(index_pages = []) ?(data_pages = [])
+    ?(dindex_pages = []) () =
   {
     f_ino = ino;
     f_dentry_addr = dentry_addr;
@@ -348,6 +350,7 @@ let new_file ~ino ~dentry_addr ~parent ~ftype ?(index_pages = []) ?(data_pages =
     f_ftype = ftype;
     f_index_pages = index_pages;
     f_data_pages = data_pages;
+    f_dindex_pages = dindex_pages;
     f_readers = Hashtbl.create 4;
     f_writer = None;
     f_lease_expire = 0.0;
@@ -568,7 +571,7 @@ let view t =
       (fun ino ->
         match file_find t ino with
         | None -> []
-        | Some f -> f.f_index_pages @ f.f_data_pages);
+        | Some f -> f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages);
     rename_source_ok =
       (fun ~src ~ino ~proc ->
         (match file_find t src with
@@ -584,7 +587,8 @@ let view t =
 (* ------------------------------------------------------------------ *)
 (* Shared helpers *)
 
-let file_pages f = (f.f_dentry_addr / page_size) :: (f.f_index_pages @ f.f_data_pages)
+let file_pages f =
+  (f.f_dentry_addr / page_size) :: (f.f_index_pages @ f.f_data_pages @ f.f_dindex_pages)
 
 (* Walk a file's on-NVM page tree with kernel reads.  Used at map time to
    find what to grant and at ingestion to attribute pages. *)
@@ -601,7 +605,16 @@ let walk_file t ~ino:_ ~dentry_addr =
           Array.iter (fun e -> if e <> 0 then data_pages := e :: !data_pages) entries)
     in
     (match result with Ok () -> () | Error _ -> ());
-    Some (inode, List.rev !index_pages, List.rev !data_pages)
+    (* Directory B-link index: reachable from the root page stored in
+       the dentry tail word.  [Dirindex.pages] is total, so a damaged
+       tree still yields its reachable nodes for attribution. *)
+    let dindex_pages =
+      if inode.Layout.ftype = Dir then
+        let root = Layout.read_dindex_root t.pmem ~actor ~dentry_addr in
+        Dirindex.pages t.pmem ~actor ~root
+      else []
+    in
+    Some (inode, List.rev !index_pages, List.rev !data_pages, dindex_pages)
 
 (* Scan a directory data page for live entries; the controller refuses to
    free non-empty directory pages, which is what lets the verifier's I3
@@ -687,9 +700,19 @@ let cold_start ~sched ~pmem ~mmu ?(lease_ns = 100.0e6) () =
            with
           | Ok () -> ()
           | Error e -> failwith ("cold_start: " ^ e));
+          let dindex_pages =
+            if inode.Layout.ftype = Dir then begin
+              let root = Layout.read_dindex_root pmem ~actor ~dentry_addr in
+              let pgs = Dirindex.pages pmem ~actor ~root in
+              List.iter (fun pg -> claim_page pg (In_file ino)) pgs;
+              pgs
+            end
+            else []
+          in
           set_file t ino
             (new_file ~ino ~dentry_addr ~parent ~ftype:inode.Layout.ftype
-               ~index_pages:(List.rev !index_pages) ~data_pages:(List.rev !data_pages) ());
+               ~index_pages:(List.rev !index_pages) ~data_pages:(List.rev !data_pages)
+               ~dindex_pages ());
           if inode.Layout.ftype = Dir then
             List.iter
               (fun pg ->

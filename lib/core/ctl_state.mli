@@ -33,6 +33,7 @@ type file_info = {
   mutable f_ftype : Fs_types.ftype;
   mutable f_index_pages : int list;
   mutable f_data_pages : int list;
+  mutable f_dindex_pages : int list;  (** dir only: B-link index nodes (§4.18) *)
   mutable f_readers : (int, unit) Hashtbl.t;
   mutable f_writer : int option;
   mutable f_lease_expire : float;
@@ -194,6 +195,7 @@ val new_file :
   ftype:Fs_types.ftype ->
   ?index_pages:int list ->
   ?data_pages:int list ->
+  ?dindex_pages:int list ->
   unit ->
   file_info
 
@@ -243,7 +245,9 @@ val mark_unverified : t -> file_info -> int -> unit
 val drop_unverified : t -> file_info -> unit
 val view : t -> Verifier.view
 val file_pages : file_info -> int list
-val walk_file : t -> ino:int -> dentry_addr:int -> (Layout.inode * int list * int list) option
+(* (inode, index pages, data pages, directory-index pages) *)
+val walk_file :
+  t -> ino:int -> dentry_addr:int -> (Layout.inode * int list * int list * int list) option
 val dir_page_is_empty : t -> int -> bool
 val wake_all : file_info -> unit
 

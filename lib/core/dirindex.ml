@@ -1,0 +1,702 @@
+(* Persistent B-link-style directory index (DESIGN.md §4.18).
+
+   An ordered tree over (name hash, dentry address) keys whose nodes are
+   single core-state NVM pages ({!Layout.dnode}).  The dentry pages stay
+   the source of truth: the tree is an *accelerator* — every mutation
+   persists the dentry first, then updates the tree, and any torn or
+   damaged node degrades to the linear dentry-page scan plus a rebuild
+   from the leaves.
+
+   Crash discipline (single writer per directory; readers are lock-free
+   thanks to the B-link right-sibling pointers):
+
+   - leaf/internal insert without overflow: one full-node rewrite whose
+     trailing CRC makes a torn write detectable (reader falls back);
+   - split: the new right sibling is written first (unreachable until
+     linked), then the left node is rewritten with halved keys, the
+     right link and the new high key — the tree is consistent before
+     and after that single page write — and only then is the parent
+     updated.  A crash between the last two steps leaves the right node
+     reachable through the right link;
+   - root split: the new root is written to a fresh page and the
+     directory dentry's [dindex_root] field is swung with one atomic
+     persisted 8-byte store.
+
+   All page allocation for an insert is done up front (worst case: one
+   new node per level plus a new root), so running out of space never
+   leaves a half-split tree. *)
+
+module Pmem = Trio_nvm.Pmem
+module Perf = Trio_nvm.Perf
+module Sched = Trio_sim.Sched
+module Stats = Trio_sim.Stats
+
+let page_size = Layout.page_size
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks *)
+
+(* Mask the name hash down to [bits] bits to force collisions. *)
+let collision_bits = ref None
+let set_collision_bits b = collision_bits := b
+
+(* Shrink the node fanout so unit tests and crash exploration reach
+   splits (and root splits) with a handful of entries instead of 170. *)
+let test_capacity = ref None
+let set_test_capacity c = test_capacity := c
+
+let capacity () =
+  match !test_capacity with
+  | Some c -> max 2 (min c Layout.dnode_capacity)
+  | None -> Layout.dnode_capacity
+
+let hash_name name =
+  let h = Trio_util.Htbl.string_hash name in
+  match !collision_bits with None -> h | Some bits -> h land ((1 lsl bits) - 1)
+
+let max_key = (max_int, max_int)
+
+(* ------------------------------------------------------------------ *)
+(* Node I/O *)
+
+(* Reading a node costs one in-node probe's worth of CPU on top of the
+   media access the Pmem layer charges.  Userspace actors read through
+   ECC: a poisoned node is indistinguishable from a torn one — both
+   degrade to the scan fallback.  [fetch] may serve the page from a DRAM
+   snapshot (the incremental verifier's delta checkpoint). *)
+let read_node ?fetch pm ~actor page =
+  Sched.cpu_work Perf.Cpu.hash_lookup;
+  if page <= Layout.root_dentry_page || page >= Pmem.total_pages pm then
+    Error (Printf.sprintf "index node %d outside the volume" page)
+  else begin
+    let from_device () =
+      if actor = Pmem.kernel_actor then
+        Ok (Pmem.read pm ~actor ~addr:(page * page_size) ~len:page_size)
+      else
+        match Pmem.read_ecc pm ~actor ~addr:(page * page_size) ~len:page_size with
+        | Pmem.Ecc.Ok b -> Ok b
+        | Pmem.Ecc.Poisoned _ -> Error (Printf.sprintf "index node %d poisoned" page)
+    in
+    let bytes =
+      match fetch with
+      | Some f -> ( match f page with Some b -> Ok b | None -> from_device ())
+      | None -> from_device ()
+    in
+    match bytes with
+    | Error _ as e -> e
+    | Ok b -> (
+      match Layout.decode_dnode b with
+      | Ok n -> Ok n
+      | Error e -> Error (Printf.sprintf "index node %d: %s" page e))
+  end
+
+let write_node pm ~actor page (n : Layout.dnode) =
+  Pmem.write pm ~actor ~addr:(page * page_size) ~src:(Layout.encode_dnode n);
+  Pmem.persist pm ~addr:(page * page_size) ~len:page_size
+
+let high_of (n : Layout.dnode) = (n.Layout.dn_high_hash, n.Layout.dn_high_addr)
+
+(* Index of the child covering [key] in internal node [n]: the first
+   entry whose separator is strictly above the key.  The caller has
+   already ruled out [key >= high] (move right), and the last separator
+   equals the high key, so a hit is guaranteed on a well-formed node. *)
+let route (n : Layout.dnode) key =
+  let len = Array.length n.Layout.dn_entries in
+  let rec go i =
+    if i >= len then None
+    else
+      let h, a, child = n.Layout.dn_entries.(i) in
+      if key < (h, a) then Some child else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Lookup *)
+
+(* All dentry addresses indexed under [hash], in key order.  Equal-hash
+   entries are adjacent; they may continue into right siblings when the
+   hash sits at a node boundary. *)
+let lookup ?fetch ?stats pm ~actor ~root ~hash =
+  (match stats with Some s -> Stats.incr s "verify.dindex.descents" | None -> ());
+  if root = 0 then Ok []
+  else begin
+    let bound = Pmem.total_pages pm in
+    let rec collect page acc steps =
+      if steps > bound then Error "index chain too long (cycle?)"
+      else
+        match read_node ?fetch pm ~actor page with
+        | Error _ as e -> e
+        | Ok n ->
+          let acc =
+            Array.fold_left
+              (fun acc (h, a, _) -> if h = hash then a :: acc else acc)
+              acc n.Layout.dn_entries
+          in
+          if n.Layout.dn_right <> 0 && n.Layout.dn_high_hash <= hash then
+            collect n.Layout.dn_right acc (steps + 1)
+          else Ok (List.rev acc)
+    in
+    let rec descend page steps =
+      if steps > bound then Error "index descent too deep (cycle?)"
+      else
+        match read_node ?fetch pm ~actor page with
+        | Error _ as e -> e
+        | Ok n ->
+          if (hash, 0) >= high_of n && n.Layout.dn_right <> 0 then
+            descend n.Layout.dn_right (steps + 1)
+          else if n.Layout.dn_level = 0 then collect page [] steps
+          else (
+            match route n (hash, 0) with
+            | Some child -> descend child (steps + 1)
+            | None -> Error "index node has no covering child")
+    in
+    descend root 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Insert *)
+
+let sorted_insert entries entry =
+  let key_of (h, a, _) = (h, a) in
+  let key = key_of entry in
+  let len = Array.length entries in
+  let rec pos i = if i >= len then i else if key < key_of entries.(i) then i else pos (i + 1) in
+  let i = pos 0 in
+  if i < len && key_of entries.(i) = key then None (* already present *)
+  else begin
+    let out = Array.make (len + 1) entry in
+    Array.blit entries 0 out 0 i;
+    Array.blit entries i out (i + 1) (len - i);
+    Some out
+  end
+
+(* Find the node at [start] (following right links) holding a child
+   entry for [child_page]; defensive against a reader racing a split. *)
+let find_parent pm ~actor ~start ~child_page =
+  let bound = Pmem.total_pages pm in
+  let rec go page steps =
+    if page = 0 || steps > bound then Error "index parent not found"
+    else
+      match read_node pm ~actor page with
+      | Error _ as e -> e
+      | Ok n ->
+        if Array.exists (fun (_, _, c) -> c = child_page) n.Layout.dn_entries then Ok (page, n)
+        else go n.Layout.dn_right (steps + 1)
+  in
+  go start 0
+
+let insert ?stats pm ~actor ~alloc ~free ~root ~hash ~addr =
+  (match stats with Some s -> Stats.incr s "verify.dindex.descents" | None -> ());
+  let cap = capacity () in
+  if root = 0 then
+    match alloc () with
+    | None -> Error `Nospace
+    | Some pg ->
+      write_node pm ~actor pg
+        {
+          Layout.dn_level = 0;
+          dn_right = 0;
+          dn_high_hash = fst max_key;
+          dn_high_addr = snd max_key;
+          dn_entries = [| (hash, addr, 0) |];
+        };
+      Ok (pg, [ pg ])
+  else begin
+    let bound = Pmem.total_pages pm in
+    let key = (hash, addr) in
+    (* Descend, recording the path of internal pages. *)
+    let rec descend page path steps =
+      if steps > bound then Error (`Damaged "index descent too deep (cycle?)")
+      else
+        match read_node pm ~actor page with
+        | Error e -> Error (`Damaged e)
+        | Ok n ->
+          if key >= high_of n && n.Layout.dn_right <> 0 then
+            descend n.Layout.dn_right path (steps + 1)
+          else if n.Layout.dn_level = 0 then Ok (page, n, path)
+          else (
+            match route n key with
+            | Some child -> descend child (page :: path) (steps + 1)
+            | None -> Error (`Damaged "index node has no covering child"))
+    in
+    match descend root [] 0 with
+    | Error _ as e -> e
+    | Ok (leaf_page, leaf, path) -> (
+      match sorted_insert leaf.Layout.dn_entries (hash, addr, 0) with
+      | None -> Ok (root, []) (* exact (hash, addr) already indexed *)
+      | Some entries when Array.length entries <= cap ->
+        write_node pm ~actor leaf_page { leaf with Layout.dn_entries = entries };
+        Ok (root, [])
+      | Some entries ->
+        (* Overflow: pre-allocate every page the worst case needs (one
+           per level plus a new root) so a full device fails cleanly
+           before any write. *)
+        let want = List.length path + 2 in
+        let fresh = ref [] in
+        let ok = ref true in
+        for _ = 1 to want do
+          if !ok then
+            match alloc () with
+            | Some pg -> fresh := pg :: !fresh
+            | None -> ok := false
+        done;
+        if not !ok then begin
+          List.iter free !fresh;
+          Error `Nospace
+        end
+        else begin
+          (match stats with Some s -> Stats.incr s "verify.dindex.splits" | None -> ());
+          let pool = ref !fresh in
+          let take () =
+            match !pool with
+            | pg :: rest ->
+              pool := rest;
+              pg
+            | [] -> assert false
+          in
+          (* Split [node] (already holding its overflowing entry set):
+             write the right half to a fresh page, rewrite the node,
+             return the separator to push up. *)
+          let split node_page (node : Layout.dnode) entries =
+            let len = Array.length entries in
+            let k = len / 2 in
+            let left_entries = Array.sub entries 0 k in
+            let right_entries = Array.sub entries k (len - k) in
+            let sep =
+              if node.Layout.dn_level = 0 then
+                let h, a, _ = right_entries.(0) in
+                (h, a)
+              else
+                let h, a, _ = left_entries.(k - 1) in
+                (h, a)
+            in
+            let right_page = take () in
+            write_node pm ~actor right_page
+              {
+                node with
+                Layout.dn_right = node.Layout.dn_right;
+                dn_high_hash = node.Layout.dn_high_hash;
+                dn_high_addr = node.Layout.dn_high_addr;
+                dn_entries = right_entries;
+              };
+            write_node pm ~actor node_page
+              {
+                node with
+                Layout.dn_right = right_page;
+                dn_high_hash = fst sep;
+                dn_high_addr = snd sep;
+                dn_entries = left_entries;
+              };
+            (sep, right_page)
+          in
+          (* Propagate the split up the recorded path. *)
+          let rec propagate child_page (sep, right_page) path level =
+            match path with
+            | [] ->
+              (* root split: fresh root referencing both halves *)
+              let new_root = take () in
+              write_node pm ~actor new_root
+                {
+                  Layout.dn_level = level + 1;
+                  dn_right = 0;
+                  dn_high_hash = fst max_key;
+                  dn_high_addr = snd max_key;
+                  dn_entries =
+                    [| (fst sep, snd sep, child_page); (fst max_key, snd max_key, right_page) |];
+                };
+              Ok new_root
+            | parent_start :: rest -> (
+              match find_parent pm ~actor ~start:parent_start ~child_page with
+              | Error e -> Error (`Damaged e)
+              | Ok (parent_page, parent) ->
+                (* the child's old entry now names the right half; a new
+                   entry at the separator keeps naming the left half *)
+                let updated =
+                  Array.map
+                    (fun (h, a, c) -> if c = child_page then (h, a, right_page) else (h, a, c))
+                    parent.Layout.dn_entries
+                in
+                let entries =
+                  match sorted_insert updated (fst sep, snd sep, child_page) with
+                  | Some e -> e
+                  | None -> updated (* separator collides: tree is damaged *)
+                in
+                if Array.length entries <= cap then begin
+                  write_node pm ~actor parent_page { parent with Layout.dn_entries = entries };
+                  Ok root
+                end
+                else
+                  let psep = split parent_page parent entries in
+                  propagate parent_page psep rest (parent.Layout.dn_level))
+          in
+          let leaf_sep = split leaf_page leaf entries in
+          match propagate leaf_page leaf_sep path 0 with
+          | Error _ as e -> e
+          | Ok new_root ->
+            let unused = !pool in
+            List.iter free unused;
+            let used = List.filter (fun pg -> not (List.mem pg unused)) !fresh in
+            Ok (new_root, used)
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Delete *)
+
+(* Remove the exact (hash, addr) entry.  No node merging: an underfull
+   (even empty) leaf is tolerated — rebuilds re-pack the tree.  Absent
+   entries are fine (idempotent, used by crash reconciliation). *)
+let delete pm ~actor ~root ~hash ~addr =
+  if root = 0 then Ok ()
+  else begin
+    let bound = Pmem.total_pages pm in
+    let key = (hash, addr) in
+    let rec descend page steps =
+      if steps > bound then Error "index descent too deep (cycle?)"
+      else
+        match read_node pm ~actor page with
+        | Error _ as e -> e
+        | Ok n ->
+          if key >= high_of n && n.Layout.dn_right <> 0 then descend n.Layout.dn_right (steps + 1)
+          else if n.Layout.dn_level = 0 then begin
+            let keep = Array.exists (fun (h, a, _) -> (h, a) = key) n.Layout.dn_entries in
+            if keep then
+              write_node pm ~actor page
+                {
+                  n with
+                  Layout.dn_entries =
+                    Array.of_list
+                      (List.filter
+                         (fun (h, a, _) -> (h, a) <> key)
+                         (Array.to_list n.Layout.dn_entries));
+                };
+            Ok ()
+          end
+          else (
+            match route n key with
+            | Some child -> descend child (steps + 1)
+            | None -> Error "index node has no covering child")
+    in
+    descend root 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ordered range scan *)
+
+(* Fold [f] over every leaf entry in (hash, addr) key order — the
+   documented stable readdir order.  Cost is one node read per leaf,
+   not one dentry probe per entry. *)
+let fold ?fetch ?stats pm ~actor ~root ~init ~f =
+  (match stats with Some s -> Stats.incr s "verify.dindex.range_scans" | None -> ());
+  if root = 0 then Ok init
+  else begin
+    let bound = Pmem.total_pages pm in
+    let rec leftmost page steps =
+      if steps > bound then Error "index descent too deep (cycle?)"
+      else
+        match read_node ?fetch pm ~actor page with
+        | Error _ as e -> e
+        | Ok n ->
+          if n.Layout.dn_level = 0 then Ok page
+          else (
+            match n.Layout.dn_entries with
+            | [||] -> Error "index node has no covering child"
+            | es ->
+              let _, _, child = es.(0) in
+              leftmost child (steps + 1))
+    in
+    let rec scan page acc steps =
+      if page = 0 then Ok acc
+      else if steps > bound then Error "index chain too long (cycle?)"
+      else
+        match read_node ?fetch pm ~actor page with
+        | Error _ as e -> e
+        | Ok n ->
+          let acc =
+            Array.fold_left (fun acc (h, a, _) -> f acc ~hash:h ~addr:a) acc n.Layout.dn_entries
+          in
+          scan n.Layout.dn_right acc (steps + 1)
+    in
+    match leftmost root 0 with Error _ as e -> e | Ok leaf -> scan leaf init 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-tree page collection *)
+
+(* Every page reachable from [root] (children and right siblings),
+   cycle-safe and total: damaged nodes contribute their own page (it is
+   still attributed to the directory) but no children.  This is what
+   the controller uses for page attribution, checkpointing and frees. *)
+let pages ?fetch pm ~actor ~root =
+  if root = 0 then []
+  else begin
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let rec visit page =
+      if
+        page <> 0
+        && page > Layout.root_dentry_page
+        && page < Pmem.total_pages pm
+        && not (Hashtbl.mem seen page)
+      then begin
+        Hashtbl.replace seen page ();
+        acc := page :: !acc;
+        match read_node ?fetch pm ~actor page with
+        | Error _ -> ()
+        | Ok n ->
+          if n.Layout.dn_level > 0 then
+            Array.iter (fun (_, _, child) -> visit child) n.Layout.dn_entries;
+          visit n.Layout.dn_right
+      end
+    in
+    visit root;
+    List.rev !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bulk build / rebuild *)
+
+(* Build a fresh tree over [entries] (any order, duplicates collapsed).
+   Used by mount-time recovery, the scan fallback and the kernel
+   scrubber's rebuild — the tree an index rebuild produces is always
+   structurally perfect.  Returns (root, pages used); an empty entry
+   set builds no tree (root 0). *)
+let build ?stats pm ~actor ~alloc ~free ~entries =
+  ignore stats;
+  let cap = capacity () in
+  let entries =
+    List.sort_uniq compare (List.map (fun (h, a) -> (h, a)) entries)
+  in
+  if entries = [] then Ok (0, [])
+  else begin
+    let used = ref [] in
+    let failed = ref false in
+    let take () =
+      if !failed then None
+      else
+        match alloc () with
+        | Some pg ->
+          used := pg :: !used;
+          Some pg
+        | None ->
+          failed := true;
+          None
+    in
+    (* chunk [xs] into groups of at most [cap] *)
+    let chunk xs =
+      let rec go acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | x :: rest ->
+          if n = cap then go (List.rev cur :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (n + 1) rest
+      in
+      go [] [] 0 xs
+    in
+    (* leaves: high key = first key of the next leaf *)
+    let leaf_groups = chunk entries in
+    let rec mk_leaves groups =
+      match groups with
+      | [] -> Some []
+      | g :: rest -> (
+        match take () with
+        | None -> None
+        | Some pg -> (
+          match mk_leaves rest with
+          | None -> None
+          | Some tail ->
+            let high = match tail with (_, first_key, _) :: _ -> first_key | [] -> max_key in
+            let right = match tail with (rpg, _, _) :: _ -> rpg | [] -> 0 in
+            let first_key = match g with k :: _ -> k | [] -> max_key in
+            write_node pm ~actor pg
+              {
+                Layout.dn_level = 0;
+                dn_right = right;
+                dn_high_hash = fst high;
+                dn_high_addr = snd high;
+                dn_entries = Array.of_list (List.map (fun (h, a) -> (h, a, 0)) g);
+              };
+            Some ((pg, first_key, high) :: tail)))
+    in
+    (* internal levels: entry = (child high, child page) *)
+    let rec mk_level level nodes =
+      (* nodes: (page, first_key, high) in order *)
+      match nodes with
+      | None -> None
+      | Some [ (pg, _, _) ] -> Some pg
+      | Some ns -> (
+        let groups = chunk ns in
+        let rec mk_parents groups =
+          match groups with
+          | [] -> Some []
+          | g :: rest -> (
+            match take () with
+            | None -> None
+            | Some pg -> (
+              match mk_parents rest with
+              | None -> None
+              | Some tail ->
+                let right = match tail with (rpg, _, _) :: _ -> rpg | [] -> 0 in
+                let entries =
+                  Array.of_list (List.map (fun (cpg, _, (hh, ha)) -> (hh, ha, cpg)) g)
+                in
+                let high =
+                  match g with
+                  | [] -> max_key
+                  | _ ->
+                    let _, _, h = List.nth g (List.length g - 1) in
+                    h
+                in
+                let first_key =
+                  match g with (_, fk, _) :: _ -> fk | [] -> max_key
+                in
+                write_node pm ~actor pg
+                  {
+                    Layout.dn_level = level;
+                    dn_right = right;
+                    dn_high_hash = fst high;
+                    dn_high_addr = snd high;
+                    dn_entries = entries;
+                  };
+                Some ((pg, first_key, high) :: tail)))
+        in
+        match mk_parents groups with None -> None | Some parents -> mk_level (level + 1) (Some parents))
+    in
+    match mk_level 1 (Some (Option.value (mk_leaves leaf_groups) ~default:[])) with
+    | Some root when not !failed -> Ok (root, List.rev !used)
+    | _ ->
+      List.iter free !used;
+      Error `Nospace
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Structural audit (verifier invariant I5) *)
+
+type audit = {
+  au_pages : int list; (* every page visited, in walk order *)
+  au_entries : (int * int) list; (* leaf (hash, addr) keys, in key order *)
+  au_violations : string list;
+}
+
+(* Walk the whole tree, checking every structural invariant: node CRCs
+   decode, entries strictly ascending, keys below the high key, an
+   internal node's high equals its last separator, each separator
+   equals its child's high key, sibling chains at every level agree
+   with the parents' child sequences, levels decrease by one, and the
+   root is rightmost-complete (no right sibling, high = top).  Returns
+   the leaf entries for the agreement check against the dentry truth.
+
+   Total and cycle-safe: damaged or revisited nodes become violations,
+   never exceptions. *)
+let audit ?fetch pm ~actor ~root =
+  if root = 0 then { au_pages = []; au_entries = []; au_violations = [] }
+  else begin
+    let violations = ref [] in
+    let pages = ref [] in
+    let entries = ref [] in
+    let seen = Hashtbl.create 16 in
+    let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let read page =
+      if Hashtbl.mem seen page then begin
+        add "index node %d revisited (cycle)" page;
+        None
+      end
+      else begin
+        Hashtbl.replace seen page ();
+        pages := page :: !pages;
+        match read_node ?fetch pm ~actor page with
+        | Error e ->
+          add "%s" e;
+          None
+        | Ok n -> Some n
+      end
+    in
+    (* read one level's sibling chain *)
+    let chain start =
+      let bound = Pmem.total_pages pm in
+      let rec go acc page steps =
+        if page = 0 then List.rev acc
+        else if steps > bound then begin
+          add "index sibling chain too long (cycle?)";
+          List.rev acc
+        end
+        else
+          match read page with
+          | None -> List.rev acc
+          | Some n -> go ((page, n) :: acc) n.Layout.dn_right (steps + 1)
+      in
+      go [] start 0
+    in
+    let check_node expected_level (page, (n : Layout.dnode)) =
+      if n.Layout.dn_level <> expected_level then
+        add "index node %d: level %d, expected %d" page n.Layout.dn_level expected_level;
+      let len = Array.length n.Layout.dn_entries in
+      let high = high_of n in
+      for i = 0 to len - 1 do
+        let h, a, _ = n.Layout.dn_entries.(i) in
+        if i > 0 then begin
+          let ph, pa, _ = n.Layout.dn_entries.(i - 1) in
+          if (ph, pa) >= (h, a) then add "index node %d: entries out of order at %d" page i
+        end;
+        if (h, a) >= high && not (expected_level > 0 && i = len - 1) then
+          add "index node %d: key (%d, %d) above the high key" page h a
+      done;
+      if expected_level > 0 then begin
+        if len = 0 then add "index node %d: empty internal node" page
+        else begin
+          let h, a, _ = n.Layout.dn_entries.(len - 1) in
+          if (h, a) <> high then add "index node %d: high key is not the last separator" page
+        end
+      end
+    in
+    let rec down start expected_level =
+      (* returns the chain's pages in order, for the parent check *)
+      let nodes = chain start in
+      List.iter (check_node expected_level) nodes;
+      (* sibling highs strictly ascend; the rightmost high is the top *)
+      let rec seams = function
+        | (pga, na) :: ((_, nb) :: _ as rest) ->
+          if high_of na > high_of nb then add "index node %d: high key above its right sibling's" pga;
+          (match nb.Layout.dn_entries with
+          | [||] -> ()
+          | es ->
+            let h, a, _ = es.(0) in
+            if (h, a) < high_of na then add "index node %d: right sibling starts below the seam" pga);
+          seams rest
+        | [ (pg, n) ] -> if high_of n <> max_key then add "index node %d: rightmost high key is not the top" pg
+        | [] -> ()
+      in
+      seams nodes;
+      if expected_level = 0 then
+        List.iter
+          (fun (_, n) ->
+            Array.iter (fun (h, a, _) -> entries := (h, a) :: !entries) n.Layout.dn_entries)
+          nodes
+      else begin
+        (* each separator must equal its child's high key; the child
+           chain of the next level must be exactly the concatenated
+           child pointers *)
+        let children =
+          List.concat_map
+            (fun (_, n) ->
+              Array.to_list n.Layout.dn_entries |> List.map (fun (h, a, c) -> ((h, a), c)))
+            nodes
+        in
+        match children with
+        | [] -> ()
+        | (_, first) :: _ ->
+          let child_chain = down first (expected_level - 1) in
+          if child_chain <> List.map snd children then
+            add "index level %d sibling chain disagrees with its parents" (expected_level - 1)
+      end;
+      List.map fst nodes
+    in
+    (match read root with
+    | None -> ()
+    | Some rn ->
+      if rn.Layout.dn_right <> 0 then add "index root %d has a right sibling" root;
+      if high_of rn <> max_key then add "index root %d: high key is not the top" root;
+      Hashtbl.remove seen root;
+      pages := [];
+      ignore (down root rn.Layout.dn_level));
+    { au_pages = List.rev !pages; au_entries = List.rev !entries; au_violations = List.rev !violations }
+  end

@@ -43,6 +43,14 @@ let off_ctime = 43
 let off_name_len = 64
 let off_name = 66
 
+(* Directory dentries keep the page number of the root node of their
+   hash index (DESIGN.md §4.18) in the 8-aligned tail word of the block
+   (the name field ends at 246, so 248..255 is spare).  0 = directory
+   not indexed (empty, or the index is being rebuilt).  Like [off_ino],
+   the field is only ever updated with a single atomic persisted
+   store — swinging the root after a split is crash-atomic. *)
+let off_dindex_root = 248
+
 (* Index pages *)
 let index_entries = (page_size / 8) - 1 (* 511 payload slots *)
 let index_next_off = index_entries * 8 (* last slot links the next index page *)
@@ -120,10 +128,11 @@ let decode_dentry (b : Bytes.t) : (inode * string, string) result option =
            Ok (inode, name)
          end)
 
-let encode_dentry ~(inode : inode) ~name : Bytes.t =
+let encode_dentry ?(dindex_root = 0) ~(inode : inode) ~name () : Bytes.t =
   if String.length name > name_max then invalid_arg "Layout.encode_dentry: name too long";
   let b = Bytes.make dentry_size '\000' in
   set_u64 b off_ino inode.ino;
+  set_u64 b off_dindex_root dindex_root;
   set_u8 b off_ftype (Fs_types.ftype_code inode.ftype);
   set_u16 b off_mode inode.mode;
   set_u32 b off_uid inode.uid;
@@ -153,9 +162,11 @@ let read_dentry pm ~actor ~addr =
     | Pmem.Ecc.Poisoned _ -> Some (Error "dentry block poisoned (uncorrectable media error)")
 
 (* Write a dentry block following the crash-consistent create protocol:
-   persist everything with ino = 0, then persist the 8-byte ino store. *)
-let write_dentry_atomic pm ~actor ~addr ~(inode : inode) ~name =
-  let b = encode_dentry ~inode ~name in
+   persist everything with ino = 0, then persist the 8-byte ino store.
+   [dindex_root] is written with the body: rename uses it to carry a
+   directory's index root to the destination dentry. *)
+let write_dentry_atomic ?dindex_root pm ~actor ~addr ~(inode : inode) ~name =
+  let b = encode_dentry ?dindex_root ~inode ~name () in
   let ino = inode.ino in
   set_u64 b off_ino 0;
   Pmem.write pm ~actor ~addr ~src:b;
@@ -180,6 +191,13 @@ let write_index_head pm ~actor ~dentry_addr page =
 let write_mtime pm ~actor ~dentry_addr time =
   Pmem.write_u64 pm ~actor ~addr:(dentry_addr + off_mtime) time;
   Pmem.persist pm ~addr:(dentry_addr + off_mtime) ~len:8
+
+let read_dindex_root pm ~actor ~dentry_addr =
+  Pmem.read_u64 pm ~actor ~addr:(dentry_addr + off_dindex_root)
+
+let write_dindex_root pm ~actor ~dentry_addr page =
+  Pmem.write_u64 pm ~actor ~addr:(dentry_addr + off_dindex_root) page;
+  Pmem.persist pm ~addr:(dentry_addr + off_dindex_root) ~len:8
 
 let write_perms pm ~actor ~dentry_addr ~mode ~uid ~gid =
   let b = Bytes.make 10 '\000' in
@@ -275,6 +293,92 @@ let walk_index_chain ?fetch pm ~actor ~head ~max_pages f =
 let dentry_slot_addr page slot =
   if slot < 0 || slot >= dentries_per_page then invalid_arg "Layout.dentry_slot_addr";
   (page * page_size) + (slot * dentry_size)
+
+(* ------------------------------------------------------------------ *)
+(* Directory-index nodes (DESIGN.md §4.18).
+
+   One B-link-tree node per page.  Keys are (name hash, dentry address)
+   pairs compared lexicographically: the address component makes every
+   key unique, so hash collisions never straddle a split ambiguously —
+   equal-hash entries are simply adjacent in key order.
+
+     magic u32 | level u8 | nkeys u16 | right-sibling page u64
+     | high hash u64 | high addr u64 | entries (24 bytes each)
+     | ... zero fill ... | crc u64 (CRC32 of everything before it)
+
+   A leaf entry is (hash, dentry addr, 0); an internal entry is
+   (separator hash, separator addr, child page) where the child covers
+   keys strictly below its separator and the node's high key equals the
+   last separator.  The rightmost node at each level has high key
+   (max_int, max_int) and no right sibling.
+
+   The CRC covers the whole page body, so a torn node write decodes as
+   an error — readers fall back to the dentry-page scan and the index
+   is rebuilt from its leaves (the dentry pages stay the source of
+   truth; the tree is an accelerator). *)
+
+let dnode_magic = 0x44495831 (* "DIX1" *)
+let dnode_hdr_size = 32
+let dnode_entry_size = 24
+let dnode_crc_off = page_size - 8
+let dnode_capacity = (dnode_crc_off - dnode_hdr_size) / dnode_entry_size (* 169 *)
+
+let dn_off_magic = 0
+let dn_off_level = 4
+let dn_off_nkeys = 6
+let dn_off_right = 8
+let dn_off_high_hash = 16
+let dn_off_high_addr = 24
+
+type dnode = {
+  dn_level : int; (* 0 = leaf *)
+  dn_right : int; (* right-sibling page; 0 = rightmost at this level *)
+  dn_high_hash : int; (* exclusive upper bound of this node's key space *)
+  dn_high_addr : int;
+  dn_entries : (int * int * int) array;
+}
+
+let encode_dnode (n : dnode) : Bytes.t =
+  let nkeys = Array.length n.dn_entries in
+  if nkeys > dnode_capacity then invalid_arg "Layout.encode_dnode: too many entries";
+  let b = Bytes.make page_size '\000' in
+  set_u32 b dn_off_magic dnode_magic;
+  set_u8 b dn_off_level n.dn_level;
+  set_u16 b dn_off_nkeys nkeys;
+  set_u64 b dn_off_right n.dn_right;
+  set_u64 b dn_off_high_hash n.dn_high_hash;
+  set_u64 b dn_off_high_addr n.dn_high_addr;
+  Array.iteri
+    (fun i (h, a, x) ->
+      let off = dnode_hdr_size + (i * dnode_entry_size) in
+      set_u64 b off h;
+      set_u64 b (off + 8) a;
+      set_u64 b (off + 16) x)
+    n.dn_entries;
+  set_u64 b dnode_crc_off (Crc32.of_bytes ~pos:0 ~len:dnode_crc_off b);
+  b
+
+let decode_dnode (b : Bytes.t) : (dnode, string) result =
+  if Bytes.length b <> page_size then Error "index node: wrong page size"
+  else if get_u32 b dn_off_magic <> dnode_magic then Error "index node: bad magic"
+  else if get_u64 b dnode_crc_off <> Crc32.of_bytes ~pos:0 ~len:dnode_crc_off b then
+    Error "index node: bad crc"
+  else begin
+    let nkeys = get_u16 b dn_off_nkeys in
+    if nkeys > dnode_capacity then Error "index node: bad key count"
+    else
+      Ok
+        {
+          dn_level = get_u8 b dn_off_level;
+          dn_right = get_u64 b dn_off_right;
+          dn_high_hash = get_u64 b dn_off_high_hash;
+          dn_high_addr = get_u64 b dn_off_high_addr;
+          dn_entries =
+            Array.init nkeys (fun i ->
+                let off = dnode_hdr_size + (i * dnode_entry_size) in
+                (get_u64 b off, get_u64 b (off + 8), get_u64 b (off + 16)));
+        }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Superblock / mkfs *)

@@ -131,7 +131,23 @@ let scrub_file_page ctl st ~ino ~page ~lines =
       repair_from_checkpoint pmem ~page ~lines ~snapshot;
       st.repaired <- st.repaired + List.length lines
     | None ->
-      if page = Layout.root_dentry_page then scrub_root_page ctl st ~lines
+      if Controller.dindex_member ctl ~ino page then begin
+        (* A directory-index node with no verified copy is not worth
+           patching line by line: the index is a rebuildable accelerator
+           (DESIGN.md §4.18), the dentry pages are the source of truth.
+           Rebuild the whole tree from the live dentries, then zero-fill
+           the damaged lines of the now-free page so the media heals
+           before the pool hands it out again.  No migration, no
+           degradation, nothing lost. *)
+        (match Controller.rebuild_dindex ctl ~ino with
+        | Ok _ ->
+          zero_fill pmem ~page ~lines;
+          st.repaired <- st.repaired + List.length lines
+        | Error _ ->
+          Controller.quarantine_page ctl ~ino page;
+          st.quarantined <- st.quarantined + 1)
+      end
+      else if page = Layout.root_dentry_page then scrub_root_page ctl st ~lines
       else begin
         (* No good copy anywhere: migrate what survives, retire the
            page, degrade the file. *)

@@ -71,10 +71,17 @@ type view = {
          write-mapped by the same process. *)
 }
 
-(* [`Media] is not one of the paper's I1..I4 invariants: it records an
+(* I5 (DESIGN.md §4.18) extends the paper's set: when a directory is
+   indexed (its dentry carries a B-link root), the index must agree
+   with the dentry pages — every live dentry reachable at its hash, no
+   dangling entries, node ordering/fanout/CRC valid.  An unindexed
+   directory (root 0) is legal: the index is an accelerator, and its
+   absence just means the LibFS falls back to page scans.
+
+   [`Media] is not one of the paper's invariants: it records an
    unrepairable media fault found by the patrol scrubber (see {!Scrub}),
    reusing the same corruption-event plumbing. *)
-type violation = { check : [ `I1 | `I2 | `I3 | `I4 | `Media ]; detail : string }
+type violation = { check : [ `I1 | `I2 | `I3 | `I4 | `I5 | `Media ]; detail : string }
 
 type child = { c_ino : int; c_ftype : Fs_types.ftype; c_dentry_addr : int; c_name : string }
 
@@ -84,6 +91,7 @@ type report = {
   fixed : string list; (* I4 repairs applied *)
   index_pages : int list;
   data_pages : int list;
+  dindex_pages : int list; (* B-link index nodes (directories only) *)
   children : child list; (* live children (directories only) *)
   deleted_children : int list; (* inos gone since the checkpoint *)
   size : int;
@@ -96,6 +104,7 @@ let empty_report =
     fixed = [];
     index_pages = [];
     data_pages = [];
+    dindex_pages = [];
     children = [];
     deleted_children = [];
     size = 0;
@@ -299,10 +308,68 @@ let check_child_tree ?delta ?stats view ~refs ~actor ~proc ~(child : Layout.inod
           :: !violations
   end
 
+(* The directory's B-link index root, from the (possibly snapshot-clean)
+   parent data page holding its dentry block. *)
+let read_dindex_root_via ~delta view ~actor ~dentry_addr =
+  match delta (dentry_addr / Layout.page_size) with
+  | Some page_bytes ->
+    Layout.get_u64 page_bytes ((dentry_addr mod Layout.page_size) + Layout.off_dindex_root)
+  | None -> Layout.read_dindex_root view.pmem ~actor ~dentry_addr
+
+(* I5: index <-> dentry-page agreement (DESIGN.md §4.18).  The audit
+   walks the whole tree checking structure (CRCs, ordering, fanout,
+   seams, parent/child agreement); its leaf entries are then matched —
+   both ways — against the live dentries the I1 walk produced.  Node
+   pages join the shared [refs] set so the index can never smuggle in a
+   page the file does not own (I2 discipline), and clean nodes served
+   from the delta checkpoint pay a spot-check charge like I1–I4. *)
+let check_dindex ?(delta = no_delta) ?stats view ~refs ~actor ~proc ~(inode : Layout.inode) ~root
+    ~(children : child list) ~violations =
+  if root = 0 then []
+  else begin
+    let bad detail =
+      count stats "verify.i5.violations";
+      violations := { check = `I5; detail } :: !violations
+    in
+    let fetch pg =
+      match delta pg with
+      | Some b ->
+        count stats "verify.dirty.hits";
+        Sched.cpu_work (Perf.Cpu.index_entry_check *. 8.0);
+        Some b
+      | None ->
+        count stats "verify.dirty.misses";
+        Sched.cpu_work (Perf.Cpu.index_entry_check *. float_of_int Layout.dnode_capacity);
+        None
+    in
+    let a = Dirindex.audit ~fetch view.pmem ~actor ~root in
+    List.iter
+      (fun pg -> check_page view ~proc ~ino:inode.ino ~refs ~violations pg "index node")
+      a.Dirindex.au_pages;
+    List.iter bad a.Dirindex.au_violations;
+    let tree = Hashtbl.create 64 in
+    List.iter (fun k -> Hashtbl.replace tree k ()) a.Dirindex.au_entries;
+    List.iter
+      (fun (c : child) ->
+        let key = (Dirindex.hash_name c.c_name, c.c_dentry_addr) in
+        if Hashtbl.mem tree key then Hashtbl.remove tree key
+        else
+          bad
+            (Printf.sprintf "live dentry %S (inode %d) not reachable in the index" c.c_name
+               c.c_ino))
+      children;
+    Hashtbl.iter
+      (fun (h, addr) () ->
+        bad (Printf.sprintf "dangling index entry (hash %d, dentry address %d)" h addr))
+      tree;
+    List.filter (fun pg -> pg > Layout.root_dentry_page && pg < view.total_pages) a.Dirindex.au_pages
+  end
+
 (* Check a directory: every live dentry is validated (I1), children are
-   accounted (I2), the deleted-child rule is enforced (I3). *)
+   accounted (I2), the deleted-child rule is enforced (I3), and an
+   indexed directory's B-link tree must agree with its dentries (I5). *)
 let check_directory ?(delta = no_delta) ?stats ~ph view ~actor ~proc ~(inode : Layout.inode)
-    ~fixed ~violations =
+    ~dentry_addr ~fixed ~violations =
   let refs = Hashtbl.create 64 in
   phase ph (Some "verify.i2");
   let index_pages, data_pages =
@@ -438,7 +505,13 @@ let check_directory ?(delta = no_delta) ?stats ~ph view ~actor ~proc ~(inode : L
             :: !violations
         | _ -> () (* regular file pages are reclaimed by the controller *)))
     deleted;
-  (index_pages, data_pages, children, deleted)
+  (* I5: the ordered index must agree with the dentry truth. *)
+  phase ph (Some "verify.i5");
+  let root = read_dindex_root_via ~delta view ~actor ~dentry_addr in
+  let dindex_pages =
+    check_dindex ~delta ?stats view ~refs ~actor ~proc ~inode ~root ~children ~violations
+  in
+  (index_pages, data_pages, dindex_pages, children, deleted)
 
 (* Entry point: verify the file whose dentry block sits at [dentry_addr],
    which process [proc] had write-mapped.  [delta] enables incremental
@@ -485,12 +558,26 @@ let check_file ?delta ?stats view ~proc ~ino ~dentry_addr : report =
     phase ph (Some "verify.i4");
     check_perms view ~actor ~fixed ~violations ~inode ~dentry_addr;
     (* Re-read: I4 repairs may have rewritten the permission fields. *)
-    let index_pages, data_pages, children, deleted =
+    let index_pages, data_pages, dindex_pages, children, deleted =
       match inode.ftype with
       | Fs_types.Reg ->
         let ip, dp = check_regular ?delta ?stats ~ph view ~actor ~proc ~inode ~violations in
-        (ip, dp, [], [])
-      | Fs_types.Dir -> check_directory ~delta:d ?stats ~ph view ~actor ~proc ~inode ~fixed ~violations
+        (* A regular file must not carry a directory-index root. *)
+        phase ph (Some "verify.i5");
+        let root = read_dindex_root_via ~delta:d view ~actor ~dentry_addr in
+        if root <> 0 then begin
+          count stats "verify.i5.violations";
+          violations :=
+            {
+              check = `I5;
+              detail = Printf.sprintf "regular file %d carries a directory-index root" inode.ino;
+            }
+            :: !violations
+        end;
+        (ip, dp, [], [], [])
+      | Fs_types.Dir ->
+        check_directory ~delta:d ?stats ~ph view ~actor ~proc ~inode ~dentry_addr ~fixed
+          ~violations
     in
     finish
       {
@@ -499,6 +586,7 @@ let check_file ?delta ?stats view ~proc ~ino ~dentry_addr : report =
         fixed = List.rev !fixed;
         index_pages;
         data_pages;
+        dindex_pages;
         children;
         deleted_children = deleted;
         size = inode.size;
@@ -506,6 +594,12 @@ let check_file ?delta ?stats view ~proc ~ino ~dentry_addr : report =
 
 let pp_violation ppf v =
   let tag =
-    match v.check with `I1 -> "I1" | `I2 -> "I2" | `I3 -> "I3" | `I4 -> "I4" | `Media -> "MEDIA"
+    match v.check with
+    | `I1 -> "I1"
+    | `I2 -> "I2"
+    | `I3 -> "I3"
+    | `I4 -> "I4"
+    | `I5 -> "I5"
+    | `Media -> "MEDIA"
   in
   Fmt.pf ppf "[%s] %s" tag v.detail

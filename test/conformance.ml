@@ -93,6 +93,38 @@ let checks : (string * (Fs.t -> unit)) list =
           ok "readdir" (fs.Fs.readdir "/rd") |> List.map (fun e -> e.d_name) |> List.sort compare
         in
         Alcotest.(check (list string)) "names" [ "a"; "b"; "sub" ] names );
+    ( "readdir entry set is order-independent",
+      (* File systems are free to pick their own readdir order (ArckFS
+         returns ascending (name-hash, name) from the B-link index;
+         baselines return page-scan order) — but after the same mutation
+         history every one of them must report the exact same entry
+         *set*, with no duplicates and no ghosts.  Checked by sorting
+         into one canonical order before comparing. *)
+      fun fs ->
+        ok "mkdir" (fs.Fs.mkdir "/es" 0o755);
+        let names = List.init 30 (fun i -> Printf.sprintf "n%02d" i) in
+        List.iter (fun n -> ignore (ok n (fs.Fs.create ("/es/" ^ n) 0o644))) names;
+        ok "subdir" (fs.Fs.mkdir "/es/sub" 0o755);
+        ok "unlink" (fs.Fs.unlink "/es/n07");
+        ok "rename" (fs.Fs.rename "/es/n11" "/es/renamed");
+        let got =
+          ok "readdir" (fs.Fs.readdir "/es")
+          |> List.map (fun e -> (e.d_name, e.d_ftype = Dir))
+          |> List.sort compare
+        in
+        let rec no_dup = function
+          | a :: (b :: _ as tl) -> a <> b && no_dup tl
+          | _ -> true
+        in
+        Alcotest.(check bool) "no duplicate entries" true (no_dup got);
+        let expected =
+          (("renamed", false) :: ("sub", true)
+          :: List.filter_map
+               (fun n -> if n = "n07" || n = "n11" then None else Some (n, false))
+               names)
+          |> List.sort compare
+        in
+        Alcotest.(check (list (pair string bool))) "entry set" expected got );
     ( "unlink removes and frees the name",
       fun fs ->
         ignore (ok "create" (fs.Fs.create "/u" 0o644));

@@ -28,7 +28,7 @@ let sample_inode =
   }
 
 let test_dentry_roundtrip () =
-  let b = Layout.encode_dentry ~inode:sample_inode ~name:"report.txt" in
+  let b = Layout.encode_dentry ~inode:sample_inode ~name:"report.txt" () in
   match Layout.decode_dentry b with
   | Some (Ok (inode, name)) ->
     Alcotest.(check string) "name" "report.txt" name;
@@ -45,12 +45,12 @@ let test_dentry_free_slot () =
   Alcotest.(check bool) "free slot decodes to None" true (Layout.decode_dentry b = None)
 
 let test_dentry_garbage_rejected () =
-  let b = Layout.encode_dentry ~inode:sample_inode ~name:"x" in
+  let b = Layout.encode_dentry ~inode:sample_inode ~name:"x" () in
   Layout.set_u8 b Layout.off_ftype 9 (* invalid file type *);
   (match Layout.decode_dentry b with
   | Some (Error _) -> ()
   | _ -> Alcotest.fail "invalid ftype accepted");
-  let b2 = Layout.encode_dentry ~inode:sample_inode ~name:"x" in
+  let b2 = Layout.encode_dentry ~inode:sample_inode ~name:"x" () in
   Layout.set_u16 b2 Layout.off_name_len 5000;
   match Layout.decode_dentry b2 with
   | Some (Error _) -> ()
@@ -59,7 +59,7 @@ let test_dentry_garbage_rejected () =
 let test_name_too_long_rejected () =
   let name = String.make 200 'a' in
   try
-    ignore (Layout.encode_dentry ~inode:sample_inode ~name);
+    ignore (Layout.encode_dentry ~inode:sample_inode ~name ());
     Alcotest.fail "over-long name accepted"
   with Invalid_argument _ -> ()
 
@@ -81,7 +81,7 @@ let test_atomic_create_protocol () =
       let pm = env.Helpers.pmem in
       let addr = 3 * Layout.page_size in
       (* simulate the first half of the protocol by hand *)
-      let b = Layout.encode_dentry ~inode:sample_inode ~name:"f" in
+      let b = Layout.encode_dentry ~inode:sample_inode ~name:"f" () in
       Layout.set_u64 b Layout.off_ino 0;
       Pmem.write pm ~actor ~addr ~src:b;
       Pmem.persist pm ~addr ~len:Layout.dentry_size;

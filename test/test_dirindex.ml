@@ -1,0 +1,297 @@
+(* Tests for the B-link ordered directory index (DESIGN.md §4.18):
+   the raw tree operations at scale, duplicate-hash collisions, split
+   boundaries, the LibFS integration (rename across indexed
+   directories, readdir ordering), and the kill-point / mutation
+   exploration campaigns. *)
+
+module Pmem = Trio_nvm.Pmem
+module Dirindex = Trio_core.Dirindex
+module Libfs = Arckfs.Libfs
+module Fs = Trio_core.Fs_intf
+module Controller = Trio_core.Controller
+module Explore = Trio_check.Explore
+open Trio_core.Fs_types
+
+let ok = Helpers.check_ok
+let err = Helpers.check_err
+let deep = Sys.getenv_opt "DIRCHECK_DEEP" = Some "1"
+
+(* Unwrap the tree's two error shapes. *)
+let tok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let iok what = function
+  | Ok v -> v
+  | Error `Nospace -> Alcotest.failf "%s: out of space" what
+  | Error (`Damaged e) -> Alcotest.failf "%s: damaged: %s" what e
+
+(* ------------------------------------------------------------------ *)
+(* Raw tree harness: a page pool over the top half of the device.  The
+   controller's extent allocators never reach up there during these
+   tests, so the raw tree can own those pages without a fight. *)
+
+let with_tree f =
+  Helpers.run_sim (fun env ->
+      let pm = env.Helpers.pmem in
+      let total = Pmem.total_pages pm in
+      let next = ref (total / 2) in
+      let freed = ref [] in
+      let alloc () =
+        match !freed with
+        | pg :: rest ->
+          freed := rest;
+          Some pg
+        | [] ->
+          if !next >= total then None
+          else begin
+            let pg = !next in
+            incr next;
+            Some pg
+          end
+      in
+      let free pg = freed := pg :: !freed in
+      f pm alloc free)
+
+let audit_clean what pm root =
+  let au = Dirindex.audit pm ~actor:Pmem.kernel_actor ~root in
+  if au.Dirindex.au_violations <> [] then
+    Alcotest.failf "%s: audit violations: %s" what
+      (String.concat "; " au.Dirindex.au_violations);
+  au
+
+(* ------------------------------------------------------------------ *)
+(* Scale: insert / lookup / delete through thousands of entries with a
+   scrambled key order, production fanout. *)
+
+let test_scale () =
+  with_tree (fun pm alloc free ->
+      let actor = Pmem.kernel_actor in
+      let n = if deep then 100_000 else 2_000 in
+      (* multiplicative scramble so inserts arrive in shuffled key
+         order; masked so duplicate hashes appear too *)
+      let hash i = i * 2654435761 land 0xFFFFF in
+      let root = ref 0 in
+      for i = 0 to n - 1 do
+        let r, _fresh =
+          iok "insert"
+            (Dirindex.insert pm ~actor ~alloc ~free ~root:!root ~hash:(hash i) ~addr:i)
+        in
+        root := r
+      done;
+      let au = audit_clean "after inserts" pm !root in
+      Alcotest.(check int) "entry count" n (List.length au.Dirindex.au_entries);
+      (* every key resolvable; sample when deep to keep the suite honest
+         about wall clock *)
+      let step = if deep then 97 else 1 in
+      let i = ref 0 in
+      while !i < n do
+        let addrs =
+          tok "lookup" (Dirindex.lookup pm ~actor ~root:!root ~hash:(hash !i))
+        in
+        if not (List.mem !i addrs) then Alcotest.failf "entry %d not found" !i;
+        i := !i + step
+      done;
+      (* delete the even half, then verify the odd half survives *)
+      let i = ref 0 in
+      while !i < n do
+        tok "delete" (Dirindex.delete pm ~actor ~root:!root ~hash:(hash !i) ~addr:!i);
+        i := !i + 2
+      done;
+      let au = audit_clean "after deletes" pm !root in
+      Alcotest.(check int) "half left" (n / 2) (List.length au.Dirindex.au_entries);
+      let addrs = tok "lookup even" (Dirindex.lookup pm ~actor ~root:!root ~hash:(hash 0)) in
+      Alcotest.(check bool) "deleted gone" false (List.mem 0 addrs);
+      let addrs = tok "lookup odd" (Dirindex.lookup pm ~actor ~root:!root ~hash:(hash 1)) in
+      Alcotest.(check bool) "survivor found" true (List.mem 1 addrs);
+      (* drain the rest: an empty tree is legal and still audits *)
+      let i = ref 1 in
+      while !i < n do
+        tok "delete rest" (Dirindex.delete pm ~actor ~root:!root ~hash:(hash !i) ~addr:!i);
+        i := !i + 2
+      done;
+      let au = audit_clean "empty" pm !root in
+      Alcotest.(check int) "empty" 0 (List.length au.Dirindex.au_entries))
+
+(* Duplicate hashes: many names can share one hash bucket; the
+   composite (hash, addr) key keeps them distinct, lookup returns the
+   whole bucket, delete removes exactly one. *)
+let test_duplicate_hashes () =
+  with_tree (fun pm alloc free ->
+      let actor = Pmem.kernel_actor in
+      Dirindex.set_test_capacity (Some 4);
+      Fun.protect
+        ~finally:(fun () -> Dirindex.set_test_capacity None)
+        (fun () ->
+          let root = ref 0 in
+          (* 50 entries, all hash 42: the bucket spans many leaves *)
+          for a = 0 to 49 do
+            let r, _ =
+              iok "insert dup"
+                (Dirindex.insert pm ~actor ~alloc ~free ~root:!root ~hash:42 ~addr:a)
+            in
+            root := r
+          done;
+          ignore
+            (iok "insert other"
+               (Dirindex.insert pm ~actor ~alloc ~free ~root:!root ~hash:7 ~addr:1000)
+             : int * int list);
+          let bucket = tok "lookup bucket" (Dirindex.lookup pm ~actor ~root:!root ~hash:42) in
+          Alcotest.(check int) "whole bucket" 50 (List.length bucket);
+          tok "delete one" (Dirindex.delete pm ~actor ~root:!root ~hash:42 ~addr:17);
+          let bucket = tok "re-lookup" (Dirindex.lookup pm ~actor ~root:!root ~hash:42) in
+          Alcotest.(check int) "one fewer" 49 (List.length bucket);
+          Alcotest.(check bool) "victim gone" false (List.mem 17 bucket);
+          Alcotest.(check bool) "neighbors live" true (List.mem 16 bucket && List.mem 18 bucket);
+          ignore (audit_clean "collisions" pm !root : Dirindex.audit)))
+
+(* Boundaries: the empty tree (root = 0) and the first split. *)
+let test_boundaries () =
+  with_tree (fun pm alloc free ->
+      let actor = Pmem.kernel_actor in
+      Dirindex.set_test_capacity (Some 4);
+      Fun.protect
+        ~finally:(fun () -> Dirindex.set_test_capacity None)
+        (fun () ->
+          (* root = 0 is the legal unindexed state: lookups miss,
+             deletes and folds no-op *)
+          Alcotest.(check (list int))
+            "empty lookup" []
+            (tok "lookup root=0" (Dirindex.lookup pm ~actor ~root:0 ~hash:5));
+          tok "delete root=0" (Dirindex.delete pm ~actor ~root:0 ~hash:5 ~addr:5);
+          let r0, pages = iok "build empty" (Dirindex.build pm ~actor ~alloc ~free ~entries:[]) in
+          Alcotest.(check int) "empty build is unindexed" 0 r0;
+          Alcotest.(check (list int)) "no pages" [] pages;
+          (* fill exactly one node, then push it over: the first insert
+             past capacity must split and grow a root *)
+          let root = ref 0 in
+          for a = 0 to 3 do
+            let r, _ =
+              iok "fill" (Dirindex.insert pm ~actor ~alloc ~free ~root:!root ~hash:a ~addr:a)
+            in
+            root := r
+          done;
+          let one = Dirindex.pages pm ~actor ~root:!root in
+          Alcotest.(check int) "single node before split" 1 (List.length one);
+          let r, fresh =
+            iok "overflow" (Dirindex.insert pm ~actor ~alloc ~free ~root:!root ~hash:4 ~addr:4)
+          in
+          Alcotest.(check bool) "root swung" true (r <> !root);
+          Alcotest.(check bool) "split minted pages" true (List.length fresh >= 2);
+          root := r;
+          let after = Dirindex.pages pm ~actor ~root:!root in
+          Alcotest.(check bool) "tree grew" true (List.length after >= 3);
+          let au = audit_clean "post split" pm !root in
+          Alcotest.(check int) "all five" 5 (List.length au.Dirindex.au_entries);
+          for a = 0 to 4 do
+            let addrs = tok "find" (Dirindex.lookup pm ~actor ~root:!root ~hash:a) in
+            if not (List.mem a addrs) then Alcotest.failf "key %d lost across split" a
+          done))
+
+(* ------------------------------------------------------------------ *)
+(* LibFS integration *)
+
+let with_fs f =
+  Helpers.run_sim (fun env ->
+      let fs = Helpers.mount ~proc:1 env in
+      f env fs (Libfs.ops fs))
+
+(* Rename between two indexed directories: the entry must leave the
+   source tree and land in the destination tree, and the handoff must
+   certify (no I5 divergence). *)
+let test_rename_across_indexed_dirs () =
+  Dirindex.set_test_capacity (Some 4);
+  Fun.protect
+    ~finally:(fun () -> Dirindex.set_test_capacity None)
+    (fun () ->
+      with_fs (fun env fs ops ->
+          ok "mkdir a" (ops.Fs.mkdir "/a" 0o755);
+          ok "mkdir b" (ops.Fs.mkdir "/b" 0o755);
+          (* enough entries that both directories hold split trees *)
+          for i = 0 to 9 do
+            ignore (ok "create a" (ops.Fs.create (Printf.sprintf "/a/f%d" i) 0o644) : int)
+          done;
+          for i = 0 to 5 do
+            ignore (ok "create b" (ops.Fs.create (Printf.sprintf "/b/g%d" i) 0o644) : int)
+          done;
+          ok "rename" (ops.Fs.rename "/a/f3" "/b/moved");
+          err "gone from a" ENOENT (ops.Fs.stat "/a/f3");
+          ignore (ok "landed in b" (ops.Fs.stat "/b/moved") : stat);
+          Alcotest.(check int) "a count" 9 (List.length (ok "readdir a" (ops.Fs.readdir "/a")));
+          Alcotest.(check int) "b count" 7 (List.length (ok "readdir b" (ops.Fs.readdir "/b")));
+          (* rename onto an existing indexed entry replaces it *)
+          ok "rename replace" (ops.Fs.rename "/a/f4" "/b/g0");
+          Alcotest.(check int) "a count" 8 (List.length (ok "readdir a" (ops.Fs.readdir "/a")));
+          Alcotest.(check int) "b count" 7 (List.length (ok "readdir b" (ops.Fs.readdir "/b")));
+          Libfs.unmap_everything fs;
+          (match Controller.corruption_events env.Helpers.ctl with
+          | [] -> ()
+          | evs -> Alcotest.failf "verifier flagged %d event(s)" (List.length evs));
+          let _checked, bad = Controller.audit_all env.Helpers.ctl in
+          Alcotest.(check int) "full sweep clean" 0 bad))
+
+(* The readdir contract: entries stream in ascending (name-hash, name)
+   order — the index's native order — and repeated scans agree. *)
+let test_readdir_order () =
+  with_fs (fun _ _ ops ->
+      ok "mkdir" (ops.Fs.mkdir "/d" 0o755);
+      for i = 0 to 40 do
+        ignore (ok "create" (ops.Fs.create (Printf.sprintf "/d/n%02d" i) 0o644) : int)
+      done;
+      let names entries = List.map (fun e -> e.d_name) entries in
+      let first = names (ok "readdir" (ops.Fs.readdir "/d")) in
+      let second = names (ok "readdir again" (ops.Fs.readdir "/d")) in
+      Alcotest.(check (list string)) "stable across scans" first second;
+      let keyed = List.map (fun n -> (Dirindex.hash_name n, n)) first in
+      let sorted = List.sort compare keyed in
+      Alcotest.(check bool) "ascending (hash, name)" true (keyed = sorted);
+      Alcotest.(check int) "complete" 41 (List.length first))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration campaigns *)
+
+(* SIGKILL at sampled points inside index mutations: every recovered
+   state must certify under a Full sweep (I5 included), and at least
+   one sampled state must have split a node (else the campaign never
+   entered the interesting windows). *)
+let test_explore_kills () =
+  let config =
+    if deep then Explore.default_dir_config
+    else { Explore.default_dir_config with Explore.dx_kill_points = 8; dx_entries = 12 }
+  in
+  let r = Explore.explore_dir_index ~config () in
+  (match r.Explore.dx_failure with
+  | None -> ()
+  | Some cx -> Alcotest.failf "%a" Explore.pp_counterexample cx);
+  Alcotest.(check bool) "sampled states" true (r.Explore.dx_states > 0);
+  Alcotest.(check int)
+    "every state certified" r.Explore.dx_states
+    (r.Explore.dx_indexed + r.Explore.dx_unindexed);
+  Alcotest.(check bool) "splits reached" true (r.Explore.dx_splits > 0)
+
+(* The detection self-test: a LibFS that silently skips index
+   maintenance must be caught by I5 at the sharing point (and the
+   honest prefix must not be flagged — that check lives inside). *)
+let test_mutation_caught () =
+  Alcotest.(check bool) "skip-index-update caught" true (Explore.dir_index_mutation_caught ())
+
+let () =
+  Alcotest.run "dirindex"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "insert/lookup/delete at scale" `Quick test_scale;
+          Alcotest.test_case "duplicate hashes" `Quick test_duplicate_hashes;
+          Alcotest.test_case "empty tree and first split" `Quick test_boundaries;
+        ] );
+      ( "libfs",
+        [
+          Alcotest.test_case "rename across indexed dirs" `Quick test_rename_across_indexed_dirs;
+          Alcotest.test_case "readdir order" `Quick test_readdir_order;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "kill points certify" `Quick test_explore_kills;
+          Alcotest.test_case "mutation caught" `Quick test_mutation_caught;
+        ] );
+    ]

@@ -217,8 +217,11 @@ let test_ycsb_isolation_under_chaos () =
       (* the kill-prone tenant actually died mid-run *)
       Alcotest.(check bool) "killer was killed" true killer.Ycsb.y_killed;
       Alcotest.(check bool) "byzantine cycles ran" true (neighbor.Attacks.nb_cycles > 0);
-      (* watchdog escalates the dead tenant even under byzantine load *)
-      Sched.delay 2.0e6;
+      (* watchdog escalates the dead tenant even under byzantine load.
+         The kill can land mid-write, with the victim holding a running
+         lease — the watchdog rightly defers while the lease shields the
+         writer, so wait out the lease horizon before judging it. *)
+      Sched.delay (2.0e6 +. 100.0e6);
       let wd = Controller.make_watchdog_report () in
       let escalated = Controller.watchdog_once ~report:wd rig.Rig.ctl ~timeout_ns:1.0e6 in
       Alcotest.(check bool)

@@ -53,6 +53,7 @@ let expect_check name expected tags =
       | `I2 -> "I2"
       | `I3 -> "I3"
       | `I4 -> "I4"
+      | `I5 -> "I5"
       | `Media -> "MEDIA")
       (List.length tags)
 
