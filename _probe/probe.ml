@@ -1,0 +1,12 @@
+(* Probe: Dirindex.build with a failing allocator must return Nospace, not hang. *)
+let () =
+  let sched = Trio_sim.Sched.create () in
+  let pm = Trio_nvm.Pmem.create ~sched ~nodes:1 ~pages_per_node:64 () in
+  let alloc () = None in
+  let free _ = () in
+  match
+    Trio_core.Dirindex.build pm ~actor:Trio_nvm.Pmem.kernel_actor ~alloc ~free
+      ~entries:[ (1, 100); (2, 200) ]
+  with
+  | Ok _ -> print_endline "OK"
+  | Error `Nospace -> print_endline "NOSPACE"
